@@ -1,0 +1,40 @@
+//===- fig6_reverse.cpp - Reproduces Fig 6 ---------------------------------===//
+//
+// In-place linked list reversal: the C source and its AutoCorres
+// translation, whose loop iterates over exactly the live tuple
+// (list, rev), plus the Sec 5.2 ported proof (see table6_proof_effort
+// for the full component breakdown).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/AutoCorres.h"
+#include "corpus/CaseStudies.h"
+#include "corpus/Sources.h"
+#include "hol/Print.h"
+
+#include <cstdio>
+
+using namespace ac;
+
+int main() {
+  DiagEngine Diags;
+  auto AC = core::AutoCorres::run(corpus::reverseSource(), Diags);
+  if (!AC) {
+    printf("pipeline failed:\n%s\n", Diags.str().c_str());
+    return 1;
+  }
+  printf("C source:\n%s\n", corpus::reverseSource());
+  printf("AutoCorres translation (Fig 6):\n%s\n\n",
+         AC->render("reverse").c_str());
+
+  corpus::CaseStudyReport Rep = corpus::verifyListReversal();
+  printf("Sec 5.2 port of Mehta & Nipkow's proof: %s (%s)\n",
+         Rep.Verified ? "verified" : "FAILED",
+         Rep.TotalCorrectness ? "total correctness" : "partial only");
+  for (const auto &C : Rep.Components)
+    printf("  %-24s %4u lines %s\n", C.Name.c_str(), C.ScriptLines,
+           C.Ok ? "" : "(FAILED)");
+  for (const auto &F : Rep.Failures)
+    printf("  failure: %s\n", F.c_str());
+  return Rep.Verified ? 0 : 1;
+}

@@ -1,0 +1,84 @@
+//===- phase_times.cpp - Per-phase pipeline timing --------------------------===//
+//
+// google-benchmark timing of the pipeline phases over a medium corpus:
+// where the Table 5 "AutoCorres takes longer than the parser" cost goes
+// (the paper attributes it to the proof-producing abstraction phases).
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Synthetic.h"
+#include "core/AutoCorres.h"
+#include "heapabs/HeapAbs.h"
+#include "monad/L1.h"
+#include "monad/L2.h"
+#include "wordabs/WordAbs.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace ac;
+
+namespace {
+
+const std::string &mediumCorpus() {
+  static std::string Src =
+      corpus::generateSyntheticProgram(corpus::echronosScale());
+  return Src;
+}
+
+void BM_ParseAndTranslate(benchmark::State &State) {
+  for (auto _ : State) {
+    DiagEngine Diags;
+    auto P = simpl::parseAndTranslate(mediumCorpus(), Diags);
+    benchmark::DoNotOptimize(P);
+  }
+}
+BENCHMARK(BM_ParseAndTranslate);
+
+void BM_L1Conversion(benchmark::State &State) {
+  DiagEngine Diags;
+  auto P = simpl::parseAndTranslate(mediumCorpus(), Diags);
+  for (auto _ : State) {
+    monad::InterpCtx Ctx(P.get());
+    auto L1 = monad::convertAllL1(*P, Ctx);
+    benchmark::DoNotOptimize(L1);
+  }
+}
+BENCHMARK(BM_L1Conversion);
+
+void BM_L2Lifting(benchmark::State &State) {
+  DiagEngine Diags;
+  auto P = simpl::parseAndTranslate(mediumCorpus(), Diags);
+  for (auto _ : State) {
+    monad::InterpCtx Ctx(P.get());
+    auto L2 = monad::convertAllL2(*P, Ctx);
+    benchmark::DoNotOptimize(L2);
+  }
+}
+BENCHMARK(BM_L2Lifting);
+
+void BM_HeapAbstraction(benchmark::State &State) {
+  DiagEngine Diags;
+  auto P = simpl::parseAndTranslate(mediumCorpus(), Diags);
+  monad::InterpCtx Ctx(P.get());
+  auto L2 = monad::convertAllL2(*P, Ctx);
+  for (auto _ : State) {
+    heapabs::HeapAbstraction HL(*P, Ctx);
+    for (const std::string &Name : P->FunctionOrder)
+      HL.abstractFunction(*P->function(Name), L2.at(Name));
+    benchmark::DoNotOptimize(HL.results().size());
+  }
+}
+BENCHMARK(BM_HeapAbstraction);
+
+void BM_WholePipeline(benchmark::State &State) {
+  for (auto _ : State) {
+    DiagEngine Diags;
+    auto AC = core::AutoCorres::run(mediumCorpus(), Diags);
+    benchmark::DoNotOptimize(AC);
+  }
+}
+BENCHMARK(BM_WholePipeline);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,67 @@
+//===- rule_inventory.cpp - Tables 3 and 4 --------------------------------===//
+//
+// Prints the registered rule inventories: the word-abstraction rules of
+// Table 3 (generic rules plus per-width instances — the paper's "~40
+// built-in plus 11 per type") and the heap-abstraction rules of Table 4
+// (the paper's 35), plus every other axiom and oracle in the trusted
+// base. This is the auditable inventory DESIGN.md's soundness story
+// rests on; every entry is cross-validated by the test suite.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/AutoCorres.h"
+#include "corpus/Sources.h"
+#include "hol/Print.h"
+
+#include <cstdio>
+#include <map>
+
+using namespace ac;
+using namespace ac::hol;
+
+int main() {
+  // Run representative inputs so the on-demand rule instances register.
+  for (const char *Src :
+       {corpus::maxSource(), corpus::swapSource(), corpus::reverseSource(),
+        corpus::gcdSource(), corpus::suzukiSource(),
+        corpus::schorrWaiteSource()}) {
+    DiagEngine Diags;
+    core::AutoCorres::run(Src, Diags);
+  }
+
+  std::map<std::string, unsigned> Groups;
+  for (const auto &[Name, Prop] : Inventory::instance().axioms()) {
+    std::string Group = Name.substr(0, Name.find('.'));
+    Groups[Group]++;
+  }
+  printf("Axiom inventory by family:\n");
+  for (const auto &[G, N] : Groups)
+    printf("  %-8s %3u rules\n", G.c_str(), N);
+
+  printf("\nTable 3 core (word abstraction) sample:\n");
+  for (const char *Name :
+       {"WA.triv", "WA.bind", "WA.return", "WA.nat_plus_pp.32",
+        "WA.nat_div_pp.32", "WA.while"}) {
+    auto &Axs = Inventory::instance().axioms();
+    auto It = Axs.find(Name);
+    if (It != Axs.end())
+      printf("  [%s]\n    %s\n", Name,
+             printTerm(It->second).substr(0, 220).c_str());
+  }
+
+  printf("\nTable 4 core (heap abstraction) sample:\n");
+  for (const char *Name : {"HL.bind", "HL.gets", "HL.modify",
+                           "HL.ptr_guard.w32", "HL.read.node_C",
+                           "HL.write.node_C"}) {
+    auto &Axs = Inventory::instance().axioms();
+    auto It = Axs.find(Name);
+    if (It != Axs.end())
+      printf("  [%s]\n    %s\n", Name,
+             printTerm(It->second).substr(0, 220).c_str());
+  }
+
+  printf("\nOracles (decision procedures / validated conversions):\n");
+  for (const std::string &O : Inventory::instance().oracles())
+    printf("  %s\n", O.c_str());
+  return 0;
+}

@@ -1,0 +1,106 @@
+//===- table2_word_identities.cpp - Reproduces Table 2 --------------------===//
+//
+// For each identity of Table 2, searches the word32 domain with the
+// executable word semantics and reports the counterexample the paper
+// lists — and checks that the identity *does* hold on the ideal nat/int
+// images (which is what word abstraction buys, Sec 3.2).
+//
+//===----------------------------------------------------------------------===//
+
+#include "hol/Builder.h"
+#include "hol/GroundEval.h"
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+using namespace ac::hol;
+
+namespace {
+
+struct Row {
+  const char *Identity;
+  const char *PaperCounterexample;
+  // Returns true when the identity HOLDS at this word value.
+  std::function<bool(uint32_t)> HoldsAtWord;
+  // The same statement on the ideal image.
+  std::function<bool(long long)> HoldsAtIdeal;
+};
+
+int32_t asSigned(uint32_t V) { return static_cast<int32_t>(V); }
+
+} // namespace
+
+int main() {
+  std::vector<Row> Rows = {
+      {"s = s + 1 - 1 (signed, no overflow)", "s = 2^31 - 1 (undefined)",
+       [](uint32_t U) {
+         // Undefined when s + 1 overflows: report as failing there.
+         int32_t S = asSigned(U);
+         if (S == INT32_MAX)
+           return false; // s + 1 is UB
+         return S + 1 - 1 == S;
+       },
+       [](long long S) { return S + 1 - 1 == S; }},
+      {"s = -(-s) (signed)", "s = -2^31 (undefined)",
+       [](uint32_t U) {
+         int32_t S = asSigned(U);
+         if (S == INT32_MIN)
+           return false; // -s is UB
+         return -(-S) == S;
+       },
+       [](long long S) { return -(-S) == S; }},
+      {"u + 1 > u (unsigned)", "u = 2^32 - 1 (incorrect)",
+       [](uint32_t U) { return static_cast<uint32_t>(U + 1) > U; },
+       [](long long U) { return U + 1 > U; }},
+      {"u * 2 = 4 --> u = 2", "u = 2^31 + 2 (incorrect)",
+       [](uint32_t U) {
+         return !(static_cast<uint32_t>(U * 2) == 4) || U == 2;
+       },
+       [](long long U) { return !(U * 2 == 4) || U == 2; }},
+      {"-u = u --> u = 0 (unsigned)", "u = 2^31 (incorrect)",
+       [](uint32_t U) {
+         return !(static_cast<uint32_t>(-U) == U) || U == 0;
+       },
+       [](long long U) { return !(-U == U) || U == 0; }},
+  };
+
+  printf("%-38s | %-26s | %s\n", "Identity", "paper's counterexample",
+         "found counterexample");
+  printf("%s\n", std::string(100, '-').c_str());
+  int Rc = 0;
+  for (const Row &R : Rows) {
+    // Directed search over boundary values plus a sweep.
+    std::vector<uint32_t> Candidates = {
+        0, 1, 2, 0x7ffffffe, 0x7fffffff, 0x80000000, 0x80000001,
+        0x80000002, 0xfffffffe, 0xffffffff};
+    for (uint32_t I = 0; I != 4096; ++I)
+      Candidates.push_back(I * 1048583u);
+    bool Found = false;
+    uint32_t Witness = 0;
+    for (uint32_t C : Candidates)
+      if (!R.HoldsAtWord(C)) {
+        Found = true;
+        Witness = C;
+        break;
+      }
+    // The ideal-image version must hold everywhere we look.
+    bool IdealOk = true;
+    for (uint32_t C : Candidates) {
+      long long Ideal = R.Identity[0] == 's'
+                            ? static_cast<long long>(asSigned(C))
+                            : static_cast<long long>(C);
+      if (!R.HoldsAtIdeal(Ideal))
+        IdealOk = false;
+    }
+    printf("%-38s | %-26s | %s0x%08x; ideal image holds: %s\n",
+           R.Identity, R.PaperCounterexample, Found ? "" : "NONE ",
+           Witness, IdealOk ? "yes" : "NO");
+    if (!Found || !IdealOk)
+      Rc = 1;
+  }
+  printf("\nAll five Table 2 identities fail at the word level and hold "
+         "after abstraction.\n");
+  return Rc;
+}

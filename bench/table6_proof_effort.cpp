@@ -1,0 +1,56 @@
+//===- table6_proof_effort.cpp - Reproduces Table 6 ------------------------===//
+//
+// Runs the two Sec 5 case-study proofs and prints the component
+// breakdown next to the paper's numbers (This Work / Mehta & Nipkow in
+// Isabelle / Hubert & Marché in Coq). Our "lines" column measures the
+// pretty-printed size of the artefacts each component contributes
+// (definitions, invariants, measures, goals); EXPERIMENTS.md discusses
+// how that proxy compares to Isabelle proof-script lines.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/CaseStudies.h"
+
+#include <cstdio>
+#include <string>
+
+using namespace ac::corpus;
+
+int main() {
+  printf("Sec 5.2 - in-place list reversal\n");
+  CaseStudyReport Rev = verifyListReversal();
+  for (const auto &C : Rev.Components)
+    printf("  %-55s %5u %s\n", C.Name.c_str(), C.ScriptLines,
+           C.Ok ? "" : "FAILED");
+  printf("  %-55s %5u  verified=%s total=%s\n", "Total", Rev.totalLines(),
+         Rev.Verified ? "yes" : "NO",
+         Rev.TotalCorrectness ? "yes" : "NO");
+  for (const auto &F : Rev.Failures)
+    printf("  failure: %s\n", F.c_str());
+
+  printf("\nSec 5.3 - Schorr-Waite\n");
+  CaseStudyReport SW = verifySchorrWaite();
+  for (const auto &C : SW.Components)
+    printf("  %-55s %5u %s\n", C.Name.c_str(), C.ScriptLines,
+           C.Ok ? "" : "FAILED");
+  printf("  %-55s %5u  verified=%s\n", "Total", SW.totalLines(),
+         SW.Verified ? "yes" : "NO");
+  for (const auto &F : SW.Failures)
+    printf("  failure: %s\n", F.c_str());
+
+  printf("\nTable 6 (paper, Schorr-Waite lines of proof):\n");
+  printf("  %-22s %10s %8s %8s\n", "Component", "This Work*", "M/N",
+         "H/M");
+  printf("  %-22s %10u %8s %8s\n", "List/graph defs",
+         SW.Components.empty() ? 0 : SW.Components[0].ScriptLines, "62",
+         "~900");
+  printf("  %-22s %10s %8s %8s\n", "Partial correctness", "(above)",
+         "489", "~1400");
+  printf("  %-22s %10s %8s %8s\n", "Termination", "(above)", "-", "~900");
+  printf("  %-22s %10u %8s %8s\n", "Total", SW.totalLines(), "577",
+         "3317");
+  printf("\n* our components are artefact line counts; the invariant "
+         "steps are validated by 16k+ bounded-graph checks rather than "
+         "interactive proof (EXPERIMENTS.md).\n");
+  return (Rev.Verified && SW.Verified) ? 0 : 1;
+}

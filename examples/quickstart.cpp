@@ -1,0 +1,74 @@
+//===- quickstart.cpp - Five-minute tour of the library --------------------===//
+//
+// Run AutoCorres on a small C program and look at what you get back:
+// the abstracted specification for every function, and the end-to-end
+// refinement theorem with its auditable trusted base.
+//
+// Build & run:  cmake --build build && ./build/examples/quickstart
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/AutoCorres.h"
+#include "hol/Print.h"
+
+#include <cstdio>
+
+using namespace ac;
+
+int main() {
+  const char *Source =
+      "unsigned counter = 0;\n"
+      "\n"
+      "unsigned bump(unsigned by) {\n"
+      "  counter = counter + by;\n"
+      "  return counter;\n"
+      "}\n"
+      "\n"
+      "int clamp(int v, int lo, int hi) {\n"
+      "  if (v < lo) return lo;\n"
+      "  if (hi < v) return hi;\n"
+      "  return v;\n"
+      "}\n";
+
+  printf("input C:\n%s\n", Source);
+
+  // One call runs the whole Fig 1 pipeline: parse -> Simpl -> monadic
+  // L1 -> local-variable lifting L2 -> heap abstraction -> word
+  // abstraction.
+  DiagEngine Diags;
+  std::unique_ptr<core::AutoCorres> AC = core::AutoCorres::run(Source, Diags);
+  if (!AC) {
+    fprintf(stderr, "translation failed:\n%s", Diags.str().c_str());
+    return 1;
+  }
+
+  for (const std::string &Fn : AC->order()) {
+    const core::FuncOutput *F = AC->func(Fn);
+    printf("---- %s ----\n", Fn.c_str());
+    printf("heap-lifted: %s, word-abstracted: %s\n",
+           F->HeapLifted ? "yes" : "no",
+           F->WordAbstracted ? "yes" : "no");
+    printf("%s\n\n", AC->render(Fn).c_str());
+
+    // Every output comes with a machine-checked derivation; inspect its
+    // trusted base.
+    std::set<std::string> Axioms, Oracles;
+    hol::collectLeaves(F->Pipeline, Axioms, Oracles);
+    printf("refinement theorem: %s...\n",
+           F->Pipeline.str().substr(0, 100).c_str());
+    printf("derivation: %zu nodes; axiom families used:",
+           hol::derivSize(F->Pipeline));
+    std::set<std::string> Families;
+    for (const std::string &A : Axioms)
+      Families.insert(A.substr(0, A.find('.')));
+    for (const std::string &Fam : Families)
+      printf(" %s", Fam.c_str());
+    printf("\n\n");
+  }
+
+  const core::ACStats &S = AC->stats();
+  printf("stats: %u LoC, %u functions, parse %.3fs, abstraction %.3fs\n",
+         S.SourceLines, S.NumFunctions, S.ParserSeconds,
+         S.AutoCorresSeconds);
+  return 0;
+}

@@ -1,0 +1,141 @@
+//===- AutoCorres.h - The tool driver ---------------------------*- C++ -*-===//
+//
+// Part of the autocorres-cpp project, under the BSD 2-Clause License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The public entry point: runs the whole Fig 1 pipeline
+///
+///   C99 --parse--> Simpl --L1--> monadic --L2--> lifted locals
+///       --HL--> split typed heaps --WA--> ideal arithmetic
+///
+/// per translation unit, producing for every function its most abstract
+/// monadic specification, the per-phase artefacts, and a composed
+/// end-to-end refinement theorem
+///
+///   ac_corres <output> SIMPL[f]
+///
+/// whose derivation chains the per-phase theorems through the AC.compose
+/// axioms. Heap and word abstraction are selectable per function
+/// (Secs 3.2, 4.6); functions that use type-unsafe idioms fall back
+/// automatically.
+///
+/// The driver also measures the Table 5 statistics: CPU time split
+/// between the parser stage and the abstraction stages, lines of
+/// specification, and average term size for both outputs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AC_CORE_AUTOCORRES_H
+#define AC_CORE_AUTOCORRES_H
+
+#include "heapabs/HeapAbs.h"
+#include "monad/L1.h"
+#include "monad/L2.h"
+#include "wordabs/WordAbs.h"
+
+#include <memory>
+#include <set>
+
+namespace ac::core {
+
+/// Per-run options.
+struct ACOptions {
+  /// Functions to keep on the byte-level heap (Sec 4.6).
+  std::set<std::string> NoHeapAbs;
+  /// Functions to keep on machine words (Sec 3.2).
+  std::set<std::string> NoWordAbs;
+};
+
+/// Everything produced for one function.
+struct FuncOutput {
+  std::string Name;
+  std::vector<std::string> ArgNames;
+  std::vector<hol::TypeRef> FinalArgTys;
+  hol::TypeRef FinalRetTy;
+
+  hol::TermRef L1Term;
+  hol::TermRef L2Body;
+  hol::TermRef HLBody; ///< null if not lifted
+  hol::TermRef WABody; ///< null if not abstracted
+  bool HeapLifted = false;
+  bool WordAbstracted = false;
+
+  /// The most abstract body (WA > HL > L2).
+  const hol::TermRef &finalBody() const {
+    return WABody ? WABody : (HLBody ? HLBody : L2Body);
+  }
+  /// FunDefs key of the most abstract definition.
+  std::string finalKey() const {
+    return (WABody ? "wa:" : (HLBody ? "hl:" : "l2:")) + Name;
+  }
+
+  hol::Thm L1Corres, L2Corres, HLCorres, WACorres;
+  /// ac_corres <final> SIMPL[f], composed through AC.compose.
+  hol::Thm Pipeline;
+};
+
+/// Table 5 statistics for one run.
+struct ACStats {
+  unsigned SourceLines = 0;
+  unsigned NumFunctions = 0;
+  double ParserSeconds = 0;
+  double AutoCorresSeconds = 0;
+  unsigned ParserSpecLines = 0;
+  unsigned ACSpecLines = 0;
+  unsigned ParserTermSizeTotal = 0;
+  unsigned ACTermSizeTotal = 0;
+
+  double parserAvgTermSize() const {
+    return NumFunctions ? double(ParserTermSizeTotal) / NumFunctions : 0;
+  }
+  double acAvgTermSize() const {
+    return NumFunctions ? double(ACTermSizeTotal) / NumFunctions : 0;
+  }
+};
+
+/// One AutoCorres run over a translation unit.
+class AutoCorres {
+public:
+  /// Runs the full pipeline; nullptr with diagnostics on failure.
+  static std::unique_ptr<AutoCorres>
+  run(const std::string &Source, DiagEngine &Diags,
+      const ACOptions &Opts = ACOptions());
+
+  const simpl::SimplProgram &program() const { return *Prog; }
+  monad::InterpCtx &ctx() { return Ctx; }
+  const heapabs::LiftedGlobals &lifted() const { return HL->lifted(); }
+  heapabs::HeapAbstraction &heapAbs() { return *HL; }
+  wordabs::WordAbstraction &wordAbs() { return *WA; }
+
+  const FuncOutput *func(const std::string &Name) const {
+    auto It = Funcs.find(Name);
+    return It == Funcs.end() ? nullptr : &It->second;
+  }
+  const std::vector<std::string> &order() const {
+    return Prog->FunctionOrder;
+  }
+
+  const ACStats &stats() const { return Stats; }
+
+  /// Pretty-prints the final specification of one function, paper style:
+  /// `name' arg1 ... argn == <body>`.
+  std::string render(const std::string &Name) const;
+
+private:
+  AutoCorres() : Ctx(nullptr) {}
+
+  std::unique_ptr<simpl::SimplProgram> Prog;
+  monad::InterpCtx Ctx;
+  std::map<std::string, monad::L1Result> L1;
+  std::map<std::string, monad::L2Result> L2;
+  std::unique_ptr<heapabs::HeapAbstraction> HL;
+  std::unique_ptr<wordabs::WordAbstraction> WA;
+  std::map<std::string, FuncOutput> Funcs;
+  ACStats Stats;
+};
+
+} // namespace ac::core
+
+#endif // AC_CORE_AUTOCORRES_H

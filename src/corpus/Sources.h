@@ -1,0 +1,34 @@
+//===- Sources.h - Embedded case-study C sources ----------------*- C++ -*-===//
+//
+// Part of the autocorres-cpp project, under the BSD 2-Clause License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The C sources of the paper's figures and case studies, embedded so the
+/// tests, examples and benchmarks share one copy: Fig 2's max, Euclid's
+/// gcd, Fig 3's swap, the binary-search midpoint of Sec 3.2, Suzuki's
+/// challenge (Sec 4.3), memset (Sec 4.6), Fig 6's in-place list reversal,
+/// and Fig 8's Schorr-Waite implementation (reproduced verbatim from the
+/// paper, 19 source lines).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AC_CORPUS_SOURCES_H
+#define AC_CORPUS_SOURCES_H
+
+namespace ac::corpus {
+
+const char *maxSource();
+const char *gcdSource();
+const char *swapSource();
+const char *midpointSource();
+const char *binarySearchSource();
+const char *suzukiSource();
+const char *memsetSource();
+const char *reverseSource();
+const char *schorrWaiteSource();
+
+} // namespace ac::corpus
+
+#endif // AC_CORPUS_SOURCES_H

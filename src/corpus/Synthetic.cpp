@@ -1,0 +1,201 @@
+//===- Synthetic.cpp ------------------------------------------------------===//
+
+#include "corpus/Synthetic.h"
+
+#include <cstdint>
+#include <sstream>
+#include <vector>
+
+using namespace ac::corpus;
+
+namespace {
+
+class Gen {
+public:
+  Gen(const SyntheticSpec &Spec) : Spec(Spec), State(Spec.Seed | 1) {}
+
+  std::string run() {
+    OS << "/* synthetic " << Spec.Name << " corpus (seed "
+       << Spec.Seed << ") */\n";
+    OS << "struct obj { struct obj *next; unsigned flags; unsigned id; "
+          "int prio; };\n";
+    OS << "struct cap { struct obj *target; unsigned rights; "
+          "unsigned badge; };\n";
+    OS << "unsigned g_counter = 0;\n";
+    OS << "unsigned g_errors = 0;\n";
+    OS << "int g_mode = 0;\n";
+    for (unsigned I = 0; I != Spec.TargetFunctions; ++I)
+      emitFunction(I);
+    return OS.str();
+  }
+
+private:
+  const SyntheticSpec &Spec;
+  uint64_t State;
+  std::ostringstream OS;
+  std::vector<std::string> UnsignedFns; ///< name(unsigned, unsigned)
+
+  uint64_t next() {
+    State ^= State << 13;
+    State ^= State >> 7;
+    State ^= State << 17;
+    return State;
+  }
+  unsigned pick(unsigned N) { return next() % N; }
+
+  void emitFunction(unsigned Idx) {
+    switch (pick(8)) {
+    case 0:
+    case 1:
+      emitArith(Idx);
+      break;
+    case 2:
+    case 3:
+      emitFieldOps(Idx);
+      break;
+    case 4:
+    case 5:
+      emitWalker(Idx);
+      break;
+    case 6:
+      emitBitOps(Idx);
+      break;
+    default:
+      if (!UnsignedFns.empty())
+        emitCaller(Idx);
+      else
+        emitArith(Idx);
+      break;
+    }
+  }
+
+  void emitArith(unsigned Idx) {
+    std::string Name = "calc_" + std::to_string(Idx);
+    OS << "unsigned " << Name << "(unsigned a, unsigned b) {\n";
+    OS << "  unsigned acc = a;\n";
+    for (unsigned I = 0; I != Spec.StatementsPerFunction; ++I) {
+      switch (pick(5)) {
+      case 0:
+        OS << "  acc = acc + (b % " << (2 + pick(30)) << "u);\n";
+        break;
+      case 1:
+        OS << "  acc = acc * " << (1 + pick(7)) << "u;\n";
+        break;
+      case 2:
+        OS << "  if (acc > " << (100 + pick(1000))
+           << "u) acc = acc / " << (2 + pick(6)) << "u;\n";
+        break;
+      case 3:
+        OS << "  acc = (acc + b) % " << (17 + pick(97)) << "u;\n";
+        break;
+      default:
+        OS << "  b = b / " << (2 + pick(4)) << "u;\n";
+        break;
+      }
+    }
+    OS << "  return acc;\n}\n";
+    UnsignedFns.push_back(Name);
+  }
+
+  void emitFieldOps(unsigned Idx) {
+    OS << "void update_" << Idx
+       << "(struct obj *p, unsigned v, int prio) {\n";
+    OS << "  if (p == NULL)\n    return;\n";
+    for (unsigned I = 0; I != Spec.StatementsPerFunction; ++I) {
+      switch (pick(4)) {
+      case 0:
+        OS << "  p->flags = p->flags | " << (1u << pick(12)) << "u;\n";
+        break;
+      case 1:
+        OS << "  if (p->id == " << pick(64)
+           << "u) p->prio = prio;\n";
+        break;
+      case 2:
+        OS << "  p->id = v % " << (3 + pick(61)) << "u;\n";
+        break;
+      default:
+        OS << "  g_counter = g_counter + 1u;\n";
+        break;
+      }
+    }
+    OS << "}\n";
+  }
+
+  void emitWalker(unsigned Idx) {
+    OS << "unsigned scan_" << Idx << "(struct obj *p) {\n";
+    OS << "  unsigned acc = 0;\n";
+    OS << "  unsigned steps = 0;\n";
+    OS << "  while (p != NULL && steps < " << (8 + pick(56)) << "u) {\n";
+    OS << "    acc = acc + p->flags;\n";
+    if (pick(2))
+      OS << "    if (p->id == " << pick(32) << "u) break;\n";
+    OS << "    p = p->next;\n";
+    OS << "    steps = steps + 1u;\n";
+    OS << "  }\n";
+    OS << "  return acc;\n}\n";
+  }
+
+  void emitBitOps(unsigned Idx) {
+    std::string Name = "bits_" + std::to_string(Idx);
+    OS << "unsigned " << Name << "(unsigned w, unsigned n) {\n";
+    OS << "  unsigned mask = " << (1 + pick(255)) << "u;\n";
+    for (unsigned I = 0; I != Spec.StatementsPerFunction; ++I) {
+      switch (pick(4)) {
+      case 0:
+        OS << "  w = w ^ (mask << " << pick(8) << ");\n";
+        break;
+      case 1:
+        OS << "  w = (w >> " << (1 + pick(4)) << ") | (n & mask);\n";
+        break;
+      case 2:
+        OS << "  if ((w & " << (1u << pick(16)) << "u) != 0u) "
+              "n = n + 1u;\n";
+        break;
+      default:
+        OS << "  mask = mask & ~(n % 8u);\n";
+        break;
+      }
+    }
+    OS << "  return w + n;\n}\n";
+    UnsignedFns.push_back(Name);
+  }
+
+  void emitCaller(unsigned Idx) {
+    OS << "unsigned dispatch_" << Idx << "(unsigned x, unsigned y) {\n";
+    OS << "  unsigned r = 0;\n";
+    unsigned Calls = 1 + pick(3);
+    for (unsigned I = 0; I != Calls; ++I) {
+      const std::string &Callee =
+          UnsignedFns[pick(UnsignedFns.size())];
+      OS << "  r = r + " << Callee << "(x % " << (3 + pick(17))
+         << "u, y);\n";
+    }
+    OS << "  if (r > " << (50 + pick(500))
+       << "u) g_errors = g_errors + 1u;\n";
+    OS << "  return r;\n}\n";
+  }
+};
+
+} // namespace
+
+std::string ac::corpus::generateSyntheticProgram(const SyntheticSpec &S) {
+  Gen G(S);
+  return G.run();
+}
+
+SyntheticSpec ac::corpus::sel4Scale() {
+  // ~10k LoC / 551 functions.
+  return {"seL4-scale", 551, 17, 0x5e14};
+}
+SyntheticSpec ac::corpus::capdlScale() {
+  // ~2k LoC / 163 functions.
+  return {"CapDL-SysInit-scale", 163, 10, 0xcade};
+}
+SyntheticSpec ac::corpus::piccoloScale() {
+  // ~936 LoC / 56 functions.
+  return {"Piccolo-scale", 56, 16, 0x91cc};
+}
+SyntheticSpec ac::corpus::echronosScale() {
+  // ~563 LoC / 40 functions.
+  return {"eChronos-scale", 40, 13, 0xec40};
+}

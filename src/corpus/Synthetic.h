@@ -1,0 +1,44 @@
+//===- Synthetic.h - Systems-flavoured code generator -----------*- C++ -*-===//
+//
+// Part of the autocorres-cpp project, under the BSD 2-Clause License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic generator of kernel-flavoured C used to reproduce the
+/// Table 5 scaling study. The paper's inputs (seL4, CapDL SysInit,
+/// Piccolo, eChronos) are proprietary-scale verification projects; per
+/// DESIGN.md's substitution policy we generate code of matching size
+/// (lines of code, number of functions) exercising the same translation
+/// paths: object tables behind structs, linked-list traversal, bit
+/// manipulation, guard-heavy pointer access, and cross-function calls.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AC_CORPUS_SYNTHETIC_H
+#define AC_CORPUS_SYNTHETIC_H
+
+#include <string>
+
+namespace ac::corpus {
+
+struct SyntheticSpec {
+  std::string Name;
+  unsigned TargetFunctions = 40;
+  unsigned StatementsPerFunction = 6;
+  unsigned Seed = 1;
+};
+
+/// Generates one translation unit per the spec.
+std::string generateSyntheticProgram(const SyntheticSpec &Spec);
+
+/// Presets sized to the Table 5 rows (LoC / #functions in the paper:
+/// 10121/551, 2079/163, 936/56, 563/40).
+SyntheticSpec sel4Scale();
+SyntheticSpec capdlScale();
+SyntheticSpec piccoloScale();
+SyntheticSpec echronosScale();
+
+} // namespace ac::corpus
+
+#endif // AC_CORPUS_SYNTHETIC_H

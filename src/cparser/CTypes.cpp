@@ -1,0 +1,140 @@
+//===- CTypes.cpp ---------------------------------------------------------===//
+
+#include "cparser/CTypes.h"
+
+using namespace ac::cparser;
+
+std::string CType::str() const {
+  switch (K) {
+  case Kind::Void:
+    return "void";
+  case Kind::Int: {
+    std::string S = Signed ? "" : "unsigned ";
+    switch (Bits) {
+    case 8:
+      return S + "char";
+    case 16:
+      return S + "short";
+    default:
+      return Signed ? "int" : "unsigned int";
+    }
+  }
+  case Kind::Pointer:
+    return Pointee->str() + " *";
+  case Kind::Struct:
+    return "struct " + Name;
+  }
+  return "?";
+}
+
+CTypeRef CType::voidTy() {
+  static CTypeRef T(new CType());
+  return T;
+}
+
+CTypeRef CType::intTy(unsigned Bits, bool Signed) {
+  assert((Bits == 8 || Bits == 16 || Bits == 32 || Bits == 64) &&
+         "unsupported integer width");
+  auto *T = new CType();
+  T->K = Kind::Int;
+  T->Bits = Bits;
+  T->Signed = Signed;
+  return CTypeRef(T);
+}
+
+CTypeRef CType::pointerTo(CTypeRef Pointee) {
+  auto *T = new CType();
+  T->K = Kind::Pointer;
+  T->Pointee = std::move(Pointee);
+  return CTypeRef(T);
+}
+
+CTypeRef CType::structTy(const std::string &Name) {
+  auto *T = new CType();
+  T->K = Kind::Struct;
+  T->Name = Name;
+  return CTypeRef(T);
+}
+
+bool CType::equal(const CTypeRef &A, const CTypeRef &B) {
+  if (A.get() == B.get())
+    return true;
+  if (!A || !B || A->kind() != B->kind())
+    return false;
+  switch (A->kind()) {
+  case Kind::Void:
+    return true;
+  case Kind::Int:
+    return A->bits() == B->bits() && A->isSigned() == B->isSigned();
+  case Kind::Pointer:
+    return equal(A->pointee(), B->pointee());
+  case Kind::Struct:
+    return A->structName() == B->structName();
+  }
+  return false;
+}
+
+const CStructInfo &LayoutMap::defineStruct(
+    const std::string &Name,
+    std::vector<std::pair<std::string, CTypeRef>> Fields) {
+  CStructInfo Info;
+  Info.Name = Name;
+  unsigned Offset = 0;
+  unsigned Align = 1;
+  for (auto &[FName, FTy] : Fields) {
+    unsigned FAlign = alignOf(FTy);
+    unsigned FSize = sizeOf(FTy);
+    Offset = (Offset + FAlign - 1) / FAlign * FAlign;
+    Info.Fields.push_back({FName, FTy, Offset});
+    Offset += FSize;
+    Align = std::max(Align, FAlign);
+  }
+  Info.Size = (Offset + Align - 1) / Align * Align;
+  if (Info.Size == 0)
+    Info.Size = Align; // empty structs still occupy storage
+  Info.Align = Align;
+  auto [It, Inserted] = Structs.insert_or_assign(Name, std::move(Info));
+  (void)Inserted;
+  return It->second;
+}
+
+const CStructInfo *LayoutMap::lookupStruct(const std::string &Name) const {
+  auto It = Structs.find(Name);
+  return It == Structs.end() ? nullptr : &It->second;
+}
+
+unsigned LayoutMap::sizeOf(const CTypeRef &T) const {
+  switch (T->kind()) {
+  case CType::Kind::Int:
+    return T->bits() / 8;
+  case CType::Kind::Pointer:
+    return 4; // 32-bit system
+  case CType::Kind::Struct: {
+    const CStructInfo *Info = lookupStruct(T->structName());
+    assert(Info && "sizeOf of incomplete struct");
+    return Info->Size;
+  }
+  case CType::Kind::Void:
+    break;
+  }
+  assert(false && "sizeOf of void");
+  return 0;
+}
+
+unsigned LayoutMap::alignOf(const CTypeRef &T) const {
+  switch (T->kind()) {
+  case CType::Kind::Int:
+    return T->bits() / 8;
+  case CType::Kind::Pointer:
+    return 4;
+  case CType::Kind::Struct: {
+    const CStructInfo *Info = lookupStruct(T->structName());
+    assert(Info && "alignOf of incomplete struct");
+    return Info->Align;
+  }
+  case CType::Kind::Void:
+    break;
+  }
+  assert(false && "alignOf of void");
+  return 1;
+}

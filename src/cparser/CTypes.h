@@ -1,0 +1,133 @@
+//===- CTypes.h - C types for the supported subset --------------*- C++ -*-===//
+//
+// Part of the autocorres-cpp project, under the BSD 2-Clause License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// C types for the paper's C subset on a two's-complement 32-bit system
+/// (Sec 2: "Integer arithmetic is architecture-defined, and in our examples
+/// matches a two's-complement 32-bit system"): char is 8 bits, short 16,
+/// int/long/pointers 32. Layout (size/alignment/field offsets) follows the
+/// natural ARM32-style ABI and feeds both the Simpl translation's guard
+/// generation and the byte-heap encode/decode in the executable semantics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AC_CPARSER_CTYPES_H
+#define AC_CPARSER_CTYPES_H
+
+#include <cassert>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ac::cparser {
+
+class CType;
+using CTypeRef = std::shared_ptr<const CType>;
+
+/// A C type in the supported subset.
+class CType {
+public:
+  enum class Kind {
+    Void,
+    Int,     ///< any integer type; Bits + Signed discriminate
+    Pointer, ///< Pointee
+    Struct,  ///< named struct
+  };
+
+  Kind kind() const { return K; }
+  bool isVoid() const { return K == Kind::Void; }
+  bool isInt() const { return K == Kind::Int; }
+  bool isPointer() const { return K == Kind::Pointer; }
+  bool isStruct() const { return K == Kind::Struct; }
+
+  unsigned bits() const {
+    assert(isInt() && "bits() on non-integer type");
+    return Bits;
+  }
+  bool isSigned() const {
+    assert(isInt() && "isSigned() on non-integer type");
+    return Signed;
+  }
+  const CTypeRef &pointee() const {
+    assert(isPointer() && "pointee() on non-pointer type");
+    return Pointee;
+  }
+  const std::string &structName() const {
+    assert(isStruct() && "structName() on non-struct type");
+    return Name;
+  }
+
+  std::string str() const;
+
+  static CTypeRef voidTy();
+  static CTypeRef intTy(unsigned Bits, bool Signed);
+  static CTypeRef pointerTo(CTypeRef Pointee);
+  static CTypeRef structTy(const std::string &Name);
+
+  /// Structural equality.
+  static bool equal(const CTypeRef &A, const CTypeRef &B);
+
+private:
+  CType() = default;
+  Kind K = Kind::Void;
+  unsigned Bits = 0;
+  bool Signed = false;
+  CTypeRef Pointee;
+  std::string Name;
+};
+
+/// One struct field with its computed byte offset.
+struct CField {
+  std::string Name;
+  CTypeRef Type;
+  unsigned Offset = 0;
+};
+
+/// A completed struct definition.
+struct CStructInfo {
+  std::string Name;
+  std::vector<CField> Fields;
+  unsigned Size = 0;
+  unsigned Align = 1;
+
+  const CField *field(const std::string &N) const {
+    for (const CField &F : Fields)
+      if (F.Name == N)
+        return &F;
+    return nullptr;
+  }
+};
+
+/// Layout oracle for a translation unit: struct definitions plus
+/// size/alignment computation for every complete type.
+class LayoutMap {
+public:
+  /// Registers a struct; field offsets, size and alignment are computed
+  /// here (natural alignment, tail padding to alignment).
+  const CStructInfo &defineStruct(const std::string &Name,
+                                  std::vector<std::pair<std::string, CTypeRef>>
+                                      Fields);
+
+  const CStructInfo *lookupStruct(const std::string &Name) const;
+
+  /// Size in bytes. Structs must be defined; void/function types assert.
+  unsigned sizeOf(const CTypeRef &T) const;
+  /// Required alignment in bytes.
+  unsigned alignOf(const CTypeRef &T) const;
+
+  const std::map<std::string, CStructInfo> &structs() const {
+    return Structs;
+  }
+
+private:
+  std::map<std::string, CStructInfo> Structs;
+};
+
+} // namespace ac::cparser
+
+#endif // AC_CPARSER_CTYPES_H

@@ -1,0 +1,159 @@
+//===- Lexer.cpp ----------------------------------------------------------===//
+
+#include "cparser/Lexer.h"
+
+#include <cctype>
+#include <set>
+
+using namespace ac;
+using namespace ac::cparser;
+
+static const std::set<std::string> &keywords() {
+  static const std::set<std::string> KW = {
+      "void",   "int",      "unsigned", "signed", "char",  "short",
+      "long",   "struct",   "if",       "else",   "while", "do",
+      "for",    "return",   "break",    "continue", "sizeof", "NULL",
+      "switch", "case",     "default",  "goto",   "union", "float",
+      "double", "typedef",  "static",   "const",  "extern",
+  };
+  return KW;
+}
+
+std::vector<Token> ac::cparser::tokenize(const std::string &Source,
+                                         DiagEngine &Diags,
+                                         unsigned *CodeLines) {
+  std::vector<Token> Toks;
+  size_t I = 0, N = Source.size();
+  unsigned Line = 1, Col = 1;
+  std::set<unsigned> LinesWithCode;
+
+  auto Loc = [&] { return SourceLoc{Line, Col}; };
+  auto Advance = [&](size_t K) {
+    for (size_t J = 0; J != K && I < N; ++J, ++I) {
+      if (Source[I] == '\n') {
+        ++Line;
+        Col = 1;
+      } else {
+        ++Col;
+      }
+    }
+  };
+
+  while (I < N) {
+    char C = Source[I];
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      Advance(1);
+      continue;
+    }
+    // Comments.
+    if (C == '/' && I + 1 < N && Source[I + 1] == '/') {
+      while (I < N && Source[I] != '\n')
+        Advance(1);
+      continue;
+    }
+    if (C == '/' && I + 1 < N && Source[I + 1] == '*') {
+      SourceLoc Start = Loc();
+      Advance(2);
+      while (I + 1 < N && !(Source[I] == '*' && Source[I + 1] == '/'))
+        Advance(1);
+      if (I + 1 >= N) {
+        Diags.error(Start, "unterminated block comment");
+        break;
+      }
+      Advance(2);
+      continue;
+    }
+    // Preprocessor lines are not part of the subset; skip #include-style
+    // lines so test inputs may carry them harmlessly.
+    if (C == '#' && Col == 1) {
+      while (I < N && Source[I] != '\n')
+        Advance(1);
+      continue;
+    }
+
+    LinesWithCode.insert(Line);
+    Token T;
+    T.Loc = Loc();
+
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      size_t J = I;
+      while (J < N && (std::isalnum(static_cast<unsigned char>(Source[J])) ||
+                       Source[J] == '_'))
+        ++J;
+      T.Text = Source.substr(I, J - I);
+      T.Kind = keywords().count(T.Text) ? TokKind::Keyword : TokKind::Ident;
+      Advance(J - I);
+      Toks.push_back(std::move(T));
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      size_t J = I;
+      long long V = 0;
+      if (C == '0' && J + 1 < N && (Source[J + 1] == 'x' ||
+                                    Source[J + 1] == 'X')) {
+        J += 2;
+        while (J < N &&
+               std::isxdigit(static_cast<unsigned char>(Source[J]))) {
+          char D = Source[J];
+          V = V * 16 + (std::isdigit(static_cast<unsigned char>(D))
+                            ? D - '0'
+                            : (std::tolower(D) - 'a' + 10));
+          ++J;
+        }
+      } else {
+        while (J < N &&
+               std::isdigit(static_cast<unsigned char>(Source[J]))) {
+          V = V * 10 + (Source[J] - '0');
+          ++J;
+        }
+      }
+      T.Kind = TokKind::IntLit;
+      T.IntValue = V;
+      // Suffixes.
+      while (J < N && (Source[J] == 'u' || Source[J] == 'U' ||
+                       Source[J] == 'l' || Source[J] == 'L')) {
+        if (Source[J] == 'u' || Source[J] == 'U')
+          T.IsUnsignedLit = true;
+        ++J;
+      }
+      T.Text = Source.substr(I, J - I);
+      Advance(J - I);
+      Toks.push_back(std::move(T));
+      continue;
+    }
+
+    // Punctuators, longest first.
+    static const char *Puncts[] = {
+        "<<=", ">>=", "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=",
+        "&&",  "||",  "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+        "{", "}", "(", ")", "[", "]", ";", ",", ".", "+", "-", "*", "/",
+        "%", "<", ">", "=", "!", "&", "|", "^", "~", "?", ":",
+    };
+    bool Matched = false;
+    for (const char *P : Puncts) {
+      size_t L = std::char_traits<char>::length(P);
+      if (Source.compare(I, L, P) == 0) {
+        T.Kind = TokKind::Punct;
+        T.Text = P;
+        Advance(L);
+        Toks.push_back(std::move(T));
+        Matched = true;
+        break;
+      }
+    }
+    if (Matched)
+      continue;
+
+    Diags.error(Loc(), std::string("unexpected character '") + C + "'");
+    Advance(1);
+  }
+
+  Token End;
+  End.Kind = TokKind::End;
+  End.Loc = Loc();
+  Toks.push_back(std::move(End));
+  if (CodeLines)
+    *CodeLines = LinesWithCode.size();
+  return Toks;
+}

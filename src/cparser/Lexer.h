@@ -1,0 +1,56 @@
+//===- Lexer.h - Tokenizer for the C subset ---------------------*- C++ -*-===//
+//
+// Part of the autocorres-cpp project, under the BSD 2-Clause License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A straightforward C tokenizer: identifiers/keywords, decimal and hex
+/// integer literals, the multi-character punctuators of the supported
+/// subset, and // and /* */ comments. The lexer also counts non-blank,
+/// non-comment source lines, which is the Table 5 LoC metric.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AC_CPARSER_LEXER_H
+#define AC_CPARSER_LEXER_H
+
+#include "support/Diagnostics.h"
+
+#include <string>
+#include <vector>
+
+namespace ac::cparser {
+
+enum class TokKind {
+  End,
+  Ident,
+  Keyword,
+  IntLit,
+  Punct,
+};
+
+struct Token {
+  TokKind Kind = TokKind::End;
+  std::string Text;
+  long long IntValue = 0;
+  bool IsUnsignedLit = false; ///< had a 'u'/'U' suffix
+  SourceLoc Loc;
+
+  bool is(TokKind K) const { return Kind == K; }
+  bool isPunct(const char *P) const {
+    return Kind == TokKind::Punct && Text == P;
+  }
+  bool isKeyword(const char *K) const {
+    return Kind == TokKind::Keyword && Text == K;
+  }
+};
+
+/// Tokenizes \p Source. Errors (bad characters, unterminated comments) go
+/// to \p Diags. \p CodeLines receives the number of lines containing code.
+std::vector<Token> tokenize(const std::string &Source, DiagEngine &Diags,
+                            unsigned *CodeLines = nullptr);
+
+} // namespace ac::cparser
+
+#endif // AC_CPARSER_LEXER_H

@@ -1,0 +1,35 @@
+//===- Parser.h - Recursive-descent parser for the C subset -----*- C++ -*-===//
+//
+// Part of the autocorres-cpp project, under the BSD 2-Clause License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses the supported C subset into the AST of AST.h. Constructs outside
+/// the subset (goto, unions, floating point, fall-through switch, function
+/// pointers, local-variable address-of) are rejected with diagnostics, as
+/// in Norrish's parser. Compound assignments and ++/-- statements are
+/// desugared here, so downstream phases see only plain assignments.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AC_CPARSER_PARSER_H
+#define AC_CPARSER_PARSER_H
+
+#include "cparser/AST.h"
+
+#include <memory>
+
+namespace ac::cparser {
+
+/// Parses a full translation unit. On error returns nullptr with
+/// diagnostics in \p Diags.
+std::unique_ptr<TranslationUnit> parseTranslationUnit(
+    const std::string &Source, DiagEngine &Diags);
+
+/// Deep copy of an expression (used to desugar `x += e` into `x = x + e`).
+ExprPtr cloneExpr(const Expr &E);
+
+} // namespace ac::cparser
+
+#endif // AC_CPARSER_PARSER_H

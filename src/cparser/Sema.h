@@ -1,0 +1,32 @@
+//===- Sema.h - Type checking and AST annotation ----------------*- C++ -*-===//
+//
+// Part of the autocorres-cpp project, under the BSD 2-Clause License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Resolves names, checks types, and rewrites the AST so every expression
+/// carries its C type and every implicit conversion is an explicit Cast
+/// node (usual arithmetic conversions on a 32-bit target, assignment /
+/// argument / return conversions). After Sema the Simpl translation is a
+/// purely structural walk.
+///
+/// Subset enforcement that needs type information also lives here:
+/// address-of is only allowed on heap lvalues (the paper's parser does not
+/// support references to local variables).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AC_CPARSER_SEMA_H
+#define AC_CPARSER_SEMA_H
+
+#include "cparser/AST.h"
+
+namespace ac::cparser {
+
+/// Type-checks \p TU in place. Returns false (with diagnostics) on error.
+bool checkTranslationUnit(TranslationUnit &TU, DiagEngine &Diags);
+
+} // namespace ac::cparser
+
+#endif // AC_CPARSER_SEMA_H

@@ -1,0 +1,269 @@
+//===- GroundEval.cpp -----------------------------------------------------===//
+
+#include "hol/GroundEval.h"
+
+#include "hol/Names.h"
+
+using namespace ac::hol;
+namespace nm = ac::hol::names;
+
+Int128 ac::hol::normalizeToType(Int128 V, const TypeRef &Ty) {
+  if (isWordTy(Ty)) {
+    unsigned Bits = wordBits(Ty);
+    unsigned __int128 U = static_cast<unsigned __int128>(V);
+    if (Bits < 128)
+      U &= ((static_cast<unsigned __int128>(1) << Bits) - 1);
+    return static_cast<Int128>(U);
+  }
+  if (isSwordTy(Ty)) {
+    unsigned Bits = wordBits(Ty);
+    unsigned __int128 U = static_cast<unsigned __int128>(V);
+    U &= ((static_cast<unsigned __int128>(1) << Bits) - 1);
+    // Sign-extend.
+    if (U & (static_cast<unsigned __int128>(1) << (Bits - 1)))
+      U |= ~((static_cast<unsigned __int128>(1) << Bits) - 1);
+    return static_cast<Int128>(U);
+  }
+  if (Ty->isCon("nat"))
+    return V < 0 ? 0 : V;
+  return V; // int: unbounded (128-bit carrier)
+}
+
+namespace {
+
+using GV = GroundValue;
+using OptGV = std::optional<GroundValue>;
+
+OptGV evalRec(const TermRef &T);
+
+/// Evaluates all arguments; nullopt if any fails.
+bool evalArgs(const std::vector<TermRef> &Args, std::vector<GV> &Out) {
+  Out.clear();
+  for (const TermRef &A : Args) {
+    OptGV V = evalRec(A);
+    if (!V)
+      return false;
+    Out.push_back(*V);
+  }
+  return true;
+}
+
+/// Truncating division toward zero (C semantics) for signed words;
+/// Isabelle's div-0-is-0 convention at every type.
+Int128 divOp(Int128 A, Int128 B, const TypeRef &Ty) {
+  if (B == 0)
+    return 0;
+  if (isSwordTy(Ty) || Ty->isCon("int")) {
+    // C11 semantics: truncation toward zero. (Isabelle int div floors;
+    // our int div models the C operator, which is what appears in
+    // translated programs. Positive operands agree.)
+    return A / B;
+  }
+  return A / B; // nat/word: non-negative, agree everywhere
+}
+
+Int128 modOp(Int128 A, Int128 B, const TypeRef &Ty) {
+  if (B == 0)
+    return A;
+  (void)Ty;
+  return A % B; // consistent with divOp: A == (A/B)*B + A%B
+}
+
+Int128 gcdOp(Int128 A, Int128 B) {
+  if (A < 0)
+    A = -A;
+  if (B < 0)
+    B = -B;
+  while (B != 0) {
+    Int128 T = A % B;
+    A = B;
+    B = T;
+  }
+  return A;
+}
+
+OptGV evalRec(const TermRef &T) {
+  switch (T->kind()) {
+  case Term::Kind::Num:
+    return GV::num(normalizeToType(T->value(), T->type()), T->type());
+  case Term::Kind::Const: {
+    const std::string &N = T->name();
+    if (N == nm::True)
+      return GV::boolean(true);
+    if (N == nm::False)
+      return GV::boolean(false);
+    return std::nullopt;
+  }
+  case Term::Kind::App:
+    break;
+  default:
+    return std::nullopt;
+  }
+
+  std::vector<TermRef> Args;
+  TermRef Head = stripApp(T, Args);
+  if (!Head->isConst())
+    return std::nullopt;
+  const std::string &N = Head->name();
+
+  // Short-circuit boolean connectives (their arguments are closed, so
+  // evaluation order is irrelevant; short-circuiting just saves work).
+  if (N == nm::Conj && Args.size() == 2) {
+    OptGV A = evalRec(Args[0]);
+    if (!A || !A->IsBool)
+      return std::nullopt;
+    if (!A->B)
+      return GV::boolean(false);
+    OptGV B = evalRec(Args[1]);
+    if (!B || !B->IsBool)
+      return std::nullopt;
+    return GV::boolean(B->B);
+  }
+  if (N == nm::Disj && Args.size() == 2) {
+    OptGV A = evalRec(Args[0]);
+    if (!A || !A->IsBool)
+      return std::nullopt;
+    if (A->B)
+      return GV::boolean(true);
+    OptGV B = evalRec(Args[1]);
+    if (!B || !B->IsBool)
+      return std::nullopt;
+    return GV::boolean(B->B);
+  }
+  if (N == nm::Implies && Args.size() == 2) {
+    OptGV A = evalRec(Args[0]);
+    if (!A || !A->IsBool)
+      return std::nullopt;
+    if (!A->B)
+      return GV::boolean(true);
+    OptGV B = evalRec(Args[1]);
+    if (!B || !B->IsBool)
+      return std::nullopt;
+    return GV::boolean(B->B);
+  }
+  if (N == nm::Not && Args.size() == 1) {
+    OptGV A = evalRec(Args[0]);
+    if (!A || !A->IsBool)
+      return std::nullopt;
+    return GV::boolean(!A->B);
+  }
+  if (N == nm::Ite && Args.size() == 3) {
+    OptGV C = evalRec(Args[0]);
+    if (!C || !C->IsBool)
+      return std::nullopt;
+    return evalRec(C->B ? Args[1] : Args[2]);
+  }
+
+  std::vector<GV> Vs;
+  if (!evalArgs(Args, Vs))
+    return std::nullopt;
+
+  if (N == nm::Eq && Vs.size() == 2) {
+    if (Vs[0].IsBool != Vs[1].IsBool)
+      return std::nullopt;
+    if (Vs[0].IsBool)
+      return GV::boolean(Vs[0].B == Vs[1].B);
+    return GV::boolean(Vs[0].N == Vs[1].N);
+  }
+
+  auto Num2 = [&](unsigned Arity) {
+    return Vs.size() == Arity && !Vs[0].IsBool &&
+           (Arity < 2 || !Vs[1].IsBool);
+  };
+
+  if (N == nm::Less && Num2(2))
+    return GV::boolean(Vs[0].N < Vs[1].N);
+  if (N == nm::LessEq && Num2(2))
+    return GV::boolean(Vs[0].N <= Vs[1].N);
+
+  TypeRef Ty = Vs.empty() ? nullptr : Vs[0].Ty;
+  auto Mk = [&](Int128 V) { return GV::num(normalizeToType(V, Ty), Ty); };
+
+  if (N == nm::Plus && Num2(2))
+    return Mk(Vs[0].N + Vs[1].N);
+  if (N == nm::Minus && Num2(2))
+    return Mk(Vs[0].N - Vs[1].N);
+  if (N == nm::Times && Num2(2))
+    return Mk(Vs[0].N * Vs[1].N);
+  if (N == nm::Div && Num2(2))
+    return Mk(divOp(Vs[0].N, Vs[1].N, Ty));
+  if (N == nm::Mod && Num2(2))
+    return Mk(modOp(Vs[0].N, Vs[1].N, Ty));
+  if (N == nm::UMinus && Num2(1))
+    return Mk(-Vs[0].N);
+  if (N == nm::MinC && Num2(2))
+    return Mk(Vs[0].N < Vs[1].N ? Vs[0].N : Vs[1].N);
+  if (N == nm::MaxC && Num2(2))
+    return Mk(Vs[0].N < Vs[1].N ? Vs[1].N : Vs[0].N);
+  if (N == nm::Gcd && Num2(2))
+    return Mk(gcdOp(Vs[0].N, Vs[1].N));
+
+  // Bit operations on machine words (operate on the unsigned image).
+  if ((N == nm::BitAnd || N == nm::BitOr || N == nm::BitXor) && Num2(2)) {
+    unsigned __int128 A = static_cast<unsigned __int128>(Vs[0].N);
+    unsigned __int128 B = static_cast<unsigned __int128>(Vs[1].N);
+    unsigned __int128 R = N == nm::BitAnd ? (A & B)
+                          : N == nm::BitOr ? (A | B)
+                                           : (A ^ B);
+    return Mk(static_cast<Int128>(R));
+  }
+  if (N == nm::BitNot && Num2(1))
+    return Mk(~Vs[0].N);
+  if (N == nm::Shiftl && Num2(2)) {
+    if (Vs[1].N < 0 || Vs[1].N >= 128)
+      return Mk(0);
+    return Mk(Vs[0].N << static_cast<unsigned>(Vs[1].N));
+  }
+  if (N == nm::Shiftr && Num2(2)) {
+    if (Vs[1].N < 0 || Vs[1].N >= 128)
+      return Mk(0);
+    unsigned Sh = static_cast<unsigned>(Vs[1].N);
+    if (isWordTy(Ty)) {
+      unsigned __int128 A = static_cast<unsigned __int128>(Vs[0].N);
+      return Mk(static_cast<Int128>(A >> Sh));
+    }
+    return Mk(Vs[0].N >> Sh); // arithmetic shift for signed
+  }
+
+  // Conversions. The result type comes from the constant's range type.
+  if ((N == nm::Unat || N == nm::Sint || N == nm::OfNat || N == nm::OfInt ||
+       N == nm::Ucast || N == nm::Scast || N == nm::IntOfNat ||
+       N == nm::NatOfInt) &&
+      Vs.size() == 1 && !Vs[0].IsBool && isFunTy(Head->type())) {
+    TypeRef ResTy = ranTy(Head->type());
+    return GV::num(normalizeToType(Vs[0].N, ResTy), ResTy);
+  }
+
+  return std::nullopt;
+}
+
+} // namespace
+
+std::optional<GroundValue> ac::hol::groundEval(const TermRef &T) {
+  if (T->hasSchematic() || T->maxLoose() != 0)
+    return std::nullopt;
+  return evalRec(betaNorm(T));
+}
+
+TermRef ac::hol::literalOf(const GroundValue &V) {
+  if (V.IsBool)
+    return mkBoolLit(V.B);
+  return Term::mkNum(V.N, V.Ty);
+}
+
+std::optional<Thm> ac::hol::computeEq(const TermRef &T) {
+  std::optional<GroundValue> V = groundEval(T);
+  if (!V)
+    return std::nullopt;
+  TermRef Lit = literalOf(*V);
+  if (termEq(Lit, T))
+    return std::nullopt; // already a literal; nothing to do
+  return Kernel::oracle("ground_eval", mkEq(T, Lit));
+}
+
+std::optional<Thm> ac::hol::proveGround(const TermRef &T) {
+  std::optional<GroundValue> V = groundEval(T);
+  if (!V || !V->IsBool || !V->B)
+    return std::nullopt;
+  return Kernel::oracle("ground_eval", T);
+}

@@ -1,0 +1,71 @@
+//===- GroundEval.h - Evaluation oracle for closed terms --------*- C++ -*-===//
+//
+// Part of the autocorres-cpp project, under the BSD 2-Clause License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Evaluates closed (variable-free, state-free) terms of numeric and
+/// boolean type, following Isabelle/HOL conventions for the ideal types
+/// (nat subtraction truncates at zero, x div 0 = 0) and two's-complement
+/// machine semantics for wordN/swordN (unsigned wrap-around; signed values
+/// kept in [-2^(w-1), 2^(w-1))).
+///
+/// Exposed to the logic as the "ground_eval" oracle: `computeEq` yields
+/// |- t = <literal> and `proveGround` yields |- t for true closed bools.
+/// This mirrors Isabelle's eval/code-simp oracle. The same evaluator
+/// powers the Table 2 counterexample search.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AC_HOL_GROUNDEVAL_H
+#define AC_HOL_GROUNDEVAL_H
+
+#include "hol/Thm.h"
+
+#include <optional>
+
+namespace ac::hol {
+
+/// A ground value: a boolean or a number with its type.
+struct GroundValue {
+  bool IsBool = false;
+  bool B = false;
+  Int128 N = 0;
+  TypeRef Ty;
+
+  static GroundValue boolean(bool V) {
+    GroundValue G;
+    G.IsBool = true;
+    G.B = V;
+    G.Ty = boolTy();
+    return G;
+  }
+  static GroundValue num(Int128 V, TypeRef T) {
+    GroundValue G;
+    G.N = V;
+    G.Ty = std::move(T);
+    return G;
+  }
+};
+
+/// Normalizes \p V into the canonical range of numeric type \p Ty
+/// (wrap for words, two's complement for swords, clamp-at-0 for nat).
+Int128 normalizeToType(Int128 V, const TypeRef &Ty);
+
+/// Evaluates a closed term; nullopt if it contains anything the evaluator
+/// does not model (free variables, heaps, monads, ...).
+std::optional<GroundValue> groundEval(const TermRef &T);
+
+/// The literal term denoting \p V.
+TermRef literalOf(const GroundValue &V);
+
+/// |- T = <literal>, via the "ground_eval" oracle.
+std::optional<Thm> computeEq(const TermRef &T);
+
+/// |- T for a closed boolean term that evaluates to True.
+std::optional<Thm> proveGround(const TermRef &T);
+
+} // namespace ac::hol
+
+#endif // AC_HOL_GROUNDEVAL_H

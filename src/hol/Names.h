@@ -1,0 +1,174 @@
+//===- Names.h - Constant name catalog --------------------------*- C++ -*-===//
+//
+// Part of the autocorres-cpp project, under the BSD 2-Clause License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Every named constant of the embedded logic, in one place. Using these
+/// instead of string literals keeps the builder, the evaluator, the rule
+/// sets and the pretty printer in agreement.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AC_HOL_NAMES_H
+#define AC_HOL_NAMES_H
+
+namespace ac::hol::names {
+
+//===----------------------------------------------------------------------===//
+// Logic
+//===----------------------------------------------------------------------===//
+inline constexpr const char *True = "True";
+inline constexpr const char *False = "False";
+inline constexpr const char *Not = "Not";
+inline constexpr const char *Conj = "conj";
+inline constexpr const char *Disj = "disj";
+inline constexpr const char *Implies = "implies";
+inline constexpr const char *Eq = "eq";
+inline constexpr const char *All = "All";
+inline constexpr const char *Ex = "Ex";
+inline constexpr const char *Ite = "If"; ///< if-then-else at any type.
+inline constexpr const char *Undefined = "undefined";
+
+//===----------------------------------------------------------------------===//
+// Arithmetic (each at nat, int, wordN and swordN instances; the constant's
+// type identifies the instance, like Isabelle type classes post-elaboration)
+//===----------------------------------------------------------------------===//
+inline constexpr const char *Plus = "plus";
+inline constexpr const char *Minus = "minus";
+inline constexpr const char *Times = "times";
+inline constexpr const char *Div = "div";   ///< C semantics: trunc toward 0.
+inline constexpr const char *Mod = "mod";
+inline constexpr const char *UMinus = "uminus";
+inline constexpr const char *Less = "less";
+inline constexpr const char *LessEq = "less_eq";
+/// Bit operations on machine words.
+inline constexpr const char *BitAnd = "bitAND";
+inline constexpr const char *BitOr = "bitOR";
+inline constexpr const char *BitXor = "bitXOR";
+inline constexpr const char *BitNot = "bitNOT";
+inline constexpr const char *Shiftl = "shiftl";
+inline constexpr const char *Shiftr = "shiftr";
+/// Word <-> ideal conversions.
+inline constexpr const char *Unat = "unat"; ///< wordN => nat
+inline constexpr const char *Sint = "sint"; ///< swordN => int
+inline constexpr const char *OfNat = "of_nat"; ///< nat => wordN
+inline constexpr const char *OfInt = "of_int"; ///< int => swordN
+inline constexpr const char *IntOfNat = "int"; ///< nat => int
+inline constexpr const char *NatOfInt = "nat"; ///< int => nat (clamps at 0)
+/// Word <-> word re-interpretations (C casts).
+inline constexpr const char *Ucast = "ucast";
+inline constexpr const char *Scast = "scast";
+/// Isabelle's built-in min/max/gcd on ideal numbers (Sec 3.3 examples).
+inline constexpr const char *MinC = "min";
+inline constexpr const char *MaxC = "max";
+inline constexpr const char *Gcd = "gcd";
+
+//===----------------------------------------------------------------------===//
+// Pairs, unit, option, sum, list
+//===----------------------------------------------------------------------===//
+inline constexpr const char *PairC = "Pair";
+inline constexpr const char *Fst = "fst";
+inline constexpr const char *Snd = "snd";
+inline constexpr const char *CaseProd = "case_prod";
+inline constexpr const char *Unity = "Unity"; ///< the unit value ().
+inline constexpr const char *NoneC = "None";
+inline constexpr const char *SomeC = "Some";
+inline constexpr const char *The = "the";
+inline constexpr const char *Inl = "Inl";
+inline constexpr const char *Inr = "Inr";
+inline constexpr const char *Nil = "Nil";
+inline constexpr const char *Cons = "Cons";
+inline constexpr const char *Append = "append";
+inline constexpr const char *Rev = "rev";
+inline constexpr const char *Length = "length";
+inline constexpr const char *Member = "member"; ///< list membership.
+inline constexpr const char *Distinct = "distinct";
+inline constexpr const char *Hd = "hd";
+inline constexpr const char *Tl = "tl";
+/// Disjointness of two lists' element sets.
+inline constexpr const char *Disjnt = "disjnt";
+/// Length of the unique heap list from a pointer (Sec 5.2's termination
+/// measure: "the size of the list yet to be reversed").
+inline constexpr const char *ListLen = "listlen";
+
+//===----------------------------------------------------------------------===//
+// Pointers and the concrete (byte-level) heap
+//===----------------------------------------------------------------------===//
+inline constexpr const char *NullPtr = "NULL";
+inline constexpr const char *PtrC = "Ptr";         ///< word32 => 'a ptr
+inline constexpr const char *PtrVal = "ptr_val";   ///< 'a ptr => word32
+inline constexpr const char *PtrCoerce = "ptr_coerce";
+inline constexpr const char *PtrAdd = "ptr_add";   ///< 'a ptr => int => 'a ptr
+inline constexpr const char *PtrAligned = "ptr_aligned";
+/// Renders as "0 /: {p ..+ size p}": non-NULL and no address wrap.
+inline constexpr const char *PtrRangeOk = "ptr_range_ok";
+inline constexpr const char *FieldPtr = "field_ptr"; ///< &(p->f)
+/// The byte heap carries data bytes plus Tuch-style type tags.
+inline constexpr const char *ReadHeap = "read";   ///< heap => 'a ptr => 'a
+inline constexpr const char *WriteHeap = "write"; ///< heap => 'a ptr => 'a => heap
+inline constexpr const char *ReadByte = "read_byte";
+inline constexpr const char *WriteByte = "write_byte";
+inline constexpr const char *TypeTagValid = "type_tag_valid";
+inline constexpr const char *RetypeTag = "retype_tag"; ///< re-tag a region
+inline constexpr const char *HeapLift = "heap_lift"; ///< heap => 'a ptr => 'a option
+inline constexpr const char *ObjSize = "obj_size";
+
+//===----------------------------------------------------------------------===//
+// The exception/state monad of Table 1
+//===----------------------------------------------------------------------===//
+inline constexpr const char *Return = "return";
+inline constexpr const char *Bind = "bind";
+inline constexpr const char *Get = "get";
+inline constexpr const char *Gets = "gets";
+inline constexpr const char *Put = "put";
+inline constexpr const char *Modify = "modify";
+inline constexpr const char *Guard = "guard";
+inline constexpr const char *Fail = "fail";
+inline constexpr const char *Skip = "skip";
+inline constexpr const char *Throw = "throw";
+inline constexpr const char *Catch = "catch";
+inline constexpr const char *Condition = "condition";
+inline constexpr const char *WhileLoop = "whileLoop";
+inline constexpr const char *Unknown = "unknown"; ///< nondeterministic value
+/// bindE-style sequencing that propagates exceptions (L2 form).
+inline constexpr const char *BindE = "bindE";
+/// Mixing low- and high-level code (Sec 4.6).
+inline constexpr const char *ExecConcrete = "exec_concrete";
+inline constexpr const char *ExecAbstract = "exec_abstract";
+
+//===----------------------------------------------------------------------===//
+// Abrupt-termination exception payloads (L1/L2 control flow)
+//===----------------------------------------------------------------------===//
+inline constexpr const char *XReturn = "XReturn";
+inline constexpr const char *XBreak = "XBreak";
+inline constexpr const char *XContinue = "XContinue";
+inline constexpr const char *CaseXcpt = "case_xcpt";
+
+//===----------------------------------------------------------------------===//
+// Hoare logic / refinement judgements
+//===----------------------------------------------------------------------===//
+inline constexpr const char *Valid = "valid";     ///< partial correctness
+inline constexpr const char *ValidNF = "validNF"; ///< total (no fail)
+inline constexpr const char *AbsWStmt = "abs_w_stmt";
+inline constexpr const char *AbsWVal = "abs_w_val";
+inline constexpr const char *AbsHStmt = "abs_h_stmt";
+inline constexpr const char *AbsHVal = "abs_h_val";
+inline constexpr const char *AbsHModifies = "abs_h_modifies";
+inline constexpr const char *L1Corres = "L1corres";
+inline constexpr const char *L2Corres = "L2corres";
+/// Composite "the whole pipeline refines" statement (ccorres in spirit).
+inline constexpr const char *ACCorres = "ac_corres";
+
+//===----------------------------------------------------------------------===//
+// Case-study vocabulary (Sec 5): Mehta & Nipkow's List predicate and the
+// reachability set of the Schorr-Waite statement.
+//===----------------------------------------------------------------------===//
+inline constexpr const char *ListPred = "List";
+inline constexpr const char *PathPred = "Path";
+inline constexpr const char *Reachable = "reachable";
+
+} // namespace ac::hol::names
+
+#endif // AC_HOL_NAMES_H

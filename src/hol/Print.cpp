@@ -1,0 +1,548 @@
+//===- Print.cpp ----------------------------------------------------------===//
+
+#include "hol/Print.h"
+
+#include "hol/Builder.h"
+#include "hol/Names.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+using namespace ac::hol;
+namespace nm = ac::hol::names;
+
+namespace {
+
+/// Operator fixity table entry.
+struct InfixInfo {
+  const char *Sym;   ///< base symbol
+  unsigned Prec;     ///< precedence (higher binds tighter)
+  bool RightAssoc;
+  bool WordSubscript; ///< append "w" / "s" when typed at machine words
+};
+
+const std::map<std::string, InfixInfo> &infixTable() {
+  static const std::map<std::string, InfixInfo> Table = {
+      {nm::Eq, {"=", 50, false, false}},
+      {nm::Less, {"<", 50, false, true}},
+      {nm::LessEq, {"<=", 50, false, true}},
+      {nm::Plus, {"+", 65, false, true}},
+      {nm::Minus, {"-", 65, false, true}},
+      {nm::Times, {"*", 70, false, true}},
+      {nm::Div, {"div", 70, false, true}},
+      {nm::Mod, {"mod", 70, false, true}},
+      {nm::Conj, {"&", 35, true, false}},
+      {nm::Disj, {"|", 30, true, false}},
+      {nm::Implies, {"-->", 25, true, false}},
+      {nm::BitAnd, {"AND", 64, false, false}},
+      {nm::BitOr, {"OR", 59, false, false}},
+      {nm::BitXor, {"XOR", 59, false, false}},
+      {nm::Shiftl, {"<<", 55, false, false}},
+      {nm::Shiftr, {">>", 55, false, false}},
+      {nm::Append, {"@", 65, true, false}},
+  };
+  return Table;
+}
+
+class Printer {
+public:
+  explicit Printer(const PrintOpts &Opts) : Opts(Opts) {}
+
+  std::string print(const TermRef &T) { return pp(T, 0, 0); }
+
+private:
+  const PrintOpts &Opts;
+  /// One binder: display name plus (for tuple binders introduced by the
+  /// local-variable lifter) the component names, so that `fst p` prints
+  /// as the component and the binder itself as `(list, rev)`.
+  struct BInfo {
+    std::string Name;
+    std::vector<std::string> Comps;
+  };
+  std::vector<BInfo> Bound; ///< innermost last
+
+  /// Length of the last line of \p S (== length if single-line).
+  static size_t lastLineLen(const std::string &S) {
+    size_t NL = S.rfind('\n');
+    return NL == std::string::npos ? S.size() : S.size() - NL - 1;
+  }
+
+  static bool isMultiline(const std::string &S) {
+    return S.find('\n') != std::string::npos;
+  }
+
+  std::string sym(const char *Uni, const char *Ascii) const {
+    return Opts.Unicode ? Uni : Ascii;
+  }
+
+  std::string opSymbol(const TermRef &Head, const InfixInfo &Info) const {
+    std::string S = Info.Sym;
+    if (Opts.Unicode) {
+      if (S == "&")
+        S = "∧"; // ∧
+      else if (S == "|")
+        S = "∨"; // ∨
+      else if (S == "-->")
+        S = "⟶"; // ⟶
+      else if (S == "<=")
+        S = "≤"; // ≤
+    }
+    if (Info.WordSubscript && Head->isConst() && isFunTy(Head->type())) {
+      TypeRef ArgTy = domTy(Head->type());
+      if (isWordTy(ArgTy))
+        S += "w";
+      else if (isSwordTy(ArgTy))
+        S += "s";
+    }
+    return S;
+  }
+
+  std::string freshName(const std::string &Hint) const {
+    std::string N = Hint.empty() ? "x" : Hint;
+    auto Taken = [&](const std::string &C) {
+      for (const BInfo &B : Bound)
+        if (B.Name == C)
+          return true;
+      return false;
+    };
+    std::string C = N;
+    unsigned I = 0;
+    while (Taken(C))
+      C = N + "'" + (I ? std::to_string(I) : ""), ++I;
+    return C;
+  }
+
+  const BInfo *boundInfo(unsigned Index) const {
+    if (Index < Bound.size())
+      return &Bound[Bound.size() - 1 - Index];
+    return nullptr;
+  }
+
+  std::string boundName(unsigned Index) const {
+    const BInfo *B = boundInfo(Index);
+    if (!B)
+      return "B." + std::to_string(Index); // loose (rule fragments)
+    if (B->Comps.empty())
+      return B->Name;
+    std::string Out = "(";
+    for (size_t I = 0; I != B->Comps.size(); ++I) {
+      if (I)
+        Out += ", ";
+      Out += B->Comps[I];
+    }
+    return Out + ")";
+  }
+
+  /// Resolves fst/snd projection chains over tuple binders to component
+  /// names: `fst (snd p)` with binder (a,b,c) prints as `b`.
+  std::string tryProjection(const TermRef &T) const {
+    unsigned Snds = 0;
+    bool HasFst = false;
+    TermRef Cur = T;
+    while (Cur->isApp() && Cur->fun()->isConst()) {
+      const std::string &N = Cur->fun()->name();
+      if (N == nm::Fst) {
+        if (HasFst)
+          return ""; // fst of fst: not a flat projection
+        HasFst = true;
+        Cur = Cur->argTerm();
+        continue;
+      }
+      if (N == nm::Snd) {
+        if (HasFst)
+          return "";
+        ++Snds;
+        Cur = Cur->argTerm();
+        continue;
+      }
+      break;
+    }
+    if (!Cur->isBound() || (!HasFst && Snds == 0))
+      return "";
+    const BInfo *B = boundInfo(Cur->index());
+    if (!B || B->Comps.empty())
+      return "";
+    size_t K = B->Comps.size();
+    if (HasFst && Snds < K - 1)
+      return B->Comps[Snds];
+    if (!HasFst && Snds == K - 1)
+      return B->Comps[K - 1];
+    if (!HasFst && Snds < K - 1) {
+      std::string Out = "(";
+      for (size_t I = Snds; I != K; ++I) {
+        if (I != Snds)
+          Out += ", ";
+        Out += B->Comps[I];
+      }
+      return Out + ")";
+    }
+    return "";
+  }
+
+  std::string paren(const std::string &S, bool Need) const {
+    if (!Need)
+      return S;
+    return "(" + S + ")";
+  }
+
+  static std::string numToString(Int128 V) {
+    if (V == 0)
+      return "0";
+    bool Neg = V < 0;
+    unsigned __int128 U =
+        Neg ? static_cast<unsigned __int128>(-(V + 1)) + 1
+            : static_cast<unsigned __int128>(V);
+    std::string S;
+    while (U) {
+      S += static_cast<char>('0' + static_cast<unsigned>(U % 10));
+      U /= 10;
+    }
+    if (Neg)
+      S += '-';
+    std::reverse(S.begin(), S.end());
+    return S;
+  }
+
+  /// Strips a lambda for display, pushing a fresh name; returns the body.
+  /// Comma-separated display names become tuple binders.
+  TermRef openLam(const TermRef &Lam, std::string &Name) {
+    assert(Lam->isLam());
+    BInfo B;
+    if (Lam->name().find(',') != std::string::npos) {
+      std::string Cur;
+      for (char C : Lam->name()) {
+        if (C == ',') {
+          B.Comps.push_back(freshName(Cur));
+          Cur.clear();
+        } else {
+          Cur += C;
+        }
+      }
+      if (!Cur.empty())
+        B.Comps.push_back(freshName(Cur));
+      B.Name = Lam->name();
+      Bound.push_back(B);
+      Name = boundName(0);
+      return Lam->body();
+    }
+    Name = freshName(Lam->name());
+    B.Name = Name;
+    Bound.push_back(B);
+    return Lam->body();
+  }
+  void closeLam() { Bound.pop_back(); }
+
+  //===------------------------------------------------------------------===//
+  // Special display forms
+  //===------------------------------------------------------------------===//
+
+  /// do-notation for bind chains. Returns empty if T is not a bind.
+  std::string ppDo(const TermRef &T, unsigned Indent) {
+    std::vector<TermRef> Args;
+    TermRef Head = stripApp(T, Args);
+    if (!Head->isConst(nm::Bind) || Args.size() != 2)
+      return "";
+    std::string Pad(Indent, ' ');
+    std::string Out = "do ";
+    TermRef Cur = T;
+    bool First = true;
+    while (true) {
+      std::vector<TermRef> BArgs;
+      TermRef BHead = stripApp(Cur, BArgs);
+      if (BHead->isConst(nm::Bind) && BArgs.size() == 2 &&
+          BArgs[1]->isLam()) {
+        std::string Stmt = pp(BArgs[0], 0, Indent + 3);
+        std::string VarName;
+        // The binder is unused iff the body never references Bound 0.
+        TermRef Probe = Term::mkFree("!probe!", BArgs[1]->type());
+        bool Unused =
+            !occursFree(substBound(BArgs[1]->body(), Probe), "!probe!");
+        TermRef Rest = openLam(BArgs[1], VarName);
+        std::string LinePrefix = First ? "" : Pad + "   ";
+        if (Unused)
+          Out += LinePrefix + Stmt + ";\n";
+        else
+          Out += LinePrefix + VarName + " " + sym("←", "<-") + " " +
+                 Stmt + ";\n";
+        First = false;
+        // Continue into the rest of the chain; keep binder open while
+        // printing it.
+        std::vector<TermRef> RArgs;
+        TermRef RHead = stripApp(Rest, RArgs);
+        if (RHead->isConst(nm::Bind) && RArgs.size() == 2 &&
+            RArgs[1]->isLam()) {
+          Cur = Rest;
+          continue;
+        }
+        Out += Pad + "   " + pp(Rest, 0, Indent + 3) + "\n";
+        // Pop every binder we opened.
+        break;
+      }
+      break;
+    }
+    // Pop all binders opened during the walk.
+    // (Count them by re-walking the original term.)
+    unsigned Opened = 0;
+    TermRef Walk = T;
+    while (true) {
+      std::vector<TermRef> BArgs;
+      TermRef BHead = stripApp(Walk, BArgs);
+      if (BHead->isConst(nm::Bind) && BArgs.size() == 2 &&
+          BArgs[1]->isLam()) {
+        ++Opened;
+        Walk = BArgs[1]->body();
+        continue;
+      }
+      break;
+    }
+    for (unsigned I = 0; I != Opened; ++I)
+      closeLam();
+    Out += Pad + "od";
+    return Out;
+  }
+
+  /// s[p] / s[p := v] sugar for split-heap field reads/updates.
+  std::string ppHeapSugar(const TermRef &T, unsigned Indent) {
+    if (!Opts.SugarHeap)
+      return "";
+    std::vector<TermRef> Args;
+    TermRef Head = stripApp(T, Args);
+    if (!Head->isConst())
+      return "";
+    const std::string &N = Head->name();
+    // Read: (fld:REC.heap_T s) p   ==>   s[p]
+    if (N.rfind("fld:", 0) == 0 && N.find(".heap_") != std::string::npos &&
+        Args.size() == 2) {
+      return pp(Args[0], 100, Indent) + "[" + pp(Args[1], 0, Indent) + "]";
+    }
+    // Update: upd:REC.heap_T (%h. fun_upd h p v) s  ==>  s[p := v]
+    if (N.rfind("upd:", 0) == 0 && N.find(".heap_") != std::string::npos &&
+        Args.size() == 2 && Args[0]->isLam()) {
+      std::vector<TermRef> UArgs;
+      TermRef UHead = stripApp(Args[0]->body(), UArgs);
+      if (UHead->isConst("fun_upd") && UArgs.size() == 3 &&
+          UArgs[0]->isBound() && UArgs[0]->index() == 0) {
+        // p and v may mention outer binders but not the h binder; probe
+        // with a marker free variable, then print in the outer context.
+        TermRef Probe = Term::mkFree("!h-probe!", Args[0]->type());
+        TermRef P1 = substBound(UArgs[1], Probe);
+        TermRef V1 = substBound(UArgs[2], Probe);
+        if (!occursFree(P1, "!h-probe!") && !occursFree(V1, "!h-probe!"))
+          return pp(Args[1], 100, Indent) + "[" + pp(P1, 0, Indent) +
+                 " := " + pp(V1, 0, Indent) + "]";
+      }
+    }
+    return "";
+  }
+
+  //===------------------------------------------------------------------===//
+  // Main dispatch
+  //===------------------------------------------------------------------===//
+
+  std::string pp(const TermRef &T, unsigned Prec, unsigned Indent) {
+    switch (T->kind()) {
+    case Term::Kind::Num:
+      return numToString(T->value());
+    case Term::Kind::Free:
+      return T->name();
+    case Term::Kind::Var:
+      return "?" + T->name() +
+             (T->index() ? std::to_string(T->index()) : "");
+    case Term::Kind::Bound:
+      return boundName(T->index());
+    case Term::Kind::Lam: {
+      std::string Binder = sym("λ", "%");
+      std::string Names;
+      TermRef Body = T;
+      unsigned Opened = 0;
+      while (Body->isLam()) {
+        std::string N;
+        TermRef Next = openLam(Body, N);
+        ++Opened;
+        if (!Names.empty())
+          Names += " ";
+        Names += N;
+        Body = Next;
+      }
+      std::string BodyS = pp(Body, 0, Indent);
+      for (unsigned I = 0; I != Opened; ++I)
+        closeLam();
+      return paren(Binder + Names + ". " + BodyS, Prec > 0);
+    }
+    case Term::Kind::Const: {
+      const std::string &N = T->name();
+      if (N == nm::NullPtr)
+        return "NULL";
+      if (N == nm::Unity)
+        return "()";
+      if (N.rfind("fld:", 0) == 0 || N.rfind("upd:", 0) == 0) {
+        size_t Dot = N.rfind('.');
+        std::string F = N.substr(Dot + 1);
+        if (N.rfind("upd:", 0) == 0)
+          F += "_update";
+        return F;
+      }
+      if (N.rfind("SIMPL[", 0) == 0)
+        return N;
+      return N;
+    }
+    case Term::Kind::App:
+      return ppApp(T, Prec, Indent);
+    }
+    return "<?>";
+  }
+
+  std::string ppApp(const TermRef &T, unsigned Prec, unsigned Indent) {
+    // Tuple-component sugar: fst/snd chains over tuple binders.
+    std::string Proj = tryProjection(T);
+    if (!Proj.empty())
+      return Proj;
+    // Heap sugar.
+    std::string Sugar = ppHeapSugar(T, Indent);
+    if (!Sugar.empty())
+      return Sugar;
+
+    std::vector<TermRef> Args;
+    TermRef Head = stripApp(T, Args);
+
+    if (Head->isConst()) {
+      const std::string &N = Head->name();
+
+      // Binders.
+      if ((N == nm::All || N == nm::Ex) && Args.size() == 1 &&
+          Args[0]->isLam()) {
+        std::string Q = N == nm::All ? sym("∀", "ALL ")
+                                     : sym("∃", "EX ");
+        std::string VarName;
+        TermRef Body = openLam(Args[0], VarName);
+        std::string BodyS = pp(Body, 0, Indent);
+        closeLam();
+        return paren(Q + VarName + ". " + BodyS, Prec > 0);
+      }
+
+      // Negation.
+      if (N == nm::Not && Args.size() == 1)
+        return paren(sym("¬", "~") + pp(Args[0], 90, Indent),
+                     Prec > 85);
+
+      // if-then-else.
+      if (N == nm::Ite && Args.size() == 3) {
+        std::string C = pp(Args[0], 0, Indent);
+        std::string A = pp(Args[1], 0, Indent + 2);
+        std::string B = pp(Args[2], 0, Indent + 2);
+        std::string Inline =
+            "if " + C + " then " + A + " else " + B;
+        if (!isMultiline(Inline) && Indent + Inline.size() <= Opts.Width)
+          return paren(Inline, Prec > 10);
+        std::string Pad(Indent, ' ');
+        return paren("if " + C + "\n" + Pad + "  then " + A + "\n" + Pad +
+                         "  else " + B,
+                     Prec > 10);
+      }
+
+      // ptr_range_ok p: the paper's "0 /∈ {p ..+ size p}".
+      if (N == nm::PtrRangeOk && Args.size() == 1) {
+        std::string P = pp(Args[0], 100, Indent);
+        return paren("0 " + sym("∉", "~:") + " {" + P + " ..+ size " +
+                         P + "}",
+                     Prec > 49);
+      }
+
+      // fun_upd f x v  ==>  f(x := v).
+      if (N == "fun_upd" && Args.size() == 3) {
+        return pp(Args[0], 100, Indent) + "(" + pp(Args[1], 0, Indent) +
+               " := " + pp(Args[2], 0, Indent) + ")";
+      }
+
+      // Infix operators.
+      auto It = infixTable().find(N);
+      if (It != infixTable().end() && Args.size() == 2) {
+        const InfixInfo &Info = It->second;
+        unsigned LP = Info.RightAssoc ? Info.Prec + 1 : Info.Prec;
+        unsigned RP = Info.RightAssoc ? Info.Prec : Info.Prec + 1;
+        std::string L = pp(Args[0], LP, Indent);
+        std::string R = pp(Args[1], RP, Indent);
+        std::string Op = opSymbol(Head, Info);
+        std::string Inline = L + " " + Op + " " + R;
+        if (isMultiline(Inline) ||
+            Indent + Inline.size() > Opts.Width) {
+          std::string Pad(Indent + 2, ' ');
+          Inline = L + " " + Op + "\n" + Pad + R;
+        }
+        return paren(Inline, Prec > Info.Prec);
+      }
+
+      // Monadic do-notation.
+      if (N == nm::Bind && Args.size() == 2 && Args[1]->isLam()) {
+        std::string D = ppDo(T, Indent);
+        if (!D.empty())
+          return D;
+      }
+
+      // Tuple syntax: Pair a (Pair b c) prints as (a, b, c).
+      if (N == nm::PairC && Args.size() == 2) {
+        std::string Out = "(" + pp(Args[0], 0, Indent);
+        TermRef Rest = Args[1];
+        while (true) {
+          std::vector<TermRef> PArgs;
+          TermRef PHead = stripApp(Rest, PArgs);
+          if (PHead->isConst(nm::PairC) && PArgs.size() == 2) {
+            Out += ", " + pp(PArgs[0], 0, Indent);
+            Rest = PArgs[1];
+            continue;
+          }
+          break;
+        }
+        Out += ", " + pp(Rest, 0, Indent) + ")";
+        return Out;
+      }
+    }
+
+    // Generic application.
+    std::string HeadS = pp(Head, 100, Indent);
+    std::vector<std::string> ArgS;
+    bool AnyMulti = false;
+    size_t InlineLen = HeadS.size();
+    for (const TermRef &A : Args) {
+      bool NeedParen = A->isApp() || A->isLam();
+      std::string S = pp(A, NeedParen ? 101 : 100, Indent + 2);
+      AnyMulti = AnyMulti || isMultiline(S);
+      InlineLen += 1 + S.size();
+      ArgS.push_back(std::move(S));
+    }
+    std::string Out;
+    if (!AnyMulti && Indent + InlineLen <= Opts.Width) {
+      Out = HeadS;
+      for (const std::string &S : ArgS)
+        Out += " " + S;
+    } else {
+      Out = HeadS;
+      std::string Pad(Indent + 2, ' ');
+      for (const std::string &S : ArgS)
+        Out += "\n" + Pad + S;
+    }
+    return paren(Out, Prec > 100);
+  }
+};
+
+} // namespace
+
+std::string ac::hol::printTerm(const TermRef &T, const PrintOpts &Opts) {
+  if (!T)
+    return "<null>";
+  Printer P(Opts);
+  return P.print(T);
+}
+
+unsigned ac::hol::specLines(const TermRef &T) {
+  PrintOpts Opts;
+  std::string S = printTerm(T, Opts);
+  unsigned N = 1;
+  for (char C : S)
+    if (C == '\n')
+      ++N;
+  return N;
+}
+
+unsigned ac::hol::termSize(const TermRef &T) { return T ? T->size() : 0; }

@@ -1,0 +1,46 @@
+//===- Print.h - Isabelle-style pretty printer ------------------*- C++ -*-===//
+//
+// Part of the autocorres-cpp project, under the BSD 2-Clause License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders terms in the notation the paper uses: infix arithmetic with
+/// word-operator subscripts (+w, divw), lambda binders, do-notation for
+/// monadic binds, `s[p]` / `s[p := v]` sugar for split-heap access, and
+/// `0 ∉ {p ..+ size p}` for pointer-range guards.
+///
+/// The printed form also defines the "lines of specification" metric of
+/// Table 5: terms are wrapped at a configurable width (default 80 columns)
+/// the way Isabelle's pretty printer would.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AC_HOL_PRINT_H
+#define AC_HOL_PRINT_H
+
+#include "hol/Term.h"
+
+#include <string>
+
+namespace ac::hol {
+
+/// Printer configuration.
+struct PrintOpts {
+  unsigned Width = 80;   ///< wrap limit (Isabelle default margin is 76-80)
+  bool Unicode = true;   ///< λ/∀/∧/≤ vs %/ALL/&/<=
+  bool SugarHeap = true; ///< s[p] and s[p := v] for split-heap access
+};
+
+/// Pretty-prints \p T.
+std::string printTerm(const TermRef &T, const PrintOpts &Opts = PrintOpts());
+
+/// The Table 5 "lines of spec" metric: lines of the 80-column rendering.
+unsigned specLines(const TermRef &T);
+
+/// The Table 5 "term size" metric: number of AST nodes.
+unsigned termSize(const TermRef &T);
+
+} // namespace ac::hol
+
+#endif // AC_HOL_PRINT_H

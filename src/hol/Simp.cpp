@@ -1,0 +1,281 @@
+//===- Simp.cpp -----------------------------------------------------------===//
+
+#include "hol/Simp.h"
+
+#include "hol/GroundEval.h"
+#include "hol/Names.h"
+
+using namespace ac::hol;
+namespace nm = ac::hol::names;
+
+void Simpset::addRule(const Thm &T) {
+  Rule R;
+  R.Origin = T;
+  TermRef Body = T.prop();
+  std::vector<TermRef> Premises;
+  {
+    TermRef A, B;
+    while (destImp(Body, A, B)) {
+      Premises.push_back(A);
+      Body = B;
+    }
+  }
+  R.Conds = std::move(Premises);
+  TermRef L, RT;
+  if (destEq(Body, L, RT)) {
+    R.Lhs = L;
+    R.Rhs = RT;
+  } else {
+    R.Lhs = Body;
+    R.Rhs = mkTrue();
+    R.AsEqTrue = true;
+  }
+  // A rule whose right-hand side introduces unbound schematics would be
+  // unsound to apply; reject early.
+  Rules.push_back(std::move(R));
+}
+
+void Simpset::addSolver(CondSolver Solver) {
+  Solvers.push_back(std::move(Solver));
+}
+
+namespace {
+
+class Rewriter {
+public:
+  Rewriter(const Simpset &SS, unsigned Budget) : SS(SS), Budget(Budget) {}
+
+  /// |- T = result.
+  SimpResult run(const TermRef &T) {
+    TermRef Norm = betaNorm(T);
+    Thm Eq = termEq(Norm, T) ? Kernel::refl(T) : Kernel::betaConv(T);
+    SimpResult Inner = conv(Norm, /*Depth=*/0);
+    return {Inner.Result, Kernel::trans(Eq, Inner.Eq)};
+  }
+
+  std::optional<Thm> prove(const TermRef &Goal, unsigned Depth) {
+    if (Depth > 20)
+      return std::nullopt;
+    SimpResult R = run(Goal);
+    if (R.Result->isConst(nm::True))
+      return Kernel::eqTrueElim(R.Eq);
+    if (std::optional<Thm> G = proveGround(R.Result))
+      return Kernel::eqMp(Kernel::sym(R.Eq), *G);
+    for (const CondSolver &Solver : SS.solvers())
+      if (std::optional<Thm> T = Solver(R.Result))
+        return Kernel::eqMp(Kernel::sym(R.Eq), *T);
+    return std::nullopt;
+  }
+
+private:
+  const Simpset &SS;
+  unsigned Budget;
+  unsigned FreshCtr = 0;
+
+  /// Fully simplifies a beta-normal term.
+  SimpResult conv(const TermRef &T, unsigned Depth) {
+    TermRef Cur = T;
+    Thm Eq = Kernel::refl(T);
+    for (unsigned Iter = 0; Iter != 100; ++Iter) {
+      SimpResult Step = convOnce(Cur, Depth);
+      if (termEq(Step.Result, Cur))
+        return {Cur, Eq};
+      Eq = Kernel::trans(Eq, Step.Eq);
+      Cur = Step.Result;
+      if (Budget == 0)
+        break;
+    }
+    return {Cur, Eq};
+  }
+
+  /// One pass: simplify children, then try one round of rules at the root.
+  SimpResult convOnce(const TermRef &T, unsigned Depth) {
+    TermRef Cur;
+    Thm Eq;
+    switch (T->kind()) {
+    case Term::Kind::App: {
+      SimpResult F = conv(T->fun(), Depth);
+      SimpResult X = conv(T->argTerm(), Depth);
+      Eq = Kernel::combination(F.Eq, X.Eq);
+      Cur = betaNorm(Term::mkApp(F.Result, X.Result));
+      break;
+    }
+    case Term::Kind::Lam: {
+      std::string FreeName = "s!" + std::to_string(FreshCtr++);
+      TermRef Free = Term::mkFree(FreeName, T->type());
+      TermRef Opened = betaNorm(substBound(T->body(), Free));
+      SimpResult B = conv(Opened, Depth);
+      Eq = Kernel::abstract(FreeName, T->type(), B.Eq);
+      TermRef L, R;
+      bool IsEq = destEq(Eq.prop(), L, R);
+      assert(IsEq && "abstract must produce an equality");
+      (void)IsEq;
+      assert(termEq(L, T) && "binder reconstruction mismatch");
+      Cur = R;
+      break;
+    }
+    default:
+      Cur = T;
+      Eq = Kernel::refl(T);
+      break;
+    }
+
+    // Ground computation at this node.
+    if (!Cur->isNum() && !Cur->isConst()) {
+      if (std::optional<Thm> G = computeEq(Cur)) {
+        TermRef L, R;
+        destEq(G->prop(), L, R);
+        return {R, Kernel::trans(Eq, *G)};
+      }
+    }
+
+    // Try each rule once at the root.
+    for (const Simpset::Rule &Rule : SS.rules()) {
+      if (Budget == 0)
+        break;
+      std::optional<Subst> M = matchTerm(Rule.Lhs, Cur);
+      if (!M)
+        continue;
+      TermRef Rhs = M->apply(Rule.Rhs);
+      if (Rhs->hasSchematic() && !Cur->hasSchematic())
+        continue; // under-determined instantiation
+      if (termEq(Rhs, Cur))
+        continue; // no progress
+      // Discharge the conditions.
+      std::vector<Thm> CondProofs;
+      bool AllOk = true;
+      for (const TermRef &C : Rule.Conds) {
+        TermRef CInst = M->apply(C);
+        if (CInst->hasSchematic()) {
+          AllOk = false;
+          break;
+        }
+        std::optional<Thm> P = prove(CInst, Depth + 1);
+        if (!P) {
+          AllOk = false;
+          break;
+        }
+        CondProofs.push_back(*P);
+      }
+      if (!AllOk)
+        continue;
+      --Budget;
+      Thm Inst = Kernel::instantiate(Rule.Origin, *M);
+      for (const Thm &P : CondProofs)
+        Inst = Kernel::mp(Inst, P);
+      // Inst : |- lhsI = rhsI (or |- lhsI for AsEqTrue rules).
+      Thm StepEq = Rule.AsEqTrue ? Kernel::eqTrueIntro(Inst) : Inst;
+      TermRef L, R;
+      bool IsEq = destEq(StepEq.prop(), L, R);
+      assert(IsEq && "rewrite step must be an equality");
+      (void)IsEq;
+      assert(termEq(L, Cur) && "rewrite lhs mismatch");
+      return {R, Kernel::trans(Eq, StepEq)};
+    }
+    return {Cur, Eq};
+  }
+};
+
+} // namespace
+
+SimpResult ac::hol::simplify(const Simpset &SS, const TermRef &T,
+                             unsigned StepBudget) {
+  Rewriter RW(SS, StepBudget);
+  return RW.run(T);
+}
+
+std::optional<Thm> ac::hol::simpProve(const Simpset &SS, const TermRef &Goal,
+                                      unsigned StepBudget) {
+  Rewriter RW(SS, StepBudget);
+  return RW.prove(Goal, 0);
+}
+
+//===----------------------------------------------------------------------===//
+// Basic simpset
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+TypeRef tv(const char *N) { return Type::var(N); }
+TermRef sv(const char *N, TypeRef Ty) {
+  return Term::mkVar(N, 0, std::move(Ty));
+}
+
+void addBasicRules(Simpset &SS) {
+  TypeRef V = tv("v");
+  TermRef A = sv("a", V), B = sv("b", V);
+  TermRef P = sv("p", boolTy()), Q = sv("q", boolTy());
+
+  auto Ax = [&SS](const char *Name, TermRef Prop) {
+    SS.addRule(Kernel::axiom(Name, std::move(Prop)));
+  };
+
+  // if-then-else.
+  Ax("simp.if_True", mkEq(mkIte(mkTrue(), A, B), A));
+  Ax("simp.if_False", mkEq(mkIte(mkFalse(), A, B), B));
+  Ax("simp.if_same", mkEq(mkIte(P, A, A), A));
+
+  // Conjunction / disjunction / negation / implication units.
+  Ax("simp.conj_True_l", mkEq(mkConj(mkTrue(), P), P));
+  Ax("simp.conj_True_r", mkEq(mkConj(P, mkTrue()), P));
+  Ax("simp.conj_False_l", mkEq(mkConj(mkFalse(), P), mkFalse()));
+  Ax("simp.conj_False_r", mkEq(mkConj(P, mkFalse()), mkFalse()));
+  Ax("simp.disj_True_l", mkEq(mkDisj(mkTrue(), P), mkTrue()));
+  Ax("simp.disj_True_r", mkEq(mkDisj(P, mkTrue()), mkTrue()));
+  Ax("simp.disj_False_l", mkEq(mkDisj(mkFalse(), P), P));
+  Ax("simp.disj_False_r", mkEq(mkDisj(P, mkFalse()), P));
+  Ax("simp.not_True", mkEq(mkNot(mkTrue()), mkFalse()));
+  Ax("simp.not_False", mkEq(mkNot(mkFalse()), mkTrue()));
+  Ax("simp.not_not", mkEq(mkNot(mkNot(P)), P));
+  Ax("simp.imp_True_l", mkEq(mkImp(mkTrue(), P), P));
+  Ax("simp.imp_True_r", mkEq(mkImp(P, mkTrue()), mkTrue()));
+  Ax("simp.imp_False_l", mkEq(mkImp(mkFalse(), P), mkTrue()));
+  Ax("simp.conj_dup", mkEq(mkConj(P, P), P));
+  Ax("simp.eq_refl", mkEq(mkEq(A, A), mkTrue()));
+  Ax("simp.eq_True_iff", mkEq(mkEq(P, mkTrue()), P));
+
+  // Pairs.
+  Ax("simp.fst_pair", mkEq(mkFst(mkPair(A, B)), A));
+  Ax("simp.snd_pair", mkEq(mkSnd(mkPair(A, B)), B));
+  {
+    TypeRef TA = tv("a"), TB = tv("b"), TC = tv("c");
+    TermRef F = sv("f", funTys({TA, TB}, TC));
+    TermRef X = sv("x", TA), Y = sv("y", TB);
+    Ax("simp.case_prod",
+       mkEq(mkCaseProd(F, mkPair(X, Y)), mkApps(F, {X, Y})));
+  }
+
+  // Options.
+  {
+    TypeRef TA = tv("a");
+    TermRef X = sv("x", TA), Y = sv("y", TA);
+    Ax("simp.the_Some", mkEq(mkThe(mkSome(X)), X));
+    Ax("simp.Some_eq", mkEq(mkEq(mkSome(X), mkSome(Y)), mkEq(X, Y)));
+    Ax("simp.Some_ne_None", mkEq(mkEq(mkSome(X), mkNone(TA)), mkFalse()));
+    Ax("simp.None_ne_Some", mkEq(mkEq(mkNone(TA), mkSome(X)), mkFalse()));
+  }
+
+  // Function update: (f(x := v)) y = (if y = x then v else f y).
+  {
+    TypeRef TA = tv("a"), TB = tv("b");
+    TermRef F = sv("f", funTy(TA, TB));
+    TermRef X = sv("x", TA), Y = sv("y", TA), Vv = sv("v", TB);
+    TermRef FunUpd = Term::mkConst(
+        "fun_upd", funTys({funTy(TA, TB), TA, TB}, funTy(TA, TB)));
+    TermRef Lhs = Term::mkApp(mkApps(FunUpd, {F, X, Vv}), Y);
+    TermRef Rhs = mkIte(mkEq(Y, X), Vv, Term::mkApp(F, Y));
+    Ax("simp.fun_upd_apply", mkEq(Lhs, Rhs));
+  }
+  (void)Q;
+}
+
+} // namespace
+
+const Simpset &ac::hol::basicSimpset() {
+  static Simpset *SS = [] {
+    auto *S = new Simpset();
+    addBasicRules(*S);
+    return S;
+  }();
+  return *SS;
+}

@@ -1,0 +1,80 @@
+//===- Simp.h - Conditional rewriting with LCF proofs -----------*- C++ -*-===//
+//
+// Part of the autocorres-cpp project, under the BSD 2-Clause License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A bottom-up conditional rewriter in the style of Isabelle's simplifier.
+/// Rules come from theorems shaped `C1 --> ... --> Cn --> lhs = rhs` (or a
+/// plain boolean fact `P`, treated as `P = True`). Rewriting produces a
+/// kernel theorem |- t = t' assembled from refl/trans/combination/abstract
+/// plus instantiations of the rule theorems; conditions are discharged by
+/// recursive simplification, ground evaluation, or registered solvers.
+///
+/// AutoCorres uses this to clean up generated output (e.g. collapsing
+/// `guard (%_. True)`, simplifying discharged overflow guards) while
+/// keeping the refinement theorem's derivation intact.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AC_HOL_SIMP_H
+#define AC_HOL_SIMP_H
+
+#include "hol/Thm.h"
+
+#include <functional>
+#include <optional>
+
+namespace ac::hol {
+
+/// An external condition solver (e.g. linear arithmetic): returns a proof
+/// of the given closed boolean term, or nullopt.
+using CondSolver = std::function<std::optional<Thm>(const TermRef &)>;
+
+/// A set of rewrite rules plus condition solvers.
+class Simpset {
+public:
+  /// Adds a rule. The theorem must look like
+  /// `C1 --> ... --> Cn --> lhs = rhs` or `C1 --> ... --> Cn --> P`
+  /// (the latter is used as P = True).
+  void addRule(const Thm &T);
+  void addSolver(CondSolver Solver);
+
+  struct Rule {
+    Thm Origin;              ///< the full theorem
+    std::vector<TermRef> Conds;
+    TermRef Lhs, Rhs;
+    bool AsEqTrue = false;   ///< rule was a bare boolean fact
+  };
+
+  const std::vector<Rule> &rules() const { return Rules; }
+  const std::vector<CondSolver> &solvers() const { return Solvers; }
+
+private:
+  std::vector<Rule> Rules;
+  std::vector<CondSolver> Solvers;
+};
+
+/// Result of simplification: the new term and |- old = new.
+struct SimpResult {
+  TermRef Result;
+  Thm Eq;
+};
+
+/// Simplifies \p T under \p SS. \p StepBudget bounds total rewrites.
+SimpResult simplify(const Simpset &SS, const TermRef &T,
+                    unsigned StepBudget = 20000);
+
+/// Attempts to prove a boolean term by simplifying it to True (falling
+/// back on ground evaluation and the simpset's solvers).
+std::optional<Thm> simpProve(const Simpset &SS, const TermRef &Goal,
+                             unsigned StepBudget = 20000);
+
+/// The default logical simpset: if/conj/disj/not/option/pair/fun_upd
+/// facts every client wants. Axioms it registers are named "simp.*".
+const Simpset &basicSimpset();
+
+} // namespace ac::hol
+
+#endif // AC_HOL_SIMP_H

@@ -1,0 +1,338 @@
+//===- Term.cpp -----------------------------------------------------------===//
+
+#include "hol/Term.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+
+using namespace ac::hol;
+
+static size_t combineHash(size_t A, size_t B) {
+  return A ^ (B + 0x9e3779b97f4a7c15ULL + (A << 6) + (A >> 2));
+}
+
+TermRef Term::mkConst(const std::string &Name, TypeRef Ty) {
+  assert(Ty && "constant requires a type");
+  auto *T = new Term();
+  T->K = Kind::Const;
+  T->Name = Name;
+  T->Ty = std::move(Ty);
+  T->Hash = combineHash(std::hash<std::string>()(Name), 0x11);
+  T->Hash = combineHash(T->Hash, T->Ty->hash());
+  return TermRef(T);
+}
+
+TermRef Term::mkFree(const std::string &Name, TypeRef Ty) {
+  assert(Ty && "free variable requires a type");
+  auto *T = new Term();
+  T->K = Kind::Free;
+  T->Name = Name;
+  T->Ty = std::move(Ty);
+  T->Hash = combineHash(std::hash<std::string>()(Name), 0x22);
+  return TermRef(T);
+}
+
+TermRef Term::mkVar(const std::string &Name, unsigned Index, TypeRef Ty) {
+  assert(Ty && "schematic variable requires a type");
+  auto *T = new Term();
+  T->K = Kind::Var;
+  T->Name = Name;
+  T->Index = Index;
+  T->Ty = std::move(Ty);
+  T->Hash = combineHash(std::hash<std::string>()(Name), 0x33 + Index);
+  T->Schematic = true;
+  return TermRef(T);
+}
+
+TermRef Term::mkBound(unsigned Index) {
+  auto *T = new Term();
+  T->K = Kind::Bound;
+  T->Index = Index;
+  T->Hash = combineHash(0x44, Index);
+  T->MaxLoose = Index + 1;
+  return TermRef(T);
+}
+
+TermRef Term::mkLam(const std::string &Name, TypeRef ArgTy, TermRef Body) {
+  assert(ArgTy && Body && "lambda requires argument type and body");
+  auto *T = new Term();
+  T->K = Kind::Lam;
+  T->Name = Name;
+  T->Ty = std::move(ArgTy);
+  T->A = std::move(Body);
+  T->Hash = combineHash(0x55, T->A->hash());
+  T->Hash = combineHash(T->Hash, T->Ty->hash());
+  T->Size = 1 + T->A->size();
+  T->MaxLoose = T->A->maxLoose() > 0 ? T->A->maxLoose() - 1 : 0;
+  T->Schematic = T->A->hasSchematic();
+  return TermRef(T);
+}
+
+TermRef Term::mkApp(TermRef F, TermRef X) {
+  assert(F && X && "application requires both terms");
+  auto *T = new Term();
+  T->K = Kind::App;
+  T->A = std::move(F);
+  T->B = std::move(X);
+  T->Hash = combineHash(T->A->hash(), T->B->hash());
+  T->Size = 1 + T->A->size() + T->B->size();
+  T->MaxLoose = std::max(T->A->maxLoose(), T->B->maxLoose());
+  T->Schematic = T->A->hasSchematic() || T->B->hasSchematic();
+  return TermRef(T);
+}
+
+TermRef Term::mkNum(Int128 Value, TypeRef Ty) {
+  assert(Ty && "numeral requires a type");
+  auto *T = new Term();
+  T->K = Kind::Num;
+  T->Value = Value;
+  T->Ty = std::move(Ty);
+  T->Hash = combineHash(0x66, static_cast<size_t>(static_cast<uint64_t>(
+                                  Value ^ (Value >> 64))));
+  T->Hash = combineHash(T->Hash, T->Ty->hash());
+  return TermRef(T);
+}
+
+bool ac::hol::termEq(const TermRef &A, const TermRef &B) {
+  if (A.get() == B.get())
+    return true;
+  if (!A || !B)
+    return false;
+  if (A->hash() != B->hash() || A->kind() != B->kind() ||
+      A->size() != B->size())
+    return false;
+  switch (A->kind()) {
+  case Term::Kind::Const:
+    return A->name() == B->name() && typeEq(A->type(), B->type());
+  case Term::Kind::Free:
+    return A->name() == B->name();
+  case Term::Kind::Var:
+    return A->name() == B->name() && A->index() == B->index();
+  case Term::Kind::Bound:
+    return A->index() == B->index();
+  case Term::Kind::Num:
+    return A->value() == B->value() && typeEq(A->type(), B->type());
+  case Term::Kind::Lam:
+    return typeEq(A->type(), B->type()) && termEq(A->body(), B->body());
+  case Term::Kind::App:
+    return termEq(A->fun(), B->fun()) && termEq(A->argTerm(), B->argTerm());
+  }
+  return false;
+}
+
+TermRef ac::hol::mkApps(TermRef F, const std::vector<TermRef> &Args) {
+  for (const TermRef &A : Args)
+    F = Term::mkApp(std::move(F), A);
+  return F;
+}
+
+TermRef ac::hol::stripApp(TermRef T, std::vector<TermRef> &Args) {
+  Args.clear();
+  while (T->isApp()) {
+    Args.push_back(T->argTerm());
+    T = T->fun();
+  }
+  std::reverse(Args.begin(), Args.end());
+  return T;
+}
+
+TypeRef ac::hol::typeOf(const TermRef &T, std::vector<TypeRef> *BoundTys) {
+  std::vector<TypeRef> Local;
+  std::vector<TypeRef> &Env = BoundTys ? *BoundTys : Local;
+  switch (T->kind()) {
+  case Term::Kind::Const:
+  case Term::Kind::Free:
+  case Term::Kind::Var:
+  case Term::Kind::Num:
+    return T->type();
+  case Term::Kind::Bound: {
+    assert(T->index() < Env.size() && "loose bound variable in typeOf");
+    return Env[Env.size() - 1 - T->index()];
+  }
+  case Term::Kind::Lam: {
+    Env.push_back(T->type());
+    TypeRef BodyTy = typeOf(T->body(), &Env);
+    Env.pop_back();
+    return funTy(T->type(), BodyTy);
+  }
+  case Term::Kind::App: {
+    TypeRef FTy = typeOf(T->fun(), &Env);
+    assert(isFunTy(FTy) && "application of non-function");
+    return ranTy(FTy);
+  }
+  }
+  return nullptr;
+}
+
+TermRef ac::hol::liftLoose(const TermRef &T, unsigned Inc, unsigned Cutoff) {
+  if (Inc == 0 || T->maxLoose() <= Cutoff)
+    return T;
+  switch (T->kind()) {
+  case Term::Kind::Bound:
+    return Term::mkBound(T->index() + Inc);
+  case Term::Kind::Lam:
+    return Term::mkLam(T->name(), T->type(),
+                       liftLoose(T->body(), Inc, Cutoff + 1));
+  case Term::Kind::App:
+    return Term::mkApp(liftLoose(T->fun(), Inc, Cutoff),
+                       liftLoose(T->argTerm(), Inc, Cutoff));
+  default:
+    return T;
+  }
+}
+
+TermRef ac::hol::substBound(const TermRef &Body, const TermRef &Arg,
+                            unsigned Depth) {
+  if (Body->maxLoose() <= Depth)
+    return Body; // No reference to Bound(Depth) or anything looser.
+  switch (Body->kind()) {
+  case Term::Kind::Bound:
+    if (Body->index() == Depth)
+      return liftLoose(Arg, Depth);
+    if (Body->index() > Depth)
+      return Term::mkBound(Body->index() - 1);
+    return Body;
+  case Term::Kind::Lam:
+    return Term::mkLam(Body->name(), Body->type(),
+                       substBound(Body->body(), Arg, Depth + 1));
+  case Term::Kind::App:
+    return Term::mkApp(substBound(Body->fun(), Arg, Depth),
+                       substBound(Body->argTerm(), Arg, Depth));
+  default:
+    return Body;
+  }
+}
+
+/// If \p T is `Pair a b`, fills A/B.
+static bool destPairApp(const TermRef &T, TermRef &A, TermRef &B) {
+  if (!T->isApp() || !T->fun()->isApp())
+    return false;
+  const TermRef &H = T->fun()->fun();
+  if (!H->isConst() || H->name() != "Pair")
+    return false;
+  A = T->fun()->argTerm();
+  B = T->argTerm();
+  return true;
+}
+
+TermRef ac::hol::betaNorm(const TermRef &T) {
+  switch (T->kind()) {
+  case Term::Kind::App: {
+    TermRef F = betaNorm(T->fun());
+    TermRef X = betaNorm(T->argTerm());
+    if (F->isLam())
+      return betaNorm(substBound(F->body(), X));
+    // Projection reduction: fst (a, b) = a, snd (a, b) = b. Part of the
+    // normal form alongside beta (tuple iterators rely on it).
+    if (F->isConst() && (F->name() == "fst" || F->name() == "snd")) {
+      TermRef A, B;
+      if (destPairApp(X, A, B))
+        return F->name() == "fst" ? A : B;
+    }
+    if (F.get() == T->fun().get() && X.get() == T->argTerm().get())
+      return T;
+    return Term::mkApp(std::move(F), std::move(X));
+  }
+  case Term::Kind::Lam: {
+    TermRef B = betaNorm(T->body());
+    if (B.get() == T->body().get())
+      return T;
+    return Term::mkLam(T->name(), T->type(), std::move(B));
+  }
+  default:
+    return T;
+  }
+}
+
+TermRef ac::hol::substFree(const TermRef &T, const std::string &Name,
+                           const TermRef &Repl) {
+  switch (T->kind()) {
+  case Term::Kind::Free:
+    if (T->name() == Name)
+      return Repl;
+    return T;
+  case Term::Kind::Lam: {
+    TermRef B = substFree(T->body(), Name, liftLoose(Repl, 1));
+    if (B.get() == T->body().get())
+      return T;
+    return Term::mkLam(T->name(), T->type(), std::move(B));
+  }
+  case Term::Kind::App: {
+    TermRef F = substFree(T->fun(), Name, Repl);
+    TermRef X = substFree(T->argTerm(), Name, Repl);
+    if (F.get() == T->fun().get() && X.get() == T->argTerm().get())
+      return T;
+    return Term::mkApp(std::move(F), std::move(X));
+  }
+  default:
+    return T;
+  }
+}
+
+bool ac::hol::occursFree(const TermRef &T, const std::string &Name) {
+  switch (T->kind()) {
+  case Term::Kind::Free:
+    return T->name() == Name;
+  case Term::Kind::Lam:
+    return occursFree(T->body(), Name);
+  case Term::Kind::App:
+    return occursFree(T->fun(), Name) || occursFree(T->argTerm(), Name);
+  default:
+    return false;
+  }
+}
+
+static void collectFrees(const TermRef &T, std::vector<std::string> &Out) {
+  switch (T->kind()) {
+  case Term::Kind::Free:
+    for (const std::string &N : Out)
+      if (N == T->name())
+        return;
+    Out.push_back(T->name());
+    return;
+  case Term::Kind::Lam:
+    collectFrees(T->body(), Out);
+    return;
+  case Term::Kind::App:
+    collectFrees(T->fun(), Out);
+    collectFrees(T->argTerm(), Out);
+    return;
+  default:
+    return;
+  }
+}
+
+std::vector<std::string> ac::hol::freeVars(const TermRef &T) {
+  std::vector<std::string> Out;
+  collectFrees(T, Out);
+  return Out;
+}
+
+static TermRef abstractFree(const TermRef &T, const std::string &Name,
+                            unsigned Depth) {
+  switch (T->kind()) {
+  case Term::Kind::Free:
+    if (T->name() == Name)
+      return Term::mkBound(Depth);
+    return T;
+  case Term::Kind::Bound:
+    // Keep loose bounds pointing past the new binder.
+    if (T->index() >= Depth)
+      return Term::mkBound(T->index() + 1);
+    return T;
+  case Term::Kind::Lam:
+    return Term::mkLam(T->name(), T->type(),
+                       abstractFree(T->body(), Name, Depth + 1));
+  case Term::Kind::App:
+    return Term::mkApp(abstractFree(T->fun(), Name, Depth),
+                       abstractFree(T->argTerm(), Name, Depth));
+  default:
+    return T;
+  }
+}
+
+TermRef ac::hol::lambdaFree(const std::string &Name, TypeRef Ty,
+                            const TermRef &T) {
+  return Term::mkLam(Name, std::move(Ty), abstractFree(T, Name, 0));
+}

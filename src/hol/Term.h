@@ -1,0 +1,166 @@
+//===- Term.h - Lambda terms of the embedded HOL ----------------*- C++ -*-===//
+//
+// Part of the autocorres-cpp project, under the BSD 2-Clause License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The term language of the embedded logic: a simply-typed lambda calculus
+/// with named constants, free variables, schematic (unification) variables,
+/// de Bruijn bound variables, and numeric literals.
+///
+/// Everything downstream of the C parser is one of these terms: Simpl
+/// expression bodies, monadic programs (built from the combinator constants
+/// of Table 1), guards, Hoare assertions, and the propositions of theorems.
+///
+/// Terms are immutable, shared DAGs. Each node caches its hash, its size
+/// (the "term size" metric of Table 5 — the number of AST nodes), the
+/// number of loose bound variables, and whether schematics occur, so the
+/// unifier and the statistics pass are cheap.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AC_HOL_TERM_H
+#define AC_HOL_TERM_H
+
+#include "hol/Type.h"
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ac::hol {
+
+class Term;
+using TermRef = std::shared_ptr<const Term>;
+
+/// Numeric literal payload. 128 bits comfortably exceeds anything a 32- or
+/// 64-bit C program can denote, which is what lets it stand in for the
+/// "ideal" nat/int of the abstract level during evaluation.
+using Int128 = __int128;
+
+/// An immutable term node.
+class Term {
+public:
+  enum class Kind {
+    Const, ///< Named constant with an instantiated type.
+    Free,  ///< Free variable (function arguments, the program state `s`).
+    Var,   ///< Schematic variable ?A1 — instantiated by unification.
+    Bound, ///< de Bruijn index into enclosing lambdas.
+    Lam,   ///< Lambda abstraction; display name + argument type + body.
+    App,   ///< Application.
+    Num,   ///< Numeric literal at type nat/int/wordN/swordN.
+  };
+
+  Kind kind() const { return K; }
+  bool isConst() const { return K == Kind::Const; }
+  bool isConst(const std::string &N) const {
+    return K == Kind::Const && Name == N;
+  }
+  bool isFree() const { return K == Kind::Free; }
+  bool isVar() const { return K == Kind::Var; }
+  bool isBound() const { return K == Kind::Bound; }
+  bool isLam() const { return K == Kind::Lam; }
+  bool isApp() const { return K == Kind::App; }
+  bool isNum() const { return K == Kind::Num; }
+
+  /// Const/Free/Var name; Lam display name.
+  const std::string &name() const { return Name; }
+  /// Const/Free/Var/Num type; Lam argument type.
+  const TypeRef &type() const { return Ty; }
+  /// Bound index; Var freshness index.
+  unsigned index() const { return Index; }
+  /// Numeric literal value.
+  Int128 value() const { return Value; }
+
+  /// App function / Lam body.
+  const TermRef &fun() const {
+    assert(K == Kind::App);
+    return A;
+  }
+  const TermRef &argTerm() const {
+    assert(K == Kind::App);
+    return B;
+  }
+  const TermRef &body() const {
+    assert(K == Kind::Lam);
+    return A;
+  }
+
+  size_t hash() const { return Hash; }
+  /// Number of nodes in the term tree (Table 5 "term size").
+  unsigned size() const { return Size; }
+  /// 0 for closed-under-binders terms, else 1 + max loose de Bruijn index.
+  unsigned maxLoose() const { return MaxLoose; }
+  bool hasSchematic() const { return Schematic; }
+
+  //===--------------------------------------------------------------------===//
+  // Factories
+  //===--------------------------------------------------------------------===//
+
+  static TermRef mkConst(const std::string &Name, TypeRef Ty);
+  static TermRef mkFree(const std::string &Name, TypeRef Ty);
+  static TermRef mkVar(const std::string &Name, unsigned Index, TypeRef Ty);
+  static TermRef mkBound(unsigned Index);
+  static TermRef mkLam(const std::string &Name, TypeRef ArgTy, TermRef Body);
+  static TermRef mkApp(TermRef F, TermRef X);
+  static TermRef mkNum(Int128 Value, TypeRef Ty);
+
+private:
+  Term() = default;
+
+  Kind K;
+  std::string Name;
+  TypeRef Ty;
+  unsigned Index = 0;
+  Int128 Value = 0;
+  TermRef A, B;
+  size_t Hash = 0;
+  unsigned Size = 1;
+  unsigned MaxLoose = 0;
+  bool Schematic = false;
+};
+
+/// Structural (de Bruijn alpha-) equality.
+bool termEq(const TermRef &A, const TermRef &B);
+
+/// Applies \p F to each argument in \p Args in turn.
+TermRef mkApps(TermRef F, const std::vector<TermRef> &Args);
+
+/// Strips a left-nested application: returns the head and fills \p Args.
+TermRef stripApp(TermRef T, std::vector<TermRef> &Args);
+
+/// Computes the type of \p T. \p BoundTys are the argument types of the
+/// lambdas enclosing T, innermost first. Asserts internal well-typedness.
+TypeRef typeOf(const TermRef &T, std::vector<TypeRef> *BoundTys = nullptr);
+
+/// Shifts loose bound variables >= \p Cutoff by \p Inc.
+TermRef liftLoose(const TermRef &T, unsigned Inc, unsigned Cutoff = 0);
+
+/// Substitutes \p Arg for Bound(\p Depth) in \p Body, adjusting indices.
+/// This is the engine of beta reduction.
+TermRef substBound(const TermRef &Body, const TermRef &Arg,
+                   unsigned Depth = 0);
+
+/// Full beta normalization (call-by-name to normal form; terms are small).
+TermRef betaNorm(const TermRef &T);
+
+/// Replaces the free variable \p Name with \p Repl (lifting under binders).
+TermRef substFree(const TermRef &T, const std::string &Name,
+                  const TermRef &Repl);
+
+/// True if free variable \p Name occurs in \p T.
+bool occursFree(const TermRef &T, const std::string &Name);
+
+/// Collects the names of all free variables in \p T (deduplicated,
+/// in first-occurrence order).
+std::vector<std::string> freeVars(const TermRef &T);
+
+/// Abstracts the free variable \p Name out of \p T, producing a lambda.
+TermRef lambdaFree(const std::string &Name, TypeRef Ty, const TermRef &T);
+
+} // namespace ac::hol
+
+#endif // AC_HOL_TERM_H

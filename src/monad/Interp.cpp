@@ -1,0 +1,894 @@
+//===- Interp.cpp ---------------------------------------------------------===//
+
+#include "monad/Interp.h"
+
+#include "hol/GroundEval.h"
+#include "hol/Names.h"
+
+#include <deque>
+
+using namespace ac;
+using namespace ac::monad;
+using namespace ac::hol;
+namespace nm = ac::hol::names;
+
+//===----------------------------------------------------------------------===//
+// Layout
+//===----------------------------------------------------------------------===//
+
+/// Strips "record:NAME_C" to the C struct name, or "" if not a struct rec.
+static std::string structNameOfRec(const TypeRef &T) {
+  if (!T->isCon() || T->name().rfind("record:", 0) != 0)
+    return "";
+  std::string R = T->name().substr(7);
+  if (R.size() > 2 && R.compare(R.size() - 2, 2, "_C") == 0)
+    return R.substr(0, R.size() - 2);
+  return "";
+}
+
+unsigned InterpCtx::sizeOfTy(const TypeRef &T) const {
+  if (isWordTy(T) || isSwordTy(T))
+    return wordBits(T) / 8;
+  if (isPtrTy(T))
+    return 4;
+  if (T->isCon("unit"))
+    return 1; // void-pointer target; never actually decoded
+  std::string SN = structNameOfRec(T);
+  if (!SN.empty()) {
+    assert(Prog && "struct layout requires a program context");
+    const cparser::CStructInfo *Info = Prog->layout().lookupStruct(SN);
+    assert(Info && "unknown struct in layout query");
+    return Info->Size;
+  }
+  assert(false && "sizeOfTy: type has no heap layout");
+  return 0;
+}
+
+unsigned InterpCtx::alignOfTy(const TypeRef &T) const {
+  if (isWordTy(T) || isSwordTy(T))
+    return wordBits(T) / 8;
+  if (isPtrTy(T))
+    return 4;
+  if (T->isCon("unit"))
+    return 1;
+  std::string SN = structNameOfRec(T);
+  if (!SN.empty()) {
+    const cparser::CStructInfo *Info = Prog->layout().lookupStruct(SN);
+    assert(Info && "unknown struct in align query");
+    return Info->Align;
+  }
+  assert(false && "alignOfTy: type has no heap layout");
+  return 1;
+}
+
+Value InterpCtx::decode(const HeapVal &H, uint32_t Addr,
+                        const TypeRef &T) const {
+  if (isWordTy(T) || isSwordTy(T)) {
+    unsigned Bytes = wordBits(T) / 8;
+    Int128 V = 0;
+    for (unsigned I = 0; I != Bytes; ++I)
+      V |= static_cast<Int128>(H.readByte(Addr + I)) << (8 * I);
+    return Value::num(normalizeToType(V, T), T);
+  }
+  if (isPtrTy(T)) {
+    uint32_t A = 0;
+    for (unsigned I = 0; I != 4; ++I)
+      A |= static_cast<uint32_t>(H.readByte(Addr + I)) << (8 * I);
+    return Value::ptr(A, typeStr(T->arg(0)));
+  }
+  std::string SN = structNameOfRec(T);
+  if (!SN.empty()) {
+    const cparser::CStructInfo *Info = Prog->layout().lookupStruct(SN);
+    const hol::RecordInfo *RI =
+        Prog->Records.lookup(T->name().substr(7));
+    assert(Info && RI && "struct decode needs layout and record info");
+    std::map<std::string, Value> Fields;
+    for (const cparser::CField &F : Info->Fields) {
+      const TypeRef *FT = RI->fieldType(F.Name);
+      assert(FT && "record/struct field mismatch");
+      Fields.emplace(F.Name, decode(H, Addr + F.Offset, *FT));
+    }
+    return Value::record(T->name().substr(7), std::move(Fields));
+  }
+  assert(false && "decode: type has no heap layout");
+  return Value::unit();
+}
+
+void InterpCtx::encode(HeapVal &H, uint32_t Addr, const Value &V,
+                       const TypeRef &T) const {
+  if (isWordTy(T) || isSwordTy(T)) {
+    unsigned Bytes = wordBits(T) / 8;
+    unsigned __int128 U = static_cast<unsigned __int128>(V.N);
+    for (unsigned I = 0; I != Bytes; ++I)
+      H.Bytes[Addr + I] = static_cast<uint8_t>((U >> (8 * I)) & 0xff);
+    return;
+  }
+  if (isPtrTy(T)) {
+    uint32_t A = V.addr();
+    for (unsigned I = 0; I != 4; ++I)
+      H.Bytes[Addr + I] = static_cast<uint8_t>((A >> (8 * I)) & 0xff);
+    return;
+  }
+  std::string SN = structNameOfRec(T);
+  if (!SN.empty()) {
+    const cparser::CStructInfo *Info = Prog->layout().lookupStruct(SN);
+    const hol::RecordInfo *RI =
+        Prog->Records.lookup(T->name().substr(7));
+    assert(Info && RI && "struct encode needs layout and record info");
+    for (const cparser::CField &F : Info->Fields) {
+      const TypeRef *FT = RI->fieldType(F.Name);
+      encode(H, Addr + F.Offset, V.Rec->at(F.Name), *FT);
+    }
+    return;
+  }
+  assert(false && "encode: type has no heap layout");
+}
+
+Value InterpCtx::defaultValue(const TypeRef &T) const {
+  if (isFunTy(T)) {
+    TypeRef Ran = ranTy(T);
+    const InterpCtx *Self = this;
+    return Value::fun([Self, Ran](const Value &) {
+      return Self->defaultValue(Ran);
+    });
+  }
+  if (T->isCon("bool"))
+    return Value::boolean(false);
+  if (T->isCon("nat") || T->isCon("int") || isWordTy(T) || isSwordTy(T))
+    return Value::num(0, T);
+  if (T->isCon("unit"))
+    return Value::unit();
+  if (isPtrTy(T))
+    return Value::ptr(0, typeStr(T->arg(0)));
+  if (T->isCon("heap"))
+    return Value::heap(std::make_shared<HeapVal>());
+  if (T->isCon("c_exntype"))
+    return Value::exn("Return");
+  if (T->isCon("prod"))
+    return Value::pair(defaultValue(T->arg(0)), defaultValue(T->arg(1)));
+  if (T->isCon("option"))
+    return Value::none();
+  if (T->isCon("list"))
+    return Value::list({});
+  if (T->isCon() && T->name().rfind("record:", 0) == 0) {
+    const hol::RecordInfo *RI = Prog->Records.lookup(T->name().substr(7));
+    assert(RI && "defaultValue: unknown record");
+    std::map<std::string, Value> Fields;
+    for (const auto &[Name, FT] : RI->Fields)
+      Fields.emplace(Name, defaultValue(FT));
+    return Value::record(T->name().substr(7), std::move(Fields));
+  }
+  assert(false && "defaultValue: unsupported type");
+  return Value::unit();
+}
+
+bool InterpCtx::ptrAligned(uint32_t Addr, const TypeRef &Pointee) const {
+  return Addr % alignOfTy(Pointee) == 0;
+}
+
+bool InterpCtx::ptrRangeOk(uint32_t Addr, const TypeRef &Pointee) const {
+  if (Addr == 0)
+    return false;
+  uint64_t End = static_cast<uint64_t>(Addr) + sizeOfTy(Pointee);
+  return End <= (1ULL << 32); // no wrap through 0
+}
+
+bool InterpCtx::typeTagValid(const HeapVal &H, uint32_t Addr,
+                             const TypeRef &Pointee) const {
+  std::string Name = typeStr(Pointee);
+  unsigned Size = sizeOfTy(Pointee);
+  for (unsigned I = 0; I != Size; ++I) {
+    auto It = H.Tags.find(Addr + I);
+    if (It == H.Tags.end() || It->second.TypeName != Name ||
+        It->second.Start != Addr)
+      return false;
+  }
+  return true;
+}
+
+void InterpCtx::retype(HeapVal &H, uint32_t Addr,
+                       const TypeRef &Pointee) const {
+  std::string Name = typeStr(Pointee);
+  unsigned Size = sizeOfTy(Pointee);
+  for (unsigned I = 0; I != Size; ++I)
+    H.Tags[Addr + I] = {Name, Addr};
+}
+
+//===----------------------------------------------------------------------===//
+// Primitive helpers
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+using Fn1 = std::function<Value(const Value &)>;
+
+Value prim1(Fn1 F) { return Value::fun(std::move(F)); }
+
+Value prim2(std::function<Value(const Value &, const Value &)> F) {
+  return Value::fun([F = std::move(F)](const Value &A) {
+    return Value::fun([F, A](const Value &B) { return F(A, B); });
+  });
+}
+
+Value prim3(
+    std::function<Value(const Value &, const Value &, const Value &)> F) {
+  return Value::fun([F = std::move(F)](const Value &A) {
+    return Value::fun([F, A](const Value &B) {
+      return Value::fun([F, A, B](const Value &C) { return F(A, B, C); });
+    });
+  });
+}
+
+Int128 gcdI(Int128 A, Int128 B) {
+  if (A < 0)
+    A = -A;
+  if (B < 0)
+    B = -B;
+  while (B != 0) {
+    Int128 T = A % B;
+    A = B;
+    B = T;
+  }
+  return A;
+}
+
+/// Arithmetic on Num values at the value's own type.
+Value numBin(const char *Op, const Value &A, const Value &B) {
+  assert(A.K == Value::Kind::Num && B.K == Value::Kind::Num &&
+         "numeric operator on non-number");
+  const TypeRef &Ty = A.Ty;
+  auto Mk = [&](Int128 V) {
+    return Value::num(normalizeToType(V, Ty), Ty);
+  };
+  std::string N = Op;
+  if (N == nm::Plus)
+    return Mk(A.N + B.N);
+  if (N == nm::Minus)
+    return Mk(A.N - B.N);
+  if (N == nm::Times)
+    return Mk(A.N * B.N);
+  if (N == nm::Div)
+    return Mk(B.N == 0 ? 0 : A.N / B.N);
+  if (N == nm::Mod)
+    return Mk(B.N == 0 ? A.N : A.N % B.N);
+  if (N == nm::MinC)
+    return Mk(A.N < B.N ? A.N : B.N);
+  if (N == nm::MaxC)
+    return Mk(A.N < B.N ? B.N : A.N);
+  if (N == nm::Gcd)
+    return Mk(gcdI(A.N, B.N));
+  if (N == nm::BitAnd || N == nm::BitOr || N == nm::BitXor) {
+    unsigned __int128 X = static_cast<unsigned __int128>(A.N);
+    unsigned __int128 Y = static_cast<unsigned __int128>(B.N);
+    unsigned __int128 R = N == nm::BitAnd ? (X & Y)
+                          : N == nm::BitOr ? (X | Y)
+                                           : (X ^ Y);
+    return Mk(static_cast<Int128>(R));
+  }
+  if (N == nm::Shiftl) {
+    if (B.N < 0 || B.N >= 128)
+      return Mk(0);
+    return Mk(A.N << static_cast<unsigned>(B.N));
+  }
+  if (N == nm::Shiftr) {
+    if (B.N < 0 || B.N >= 128)
+      return Mk(0);
+    unsigned Sh = static_cast<unsigned>(B.N);
+    if (isWordTy(Ty)) {
+      unsigned __int128 X = static_cast<unsigned __int128>(A.N);
+      return Mk(static_cast<Int128>(X >> Sh));
+    }
+    return Mk(A.N >> Sh);
+  }
+  assert(false && "unknown numeric operator");
+  return Value::unit();
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Constant dispatch
+//===----------------------------------------------------------------------===//
+
+static Value constValue(const TermRef &C, InterpCtx &Ctx);
+
+Value ac::monad::evalTerm(const TermRef &T, std::vector<Value> &Env,
+                          InterpCtx &Ctx) {
+  switch (T->kind()) {
+  case Term::Kind::Num:
+    return Value::num(normalizeToType(T->value(), T->type()), T->type());
+  case Term::Kind::Bound: {
+    assert(T->index() < Env.size() && "loose bound variable at runtime");
+    return Env[Env.size() - 1 - T->index()];
+  }
+  case Term::Kind::Free:
+    assert(false && "free variable reached the evaluator");
+    return Value::unit();
+  case Term::Kind::Var:
+    assert(false && "schematic variable reached the evaluator");
+    return Value::unit();
+  case Term::Kind::Lam: {
+    std::vector<Value> Captured = Env;
+    TermRef Body = T->body();
+    InterpCtx *CtxP = &Ctx;
+    return Value::fun([Captured, Body, CtxP](const Value &Arg) mutable {
+      std::vector<Value> E = Captured;
+      E.push_back(Arg);
+      return evalTerm(Body, E, *CtxP);
+    });
+  }
+  case Term::Kind::App: {
+    Value F = evalTerm(T->fun(), Env, Ctx);
+    Value X = evalTerm(T->argTerm(), Env, Ctx);
+    assert(F.K == Value::Kind::Fun && "application of non-function value");
+    return F.Fun(X);
+  }
+  case Term::Kind::Const:
+    return constValue(T, Ctx);
+  }
+  return Value::unit();
+}
+
+Value ac::monad::evalClosed(const TermRef &T, InterpCtx &Ctx) {
+  std::vector<Value> Env;
+  return evalTerm(T, Env, Ctx);
+}
+
+MonadResult ac::monad::runMonad(const Value &M, const Value &State,
+                                InterpCtx &Ctx) {
+  assert(M.K == Value::Kind::Monad && "running a non-monadic value");
+  return M.Mon(State, Ctx);
+}
+
+static Value constValue(const TermRef &C, InterpCtx &Ctx) {
+  const std::string &N = C->name();
+  const TypeRef &Ty = C->type();
+  InterpCtx *X = &Ctx;
+
+  //===------------------------------------------------------------------===//
+  // Logic
+  //===------------------------------------------------------------------===//
+  if (N == nm::True)
+    return Value::boolean(true);
+  if (N == nm::False)
+    return Value::boolean(false);
+  if (N == nm::Not)
+    return prim1([](const Value &A) { return Value::boolean(!A.B); });
+  if (N == nm::Conj)
+    return prim2([](const Value &A, const Value &B) {
+      return Value::boolean(A.B && B.B);
+    });
+  if (N == nm::Disj)
+    return prim2([](const Value &A, const Value &B) {
+      return Value::boolean(A.B || B.B);
+    });
+  if (N == nm::Implies)
+    return prim2([](const Value &A, const Value &B) {
+      return Value::boolean(!A.B || B.B);
+    });
+  if (N == nm::Eq)
+    return prim2([](const Value &A, const Value &B) {
+      return Value::boolean(Value::equal(A, B));
+    });
+  if (N == nm::Ite)
+    return prim3([](const Value &C, const Value &A, const Value &B) {
+      return C.B ? A : B;
+    });
+  if (N == nm::Less)
+    return prim2([](const Value &A, const Value &B) {
+      return Value::boolean(A.N < B.N);
+    });
+  if (N == nm::LessEq)
+    return prim2([](const Value &A, const Value &B) {
+      return Value::boolean(A.N <= B.N);
+    });
+
+  //===------------------------------------------------------------------===//
+  // Arithmetic and conversions
+  //===------------------------------------------------------------------===//
+  static const char *BinOps[] = {nm::Plus,   nm::Minus, nm::Times, nm::Div,
+                                 nm::Mod,    nm::MinC,  nm::MaxC,  nm::Gcd,
+                                 nm::BitAnd, nm::BitOr, nm::BitXor,
+                                 nm::Shiftl, nm::Shiftr};
+  for (const char *Op : BinOps)
+    if (N == Op)
+      return prim2([Op](const Value &A, const Value &B) {
+        return numBin(Op, A, B);
+      });
+  if (N == nm::UMinus)
+    return prim1([](const Value &A) {
+      return Value::num(normalizeToType(-A.N, A.Ty), A.Ty);
+    });
+  if (N == nm::BitNot)
+    return prim1([](const Value &A) {
+      return Value::num(normalizeToType(~A.N, A.Ty), A.Ty);
+    });
+  if (N == nm::Unat || N == nm::Sint || N == nm::OfNat || N == nm::OfInt ||
+      N == nm::Ucast || N == nm::Scast || N == nm::IntOfNat ||
+      N == nm::NatOfInt) {
+    TypeRef ResTy = ranTy(Ty);
+    return prim1([ResTy](const Value &A) {
+      return Value::num(normalizeToType(A.N, ResTy), ResTy);
+    });
+  }
+
+  //===------------------------------------------------------------------===//
+  // Pairs / unit / option / lists
+  //===------------------------------------------------------------------===//
+  if (N == nm::Unity)
+    return Value::unit();
+  if (N == nm::PairC)
+    return prim2([](const Value &A, const Value &B) {
+      return Value::pair(A, B);
+    });
+  if (N == nm::Fst)
+    return prim1([](const Value &P) { return P.PairV->first; });
+  if (N == nm::Snd)
+    return prim1([](const Value &P) { return P.PairV->second; });
+  if (N == nm::CaseProd)
+    return prim2([](const Value &F, const Value &P) {
+      return F.Fun(P.PairV->first).Fun(P.PairV->second);
+    });
+  if (N == nm::NoneC)
+    return Value::none();
+  if (N == nm::SomeC)
+    return prim1([](const Value &A) { return Value::some(A); });
+  if (N == nm::The) {
+    // `the None` is an unspecified value in HOL; our model fixes it to
+    // the type's default (heap reads at invalid pointers hit this).
+    TypeRef ResTy = ranTy(Ty);
+    return prim1([X, ResTy](const Value &O) {
+      if (O.HasValue)
+        return *O.Inner;
+      return X->defaultValue(ResTy);
+    });
+  }
+  if (N == "id_abs") // identity abstraction function (word abstraction)
+    return prim1([](const Value &V) { return V; });
+  if (N == "lift_global_heap") {
+    assert(Ctx.LiftGlobalHeap &&
+           "heap abstraction semantics not installed");
+    return prim1([X](const Value &G) { return X->LiftGlobalHeap(G, *X); });
+  }
+  if (N == nm::Nil)
+    return Value::list({});
+  if (N == nm::Cons)
+    return prim2([](const Value &H, const Value &T) {
+      std::vector<Value> Vs{H};
+      Vs.insert(Vs.end(), T.ListV->begin(), T.ListV->end());
+      return Value::list(std::move(Vs));
+    });
+  if (N == nm::Append)
+    return prim2([](const Value &A, const Value &B) {
+      std::vector<Value> Vs = *A.ListV;
+      Vs.insert(Vs.end(), B.ListV->begin(), B.ListV->end());
+      return Value::list(std::move(Vs));
+    });
+  if (N == nm::Rev)
+    return prim1([](const Value &A) {
+      std::vector<Value> Vs(A.ListV->rbegin(), A.ListV->rend());
+      return Value::list(std::move(Vs));
+    });
+  if (N == nm::Length)
+    return prim1([](const Value &A) {
+      return Value::num(static_cast<Int128>(A.ListV->size()), natTy());
+    });
+  if (N == nm::Member)
+    return prim2([](const Value &E, const Value &L) {
+      for (const Value &V : *L.ListV)
+        if (Value::equal(V, E))
+          return Value::boolean(true);
+      return Value::boolean(false);
+    });
+  if (N == nm::Hd)
+    return prim1([](const Value &L) {
+      assert(!L.ListV->empty() && "hd of empty list");
+      return L.ListV->front();
+    });
+  if (N == nm::Tl)
+    return prim1([](const Value &L) {
+      if (L.ListV->empty())
+        return Value::list({});
+      std::vector<Value> Vs(L.ListV->begin() + 1, L.ListV->end());
+      return Value::list(std::move(Vs));
+    });
+  if (N == nm::Disjnt)
+    return prim2([](const Value &A, const Value &B) {
+      for (const Value &X : *A.ListV)
+        for (const Value &Y : *B.ListV)
+          if (Value::equal(X, Y))
+            return Value::boolean(false);
+      return Value::boolean(true);
+    });
+  // List@REC.FIELD v H p ps: p heads the chain ps through H's FIELD,
+  // all valid and non-NULL, ending in NULL.
+  if (N.rfind("List@", 0) == 0) {
+    std::string Field = N.substr(N.rfind('.') + 1);
+    return prim2([Field](const Value &VF, const Value &HF) {
+      return Value::fun([VF, HF, Field](const Value &P0) {
+        return Value::fun([VF, HF, Field, P0](const Value &Ps) {
+          Value P = P0;
+          for (const Value &X : *Ps.ListV) {
+            if (!Value::equal(P, X))
+              return Value::boolean(false);
+            if (P.addr() == 0)
+              return Value::boolean(false);
+            if (!VF.Fun(P).B)
+              return Value::boolean(false);
+            P = HF.Fun(P).Rec->at(Field);
+          }
+          return Value::boolean(P.addr() == 0);
+        });
+      });
+    });
+  }
+  if (N.rfind("listlen@", 0) == 0) {
+    std::string Field = N.substr(N.rfind('.') + 1);
+    return prim2([Field](const Value &VF, const Value &HF) {
+      return Value::fun([VF, HF, Field](const Value &P0) {
+        Value P = P0;
+        Int128 Len = 0;
+        for (unsigned I = 0; I != 4096; ++I) {
+          if (P.addr() == 0)
+            return Value::num(Len, natTy());
+          if (!VF.Fun(P).B)
+            return Value::num(0, natTy());
+          P = HF.Fun(P).Rec->at(Field);
+          ++Len;
+        }
+        return Value::num(0, natTy()); // cyclic: no list exists
+      });
+    });
+  }
+  if (N == nm::Distinct)
+    return prim1([](const Value &L) {
+      for (size_t I = 0; I != L.ListV->size(); ++I)
+        for (size_t J = I + 1; J != L.ListV->size(); ++J)
+          if (Value::equal((*L.ListV)[I], (*L.ListV)[J]))
+            return Value::boolean(false);
+      return Value::boolean(true);
+    });
+
+  if (N == "fun_upd")
+    return prim3([](const Value &F, const Value &A, const Value &V) {
+      return Value::fun([F, A, V](const Value &Y) {
+        return Value::equal(Y, A) ? V : F.Fun(Y);
+      });
+    });
+
+  //===------------------------------------------------------------------===//
+  // Pointers and the heap
+  //===------------------------------------------------------------------===//
+  if (N == nm::NullPtr)
+    return Value::ptr(0, typeStr(Ty->arg(0)));
+  if (N == nm::PtrC) {
+    TypeRef PT = ranTy(Ty);
+    return prim1([PT](const Value &A) {
+      return Value::ptr(A.addr(), typeStr(PT->arg(0)));
+    });
+  }
+  if (N == nm::PtrVal)
+    return prim1([](const Value &P) {
+      return Value::num(static_cast<Int128>(P.addr()), wordTy(32));
+    });
+  if (N == nm::PtrCoerce) {
+    TypeRef PT = ranTy(Ty);
+    return prim1([PT](const Value &P) {
+      return Value::ptr(P.addr(), typeStr(PT->arg(0)));
+    });
+  }
+  if (N == nm::PtrAligned) {
+    TypeRef Pointee = domTy(Ty)->arg(0);
+    return prim1([X, Pointee](const Value &P) {
+      return Value::boolean(X->ptrAligned(P.addr(), Pointee));
+    });
+  }
+  if (N == nm::PtrRangeOk) {
+    TypeRef Pointee = domTy(Ty)->arg(0);
+    return prim1([X, Pointee](const Value &P) {
+      return Value::boolean(X->ptrRangeOk(P.addr(), Pointee));
+    });
+  }
+  if (N == nm::ObjSize) {
+    TypeRef Pointee = domTy(Ty)->arg(0);
+    return prim1([X, Pointee](const Value &) {
+      return Value::num(X->sizeOfTy(Pointee), natTy());
+    });
+  }
+  if (N == nm::ReadHeap) {
+    TypeRef ValTy = ranTy(ranTy(Ty));
+    return prim2([X, ValTy](const Value &H, const Value &P) {
+      return X->decode(*H.Heap, P.addr(), ValTy);
+    });
+  }
+  if (N == nm::WriteHeap) {
+    TypeRef ValTy = domTy(ranTy(ranTy(Ty)));
+    return prim3([X, ValTy](const Value &H, const Value &P,
+                            const Value &V) {
+      auto NewH = std::make_shared<HeapVal>(*H.Heap);
+      X->encode(*NewH, P.addr(), V, ValTy);
+      return Value::heap(std::move(NewH));
+    });
+  }
+  if (N == nm::ReadByte)
+    return prim2([](const Value &H, const Value &A) {
+      return Value::num(H.Heap->readByte(A.addr()), wordTy(8));
+    });
+  if (N == nm::WriteByte)
+    return prim3([](const Value &H, const Value &A, const Value &V) {
+      auto NewH = std::make_shared<HeapVal>(*H.Heap);
+      NewH->Bytes[A.addr()] =
+          static_cast<uint8_t>(static_cast<unsigned>(V.N) & 0xff);
+      return Value::heap(std::move(NewH));
+    });
+  if (N == nm::TypeTagValid) {
+    TypeRef Pointee = domTy(ranTy(Ty))->arg(0);
+    return prim2([X, Pointee](const Value &H, const Value &P) {
+      return Value::boolean(X->typeTagValid(*H.Heap, P.addr(), Pointee));
+    });
+  }
+  if (N == nm::RetypeTag) {
+    TypeRef Pointee = domTy(ranTy(Ty))->arg(0);
+    return prim2([X, Pointee](const Value &H, const Value &P) {
+      auto NewH = std::make_shared<HeapVal>(*H.Heap);
+      X->retype(*NewH, P.addr(), Pointee);
+      return Value::heap(std::move(NewH));
+    });
+  }
+  if (N == nm::HeapLift) {
+    TypeRef Pointee = domTy(ranTy(Ty))->arg(0);
+    return prim2([X, Pointee](const Value &H, const Value &P) {
+      uint32_t A = P.addr();
+      if (X->typeTagValid(*H.Heap, A, Pointee) &&
+          X->ptrAligned(A, Pointee) && X->ptrRangeOk(A, Pointee))
+        return Value::some(X->decode(*H.Heap, A, Pointee));
+      return Value::none();
+    });
+  }
+
+  //===------------------------------------------------------------------===//
+  // Ghost exception values
+  //===------------------------------------------------------------------===//
+  if (Ty->isCon("c_exntype") &&
+      (N == "Return" || N == "Break" || N == "Continue"))
+    return Value::exn(N);
+
+  //===------------------------------------------------------------------===//
+  // Records
+  //===------------------------------------------------------------------===//
+  if (N.rfind("fld:", 0) == 0) {
+    std::string Field = N.substr(N.rfind('.') + 1);
+    return prim1([Field](const Value &R) {
+      assert(R.K == Value::Kind::Record && "field access on non-record");
+      auto It = R.Rec->find(Field);
+      assert(It != R.Rec->end() && "record is missing a field");
+      return It->second;
+    });
+  }
+  if (N.rfind("upd:", 0) == 0) {
+    std::string Field = N.substr(N.rfind('.') + 1);
+    return prim2([Field](const Value &F, const Value &R) {
+      auto NewRec = std::make_shared<std::map<std::string, Value>>(*R.Rec);
+      auto It = NewRec->find(Field);
+      assert(It != NewRec->end() && "record is missing a field");
+      It->second = F.Fun(It->second);
+      Value Out = R;
+      Out.Rec = std::move(NewRec);
+      return Out;
+    });
+  }
+  if (N.rfind("make:", 0) == 0) {
+    // Record constructor: curried over all fields in declaration order.
+    std::string RecName = N.substr(5);
+    const RecordInfo *RI =
+        Ctx.Prog ? Ctx.Prog->Records.lookup(RecName) : nullptr;
+    assert(RI && "make: of unknown record");
+    // Field names by position (copied out of the registry so the closure
+    // does not dangle).
+    auto FieldNames = std::make_shared<std::vector<std::string>>();
+    for (const auto &[FName, FTy] : RI->Fields)
+      FieldNames->push_back(FName);
+    struct Collector {
+      std::string RecName;
+      std::shared_ptr<std::vector<std::string>> FieldNames;
+      Value make(std::vector<Value> Acc) const {
+        if (Acc.size() == FieldNames->size()) {
+          std::map<std::string, Value> Fields;
+          for (size_t I = 0; I != Acc.size(); ++I)
+            Fields.emplace((*FieldNames)[I], Acc[I]);
+          return Value::record(RecName, std::move(Fields));
+        }
+        Collector Self = *this;
+        return Value::fun([Self, Acc](const Value &V) {
+          std::vector<Value> Acc2 = Acc;
+          Acc2.push_back(V);
+          return Self.make(std::move(Acc2));
+        });
+      }
+    };
+    return Collector{RecName, FieldNames}.make({});
+  }
+
+  //===------------------------------------------------------------------===//
+  // Monad combinators (Table 1)
+  //===------------------------------------------------------------------===//
+  if (N == nm::Return)
+    return prim1([](const Value &V) {
+      return Value::monadOf([V](const Value &S, InterpCtx &) {
+        return MonadResult::single(V, S);
+      });
+    });
+  if (N == nm::Skip)
+    return Value::monadOf([](const Value &S, InterpCtx &) {
+      return MonadResult::single(Value::unit(), S);
+    });
+  if (N == nm::Fail)
+    return Value::monadOf([](const Value &, InterpCtx &) {
+      return MonadResult::failure();
+    });
+  if (N == nm::Get)
+    return Value::monadOf([](const Value &S, InterpCtx &) {
+      return MonadResult::single(S, S);
+    });
+  if (N == nm::Gets)
+    return prim1([](const Value &F) {
+      return Value::monadOf([F](const Value &S, InterpCtx &) {
+        return MonadResult::single(F.Fun(S), S);
+      });
+    });
+  if (N == nm::Put)
+    return prim1([](const Value &S2) {
+      return Value::monadOf([S2](const Value &, InterpCtx &) {
+        return MonadResult::single(Value::unit(), S2);
+      });
+    });
+  if (N == nm::Modify)
+    return prim1([](const Value &F) {
+      return Value::monadOf([F](const Value &S, InterpCtx &) {
+        return MonadResult::single(Value::unit(), F.Fun(S));
+      });
+    });
+  if (N == nm::Guard)
+    return prim1([](const Value &P) {
+      return Value::monadOf([P](const Value &S, InterpCtx &) {
+        if (P.Fun(S).B)
+          return MonadResult::single(Value::unit(), S);
+        return MonadResult::failure();
+      });
+    });
+  if (N == nm::Throw)
+    return prim1([](const Value &E) {
+      return Value::monadOf([E](const Value &S, InterpCtx &) {
+        return MonadResult::single(E, S, /*IsExn=*/true);
+      });
+    });
+  if (N == nm::Bind)
+    return prim2([](const Value &M, const Value &F) {
+      return Value::monadOf([M, F](const Value &S, InterpCtx &Ctx) {
+        MonadResult R0 = runMonad(M, S, Ctx);
+        MonadResult Out;
+        Out.Failed = R0.Failed;
+        for (const MonadResult::Res &R : R0.Results) {
+          if (R.IsExn) {
+            Out.Results.push_back(R);
+            continue;
+          }
+          MonadResult R1 = runMonad(F.Fun(R.V), R.State, Ctx);
+          Out.Failed = Out.Failed || R1.Failed;
+          for (const MonadResult::Res &Q : R1.Results)
+            Out.Results.push_back(Q);
+          if (Out.Results.size() > Ctx.MaxResults) {
+            Out.Failed = true;
+            Ctx.OutOfFuel = true;
+            break;
+          }
+        }
+        return Out;
+      });
+    });
+  if (N == nm::Catch)
+    return prim2([](const Value &M, const Value &H) {
+      return Value::monadOf([M, H](const Value &S, InterpCtx &Ctx) {
+        MonadResult R0 = runMonad(M, S, Ctx);
+        MonadResult Out;
+        Out.Failed = R0.Failed;
+        for (const MonadResult::Res &R : R0.Results) {
+          if (!R.IsExn) {
+            Out.Results.push_back(R);
+            continue;
+          }
+          MonadResult R1 = runMonad(H.Fun(R.V), R.State, Ctx);
+          Out.Failed = Out.Failed || R1.Failed;
+          for (const MonadResult::Res &Q : R1.Results)
+            Out.Results.push_back(Q);
+        }
+        return Out;
+      });
+    });
+  if (N == nm::Condition)
+    return prim3([](const Value &C, const Value &A, const Value &B) {
+      return Value::monadOf([C, A, B](const Value &S, InterpCtx &Ctx) {
+        return runMonad(C.Fun(S).B ? A : B, S, Ctx);
+      });
+    });
+  if (N == nm::WhileLoop)
+    return prim3([](const Value &C, const Value &B, const Value &I) {
+      return Value::monadOf([C, B, I](const Value &S0, InterpCtx &Ctx) {
+        MonadResult Out;
+        std::deque<std::pair<Value, Value>> Work;
+        Work.emplace_back(I, S0);
+        while (!Work.empty()) {
+          auto [R, S] = Work.front();
+          Work.pop_front();
+          if (!Ctx.spendFuel()) {
+            Out.Failed = true;
+            return Out;
+          }
+          if (!C.Fun(R).Fun(S).B) {
+            Out.Results.push_back({false, R, S});
+            continue;
+          }
+          MonadResult Step = runMonad(B.Fun(R), S, Ctx);
+          Out.Failed = Out.Failed || Step.Failed;
+          for (const MonadResult::Res &Q : Step.Results) {
+            if (Q.IsExn)
+              Out.Results.push_back(Q);
+            else
+              Work.emplace_back(Q.V, Q.State);
+          }
+          if (Out.Results.size() + Work.size() > Ctx.MaxResults) {
+            Out.Failed = true;
+            Ctx.OutOfFuel = true;
+            return Out;
+          }
+        }
+        return Out;
+      });
+    });
+  if (N == nm::Unknown)
+    return Value::monadOf([C](const Value &S, InterpCtx &Ctx) {
+      // A canonical arbitrary value; enough for the places we use it.
+      TypeRef S2, A, E;
+      bool IsMonad = destMonadTy(C->type(), S2, A, E);
+      assert(IsMonad && "unknown at non-monad type");
+      (void)IsMonad;
+      return MonadResult::single(Ctx.defaultValue(A), S);
+    });
+
+  //===------------------------------------------------------------------===//
+  // Procedure-call combinators and defined constants
+  //===------------------------------------------------------------------===//
+  if (N.rfind("l1call:", 0) == 0) {
+    std::string Callee = N.substr(7);
+    return prim2([X, Callee](const Value &Setup, const Value &Teardown) {
+      return Value::monadOf(
+          [X, Callee, Setup, Teardown](const Value &S, InterpCtx &Ctx) {
+            auto It = Ctx.FunDefs.find("l1:" + Callee);
+            assert(It != Ctx.FunDefs.end() && "callee has no L1 body");
+            (void)X;
+            Value CalleeM = evalClosed(It->second, Ctx);
+            Value CalleeS = Setup.Fun(S);
+            MonadResult R0 = runMonad(CalleeM, CalleeS, Ctx);
+            MonadResult Out;
+            Out.Failed = R0.Failed;
+            for (const MonadResult::Res &R : R0.Results) {
+              assert(!R.IsExn && "L1 function bodies catch all exceptions");
+              Out.Results.push_back(
+                  {false, Value::unit(),
+                   Teardown.Fun(S).Fun(R.State)});
+            }
+            return Out;
+          });
+    });
+  }
+
+  // Named definitions (translated functions at the various levels).
+  {
+    auto It = Ctx.FunDefs.find(N);
+    if (It != Ctx.FunDefs.end())
+      return evalClosed(It->second, Ctx);
+  }
+
+  assert(false && "unknown constant reached the evaluator");
+  return Value::unit();
+}

@@ -1,0 +1,93 @@
+//===- Interp.h - Evaluator for terms and monads ----------------*- C++ -*-===//
+//
+// Part of the autocorres-cpp project, under the BSD 2-Clause License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Evaluates closed HOL terms to runtime values, giving the monadic
+/// combinators exactly the Table 1 semantics: a computation maps a state
+/// to a set of (result, state) pairs plus a failure flag, where a result
+/// is Normal v or Except e. whileLoop runs with fuel; exhausting it sets
+/// both the failure flag and an out-of-fuel marker so differential tests
+/// can tell non-termination-within-budget apart from genuine failure.
+///
+/// This is the ground truth the axiomatic rule set is validated against.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AC_MONAD_INTERP_H
+#define AC_MONAD_INTERP_H
+
+#include "monad/Value.h"
+#include "simpl/Program.h"
+
+#include <map>
+
+namespace ac::monad {
+
+/// Shared evaluation context: program layout for heap encode/decode,
+/// definitions of named constants (translated functions), and fuel.
+class InterpCtx {
+public:
+  explicit InterpCtx(const simpl::SimplProgram *Prog = nullptr)
+      : Prog(Prog) {}
+
+  const simpl::SimplProgram *Prog;
+  /// Definitions for named constants (e.g. "l1:f", "l2:f", "hl:f",
+  /// "wa:f"): evaluated on demand, enabling recursion.
+  std::map<std::string, hol::TermRef> FunDefs;
+  /// Semantics of the per-program `lift_global_heap` state abstraction
+  /// (installed by the heap-abstraction setup).
+  std::function<Value(const Value &, InterpCtx &)> LiftGlobalHeap;
+  long Fuel = 200000;
+  bool OutOfFuel = false;
+  unsigned MaxResults = 256;
+
+  void reset(long NewFuel = 200000) {
+    Fuel = NewFuel;
+    OutOfFuel = false;
+  }
+  bool spendFuel() {
+    if (Fuel <= 0) {
+      OutOfFuel = true;
+      return false;
+    }
+    --Fuel;
+    return true;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Layout (encode/decode between values and heap bytes)
+  //===--------------------------------------------------------------------===//
+
+  unsigned sizeOfTy(const hol::TypeRef &T) const;
+  unsigned alignOfTy(const hol::TypeRef &T) const;
+  Value decode(const HeapVal &H, uint32_t Addr, const hol::TypeRef &T) const;
+  void encode(HeapVal &H, uint32_t Addr, const Value &V,
+              const hol::TypeRef &T) const;
+  /// Canonical default (zero) value of a type.
+  Value defaultValue(const hol::TypeRef &T) const;
+
+  /// ptr_aligned / "0 notin {p..+size}" checks for a pointee type.
+  bool ptrAligned(uint32_t Addr, const hol::TypeRef &Pointee) const;
+  bool ptrRangeOk(uint32_t Addr, const hol::TypeRef &Pointee) const;
+  /// Tuch type-tag validity of the object footprint.
+  bool typeTagValid(const HeapVal &H, uint32_t Addr,
+                    const hol::TypeRef &Pointee) const;
+  /// Writes type tags for an object of type \p Pointee at \p Addr.
+  void retype(HeapVal &H, uint32_t Addr, const hol::TypeRef &Pointee) const;
+};
+
+/// Evaluates a term with a de Bruijn environment (innermost binder last).
+Value evalTerm(const hol::TermRef &T, std::vector<Value> &Env,
+               InterpCtx &Ctx);
+/// Evaluates a closed term.
+Value evalClosed(const hol::TermRef &T, InterpCtx &Ctx);
+
+/// Runs a monadic value on a state.
+MonadResult runMonad(const Value &M, const Value &State, InterpCtx &Ctx);
+
+} // namespace ac::monad
+
+#endif // AC_MONAD_INTERP_H

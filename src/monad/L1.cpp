@@ -1,0 +1,171 @@
+//===- L1.cpp -------------------------------------------------------------===//
+
+#include "monad/L1.h"
+
+using namespace ac;
+using namespace ac::monad;
+using namespace ac::hol;
+using simpl::SimplFunc;
+using simpl::SimplProgram;
+using simpl::SimplStmt;
+using simpl::SimplStmtPtr;
+
+TermRef ac::monad::simplBodyConst(const SimplFunc &F) {
+  return Term::mkConst("SIMPL[" + F.Name + "]",
+                       Type::con("com", {F.StateTy}));
+}
+
+namespace {
+
+/// Default literal for scalar local-variable types (used when building a
+/// callee's initial state).
+TermRef defaultTerm(const TypeRef &Ty) {
+  if (isWordTy(Ty) || isSwordTy(Ty) || Ty->isCon("nat") || Ty->isCon("int"))
+    return Term::mkNum(0, Ty);
+  if (isPtrTy(Ty))
+    return mkNullPtr(Ty->arg(0));
+  if (Ty->isCon("unit"))
+    return mkUnit();
+  if (Ty->isCon("c_exntype"))
+    return simpl::exnReturn();
+  if (Ty->isCon("bool"))
+    return mkFalse();
+  assert(false && "no default literal for this type");
+  return nullptr;
+}
+
+class L1Converter {
+public:
+  L1Converter(const SimplProgram &Prog, const SimplFunc &F)
+      : Prog(Prog), F(F), S(F.StateTy), E(unitTy()) {}
+
+  TermRef convert(const SimplStmtPtr &St) {
+    switch (St->kind()) {
+    case SimplStmt::Kind::Skip:
+      return mkSkip(S, E);
+    case SimplStmt::Kind::Basic:
+      return mkModify(S, E, St->Upd);
+    case SimplStmt::Kind::Seq: {
+      TermRef A = convert(St->A);
+      TermRef B = convert(St->B);
+      return mkBind(A, Term::mkLam("_", unitTy(), B));
+    }
+    case SimplStmt::Kind::Cond:
+      return mkCondition(St->Cond, convert(St->A), convert(St->B));
+    case SimplStmt::Kind::While: {
+      // Iterate over a unit value; the condition ignores it.
+      TermRef Cond = Term::mkLam("r", unitTy(), St->Cond);
+      TermRef Body = Term::mkLam("r", unitTy(), convert(St->A));
+      return mkWhileLoop(Cond, Body, mkUnit());
+    }
+    case SimplStmt::Kind::Guard:
+      return mkGuard(S, E, St->Cond);
+    case SimplStmt::Kind::Throw:
+      return mkThrow(S, unitTy(), mkUnit());
+    case SimplStmt::Kind::TryCatch: {
+      TermRef A = convert(St->A);
+      TermRef B = convert(St->B);
+      return mkCatch(A, Term::mkLam("_", unitTy(), B));
+    }
+    case SimplStmt::Kind::Call:
+      return convertCall(*St);
+    }
+    return nullptr;
+  }
+
+private:
+  const SimplProgram &Prog;
+  const SimplFunc &F;
+  TypeRef S, E;
+
+  TermRef convertCall(const SimplStmt &St) {
+    const SimplFunc *Callee = Prog.function(St.Callee);
+    assert(Callee && "L1: call to unknown function");
+    const RecordInfo *CalleeRI =
+        Prog.Records.lookup(Callee->StateRecName);
+    assert(CalleeRI && "callee record missing");
+
+    // setup :: callerS => calleeS.
+    TermRef SC = Term::mkFree("s", S);
+    std::vector<TypeRef> FieldTys;
+    for (const auto &[Name, Ty] : CalleeRI->Fields)
+      FieldTys.push_back(Ty);
+    TermRef Make = Term::mkConst("make:" + Callee->StateRecName,
+                                 funTys(FieldTys, Callee->StateTy));
+    std::vector<TermRef> FieldVals;
+    for (const auto &[Name, Ty] : CalleeRI->Fields) {
+      if (Name == "globals") {
+        FieldVals.push_back(mkFieldGet(F.StateRecName, "globals",
+                                       Prog.GlobalsTy, S, SC));
+        continue;
+      }
+      // Parameter?
+      bool IsParam = false;
+      for (size_t I = 0; I != Callee->Params.size(); ++I) {
+        if (Callee->Params[I].first == Name) {
+          FieldVals.push_back(
+              betaNorm(Term::mkApp(St.Args[I], SC)));
+          IsParam = true;
+          break;
+        }
+      }
+      if (!IsParam)
+        FieldVals.push_back(defaultTerm(Ty));
+    }
+    TermRef Setup = lambdaFree("s", S, mkApps(Make, FieldVals));
+
+    // teardown :: callerS => calleeS => callerS.
+    TermRef SC2 = Term::mkFree("s", S);
+    TermRef TC = Term::mkFree("t", Callee->StateTy);
+    TermRef CalleeGlobals = mkFieldGet(Callee->StateRecName, "globals",
+                                       Prog.GlobalsTy, Callee->StateTy, TC);
+    TermRef WithG = mkFieldSet(F.StateRecName, "globals", Prog.GlobalsTy, S,
+                               CalleeGlobals, SC2);
+    TermRef TearBody = WithG;
+    if (St.ResultStore) {
+      assert(Callee->RetTy && "result store from a void function");
+      TermRef RetV =
+          mkFieldGet(Callee->StateRecName, simpl::retVarName(),
+                     Callee->RetTy, Callee->StateTy, TC);
+      TearBody = betaNorm(
+          mkApps(St.ResultStore, {WithG, RetV}));
+    }
+    TermRef Teardown =
+        lambdaFree("s", S, lambdaFree("t", Callee->StateTy, TearBody));
+
+    TypeRef CallTy = funTys({typeOf(Setup), typeOf(Teardown)},
+                            monadTy(S, unitTy(), unitTy()));
+    TermRef CallC = Term::mkConst("l1call:" + St.Callee, CallTy);
+    return mkApps(CallC, {Setup, Teardown});
+  }
+};
+
+} // namespace
+
+L1Result ac::monad::convertL1(const SimplProgram &Prog, const SimplFunc &F) {
+  L1Converter C(Prog, F);
+  L1Result R;
+  R.Term = C.convert(F.Body);
+  assert(R.Term && "L1 conversion failed");
+  // L1corres m SIMPL[f]: validated by differential execution in the test
+  // suite; see the header comment for why this phase is oracle-backed.
+  TermRef SimplC = simplBodyConst(F);
+  TermRef Pred = Term::mkConst(
+      names::L1Corres,
+      funTys({typeOf(R.Term), typeOf(SimplC)}, boolTy()));
+  R.Corres =
+      Kernel::oracle("monadic_conversion", mkApps(Pred, {R.Term, SimplC}));
+  return R;
+}
+
+std::map<std::string, L1Result>
+ac::monad::convertAllL1(const SimplProgram &Prog, InterpCtx &Ctx) {
+  std::map<std::string, L1Result> Out;
+  for (const std::string &Name : Prog.FunctionOrder) {
+    const SimplFunc *F = Prog.function(Name);
+    L1Result R = convertL1(Prog, *F);
+    Ctx.FunDefs["l1:" + Name] = R.Term;
+    Out.emplace(Name, std::move(R));
+  }
+  return Out;
+}

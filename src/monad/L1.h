@@ -1,0 +1,50 @@
+//===- L1.h - Monadic conversion (Simpl -> shallow embedding) ---*- C++ -*-===//
+//
+// Part of the autocorres-cpp project, under the BSD 2-Clause License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The first AutoCorres phase (Fig 1, "Monadic Conversion"): a plain
+/// translation of the deep Simpl embedding into the shallow exception
+/// monad, one combinator per Simpl construct (Table 1). The state is still
+/// the per-function Simpl state record; abrupt termination is still the
+/// `global_exn_var` ghost plus unit-valued exceptions.
+///
+/// The emitted theorem `L1corres m SIMPL[f]` is oracle-backed
+/// ("monadic_conversion") and cross-validated by differential execution
+/// (this phase predates the paper — Greenaway et al. [ITP'12] — so its
+/// proofs are not this reproduction's foundational focus; Sec 3/4's word
+/// and heap abstraction rules are, and those are LCF-derived).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AC_MONAD_L1_H
+#define AC_MONAD_L1_H
+
+#include "hol/Thm.h"
+#include "monad/Interp.h"
+
+namespace ac::monad {
+
+/// Result of converting one function.
+struct L1Result {
+  hol::TermRef Term; ///< monad over the function's Simpl state record
+  hol::Thm Corres;   ///< L1corres Term SIMPL[f]
+};
+
+/// The opaque constant denoting a function's Simpl body in propositions.
+hol::TermRef simplBodyConst(const simpl::SimplFunc &F);
+
+/// Converts one function to its L1 monadic form.
+L1Result convertL1(const simpl::SimplProgram &Prog,
+                   const simpl::SimplFunc &F);
+
+/// Converts every function and installs "l1:<name>" definitions into
+/// \p Ctx so calls resolve during interpretation.
+std::map<std::string, L1Result> convertAllL1(const simpl::SimplProgram &Prog,
+                                             InterpCtx &Ctx);
+
+} // namespace ac::monad
+
+#endif // AC_MONAD_L1_H

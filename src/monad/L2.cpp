@@ -1,0 +1,922 @@
+//===- L2.cpp - Local variable lifting (CPS over Simpl) -------------------===//
+//
+// Part of the autocorres-cpp project, under the BSD 2-Clause License.
+//
+//===----------------------------------------------------------------------===//
+//
+// Strategy: one continuation-passing walk over the (translator-shaped)
+// Simpl tree.
+//
+//  * Local variables live in an environment mapping each local to a pure
+//    term (a literal, an argument, or a bound variable introduced by a
+//    gets/call bind). Pure assignments cost nothing; state-reading
+//    assignments become `v <- gets (%s. e)`.
+//  * Loops become `whileLoop cond body init` over a tuple of exactly the
+//    locals that are (i) modified in the body and (ii) live at the loop
+//    head — reproducing Fig 6's `whileLoop (%(list, rev) s. ...)`.
+//  * return compiles to `throw v` (the only exception left); break and
+//    continue are compiled away through the continuations (a loop whose
+//    body can break iterates over an extra "done" flag).
+//  * The function-level catch then specialises `throw` into the function
+//    result: catch BODY (%r. return r).
+//
+//===----------------------------------------------------------------------===//
+
+#include "monad/L2.h"
+
+#include "monad/Peephole.h"
+
+#include <set>
+
+using namespace ac;
+using namespace ac::monad;
+using namespace ac::hol;
+namespace nm = ac::hol::names;
+using simpl::FrameKind;
+using simpl::SimplFunc;
+using simpl::SimplProgram;
+using simpl::SimplStmt;
+using simpl::SimplStmtPtr;
+
+//===----------------------------------------------------------------------===//
+// Published callee constants
+//===----------------------------------------------------------------------===//
+
+TermRef ac::monad::l2FuncConst(const SimplProgram &Prog,
+                               const SimplFunc &Callee,
+                               TypeRef CallerExnTy) {
+  std::vector<TypeRef> ArgTys;
+  for (const auto &[Name, Ty] : Callee.Params)
+    ArgTys.push_back(Ty);
+  TypeRef RetTy = Callee.RetTy ? Callee.RetTy : unitTy();
+  TypeRef Ty = funTys(
+      ArgTys, monadTy(Prog.GlobalsTy, RetTy, std::move(CallerExnTy)));
+  return Term::mkConst("l2:" + Callee.Name, std::move(Ty));
+}
+
+namespace {
+
+/// Abstracts the unique free \p FreeName out of \p Body but displays the
+/// binder as \p Display.
+TermRef lamNamed(const std::string &FreeName, const std::string &Display,
+                 const TypeRef &Ty, const TermRef &Body) {
+  TermRef L = lambdaFree(FreeName, Ty, Body);
+  return Term::mkLam(Display, Ty, L->body());
+}
+
+using Vars = std::vector<std::pair<std::string, TypeRef>>;
+
+class L2Converter {
+public:
+  L2Converter(const SimplProgram &Prog, const SimplFunc &F)
+      : Prog(Prog), F(F), G(Prog.GlobalsTy),
+        R(F.RetTy ? F.RetTy : unitTy()) {}
+
+  L2Result run();
+
+private:
+  const SimplProgram &Prog;
+  const SimplFunc &F;
+  TypeRef G, R;
+  unsigned FreshCtr = 0;
+
+  using Env = std::map<std::string, TermRef>;
+  using K = std::function<TermRef(const Env &)>;
+  using Live = std::set<std::string>;
+
+  std::string fresh(const std::string &Hint) {
+    return Hint + "!" + std::to_string(FreshCtr++);
+  }
+
+  //===------------------------------------------------------------------===//
+  // Expression lowering
+  //===------------------------------------------------------------------===//
+
+  /// Rewrites a term over the Simpl state (Free "s") into one over the
+  /// globals record (Free \p SGName) with locals substituted from \p E.
+  TermRef lower(const TermRef &T, const Env &E, const std::string &SGName) {
+    if (T->isApp()) {
+      const TermRef &H = T->fun();
+      if (H->isConst() && T->argTerm()->isFree() &&
+          T->argTerm()->name() == "s" &&
+          H->name().rfind("fld:" + F.StateRecName + ".", 0) == 0) {
+        std::string Field = H->name().substr(H->name().rfind('.') + 1);
+        if (Field == "globals")
+          return Term::mkFree(SGName, G);
+        auto It = E.find(Field);
+        assert(It != E.end() && "local variable not in environment");
+        return It->second;
+      }
+      return Term::mkApp(lower(H, E, SGName),
+                         lower(T->argTerm(), E, SGName));
+    }
+    if (T->isLam())
+      return Term::mkLam(T->name(), T->type(), lower(T->body(), E, SGName));
+    assert(!(T->isFree() && T->name() == "s") &&
+           "raw state variable escaped lowering");
+    return T;
+  }
+
+  /// Opens a %s. T function from the translator and lowers its body.
+  TermRef lowerFn(const TermRef &Fn, const Env &E,
+                  const std::string &SGName) {
+    assert(Fn->isLam() && "translator expressions are lambdas over s");
+    TermRef Body = substBound(Fn->body(), Term::mkFree("s", Fn->type()));
+    return lower(Body, E, SGName);
+  }
+
+  static bool usesFreeName(const TermRef &T, const std::string &Name) {
+    return occursFree(T, Name);
+  }
+
+  /// %sg. T.
+  TermRef lamSG(const std::string &SGName, const TermRef &T) {
+    return lamNamed(SGName, "s", G, T);
+  }
+
+  //===------------------------------------------------------------------===//
+  // Basic-statement classification
+  //===------------------------------------------------------------------===//
+
+  struct BasicInfo {
+    enum class Kind { Local, Globals, Exn } K;
+    std::string Field;   ///< Local field name / Exn constructor
+    TermRef ValueOverS;  ///< Local: value; Globals: new globals record
+  };
+
+  BasicInfo classifyBasic(const TermRef &Upd) {
+    assert(Upd->isLam() && "Basic update must be a lambda");
+    TermRef SFree = Term::mkFree("s", Upd->type());
+    TermRef Body = substBound(Upd->body(), SFree);
+    std::vector<TermRef> Args;
+    TermRef Head = stripApp(Body, Args);
+    assert(Head->isConst() && Args.size() == 2 &&
+           Head->name().rfind("upd:" + F.StateRecName + ".", 0) == 0 &&
+           "unrecognised Basic update shape");
+    assert(termEq(Args[1], SFree) && "update must apply to the state");
+    std::string Field = Head->name().substr(Head->name().rfind('.') + 1);
+    const TermRef &Fn = Args[0];
+    assert(Fn->isLam() && Fn->body()->maxLoose() == 0 &&
+           "update function must be constant");
+    TermRef V = substBound(Fn->body(), Term::mkFree("_dead", Fn->type()));
+    BasicInfo Info;
+    Info.ValueOverS = V;
+    if (Field == simpl::exnVarName()) {
+      Info.K = BasicInfo::Kind::Exn;
+      assert(V->isConst() && "exception ghost assigned a non-constant");
+      Info.Field = V->name();
+    } else if (Field == "globals") {
+      Info.K = BasicInfo::Kind::Globals;
+    } else {
+      Info.K = BasicInfo::Kind::Local;
+      Info.Field = Field;
+    }
+    return Info;
+  }
+
+  //===------------------------------------------------------------------===//
+  // Static analyses
+  //===------------------------------------------------------------------===//
+
+  /// Locals read by a term (occurrences of `fld:FS.x s`).
+  void termReads(const TermRef &T, Live &Out) const {
+    if (T->isApp()) {
+      const TermRef &H = T->fun();
+      if (H->isConst() &&
+          H->name().rfind("fld:" + F.StateRecName + ".", 0) == 0) {
+        std::string Field = H->name().substr(H->name().rfind('.') + 1);
+        if (Field != "globals" && Field != simpl::exnVarName())
+          Out.insert(Field);
+      }
+      termReads(T->fun(), Out);
+      termReads(T->argTerm(), Out);
+      return;
+    }
+    if (T->isLam())
+      termReads(T->body(), Out);
+  }
+
+  /// Locals (excluding ret/exn/globals) assigned within a statement.
+  void modifiedLocals(const SimplStmtPtr &S, Live &Out) const {
+    if (!S)
+      return;
+    if (S->kind() == SimplStmt::Kind::Basic ||
+        S->kind() == SimplStmt::Kind::Call) {
+      auto Scan = [&](const TermRef &T) {
+        if (!T)
+          return;
+        std::vector<const Term *> Stack{T.get()};
+        while (!Stack.empty()) {
+          const Term *Cur = Stack.back();
+          Stack.pop_back();
+          if (Cur->isConst() &&
+              Cur->name().rfind("upd:" + F.StateRecName + ".", 0) == 0) {
+            std::string Field =
+                Cur->name().substr(Cur->name().rfind('.') + 1);
+            if (Field != "globals" && Field != simpl::exnVarName() &&
+                Field != simpl::retVarName())
+              Out.insert(Field);
+          }
+          if (Cur->isApp()) {
+            Stack.push_back(Cur->fun().get());
+            Stack.push_back(Cur->argTerm().get());
+          } else if (Cur->isLam()) {
+            Stack.push_back(Cur->body().get());
+          }
+        }
+      };
+      Scan(S->Upd);
+      Scan(S->ResultStore);
+    }
+    modifiedLocals(S->A, Out);
+    modifiedLocals(S->B, Out);
+  }
+
+  /// Flattens nested Seq into a statement list.
+  static void flatten(const SimplStmtPtr &S, std::vector<SimplStmtPtr> &Out) {
+    if (!S)
+      return;
+    if (S->kind() == SimplStmt::Kind::Seq) {
+      flatten(S->A, Out);
+      flatten(S->B, Out);
+      return;
+    }
+    Out.push_back(S);
+  }
+
+  /// Backward liveness over a statement list. \p LB and \p LC are the
+  /// live sets at the targets of break/continue.
+  Live liveList(const std::vector<SimplStmtPtr> &Sts, size_t I, Live LN,
+                const Live &LB, const Live &LC) const {
+    if (I == Sts.size())
+      return LN;
+    const SimplStmtPtr &S = Sts[I];
+    switch (S->kind()) {
+    case SimplStmt::Kind::Skip:
+      return liveList(Sts, I + 1, std::move(LN), LB, LC);
+    case SimplStmt::Kind::Guard: {
+      Live L = liveList(Sts, I + 1, std::move(LN), LB, LC);
+      termReads(S->Cond, L);
+      return L;
+    }
+    case SimplStmt::Kind::Basic: {
+      // The abrupt patterns decide the successor live set.
+      BasicLike BL = peekBasic(S);
+      if (BL.IsExn) {
+        if (BL.ExnCtor == "Break")
+          return LB;
+        if (BL.ExnCtor == "Continue")
+          return LC;
+        // Return: reads ret (set just before for non-void functions).
+        Live L;
+        if (F.RetTy)
+          L.insert(simpl::retVarName());
+        return L;
+      }
+      Live L = liveList(Sts, I + 1, std::move(LN), LB, LC);
+      if (BL.IsLocal)
+        L.erase(BL.Field);
+      termReads(S->Upd, L);
+      return L;
+    }
+    case SimplStmt::Kind::Throw:
+      // Consumed by the preceding exn assignment; if reached standalone,
+      // be conservative.
+      return LN;
+    case SimplStmt::Kind::Cond: {
+      Live L = liveList(Sts, I + 1, LN, LB, LC);
+      std::vector<SimplStmtPtr> A, B;
+      flatten(S->A, A);
+      flatten(S->B, B);
+      Live LA = liveList(A, 0, L, LB, LC);
+      Live LLB = liveList(B, 0, L, LB, LC);
+      LA.insert(LLB.begin(), LLB.end());
+      termReads(S->Cond, LA);
+      return LA;
+    }
+    case SimplStmt::Kind::TryCatch: {
+      Live L = liveList(Sts, I + 1, LN, LB, LC);
+      std::vector<SimplStmtPtr> A;
+      flatten(S->A, A);
+      if (S->Frame == FrameKind::LoopContinue)
+        return liveList(A, 0, L, LB, /*LC=*/L);
+      if (S->Frame == FrameKind::LoopBreak)
+        return liveList(A, 0, L, /*LB=*/L, LC);
+      return liveList(A, 0, L, LB, LC);
+    }
+    case SimplStmt::Kind::While: {
+      Live L = liveList(Sts, I + 1, LN, LB, LC);
+      std::vector<SimplStmtPtr> Body;
+      flatten(S->A, Body);
+      Live X = L;
+      termReads(S->Cond, X);
+      for (unsigned Iter = 0; Iter != 8; ++Iter) {
+        Live X2 = liveList(Body, 0, X, /*LB=*/L, /*LC=*/X);
+        X2.insert(X.begin(), X.end());
+        if (X2 == X)
+          break;
+        X = std::move(X2);
+      }
+      return X;
+    }
+    case SimplStmt::Kind::Call: {
+      Live L = liveList(Sts, I + 1, LN, LB, LC);
+      if (S->ResultStore) {
+        // A stored-to local is killed; reads in the store target count.
+        Live StoreMods;
+        modifiedLocals(S, StoreMods);
+        for (const std::string &M : StoreMods)
+          L.erase(M);
+        termReads(S->ResultStore, L);
+      }
+      for (const TermRef &A : S->Args)
+        termReads(A, L);
+      return L;
+    }
+    case SimplStmt::Kind::Seq:
+      assert(false && "lists are flattened");
+      return LN;
+    }
+    return LN;
+  }
+
+  /// Cheap peek at a Basic statement for liveness (no asserts on shape).
+  struct BasicLike {
+    bool IsExn = false;
+    bool IsLocal = false;
+    std::string Field;
+    std::string ExnCtor;
+  };
+  BasicLike peekBasic(const SimplStmtPtr &S) const {
+    BasicLike Out;
+    if (S->kind() != SimplStmt::Kind::Basic || !S->Upd->isLam())
+      return Out;
+    TermRef SFree = Term::mkFree("s", S->Upd->type());
+    TermRef Body = substBound(S->Upd->body(), SFree);
+    std::vector<TermRef> Args;
+    TermRef Head = stripApp(Body, Args);
+    if (!Head->isConst() || Args.size() != 2 ||
+        Head->name().rfind("upd:" + F.StateRecName + ".", 0) != 0)
+      return Out;
+    std::string Field = Head->name().substr(Head->name().rfind('.') + 1);
+    if (Field == simpl::exnVarName()) {
+      Out.IsExn = true;
+      const TermRef &Fn = Args[0];
+      if (Fn->isLam() && Fn->body()->isConst())
+        Out.ExnCtor = Fn->body()->name();
+      return Out;
+    }
+    if (Field != "globals") {
+      Out.IsLocal = true;
+      Out.Field = Field;
+    }
+    return Out;
+  }
+
+  /// True if the statement contains any abrupt exit (return/break/
+  /// continue pattern) that could bypass a join point.
+  bool containsAbrupt(const SimplStmtPtr &S) const {
+    if (!S)
+      return false;
+    if (S->kind() == SimplStmt::Kind::Basic) {
+      BasicLike BL = peekBasic(S);
+      if (BL.IsExn)
+        return true;
+    }
+    return containsAbrupt(S->A) || containsAbrupt(S->B);
+  }
+
+  /// True if the loop body contains a break that binds to this loop.
+  bool containsBreak(const SimplStmtPtr &S) const {
+    if (!S)
+      return false;
+    if (S->kind() == SimplStmt::Kind::TryCatch &&
+        S->Frame == FrameKind::LoopBreak)
+      return false; // inner loop captures its own breaks
+    if (S->kind() == SimplStmt::Kind::Basic) {
+      BasicLike BL = peekBasic(S);
+      if (BL.IsExn && BL.ExnCtor == "Break")
+        return true;
+    }
+    return containsBreak(S->A) || containsBreak(S->B);
+  }
+
+  //===------------------------------------------------------------------===//
+  // Tuples
+  //===------------------------------------------------------------------===//
+
+  TypeRef tupleTy(const Vars &Vs) const {
+    if (Vs.empty())
+      return unitTy();
+    TypeRef T = Vs.back().second;
+    for (size_t I = Vs.size() - 1; I-- > 0;)
+      T = prodTy(Vs[I].second, T);
+    return T;
+  }
+
+  TermRef tupleVal(const Vars &Vs, const Env &E) const {
+    if (Vs.empty())
+      return mkUnit();
+    TermRef T = E.at(Vs.back().first);
+    for (size_t I = Vs.size() - 1; I-- > 0;)
+      T = mkPair(E.at(Vs[I].first), T);
+    return T;
+  }
+
+  /// Builds a function `tuple => tau`: a single lambda over the tuple
+  /// whose body accesses components through fst/snd projections. The
+  /// binder's display name is the comma-joined component list, which the
+  /// printer re-sugars into the paper's `%(list, rev). ...` notation.
+  /// Plain lambdas (unlike case_prod chains) beta-reduce when applied to
+  /// opaque variables, which the abstraction engines rely on.
+  TermRef caseLambda(const Vars &Vs,
+                     const std::function<TermRef(const Env &)> &Body) {
+    if (Vs.empty()) {
+      Env E;
+      return Term::mkLam("_", unitTy(), Body(E));
+    }
+    TypeRef TT = tupleTy(Vs);
+    std::string RN = fresh("p");
+    TermRef RFree = Term::mkFree(RN, TT);
+    Env Overrides;
+    TermRef Cur = RFree;
+    for (size_t I = 0; I != Vs.size(); ++I) {
+      if (I + 1 == Vs.size()) {
+        Overrides[Vs[I].first] = Cur;
+      } else {
+        Overrides[Vs[I].first] = mkFst(Cur);
+        Cur = mkSnd(Cur);
+      }
+    }
+    TermRef B = Body(Overrides);
+    std::string Display;
+    for (size_t I = 0; I != Vs.size(); ++I) {
+      if (I)
+        Display += ",";
+      Display += Vs[I].first;
+    }
+    return lamNamed(RN, Display, TT, B);
+  }
+
+  //===------------------------------------------------------------------===//
+  // Conversion
+  //===------------------------------------------------------------------===//
+
+  /// Monadic helpers at state G, exception R.
+  TermRef seqUnit(const TermRef &M, const TermRef &Rest) {
+    return mkBind(M, Term::mkLam("_", unitTy(), Rest));
+  }
+
+  TermRef throwAt(const TypeRef &VTy, const TermRef &V) {
+    TermRef C = Term::mkConst(nm::Throw, funTy(R, monadTy(G, VTy, R)));
+    return Term::mkApp(C, V);
+  }
+
+  /// `bind (gets (%s. Expr)) (%v. Cont v)` — or Cont Expr if pure.
+  TermRef bindPure(const TermRef &ExprOverSG, const std::string &SGName,
+                   const TypeRef &Ty, const std::string &Hint,
+                   const std::function<TermRef(const TermRef &)> &Cont) {
+    if (!usesFreeName(ExprOverSG, SGName))
+      return Cont(ExprOverSG);
+    std::string VN = fresh(Hint);
+    TermRef VFree = Term::mkFree(VN, Ty);
+    TermRef Rest = Cont(VFree);
+    return mkBind(mkGets(G, R, lamSG(SGName, ExprOverSG)),
+                  lamNamed(VN, Hint, Ty, Rest));
+  }
+
+  /// A value cheap enough to substitute into every use site without
+  /// blowing the output up: variables, literals, constants, projections.
+  static bool isCheapValue(const TermRef &T) {
+    switch (T->kind()) {
+    case Term::Kind::Free:
+    case Term::Kind::Num:
+    case Term::Kind::Const:
+      return true;
+    case Term::Kind::App: {
+      std::vector<TermRef> Args;
+      TermRef Head = stripApp(const_cast<TermRef &>(T), Args);
+      if (Head->isConst() &&
+          (Head->name() == nm::Fst || Head->name() == nm::Snd) &&
+          Args.size() == 1)
+        return isCheapValue(Args[0]);
+      return false;
+    }
+    default:
+      return false;
+    }
+  }
+
+  /// Like bindPure, but also binds expensive *pure* values through
+  /// `return`, so each computed value appears once (AutoCorres keeps
+  /// local assignments visible for the same reason).
+  TermRef bindValue(const TermRef &ExprOverSG, const std::string &SGName,
+                    const TypeRef &Ty, const std::string &Hint,
+                    const std::function<TermRef(const TermRef &)> &Cont) {
+    if (usesFreeName(ExprOverSG, SGName))
+      return bindPure(ExprOverSG, SGName, Ty, Hint, Cont);
+    if (isCheapValue(ExprOverSG))
+      return Cont(ExprOverSG);
+    std::string VN = fresh(Hint);
+    TermRef VFree = Term::mkFree(VN, Ty);
+    TermRef Rest = Cont(VFree);
+    return mkBind(mkReturn(G, R, ExprOverSG),
+                  lamNamed(VN, Hint, Ty, Rest));
+  }
+
+  TypeRef localTy(const std::string &Name) const {
+    const RecordInfo *RI = Prog.Records.lookup(F.StateRecName);
+    const TypeRef *T = RI->fieldType(Name);
+    assert(T && "unknown local");
+    return *T;
+  }
+
+  TermRef conv(const SimplStmtPtr &S, const Env &E, const TypeRef &VTy,
+               const K &KN, const K &KB, const K &KC, const Live &LiveAfter) {
+    std::vector<SimplStmtPtr> L;
+    flatten(S, L);
+    return convList(L, 0, E, VTy, KN, KB, KC, LiveAfter);
+  }
+
+  TermRef convList(const std::vector<SimplStmtPtr> &Sts, size_t I, Env E,
+                   const TypeRef &VTy, const K &KN, const K &KB, const K &KC,
+                   const Live &LiveAfter) {
+    if (I == Sts.size())
+      return KN(E);
+    const SimplStmtPtr &S = Sts[I];
+    auto Next = [&](Env E2) {
+      return convList(Sts, I + 1, std::move(E2), VTy, KN, KB, KC,
+                      LiveAfter);
+    };
+    // Live set for constructs at this position: reads of the remaining
+    // statements plus whatever the continuation needs.
+    auto LiveHere = [&]() {
+      Live LN = LiveAfter;
+      return liveList(Sts, I + 1, LN, LiveAfter, LiveAfter);
+    };
+
+    switch (S->kind()) {
+    case SimplStmt::Kind::Skip:
+      return Next(E);
+    case SimplStmt::Kind::Guard: {
+      std::string SG = fresh("sg");
+      TermRef C = lowerFn(S->Cond, E, SG);
+      return seqUnit(mkGuard(G, R, lamSG(SG, C)), Next(E));
+    }
+    case SimplStmt::Kind::Basic: {
+      BasicInfo BI = classifyBasic(S->Upd);
+      std::string SG = fresh("sg");
+      switch (BI.K) {
+      case BasicInfo::Kind::Exn: {
+        assert(I + 1 < Sts.size() &&
+               Sts[I + 1]->kind() == SimplStmt::Kind::Throw &&
+               "exception ghost set without a THROW");
+        if (BI.Field == "Return") {
+          TermRef RetV = F.RetTy ? E.at(simpl::retVarName()) : mkUnit();
+          return throwAt(VTy, RetV);
+        }
+        if (BI.Field == "Break") {
+          assert(KB && "break outside of a loop");
+          return KB(E);
+        }
+        assert(BI.Field == "Continue" && KC && "bad abrupt statement");
+        return KC(E);
+      }
+      case BasicInfo::Kind::Local: {
+        TermRef V = lower(BI.ValueOverS, E, SG);
+        TypeRef Ty = localTy(BI.Field);
+        return bindValue(V, SG, Ty, BI.Field, [&](const TermRef &PV) {
+          Env E2 = E;
+          E2[BI.Field] = PV;
+          return Next(std::move(E2));
+        });
+      }
+      case BasicInfo::Kind::Globals: {
+        TermRef NewG = lower(BI.ValueOverS, E, SG);
+        return seqUnit(mkModify(G, R, lamSG(SG, NewG)), Next(E));
+      }
+      }
+      return nullptr;
+    }
+    case SimplStmt::Kind::Throw:
+      assert(false && "THROW without a preceding ghost assignment");
+      return nullptr;
+    case SimplStmt::Kind::Cond: {
+      std::string SG = fresh("sg");
+      TermRef C = lowerFn(S->Cond, E, SG);
+      // Abrupt exits (break/continue/return) must bypass a join point, so
+      // branches containing them get the continuation pushed inside
+      // (bounded code duplication); pure branches share a tuple join.
+      if (containsAbrupt(S->A) || containsAbrupt(S->B)) {
+        Live BranchLive = LiveHere();
+        TermRef A = conv(S->A, E, VTy, [&](const Env &E2) {
+          return Next(E2);
+        }, KB, KC, BranchLive);
+        TermRef B = conv(S->B, E, VTy, [&](const Env &E2) {
+          return Next(E2);
+        }, KB, KC, BranchLive);
+        return mkCondition(lamSG(SG, C), A, B);
+      }
+      Live JoinLive = LiveHere();
+      Live Mods;
+      modifiedLocals(S->A, Mods);
+      modifiedLocals(S->B, Mods);
+      Vars Tuple;
+      for (const std::string &M : Mods)
+        if (JoinLive.count(M))
+          Tuple.emplace_back(M, localTy(M));
+      TypeRef TT = tupleTy(Tuple);
+      auto BranchK = [&](const Env &E2) {
+        return mkReturn(G, R, tupleVal(Tuple, E2));
+      };
+      Live BranchLive = JoinLive;
+      TermRef A = conv(S->A, E, TT, BranchK, KB, KC, BranchLive);
+      TermRef B = conv(S->B, E, TT, BranchK, KB, KC, BranchLive);
+      TermRef CondT = mkCondition(lamSG(SG, C), A, B);
+      TermRef AfterFn = caseLambda(Tuple, [&](const Env &Overrides) {
+        Env E2 = E;
+        for (const auto &[N, V] : Overrides)
+          E2[N] = V;
+        return Next(std::move(E2));
+      });
+      return mkBind(CondT, AfterFn);
+    }
+    case SimplStmt::Kind::TryCatch: {
+      std::vector<SimplStmtPtr> Inner;
+      flatten(S->A, Inner);
+      if (S->Frame == FrameKind::LoopContinue) {
+        // `continue` jumps to this frame's continuation.
+        K NewKC = [&](const Env &E2) { return Next(E2); };
+        return convList(Inner, 0, E, VTy, NewKC /*normal falls through
+                        to the same place*/,
+                        KB, NewKC, LiveAfter);
+      }
+      if (S->Frame == FrameKind::LoopBreak) {
+        // `break` anywhere in this frame that is not captured by the
+        // While inside jumps past the frame.
+        K NewKB = [&](const Env &E2) { return Next(E2); };
+        return convList(Inner, 0, E, VTy, [&](const Env &E2) {
+          return Next(E2);
+        }, NewKB, KC, LiveAfter);
+      }
+      assert(false && "unexpected TryCatch frame inside a function body");
+      return nullptr;
+    }
+    case SimplStmt::Kind::While:
+      return convWhile(Sts, I, std::move(E), VTy, KN, KB, KC, LiveAfter);
+    case SimplStmt::Kind::Call:
+      return convCall(*S, std::move(E), VTy,
+                      [&](Env E2) { return Next(std::move(E2)); });
+    case SimplStmt::Kind::Seq:
+      assert(false && "lists are flattened");
+      return nullptr;
+    }
+    return nullptr;
+  }
+
+  TermRef convWhile(const std::vector<SimplStmtPtr> &Sts, size_t I, Env E,
+                    const TypeRef &VTy, const K &KN, const K &KB,
+                    const K &KC, const Live &LiveAfter) {
+    const SimplStmtPtr &S = Sts[I];
+    auto Next = [&](Env E2) {
+      return convList(Sts, I + 1, std::move(E2), VTy, KN, KB, KC,
+                      LiveAfter);
+    };
+
+    // Live set after the loop.
+    Live LAfter = LiveAfter;
+    LAfter = liveList(Sts, I + 1, LAfter, LiveAfter, LiveAfter);
+
+    // Live at loop head (fixpoint), modified locals, iteration tuple.
+    std::vector<SimplStmtPtr> Body;
+    flatten(S->A, Body);
+    Live Head = LAfter;
+    termReads(S->Cond, Head);
+    for (unsigned Iter = 0; Iter != 8; ++Iter) {
+      Live H2 = liveList(Body, 0, Head, LAfter, Head);
+      H2.insert(Head.begin(), Head.end());
+      if (H2 == Head)
+        break;
+      Head = std::move(H2);
+    }
+    Live Mods;
+    modifiedLocals(S->A, Mods);
+    Vars Tuple;
+    for (const std::string &M : Mods)
+      if (Head.count(M))
+        Tuple.emplace_back(M, localTy(M));
+    TypeRef TT = tupleTy(Tuple);
+    bool HasBreak = containsBreak(S->A);
+    TypeRef IterTy = HasBreak ? prodTy(boolTy(), TT) : TT;
+
+    Live BodyLive = Head; // tuple + condition reads survive an iteration
+
+    // With breaks, the iterator carries an extra "done" flag as its
+    // first component.
+    Vars IterVars = Tuple;
+    if (HasBreak)
+      IterVars.insert(IterVars.begin(), {"break'", boolTy()});
+
+    // Loop condition.
+    TermRef CondFn = caseLambda(IterVars, [&](const Env &Overrides) {
+      Env E2 = E;
+      for (const auto &[N, V] : Overrides)
+        E2[N] = V;
+      std::string SG = fresh("sg");
+      TermRef C = lowerFn(S->Cond, E2, SG);
+      if (HasBreak)
+        C = mkConj(mkNot(Overrides.at("break'")), C);
+      return lamSG(SG, C);
+    });
+
+    // Loop body.
+    TermRef BodyFn = caseLambda(IterVars, [&](const Env &Overrides) {
+      Env E2 = E;
+      for (const auto &[N, V] : Overrides)
+        E2[N] = V;
+      auto Ret = [&](const Env &E3, bool Broke) {
+        TermRef T = tupleVal(Tuple, E3);
+        if (HasBreak)
+          T = mkPair(mkBoolLit(Broke), T);
+        return mkReturn(G, R, T);
+      };
+      K BodyKN = [&](const Env &E3) { return Ret(E3, false); };
+      K BodyKB = HasBreak
+                     ? K([&](const Env &E3) { return Ret(E3, true); })
+                     : K();
+      K BodyKC = [&](const Env &E3) { return Ret(E3, false); };
+      return convList(Body, 0, E2, IterTy, BodyKN, BodyKB, BodyKC,
+                      BodyLive);
+    });
+
+    // Initial iterator value.
+    TermRef Init = tupleVal(Tuple, E);
+    if (HasBreak)
+      Init = mkPair(mkFalse(), Init);
+
+    TermRef Loop = mkWhileLoop(CondFn, BodyFn, Init);
+
+    // Join: read the final tuple back into the environment (the break
+    // flag, if any, is dead after the loop).
+    TermRef AfterFn = caseLambda(IterVars, [&](const Env &Overrides) {
+      Env E2 = E;
+      for (const auto &[N, V] : Overrides)
+        if (N != "break'")
+          E2[N] = V;
+      return Next(std::move(E2));
+    });
+    return mkBind(Loop, AfterFn);
+  }
+
+  TermRef convCall(const SimplStmt &S, Env E, const TypeRef &VTy,
+                   const std::function<TermRef(Env)> &Next) {
+    const SimplFunc *Callee = Prog.function(S.Callee);
+    assert(Callee && "call to unknown function");
+    TypeRef CalleeRet = Callee->RetTy ? Callee->RetTy : unitTy();
+
+    // Lower arguments; bind state-reading ones through gets.
+    std::function<TermRef(size_t, std::vector<TermRef>)> GoArgs =
+        [&](size_t I, std::vector<TermRef> Pure) -> TermRef {
+      if (I == S.Args.size()) {
+        TermRef Call =
+            mkApps(l2FuncConst(Prog, *Callee, R), Pure);
+        std::string RN = fresh("ret'");
+        TermRef RFree = Term::mkFree(RN, CalleeRet);
+        TermRef Rest;
+        if (!S.ResultStore) {
+          Rest = Next(E);
+        } else {
+          // Open the store (%s. %r. upd) and classify it.
+          TermRef RS = S.ResultStore;
+          assert(RS->isLam() && RS->body()->isLam());
+          TermRef SFree = Term::mkFree("s", RS->type());
+          TermRef Inner = substBound(RS->body(), SFree);
+          TermRef Opened = substBound(Inner->body(), RFree);
+          // Re-wrap as a Basic-like update for classification.
+          TermRef AsLam = lambdaFree("s", RS->type(), Opened);
+          BasicInfo BI = classifyBasic(AsLam);
+          std::string SG = fresh("sg");
+          if (BI.K == BasicInfo::Kind::Local) {
+            TermRef V = lower(BI.ValueOverS, E, SG);
+            assert(!usesFreeName(V, SG) &&
+                   "call result stores into locals are pure");
+            Env E2 = E;
+            E2[BI.Field] = V;
+            Rest = Next(std::move(E2));
+          } else {
+            assert(BI.K == BasicInfo::Kind::Globals &&
+                   "call result store must hit a local or the heap");
+            TermRef NewG = lower(BI.ValueOverS, E, SG);
+            Rest = seqUnit(mkModify(G, R, lamSG(SG, NewG)), Next(E));
+          }
+        }
+        return mkBind(Call, lamNamed(RN, "ret'", CalleeRet, Rest));
+      }
+      std::string SG = fresh("sg");
+      TermRef A = lowerFn(S.Args[I], E, SG);
+      TypeRef ATy = Callee->Params[I].second;
+      return bindPure(A, SG, ATy, "arg", [&](const TermRef &PV) {
+        std::vector<TermRef> Pure2 = Pure;
+        Pure2.push_back(PV);
+        return GoArgs(I + 1, std::move(Pure2));
+      });
+    };
+    (void)VTy;
+    return GoArgs(0, {});
+  }
+
+public:
+};
+
+L2Result L2Converter::run() {
+  // Initial environment: parameters as frees, locals as default literals.
+  Env E;
+  L2Result Out;
+  for (const auto &[Name, Ty] : F.Params) {
+    E[Name] = Term::mkFree(Name, Ty);
+    Out.ArgNames.push_back(Name);
+    Out.ArgTys.push_back(Ty);
+  }
+  const RecordInfo *RI = Prog.Records.lookup(F.StateRecName);
+  for (const auto &[Name, Ty] : RI->Fields) {
+    if (Name == "globals" || Name == simpl::exnVarName() || E.count(Name))
+      continue;
+    // Default literal (uninitialised locals read as zero, matching the
+    // executable Simpl semantics).
+    TermRef D;
+    if (isWordTy(Ty) || isSwordTy(Ty) || Ty->isCon("nat") ||
+        Ty->isCon("int"))
+      D = Term::mkNum(0, Ty);
+    else if (isPtrTy(Ty))
+      D = mkNullPtr(Ty->arg(0));
+    else if (Ty->isCon("unit"))
+      D = mkUnit();
+    else if (Ty->isCon("bool"))
+      D = mkFalse();
+    else
+      assert(false && "unsupported local type");
+    E[Name] = D;
+  }
+
+  assert(F.Body->kind() == SimplStmt::Kind::TryCatch &&
+         F.Body->Frame == FrameKind::FunctionBody &&
+         "function bodies carry the FunctionBody frame");
+
+  K KN = [&](const Env &) -> TermRef {
+    // Falling off the end: unreachable for non-void (guard False
+    // precedes); void functions end in an explicit Return pattern.
+    return mkFail(G, R, R);
+  };
+  Live LiveAfter;
+  if (F.RetTy)
+    LiveAfter.insert(simpl::retVarName());
+  TermRef Body = conv(F.Body->A, E, R, KN, K(), K(), LiveAfter);
+
+  // Type specialisation: the only exception is Return; catch it into the
+  // function result, leaving a nothrow monad.
+  std::string RN = "rv!" + std::to_string(1000000);
+  TermRef RFree = Term::mkFree(RN, R);
+  TermRef Whole =
+      mkCatch(Body, lamNamed(RN, "rv", R, mkReturn(G, R, RFree)));
+  Whole = simplifyMonadTerm(Whole);
+
+  Out.RetTy = R;
+  Out.AppliedBody = Whole;
+  TermRef Def = Whole;
+  for (size_t I = F.Params.size(); I-- > 0;)
+    Def = lambdaFree(F.Params[I].first, F.Params[I].second, Def);
+  Out.Def = Def;
+
+  // L2corres (l2:f a1 .. an) (l1 body): oracle-backed, differentially
+  // validated.
+  std::vector<TermRef> ArgFrees;
+  for (const auto &[Name, Ty] : F.Params)
+    ArgFrees.push_back(Term::mkFree(Name, Ty));
+  TermRef ConstApp = mkApps(l2FuncConst(Prog, F, R), ArgFrees);
+  TermRef L1C = Term::mkConst("l1:" + F.Name,
+                              monadTy(F.StateTy, unitTy(), unitTy()));
+  TermRef Pred = Term::mkConst(
+      nm::L2Corres, funTys({typeOf(ConstApp), typeOf(L1C)}, boolTy()));
+  Out.Corres =
+      Kernel::oracle("local_var_lifting", mkApps(Pred, {ConstApp, L1C}));
+  return Out;
+}
+
+} // namespace
+
+L2Result ac::monad::convertL2(const SimplProgram &Prog, const SimplFunc &F) {
+  L2Converter C(Prog, F);
+  return C.run();
+}
+
+std::map<std::string, L2Result>
+ac::monad::convertAllL2(const SimplProgram &Prog, InterpCtx &Ctx) {
+  std::map<std::string, L2Result> Out;
+  for (const std::string &Name : Prog.FunctionOrder) {
+    const SimplFunc *F = Prog.function(Name);
+    L2Result R = convertL2(Prog, *F);
+    Ctx.FunDefs["l2:" + Name] = R.Def;
+    Out.emplace(Name, std::move(R));
+  }
+  return Out;
+}

@@ -1,0 +1,61 @@
+//===- L2.h - Local variable lifting ----------------------------*- C++ -*-===//
+//
+// Part of the autocorres-cpp project, under the BSD 2-Clause License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The "Local Var Lifting" and "Type Specialisation" phases (Fig 1):
+/// local variables move out of the imperative state record into
+/// lambda-bound values, the state shrinks to the globals record, loops
+/// iterate over tuples of exactly the live modified locals (Fig 6's
+/// `whileLoop (%(list, rev) s. ...)`), and the return/break/continue
+/// encoding is compiled away — break and continue via continuations,
+/// return as the single remaining exception, which the function-level
+/// catch immediately specialises into the function's result. Output
+/// functions are nothrow/nofail-specialised monads
+///
+///   l2:f :: arg1 => ... => argn => (globals, ret, 'e) monad
+///
+/// Like L1 this phase is oracle-backed ("local_var_lifting") and
+/// differentially validated; it predates the paper.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AC_MONAD_L2_H
+#define AC_MONAD_L2_H
+
+#include "hol/Thm.h"
+#include "monad/Interp.h"
+
+namespace ac::monad {
+
+/// Result of lifting one function.
+struct L2Result {
+  /// %arg1 ... argn. <monadic body over the globals record>.
+  hol::TermRef Def;
+  /// The body with arguments as free variables (handy for display).
+  hol::TermRef AppliedBody;
+  std::vector<std::string> ArgNames;
+  std::vector<hol::TypeRef> ArgTys;
+  hol::TypeRef RetTy; ///< unit for void functions
+  hol::Thm Corres;    ///< L2corres (l2:f args) l1-term
+};
+
+/// Lifts one function. Requires every callee to exist in \p Prog.
+L2Result convertL2(const simpl::SimplProgram &Prog,
+                   const simpl::SimplFunc &F);
+
+/// Lifts every function and installs "l2:<name>" definitions in \p Ctx.
+std::map<std::string, L2Result> convertAllL2(const simpl::SimplProgram &Prog,
+                                             InterpCtx &Ctx);
+
+/// The published constant for a lifted function at a given caller
+/// exception type.
+hol::TermRef l2FuncConst(const simpl::SimplProgram &Prog,
+                         const simpl::SimplFunc &Callee,
+                         hol::TypeRef CallerExnTy);
+
+} // namespace ac::monad
+
+#endif // AC_MONAD_L2_H

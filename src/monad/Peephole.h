@@ -1,0 +1,33 @@
+//===- Peephole.h - Monadic flow simplification -----------------*- C++ -*-===//
+//
+// Part of the autocorres-cpp project, under the BSD 2-Clause License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The "flow simplification" cleanup the paper describes after monadic
+/// conversion (Sec 2): monad-law and control-flow rewrites that remove
+/// conservative translation artefacts — return/bind collapses, exception
+/// pushing through catch, guard(True) elimination, turning fully pure
+/// conditionals into `return (if c then a else b)`, and bind
+/// re-association for readable do-blocks.
+///
+/// The rewrites are semantics-preserving monad laws; they are validated
+/// (like the conversion itself) by the differential test suite.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AC_MONAD_PEEPHOLE_H
+#define AC_MONAD_PEEPHOLE_H
+
+#include "hol/Builder.h"
+
+namespace ac::monad {
+
+/// Exhaustively simplifies a monadic term (with a step budget).
+hol::TermRef simplifyMonadTerm(const hol::TermRef &T,
+                               unsigned Budget = 10000);
+
+} // namespace ac::monad
+
+#endif // AC_MONAD_PEEPHOLE_H

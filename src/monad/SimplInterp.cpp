@@ -1,0 +1,138 @@
+//===- SimplInterp.cpp ----------------------------------------------------===//
+
+#include "monad/SimplInterp.h"
+
+using namespace ac;
+using namespace ac::monad;
+using namespace ac::hol;
+using simpl::SimplFunc;
+using simpl::SimplStmt;
+using simpl::SimplStmtPtr;
+
+Value ac::monad::initialSimplState(const SimplFunc &F, InterpCtx &Ctx,
+                                   const std::vector<Value> &Args,
+                                   const Value &Globals) {
+  assert(Args.size() == F.Params.size() && "argument count mismatch");
+  const RecordInfo *RI = Ctx.Prog->Records.lookup(F.StateRecName);
+  assert(RI && "missing state record");
+  std::map<std::string, Value> Fields;
+  for (const auto &[Name, Ty] : RI->Fields) {
+    if (Name == "globals")
+      Fields.emplace(Name, Globals);
+    else
+      Fields.emplace(Name, Ctx.defaultValue(Ty));
+  }
+  for (size_t I = 0; I != Args.size(); ++I)
+    Fields[F.Params[I].first] = Args[I];
+  return Value::record(F.StateRecName, std::move(Fields));
+}
+
+static Value applyStateFn(const TermRef &Fn, const Value &S,
+                          InterpCtx &Ctx) {
+  Value F = evalClosed(Fn, Ctx);
+  assert(F.K == Value::Kind::Fun && "state function did not evaluate");
+  return F.Fun(S);
+}
+
+SimplOutcome ac::monad::runSimpl(const SimplStmtPtr &St, const Value &State,
+                                 InterpCtx &Ctx) {
+  SimplOutcome Out;
+  Out.State = State;
+  if (!Ctx.spendFuel()) {
+    Out.K = SimplOutcome::Kind::Stuck;
+    return Out;
+  }
+  switch (St->kind()) {
+  case SimplStmt::Kind::Skip:
+    return Out;
+  case SimplStmt::Kind::Basic:
+    Out.State = applyStateFn(St->Upd, State, Ctx);
+    return Out;
+  case SimplStmt::Kind::Seq: {
+    SimplOutcome A = runSimpl(St->A, State, Ctx);
+    if (A.K != SimplOutcome::Kind::Normal)
+      return A;
+    return runSimpl(St->B, A.State, Ctx);
+  }
+  case SimplStmt::Kind::Cond: {
+    Value C = applyStateFn(St->Cond, State, Ctx);
+    return runSimpl(C.B ? St->A : St->B, State, Ctx);
+  }
+  case SimplStmt::Kind::While: {
+    Value S = State;
+    while (true) {
+      if (!Ctx.spendFuel()) {
+        Out.K = SimplOutcome::Kind::Stuck;
+        Out.State = S;
+        return Out;
+      }
+      Value C = applyStateFn(St->Cond, S, Ctx);
+      if (!C.B) {
+        Out.State = S;
+        return Out;
+      }
+      SimplOutcome B = runSimpl(St->A, S, Ctx);
+      if (B.K != SimplOutcome::Kind::Normal)
+        return B;
+      S = B.State;
+    }
+  }
+  case SimplStmt::Kind::Guard: {
+    Value C = applyStateFn(St->Cond, State, Ctx);
+    if (!C.B) {
+      Out.K = SimplOutcome::Kind::Fault;
+      Out.FaultKind = St->GK;
+    }
+    return Out;
+  }
+  case SimplStmt::Kind::Throw:
+    Out.K = SimplOutcome::Kind::Abrupt;
+    return Out;
+  case SimplStmt::Kind::TryCatch: {
+    SimplOutcome A = runSimpl(St->A, State, Ctx);
+    if (A.K != SimplOutcome::Kind::Abrupt)
+      return A;
+    return runSimpl(St->B, A.State, Ctx);
+  }
+  case SimplStmt::Kind::Call: {
+    const SimplFunc *Callee = Ctx.Prog->function(St->Callee);
+    assert(Callee && "call to unknown function");
+    std::vector<Value> Args;
+    for (const TermRef &A : St->Args)
+      Args.push_back(applyStateFn(A, State, Ctx));
+    Value CallerGlobals = State.Rec->at("globals");
+    SimplOutcome R = runSimplFunction(*Callee, Args, CallerGlobals, Ctx);
+    if (R.K != SimplOutcome::Kind::Normal) {
+      // Faults and fuel exhaustion propagate; Abrupt cannot escape a
+      // function body (it catches Return).
+      assert(R.K != SimplOutcome::Kind::Abrupt &&
+             "abrupt termination escaped a function body");
+      Out.K = R.K;
+      Out.FaultKind = R.FaultKind;
+      return Out;
+    }
+    // Copy globals back, then store the result if requested.
+    Value NewState = State;
+    auto NewRec = std::make_shared<std::map<std::string, Value>>(
+        *NewState.Rec);
+    (*NewRec)["globals"] = R.State.Rec->at("globals");
+    NewState.Rec = std::move(NewRec);
+    if (St->ResultStore) {
+      Value RetV = R.State.Rec->at(simpl::retVarName());
+      Value StoreF = evalClosed(St->ResultStore, Ctx);
+      NewState = StoreF.Fun(NewState).Fun(RetV);
+    }
+    Out.State = NewState;
+    return Out;
+  }
+  }
+  return Out;
+}
+
+SimplOutcome ac::monad::runSimplFunction(const SimplFunc &F,
+                                         const std::vector<Value> &Args,
+                                         const Value &Globals,
+                                         InterpCtx &Ctx) {
+  Value S0 = initialSimplState(F, Ctx, Args, Globals);
+  return runSimpl(F.Body, S0, Ctx);
+}

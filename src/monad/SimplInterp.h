@@ -1,0 +1,54 @@
+//===- SimplInterp.h - Executable semantics of Simpl ------------*- C++ -*-===//
+//
+// Part of the autocorres-cpp project, under the BSD 2-Clause License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes Simpl statements on concrete states. This is the bottom of the
+/// refinement chain: differential tests run a Simpl body and its L1/L2/HL/
+/// WA abstractions on corresponding initial states and check the
+/// refinement statements of Secs 3.3 and 4.5 hold concretely.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AC_MONAD_SIMPLINTERP_H
+#define AC_MONAD_SIMPLINTERP_H
+
+#include "monad/Interp.h"
+
+namespace ac::monad {
+
+/// How a Simpl execution finished.
+struct SimplOutcome {
+  enum class Kind {
+    Normal, ///< ran to completion
+    Abrupt, ///< THROW propagated (reason in global_exn_var)
+    Fault,  ///< a Guard failed
+    Stuck,  ///< out of fuel
+  };
+  Kind K = Kind::Normal;
+  Value State;
+  simpl::GuardKind FaultKind = simpl::GuardKind::PtrValid;
+};
+
+/// Runs one statement from \p State.
+SimplOutcome runSimpl(const simpl::SimplStmtPtr &S, const Value &State,
+                      InterpCtx &Ctx);
+
+/// Builds the initial per-function Simpl state: parameters set to \p Args,
+/// locals defaulted, globals taken from \p Globals.
+Value initialSimplState(const simpl::SimplFunc &F, InterpCtx &Ctx,
+                        const std::vector<Value> &Args,
+                        const Value &Globals);
+
+/// Runs a whole function body (which catches Return); yields the final
+/// state on Normal exit. The return value, if any, sits in the `ret`
+/// field of the final state.
+SimplOutcome runSimplFunction(const simpl::SimplFunc &F,
+                              const std::vector<Value> &Args,
+                              const Value &Globals, InterpCtx &Ctx);
+
+} // namespace ac::monad
+
+#endif // AC_MONAD_SIMPLINTERP_H

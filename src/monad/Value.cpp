@@ -1,0 +1,232 @@
+//===- Value.cpp ----------------------------------------------------------===//
+
+#include "monad/Value.h"
+
+#include "hol/Type.h"
+
+#include <sstream>
+
+using namespace ac::monad;
+using ac::hol::Int128;
+
+Value Value::unit() { return Value(); }
+
+Value Value::boolean(bool V) {
+  Value X;
+  X.K = Kind::Bool;
+  X.B = V;
+  return X;
+}
+
+Value Value::num(Int128 V, ac::hol::TypeRef Ty) {
+  Value X;
+  X.K = Kind::Num;
+  X.N = V;
+  X.Ty = std::move(Ty);
+  return X;
+}
+
+Value Value::ptr(uint32_t Addr, const std::string &PointeeTyName) {
+  Value X;
+  X.K = Kind::Ptr;
+  X.N = Addr;
+  X.Tag = PointeeTyName;
+  return X;
+}
+
+Value Value::record(const std::string &Name,
+                    std::map<std::string, Value> Fields) {
+  Value X;
+  X.K = Kind::Record;
+  X.Tag = Name;
+  X.Rec = std::make_shared<std::map<std::string, Value>>(std::move(Fields));
+  return X;
+}
+
+Value Value::heap(std::shared_ptr<HeapVal> H) {
+  Value X;
+  X.K = Kind::Heap;
+  X.Heap = std::move(H);
+  return X;
+}
+
+Value Value::pair(Value A, Value B) {
+  Value X;
+  X.K = Kind::Pair;
+  X.PairV =
+      std::make_shared<std::pair<Value, Value>>(std::move(A), std::move(B));
+  return X;
+}
+
+Value Value::none() {
+  Value X;
+  X.K = Kind::Option;
+  X.HasValue = false;
+  return X;
+}
+
+Value Value::some(Value V) {
+  Value X;
+  X.K = Kind::Option;
+  X.HasValue = true;
+  X.Inner = std::make_shared<Value>(std::move(V));
+  return X;
+}
+
+Value Value::list(std::vector<Value> Vs) {
+  Value X;
+  X.K = Kind::List;
+  X.ListV = std::make_shared<std::vector<Value>>(std::move(Vs));
+  return X;
+}
+
+Value Value::exn(const std::string &Ctor) {
+  Value X;
+  X.K = Kind::Exn;
+  X.Tag = Ctor;
+  return X;
+}
+
+Value Value::fun(std::function<Value(const Value &)> F) {
+  Value X;
+  X.K = Kind::Fun;
+  X.Fun = std::move(F);
+  return X;
+}
+
+Value Value::monadOf(MonadFn M) {
+  Value X;
+  X.K = Kind::Monad;
+  X.Mon = std::move(M);
+  return X;
+}
+
+bool Value::equal(const Value &A, const Value &B) {
+  if (A.K != B.K)
+    return false;
+  switch (A.K) {
+  case Kind::Unit:
+    return true;
+  case Kind::Bool:
+    return A.B == B.B;
+  case Kind::Num:
+    return A.N == B.N;
+  case Kind::Ptr:
+    return A.N == B.N; // addresses compare; types are static
+  case Kind::Exn:
+    return A.Tag == B.Tag;
+  case Kind::Record: {
+    if (A.Tag != B.Tag || A.Rec->size() != B.Rec->size())
+      return false;
+    auto It = B.Rec->begin();
+    for (const auto &[Name, V] : *A.Rec) {
+      if (It->first != Name || !equal(V, It->second))
+        return false;
+      ++It;
+    }
+    return true;
+  }
+  case Kind::Heap: {
+    // Compare byte maps modulo default-zero entries.
+    auto NonZero = [](const std::map<uint32_t, uint8_t> &M, uint32_t A) {
+      auto It = M.find(A);
+      return It == M.end() ? 0 : It->second;
+    };
+    for (const auto &[Ad, V] : A.Heap->Bytes)
+      if (V != NonZero(B.Heap->Bytes, Ad))
+        return false;
+    for (const auto &[Ad, V] : B.Heap->Bytes)
+      if (V != NonZero(A.Heap->Bytes, Ad))
+        return false;
+    return true; // tags are ghost state; data equality is what matters
+  }
+  case Kind::Pair:
+    return equal(A.PairV->first, B.PairV->first) &&
+           equal(A.PairV->second, B.PairV->second);
+  case Kind::Option:
+    if (A.HasValue != B.HasValue)
+      return false;
+    return !A.HasValue || equal(*A.Inner, *B.Inner);
+  case Kind::List: {
+    if (A.ListV->size() != B.ListV->size())
+      return false;
+    for (size_t I = 0; I != A.ListV->size(); ++I)
+      if (!equal((*A.ListV)[I], (*B.ListV)[I]))
+        return false;
+    return true;
+  }
+  case Kind::Fun:
+  case Kind::Monad:
+    assert(false && "functions/monads are not comparable");
+    return false;
+  }
+  return false;
+}
+
+static std::string i128Str(Int128 V) {
+  if (V == 0)
+    return "0";
+  bool Neg = V < 0;
+  unsigned __int128 U = Neg
+                            ? static_cast<unsigned __int128>(-(V + 1)) + 1
+                            : static_cast<unsigned __int128>(V);
+  std::string S;
+  while (U) {
+    S += static_cast<char>('0' + static_cast<unsigned>(U % 10));
+    U /= 10;
+  }
+  if (Neg)
+    S += '-';
+  return std::string(S.rbegin(), S.rend());
+}
+
+std::string Value::str() const {
+  switch (K) {
+  case Kind::Unit:
+    return "()";
+  case Kind::Bool:
+    return B ? "True" : "False";
+  case Kind::Num:
+    return i128Str(N) + "::" + (Ty ? ac::hol::typeStr(Ty) : "?");
+  case Kind::Ptr:
+    return "Ptr " + i128Str(N) + " :: " + Tag + " ptr";
+  case Kind::Exn:
+    return Tag;
+  case Kind::Record: {
+    std::ostringstream OS;
+    OS << Tag << "(|";
+    bool First = true;
+    for (const auto &[Name, V] : *Rec) {
+      if (!First)
+        OS << ", ";
+      OS << Name << " = " << V.str();
+      First = false;
+    }
+    OS << "|)";
+    return OS.str();
+  }
+  case Kind::Heap: {
+    std::ostringstream OS;
+    OS << "heap{" << Heap->Bytes.size() << " bytes}";
+    return OS.str();
+  }
+  case Kind::Pair:
+    return "(" + PairV->first.str() + ", " + PairV->second.str() + ")";
+  case Kind::Option:
+    return HasValue ? "Some " + Inner->str() : "None";
+  case Kind::List: {
+    std::string S = "[";
+    for (size_t I = 0; I != ListV->size(); ++I) {
+      if (I)
+        S += ", ";
+      S += (*ListV)[I].str();
+    }
+    return S + "]";
+  }
+  case Kind::Fun:
+    return "<fun>";
+  case Kind::Monad:
+    return "<monad>";
+  }
+  return "?";
+}

@@ -1,0 +1,138 @@
+//===- Value.h - Runtime values for the executable semantics ----*- C++ -*-===//
+//
+// Part of the autocorres-cpp project, under the BSD 2-Clause License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runtime values for the term evaluator: the executable semantics that
+/// validates every axiomatic rule and every generated abstraction against
+/// actual behaviour. Machine words are exact (wrapped at their width);
+/// ideal nat/int live in a 128-bit carrier, far beyond anything a 32-bit
+/// program can denote. The C heap is a byte map plus Tuch-style type tags
+/// (Sec 4.2: each address is the first byte of an object of some type, a
+/// footprint byte, or untyped).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AC_MONAD_VALUE_H
+#define AC_MONAD_VALUE_H
+
+#include "hol/Term.h"
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ac::monad {
+
+class Value;
+struct MonadResult;
+class InterpCtx;
+
+/// Type tag on one heap byte (Tuch's ghost typing state).
+struct HeapTag {
+  std::string TypeName; ///< hol type string of the object
+  uint32_t Start;       ///< address of the object's first byte
+};
+
+/// The byte-level heap: data bytes + type tags. Unmapped addresses read
+/// as zero (the translation guards rule out the addresses a verified
+/// program may not touch; for execution a total function is fine).
+struct HeapVal {
+  std::map<uint32_t, uint8_t> Bytes;
+  std::map<uint32_t, HeapTag> Tags;
+
+  uint8_t readByte(uint32_t A) const {
+    auto It = Bytes.find(A);
+    return It == Bytes.end() ? 0 : It->second;
+  }
+};
+
+/// A monadic computation: state -> result set + failure flag.
+using MonadFn = std::function<MonadResult(const Value &, InterpCtx &)>;
+
+/// One evaluated value.
+class Value {
+public:
+  enum class Kind {
+    Unit,
+    Bool,
+    Num,    ///< nat/int/wordN/swordN, canonical range per Ty
+    Ptr,    ///< typed pointer; address + pointee type name
+    Record, ///< nominal record (structs, state records)
+    Heap,
+    Pair,
+    Option,
+    List,
+    Exn,   ///< c_exntype ghost values (Return/Break/Continue)
+    Fun,   ///< closure / primitive
+    Monad, ///< suspended monadic computation
+  };
+
+  Kind K = Kind::Unit;
+  bool B = false;
+  hol::Int128 N = 0;
+  hol::TypeRef Ty;            ///< Num/Ptr element type info
+  std::string Tag;            ///< Record name / Exn constructor / Ptr type
+  std::shared_ptr<std::map<std::string, Value>> Rec;
+  std::shared_ptr<HeapVal> Heap;
+  std::shared_ptr<std::pair<Value, Value>> PairV;
+  std::shared_ptr<Value> Inner; ///< Option payload
+  bool HasValue = false;        ///< Option discriminator
+  std::shared_ptr<std::vector<Value>> ListV;
+  std::function<Value(const Value &)> Fun;
+  MonadFn Mon;
+
+  static Value unit();
+  static Value boolean(bool V);
+  static Value num(hol::Int128 V, hol::TypeRef Ty);
+  static Value ptr(uint32_t Addr, const std::string &PointeeTyName);
+  static Value record(const std::string &Name,
+                      std::map<std::string, Value> Fields);
+  static Value heap(std::shared_ptr<HeapVal> H);
+  static Value pair(Value A, Value B);
+  static Value none();
+  static Value some(Value V);
+  static Value list(std::vector<Value> Vs);
+  static Value exn(const std::string &Ctor);
+  static Value fun(std::function<Value(const Value &)> F);
+  static Value monadOf(MonadFn M);
+
+  uint32_t addr() const { return static_cast<uint32_t>(N); }
+
+  /// Structural equality (asserts on Fun/Monad, which are not comparable).
+  static bool equal(const Value &A, const Value &B);
+
+  /// Debug rendering.
+  std::string str() const;
+};
+
+/// Result of running a monadic computation on a state.
+struct MonadResult {
+  struct Res {
+    bool IsExn = false;
+    Value V;
+    Value State;
+  };
+  std::vector<Res> Results;
+  bool Failed = false;
+
+  static MonadResult failure() {
+    MonadResult R;
+    R.Failed = true;
+    return R;
+  }
+  static MonadResult single(Value V, Value State, bool IsExn = false) {
+    MonadResult R;
+    R.Results.push_back({IsExn, std::move(V), std::move(State)});
+    return R;
+  }
+};
+
+} // namespace ac::monad
+
+#endif // AC_MONAD_VALUE_H

@@ -1,0 +1,200 @@
+//===- Hoare.cpp ----------------------------------------------------------===//
+
+#include "proof/Hoare.h"
+
+#include "hol/Names.h"
+
+using namespace ac;
+using namespace ac::proof;
+using namespace ac::hol;
+namespace nm = ac::hol::names;
+
+namespace {
+
+/// Continuation: given (value term, state term) build the postcondition.
+using Cont = std::function<TermRef(const TermRef &, const TermRef &)>;
+
+class WpGen {
+public:
+  WpGen(const std::vector<LoopSpec> &Loops, VCResult &Out)
+      : Loops(Loops), Out(Out) {}
+
+  /// wp of \p M against continuation \p Q, as a term over \p SVar.
+  TermRef wp(const TermRef &M, const TermRef &SVar, const Cont &Q) {
+    if (!Out.Ok)
+      return mkFalse();
+    std::vector<TermRef> Args;
+    TermRef Head = stripApp(M, Args);
+    TypeRef S = typeOf(SVar);
+
+    if (Head->isConst(nm::Return) && Args.size() == 1)
+      return Q(Args[0], SVar);
+    if (Head->isConst(nm::Skip))
+      return Q(mkUnit(), SVar);
+    if (Head->isConst(nm::Gets) && Args.size() == 1)
+      return Q(betaNorm(Term::mkApp(Args[0], SVar)), SVar);
+    if (Head->isConst(nm::Modify) && Args.size() == 1)
+      return Q(mkUnit(), betaNorm(Term::mkApp(Args[0], SVar)));
+    if (Head->isConst(nm::Guard) && Args.size() == 1) {
+      TermRef G = betaNorm(Term::mkApp(Args[0], SVar));
+      return mkConj(G, Q(mkUnit(), SVar));
+    }
+    if (Head->isConst(nm::Fail))
+      return mkFalse();
+    if (Head->isConst(nm::Bind) && Args.size() == 2) {
+      const TermRef L = Args[0];
+      const TermRef R = Args[1];
+      return wp(L, SVar, [&](const TermRef &V, const TermRef &S1) {
+        TermRef RB = betaNorm(Term::mkApp(R, V));
+        return wp(RB, S1, Q);
+      });
+    }
+    if (Head->isConst(nm::Condition) && Args.size() == 3) {
+      TermRef C = betaNorm(Term::mkApp(Args[0], SVar));
+      TermRef WA = wp(Args[1], SVar, Q);
+      TermRef WB = wp(Args[2], SVar, Q);
+      return mkIte(C, WA, WB);
+    }
+    if (Head->isConst(nm::WhileLoop) && Args.size() == 3)
+      return wpLoop(Args[0], Args[1], Args[2], SVar, Q);
+
+    Out.Ok = false;
+    Out.Error = "unsupported construct in VC generation: " +
+                (Head->isConst() ? Head->name() : std::string("<term>"));
+    return mkFalse();
+  }
+
+private:
+  const std::vector<LoopSpec> &Loops;
+  VCResult &Out;
+  unsigned LoopIdx = 0;
+  unsigned Fresh = 0;
+
+  std::string fresh(const std::string &H) {
+    return H + "?" + std::to_string(Fresh++);
+  }
+
+  TermRef wpLoop(const TermRef &C, const TermRef &B, const TermRef &I,
+                 const TermRef &SVar, const Cont &Q) {
+    if (LoopIdx >= Loops.size()) {
+      Out.Ok = false;
+      Out.Error = "missing loop annotation";
+      return mkFalse();
+    }
+    const LoopSpec &Spec = Loops[LoopIdx++];
+    TermRef Inv = Spec.Invariant;
+    TermRef Measure = Spec.Measure;
+    if (!Measure)
+      Out.TotalCorrectness = false;
+
+    TypeRef ITy = C->isLam() ? C->type() : domTy(typeOf(C));
+    TypeRef S = typeOf(SVar);
+
+    // Fresh iterate/state for the two loop goals.
+    std::string RN = fresh("r"), SN = fresh("s");
+    TermRef RF = Term::mkFree(RN, ITy);
+    TermRef SF = Term::mkFree(SN, S);
+    TermRef InvAt = betaNorm(mkApps(Inv, {RF, SF}));
+    TermRef CondAt = betaNorm(mkApps(C, {RF, SF}));
+
+    // Preservation (+ measure decrease).
+    TermRef BodyAt = betaNorm(Term::mkApp(B, RF));
+    TermRef MeasureBefore =
+        Measure ? betaNorm(mkApps(Measure, {RF, SF})) : nullptr;
+    TermRef Pres = wp(
+        BodyAt, SF, [&](const TermRef &R2, const TermRef &S2) {
+          TermRef InvAfter = betaNorm(mkApps(Inv, {R2, S2}));
+          if (!Measure)
+            return InvAfter;
+          TermRef MeasureAfter = betaNorm(mkApps(Measure, {R2, S2}));
+          return mkConj(InvAfter, mkLess(MeasureAfter, MeasureBefore));
+        });
+    TermRef G1 = mkImp(mkConj(InvAt, CondAt), Pres);
+    G1 = mkAll(RN, ITy, mkAll(SN, S, G1));
+    Out.Goals.push_back(G1);
+    Out.Labels.push_back("loop " + std::to_string(LoopIdx) +
+                         ": invariant preservation" +
+                         (Measure ? " and measure decrease" : ""));
+
+    // Exit.
+    std::string RN2 = fresh("r"), SN2 = fresh("s");
+    TermRef RF2 = Term::mkFree(RN2, ITy);
+    TermRef SF2 = Term::mkFree(SN2, S);
+    TermRef InvAt2 = betaNorm(mkApps(Inv, {RF2, SF2}));
+    TermRef CondAt2 = betaNorm(mkApps(C, {RF2, SF2}));
+    TermRef G2 = mkImp(mkConj(InvAt2, mkNot(CondAt2)), Q(RF2, SF2));
+    G2 = mkAll(RN2, ITy, mkAll(SN2, S, G2));
+    Out.Goals.push_back(G2);
+    Out.Labels.push_back("loop " + std::to_string(LoopIdx) +
+                         ": postcondition on exit");
+
+    // Entry: the invariant holds initially.
+    return betaNorm(mkApps(Inv, {I, SVar}));
+  }
+};
+
+} // namespace
+
+namespace {
+
+/// Collects the types of the free variables in \p T.
+void freeTypes(const TermRef &T,
+               std::vector<std::pair<std::string, TypeRef>> &Out) {
+  switch (T->kind()) {
+  case Term::Kind::Free: {
+    for (const auto &[N, Ty] : Out)
+      if (N == T->name())
+        return;
+    Out.emplace_back(T->name(), T->type());
+    return;
+  }
+  case Term::Kind::Lam:
+    freeTypes(T->body(), Out);
+    return;
+  case Term::Kind::App:
+    freeTypes(T->fun(), Out);
+    freeTypes(T->argTerm(), Out);
+    return;
+  default:
+    return;
+  }
+}
+
+/// Universally closes \p T over every free variable.
+TermRef closeGoal(TermRef T) {
+  std::vector<std::pair<std::string, TypeRef>> FVs;
+  freeTypes(T, FVs);
+  for (auto It = FVs.rbegin(); It != FVs.rend(); ++It)
+    T = mkAll(It->first, It->second, T);
+  return T;
+}
+
+} // namespace
+
+VCResult ac::proof::generateVCs(const TermRef &Body, const TermRef &Pre,
+                                const TermRef &Post,
+                                const std::vector<LoopSpec> &Loops) {
+  VCResult Out;
+  TypeRef S, A, E;
+  if (!destMonadTy(typeOf(Body), S, A, E)) {
+    Out.Ok = false;
+    Out.Error = "body is not a monadic term";
+    return Out;
+  }
+  WpGen Gen(Loops, Out);
+  TermRef SVar = Term::mkFree("s?0", S);
+  TermRef Wp = Gen.wp(Body, SVar, [&](const TermRef &V, const TermRef &T) {
+    return betaNorm(mkApps(Post, {V, T}));
+  });
+  if (!Out.Ok)
+    return Out;
+  TermRef PreAt = betaNorm(Term::mkApp(Pre, SVar));
+  TermRef Main = mkAll("s?0", S, mkImp(PreAt, Wp));
+  Out.Goals.insert(Out.Goals.begin(), Main);
+  Out.Labels.insert(Out.Labels.begin(), "main verification condition");
+  // Close every goal over its remaining frees (function arguments,
+  // loop-goal iterates and states).
+  for (TermRef &G : Out.Goals)
+    G = closeGoal(G);
+  return Out;
+}

@@ -1,0 +1,70 @@
+//===- Hoare.h - Hoare triples and a WP verification generator --*- C++ -*-===//
+//
+// Part of the autocorres-cpp project, under the BSD 2-Clause License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hoare logic over AutoCorres output programs: total-correctness triples
+///
+///   {|P|} m {|%rv s. Q rv s|}
+///
+/// with a weakest-precondition VCG. Loops take user annotations — an
+/// invariant and (for total correctness, which the AutoCorres refinement
+/// statement requires, Sec 5.2(iii)) a nat-valued measure that must
+/// decrease on every iteration.
+///
+/// This is the "program logic on top" layer the paper's Sec 7 calls
+/// orthogonal: any logic can drive the abstracted output; we provide the
+/// VCG + auto combination used in the case studies.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AC_PROOF_HOARE_H
+#define AC_PROOF_HOARE_H
+
+#include "hol/Builder.h"
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+namespace ac::proof {
+
+/// Loop annotation: invariant (iter => S => bool) and optional measure
+/// (iter => S => nat). Without a measure only partial correctness is
+/// established (the VCG reports this).
+struct LoopSpec {
+  hol::TermRef Invariant;
+  hol::TermRef Measure; ///< null for partial correctness
+};
+
+/// Result of VC generation.
+struct VCResult {
+  /// The goals, closed (universally quantified over program variables).
+  std::vector<hol::TermRef> Goals;
+  /// Human labels, index-aligned with Goals.
+  std::vector<std::string> Labels;
+  bool TotalCorrectness = true; ///< false if some loop had no measure
+  bool Ok = true;               ///< false if the program had an
+                                ///< unsupported construct
+  std::string Error;
+};
+
+/// Generates verification conditions for {|Pre|} Body {|Post|}.
+///
+/// \param Body      a nothrow monadic term over state type S (an
+///                  AutoCorres final output, applied to argument frees)
+/// \param Pre       S => bool
+/// \param Post      rv => S => bool (curried; rv type = Body's value type)
+/// \param Loops     annotations for each whileLoop in evaluation order
+///
+/// The first goal is the main VC `ALL s. Pre s --> wp Body Post s`
+/// (quantified over every free variable); loop goals follow.
+VCResult generateVCs(const hol::TermRef &Body, const hol::TermRef &Pre,
+                     const hol::TermRef &Post,
+                     const std::vector<LoopSpec> &Loops = {});
+
+} // namespace ac::proof
+
+#endif // AC_PROOF_HOARE_H

@@ -1,0 +1,180 @@
+//===- ListLib.cpp --------------------------------------------------------===//
+
+#include "proof/ListLib.h"
+
+#include "hol/Names.h"
+
+using namespace ac;
+using namespace ac::proof;
+using namespace ac::hol;
+namespace nm = ac::hol::names;
+
+TypeRef ListTheory::listTy() const { return hol::listTy(PtrTy); }
+
+TermRef ListTheory::list(TermRef V, TermRef H, TermRef P,
+                         TermRef Ps) const {
+  TermRef C = Term::mkConst(
+      std::string("List@") + RecName + "." + NextField,
+      funTys({funTy(PtrTy, boolTy()), funTy(PtrTy, NodeTy), PtrTy,
+              listTy()},
+             boolTy()));
+  return mkApps(C, {std::move(V), std::move(H), std::move(P),
+                    std::move(Ps)});
+}
+
+TermRef ListTheory::len(TermRef V, TermRef H, TermRef P) const {
+  TermRef C = Term::mkConst(
+      std::string("listlen@") + RecName + "." + NextField,
+      funTys({funTy(PtrTy, boolTy()), funTy(PtrTy, NodeTy), PtrTy},
+             natTy()));
+  return mkApps(C, {std::move(V), std::move(H), std::move(P)});
+}
+
+namespace {
+
+TermRef V_(const char *N, TypeRef Ty) {
+  return Term::mkVar(N, 0, std::move(Ty));
+}
+
+} // namespace
+
+ListTheory ac::proof::makeListTheory(const std::string &RecName,
+                                     const std::string &NextField) {
+  ListTheory T;
+  T.RecName = RecName;
+  T.NextField = NextField;
+  T.NodeTy = recordTy(RecName);
+  T.PtrTy = ptrTy(T.NodeTy);
+
+  TypeRef PT = T.PtrTy;
+  TypeRef LT = T.listTy();
+  TermRef Vv = V_("v", funTy(PT, boolTy()));
+  TermRef Hv = V_("H", funTy(PT, T.NodeTy));
+  TermRef Pv = V_("p", PT);
+  TermRef Qv = V_("q", PT);
+  TermRef Xv = V_("x", PT);
+  TermRef Yv = V_("y", T.NodeTy);
+  TermRef Ps = V_("ps", LT);
+  TermRef Qs = V_("qs", LT);
+  TermRef Xs = V_("xs", LT);
+  TermRef NilT = Term::mkConst(nm::Nil, LT);
+  auto ConsT = [&](TermRef H2, TermRef T2) {
+    return mkApps(Term::mkConst(nm::Cons, funTys({PT, LT}, LT)),
+                  {std::move(H2), std::move(T2)});
+  };
+  auto TlT = [&](TermRef L) {
+    return Term::mkApp(Term::mkConst(nm::Tl, funTy(LT, LT)),
+                       std::move(L));
+  };
+  auto MemberT = [&](TermRef E, TermRef L) {
+    return mkApps(Term::mkConst(nm::Member, funTys({PT, LT}, boolTy())),
+                  {std::move(E), std::move(L)});
+  };
+  auto DisjntT = [&](TermRef A, TermRef B) {
+    return mkApps(Term::mkConst(nm::Disjnt, funTys({LT, LT}, boolTy())),
+                  {std::move(A), std::move(B)});
+  };
+  auto RevT = [&](TermRef L) {
+    return Term::mkApp(Term::mkConst(nm::Rev, funTy(LT, LT)),
+                       std::move(L));
+  };
+  auto AppendT = [&](TermRef A, TermRef B) {
+    return mkApps(Term::mkConst(nm::Append, funTys({LT, LT}, LT)),
+                  {std::move(A), std::move(B)});
+  };
+  auto LengthT = [&](TermRef L) {
+    return Term::mkApp(Term::mkConst(nm::Length, funTy(LT, natTy())),
+                       std::move(L));
+  };
+  auto NextOf = [&](TermRef Node) {
+    const hol::TypeRef FieldTy = PT;
+    return mkFieldGet(RecName, NextField, FieldTy, T.NodeTy,
+                      std::move(Node));
+  };
+  auto FunUpd = [&](TermRef F, TermRef At, TermRef To) {
+    TermRef C = Term::mkConst(
+        "fun_upd",
+        funTys({funTy(PT, T.NodeTy), PT, T.NodeTy}, funTy(PT, T.NodeTy)));
+    return mkApps(C, {std::move(F), std::move(At), std::move(To)});
+  };
+  auto Ax = [&](const std::string &Name, TermRef Prop) {
+    Thm A = Kernel::axiom("List." + RecName + "." + Name, std::move(Prop));
+    T.Lemmas.push_back(A);
+    return A;
+  };
+
+  // Unfolding equations.
+  Ax("nil", mkEq(T.list(Vv, Hv, Pv, NilT), mkEq(Pv, mkNullPtr(T.NodeTy))));
+  Ax("null",
+     mkEq(T.list(Vv, Hv, mkNullPtr(T.NodeTy), Ps), mkEq(Ps, NilT)));
+  Ax("cons",
+     mkEq(T.list(Vv, Hv, Pv, ConsT(Xv, Xs)),
+          mkConjs({mkEq(Pv, Xv), mkNot(mkEq(Xv, mkNullPtr(T.NodeTy))),
+                   Term::mkApp(Vv, Xv),
+                   T.list(Vv, Hv, NextOf(Term::mkApp(Hv, Xv)), Xs)})));
+
+  // The step destruction: everything one loop iteration needs.
+  Ax("step_D",
+     mkImp(T.list(Vv, Hv, Pv, Ps),
+           mkImp(mkNot(mkEq(Pv, mkNullPtr(T.NodeTy))),
+                 mkConjs({Term::mkApp(Vv, Pv),
+                          T.list(Vv, Hv, NextOf(Term::mkApp(Hv, Pv)),
+                                 TlT(Ps)),
+                          mkNot(MemberT(Pv, TlT(Ps))),
+                          MemberT(Pv, Ps),
+                          mkEq(RevT(Ps),
+                               AppendT(RevT(TlT(Ps)),
+                                       ConsT(Pv, NilT))),
+                          mkEq(LengthT(Ps),
+                               mkPlus(mkNumOf(natTy(), 1),
+                                      LengthT(TlT(Ps))))}))));
+
+  // Disjointness bookkeeping for the reversal invariant.
+  Ax("disj_step_D",
+     mkImp(T.list(Vv, Hv, Pv, Ps),
+           mkImp(DisjntT(Ps, Qs),
+                 mkImp(mkNot(mkEq(Pv, mkNullPtr(T.NodeTy))),
+                       DisjntT(TlT(Ps), ConsT(Pv, Qs))))));
+
+  // Disjointness gives non-membership on the other side.
+  Ax("disj_mem_D",
+     mkImp(DisjntT(Ps, Qs),
+           mkImp(MemberT(Xv, Ps), mkNot(MemberT(Xv, Qs)))));
+
+  // Heap updates outside the chain do not disturb it (the Sec 4.2
+  // "updating parts of the heap disjoint to a read" principle, at the
+  // List level).
+  Ax("upd_intro",
+     mkImp(mkNot(MemberT(Xv, Ps)),
+           mkImp(T.list(Vv, Hv, Qv, Ps),
+                 T.list(Vv, FunUpd(Hv, Xv, Yv), Qv, Ps))));
+
+  // The measure: listlen agrees with the chain length, before and after
+  // the iteration's update.
+  Ax("len_eq_D",
+     mkImp(T.list(Vv, Hv, Pv, Ps),
+           mkEq(T.len(Vv, Hv, Pv), LengthT(Ps))));
+  {
+    TermRef Y2 = Term::mkFree("y!", T.NodeTy);
+    TermRef Inner = mkEq(
+        T.len(Vv, FunUpd(Hv, Pv, Y2), NextOf(Term::mkApp(Hv, Pv))),
+        LengthT(TlT(Ps)));
+    Ax("len_upd_D",
+       mkImp(T.list(Vv, Hv, Pv, Ps),
+             mkImp(mkNot(mkEq(Pv, mkNullPtr(T.NodeTy))),
+                   mkAll("y!", T.NodeTy, Inner))));
+  }
+
+  // Pure list equations.
+  Ax("disj_nil", mkEq(DisjntT(Ps, NilT), mkTrue()));
+  Ax("append_nil", mkEq(AppendT(Ps, NilT), Ps));
+  Ax("nil_append", mkEq(AppendT(NilT, Ps), Ps));
+  Ax("append_assoc", mkEq(AppendT(AppendT(Ps, Qs), Xs),
+                          AppendT(Ps, AppendT(Qs, Xs))));
+  Ax("cons_append",
+     mkEq(AppendT(ConsT(Xv, Ps), Qs), ConsT(Xv, AppendT(Ps, Qs))));
+  Ax("rev_nil", mkEq(RevT(NilT), NilT));
+  Ax("length_nil", mkEq(LengthT(NilT), mkNumOf(natTy(), 0)));
+
+  return T;
+}

@@ -1,0 +1,61 @@
+//===- ListLib.h - Mehta & Nipkow's List theory, C-adapted ------*- C++ -*-===//
+//
+// Part of the autocorres-cpp project, under the BSD 2-Clause License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The library of theorems about the List predicate that Sec 5.2 ports
+/// from Mehta & Nipkow, adapted per the paper's three differences:
+///
+///   (i)  Null becomes the C NULL sentinel;
+///   (ii) the predicate additionally asserts that every node is a valid
+///        pointer ("we could adjust the definition of List to additionally
+///        assert that all elements in the list are valid pointers");
+///   (iii) a termination measure (the length of the remaining list) backs
+///        total correctness.
+///
+/// `List v H p ps` says ps is the chain of nodes reachable from p through
+/// the next-field of the split node heap H, all valid and distinct,
+/// terminated by NULL. `listlen v H p` is its length (the measure).
+///
+/// The lemmas are registered as named axioms ("List.*"), each validated
+/// by the countermodel search in the test suite — this library is the
+/// Table 6 "List definitions" component.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AC_PROOF_LISTLIB_H
+#define AC_PROOF_LISTLIB_H
+
+#include "hol/Thm.h"
+
+#include <string>
+#include <vector>
+
+namespace ac::proof {
+
+/// A List theory instance for one node record and next-like field.
+struct ListTheory {
+  std::string RecName;   ///< e.g. "node_C"
+  std::string NextField; ///< e.g. "next"
+  hol::TypeRef NodeTy;   ///< record:node_C
+  hol::TypeRef PtrTy;    ///< node_C ptr
+  std::vector<hol::Thm> Lemmas;
+
+  /// List v H p ps.
+  hol::TermRef list(hol::TermRef V, hol::TermRef H, hol::TermRef P,
+                    hol::TermRef Ps) const;
+  /// listlen v H p.
+  hol::TermRef len(hol::TermRef V, hol::TermRef H, hol::TermRef P) const;
+  /// The type of node-pointer lists.
+  hol::TypeRef listTy() const;
+};
+
+/// Builds (and registers the axioms of) the theory for one record/field.
+ListTheory makeListTheory(const std::string &RecName,
+                          const std::string &NextField);
+
+} // namespace ac::proof
+
+#endif // AC_PROOF_LISTLIB_H

@@ -1,0 +1,106 @@
+//===- Program.h - Translated Simpl programs --------------------*- C++ -*-===//
+//
+// Part of the autocorres-cpp project, under the BSD 2-Clause License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The result of running the C-to-Simpl parser stage over a translation
+/// unit: one Simpl body per function, the generated state records (a
+/// globals record holding the byte heap and C globals, plus a per-function
+/// record adding locals and the `global_exn_var` ghost), and the C-to-HOL
+/// type mapping used throughout the pipeline.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AC_SIMPL_PROGRAM_H
+#define AC_SIMPL_PROGRAM_H
+
+#include "cparser/AST.h"
+#include "hol/Builder.h"
+#include "hol/Record.h"
+#include "simpl/Simpl.h"
+
+#include <map>
+#include <memory>
+
+namespace ac::simpl {
+
+/// Name of the per-program globals record.
+inline const char *globalsRecName() { return "globals"; }
+/// The byte-heap field inside the globals record (the paper's heap').
+inline const char *heapFieldName() { return "heap'"; }
+/// The abrupt-termination reason ghost field.
+inline const char *exnVarName() { return "global_exn_var"; }
+/// The return-value local.
+inline const char *retVarName() { return "ret"; }
+
+/// The ghost exception-reason type and its three constants.
+hol::TypeRef cExnTy();
+hol::TermRef exnReturn();
+hol::TermRef exnBreak();
+hol::TermRef exnContinue();
+
+/// Maps C types to HOL types. Struct types become nominal records named
+/// `<name>_C` (registered in the record registry on first use).
+class TypeMapper {
+public:
+  TypeMapper(hol::RecordRegistry &Records, const cparser::LayoutMap &Layout)
+      : Records(Records), Layout(Layout) {}
+
+  hol::TypeRef holType(const cparser::CTypeRef &T);
+
+  static std::string structRecName(const std::string &CName) {
+    return CName + "_C";
+  }
+
+private:
+  hol::RecordRegistry &Records;
+  const cparser::LayoutMap &Layout;
+};
+
+/// One translated function.
+struct SimplFunc {
+  std::string Name;
+  std::vector<std::pair<std::string, hol::TypeRef>> Params;
+  hol::TypeRef RetTy; ///< null for void
+  /// All locals (excluding params), including `ret` when non-void.
+  std::vector<std::pair<std::string, hol::TypeRef>> Locals;
+  std::string StateRecName;
+  hol::TypeRef StateTy;
+  SimplStmtPtr Body;
+  bool IsRecursive = false;
+};
+
+/// A whole translated program.
+struct SimplProgram {
+  std::unique_ptr<cparser::TranslationUnit> TU;
+  hol::RecordRegistry Records;
+  hol::TypeRef GlobalsTy;
+  std::map<std::string, SimplFunc> Functions;
+  std::vector<std::string> FunctionOrder;
+  /// Heap pointee HOL types the program reads or writes (drives the
+  /// split-heap record generation of Sec 4.4).
+  std::vector<hol::TypeRef> HeapTypes;
+
+  const SimplFunc *function(const std::string &Name) const {
+    auto It = Functions.find(Name);
+    return It == Functions.end() ? nullptr : &It->second;
+  }
+
+  const cparser::LayoutMap &layout() const { return TU->Layout; }
+};
+
+/// Runs the parser stage: Sema followed by Simpl translation with guard
+/// emission. Returns nullptr with diagnostics on failure.
+std::unique_ptr<SimplProgram>
+translateToSimpl(std::unique_ptr<cparser::TranslationUnit> TU,
+                 DiagEngine &Diags);
+
+/// Convenience: parse + check + translate in one call.
+std::unique_ptr<SimplProgram> parseAndTranslate(const std::string &Source,
+                                                DiagEngine &Diags);
+
+} // namespace ac::simpl
+
+#endif // AC_SIMPL_PROGRAM_H

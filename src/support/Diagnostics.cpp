@@ -1,0 +1,39 @@
+//===- Diagnostics.cpp ----------------------------------------------------===//
+
+#include "support/Diagnostics.h"
+
+#include <sstream>
+
+using namespace ac;
+
+std::string SourceLoc::str() const {
+  std::ostringstream OS;
+  OS << Line << ":" << Col;
+  return OS.str();
+}
+
+std::string Diagnostic::str() const {
+  std::ostringstream OS;
+  if (Loc.isValid())
+    OS << Loc.str() << ": ";
+  switch (Kind) {
+  case DiagKind::Error:
+    OS << "error: ";
+    break;
+  case DiagKind::Warning:
+    OS << "warning: ";
+    break;
+  case DiagKind::Note:
+    OS << "note: ";
+    break;
+  }
+  OS << Message;
+  return OS.str();
+}
+
+std::string DiagEngine::str() const {
+  std::ostringstream OS;
+  for (const Diagnostic &D : Diags)
+    OS << D.str() << "\n";
+  return OS.str();
+}

@@ -1,0 +1,64 @@
+//===- StringUtils.cpp ----------------------------------------------------===//
+
+#include "support/StringUtils.h"
+
+#include <sstream>
+
+using namespace ac;
+
+std::string ac::join(const std::vector<std::string> &Parts,
+                     const std::string &Sep) {
+  std::string Out;
+  for (size_t I = 0; I != Parts.size(); ++I) {
+    if (I)
+      Out += Sep;
+    Out += Parts[I];
+  }
+  return Out;
+}
+
+unsigned ac::countLines(const std::string &S) {
+  if (S.empty())
+    return 0;
+  unsigned N = 1;
+  for (size_t I = 0; I + 1 < S.size(); ++I)
+    if (S[I] == '\n')
+      ++N;
+  if (S.back() == '\n' && S.size() == 1)
+    return 1;
+  return N;
+}
+
+std::string ac::indentLines(const std::string &S, unsigned N) {
+  std::string Pad(N, ' ');
+  std::string Out;
+  bool AtLineStart = true;
+  for (char C : S) {
+    if (AtLineStart && C != '\n')
+      Out += Pad;
+    AtLineStart = (C == '\n');
+    Out += C;
+  }
+  return Out;
+}
+
+bool ac::startsWith(const std::string &S, const std::string &Prefix) {
+  return S.size() >= Prefix.size() &&
+         S.compare(0, Prefix.size(), Prefix) == 0;
+}
+
+std::vector<std::string> ac::splitString(const std::string &S, char Sep) {
+  std::vector<std::string> Out;
+  std::string Cur;
+  for (char C : S) {
+    if (C == Sep) {
+      Out.push_back(Cur);
+      Cur.clear();
+    } else {
+      Cur += C;
+    }
+  }
+  if (!Cur.empty())
+    Out.push_back(Cur);
+  return Out;
+}

@@ -1,0 +1,39 @@
+//===- StringUtils.h - Small string helpers ---------------------*- C++ -*-===//
+//
+// Part of the autocorres-cpp project, under the BSD 2-Clause License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// String helpers shared across the project: joining, line counting (the
+/// "lines of specification" metric of Table 5), and indentation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AC_SUPPORT_STRINGUTILS_H
+#define AC_SUPPORT_STRINGUTILS_H
+
+#include <string>
+#include <vector>
+
+namespace ac {
+
+/// Joins \p Parts with \p Sep between consecutive elements.
+std::string join(const std::vector<std::string> &Parts,
+                 const std::string &Sep);
+
+/// Number of lines in \p S (a trailing newline does not add a line).
+unsigned countLines(const std::string &S);
+
+/// Prefixes every line of \p S with \p N spaces.
+std::string indentLines(const std::string &S, unsigned N);
+
+/// True if \p S starts with \p Prefix.
+bool startsWith(const std::string &S, const std::string &Prefix);
+
+/// Splits \p S on character \p Sep (no empty trailing element).
+std::vector<std::string> splitString(const std::string &S, char Sep);
+
+} // namespace ac
+
+#endif // AC_SUPPORT_STRINGUTILS_H

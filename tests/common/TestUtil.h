@@ -1,0 +1,241 @@
+//===- TestUtil.h - Shared helpers for the test suite -----------*- C++ -*-===//
+//
+// Part of the autocorres-cpp project, under the BSD 2-Clause License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Random-state generation and differential refinement checking shared by
+/// the test binaries. A TestWorld allocates a handful of typed, tagged
+/// objects per heap type so that pointer-typed arguments can point at
+/// real, valid objects (or NULL), which is what exercises both the guard
+/// logic and the heap-abstraction semantics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AC_TESTS_TESTUTIL_H
+#define AC_TESTS_TESTUTIL_H
+
+#include "monad/L1.h"
+#include "monad/L2.h"
+#include "monad/SimplInterp.h"
+#include "hol/GroundEval.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace ac::test {
+
+using namespace ac;
+using namespace ac::hol;
+using namespace ac::monad;
+
+/// Deterministic PRNG for reproducible tests.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : State(Seed ? Seed : 0x9e3779b9) {}
+
+  uint64_t next() {
+    State ^= State << 13;
+    State ^= State >> 7;
+    State ^= State << 17;
+    return State;
+  }
+  /// Uniform-ish value in [0, N).
+  uint64_t below(uint64_t N) { return N ? next() % N : 0; }
+  bool flip() { return next() & 1; }
+
+private:
+  uint64_t State;
+};
+
+/// A concrete heap world: a few objects of every heap type the program
+/// uses, correctly aligned and type-tagged.
+struct TestWorld {
+  std::shared_ptr<HeapVal> Heap = std::make_shared<HeapVal>();
+  /// typeStr(pointee) -> object addresses.
+  std::map<std::string, std::vector<uint32_t>> Objects;
+
+  const std::vector<uint32_t> *objectsOf(const std::string &TyName) const {
+    auto It = Objects.find(TyName);
+    return It == Objects.end() ? nullptr : &It->second;
+  }
+};
+
+/// Allocates \p PerType objects of every heap type in \p Prog.
+inline TestWorld buildWorld(const simpl::SimplProgram &Prog, InterpCtx &Ctx,
+                            Rng &R, unsigned PerType = 4) {
+  TestWorld W;
+  uint32_t Cursor = 0x1000;
+  for (const TypeRef &T : Prog.HeapTypes) {
+    unsigned Size = Ctx.sizeOfTy(T);
+    unsigned Align = Ctx.alignOfTy(T);
+    std::string Name = typeStr(T);
+    for (unsigned I = 0; I != PerType; ++I) {
+      Cursor = (Cursor + Align - 1) / Align * Align;
+      for (unsigned B = 0; B != Size; ++B)
+        W.Heap->Bytes[Cursor + B] = static_cast<uint8_t>(R.next());
+      Ctx.retype(*W.Heap, Cursor, T);
+      W.Objects[Name].push_back(Cursor);
+      Cursor += Size + static_cast<uint32_t>(R.below(16));
+    }
+  }
+  return W;
+}
+
+/// Random value of a HOL type. Pointers point at world objects or NULL.
+inline Value randomValue(const TypeRef &T, const TestWorld &W, Rng &R,
+                         InterpCtx &Ctx) {
+  if (isWordTy(T) || isSwordTy(T)) {
+    unsigned Bits = wordBits(T);
+    Int128 Raw;
+    // Mix small values (exercise boundary arithmetic) with full-range.
+    switch (R.below(4)) {
+    case 0:
+      Raw = static_cast<Int128>(R.below(8));
+      break;
+    case 1:
+      Raw = static_cast<Int128>(wordMaxVal(Bits)) -
+            static_cast<Int128>(R.below(8));
+      break;
+    default:
+      Raw = static_cast<Int128>(R.next());
+      break;
+    }
+    return Value::num(normalizeToType(Raw, T), T);
+  }
+  if (T->isCon("nat") || T->isCon("int"))
+    return Value::num(static_cast<Int128>(R.below(1000)), T);
+  if (T->isCon("bool"))
+    return Value::boolean(R.flip());
+  if (T->isCon("unit"))
+    return Value::unit();
+  if (isPtrTy(T)) {
+    std::string Name = typeStr(T->arg(0));
+    const std::vector<uint32_t> *Objs = W.objectsOf(Name);
+    if (!Objs || Objs->empty() || R.below(4) == 0)
+      return Value::ptr(0, Name);
+    return Value::ptr((*Objs)[R.below(Objs->size())], Name);
+  }
+  return Ctx.defaultValue(T);
+}
+
+/// Builds a globals record: the world heap plus random global variables.
+inline Value randomGlobals(const simpl::SimplProgram &Prog,
+                           const TestWorld &W, Rng &R, InterpCtx &Ctx) {
+  const RecordInfo *RI = Prog.Records.lookup(simpl::globalsRecName());
+  std::map<std::string, Value> Fields;
+  for (const auto &[Name, Ty] : RI->Fields) {
+    if (Name == simpl::heapFieldName())
+      Fields.emplace(Name, Value::heap(W.Heap));
+    else
+      Fields.emplace(Name, randomValue(Ty, W, R, Ctx));
+  }
+  return Value::record(simpl::globalsRecName(), std::move(Fields));
+}
+
+/// Outcome of one differential trial.
+enum class Diff {
+  Ok,       ///< behaviours agree
+  Skip,     ///< fuel ran out somewhere; inconclusive
+  Mismatch, ///< refinement violated
+};
+
+/// Checks the L1 refinement on one random state: every Simpl behaviour
+/// must be reproduced by the L1 monad (same final states, same
+/// failure/fault classification).
+inline Diff checkL1Once(const simpl::SimplProgram &Prog,
+                        const std::string &Fn, InterpCtx &Ctx, Rng &R) {
+  const simpl::SimplFunc *F = Prog.function(Fn);
+  TestWorld W = buildWorld(Prog, Ctx, R);
+  std::vector<Value> Args;
+  for (const auto &[Name, Ty] : F->Params)
+    Args.push_back(randomValue(Ty, W, R, Ctx));
+  Value Globals = randomGlobals(Prog, W, R, Ctx);
+
+  Ctx.reset();
+  SimplOutcome SO = runSimplFunction(*F, Args, Globals, Ctx);
+  if (SO.K == SimplOutcome::Kind::Stuck)
+    return Diff::Skip;
+
+  Ctx.reset();
+  Value M = evalClosed(Ctx.FunDefs.at("l1:" + Fn), Ctx);
+  Value S0 = initialSimplState(*F, Ctx, Args, Globals);
+  MonadResult MR = runMonad(M, S0, Ctx);
+  if (Ctx.OutOfFuel)
+    return Diff::Skip;
+
+  if (SO.K == SimplOutcome::Kind::Fault)
+    return MR.Failed ? Diff::Ok : Diff::Mismatch;
+  if (MR.Failed || MR.Results.size() != 1 || MR.Results[0].IsExn)
+    return Diff::Mismatch;
+  return Value::equal(MR.Results[0].State, SO.State) ? Diff::Ok
+                                                     : Diff::Mismatch;
+}
+
+/// Checks the L2 refinement on one random state: the lifted function,
+/// applied to the argument values, must produce the callee's return value
+/// and final globals.
+inline Diff checkL2Once(const simpl::SimplProgram &Prog,
+                        const std::string &Fn, InterpCtx &Ctx, Rng &R) {
+  const simpl::SimplFunc *F = Prog.function(Fn);
+  TestWorld W = buildWorld(Prog, Ctx, R);
+  std::vector<Value> Args;
+  for (const auto &[Name, Ty] : F->Params)
+    Args.push_back(randomValue(Ty, W, R, Ctx));
+  Value Globals = randomGlobals(Prog, W, R, Ctx);
+
+  Ctx.reset();
+  SimplOutcome SO = runSimplFunction(*F, Args, Globals, Ctx);
+  if (SO.K == SimplOutcome::Kind::Stuck)
+    return Diff::Skip;
+
+  Ctx.reset();
+  Value Fun = evalClosed(Ctx.FunDefs.at("l2:" + Fn), Ctx);
+  for (const Value &A : Args) {
+    assert(Fun.K == Value::Kind::Fun);
+    Fun = Fun.Fun(A);
+  }
+  MonadResult MR = runMonad(Fun, Globals, Ctx);
+  if (Ctx.OutOfFuel)
+    return Diff::Skip;
+
+  if (SO.K == SimplOutcome::Kind::Fault)
+    return MR.Failed ? Diff::Ok : Diff::Mismatch;
+  if (MR.Failed || MR.Results.size() != 1 || MR.Results[0].IsExn)
+    return Diff::Mismatch;
+  const MonadResult::Res &Res = MR.Results[0];
+  // Final globals agree.
+  if (!Value::equal(Res.State, SO.State.Rec->at("globals")))
+    return Diff::Mismatch;
+  // Return value agrees.
+  if (F->RetTy &&
+      !Value::equal(Res.V, SO.State.Rec->at(simpl::retVarName())))
+    return Diff::Mismatch;
+  return Diff::Ok;
+}
+
+/// Runs \p Trials random trials of a checker, requiring every trial to be
+/// Ok or Skip, and at least one Ok.
+template <typename Checker>
+inline ::testing::AssertionResult
+runTrials(unsigned Trials, uint64_t Seed, Checker Check) {
+  unsigned OkCount = 0;
+  for (unsigned I = 0; I != Trials; ++I) {
+    Rng R(Seed + I * 7919);
+    Diff D = Check(R);
+    if (D == Diff::Mismatch)
+      return ::testing::AssertionFailure()
+             << "refinement mismatch on trial " << I;
+    if (D == Diff::Ok)
+      ++OkCount;
+  }
+  if (OkCount == 0)
+    return ::testing::AssertionFailure() << "all trials were inconclusive";
+  return ::testing::AssertionSuccess();
+}
+
+} // namespace ac::test
+
+#endif // AC_TESTS_TESTUTIL_H

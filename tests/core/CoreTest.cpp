@@ -1,0 +1,205 @@
+//===- CoreTest.cpp - The AutoCorres driver ---------------------*- C++ -*-===//
+//
+// Part of the autocorres-cpp project, under the BSD 2-Clause License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests the top-level driver: pipeline composition and its derivation
+/// tree, per-function abstraction options (Secs 3.2 / 4.6), the rendered
+/// output, statistics, and error handling.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/AutoCorres.h"
+#include "corpus/Sources.h"
+#include "hol/Print.h"
+
+#include <gtest/gtest.h>
+
+using namespace ac;
+using namespace ac::hol;
+
+namespace {
+
+std::unique_ptr<core::AutoCorres> runAC(const std::string &Src,
+                                        core::ACOptions Opts = {}) {
+  DiagEngine Diags;
+  auto AC = core::AutoCorres::run(Src, Diags, Opts);
+  EXPECT_TRUE(AC) << Diags.str();
+  return AC;
+}
+
+const char *TwoFnSrc = "unsigned add(unsigned a, unsigned b) {\n"
+                       "  return a + b;\n"
+                       "}\n"
+                       "unsigned twice(unsigned a) {\n"
+                       "  return add(a, a);\n"
+                       "}\n";
+
+//===----------------------------------------------------------------------===//
+// Pipeline theorem structure.
+//===----------------------------------------------------------------------===//
+
+TEST(Driver, PipelineConclusionIsAcCorres) {
+  auto AC = runAC(corpus::maxSource());
+  ASSERT_TRUE(AC);
+  const core::FuncOutput *F = AC->func("max");
+  ASSERT_NE(F, nullptr);
+  // |- ac_corres <final body> <simpl const>.
+  ASSERT_TRUE(F->Pipeline.isValid());
+  TermRef Prop = F->Pipeline.prop();
+  ASSERT_TRUE(Prop->isApp());
+  TermRef Head = Prop;
+  unsigned Args = 0;
+  while (Head->isApp()) {
+    Head = Head->fun();
+    ++Args;
+  }
+  EXPECT_EQ(Args, 2u);
+  ASSERT_TRUE(Head->isConst());
+  EXPECT_EQ(Head->name(), "ac_corres");
+}
+
+TEST(Driver, PipelineDerivationContainsEveryPhase) {
+  auto AC = runAC(corpus::maxSource());
+  ASSERT_TRUE(AC);
+  const core::FuncOutput *F = AC->func("max");
+  std::set<std::string> Axioms, Oracles;
+  collectLeaves(F->Pipeline, Axioms, Oracles);
+  // max is heap-trivial but word-abstracted: the composed tree must
+  // contain the L1, L2 and WA phase oracles plus the composition step.
+  EXPECT_TRUE(Oracles.count("monadic_conversion"));
+  EXPECT_TRUE(Oracles.count("local_var_lifting"));
+  EXPECT_TRUE(Oracles.count("refinement_composition"));
+  EXPECT_GT(derivSize(F->Pipeline), 4u);
+}
+
+TEST(Driver, PhaseTheoremsArePerPhase) {
+  auto AC = runAC(corpus::swapSource());
+  ASSERT_TRUE(AC);
+  const core::FuncOutput *F = AC->func("swap");
+  ASSERT_TRUE(F->HeapLifted);
+  EXPECT_TRUE(F->L1Corres.isValid());
+  EXPECT_TRUE(F->L2Corres.isValid());
+  EXPECT_TRUE(F->HLCorres.isValid());
+}
+
+//===----------------------------------------------------------------------===//
+// Per-function abstraction options (Secs 3.2 / 4.6).
+//===----------------------------------------------------------------------===//
+
+TEST(Driver, NoHeapAbsKeepsByteLevelHeap) {
+  core::ACOptions Opts;
+  Opts.NoHeapAbs.insert("swap");
+  auto AC = runAC(corpus::swapSource(), Opts);
+  ASSERT_TRUE(AC);
+  const core::FuncOutput *F = AC->func("swap");
+  EXPECT_FALSE(F->HeapLifted);
+  EXPECT_FALSE(F->HLBody);
+  // The rendered spec mentions the raw heap operations.
+  std::string R = AC->render("swap");
+  EXPECT_NE(R.find("heap"), std::string::npos);
+}
+
+TEST(Driver, NoWordAbsKeepsMachineWords) {
+  core::ACOptions Opts;
+  Opts.NoWordAbs.insert("max");
+  auto AC = runAC(corpus::maxSource(), Opts);
+  ASSERT_TRUE(AC);
+  const core::FuncOutput *F = AC->func("max");
+  EXPECT_FALSE(F->WordAbstracted);
+  EXPECT_FALSE(F->WABody);
+  for (const TypeRef &T : F->FinalArgTys)
+    EXPECT_TRUE(isWordTy(T) || isSwordTy(T));
+}
+
+TEST(Driver, OptionsApplyPerFunctionNotGlobally) {
+  core::ACOptions Opts;
+  Opts.NoWordAbs.insert("add");
+  auto AC = runAC(TwoFnSrc, Opts);
+  ASSERT_TRUE(AC);
+  EXPECT_FALSE(AC->func("add")->WordAbstracted);
+  EXPECT_TRUE(AC->func("twice")->WordAbstracted);
+}
+
+TEST(Driver, DefaultRunAbstractsEverything) {
+  auto AC = runAC(TwoFnSrc);
+  ASSERT_TRUE(AC);
+  for (const std::string &Fn : AC->order()) {
+    const core::FuncOutput *F = AC->func(Fn);
+    EXPECT_TRUE(F->WordAbstracted) << Fn;
+    // Arg types are the ideal ones.
+    for (const TypeRef &T : F->FinalArgTys)
+      EXPECT_TRUE(T->isCon("nat") || T->isCon("int") || isPtrTy(T)) << Fn;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Rendering, statistics, ordering, errors.
+//===----------------------------------------------------------------------===//
+
+TEST(Driver, RenderShowsPrimedDefinition) {
+  auto AC = runAC(corpus::maxSource());
+  ASSERT_TRUE(AC);
+  std::string R = AC->render("max");
+  EXPECT_NE(R.find("max'"), std::string::npos);
+  EXPECT_NE(R.find("=="), std::string::npos);
+}
+
+TEST(Driver, OrderIsCallOrderBottomUp) {
+  auto AC = runAC(TwoFnSrc);
+  ASSERT_TRUE(AC);
+  const std::vector<std::string> &O = AC->order();
+  ASSERT_EQ(O.size(), 2u);
+  // Callee precedes caller so its definition exists when needed.
+  EXPECT_LT(std::find(O.begin(), O.end(), "add") - O.begin(),
+            std::find(O.begin(), O.end(), "twice") - O.begin());
+}
+
+TEST(Driver, StatsAreFilledIn) {
+  auto AC = runAC(TwoFnSrc);
+  ASSERT_TRUE(AC);
+  const core::ACStats &S = AC->stats();
+  EXPECT_EQ(S.NumFunctions, 2u);
+  EXPECT_GE(S.SourceLines, 5u);
+  EXPECT_GT(S.ParserSpecLines, 0u);
+  EXPECT_GT(S.ACSpecLines, 0u);
+  EXPECT_GT(S.parserAvgTermSize(), 0.0);
+  EXPECT_GT(S.acAvgTermSize(), 0.0);
+}
+
+TEST(Driver, UnknownFunctionIsNull) {
+  auto AC = runAC(TwoFnSrc);
+  ASSERT_TRUE(AC);
+  EXPECT_EQ(AC->func("nope"), nullptr);
+}
+
+TEST(Driver, ParseErrorReturnsNullWithDiagnostics) {
+  DiagEngine Diags;
+  auto AC = core::AutoCorres::run("int f( {", Diags);
+  EXPECT_EQ(AC, nullptr);
+  EXPECT_FALSE(Diags.str().empty());
+}
+
+TEST(Driver, UnsupportedConstructIsRejectedNotMistranslated) {
+  // goto is outside the supported subset: must fail loudly.
+  DiagEngine Diags;
+  auto AC = core::AutoCorres::run(
+      "int f(int a) { if (a) goto l; l: return 1; }", Diags);
+  EXPECT_EQ(AC, nullptr);
+  EXPECT_FALSE(Diags.str().empty());
+}
+
+TEST(Driver, RecursiveFunctionsGetMeasureParameter) {
+  auto AC = runAC("unsigned fact(unsigned n) {\n"
+                  "  if (n == 0) return 1;\n"
+                  "  return n * fact(n - 1);\n"
+                  "}\n");
+  ASSERT_TRUE(AC);
+  // The rendered recursive definition exists and calls itself.
+  std::string R = AC->render("fact");
+  EXPECT_NE(R.find("fact'"), std::string::npos);
+}
+
+} // namespace

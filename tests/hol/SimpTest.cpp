@@ -1,0 +1,98 @@
+//===- SimpTest.cpp - Kernel-backed simplifier -----------------------------===//
+
+#include "hol/Simp.h"
+
+#include "hol/Print.h"
+
+#include <gtest/gtest.h>
+
+using namespace ac::hol;
+
+TEST(Simp, IfTrue) {
+  TermRef A = Term::mkFree("a", natTy());
+  TermRef B = Term::mkFree("b", natTy());
+  TermRef T = mkIte(mkTrue(), A, B);
+  SimpResult R = simplify(basicSimpset(), T);
+  EXPECT_TRUE(termEq(R.Result, A));
+  TermRef L, Rr;
+  ASSERT_TRUE(destEq(R.Eq.prop(), L, Rr));
+  EXPECT_TRUE(termEq(L, T));
+  EXPECT_TRUE(termEq(Rr, A));
+}
+
+TEST(Simp, GroundFoldsViaOracle) {
+  TermRef T = mkPlus(mkNumOf(natTy(), 2), mkNumOf(natTy(), 3));
+  SimpResult R = simplify(basicSimpset(), T);
+  EXPECT_TRUE(termEq(R.Result, mkNumOf(natTy(), 5)));
+  std::set<std::string> Axs, Oracles;
+  collectLeaves(R.Eq, Axs, Oracles);
+  EXPECT_TRUE(Oracles.count("ground_eval"));
+}
+
+TEST(Simp, ConjunctionUnits) {
+  TermRef P = Term::mkFree("p", boolTy());
+  TermRef T = mkConj(mkTrue(), mkConj(P, mkTrue()));
+  SimpResult R = simplify(basicSimpset(), T);
+  EXPECT_TRUE(termEq(R.Result, P));
+}
+
+TEST(Simp, UnderBinders) {
+  // %x. if True then x else 0  -->  %x. x
+  TermRef X = Term::mkFree("x", natTy());
+  TermRef T = lambdaFree(
+      "x", natTy(), mkIte(mkTrue(), X, mkNumOf(natTy(), 0)));
+  SimpResult R = simplify(basicSimpset(), T);
+  ASSERT_TRUE(R.Result->isLam());
+  EXPECT_TRUE(R.Result->body()->isBound());
+}
+
+TEST(Simp, FunUpdApply) {
+  // (f(x := v)) x  simplifies to v (the condition x = x folds to True).
+  TypeRef N = natTy();
+  TermRef F = Term::mkFree("f", funTy(N, N));
+  TermRef X = Term::mkFree("x", N);
+  TermRef V = Term::mkFree("v", N);
+  TermRef FunUpd = Term::mkConst(
+      "fun_upd", funTys({funTy(N, N), N, N}, funTy(N, N)));
+  TermRef T = Term::mkApp(mkApps(FunUpd, {F, X, V}), X);
+  SimpResult R = simplify(basicSimpset(), T);
+  EXPECT_TRUE(termEq(R.Result, V)) << printTerm(R.Result);
+}
+
+TEST(Simp, ProveByRewriting) {
+  // the (Some 5) = 5 proves by rewriting to True.
+  TermRef T = mkEq(mkThe(mkSome(mkNumOf(natTy(), 5))),
+                   mkNumOf(natTy(), 5));
+  auto P = simpProve(basicSimpset(), T);
+  ASSERT_TRUE(P.has_value());
+  EXPECT_TRUE(termEq(P->prop(), T));
+}
+
+TEST(Simp, SolverHookIsUsed) {
+  // A simpset with a solver that proves a marked proposition.
+  TermRef Marker = Term::mkConst("simpTest.marker", boolTy());
+  Simpset SS = basicSimpset();
+  SS.addSolver([&](const TermRef &G) -> std::optional<Thm> {
+    if (G->isConst("simpTest.marker"))
+      return Kernel::oracle("simpTest.solver", G);
+    return std::nullopt;
+  });
+  auto P = simpProve(SS, Marker);
+  ASSERT_TRUE(P.has_value());
+}
+
+TEST(Simp, ConditionalRule) {
+  // A conditional rewrite: 0 < n --> min n 0 = 0 ... expressed directly.
+  TypeRef N = natTy();
+  TermRef NV = Term::mkVar("n", 0, N);
+  Thm Rule = Kernel::axiom(
+      "test.min_zero_cond",
+      mkImp(mkLess(mkNumOf(N, 0), NV),
+            mkEq(mkBinop("min", N, NV, mkNumOf(N, 0)), mkNumOf(N, 0))));
+  Simpset SS = basicSimpset();
+  SS.addRule(Rule);
+  // Condition holds (ground): rewrite fires.
+  TermRef T = mkBinop("min", N, mkNumOf(N, 3), mkNumOf(N, 0));
+  SimpResult R = simplify(SS, T);
+  EXPECT_TRUE(termEq(R.Result, mkNumOf(N, 0)));
+}

@@ -1,0 +1,207 @@
+//===- InterpTest.cpp - Evaluator and Simpl interpreter --------------------===//
+
+#include "../common/TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace ac;
+using namespace ac::hol;
+using namespace ac::monad;
+using namespace ac::test;
+
+namespace {
+
+std::unique_ptr<simpl::SimplProgram> translate(const std::string &Src) {
+  DiagEngine Diags;
+  auto P = simpl::parseAndTranslate(Src, Diags);
+  EXPECT_TRUE(P != nullptr) << Diags.str();
+  return P;
+}
+
+Value numV(long long V, TypeRef Ty) {
+  return Value::num(normalizeToType(V, Ty), Ty);
+}
+
+} // namespace
+
+TEST(Interp, TermEvaluation) {
+  InterpCtx Ctx;
+  // (%x. x * x) 7.
+  TermRef X = Term::mkFree("x", natTy());
+  TermRef Lam = lambdaFree("x", natTy(), mkTimes(X, X));
+  Value F = evalClosed(Lam, Ctx);
+  Value R = F.Fun(numV(7, natTy()));
+  EXPECT_EQ(static_cast<long long>(R.N), 49);
+}
+
+TEST(Interp, MonadSemantics) {
+  InterpCtx Ctx;
+  TypeRef S = natTy(); // a trivial numeric state
+  // do x <- gets id; guard (x < 10); return (x + 1) od
+  TermRef SV = Term::mkFree("s", S);
+  TermRef XV = Term::mkFree("x", S);
+  TermRef GetsId = mkGets(S, unitTy(), lambdaFree("s", S, SV));
+  TermRef Guard = mkGuard(
+      S, unitTy(), lambdaFree("s", S, mkLess(SV, mkNumOf(S, 10))));
+  TermRef Inner = mkBind(
+      Guard, Term::mkLam("_", unitTy(),
+                         mkReturn(S, unitTy(),
+                                  mkPlus(XV, mkNumOf(S, 1)))));
+  TermRef Prog = mkBind(GetsId, lambdaFree("x", S, Inner));
+  Value M = evalClosed(Prog, Ctx);
+  MonadResult R1 = runMonad(M, numV(5, natTy()), Ctx);
+  ASSERT_FALSE(R1.Failed);
+  ASSERT_EQ(R1.Results.size(), 1u);
+  EXPECT_EQ(static_cast<long long>(R1.Results[0].V.N), 6);
+  MonadResult R2 = runMonad(M, numV(50, natTy()), Ctx);
+  EXPECT_TRUE(R2.Failed); // guard fails
+}
+
+TEST(Interp, WhileLoopSemantics) {
+  InterpCtx Ctx;
+  TypeRef S = unitTy();
+  TypeRef N = natTy();
+  // whileLoop (%r s. r < 10) (%r. return (r + 2)) 0 == 10.
+  TermRef RV = Term::mkFree("r", N);
+  TermRef Cond = lambdaFree(
+      "r", N, lambdaFree("s", S, mkLess(RV, mkNumOf(N, 10))));
+  TermRef Body = lambdaFree(
+      "r", N, mkReturn(S, unitTy(), mkPlus(RV, mkNumOf(N, 2))));
+  TermRef Loop = mkWhileLoop(Cond, Body, mkNumOf(N, 0));
+  Value M = evalClosed(Loop, Ctx);
+  MonadResult R = runMonad(M, Value::unit(), Ctx);
+  ASSERT_FALSE(R.Failed);
+  ASSERT_EQ(R.Results.size(), 1u);
+  EXPECT_EQ(static_cast<long long>(R.Results[0].V.N), 10);
+}
+
+TEST(Interp, NonTerminatingLoopRunsOutOfFuel) {
+  InterpCtx Ctx;
+  Ctx.Fuel = 1000;
+  TypeRef S = unitTy();
+  TypeRef N = natTy();
+  TermRef RV = Term::mkFree("r", N);
+  TermRef Cond = Term::mkLam("r", N, Term::mkLam("s", S, mkTrue()));
+  TermRef Body = lambdaFree("r", N, mkReturn(S, unitTy(), RV));
+  TermRef Loop = mkWhileLoop(Cond, Body, mkNumOf(N, 0));
+  Value M = evalClosed(Loop, Ctx);
+  MonadResult R = runMonad(M, Value::unit(), Ctx);
+  EXPECT_TRUE(R.Failed);
+  EXPECT_TRUE(Ctx.OutOfFuel);
+}
+
+TEST(Interp, HeapEncodeDecode) {
+  auto P = translate("struct node { struct node *next; unsigned data; };\n"
+                     "unsigned f(struct node *p) { return p->data; }\n");
+  InterpCtx Ctx(P.get());
+  HeapVal H;
+  TypeRef NodeTy = recordTy("node_C");
+  std::map<std::string, Value> Fields;
+  Fields.emplace("next", Value::ptr(0x40, "node_C"));
+  Fields.emplace("data", numV(0xdeadbeef, wordTy(32)));
+  Value Node = Value::record("node_C", Fields);
+  Ctx.encode(H, 0x100, Node, NodeTy);
+  Value Back = Ctx.decode(H, 0x100, NodeTy);
+  EXPECT_TRUE(Value::equal(Node, Back));
+  // Individual field bytes land at the right offsets (little endian).
+  EXPECT_EQ(H.readByte(0x100), 0x40); // next pointer low byte
+  EXPECT_EQ(H.readByte(0x104), 0xef); // data low byte
+}
+
+TEST(Interp, TypeTags) {
+  auto P = translate("unsigned f(unsigned *p) { return *p; }\n");
+  InterpCtx Ctx(P.get());
+  HeapVal H;
+  TypeRef W = wordTy(32);
+  Ctx.retype(H, 0x100, W);
+  EXPECT_TRUE(Ctx.typeTagValid(H, 0x100, W));
+  EXPECT_FALSE(Ctx.typeTagValid(H, 0x102, W)); // footprint, not start
+  EXPECT_FALSE(Ctx.typeTagValid(H, 0x200, W)); // untyped
+}
+
+TEST(SimplInterp, MaxComputes) {
+  auto P = translate("int max(int a, int b) {\n"
+                     "  if (a < b) return b;\n"
+                     "  return a;\n"
+                     "}\n");
+  InterpCtx Ctx(P.get());
+  const simpl::SimplFunc *F = P->function("max");
+  Value G = Ctx.defaultValue(P->GlobalsTy);
+  SimplOutcome R = runSimplFunction(
+      *F, {numV(-5, swordTy(32)), numV(3, swordTy(32))}, G, Ctx);
+  ASSERT_EQ(R.K, SimplOutcome::Kind::Normal);
+  EXPECT_EQ(static_cast<long long>(R.State.Rec->at("ret").N), 3);
+}
+
+TEST(SimplInterp, SignedOverflowFaults) {
+  auto P = translate("int add(int a, int b) { return a + b; }\n");
+  InterpCtx Ctx(P.get());
+  const simpl::SimplFunc *F = P->function("add");
+  Value G = Ctx.defaultValue(P->GlobalsTy);
+  SimplOutcome Ok = runSimplFunction(
+      *F, {numV(1, swordTy(32)), numV(2, swordTy(32))}, G, Ctx);
+  EXPECT_EQ(Ok.K, SimplOutcome::Kind::Normal);
+  SimplOutcome Bad = runSimplFunction(
+      *F, {numV(0x7fffffff, swordTy(32)), numV(1, swordTy(32))}, G, Ctx);
+  EXPECT_EQ(Bad.K, SimplOutcome::Kind::Fault);
+  EXPECT_EQ(Bad.FaultKind, simpl::GuardKind::SignedOverflow);
+}
+
+TEST(SimplInterp, NullDerefFaults) {
+  auto P = translate("unsigned deref(unsigned *p) { return *p; }\n");
+  InterpCtx Ctx(P.get());
+  const simpl::SimplFunc *F = P->function("deref");
+  Value G = Ctx.defaultValue(P->GlobalsTy);
+  SimplOutcome R =
+      runSimplFunction(*F, {Value::ptr(0, "word32")}, G, Ctx);
+  EXPECT_EQ(R.K, SimplOutcome::Kind::Fault);
+  EXPECT_EQ(R.FaultKind, simpl::GuardKind::PtrValid);
+  SimplOutcome R2 =
+      runSimplFunction(*F, {Value::ptr(0x101, "word32")}, G, Ctx);
+  EXPECT_EQ(R2.K, SimplOutcome::Kind::Fault); // misaligned
+}
+
+TEST(SimplInterp, CallsAndGlobals) {
+  auto P = translate("unsigned counter = 0;\n"
+                     "void bump(unsigned by) { counter = counter + by; }\n"
+                     "unsigned twice(unsigned by) {\n"
+                     "  bump(by);\n"
+                     "  bump(by);\n"
+                     "  return counter;\n"
+                     "}\n");
+  InterpCtx Ctx(P.get());
+  const simpl::SimplFunc *F = P->function("twice");
+  Value G = Ctx.defaultValue(P->GlobalsTy);
+  SimplOutcome R =
+      runSimplFunction(*F, {numV(21, wordTy(32))}, G, Ctx);
+  ASSERT_EQ(R.K, SimplOutcome::Kind::Normal);
+  EXPECT_EQ(static_cast<long long>(R.State.Rec->at("ret").N), 42);
+}
+
+TEST(SimplInterp, HeapSwap) {
+  auto P = translate("void swap(unsigned *a, unsigned *b) {\n"
+                     "  unsigned t = *a;\n"
+                     "  *a = *b;\n"
+                     "  *b = t;\n"
+                     "}\n");
+  InterpCtx Ctx(P.get());
+  const simpl::SimplFunc *F = P->function("swap");
+  auto H = std::make_shared<HeapVal>();
+  Ctx.encode(*H, 0x100, numV(11, wordTy(32)), wordTy(32));
+  Ctx.encode(*H, 0x104, numV(22, wordTy(32)), wordTy(32));
+  std::map<std::string, Value> GF;
+  GF.emplace(simpl::heapFieldName(), Value::heap(H));
+  Value G = Value::record(simpl::globalsRecName(), GF);
+  SimplOutcome R = runSimplFunction(
+      *F, {Value::ptr(0x100, "word32"), Value::ptr(0x104, "word32")}, G,
+      Ctx);
+  ASSERT_EQ(R.K, SimplOutcome::Kind::Normal);
+  const Value &HOut =
+      R.State.Rec->at("globals").Rec->at(simpl::heapFieldName());
+  EXPECT_EQ(static_cast<long long>(
+                Ctx.decode(*HOut.Heap, 0x100, wordTy(32)).N),
+            22);
+  EXPECT_EQ(static_cast<long long>(
+                Ctx.decode(*HOut.Heap, 0x104, wordTy(32)).N),
+            11);
+}

@@ -1,0 +1,243 @@
+//===- L1L2Test.cpp - Differential validation of L1/L2 ---------------------===//
+//
+// Validates the oracle-backed monadic-conversion and local-var-lifting
+// phases: for random initial states, the Simpl execution and the L1/L2
+// monads must agree on final states, return values and failure.
+//
+//===----------------------------------------------------------------------===//
+
+#include "../common/TestUtil.h"
+
+#include "hol/Print.h"
+#include "monad/Peephole.h"
+
+#include <gtest/gtest.h>
+
+using namespace ac;
+using namespace ac::hol;
+using namespace ac::monad;
+using namespace ac::test;
+
+namespace {
+
+struct Pipeline {
+  std::unique_ptr<simpl::SimplProgram> Prog;
+  InterpCtx Ctx;
+  std::map<std::string, L1Result> L1;
+  std::map<std::string, L2Result> L2;
+
+  explicit Pipeline(const std::string &Src) : Ctx(nullptr) {
+    DiagEngine Diags;
+    Prog = simpl::parseAndTranslate(Src, Diags);
+    EXPECT_TRUE(Prog != nullptr) << Diags.str();
+    Ctx = InterpCtx(Prog.get());
+    L1 = convertAllL1(*Prog, Ctx);
+    L2 = convertAllL2(*Prog, Ctx);
+  }
+};
+
+const char *MaxSrc = "int max(int a, int b) {\n"
+                     "  if (a < b) return b;\n"
+                     "  return a;\n"
+                     "}\n";
+
+const char *GcdSrc = "unsigned gcd(unsigned a, unsigned b) {\n"
+                     "  while (b != 0) {\n"
+                     "    unsigned t = b;\n"
+                     "    b = a % b;\n"
+                     "    a = t;\n"
+                     "  }\n"
+                     "  return a;\n"
+                     "}\n";
+
+const char *SwapSrc = "void swap(unsigned *a, unsigned *b) {\n"
+                      "  unsigned t = *a;\n"
+                      "  *a = *b;\n"
+                      "  *b = t;\n"
+                      "}\n";
+
+const char *ReverseSrc =
+    "struct node { struct node *next; unsigned data; };\n"
+    "struct node *reverse(struct node *list) {\n"
+    "  struct node *rev = NULL;\n"
+    "  while (list) {\n"
+    "    struct node *next = list->next;\n"
+    "    list->next = rev; rev = list; list = next;\n"
+    "  }\n"
+    "  return rev;\n"
+    "}\n";
+
+const char *BreakSrc = "int firstover(int n) {\n"
+                       "  int i = 0;\n"
+                       "  while (i < 1000) {\n"
+                       "    if (i * i > n) break;\n"
+                       "    i = i + 1;\n"
+                       "  }\n"
+                       "  return i;\n"
+                       "}\n";
+
+const char *CallSrc = "unsigned counter = 0;\n"
+                      "unsigned bump(unsigned by) {\n"
+                      "  counter = counter + by;\n"
+                      "  return counter;\n"
+                      "}\n"
+                      "unsigned twice(unsigned by) {\n"
+                      "  unsigned a = bump(by);\n"
+                      "  unsigned b = bump(by);\n"
+                      "  return b - a;\n"
+                      "}\n";
+
+const char *FactSrc = "unsigned fact(unsigned n) {\n"
+                      "  if (n == 0) return 1;\n"
+                      "  return n * fact(n % 16 - 1);\n"
+                      "}\n";
+
+const char *ForContinueSrc = "int sum(int n) {\n"
+                             "  int s = 0;\n"
+                             "  for (int i = 0; i < n % 50; i++) {\n"
+                             "    if (i == 3) continue;\n"
+                             "    s = s + i;\n"
+                             "  }\n"
+                             "  return s;\n"
+                             "}\n";
+
+} // namespace
+
+TEST(L1, MaxDifferential) {
+  Pipeline P(MaxSrc);
+  EXPECT_TRUE(runTrials(200, 1, [&](Rng &R) {
+    return checkL1Once(*P.Prog, "max", P.Ctx, R);
+  }));
+}
+
+TEST(L1, GcdDifferential) {
+  Pipeline P(GcdSrc);
+  EXPECT_TRUE(runTrials(100, 2, [&](Rng &R) {
+    return checkL1Once(*P.Prog, "gcd", P.Ctx, R);
+  }));
+}
+
+TEST(L1, SwapDifferential) {
+  Pipeline P(SwapSrc);
+  EXPECT_TRUE(runTrials(200, 3, [&](Rng &R) {
+    return checkL1Once(*P.Prog, "swap", P.Ctx, R);
+  }));
+}
+
+TEST(L1, CallsDifferential) {
+  Pipeline P(CallSrc);
+  EXPECT_TRUE(runTrials(100, 4, [&](Rng &R) {
+    return checkL1Once(*P.Prog, "twice", P.Ctx, R);
+  }));
+}
+
+TEST(L1, CorresTheoremShape) {
+  Pipeline P(MaxSrc);
+  const Thm &T = P.L1.at("max").Corres;
+  std::set<std::string> Axs, Oracles;
+  collectLeaves(T, Axs, Oracles);
+  EXPECT_TRUE(Oracles.count("monadic_conversion"));
+  EXPECT_NE(T.str().find("L1corres"), std::string::npos);
+}
+
+TEST(L2, MaxDifferential) {
+  Pipeline P(MaxSrc);
+  EXPECT_TRUE(runTrials(200, 11, [&](Rng &R) {
+    return checkL2Once(*P.Prog, "max", P.Ctx, R);
+  }));
+}
+
+TEST(L2, MaxIsPureConditional) {
+  // Flow simplification should reduce max to a single pure return.
+  Pipeline P(MaxSrc);
+  const L2Result &R = P.L2.at("max");
+  std::string Out = printTerm(R.AppliedBody);
+  EXPECT_NE(Out.find("return"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("if a <s b then b else a"), std::string::npos) << Out;
+}
+
+TEST(L2, GcdDifferential) {
+  Pipeline P(GcdSrc);
+  EXPECT_TRUE(runTrials(150, 12, [&](Rng &R) {
+    return checkL2Once(*P.Prog, "gcd", P.Ctx, R);
+  }));
+}
+
+TEST(L2, SwapDifferential) {
+  Pipeline P(SwapSrc);
+  EXPECT_TRUE(runTrials(200, 13, [&](Rng &R) {
+    return checkL2Once(*P.Prog, "swap", P.Ctx, R);
+  }));
+}
+
+TEST(L2, ReverseDifferential) {
+  Pipeline P(ReverseSrc);
+  EXPECT_TRUE(runTrials(150, 14, [&](Rng &R) {
+    return checkL2Once(*P.Prog, "reverse", P.Ctx, R);
+  }));
+}
+
+TEST(L2, ReverseLoopLiftsLiveTuple) {
+  // Fig 6: the loop iterates over (list, rev); `next` is loop-local.
+  Pipeline P(ReverseSrc);
+  std::string Out = printTerm(P.L2.at("reverse").AppliedBody);
+  EXPECT_NE(Out.find("whileLoop"), std::string::npos) << Out;
+  // The iterator tuple mentions list and rev but not next.
+  size_t Loop = Out.find("whileLoop");
+  std::string CondPart = Out.substr(Loop, 120);
+  EXPECT_NE(CondPart.find("list"), std::string::npos) << Out;
+  EXPECT_NE(CondPart.find("rev"), std::string::npos) << Out;
+  EXPECT_EQ(CondPart.find("next"), std::string::npos) << Out;
+}
+
+TEST(L2, BreakDifferential) {
+  Pipeline P(BreakSrc);
+  EXPECT_TRUE(runTrials(150, 15, [&](Rng &R) {
+    return checkL2Once(*P.Prog, "firstover", P.Ctx, R);
+  }));
+}
+
+TEST(L2, CallsDifferential) {
+  Pipeline P(CallSrc);
+  EXPECT_TRUE(runTrials(150, 16, [&](Rng &R) {
+    return checkL2Once(*P.Prog, "twice", P.Ctx, R);
+  }));
+}
+
+TEST(L2, RecursionDifferential) {
+  Pipeline P(FactSrc);
+  EXPECT_TRUE(runTrials(60, 17, [&](Rng &R) {
+    return checkL2Once(*P.Prog, "fact", P.Ctx, R);
+  }));
+}
+
+TEST(L2, ForContinueDifferential) {
+  Pipeline P(ForContinueSrc);
+  EXPECT_TRUE(runTrials(100, 18, [&](Rng &R) {
+    return checkL2Once(*P.Prog, "sum", P.Ctx, R);
+  }));
+}
+
+TEST(L2, NoStateRecordLeaks) {
+  // The lifted body must never mention the Simpl state record fields.
+  Pipeline P(ReverseSrc);
+  std::string Out = printTerm(P.L2.at("reverse").AppliedBody);
+  EXPECT_EQ(Out.find("fld:reverse_state"), std::string::npos) << Out;
+  EXPECT_EQ(Out.find("global_exn_var"), std::string::npos) << Out;
+}
+
+TEST(Peephole, MonadLaws) {
+  TypeRef S = natTy();
+  TypeRef E = unitTy();
+  // bind (return 1) (%v. return v) --> return 1.
+  TermRef One = mkNumOf(natTy(), 1);
+  TermRef V = Term::mkFree("v", natTy());
+  TermRef T = mkBind(mkReturn(S, E, One),
+                     lambdaFree("v", natTy(), mkReturn(S, E, V)));
+  TermRef R = simplifyMonadTerm(T);
+  std::vector<TermRef> Args;
+  TermRef Head = stripApp(R, Args);
+  EXPECT_TRUE(Head->isConst(hol::names::Return));
+  ASSERT_EQ(Args.size(), 1u);
+  EXPECT_TRUE(termEq(Args[0], One));
+}

@@ -1,0 +1,490 @@
+//===- ProofTest.cpp - VCG + auto on the paper's examples ------------------===//
+//
+// Reproduces the paper's interactive-verification claims:
+//  * Sec 4.5: swap's Hoare triple "automatically discharged by applying a
+//    VCG and running auto";
+//  * Sec 4.5: Suzuki's challenge solved the same way after lifting;
+//  * footnote 2: the midpoint VC is automatic on nat but *not* at the
+//    word level.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/AutoCorres.h"
+#include "hol/Print.h"
+#include "proof/Auto.h"
+#include "proof/Hoare.h"
+
+#include <gtest/gtest.h>
+
+using namespace ac;
+using namespace ac::hol;
+using namespace ac::core;
+using namespace ac::proof;
+
+namespace {
+
+std::unique_ptr<AutoCorres> runAC(const std::string &Src,
+                                  const ACOptions &Opts = ACOptions()) {
+  DiagEngine Diags;
+  auto AC = AutoCorres::run(Src, Diags, Opts);
+  EXPECT_TRUE(AC != nullptr) << Diags.str();
+  return AC;
+}
+
+/// Discharges every VC with auto; reports the first failure.
+::testing::AssertionResult dischargeAll(AutoProver &P,
+                                        const VCResult &VCs) {
+  if (!VCs.Ok)
+    return ::testing::AssertionFailure() << "VCG failed: " << VCs.Error;
+  for (size_t I = 0; I != VCs.Goals.size(); ++I) {
+    if (!P.prove(VCs.Goals[I]))
+      return ::testing::AssertionFailure()
+             << "auto failed on " << VCs.Labels[I] << ":\n"
+             << printTerm(VCs.Goals[I]);
+  }
+  return ::testing::AssertionSuccess();
+}
+
+} // namespace
+
+TEST(Linarith, Basics) {
+  AutoProver P;
+  TermRef A = Term::mkFree("a", natTy());
+  TermRef B = Term::mkFree("b", natTy());
+  // a < b --> a + 1 <= b (nat tightening).
+  EXPECT_TRUE(P.prove(
+      mkImp(mkLess(A, B), mkLessEq(mkPlus(A, mkNumOf(natTy(), 1)), B))));
+  // Not valid: a <= b --> a < b.
+  EXPECT_FALSE(P.prove(mkImp(mkLessEq(A, B), mkLess(A, B))));
+  // int: a <= b & b <= a --> a = b.
+  TermRef AI = Term::mkFree("a", intTy());
+  TermRef BI = Term::mkFree("b", intTy());
+  EXPECT_TRUE(P.prove(mkImp(mkConj(mkLessEq(AI, BI), mkLessEq(BI, AI)),
+                            mkEq(AI, BI))));
+}
+
+TEST(Linarith, MidpointOnNatIsAutomatic) {
+  // Footnote 2's challenge, on ideal naturals:
+  //   l < r --> l <= (l + r) div 2  &  (l + r) div 2 < r.
+  TermRef L = Term::mkFree("l", natTy());
+  TermRef R = Term::mkFree("r", natTy());
+  TermRef Mid = mkDiv(mkPlus(L, R), mkNumOf(natTy(), 2));
+  TermRef Goal =
+      mkImp(mkLess(L, R), mkConj(mkLessEq(L, Mid), mkLess(Mid, R)));
+  AutoProver P;
+  EXPECT_TRUE(P.prove(Goal).has_value());
+}
+
+TEST(Linarith, MidpointOnWordsIsNotAutomatic) {
+  // The same statement on word32 is false without the no-overflow
+  // precondition (Table 2) — auto must fail, and refute must find the
+  // wrap-around counterexample.
+  TypeRef W = wordTy(32);
+  TermRef L = Term::mkFree("l", W);
+  TermRef R = Term::mkFree("r", W);
+  TermRef Mid = mkDiv(mkPlus(L, R), mkNumOf(W, 2));
+  TermRef Goal =
+      mkImp(mkLess(L, R), mkConj(mkLessEq(L, Mid), mkLess(Mid, R)));
+  AutoProver P;
+  EXPECT_FALSE(P.prove(Goal).has_value());
+  monad::InterpCtx Ctx;
+  TermRef Closed = mkAll("l", W, mkAll("r", W, Goal));
+  EXPECT_TRUE(AutoProver::refute(Closed, Ctx, 2000, 5));
+}
+
+TEST(Refute, AcceptsValidRejectsInvalid) {
+  monad::InterpCtx Ctx;
+  TermRef A = Term::mkFree("a", natTy());
+  TermRef Valid = mkAll("a", natTy(), mkLessEq(A, mkPlus(A, mkNumOf(natTy(), 1))));
+  EXPECT_FALSE(AutoProver::refute(Valid, Ctx, 300, 3));
+  TermRef Invalid = mkAll("a", natTy(), mkLess(mkPlus(A, mkNumOf(natTy(), 1)), A));
+  EXPECT_TRUE(AutoProver::refute(Invalid, Ctx, 300, 3));
+}
+
+TEST(Hoare, SwapTripleAutoDischarged) {
+  // Sec 4.5: the Fig 5 correctness statement, proved by VCG + auto.
+  auto AC = runAC("void swap(unsigned *a, unsigned *b) {\n"
+                  "  unsigned t = *a;\n"
+                  "  *a = *b;\n"
+                  "  *b = t;\n"
+                  "}\n");
+  const FuncOutput *F = AC->func("swap");
+  ASSERT_NE(F, nullptr);
+  ASSERT_TRUE(F->HeapLifted);
+
+  const heapabs::LiftedGlobals &LG = AC->lifted();
+  TypeRef S = LG.LiftedTy;
+  TypeRef W = wordTy(32);
+  TermRef A = Term::mkFree("a", ptrTy(W));
+  TermRef B = Term::mkFree("b", ptrTy(W));
+  TermRef X = Term::mkFree("x", natTy());
+  TermRef Y = Term::mkFree("y", natTy());
+  TermRef SV = Term::mkFree("sv", S);
+
+  // The WA-level body reads unat images; state values are words, so the
+  // spec uses their unat images.
+  auto HeapAt = [&](const TermRef &P) {
+    return mkUnat(LG.heapVal(W, SV, P));
+  };
+  TermRef PreBody = mkConjs({LG.isValid(W, SV, A), LG.isValid(W, SV, B),
+                             mkEq(HeapAt(A), X), mkEq(HeapAt(B), Y)});
+  TermRef Pre = lambdaFree("sv", S, PreBody);
+  TermRef RV = Term::mkFree("rv", unitTy());
+  TermRef PostBody = mkConj(mkEq(HeapAt(A), Y), mkEq(HeapAt(B), X));
+  TermRef Post =
+      lambdaFree("rv", unitTy(), lambdaFree("sv", S, PostBody));
+
+  VCResult VCs = generateVCs(F->finalBody(), Pre, Post);
+  AutoProver P;
+  EXPECT_TRUE(dischargeAll(P, VCs));
+  EXPECT_TRUE(VCs.TotalCorrectness);
+}
+
+TEST(Hoare, SwapWithAliasedPointersStillCorrect) {
+  // The paper notes swap stays correct when a = b; check a separate
+  // triple with the aliasing hypothesis.
+  auto AC = runAC("void swap(unsigned *a, unsigned *b) {\n"
+                  "  unsigned t = *a;\n"
+                  "  *a = *b;\n"
+                  "  *b = t;\n"
+                  "}\n");
+  const FuncOutput *F = AC->func("swap");
+  const heapabs::LiftedGlobals &LG = AC->lifted();
+  TypeRef S = LG.LiftedTy;
+  TypeRef W = wordTy(32);
+  TermRef A = Term::mkFree("a", ptrTy(W));
+  TermRef X = Term::mkFree("x", natTy());
+  TermRef SV = Term::mkFree("sv", S);
+  auto HeapAt = [&](const TermRef &P) {
+    return mkUnat(LG.heapVal(W, SV, P));
+  };
+  TermRef Pre = lambdaFree(
+      "sv", S, mkConj(LG.isValid(W, SV, A), mkEq(HeapAt(A), X)));
+  TermRef Post = lambdaFree(
+      "rv", unitTy(), lambdaFree("sv", S, mkEq(HeapAt(A), X)));
+  // swap a a: substitute b := a by building the body application.
+  // The published definition is %a b. body; apply it to (a, a).
+  monad::InterpCtx &Ctx = AC->ctx();
+  (void)Ctx;
+  TermRef Def;
+  {
+    // Reconstruct %args. body, then apply to a, a.
+    TermRef Body = F->finalBody();
+    Def = Body;
+    for (size_t I = F->ArgNames.size(); I-- > 0;)
+      Def = lambdaFree(F->ArgNames[I], F->FinalArgTys[I], Def);
+  }
+  TermRef Applied = betaNorm(mkApps(Def, {A, A}));
+  VCResult VCs = generateVCs(Applied, Pre, Post);
+  AutoProver P;
+  EXPECT_TRUE(dischargeAll(P, VCs));
+}
+
+TEST(Hoare, SuzukiChallengeAutoDischarged) {
+  // Sec 4.3/4.5: Suzuki's challenge — return 4 given distinct pointers.
+  auto AC = runAC(
+      "struct node { struct node *next; int data; };\n"
+      "int suzuki(struct node *w, struct node *x, struct node *y,\n"
+      "           struct node *z) {\n"
+      "  w->next = x; x->next = y; y->next = z; x->next = z;\n"
+      "  w->data = 1; x->data = 2; y->data = 3; z->data = 4;\n"
+      "  return w->next->next->data;\n"
+      "}\n");
+  const FuncOutput *F = AC->func("suzuki");
+  ASSERT_NE(F, nullptr);
+  ASSERT_TRUE(F->HeapLifted);
+
+  const heapabs::LiftedGlobals &LG = AC->lifted();
+  TypeRef S = LG.LiftedTy;
+  TypeRef NodeTy = recordTy("node_C");
+  TermRef SV = Term::mkFree("sv", S);
+  std::vector<TermRef> Ptrs;
+  for (const char *N : {"w", "x", "y", "z"})
+    Ptrs.push_back(Term::mkFree(N, ptrTy(NodeTy)));
+  std::vector<TermRef> PreParts;
+  for (const TermRef &P : Ptrs)
+    PreParts.push_back(LG.isValid(NodeTy, SV, P));
+  for (size_t I = 0; I != Ptrs.size(); ++I)
+    for (size_t J = I + 1; J != Ptrs.size(); ++J)
+      PreParts.push_back(mkNot(mkEq(Ptrs[I], Ptrs[J])));
+  TermRef Pre = lambdaFree("sv", S, mkConjs(PreParts));
+  TermRef RV = Term::mkFree("rv", intTy());
+  TermRef Post = lambdaFree(
+      "rv", intTy(),
+      lambdaFree("sv", S, mkEq(RV, mkNumOf(intTy(), 4))));
+  VCResult VCs = generateVCs(F->finalBody(), Pre, Post);
+  AutoProver P;
+  EXPECT_TRUE(dischargeAll(P, VCs));
+}
+
+TEST(Hoare, MidpointTripleWithGeneratedGuard) {
+  // The WA output of mid contains the UINT_MAX guard; the Hoare triple
+  // needs the corresponding precondition and then discharges by auto.
+  auto AC = runAC(
+      "unsigned mid(unsigned l, unsigned r) { return (l + r) / 2; }\n");
+  const FuncOutput *F = AC->func("mid");
+  ASSERT_TRUE(F->WordAbstracted);
+  const heapabs::LiftedGlobals &LG = AC->lifted();
+  TypeRef S = LG.LiftedTy;
+  TermRef L = Term::mkFree("l", natTy());
+  TermRef R = Term::mkFree("r", natTy());
+  TermRef UMax = mkNumOf(natTy(), wordMaxVal(32));
+  TermRef Pre = Term::mkLam(
+      "sv", S, liftLoose(mkConj(mkLess(L, R),
+                                mkLessEq(mkPlus(L, R), UMax)),
+                         1));
+  TermRef RV = Term::mkFree("rv", natTy());
+  TermRef Post = lambdaFree(
+      "rv", natTy(),
+      Term::mkLam("sv", S,
+                  liftLoose(mkConj(mkLessEq(L, RV), mkLess(RV, R)), 1)));
+  VCResult VCs = generateVCs(F->finalBody(), Pre, Post);
+  AutoProver P;
+  EXPECT_TRUE(dischargeAll(P, VCs));
+}
+
+TEST(Hoare, GuardedFailureIsDetected) {
+  // Without the no-overflow precondition the midpoint VC must NOT prove
+  // (the guard becomes unprovable).
+  auto AC = runAC(
+      "unsigned mid(unsigned l, unsigned r) { return (l + r) / 2; }\n");
+  const FuncOutput *F = AC->func("mid");
+  const heapabs::LiftedGlobals &LG = AC->lifted();
+  TypeRef S = LG.LiftedTy;
+  TermRef L = Term::mkFree("l", natTy());
+  TermRef R = Term::mkFree("r", natTy());
+  TermRef Pre = Term::mkLam("sv", S, liftLoose(mkLess(L, R), 1));
+  TermRef Post = lambdaFree(
+      "rv", natTy(),
+      Term::mkLam("sv", S, liftLoose(mkLessEq(L, Term::mkFree("rv", natTy())), 1)));
+  VCResult VCs = generateVCs(F->finalBody(), Pre, Post);
+  ASSERT_TRUE(VCs.Ok);
+  AutoProver P;
+  EXPECT_FALSE(P.prove(VCs.Goals[0]).has_value());
+}
+
+TEST(Hoare, LoopWithInvariantAndMeasure) {
+  // Total correctness of a counting loop via invariant + measure.
+  auto AC = runAC("unsigned count(unsigned n) {\n"
+                  "  unsigned i = 0;\n"
+                  "  while (i < n % 64) {\n"
+                  "    i = i + 1;\n"
+                  "  }\n"
+                  "  return i;\n"
+                  "}\n");
+  const FuncOutput *F = AC->func("count");
+  ASSERT_TRUE(F->WordAbstracted);
+  const heapabs::LiftedGlobals &LG = AC->lifted();
+  TypeRef S = LG.LiftedTy;
+  TermRef N = Term::mkFree("n", natTy());
+  TermRef Bound = mkMod(N, mkNumOf(natTy(), 64));
+  // Invariant: i <= n mod 64; measure: n mod 64 - i.
+  TermRef IV = Term::mkFree("iv", natTy());
+  TermRef SV = Term::mkFree("sv", S);
+  LoopSpec Spec;
+  Spec.Invariant = lambdaFree(
+      "iv", natTy(), lambdaFree("sv", S, mkLessEq(IV, Bound)));
+  Spec.Measure = lambdaFree(
+      "iv", natTy(), lambdaFree("sv", S, mkMinus(Bound, IV)));
+  (void)SV;
+  TermRef Pre = Term::mkLam("sv", S, mkTrue());
+  TermRef RV = Term::mkFree("rv", natTy());
+  TermRef Post = lambdaFree(
+      "rv", natTy(), Term::mkLam("sv", S, liftLoose(mkEq(RV, Bound), 1)));
+  VCResult VCs = generateVCs(F->finalBody(), Pre, Post, {Spec});
+  AutoProver P;
+  EXPECT_TRUE(dischargeAll(P, VCs)) << printTerm(F->finalBody());
+  EXPECT_TRUE(VCs.TotalCorrectness);
+}
+
+//===----------------------------------------------------------------------===//
+// Tactic/countermodel consistency sweep: a family of goals, each either
+// valid (auto must prove it AND refute must fail to kill it) or invalid
+// (auto must NOT prove it AND refute must find a countermodel). Any
+// disagreement between the two — a "proved" goal with a countermodel —
+// would be a soundness bug in the auto oracle.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct GoalCase {
+  const char *Name;
+  TermRef (*Build)();
+  bool Valid;
+};
+
+TermRef natFree(const char *N) { return Term::mkFree(N, natTy()); }
+TermRef intFree(const char *N) { return Term::mkFree(N, intTy()); }
+TermRef nat(long long V) { return mkNumOf(natTy(), V); }
+TermRef intl(long long V) { return mkNumOf(intTy(), V); }
+
+class GoalSweepTest : public ::testing::TestWithParam<GoalCase> {};
+
+TEST_P(GoalSweepTest, TacticAndCountermodelAgree) {
+  TermRef Goal = GetParam().Build();
+  AutoProver P;
+  bool Proved = P.prove(Goal).has_value();
+  monad::InterpCtx Ctx;
+  bool Refuted = AutoProver::refute(Goal, Ctx, 1500, 17);
+  // Soundness: never both.
+  EXPECT_FALSE(Proved && Refuted) << "auto proved a refutable goal";
+  if (GetParam().Valid) {
+    EXPECT_TRUE(Proved) << "auto failed on a valid goal";
+    EXPECT_FALSE(Refuted) << "refute killed a valid goal";
+  } else {
+    EXPECT_FALSE(Proved);
+    EXPECT_TRUE(Refuted) << "refute missed the countermodel";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Arithmetic, GoalSweepTest,
+    ::testing::Values(
+        GoalCase{"nat_le_refl",
+                 [] { return mkLessEq(natFree("a"), natFree("a")); },
+                 true},
+        GoalCase{"nat_lt_irrefl_wrong",
+                 [] { return mkLess(natFree("a"), natFree("a")); },
+                 false},
+        GoalCase{"nat_plus_comm",
+                 [] {
+                   return mkEq(mkPlus(natFree("a"), natFree("b")),
+                               mkPlus(natFree("b"), natFree("a")));
+                 },
+                 true},
+        GoalCase{"nat_plus_mono",
+                 [] {
+                   return mkImp(
+                       mkLessEq(natFree("a"), natFree("b")),
+                       mkLessEq(mkPlus(natFree("a"), natFree("c")),
+                                mkPlus(natFree("b"), natFree("c"))));
+                 },
+                 true},
+        GoalCase{"nat_minus_not_cancel",
+                 // nat subtraction truncates at 0: a - b + b = a is WRONG.
+                 [] {
+                   return mkEq(mkPlus(mkMinus(natFree("a"), natFree("b")),
+                                      natFree("b")),
+                               natFree("a"));
+                 },
+                 false},
+        GoalCase{"nat_minus_cancel_guarded",
+                 [] {
+                   return mkImp(
+                       mkLessEq(natFree("b"), natFree("a")),
+                       mkEq(mkPlus(mkMinus(natFree("a"), natFree("b")),
+                                   natFree("b")),
+                            natFree("a")));
+                 },
+                 true},
+        GoalCase{"int_neg_neg",
+                 [] {
+                   return mkEq(mkUMinus(mkUMinus(intFree("a"))),
+                               intFree("a"));
+                 },
+                 true},
+        GoalCase{"int_abs_wrong",
+                 // a <= -a is false for positive a.
+                 [] { return mkLessEq(intFree("a"), mkUMinus(intFree("a"))); },
+                 false},
+        GoalCase{"int_trichotomy_le",
+                 [] {
+                   return mkDisj(mkLessEq(intFree("a"), intFree("b")),
+                                 mkLessEq(intFree("b"), intFree("a")));
+                 },
+                 true},
+        GoalCase{"int_square_nonneg_times",
+                 [] {
+                   return mkImp(mkLessEq(intl(0), intFree("a")),
+                                mkLessEq(intl(0),
+                                         mkTimes(intFree("a"), intFree("a"))));
+                 },
+                 true}),
+    [](const ::testing::TestParamInfo<GoalCase> &I) {
+      return I.param.Name;
+    });
+
+INSTANTIATE_TEST_SUITE_P(
+    DivMod, GoalSweepTest,
+    ::testing::Values(
+        GoalCase{"nat_div_le",
+                 [] {
+                   return mkLessEq(mkDiv(natFree("a"), nat(2)),
+                                   natFree("a"));
+                 },
+                 true},
+        GoalCase{"nat_div_lt_wrong",
+                 // fails at a = 0.
+                 [] {
+                   return mkLess(mkDiv(natFree("a"), nat(2)), natFree("a"));
+                 },
+                 false},
+        GoalCase{"nat_mod_bound",
+                 [] {
+                   return mkLess(mkMod(natFree("a"), nat(7)), nat(7));
+                 },
+                 true},
+        GoalCase{"nat_div_mod_decompose",
+                 [] {
+                   return mkEq(mkPlus(mkTimes(mkDiv(natFree("a"), nat(5)),
+                                              nat(5)),
+                                      mkMod(natFree("a"), nat(5))),
+                               natFree("a"));
+                 },
+                 true},
+        GoalCase{"nat_mod_plus_wrong",
+                 // (a + b) mod 4 = a mod 4 + b mod 4 overflows the bound.
+                 [] {
+                   return mkEq(
+                       mkMod(mkPlus(natFree("a"), natFree("b")), nat(4)),
+                       mkPlus(mkMod(natFree("a"), nat(4)),
+                              mkMod(natFree("b"), nat(4))));
+                 },
+                 false}),
+    [](const ::testing::TestParamInfo<GoalCase> &I) {
+      return I.param.Name;
+    });
+
+INSTANTIATE_TEST_SUITE_P(
+    Logic, GoalSweepTest,
+    ::testing::Values(
+        GoalCase{"excluded_middle_ite",
+                 [] {
+                   TermRef C = mkLess(natFree("a"), natFree("b"));
+                   return mkLessEq(mkIte(C, natFree("a"), natFree("b")),
+                                   mkIte(C, natFree("b"), natFree("a")));
+                 },
+                 true},
+        GoalCase{"ite_wrong_branch",
+                 [] {
+                   TermRef C = mkLess(natFree("a"), natFree("b"));
+                   return mkEq(mkIte(C, natFree("a"), natFree("b")),
+                               natFree("a"));
+                 },
+                 false},
+        GoalCase{"exists_witness",
+                 [] {
+                   TermRef X = Term::mkFree("x!", natTy());
+                   return mkEx("x!", natTy(), mkEq(mkPlus(X, X), nat(10)));
+                 },
+                 true},
+        GoalCase{"exists_no_witness",
+                 [] {
+                   // no nat x with x + x = 7.
+                   TermRef X = Term::mkFree("x!", natTy());
+                   return mkEx("x!", natTy(), mkEq(mkPlus(X, X), nat(7)));
+                 },
+                 false},
+        GoalCase{"forall_instance",
+                 [] {
+                   TermRef X = Term::mkFree("x!", natTy());
+                   TermRef All = mkAll("x!", natTy(),
+                                       mkLessEq(X, mkPlus(X, nat(1))));
+                   return mkImp(All, mkLessEq(nat(5), nat(6)));
+                 },
+                 true}),
+    [](const ::testing::TestParamInfo<GoalCase> &I) {
+      return I.param.Name;
+    });
+
+} // namespace
