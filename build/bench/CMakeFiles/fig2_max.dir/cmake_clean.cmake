@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_max.dir/fig2_max.cpp.o"
+  "CMakeFiles/fig2_max.dir/fig2_max.cpp.o.d"
+  "fig2_max"
+  "fig2_max.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_max.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_5_swap.dir/fig3_5_swap.cpp.o"
+  "CMakeFiles/fig3_5_swap.dir/fig3_5_swap.cpp.o.d"
+  "fig3_5_swap"
+  "fig3_5_swap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_5_swap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

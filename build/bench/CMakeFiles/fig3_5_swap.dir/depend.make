@@ -1,0 +1,2 @@
+# Empty dependencies file for fig3_5_swap.
+# This may be replaced when dependencies are built.

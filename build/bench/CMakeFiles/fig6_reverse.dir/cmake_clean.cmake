@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_reverse.dir/fig6_reverse.cpp.o"
+  "CMakeFiles/fig6_reverse.dir/fig6_reverse.cpp.o.d"
+  "fig6_reverse"
+  "fig6_reverse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_reverse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

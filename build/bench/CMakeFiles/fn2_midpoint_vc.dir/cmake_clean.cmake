@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fn2_midpoint_vc.dir/fn2_midpoint_vc.cpp.o"
+  "CMakeFiles/fn2_midpoint_vc.dir/fn2_midpoint_vc.cpp.o.d"
+  "fn2_midpoint_vc"
+  "fn2_midpoint_vc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fn2_midpoint_vc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fn2_midpoint_vc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memset_mixed.dir/memset_mixed.cpp.o"
+  "CMakeFiles/memset_mixed.dir/memset_mixed.cpp.o.d"
+  "memset_mixed"
+  "memset_mixed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memset_mixed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phase_times.dir/phase_times.cpp.o"
+  "CMakeFiles/phase_times.dir/phase_times.cpp.o.d"
+  "phase_times"
+  "phase_times.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phase_times.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

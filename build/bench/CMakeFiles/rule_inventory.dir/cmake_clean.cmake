@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rule_inventory.dir/rule_inventory.cpp.o"
+  "CMakeFiles/rule_inventory.dir/rule_inventory.cpp.o.d"
+  "rule_inventory"
+  "rule_inventory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rule_inventory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/suzuki.dir/suzuki.cpp.o"
+  "CMakeFiles/suzuki.dir/suzuki.cpp.o.d"
+  "suzuki"
+  "suzuki.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/suzuki.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_word_identities.dir/table2_word_identities.cpp.o"
+  "CMakeFiles/table2_word_identities.dir/table2_word_identities.cpp.o.d"
+  "table2_word_identities"
+  "table2_word_identities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_word_identities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

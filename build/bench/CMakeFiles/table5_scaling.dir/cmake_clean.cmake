@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_scaling.dir/table5_scaling.cpp.o"
+  "CMakeFiles/table5_scaling.dir/table5_scaling.cpp.o.d"
+  "table5_scaling"
+  "table5_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_proof_effort.dir/table6_proof_effort.cpp.o"
+  "CMakeFiles/table6_proof_effort.dir/table6_proof_effort.cpp.o.d"
+  "table6_proof_effort"
+  "table6_proof_effort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_proof_effort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

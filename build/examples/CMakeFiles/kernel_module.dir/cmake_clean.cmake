@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_module.dir/kernel_module.cpp.o"
+  "CMakeFiles/kernel_module.dir/kernel_module.cpp.o.d"
+  "kernel_module"
+  "kernel_module.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_module.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

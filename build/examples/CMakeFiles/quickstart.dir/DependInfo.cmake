@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/corpus/CMakeFiles/ac_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ac_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/proof/CMakeFiles/ac_proof.dir/DependInfo.cmake"
+  "/root/repo/build/src/wordabs/CMakeFiles/ac_wordabs.dir/DependInfo.cmake"
+  "/root/repo/build/src/heapabs/CMakeFiles/ac_heapabs.dir/DependInfo.cmake"
+  "/root/repo/build/src/monad/CMakeFiles/ac_monad.dir/DependInfo.cmake"
+  "/root/repo/build/src/simpl/CMakeFiles/ac_simpl.dir/DependInfo.cmake"
+  "/root/repo/build/src/cparser/CMakeFiles/ac_cparser.dir/DependInfo.cmake"
+  "/root/repo/build/src/hol/CMakeFiles/ac_hol.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ac_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verified_swap.dir/verified_swap.cpp.o"
+  "CMakeFiles/verified_swap.dir/verified_swap.cpp.o.d"
+  "verified_swap"
+  "verified_swap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verified_swap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+src/corpus/CMakeFiles/ac_corpus.dir/Sources.cpp.o: \
+ /root/repo/src/corpus/Sources.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/corpus/Sources.h

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ac_corpus.dir/CaseStudies.cpp.o"
+  "CMakeFiles/ac_corpus.dir/CaseStudies.cpp.o.d"
+  "CMakeFiles/ac_corpus.dir/Sources.cpp.o"
+  "CMakeFiles/ac_corpus.dir/Sources.cpp.o.d"
+  "CMakeFiles/ac_corpus.dir/Synthetic.cpp.o"
+  "CMakeFiles/ac_corpus.dir/Synthetic.cpp.o.d"
+  "libac_corpus.a"
+  "libac_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ac_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cparser/CTypes.cpp" "src/cparser/CMakeFiles/ac_cparser.dir/CTypes.cpp.o" "gcc" "src/cparser/CMakeFiles/ac_cparser.dir/CTypes.cpp.o.d"
+  "/root/repo/src/cparser/Lexer.cpp" "src/cparser/CMakeFiles/ac_cparser.dir/Lexer.cpp.o" "gcc" "src/cparser/CMakeFiles/ac_cparser.dir/Lexer.cpp.o.d"
+  "/root/repo/src/cparser/Parser.cpp" "src/cparser/CMakeFiles/ac_cparser.dir/Parser.cpp.o" "gcc" "src/cparser/CMakeFiles/ac_cparser.dir/Parser.cpp.o.d"
+  "/root/repo/src/cparser/Sema.cpp" "src/cparser/CMakeFiles/ac_cparser.dir/Sema.cpp.o" "gcc" "src/cparser/CMakeFiles/ac_cparser.dir/Sema.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/ac_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

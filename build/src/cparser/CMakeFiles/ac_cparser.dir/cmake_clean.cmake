@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ac_cparser.dir/CTypes.cpp.o"
+  "CMakeFiles/ac_cparser.dir/CTypes.cpp.o.d"
+  "CMakeFiles/ac_cparser.dir/Lexer.cpp.o"
+  "CMakeFiles/ac_cparser.dir/Lexer.cpp.o.d"
+  "CMakeFiles/ac_cparser.dir/Parser.cpp.o"
+  "CMakeFiles/ac_cparser.dir/Parser.cpp.o.d"
+  "CMakeFiles/ac_cparser.dir/Sema.cpp.o"
+  "CMakeFiles/ac_cparser.dir/Sema.cpp.o.d"
+  "libac_cparser.a"
+  "libac_cparser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ac_cparser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ac_heapabs.dir/HeapAbs.cpp.o"
+  "CMakeFiles/ac_heapabs.dir/HeapAbs.cpp.o.d"
+  "CMakeFiles/ac_heapabs.dir/LiftedGlobals.cpp.o"
+  "CMakeFiles/ac_heapabs.dir/LiftedGlobals.cpp.o.d"
+  "libac_heapabs.a"
+  "libac_heapabs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ac_heapabs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

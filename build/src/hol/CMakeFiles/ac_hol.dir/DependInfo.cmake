@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hol/Builder.cpp" "src/hol/CMakeFiles/ac_hol.dir/Builder.cpp.o" "gcc" "src/hol/CMakeFiles/ac_hol.dir/Builder.cpp.o.d"
+  "/root/repo/src/hol/GroundEval.cpp" "src/hol/CMakeFiles/ac_hol.dir/GroundEval.cpp.o" "gcc" "src/hol/CMakeFiles/ac_hol.dir/GroundEval.cpp.o.d"
+  "/root/repo/src/hol/Print.cpp" "src/hol/CMakeFiles/ac_hol.dir/Print.cpp.o" "gcc" "src/hol/CMakeFiles/ac_hol.dir/Print.cpp.o.d"
+  "/root/repo/src/hol/ProofState.cpp" "src/hol/CMakeFiles/ac_hol.dir/ProofState.cpp.o" "gcc" "src/hol/CMakeFiles/ac_hol.dir/ProofState.cpp.o.d"
+  "/root/repo/src/hol/Simp.cpp" "src/hol/CMakeFiles/ac_hol.dir/Simp.cpp.o" "gcc" "src/hol/CMakeFiles/ac_hol.dir/Simp.cpp.o.d"
+  "/root/repo/src/hol/Term.cpp" "src/hol/CMakeFiles/ac_hol.dir/Term.cpp.o" "gcc" "src/hol/CMakeFiles/ac_hol.dir/Term.cpp.o.d"
+  "/root/repo/src/hol/Thm.cpp" "src/hol/CMakeFiles/ac_hol.dir/Thm.cpp.o" "gcc" "src/hol/CMakeFiles/ac_hol.dir/Thm.cpp.o.d"
+  "/root/repo/src/hol/Type.cpp" "src/hol/CMakeFiles/ac_hol.dir/Type.cpp.o" "gcc" "src/hol/CMakeFiles/ac_hol.dir/Type.cpp.o.d"
+  "/root/repo/src/hol/Unify.cpp" "src/hol/CMakeFiles/ac_hol.dir/Unify.cpp.o" "gcc" "src/hol/CMakeFiles/ac_hol.dir/Unify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/ac_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

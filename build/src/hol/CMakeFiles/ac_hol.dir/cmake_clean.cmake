@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ac_hol.dir/Builder.cpp.o"
+  "CMakeFiles/ac_hol.dir/Builder.cpp.o.d"
+  "CMakeFiles/ac_hol.dir/GroundEval.cpp.o"
+  "CMakeFiles/ac_hol.dir/GroundEval.cpp.o.d"
+  "CMakeFiles/ac_hol.dir/Print.cpp.o"
+  "CMakeFiles/ac_hol.dir/Print.cpp.o.d"
+  "CMakeFiles/ac_hol.dir/ProofState.cpp.o"
+  "CMakeFiles/ac_hol.dir/ProofState.cpp.o.d"
+  "CMakeFiles/ac_hol.dir/Simp.cpp.o"
+  "CMakeFiles/ac_hol.dir/Simp.cpp.o.d"
+  "CMakeFiles/ac_hol.dir/Term.cpp.o"
+  "CMakeFiles/ac_hol.dir/Term.cpp.o.d"
+  "CMakeFiles/ac_hol.dir/Thm.cpp.o"
+  "CMakeFiles/ac_hol.dir/Thm.cpp.o.d"
+  "CMakeFiles/ac_hol.dir/Type.cpp.o"
+  "CMakeFiles/ac_hol.dir/Type.cpp.o.d"
+  "CMakeFiles/ac_hol.dir/Unify.cpp.o"
+  "CMakeFiles/ac_hol.dir/Unify.cpp.o.d"
+  "libac_hol.a"
+  "libac_hol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ac_hol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/monad/Interp.cpp" "src/monad/CMakeFiles/ac_monad.dir/Interp.cpp.o" "gcc" "src/monad/CMakeFiles/ac_monad.dir/Interp.cpp.o.d"
+  "/root/repo/src/monad/L1.cpp" "src/monad/CMakeFiles/ac_monad.dir/L1.cpp.o" "gcc" "src/monad/CMakeFiles/ac_monad.dir/L1.cpp.o.d"
+  "/root/repo/src/monad/L2.cpp" "src/monad/CMakeFiles/ac_monad.dir/L2.cpp.o" "gcc" "src/monad/CMakeFiles/ac_monad.dir/L2.cpp.o.d"
+  "/root/repo/src/monad/Peephole.cpp" "src/monad/CMakeFiles/ac_monad.dir/Peephole.cpp.o" "gcc" "src/monad/CMakeFiles/ac_monad.dir/Peephole.cpp.o.d"
+  "/root/repo/src/monad/SimplInterp.cpp" "src/monad/CMakeFiles/ac_monad.dir/SimplInterp.cpp.o" "gcc" "src/monad/CMakeFiles/ac_monad.dir/SimplInterp.cpp.o.d"
+  "/root/repo/src/monad/Value.cpp" "src/monad/CMakeFiles/ac_monad.dir/Value.cpp.o" "gcc" "src/monad/CMakeFiles/ac_monad.dir/Value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simpl/CMakeFiles/ac_simpl.dir/DependInfo.cmake"
+  "/root/repo/build/src/hol/CMakeFiles/ac_hol.dir/DependInfo.cmake"
+  "/root/repo/build/src/cparser/CMakeFiles/ac_cparser.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ac_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

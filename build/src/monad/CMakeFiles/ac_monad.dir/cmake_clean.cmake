@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ac_monad.dir/Interp.cpp.o"
+  "CMakeFiles/ac_monad.dir/Interp.cpp.o.d"
+  "CMakeFiles/ac_monad.dir/L1.cpp.o"
+  "CMakeFiles/ac_monad.dir/L1.cpp.o.d"
+  "CMakeFiles/ac_monad.dir/L2.cpp.o"
+  "CMakeFiles/ac_monad.dir/L2.cpp.o.d"
+  "CMakeFiles/ac_monad.dir/Peephole.cpp.o"
+  "CMakeFiles/ac_monad.dir/Peephole.cpp.o.d"
+  "CMakeFiles/ac_monad.dir/SimplInterp.cpp.o"
+  "CMakeFiles/ac_monad.dir/SimplInterp.cpp.o.d"
+  "CMakeFiles/ac_monad.dir/Value.cpp.o"
+  "CMakeFiles/ac_monad.dir/Value.cpp.o.d"
+  "libac_monad.a"
+  "libac_monad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ac_monad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/proof/Auto.cpp" "src/proof/CMakeFiles/ac_proof.dir/Auto.cpp.o" "gcc" "src/proof/CMakeFiles/ac_proof.dir/Auto.cpp.o.d"
+  "/root/repo/src/proof/Hoare.cpp" "src/proof/CMakeFiles/ac_proof.dir/Hoare.cpp.o" "gcc" "src/proof/CMakeFiles/ac_proof.dir/Hoare.cpp.o.d"
+  "/root/repo/src/proof/ListLib.cpp" "src/proof/CMakeFiles/ac_proof.dir/ListLib.cpp.o" "gcc" "src/proof/CMakeFiles/ac_proof.dir/ListLib.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/monad/CMakeFiles/ac_monad.dir/DependInfo.cmake"
+  "/root/repo/build/src/simpl/CMakeFiles/ac_simpl.dir/DependInfo.cmake"
+  "/root/repo/build/src/hol/CMakeFiles/ac_hol.dir/DependInfo.cmake"
+  "/root/repo/build/src/cparser/CMakeFiles/ac_cparser.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ac_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

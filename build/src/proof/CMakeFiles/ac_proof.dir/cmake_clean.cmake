@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ac_proof.dir/Auto.cpp.o"
+  "CMakeFiles/ac_proof.dir/Auto.cpp.o.d"
+  "CMakeFiles/ac_proof.dir/Hoare.cpp.o"
+  "CMakeFiles/ac_proof.dir/Hoare.cpp.o.d"
+  "CMakeFiles/ac_proof.dir/ListLib.cpp.o"
+  "CMakeFiles/ac_proof.dir/ListLib.cpp.o.d"
+  "libac_proof.a"
+  "libac_proof.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ac_proof.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ac_simpl.dir/PrintSimpl.cpp.o"
+  "CMakeFiles/ac_simpl.dir/PrintSimpl.cpp.o.d"
+  "CMakeFiles/ac_simpl.dir/Simpl.cpp.o"
+  "CMakeFiles/ac_simpl.dir/Simpl.cpp.o.d"
+  "CMakeFiles/ac_simpl.dir/Translate.cpp.o"
+  "CMakeFiles/ac_simpl.dir/Translate.cpp.o.d"
+  "libac_simpl.a"
+  "libac_simpl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ac_simpl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

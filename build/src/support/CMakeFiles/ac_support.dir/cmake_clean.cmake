@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ac_support.dir/Diagnostics.cpp.o"
+  "CMakeFiles/ac_support.dir/Diagnostics.cpp.o.d"
+  "CMakeFiles/ac_support.dir/StringUtils.cpp.o"
+  "CMakeFiles/ac_support.dir/StringUtils.cpp.o.d"
+  "libac_support.a"
+  "libac_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ac_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ac_wordabs.dir/WordAbs.cpp.o"
+  "CMakeFiles/ac_wordabs.dir/WordAbs.cpp.o.d"
+  "libac_wordabs.a"
+  "libac_wordabs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ac_wordabs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

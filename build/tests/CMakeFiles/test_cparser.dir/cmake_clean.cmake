@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cparser.dir/cparser/ParserTest.cpp.o"
+  "CMakeFiles/test_cparser.dir/cparser/ParserTest.cpp.o.d"
+  "test_cparser"
+  "test_cparser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cparser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_heapabs.dir/heapabs/HeapAbsTest.cpp.o"
+  "CMakeFiles/test_heapabs.dir/heapabs/HeapAbsTest.cpp.o.d"
+  "test_heapabs"
+  "test_heapabs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_heapabs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

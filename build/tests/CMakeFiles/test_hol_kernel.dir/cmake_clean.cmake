@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hol_kernel.dir/hol/KernelTest.cpp.o"
+  "CMakeFiles/test_hol_kernel.dir/hol/KernelTest.cpp.o.d"
+  "test_hol_kernel"
+  "test_hol_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hol_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

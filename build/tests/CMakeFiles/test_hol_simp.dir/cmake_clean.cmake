@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hol_simp.dir/hol/SimpTest.cpp.o"
+  "CMakeFiles/test_hol_simp.dir/hol/SimpTest.cpp.o.d"
+  "test_hol_simp"
+  "test_hol_simp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hol_simp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_hol_simp.
+# This may be replaced when dependencies are built.

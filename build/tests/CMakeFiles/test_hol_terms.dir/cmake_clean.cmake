@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hol_terms.dir/hol/TermTest.cpp.o"
+  "CMakeFiles/test_hol_terms.dir/hol/TermTest.cpp.o.d"
+  "test_hol_terms"
+  "test_hol_terms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hol_terms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

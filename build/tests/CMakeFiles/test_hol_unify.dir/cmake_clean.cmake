@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hol_unify.dir/hol/UnifyTest.cpp.o"
+  "CMakeFiles/test_hol_unify.dir/hol/UnifyTest.cpp.o.d"
+  "test_hol_unify"
+  "test_hol_unify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hol_unify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_l1l2.dir/monad/L1L2Test.cpp.o"
+  "CMakeFiles/test_l1l2.dir/monad/L1L2Test.cpp.o.d"
+  "test_l1l2"
+  "test_l1l2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_l1l2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

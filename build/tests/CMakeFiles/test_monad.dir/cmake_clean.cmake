@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_monad.dir/monad/InterpTest.cpp.o"
+  "CMakeFiles/test_monad.dir/monad/InterpTest.cpp.o.d"
+  "test_monad"
+  "test_monad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_monad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

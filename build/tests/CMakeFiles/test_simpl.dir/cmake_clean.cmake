@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simpl.dir/simpl/TranslateTest.cpp.o"
+  "CMakeFiles/test_simpl.dir/simpl/TranslateTest.cpp.o.d"
+  "test_simpl"
+  "test_simpl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simpl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wordabs.dir/wordabs/WordAbsTest.cpp.o"
+  "CMakeFiles/test_wordabs.dir/wordabs/WordAbsTest.cpp.o.d"
+  "test_wordabs"
+  "test_wordabs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wordabs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

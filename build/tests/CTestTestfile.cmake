@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_hol_terms "/root/repo/build/tests/test_hol_terms")
+set_tests_properties(test_hol_terms PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;12;ac_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_hol_unify "/root/repo/build/tests/test_hol_unify")
+set_tests_properties(test_hol_unify PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;13;ac_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_hol_kernel "/root/repo/build/tests/test_hol_kernel")
+set_tests_properties(test_hol_kernel PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;14;ac_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_hol_simp "/root/repo/build/tests/test_hol_simp")
+set_tests_properties(test_hol_simp PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;15;ac_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_cparser "/root/repo/build/tests/test_cparser")
+set_tests_properties(test_cparser PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;16;ac_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_simpl "/root/repo/build/tests/test_simpl")
+set_tests_properties(test_simpl PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;17;ac_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_monad "/root/repo/build/tests/test_monad")
+set_tests_properties(test_monad PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;18;ac_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_l1l2 "/root/repo/build/tests/test_l1l2")
+set_tests_properties(test_l1l2 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;19;ac_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_heapabs "/root/repo/build/tests/test_heapabs")
+set_tests_properties(test_heapabs PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;20;ac_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_wordabs "/root/repo/build/tests/test_wordabs")
+set_tests_properties(test_wordabs PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;21;ac_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_proof "/root/repo/build/tests/test_proof")
+set_tests_properties(test_proof PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;22;ac_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_core "/root/repo/build/tests/test_core")
+set_tests_properties(test_core PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;23;ac_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_corpus "/root/repo/build/tests/test_corpus")
+set_tests_properties(test_corpus PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;24;ac_test;/root/repo/tests/CMakeLists.txt;0;")
