@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+#===- scripts/tier1.sh - Tier-1 verification ------------------------------===#
+#
+# The repo's tier-1 gate, in two passes:
+#
+#   1. Normal build + full ctest suite (ROADMAP.md's tier-1 command).
+#   2. ThreadSanitizer build (-DAC_SANITIZE=thread) of the concurrency
+#      surface: test_core (full pipeline through the parallel driver),
+#      test_threadpool, and test_parallel_determinism. The determinism
+#      test runs on the smallest corpus (AC_DET_CORPUS=echronos) to keep
+#      the TSan pass within budget; AC_JOBS=4 forces the parallel
+#      scheduler even on single-CPU machines.
+#
+# Usage: scripts/tier1.sh [--skip-tsan]
+#
+#===-----------------------------------------------------------------------===#
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SKIP_TSAN=0
+[[ "${1:-}" == "--skip-tsan" ]] && SKIP_TSAN=1
+
+echo "=== tier-1 pass 1: normal build + ctest ==="
+cmake -B build -S . >/dev/null
+cmake --build build -j >/dev/null
+(cd build && ctest --output-on-failure -j)
+
+if [[ "$SKIP_TSAN" == 1 ]]; then
+  echo "=== tier-1 pass 2: skipped (--skip-tsan) ==="
+  exit 0
+fi
+
+echo "=== tier-1 pass 2: ThreadSanitizer (parallel pipeline) ==="
+cmake -B build-tsan -S . -DAC_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j \
+  --target test_core test_threadpool test_parallel_determinism >/dev/null
+(
+  cd build-tsan
+  export TSAN_OPTIONS="suppressions=$(cd .. && pwd)/scripts/tsan.supp"
+  export AC_JOBS=4
+  export AC_DET_CORPUS=echronos
+  ./tests/test_threadpool
+  ./tests/test_core
+  ./tests/test_parallel_determinism
+)
+echo "=== tier-1: all passes green ==="

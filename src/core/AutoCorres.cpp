@@ -2,11 +2,15 @@
 
 #include "core/AutoCorres.h"
 
+#include "core/CallGraph.h"
 #include "hol/Names.h"
 #include "hol/Print.h"
 #include "simpl/PrintSimpl.h"
+#include "support/ThreadPool.h"
 
 #include <chrono>
+#include <ctime>
+#include <mutex>
 #include <sstream>
 
 using namespace ac;
@@ -20,6 +24,16 @@ double secondsSince(std::chrono::steady_clock::time_point T0) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                        T0)
       .count();
+}
+
+/// CPU time consumed by the calling thread, in seconds. Summed across
+/// workers this gives the schedule-independent "abstraction effort"
+/// number Table 5 reports, next to the wall clock.
+double threadCpuSeconds() {
+  timespec TS;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &TS) != 0)
+    return 0;
+  return double(TS.tv_sec) + double(TS.tv_nsec) * 1e-9;
 }
 
 /// ac_corres A S — the composed whole-pipeline refinement judgement.
@@ -76,30 +90,55 @@ std::unique_ptr<AutoCorres> AutoCorres::run(const std::string &Source,
 
   AC->Ctx = monad::InterpCtx(AC->Prog.get());
 
+  unsigned Jobs =
+      Opts.Jobs ? Opts.Jobs : support::ThreadPool::defaultJobs();
+  AC->Stats.Jobs = Jobs;
+
   auto T1 = std::chrono::steady_clock::now();
-  AC->L1 = monad::convertAllL1(*AC->Prog, AC->Ctx);
-  AC->L2 = monad::convertAllL2(*AC->Prog, AC->Ctx);
   AC->HL =
       std::make_unique<heapabs::HeapAbstraction>(*AC->Prog, AC->Ctx);
   AC->WA = std::make_unique<wordabs::WordAbstraction>(AC->Ctx);
 
-  for (const std::string &Name : AC->Prog->FunctionOrder) {
+  const std::vector<std::string> &Order = AC->Prog->FunctionOrder;
+  // Per-function sinks, indexed by source position so the merged stream
+  // and the summed CPU time are identical under any schedule.
+  std::vector<DiagEngine> FnDiags(Order.size());
+  std::vector<double> FnCpuSeconds(Order.size(), 0);
+  std::mutex OutputM; // guards AC->L1 / AC->L2 / AC->Funcs insertions
+
+  // The whole L1 -> L2 -> HL -> WA chain for the function at \p OrderIdx.
+  // Safe to run concurrently for different functions once their callees
+  // are done (the call-graph schedule guarantees it); at Jobs=1 it is run
+  // in FunctionOrder, which is exactly the serial pipeline.
+  auto processFn = [&](size_t OrderIdx) {
+    double C0 = threadCpuSeconds();
+    const std::string &Name = Order[OrderIdx];
     const simpl::SimplFunc *F = AC->Prog->function(Name);
-    const monad::L2Result &L2R = AC->L2.at(Name);
+
+    monad::L1Result L1R = monad::convertL1(*AC->Prog, *F);
+    AC->Ctx.installDef("l1:" + Name, L1R.Term);
+    monad::L2Result L2R = monad::convertL2(*AC->Prog, *F);
+    AC->Ctx.installDef("l2:" + Name, L2R.Def);
+
     FuncOutput Out;
     Out.Name = Name;
     Out.ArgNames = L2R.ArgNames;
-    Out.L1Term = AC->L1.at(Name).Term;
-    Out.L1Corres = AC->L1.at(Name).Corres;
+    Out.L1Term = L1R.Term;
+    Out.L1Corres = L1R.Corres;
     Out.L2Body = L2R.AppliedBody;
     Out.L2Corres = L2R.Corres;
 
-    const heapabs::HLResult &H = AC->HL->abstractFunction(
-        *F, L2R, /*Lift=*/Opts.NoHeapAbs.count(Name) == 0);
+    bool WantLift = Opts.NoHeapAbs.count(Name) == 0;
+    const heapabs::HLResult &H =
+        AC->HL->abstractFunction(*F, L2R, /*Lift=*/WantLift);
     if (H.Lifted) {
       Out.HeapLifted = true;
       Out.HLBody = H.AppliedBody;
       Out.HLCorres = H.Corres;
+    } else if (WantLift) {
+      FnDiags[OrderIdx].note(
+          {}, "function '" + Name +
+                  "' stays on the byte-level heap (no HL rule applied)");
     }
 
     wordabs::WAOptions WOpts;
@@ -121,6 +160,10 @@ std::unique_ptr<AutoCorres> AutoCorres::run(const std::string &Source,
       Out.FinalArgTys = W.AbsArgTys;
     } else {
       Out.FinalArgTys = L2R.ArgTys;
+      if (WOpts.Enabled && !W.Abstracted)
+        FnDiags[OrderIdx].note(
+            {}, "function '" + Name +
+                    "' stays on machine words (no WA rule applied)");
     }
     Out.FinalRetTy = Out.WordAbstracted
                          ? wordabs::absTy(L2R.RetTy)
@@ -137,9 +180,41 @@ std::unique_ptr<AutoCorres> AutoCorres::run(const std::string &Source,
     Out.Pipeline = composeChain(Phases, Out.finalBody(),
                                 monad::simplBodyConst(*F));
 
+    FnCpuSeconds[OrderIdx] = threadCpuSeconds() - C0;
+    std::lock_guard<std::mutex> L(OutputM);
+    AC->L1.emplace(Name, std::move(L1R));
+    AC->L2.emplace(Name, std::move(L2R));
     AC->Funcs.emplace(Name, std::move(Out));
+  };
+
+  if (Jobs <= 1) {
+    // Serial reference path: no pool, no scheduler.
+    for (size_t I = 0; I != Order.size(); ++I)
+      processFn(I);
+  } else {
+    // One task per call-graph SCC; a task runs its members in serial
+    // (FunctionOrder) order and becomes ready the moment its callee
+    // components finish — no phase barriers.
+    CallGraphSchedule Sched = buildCallGraphSchedule(*AC->Prog);
+    std::map<std::string, size_t> OrderIdx;
+    for (size_t I = 0; I != Order.size(); ++I)
+      OrderIdx.emplace(Order[I], I);
+    std::vector<std::function<void()>> Tasks;
+    Tasks.reserve(Sched.SCCs.size());
+    for (const std::vector<std::string> &SCC : Sched.SCCs)
+      Tasks.push_back([&processFn, &OrderIdx, &SCC] {
+        for (const std::string &Name : SCC)
+          processFn(OrderIdx.at(Name));
+      });
+    support::ThreadPool Pool(Jobs);
+    runTaskGraph(Pool, Tasks, Sched.Deps);
   }
-  AC->Stats.AutoCorresSeconds = secondsSince(T1);
+
+  AC->Stats.AutoCorresWallSeconds = secondsSince(T1);
+  for (double S : FnCpuSeconds)
+    AC->Stats.AutoCorresSeconds += S;
+  for (const DiagEngine &D : FnDiags)
+    Diags.merge(D);
 
   // Table 5 metrics.
   for (const std::string &Name : AC->Prog->FunctionOrder) {

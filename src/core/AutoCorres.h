@@ -46,6 +46,10 @@ struct ACOptions {
   std::set<std::string> NoHeapAbs;
   /// Functions to keep on machine words (Sec 3.2).
   std::set<std::string> NoWordAbs;
+  /// Worker threads for the abstraction stages. 0 = the AC_JOBS
+  /// environment variable (1 when unset). Output is bit-identical at
+  /// every job count; see core/CallGraph.h.
+  unsigned Jobs = 0;
 };
 
 /// Everything produced for one function.
@@ -81,7 +85,14 @@ struct ACStats {
   unsigned SourceLines = 0;
   unsigned NumFunctions = 0;
   double ParserSeconds = 0;
+  /// Summed per-thread CPU time of the abstraction stages — comparable
+  /// to the paper's serial Table 5 column at any job count.
   double AutoCorresSeconds = 0;
+  /// Elapsed wall-clock time of the abstraction stages (drops below
+  /// AutoCorresSeconds when Jobs > 1 on a multi-core machine).
+  double AutoCorresWallSeconds = 0;
+  /// Worker threads the run actually used.
+  unsigned Jobs = 1;
   unsigned ParserSpecLines = 0;
   unsigned ACSpecLines = 0;
   unsigned ParserTermSizeTotal = 0;

@@ -1,0 +1,133 @@
+//===- CallGraph.cpp ------------------------------------------------------===//
+
+#include "core/CallGraph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+using namespace ac;
+using namespace ac::core;
+
+static void collectCallees(const simpl::SimplStmtPtr &S,
+                           const simpl::SimplProgram &Prog,
+                           std::vector<std::string> &Out) {
+  if (!S)
+    return;
+  if (S->kind() == simpl::SimplStmt::Kind::Call &&
+      Prog.function(S->Callee) &&
+      std::find(Out.begin(), Out.end(), S->Callee) == Out.end())
+    Out.push_back(S->Callee);
+  collectCallees(S->A, Prog, Out);
+  collectCallees(S->B, Prog, Out);
+}
+
+std::vector<std::string>
+ac::core::calleesOf(const simpl::SimplProgram &Prog,
+                    const simpl::SimplFunc &F) {
+  std::vector<std::string> Out;
+  collectCallees(F.Body, Prog, Out);
+  return Out;
+}
+
+CallGraphSchedule
+ac::core::buildCallGraphSchedule(const simpl::SimplProgram &Prog) {
+  const std::vector<std::string> &Order = Prog.FunctionOrder;
+  unsigned N = static_cast<unsigned>(Order.size());
+
+  std::map<std::string, unsigned> Idx;
+  for (unsigned I = 0; I != N; ++I)
+    Idx.emplace(Order[I], I);
+
+  // Adjacency: caller -> callees, in deterministic first-call order.
+  std::vector<std::vector<unsigned>> Adj(N);
+  for (unsigned I = 0; I != N; ++I)
+    for (const std::string &C : calleesOf(Prog, *Prog.function(Order[I])))
+      Adj[I].push_back(Idx.at(C));
+
+  // Iterative Tarjan. With edges pointing caller -> callee, an SCC is
+  // emitted only after every SCC it reaches (its callees), so the output
+  // is already in callee-first topological order. Roots are visited in
+  // FunctionOrder and neighbours in first-call order, making the result
+  // independent of anything but the program.
+  constexpr unsigned None = ~0u;
+  std::vector<unsigned> Index(N, None), Low(N, 0), CompOf(N, None);
+  std::vector<bool> OnStack(N, false);
+  std::vector<unsigned> Stack;
+  CallGraphSchedule Out;
+  unsigned NextIndex = 0;
+
+  struct Frame {
+    unsigned V;
+    size_t NextEdge = 0;
+  };
+  std::vector<Frame> Frames;
+
+  for (unsigned Root = 0; Root != N; ++Root) {
+    if (Index[Root] != None)
+      continue;
+    Frames.push_back({Root});
+    while (!Frames.empty()) {
+      Frame &F = Frames.back();
+      unsigned V = F.V;
+      if (F.NextEdge == 0) {
+        Index[V] = Low[V] = NextIndex++;
+        Stack.push_back(V);
+        OnStack[V] = true;
+      }
+      bool Descended = false;
+      while (F.NextEdge < Adj[V].size()) {
+        unsigned W = Adj[V][F.NextEdge++];
+        if (Index[W] == None) {
+          Frames.push_back({W});
+          Descended = true;
+          break;
+        }
+        if (OnStack[W])
+          Low[V] = std::min(Low[V], Index[W]);
+      }
+      if (Descended)
+        continue;
+      if (Low[V] == Index[V]) {
+        // V is an SCC root: pop its members.
+        std::vector<unsigned> Members;
+        for (;;) {
+          unsigned W = Stack.back();
+          Stack.pop_back();
+          OnStack[W] = false;
+          CompOf[W] = static_cast<unsigned>(Out.SCCs.size());
+          Members.push_back(W);
+          if (W == V)
+            break;
+        }
+        // Members in FunctionOrder order = the serial processing order.
+        std::sort(Members.begin(), Members.end());
+        std::vector<std::string> Names;
+        for (unsigned M : Members)
+          Names.push_back(Order[M]);
+        Out.SCCs.push_back(std::move(Names));
+      }
+      Frames.pop_back();
+      if (!Frames.empty()) {
+        Frame &P = Frames.back();
+        Low[P.V] = std::min(Low[P.V], Low[V]);
+      }
+    }
+  }
+
+  // Condensation edges: each SCC depends on its callees' SCCs.
+  Out.Deps.resize(Out.SCCs.size());
+  for (unsigned V = 0; V != N; ++V) {
+    for (unsigned W : Adj[V]) {
+      unsigned CV = CompOf[V], CW = CompOf[W];
+      assert(CW <= CV && "callee SCC must be emitted before its caller");
+      if (CW != CV)
+        Out.Deps[CV].push_back(CW);
+    }
+  }
+  for (std::vector<unsigned> &D : Out.Deps) {
+    std::sort(D.begin(), D.end());
+    D.erase(std::unique(D.begin(), D.end()), D.end());
+  }
+  return Out;
+}

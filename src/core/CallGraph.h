@@ -1,0 +1,53 @@
+//===- CallGraph.h - Call-graph SCC scheduling ------------------*- C++ -*-===//
+//
+// Part of the autocorres-cpp project, under the BSD 2-Clause License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The scheduling structure of the parallel abstraction pipeline. Each
+/// function's abstraction (L1 -> L2 -> HL -> WA) depends only on its
+/// callees' summaries, so the unit of scheduling is a strongly connected
+/// component of the call graph: SCCs form a DAG, and an SCC can run the
+/// moment every callee SCC has finished — no phase barriers.
+///
+/// Ordering is fully deterministic: functions inside an SCC appear in
+/// `SimplProgram::FunctionOrder` order (the serial processing order), and
+/// the SCC list itself is topological with callees first, matching the
+/// visibility the serial pipeline gives each function. That is what makes
+/// a parallel run produce bit-identical output to Jobs=1.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AC_CORE_CALLGRAPH_H
+#define AC_CORE_CALLGRAPH_H
+
+#include "simpl/Program.h"
+
+#include <string>
+#include <vector>
+
+namespace ac::core {
+
+/// The condensed (SCC) call graph of a translated program.
+struct CallGraphSchedule {
+  /// SCCs in callee-first topological order; each SCC lists its member
+  /// functions in FunctionOrder order. Most SCCs are singletons —
+  /// mutual recursion is the only way to get more.
+  std::vector<std::vector<std::string>> SCCs;
+  /// Deps[i] are indices of SCCs that must complete before SCC i starts
+  /// (its callees' components, deduplicated, ascending).
+  std::vector<std::vector<unsigned>> Deps;
+};
+
+/// Names of the functions \p F calls (deduplicated, in first-call order;
+/// only calls to functions defined in \p Prog).
+std::vector<std::string> calleesOf(const simpl::SimplProgram &Prog,
+                                   const simpl::SimplFunc &F);
+
+/// Builds the SCC condensation of the call graph, scheduling-ready.
+CallGraphSchedule buildCallGraphSchedule(const simpl::SimplProgram &Prog);
+
+} // namespace ac::core
+
+#endif // AC_CORE_CALLGRAPH_H

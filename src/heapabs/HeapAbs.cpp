@@ -11,6 +11,9 @@ using namespace ac::heapabs;
 using namespace ac::hol;
 namespace nm = ac::hol::names;
 
+thread_local std::string HeapAbstraction::CurFn;
+thread_local unsigned HeapAbstraction::FreshCtr = 0;
+
 //===----------------------------------------------------------------------===//
 // Judgement and combinator constants (explicitly typed so rule terms with
 // loose bound variables can be built without typeOf)
@@ -1172,9 +1175,12 @@ std::optional<Thm> HeapAbstraction::stmt(const TermRef &C) {
   if (Head->isConst() && Head->name().rfind("l2:", 0) == 0) {
     std::string Callee = Head->name().substr(3);
     // Recursive self-call, or a call to an already-lifted callee.
-    auto It = Results.find(Callee);
-    bool CalleeLifted =
-        (Callee == CurFn) || (It != Results.end() && It->second.Lifted);
+    bool CalleeLifted = (Callee == CurFn);
+    if (!CalleeLifted) {
+      std::shared_lock<std::shared_mutex> L(ResultsM);
+      auto It = Results.find(Callee);
+      CalleeLifted = It != Results.end() && It->second.Lifted;
+    }
     if (!CalleeLifted)
       return std::nullopt;
     const simpl::SimplFunc *CF = Prog.function(Callee);
@@ -1198,6 +1204,7 @@ HLResult &HeapAbstraction::abstractFunction(const simpl::SimplFunc &F,
                                             const monad::L2Result &L2,
                                             bool Lift) {
   CurFn = F.Name;
+  FreshCtr = 0; // Fresh names restart per function: schedule-independent.
   HLResult Res;
   if (Lift) {
     std::optional<Thm> Th = stmt(L2.AppliedBody);
@@ -1209,7 +1216,7 @@ HLResult &HeapAbstraction::abstractFunction(const simpl::SimplFunc &F,
       for (size_t I = L2.ArgNames.size(); I-- > 0;)
         Def = lambdaFree(L2.ArgNames[I], L2.ArgTys[I], Def);
       Res.Def = Def;
-      Ctx.FunDefs["hl:" + F.Name] = Def;
+      Ctx.installDef("hl:" + F.Name, Def);
       // Constant-level corres for call sites and reporting.
       std::vector<TermRef> ArgFrees;
       for (size_t I = 0; I != L2.ArgNames.size(); ++I)
@@ -1234,6 +1241,7 @@ HLResult &HeapAbstraction::abstractFunction(const simpl::SimplFunc &F,
     Res.Def = L2.Def;
     Res.AppliedBody = L2.AppliedBody;
   }
+  std::unique_lock<std::shared_mutex> L(ResultsM);
   return Results.emplace(F.Name, std::move(Res)).first->second;
 }
 

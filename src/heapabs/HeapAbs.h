@@ -35,6 +35,7 @@
 #include "monad/L2.h"
 
 #include <optional>
+#include <shared_mutex>
 
 namespace ac::heapabs {
 
@@ -48,6 +49,12 @@ struct HLResult {
 };
 
 /// The heap-abstraction engine for one program.
+///
+/// abstractFunction is safe to call concurrently from the parallel
+/// pipeline for *different* functions, provided each function's callees
+/// were abstracted first (the call-graph scheduler guarantees both).
+/// Fresh-name counters are per-thread and reset per function, so the
+/// emitted terms are identical under any schedule.
 class HeapAbstraction {
 public:
   HeapAbstraction(simpl::SimplProgram &Prog, monad::InterpCtx &Ctx);
@@ -87,10 +94,18 @@ private:
   simpl::SimplProgram &Prog;
   monad::InterpCtx &Ctx;
   LiftedGlobals LG;
+  /// Guarded by ResultsM: workers look up callee entries while others
+  /// publish theirs. std::map never invalidates element references, so
+  /// the HLResult& handed back stays valid without the lock.
+  mutable std::shared_mutex ResultsM;
   std::map<std::string, HLResult> Results;
   std::vector<hol::Thm> UserValRules;
-  std::string CurFn;
-  unsigned FreshCtr = 0;
+  /// Per-thread engine state: the function being abstracted and its
+  /// fresh-name counter. Thread-local (each worker abstracts one function
+  /// at a time) and reset on abstractFunction entry, so fresh names
+  /// depend only on the function, never on the schedule.
+  static thread_local std::string CurFn;
+  static thread_local unsigned FreshCtr;
 
   std::string fresh(const std::string &H) {
     return H + "~" + std::to_string(FreshCtr++);

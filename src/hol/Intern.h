@@ -1,0 +1,78 @@
+//===- Intern.h - Sharded hash-consing tables -------------------*- C++ -*-===//
+//
+// Part of the autocorres-cpp project, under the BSD 2-Clause License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A sharded, mutex-guarded intern (hash-consing) table. The term and
+/// type factories use it to canonicalise the high-duplication node kinds
+/// (all types; Const and Num terms), so that
+///
+///   * structurally equal nodes are usually pointer-equal, which lets
+///     typeEq/termEq take their pointer fast path, and
+///   * the factories are safe to call from the parallel abstraction
+///     pipeline: each shard serialises its own insertions, and shards are
+///     picked by hash, so concurrent workers rarely contend.
+///
+/// Entries are held by strong reference for the life of the process — the
+/// population is bounded by the distinct constants/types of the programs
+/// translated, which is the classic hash-consing trade (cf. Isabelle's
+/// name tables).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AC_HOL_INTERN_H
+#define AC_HOL_INTERN_H
+
+#include <cstddef>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace ac::hol {
+
+/// Sharded canonicalisation table for shared-pointer nodes.
+///
+/// get() looks up an existing node with the given hash that satisfies
+/// \p Eq; if none exists, \p Fresh is stored and returned. Collisions on
+/// the hash are resolved by the structural predicate, never assumed away.
+template <typename Ref, unsigned ShardCount = 64> class InternShards {
+public:
+  /// \p Eq is the structural match against the prospective node's
+  /// components; \p Make allocates it only on a miss.
+  template <typename EqFn, typename MakeFn>
+  Ref get(size_t Hash, EqFn Eq, MakeFn Make) {
+    Shard &S = Shards[Hash % ShardCount];
+    std::lock_guard<std::mutex> L(S.M);
+    std::vector<Ref> &Bucket = S.Buckets[Hash];
+    for (const Ref &R : Bucket)
+      if (Eq(R))
+        return R;
+    Ref Fresh = Make();
+    Bucket.push_back(Fresh);
+    return Fresh;
+  }
+
+  /// Number of interned nodes (diagnostics; takes every shard lock).
+  size_t size() const {
+    size_t N = 0;
+    for (const Shard &S : Shards) {
+      std::lock_guard<std::mutex> L(S.M);
+      for (const auto &[H, B] : S.Buckets)
+        N += B.size();
+    }
+    return N;
+  }
+
+private:
+  struct Shard {
+    mutable std::mutex M;
+    std::unordered_map<size_t, std::vector<Ref>> Buckets;
+  };
+  Shard Shards[ShardCount];
+};
+
+} // namespace ac::hol
+
+#endif // AC_HOL_INTERN_H

@@ -2,6 +2,8 @@
 
 #include "hol/Term.h"
 
+#include "hol/Intern.h"
+
 #include <algorithm>
 #include <functional>
 #include <map>
@@ -12,15 +14,34 @@ static size_t combineHash(size_t A, size_t B) {
   return A ^ (B + 0x9e3779b97f4a7c15ULL + (A << 6) + (A >> 2));
 }
 
+/// Canonicalisation table for the high-duplication leaf kinds (Const and
+/// Num). Every monadic program mentions the same few hundred combinator
+/// and operator constants millions of times; interning them makes those
+/// the pointer-equality fast path of termEq and keeps the factories safe
+/// under the parallel abstraction pipeline (see Intern.h).
+static InternShards<TermRef> &termInterner() {
+  // Leaked on purpose: avoids destruction-order races with other statics.
+  static auto *T = new InternShards<TermRef>();
+  return *T;
+}
+
 TermRef Term::mkConst(const std::string &Name, TypeRef Ty) {
   assert(Ty && "constant requires a type");
-  auto *T = new Term();
-  T->K = Kind::Const;
-  T->Name = Name;
-  T->Ty = std::move(Ty);
-  T->Hash = combineHash(std::hash<std::string>()(Name), 0x11);
-  T->Hash = combineHash(T->Hash, T->Ty->hash());
-  return TermRef(T);
+  size_t H = combineHash(std::hash<std::string>()(Name), 0x11);
+  H = combineHash(H, Ty->hash());
+  return termInterner().get(
+      H,
+      [&](const TermRef &R) {
+        return R->isConst() && R->name() == Name && typeEq(R->type(), Ty);
+      },
+      [&] {
+        auto *T = new Term();
+        T->K = Kind::Const;
+        T->Name = Name;
+        T->Ty = std::move(Ty);
+        T->Hash = H;
+        return TermRef(T);
+      });
 }
 
 TermRef Term::mkFree(const std::string &Name, TypeRef Ty) {
@@ -84,14 +105,22 @@ TermRef Term::mkApp(TermRef F, TermRef X) {
 
 TermRef Term::mkNum(Int128 Value, TypeRef Ty) {
   assert(Ty && "numeral requires a type");
-  auto *T = new Term();
-  T->K = Kind::Num;
-  T->Value = Value;
-  T->Ty = std::move(Ty);
-  T->Hash = combineHash(0x66, static_cast<size_t>(static_cast<uint64_t>(
-                                  Value ^ (Value >> 64))));
-  T->Hash = combineHash(T->Hash, T->Ty->hash());
-  return TermRef(T);
+  size_t H = combineHash(0x66, static_cast<size_t>(static_cast<uint64_t>(
+                                   Value ^ (Value >> 64))));
+  H = combineHash(H, Ty->hash());
+  return termInterner().get(
+      H,
+      [&](const TermRef &R) {
+        return R->isNum() && R->value() == Value && typeEq(R->type(), Ty);
+      },
+      [&] {
+        auto *T = new Term();
+        T->K = Kind::Num;
+        T->Value = Value;
+        T->Ty = std::move(Ty);
+        T->Hash = H;
+        return TermRef(T);
+      });
 }
 
 bool ac::hol::termEq(const TermRef &A, const TermRef &B) {

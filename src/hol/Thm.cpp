@@ -22,6 +22,7 @@ Inventory &Inventory::instance() {
 }
 
 void Inventory::registerAxiom(const std::string &Name, const TermRef &Prop) {
+  std::lock_guard<std::mutex> L(M);
   auto It = Axioms.find(Name);
   if (It != Axioms.end()) {
     assert(termEq(It->second, Prop) &&
@@ -31,7 +32,10 @@ void Inventory::registerAxiom(const std::string &Name, const TermRef &Prop) {
   Axioms.emplace(Name, Prop);
 }
 
-void Inventory::noteOracle(const std::string &Name) { Oracles.insert(Name); }
+void Inventory::noteOracle(const std::string &Name) {
+  std::lock_guard<std::mutex> L(M);
+  Oracles.insert(Name);
+}
 
 Thm Kernel::make(TermRef Prop, Deriv::Kind K, const std::string &Name,
                  std::vector<DerivRef> Premises) {

@@ -33,6 +33,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <string>
 
@@ -83,6 +84,10 @@ private:
 };
 
 /// Global registry of axioms (name -> proposition) and oracle names.
+/// Registration is thread-safe (the parallel abstraction pipeline mints
+/// axioms and oracles from every worker); the enumeration accessors
+/// return the containers directly and are meant for single-threaded
+/// auditing after a run completes.
 class Inventory {
 public:
   static Inventory &instance();
@@ -95,10 +100,12 @@ public:
   const std::map<std::string, TermRef> &axioms() const { return Axioms; }
   const std::set<std::string> &oracles() const { return Oracles; }
   bool hasAxiom(const std::string &Name) const {
+    std::lock_guard<std::mutex> L(M);
     return Axioms.count(Name) != 0;
   }
 
 private:
+  mutable std::mutex M;
   std::map<std::string, TermRef> Axioms;
   std::set<std::string> Oracles;
 };

@@ -2,6 +2,8 @@
 
 #include "hol/Type.h"
 
+#include "hol/Intern.h"
+
 #include <functional>
 #include <sstream>
 
@@ -11,23 +13,56 @@ static size_t combineHash(size_t A, size_t B) {
   return A ^ (B + 0x9e3779b97f4a7c15ULL + (A << 6) + (A >> 2));
 }
 
+static size_t typeHash(Type::Kind K, const std::string &Name,
+                       const std::vector<TypeRef> &Args) {
+  size_t H =
+      combineHash(std::hash<std::string>()(Name), static_cast<size_t>(K));
+  for (const TypeRef &A : Args)
+    H = combineHash(H, A->hash());
+  return H;
+}
+
 Type::Type(Kind K, std::string Name, std::vector<TypeRef> Args)
     : K(K), Name(std::move(Name)), Args(std::move(Args)) {
-  Hash = combineHash(std::hash<std::string>()(this->Name),
-                     static_cast<size_t>(K));
+  Hash = typeHash(K, this->Name, this->Args);
   ContainsVar = (K == Kind::Var);
-  for (const TypeRef &A : this->Args) {
-    Hash = combineHash(Hash, A->hash());
+  for (const TypeRef &A : this->Args)
     ContainsVar = ContainsVar || A->hasVar();
-  }
+}
+
+/// Process-wide canonicalisation table (see Intern.h). Because every type
+/// flows through var()/con(), structurally equal types are pointer-equal
+/// and typeEq's identity fast path almost always hits.
+static InternShards<TypeRef> &typeInterner() {
+  // Leaked on purpose: avoids destruction-order races with other statics.
+  static auto *T = new InternShards<TypeRef>();
+  return *T;
+}
+
+/// Structural match of an interned candidate against prospective pieces.
+static bool sameType(const TypeRef &R, Type::Kind K,
+                     const std::string &Name,
+                     const std::vector<TypeRef> &Args) {
+  if (R->kind() != K || R->name() != Name || R->args().size() != Args.size())
+    return false;
+  for (size_t I = 0; I != Args.size(); ++I)
+    if (!typeEq(R->arg(I), Args[I]))
+      return false;
+  return true;
 }
 
 TypeRef Type::var(const std::string &Name) {
-  return TypeRef(new Type(Kind::Var, Name, {}));
+  return typeInterner().get(
+      typeHash(Kind::Var, Name, {}),
+      [&](const TypeRef &R) { return sameType(R, Kind::Var, Name, {}); },
+      [&] { return TypeRef(new Type(Kind::Var, Name, {})); });
 }
 
 TypeRef Type::con(const std::string &Name, std::vector<TypeRef> Args) {
-  return TypeRef(new Type(Kind::Con, Name, std::move(Args)));
+  return typeInterner().get(
+      typeHash(Kind::Con, Name, Args),
+      [&](const TypeRef &R) { return sameType(R, Kind::Con, Name, Args); },
+      [&] { return TypeRef(new Type(Kind::Con, Name, std::move(Args))); });
 }
 
 bool ac::hol::typeEq(const TypeRef &A, const TypeRef &B) {

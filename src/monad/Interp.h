@@ -23,6 +23,8 @@
 #include "simpl/Program.h"
 
 #include <map>
+#include <memory>
+#include <mutex>
 
 namespace ac::monad {
 
@@ -37,12 +39,26 @@ public:
   /// Definitions for named constants (e.g. "l1:f", "l2:f", "hl:f",
   /// "wa:f"): evaluated on demand, enabling recursion.
   std::map<std::string, hol::TermRef> FunDefs;
+  /// Registers a definition. The parallel abstraction pipeline installs
+  /// defs from multiple workers; interpretation itself stays
+  /// single-threaded and reads FunDefs without locking.
+  void installDef(const std::string &Name, hol::TermRef Def) {
+    std::lock_guard<std::mutex> L(*DefsM);
+    FunDefs[Name] = std::move(Def);
+  }
   /// Semantics of the per-program `lift_global_heap` state abstraction
   /// (installed by the heap-abstraction setup).
   std::function<Value(const Value &, InterpCtx &)> LiftGlobalHeap;
   long Fuel = 200000;
   bool OutOfFuel = false;
   unsigned MaxResults = 256;
+
+private:
+  /// Guards installDef(). Shared across copies of the context (each copy
+  /// has its own FunDefs map, so the shared lock is merely conservative).
+  std::shared_ptr<std::mutex> DefsM = std::make_shared<std::mutex>();
+
+public:
 
   void reset(long NewFuel = 200000) {
     Fuel = NewFuel;

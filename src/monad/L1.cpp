@@ -164,7 +164,7 @@ ac::monad::convertAllL1(const SimplProgram &Prog, InterpCtx &Ctx) {
   for (const std::string &Name : Prog.FunctionOrder) {
     const SimplFunc *F = Prog.function(Name);
     L1Result R = convertL1(Prog, *F);
-    Ctx.FunDefs["l1:" + Name] = R.Term;
+    Ctx.installDef("l1:" + Name, R.Term);
     Out.emplace(Name, std::move(R));
   }
   return Out;

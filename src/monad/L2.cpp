@@ -915,7 +915,7 @@ ac::monad::convertAllL2(const SimplProgram &Prog, InterpCtx &Ctx) {
   for (const std::string &Name : Prog.FunctionOrder) {
     const SimplFunc *F = Prog.function(Name);
     L2Result R = convertL2(Prog, *F);
-    Ctx.FunDefs["l2:" + Name] = R.Def;
+    Ctx.installDef("l2:" + Name, R.Def);
     Out.emplace(Name, std::move(R));
   }
   return Out;

@@ -429,6 +429,33 @@ bool isDataOnlyModify(const TermRef &Fn) {
          Args[1]->isBound() && Args[1]->index() == 0;
 }
 
+/// True if every use of the state variable (loose Bound \p Depth) in \p T
+/// is a field read a data-only heap update cannot change: validity fields
+/// and plain globals, but not heap_* data fields. Only such conjuncts may
+/// stay in the "seen" set across a data-only modify — an arithmetic guard
+/// over heap reads is clobbered by the very write it guards.
+bool dataUpdateImmune(const TermRef &T, unsigned Depth) {
+  switch (T->kind()) {
+  case Term::Kind::Bound:
+    return T->index() != Depth;
+  case Term::Kind::Lam:
+    return dataUpdateImmune(T->body(), Depth + 1);
+  case Term::Kind::App: {
+    const TermRef &F = T->fun();
+    const TermRef &X = T->argTerm();
+    if (F->isConst() && X->isBound() && X->index() == Depth) {
+      const std::string &N = F->name();
+      if (N.rfind("fld:lifted_globals.", 0) == 0 &&
+          N.rfind("fld:lifted_globals.heap_", 0) != 0)
+        return true;
+    }
+    return dataUpdateImmune(F, Depth) && dataUpdateImmune(X, Depth);
+  }
+  default:
+    return true;
+  }
+}
+
 TermRef dedupSpine(const TermRef &T, std::vector<TermRef> Seen);
 
 TermRef dedupChildren(const TermRef &T) {
@@ -483,8 +510,16 @@ TermRef dedupSpine(const TermRef &T, std::vector<TermRef> Seen) {
   if (matchC(M, nm::Gets, 1, MA) || matchC(M, nm::Return, 1, MA) ||
       M->isConst(nm::Skip))
     Preserves = true;
-  else if (matchC(M, nm::Modify, 1, MA) && isDataOnlyModify(MA[0]))
+  else if (matchC(M, nm::Modify, 1, MA) && isDataOnlyModify(MA[0])) {
+    // The write changes heap data: drop conjuncts that read it, keep
+    // validity facts and plain globals (the Sec 4.4 design point).
+    std::vector<TermRef> Kept;
+    for (const TermRef &C : Seen)
+      if (dataUpdateImmune(C, 0))
+        Kept.push_back(C);
+    Seen = std::move(Kept);
     Preserves = true;
+  }
   if (!Preserves)
     Seen.clear();
   TermRef NewM = dedupChildren(M);

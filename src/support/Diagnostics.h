@@ -58,6 +58,14 @@ public:
     Diags.push_back({DiagKind::Note, Loc, Msg});
   }
 
+  /// Appends every diagnostic of \p Other. The parallel pipeline gives
+  /// each worker task its own engine and merges them in source order, so
+  /// the combined stream is schedule-independent.
+  void merge(const DiagEngine &Other) {
+    Diags.insert(Diags.end(), Other.Diags.begin(), Other.Diags.end());
+    NumErrors += Other.NumErrors;
+  }
+
   bool hasErrors() const { return NumErrors != 0; }
   unsigned errorCount() const { return NumErrors; }
   const std::vector<Diagnostic> &diagnostics() const { return Diags; }

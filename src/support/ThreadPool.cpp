@@ -1,0 +1,169 @@
+//===- ThreadPool.cpp -----------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <cassert>
+#include <cstdlib>
+
+using namespace ac::support;
+
+unsigned ThreadPool::defaultJobs() {
+  const char *E = std::getenv("AC_JOBS");
+  if (!E)
+    return 1;
+  long N = std::strtol(E, nullptr, 10);
+  if (N < 1)
+    return 1;
+  if (N > 256)
+    return 256;
+  return static_cast<unsigned>(N);
+}
+
+ThreadPool::ThreadPool(unsigned Jobs) {
+  if (Jobs == 0)
+    Jobs = defaultJobs();
+  Workers.reserve(Jobs);
+  for (unsigned I = 0; I != Jobs; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> L(M);
+    Stop = true;
+  }
+  CV.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::post(std::function<void()> Task) {
+  {
+    std::lock_guard<std::mutex> L(M);
+    assert(!Stop && "submit on a stopped pool");
+    Queue.push_back(std::move(Task));
+  }
+  CV.notify_one();
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> Task;
+    {
+      std::unique_lock<std::mutex> L(M);
+      CV.wait(L, [this] { return Stop || !Queue.empty(); });
+      if (Queue.empty())
+        return; // Stop requested and nothing left to drain.
+      Task = std::move(Queue.front());
+      Queue.pop_front();
+    }
+    Task();
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Dependency-graph execution
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Shared bookkeeping for one runTaskGraph call.
+struct GraphRun {
+  const std::vector<std::function<void()>> &Tasks;
+  std::vector<std::vector<unsigned>> Dependents;
+  std::vector<unsigned> Remaining; ///< unfinished dependency count
+  std::vector<bool> Skipped;
+  std::mutex M;
+  std::condition_variable Done;
+  size_t Settled = 0; ///< finished or skipped
+  std::exception_ptr Error;
+  unsigned ErrorIdx = ~0u;
+
+  explicit GraphRun(const std::vector<std::function<void()>> &Tasks)
+      : Tasks(Tasks), Dependents(Tasks.size()),
+        Remaining(Tasks.size(), 0), Skipped(Tasks.size(), false) {}
+};
+
+/// Marks \p I and everything depending on it skipped. Caller holds G.M.
+void skipFrom(GraphRun &G, unsigned I) {
+  if (G.Skipped[I])
+    return;
+  G.Skipped[I] = true;
+  ++G.Settled;
+  for (unsigned D : G.Dependents[I])
+    if (!G.Skipped[D])
+      skipFrom(G, D);
+}
+
+void runTask(ac::support::ThreadPool &Pool,
+             const std::shared_ptr<GraphRun> &G, unsigned I);
+
+/// Caller holds G->M. Schedules every dependent of \p I that became ready.
+void finishTask(ac::support::ThreadPool &Pool,
+                const std::shared_ptr<GraphRun> &G, unsigned I) {
+  ++G->Settled;
+  for (unsigned D : G->Dependents[I]) {
+    if (G->Skipped[D])
+      continue;
+    assert(G->Remaining[D] > 0 && "dependency counting out of sync");
+    if (--G->Remaining[D] == 0)
+      Pool.post([&Pool, G, D] { runTask(Pool, G, D); });
+  }
+}
+
+void runTask(ac::support::ThreadPool &Pool,
+             const std::shared_ptr<GraphRun> &G, unsigned I) {
+  std::exception_ptr E;
+  try {
+    G->Tasks[I]();
+  } catch (...) {
+    E = std::current_exception();
+  }
+  {
+    std::lock_guard<std::mutex> L(G->M);
+    if (E) {
+      // Deterministic error choice: keep the lowest failed index.
+      if (I < G->ErrorIdx) {
+        G->ErrorIdx = I;
+        G->Error = E;
+      }
+      ++G->Settled;
+      for (unsigned D : G->Dependents[I])
+        skipFrom(*G, D);
+    } else {
+      finishTask(Pool, G, I);
+    }
+  }
+  G->Done.notify_all();
+}
+
+} // namespace
+
+void ac::support::runTaskGraph(
+    ThreadPool &Pool, const std::vector<std::function<void()>> &Tasks,
+    const std::vector<std::vector<unsigned>> &Deps) {
+  assert(Deps.size() == Tasks.size() && "one dependency list per task");
+  if (Tasks.empty())
+    return;
+  auto G = std::make_shared<GraphRun>(Tasks);
+  for (unsigned I = 0; I != Tasks.size(); ++I) {
+    for (unsigned D : Deps[I]) {
+      assert(D < Tasks.size() && "dependency index out of range");
+      assert(D != I && "task depending on itself");
+      G->Dependents[D].push_back(I);
+      ++G->Remaining[I];
+    }
+  }
+  {
+    std::lock_guard<std::mutex> L(G->M);
+    for (unsigned I = 0; I != Tasks.size(); ++I)
+      if (G->Remaining[I] == 0)
+        Pool.post([&Pool, G, I = I] { runTask(Pool, G, I); });
+  }
+  std::unique_lock<std::mutex> L(G->M);
+  G->Done.wait(L, [&] { return G->Settled == Tasks.size(); });
+  assert(G->Settled == Tasks.size() &&
+         "task graph did not settle (cycle in Deps?)");
+  if (G->Error)
+    std::rethrow_exception(G->Error);
+}

@@ -27,10 +27,16 @@
 #include "hol/ProofState.h"
 #include "monad/Peephole.h"
 
+#include <atomic>
+
 using namespace ac;
 using namespace ac::wordabs;
 using namespace ac::hol;
 namespace nm = ac::hol::names;
+
+thread_local std::set<std::string> WordAbstraction::Tracked;
+thread_local std::string WordAbstraction::CurFn;
+thread_local unsigned WordAbstraction::FreshCtr = 0;
 
 //===----------------------------------------------------------------------===//
 // Kinds and abstraction functions
@@ -571,7 +577,7 @@ WARules &rules() {
   return *R;
 }
 
-unsigned GlobalPerWidthCount = 0;
+std::atomic<unsigned> GlobalPerWidthCount{0};
 
 Thm inst(const Thm &Ax,
          std::vector<std::pair<const char *, TermRef>> Tms,
@@ -742,7 +748,7 @@ WordAbstraction::WordAbstraction(monad::InterpCtx &Ctx) : Ctx(Ctx) {
 }
 
 unsigned WordAbstraction::ruleCount() {
-  return rules().Count + GlobalPerWidthCount;
+  return rules().Count + GlobalPerWidthCount.load();
 }
 
 void WordAbstraction::addValRule(const Thm &Rule) {
@@ -1464,8 +1470,13 @@ std::optional<Thm> WordAbstraction::stmt(const TermRef &C) {
                           Head->name().rfind("l2:", 0) == 0)) {
     std::string Callee = Head->name().substr(3);
     bool SelfCall = Callee == CurFn;
-    auto It = Results.find(Callee);
-    if (!SelfCall && (It == Results.end() || !It->second.Abstracted)) {
+    bool CalleeAbstracted = SelfCall;
+    if (!SelfCall) {
+      std::shared_lock<std::shared_mutex> L(ResultsM);
+      auto It = Results.find(Callee);
+      CalleeAbstracted = It != Results.end() && It->second.Abstracted;
+    }
+    if (!CalleeAbstracted) {
       // Cross-boundary call (Sec 3.2's per-function selection): the
       // callee stays on machine words, so re-concretize the abstracted
       // argument values, call the concrete function, and abstract its
@@ -1660,6 +1671,7 @@ WAResult &WordAbstraction::abstractFunction(
     const std::vector<std::string> &ArgNames,
     const std::vector<TypeRef> &ArgTys, const WAOptions &Opts) {
   CurFn = FnName;
+  FreshCtr = 0; // Fresh names restart per function: schedule-independent.
   WAResult Res;
   Res.ArgNames = ArgNames;
   Res.ConcArgTys = ArgTys;
@@ -1697,9 +1709,10 @@ WAResult &WordAbstraction::abstractFunction(
         for (size_t I = ArgNames.size(); I-- > 0;)
           Def = lambdaFree(ArgNames[I], Res.AbsArgTys[I], Def);
         Res.Def = Def;
-        Ctx.FunDefs["wa:" + FnName] = Def;
+        Ctx.installDef("wa:" + FnName, Def);
       }
     }
   }
+  std::unique_lock<std::shared_mutex> L(ResultsM);
   return Results.emplace(FnName, std::move(Res)).first->second;
 }

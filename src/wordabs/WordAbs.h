@@ -37,6 +37,7 @@
 
 #include <optional>
 #include <set>
+#include <shared_mutex>
 
 namespace ac::wordabs {
 
@@ -115,11 +116,17 @@ private:
   bool isTrackedLeaf(const hol::TermRef &T) const;
 
   monad::InterpCtx &Ctx;
+  /// Guarded by ResultsM (same discipline as HeapAbstraction::Results).
+  mutable std::shared_mutex ResultsM;
   std::map<std::string, WAResult> Results;
   std::vector<hol::Thm> UserValRules;
-  std::set<std::string> Tracked; ///< concrete variable frees
-  std::string CurFn;
-  unsigned FreshCtr = 0;
+  /// Per-thread engine state (each worker abstracts one function at a
+  /// time); Tracked is scoped to the current function and CurFn/FreshCtr
+  /// are reset on abstractFunction entry, so the output is identical
+  /// under any schedule.
+  static thread_local std::set<std::string> Tracked; ///< concrete frees
+  static thread_local std::string CurFn;
+  static thread_local unsigned FreshCtr;
 
   std::string fresh(const std::string &H) {
     return H + "^" + std::to_string(FreshCtr++);

@@ -1,0 +1,476 @@
+//===- DifferentialTest.cpp - Randomized pipeline fuzzing -------*- C++ -*-===//
+//
+// Part of the autocorres-cpp project, under the BSD 2-Clause License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A seeded random C program generator feeding the full pipeline, with
+/// every function cross-checked differentially: the Simpl interpreter
+/// (ground truth) against the L1 monad, the L2 lifted function, and the
+/// most abstract (HL/WA) output on random initial states. Any divergence
+/// is a refinement bug — in the engines, the composition, or (since the
+/// parallel scheduler reuses this machinery) the concurrency rework.
+///
+/// Reproduction workflow: a failing seed prints a self-contained command
+///
+///   AC_DIFF_SEED=<seed> ./tests/test_differential
+///
+/// which re-runs exactly that program with its source dumped and extra
+/// trials per function.
+///
+//===----------------------------------------------------------------------===//
+
+#include "../common/TestUtil.h"
+
+#include "core/AutoCorres.h"
+#include "heapabs/LiftedGlobals.h"
+#include "wordabs/WordAbs.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+using namespace ac;
+using namespace ac::hol;
+using namespace ac::monad;
+using namespace ac::test;
+using namespace ac::wordabs;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Program generator
+//===----------------------------------------------------------------------===//
+
+/// Emits one random translation unit: straight-line arithmetic, branches,
+/// bounded loops, heap reads/writes on two struct types, and calls into
+/// previously generated functions — every construct the C subset
+/// supports and the guard machinery cares about.
+class DiffGen {
+public:
+  explicit DiffGen(uint64_t Seed) : R(Seed) {}
+
+  std::string run() {
+    OS << "struct node { struct node *next; unsigned val; int w; };\n";
+    OS << "struct box { unsigned a; unsigned b; };\n";
+    OS << "unsigned g_acc = 0;\n";
+    OS << "int g_sign = 0;\n";
+    unsigned NumFns = 2 + static_cast<unsigned>(R.below(4));
+    for (unsigned I = 0; I != NumFns; ++I)
+      emitFunction(I);
+    return OS.str();
+  }
+
+private:
+  Rng R;
+  std::ostringstream OS;
+  std::vector<std::string> UnsignedFns; ///< name(unsigned, unsigned)
+
+  unsigned pick(unsigned N) { return static_cast<unsigned>(R.below(N)); }
+
+  void emitFunction(unsigned Idx) {
+    switch (pick(6)) {
+    case 0:
+      emitArith(Idx);
+      break;
+    case 1:
+      emitSigned(Idx);
+      break;
+    case 2:
+      emitHeapNode(Idx);
+      break;
+    case 3:
+      emitHeapBox(Idx);
+      break;
+    case 4:
+      emitLoop(Idx);
+      break;
+    default:
+      if (!UnsignedFns.empty())
+        emitCaller(Idx);
+      else
+        emitArith(Idx);
+      break;
+    }
+  }
+
+  /// Straight-line unsigned arithmetic with branches.
+  void emitArith(unsigned Idx) {
+    std::string Name = "arith_" + std::to_string(Idx);
+    OS << "unsigned " << Name << "(unsigned a, unsigned b) {\n";
+    OS << "  unsigned acc = a;\n";
+    unsigned Stmts = 2 + pick(5);
+    for (unsigned I = 0; I != Stmts; ++I) {
+      switch (pick(6)) {
+      case 0:
+        OS << "  acc = acc + (b % " << (2 + pick(29)) << "u);\n";
+        break;
+      case 1:
+        OS << "  acc = acc * " << (1 + pick(5)) << "u;\n";
+        break;
+      case 2:
+        OS << "  if (acc > " << (10 + pick(500)) << "u) acc = acc / "
+           << (2 + pick(7)) << "u;\n";
+        break;
+      case 3:
+        OS << "  acc = acc ^ (b << " << pick(8) << ");\n";
+        break;
+      case 4:
+        OS << "  if (b < " << (1 + pick(100)) << "u) acc = acc - (acc % "
+           << (2 + pick(9)) << "u);\n";
+        break;
+      default:
+        OS << "  b = (b >> " << (1 + pick(4)) << ") + " << pick(10)
+           << "u;\n";
+        break;
+      }
+    }
+    OS << "  return acc;\n}\n";
+    UnsignedFns.push_back(Name);
+  }
+
+  /// Signed arithmetic: exercises sint abstraction and overflow guards.
+  void emitSigned(unsigned Idx) {
+    OS << "int sgn_" << Idx << "(int x, int y) {\n";
+    OS << "  int r = 0;\n";
+    unsigned Stmts = 2 + pick(3);
+    for (unsigned I = 0; I != Stmts; ++I) {
+      switch (pick(4)) {
+      case 0:
+        OS << "  if (x > y) r = r + " << (1 + pick(50))
+           << "; else r = r - " << (1 + pick(50)) << ";\n";
+        break;
+      case 1:
+        OS << "  if (x < " << (100 + pick(400)) << " && x > -"
+           << (100 + pick(400)) << ") r = r + x / " << (2 + pick(5))
+           << ";\n";
+        break;
+      case 2:
+        OS << "  if (y != 0) r = x % " << (3 + pick(11)) << ";\n";
+        break;
+      default:
+        OS << "  g_sign = r;\n";
+        break;
+      }
+    }
+    OS << "  return r;\n}\n";
+  }
+
+  /// Heap reads/writes on struct node behind a null check.
+  void emitHeapNode(unsigned Idx) {
+    OS << "unsigned node_" << Idx << "(struct node *p, unsigned v) {\n";
+    OS << "  if (p == NULL)\n    return 0u;\n";
+    unsigned Stmts = 2 + pick(4);
+    for (unsigned I = 0; I != Stmts; ++I) {
+      switch (pick(5)) {
+      case 0:
+        OS << "  p->val = p->val + (v % " << (2 + pick(30)) << "u);\n";
+        break;
+      case 1:
+        OS << "  if (p->val > " << (10 + pick(200)) << "u) p->w = "
+           << pick(64) << ";\n";
+        break;
+      case 2:
+        OS << "  if (p->next != NULL) p->next->val = v;\n";
+        break;
+      case 3:
+        OS << "  g_acc = g_acc + p->val;\n";
+        break;
+      default:
+        OS << "  v = v + p->val;\n";
+        break;
+      }
+    }
+    OS << "  return v + p->val;\n}\n";
+  }
+
+  /// Heap reads/writes on the second struct type.
+  void emitHeapBox(unsigned Idx) {
+    OS << "unsigned box_" << Idx << "(struct box *p) {\n";
+    OS << "  if (p == NULL)\n    return " << pick(16) << "u;\n";
+    unsigned Stmts = 1 + pick(4);
+    for (unsigned I = 0; I != Stmts; ++I) {
+      switch (pick(4)) {
+      case 0:
+        OS << "  p->a = p->a + p->b;\n";
+        break;
+      case 1:
+        OS << "  if (p->b > p->a) p->b = p->b - p->a;\n";
+        break;
+      case 2:
+        OS << "  p->b = p->b ^ " << (1 + pick(255)) << "u;\n";
+        break;
+      default:
+        OS << "  g_acc = p->a;\n";
+        break;
+      }
+    }
+    OS << "  return p->a + p->b;\n}\n";
+  }
+
+  /// Bounded while loop (always terminates within fuel).
+  void emitLoop(unsigned Idx) {
+    std::string Name = "loop_" + std::to_string(Idx);
+    OS << "unsigned " << Name << "(unsigned a, unsigned b) {\n";
+    OS << "  unsigned i = 0;\n";
+    OS << "  unsigned acc = b % " << (5 + pick(20)) << "u;\n";
+    OS << "  while (i < (a % " << (3 + pick(12)) << "u)) {\n";
+    switch (pick(3)) {
+    case 0:
+      OS << "    acc = acc + i;\n";
+      break;
+    case 1:
+      OS << "    acc = acc * 2u + 1u;\n";
+      break;
+    default:
+      OS << "    if (acc > " << (20 + pick(100)) << "u) acc = acc - "
+         << (1 + pick(20)) << "u;\n";
+      break;
+    }
+    OS << "    i = i + 1u;\n";
+    OS << "  }\n";
+    OS << "  return acc;\n}\n";
+    UnsignedFns.push_back(Name);
+  }
+
+  /// Calls previously generated unsigned functions.
+  void emitCaller(unsigned Idx) {
+    OS << "unsigned call_" << Idx << "(unsigned x, unsigned y) {\n";
+    OS << "  unsigned r = 0;\n";
+    unsigned Calls = 1 + pick(2);
+    for (unsigned I = 0; I != Calls; ++I) {
+      const std::string &Callee =
+          UnsignedFns[pick(static_cast<unsigned>(UnsignedFns.size()))];
+      OS << "  r = r + " << Callee << "(x % " << (3 + pick(17))
+         << "u, y % " << (5 + pick(50)) << "u);\n";
+    }
+    OS << "  return r;\n}\n";
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Differential checks
+//===----------------------------------------------------------------------===//
+
+/// The rx image of a concrete runtime value (mirrors Sec 3.3's rx).
+Value rxValue(const Value &V, const TypeRef &CTy) {
+  switch (kindOf(CTy)) {
+  case AbsKind::Nat:
+    return Value::num(V.N, natTy()); // unsigned words are non-negative
+  case AbsKind::Int:
+    return Value::num(V.N, intTy()); // stored sign-extended
+  case AbsKind::Pair:
+    return Value::pair(rxValue(V.PairV->first, CTy->arg(0)),
+                       rxValue(V.PairV->second, CTy->arg(1)));
+  case AbsKind::Id:
+    return V;
+  }
+  return V;
+}
+
+/// Observational equality of lifted states (same probing discipline as
+/// the HL test suite): split heaps compared at world objects plus a few
+/// invalid addresses, plain globals directly.
+bool liftedEq(const Value &A, const Value &B,
+              const heapabs::LiftedGlobals &LG, const TestWorld &W) {
+  for (const TypeRef &T : LG.HeapTypes) {
+    std::vector<uint32_t> Probes = {0, 2, 0xfffffffc};
+    // Probe every known object of every type (cross-type aliasing).
+    for (const auto &[Name, Addrs] : W.Objects) {
+      (void)Name;
+      Probes.insert(Probes.end(), Addrs.begin(), Addrs.end());
+    }
+    const Value &VA = A.Rec->at(heapabs::validFieldFor(T));
+    const Value &VB = B.Rec->at(heapabs::validFieldFor(T));
+    const Value &HA = A.Rec->at(heapabs::heapFieldFor(T));
+    const Value &HB = B.Rec->at(heapabs::heapFieldFor(T));
+    for (uint32_t P : Probes) {
+      Value PV = Value::ptr(P, typeStr(T));
+      Value ValidA = VA.Fun(PV);
+      Value ValidB = VB.Fun(PV);
+      if (ValidA.B != ValidB.B)
+        return false;
+      if (ValidA.B && !Value::equal(HA.Fun(PV), HB.Fun(PV)))
+        return false;
+    }
+  }
+  for (const auto &[Name, Ty] : LG.PlainGlobals) {
+    (void)Ty;
+    if (!Value::equal(A.Rec->at(Name), B.Rec->at(Name)))
+      return false;
+  }
+  return true;
+}
+
+/// Simpl ground truth vs the most abstract (finalKey) monadic output.
+/// Composed semantics: if the abstract run does not fail, the concrete
+/// execution must not fault and its observations must abstract to the
+/// abstract run's (rx on the return value, lift_global_heap on state).
+Diff checkFinalOnce(core::AutoCorres &AC, const std::string &Fn, Rng &R) {
+  const simpl::SimplProgram &Prog = AC.program();
+  const simpl::SimplFunc *F = Prog.function(Fn);
+  const core::FuncOutput *Out = AC.func(Fn);
+  InterpCtx &Ctx = AC.ctx();
+
+  TestWorld W = buildWorld(Prog, Ctx, R);
+  std::vector<Value> Args, AbsArgs;
+  for (const auto &[Name, Ty] : F->Params) {
+    (void)Name;
+    Value V = randomValue(Ty, W, R, Ctx);
+    AbsArgs.push_back(Out->WordAbstracted ? rxValue(V, Ty) : V);
+    Args.push_back(std::move(V));
+  }
+  Value Globals = randomGlobals(Prog, W, R, Ctx);
+
+  Ctx.reset();
+  SimplOutcome SO = runSimplFunction(*F, Args, Globals, Ctx);
+  if (SO.K == SimplOutcome::Kind::Stuck)
+    return Diff::Skip;
+
+  Value State =
+      Out->HeapLifted ? Ctx.LiftGlobalHeap(Globals, Ctx) : Globals;
+  Ctx.reset();
+  Value Fun = evalClosed(Ctx.FunDefs.at(Out->finalKey()), Ctx);
+  for (const Value &A : AbsArgs)
+    Fun = Fun.Fun(A);
+  MonadResult AR = runMonad(Fun, State, Ctx);
+  if (Ctx.OutOfFuel)
+    return Diff::Skip;
+
+  // The abstract program may fail more often than SIMPL (heap and
+  // overflow guards); a failing abstract run makes the refinement
+  // statement vacuous.
+  if (AR.Failed)
+    return Diff::Ok;
+  if (SO.K == SimplOutcome::Kind::Fault)
+    return Diff::Mismatch; // abstract succeeded; concrete must too
+  if (AR.Results.size() != 1 || AR.Results[0].IsExn)
+    return Diff::Mismatch;
+  const MonadResult::Res &ARes = AR.Results[0];
+
+  // Return value: the abstract result is the rx image of the concrete.
+  if (F->RetTy) {
+    Value CRet = SO.State.Rec->at(simpl::retVarName());
+    Value Want = Out->WordAbstracted ? rxValue(CRet, F->RetTy) : CRet;
+    if (!Value::equal(Want, ARes.V))
+      return Diff::Mismatch;
+  }
+
+  // Final state: abstract against the lifted image of the concrete one.
+  Value CGlobals = SO.State.Rec->at("globals");
+  if (Out->HeapLifted) {
+    Value LiftedFinal = Ctx.LiftGlobalHeap(CGlobals, Ctx);
+    if (!liftedEq(LiftedFinal, ARes.State, AC.lifted(), W))
+      return Diff::Mismatch;
+  } else if (!Value::equal(ARes.State, CGlobals)) {
+    return Diff::Mismatch;
+  }
+  return Diff::Ok;
+}
+
+//===----------------------------------------------------------------------===//
+// Harness
+//===----------------------------------------------------------------------===//
+
+struct Tally {
+  unsigned Ok = 0;
+  unsigned Skip = 0;
+  std::vector<std::string> Failures;
+};
+
+void count(Diff D, const std::string &What, uint64_t Seed, Tally &T) {
+  switch (D) {
+  case Diff::Ok:
+    ++T.Ok;
+    break;
+  case Diff::Skip:
+    ++T.Skip;
+    break;
+  case Diff::Mismatch:
+    T.Failures.push_back(
+        What + " diverged\nreproduce with: AC_DIFF_SEED=" +
+        std::to_string(Seed) + " ./tests/test_differential");
+    break;
+  }
+}
+
+/// Pipes one seeded program through the pipeline and checks every
+/// function at every level. \p Verbose dumps source and per-function
+/// detail (used by the AC_DIFF_SEED reproduction mode).
+void checkProgram(uint64_t Seed, unsigned TrialsPerFn, Tally &T,
+                  bool Verbose = false) {
+  std::string Src = DiffGen(Seed).run();
+  if (Verbose)
+    std::fprintf(stderr, "=== seed %llu ===\n%s\n",
+                 static_cast<unsigned long long>(Seed), Src.c_str());
+
+  DiagEngine Diags;
+  auto AC = core::AutoCorres::run(Src, Diags);
+  if (!AC) {
+    T.Failures.push_back("pipeline failed (seed " + std::to_string(Seed) +
+                         "):\n" + Diags.str() + "\nsource:\n" + Src);
+    return;
+  }
+
+  for (const std::string &Fn : AC->order()) {
+    if (Verbose) {
+      const core::FuncOutput *O = AC->func(Fn);
+      std::fprintf(stderr, "  %s -> %s  ret=%s\n%s\n", Fn.c_str(),
+                   O->finalKey().c_str(),
+                   O->FinalRetTy ? typeStr(O->FinalRetTy).c_str() : "void",
+                   AC->render(Fn).c_str());
+    }
+    for (unsigned I = 0; I != TrialsPerFn; ++I) {
+      uint64_t TrialSeed = Seed * 1000003 + I * 7919;
+      {
+        Rng R(TrialSeed);
+        count(checkL1Once(AC->program(), Fn, AC->ctx(), R),
+              "L1 vs Simpl [" + Fn + "]", Seed, T);
+      }
+      {
+        Rng R(TrialSeed ^ 0x5bd1e995);
+        count(checkL2Once(AC->program(), Fn, AC->ctx(), R),
+              "L2 vs Simpl [" + Fn + "]", Seed, T);
+      }
+      {
+        Rng R(TrialSeed ^ 0xc2b2ae35);
+        count(checkFinalOnce(*AC, Fn, R),
+              AC->func(Fn)->finalKey() + " vs Simpl [" + Fn + "]", Seed,
+              T);
+      }
+    }
+  }
+}
+
+void reportFailures(const Tally &T) {
+  for (const std::string &F : T.Failures)
+    ADD_FAILURE() << F;
+}
+
+} // namespace
+
+TEST(Differential, RandomProgramSweep) {
+  // AC_DIFF_SEED replays a single failing seed with its source dumped.
+  if (const char *E = std::getenv("AC_DIFF_SEED")) {
+    uint64_t Seed = std::strtoull(E, nullptr, 10);
+    Tally T;
+    checkProgram(Seed, /*TrialsPerFn=*/12, T, /*Verbose=*/true);
+    reportFailures(T);
+    EXPECT_GT(T.Ok, 0u) << "all trials inconclusive for seed " << Seed;
+    return;
+  }
+
+  constexpr unsigned Programs = 220;
+  constexpr uint64_t BaseSeed = 0xd1ff0001;
+  Tally T;
+  for (unsigned P = 0; P != Programs; ++P)
+    checkProgram(BaseSeed + P, /*TrialsPerFn=*/4, T);
+  reportFailures(T);
+  // The sweep must be conclusive, not vacuously green: most trials run
+  // three checks per function, so Ok counts should dwarf program count.
+  EXPECT_GT(T.Ok, Programs * 3) << "sweep mostly inconclusive: Ok="
+                                << T.Ok << " Skip=" << T.Skip;
+}

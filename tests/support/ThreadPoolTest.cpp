@@ -1,0 +1,178 @@
+//===- ThreadPoolTest.cpp - Worker pool and task graphs ---------*- C++ -*-===//
+//
+// Part of the autocorres-cpp project, under the BSD 2-Clause License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests the thread pool under the parallel abstraction pipeline:
+/// lifecycle, result/exception propagation through submit() futures, and
+/// dependency-ordered completion of runTaskGraph() — including the
+/// diamond shape and skip-propagation past a failed task.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <stdexcept>
+#include <thread>
+
+using namespace ac::support;
+
+TEST(ThreadPool, SpawnsRequestedWorkers) {
+  ThreadPool Pool(3);
+  EXPECT_EQ(Pool.jobs(), 3u);
+}
+
+TEST(ThreadPool, DrainsQueueOnDestruction) {
+  std::atomic<int> Ran{0};
+  {
+    ThreadPool Pool(2);
+    for (int I = 0; I != 50; ++I)
+      Pool.post([&Ran] { ++Ran; });
+  } // destructor joins after the queue drains
+  EXPECT_EQ(Ran.load(), 50);
+}
+
+TEST(ThreadPool, SubmitReturnsResult) {
+  ThreadPool Pool(2);
+  std::future<int> F = Pool.submit([] { return 6 * 7; });
+  EXPECT_EQ(F.get(), 42);
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptionToCaller) {
+  ThreadPool Pool(2);
+  std::future<int> F = Pool.submit(
+      []() -> int { throw std::runtime_error("worker blew up"); });
+  try {
+    F.get();
+    FAIL() << "expected the worker's exception";
+  } catch (const std::runtime_error &E) {
+    EXPECT_STREQ(E.what(), "worker blew up");
+  }
+}
+
+TEST(ThreadPool, ManyConcurrentSubmits) {
+  ThreadPool Pool(4);
+  std::vector<std::future<int>> Futs;
+  for (int I = 0; I != 100; ++I)
+    Futs.push_back(Pool.submit([I] { return I * I; }));
+  for (int I = 0; I != 100; ++I)
+    EXPECT_EQ(Futs[I].get(), I * I);
+}
+
+//===----------------------------------------------------------------------===//
+// runTaskGraph
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Records completion order with a lock-free append.
+struct OrderLog {
+  std::vector<unsigned> Seen = std::vector<unsigned>(64);
+  std::atomic<unsigned> N{0};
+
+  void done(unsigned I) { Seen[N.fetch_add(1)] = I; }
+  /// Position of task \p I in the completion order.
+  size_t posOf(unsigned I) const {
+    for (size_t P = 0; P != N.load(); ++P)
+      if (Seen[P] == I)
+        return P;
+    return ~size_t(0);
+  }
+};
+
+} // namespace
+
+TEST(TaskGraph, DiamondRespectsDependencies) {
+  // 0 -> {1, 2} -> 3: the two middle tasks need 0, the join needs both.
+  ThreadPool Pool(4);
+  OrderLog Log;
+  std::vector<std::function<void()>> Tasks;
+  for (unsigned I = 0; I != 4; ++I)
+    Tasks.push_back([&Log, I] {
+      // Give dependency violations a chance to manifest as reordering.
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      Log.done(I);
+    });
+  std::vector<std::vector<unsigned>> Deps = {{}, {0}, {0}, {1, 2}};
+  runTaskGraph(Pool, Tasks, Deps);
+
+  ASSERT_EQ(Log.N.load(), 4u);
+  EXPECT_LT(Log.posOf(0), Log.posOf(1));
+  EXPECT_LT(Log.posOf(0), Log.posOf(2));
+  EXPECT_LT(Log.posOf(1), Log.posOf(3));
+  EXPECT_LT(Log.posOf(2), Log.posOf(3));
+}
+
+TEST(TaskGraph, ChainRunsInOrderOnWidePool) {
+  ThreadPool Pool(8);
+  OrderLog Log;
+  std::vector<std::function<void()>> Tasks;
+  std::vector<std::vector<unsigned>> Deps;
+  for (unsigned I = 0; I != 16; ++I) {
+    Tasks.push_back([&Log, I] { Log.done(I); });
+    Deps.push_back(I == 0 ? std::vector<unsigned>{}
+                          : std::vector<unsigned>{I - 1});
+  }
+  runTaskGraph(Pool, Tasks, Deps);
+  ASSERT_EQ(Log.N.load(), 16u);
+  for (unsigned I = 0; I + 1 != 16; ++I)
+    EXPECT_LT(Log.posOf(I), Log.posOf(I + 1));
+}
+
+TEST(TaskGraph, FailureSkipsDependentsAndRethrows) {
+  // 0 fails; 1 and 2 depend on it (transitively) and must not run; the
+  // independent task 3 still runs.
+  ThreadPool Pool(2);
+  std::atomic<int> Ran{0};
+  std::atomic<bool> SkippedRan{false};
+  std::vector<std::function<void()>> Tasks = {
+      [] { throw std::runtime_error("phase failed"); },
+      [&SkippedRan] { SkippedRan = true; },
+      [&SkippedRan] { SkippedRan = true; },
+      [&Ran] { ++Ran; },
+  };
+  std::vector<std::vector<unsigned>> Deps = {{}, {0}, {1}, {}};
+  try {
+    runTaskGraph(Pool, Tasks, Deps);
+    FAIL() << "expected the failed task's exception";
+  } catch (const std::runtime_error &E) {
+    EXPECT_STREQ(E.what(), "phase failed");
+  }
+  EXPECT_FALSE(SkippedRan.load());
+  EXPECT_EQ(Ran.load(), 1);
+}
+
+TEST(TaskGraph, LowestIndexFailureWins) {
+  // Several tasks fail under contention; the reported error must be the
+  // lowest-index one regardless of schedule.
+  for (int Round = 0; Round != 10; ++Round) {
+    ThreadPool Pool(4);
+    std::vector<std::function<void()>> Tasks;
+    std::vector<std::vector<unsigned>> Deps;
+    for (unsigned I = 0; I != 8; ++I) {
+      Tasks.push_back([I] {
+        if (I % 2 == 1)
+          throw std::runtime_error("fail:" + std::to_string(I));
+      });
+      Deps.push_back({});
+    }
+    try {
+      runTaskGraph(Pool, Tasks, Deps);
+      FAIL() << "expected an exception";
+    } catch (const std::runtime_error &E) {
+      EXPECT_STREQ(E.what(), "fail:1");
+    }
+  }
+}
+
+TEST(TaskGraph, EmptyGraphIsANoOp) {
+  ThreadPool Pool(2);
+  runTaskGraph(Pool, {}, {});
+}
