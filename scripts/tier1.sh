@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 #===- scripts/tier1.sh - Tier-1 verification ------------------------------===#
 #
-# The repo's tier-1 gate, in two passes:
+# The repo's tier-1 gate, in three passes:
 #
 #   1. Normal build + full ctest suite (ROADMAP.md's tier-1 command).
 #   2. ThreadSanitizer build (-DAC_SANITIZE=thread) of the concurrency
@@ -10,6 +10,10 @@
 #      test runs on the smallest corpus (AC_DET_CORPUS=echronos) to keep
 #      the TSan pass within budget; AC_JOBS=4 forces the parallel
 #      scheduler even on single-CPU machines.
+#   3. Abstraction-cache round trip: the golden suite (ctest -L golden)
+#      runs twice against one fresh cache directory. The second run must
+#      report cache hits and still match every checked-in fixture —
+#      i.e. warm replay is byte-identical to a cold run.
 #
 # Usage: scripts/tier1.sh [--skip-tsan]
 #
@@ -22,26 +26,51 @@ SKIP_TSAN=0
 [[ "${1:-}" == "--skip-tsan" ]] && SKIP_TSAN=1
 
 echo "=== tier-1 pass 1: normal build + ctest ==="
-cmake -B build -S . >/dev/null
+if ! cmake -B build -S . >/dev/null; then
+  echo "tier-1: FAILED — cmake configure failed." >&2
+  echo "tier-1: fix the configure error above (or delete build/ if its" >&2
+  echo "tier-1: CMakeCache.txt is stale) and re-run scripts/tier1.sh." >&2
+  exit 1
+fi
 cmake --build build -j >/dev/null
 (cd build && ctest --output-on-failure -j)
 
 if [[ "$SKIP_TSAN" == 1 ]]; then
   echo "=== tier-1 pass 2: skipped (--skip-tsan) ==="
-  exit 0
+else
+  echo "=== tier-1 pass 2: ThreadSanitizer (parallel pipeline) ==="
+  if ! cmake -B build-tsan -S . -DAC_SANITIZE=thread >/dev/null; then
+    echo "tier-1: FAILED — TSan cmake configure failed (see above)." >&2
+    exit 1
+  fi
+  cmake --build build-tsan -j \
+    --target test_core test_threadpool test_parallel_determinism >/dev/null
+  (
+    cd build-tsan
+    export TSAN_OPTIONS="suppressions=$(cd .. && pwd)/scripts/tsan.supp"
+    export AC_JOBS=4
+    export AC_DET_CORPUS=echronos
+    ./tests/test_threadpool
+    ./tests/test_core
+    ./tests/test_parallel_determinism
+  )
 fi
 
-echo "=== tier-1 pass 2: ThreadSanitizer (parallel pipeline) ==="
-cmake -B build-tsan -S . -DAC_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j \
-  --target test_core test_threadpool test_parallel_determinism >/dev/null
-(
-  cd build-tsan
-  export TSAN_OPTIONS="suppressions=$(cd .. && pwd)/scripts/tsan.supp"
-  export AC_JOBS=4
-  export AC_DET_CORPUS=echronos
-  ./tests/test_threadpool
-  ./tests/test_core
-  ./tests/test_parallel_determinism
-)
+echo "=== tier-1 pass 3: abstraction-cache round trip ==="
+CACHE_DIR="$(mktemp -d)"
+trap 'rm -rf "$CACHE_DIR"' EXIT
+# Cold run populates the cache; the fixtures must already match.
+(cd build && AC_CACHE_DIR="$CACHE_DIR" ctest -L golden --output-on-failure)
+# Warm run: same fixtures byte-for-byte, and the [cache] stdout lines
+# must report at least one hit (proving the entries were actually used).
+WARM_LOG="$(cd build && AC_CACHE_DIR="$CACHE_DIR" ctest -L golden \
+  --output-on-failure --verbose)"
+if ! grep -q '\[cache\] hits=[1-9]' <<<"$WARM_LOG"; then
+  echo "tier-1: FAILED — warm golden run reported no cache hits:" >&2
+  grep '\[cache\]' <<<"$WARM_LOG" >&2 || true
+  exit 1
+fi
+echo "warm cache hits confirmed:"
+grep '\[cache\]' <<<"$WARM_LOG" | sort | uniq -c
+
 echo "=== tier-1: all passes green ==="

@@ -50,6 +50,13 @@ struct ACOptions {
   /// environment variable (1 when unset). Output is bit-identical at
   /// every job count; see core/CallGraph.h.
   unsigned Jobs = 0;
+  /// Directory of the content-addressed abstraction cache
+  /// (core/ResultCache.h). Empty falls back to $AC_CACHE_DIR (and
+  /// AC_CACHE=1 enables ".ac-cache"); AC_CACHE=0 force-disables. When
+  /// enabled, functions whose pipeline inputs are unchanged skip the
+  /// whole abstraction chain and replay their cached rendered output,
+  /// which is bit-identical to a cold run at any Jobs count.
+  std::string CacheDir;
 };
 
 /// Everything produced for one function.
@@ -66,18 +73,41 @@ struct FuncOutput {
   bool HeapLifted = false;
   bool WordAbstracted = false;
 
-  /// The most abstract body (WA > HL > L2).
+  /// The most abstract body (WA > HL > L2); null on a cache hit.
   const hol::TermRef &finalBody() const {
     return WABody ? WABody : (HLBody ? HLBody : L2Body);
   }
-  /// FunDefs key of the most abstract definition.
+  /// FunDefs key of the most abstract definition. Driven by the flags
+  /// (not the term fields) so it also holds for cache-replayed outputs.
   std::string finalKey() const {
-    return (WABody ? "wa:" : (HLBody ? "hl:" : "l2:")) + Name;
+    return (WordAbstracted ? "wa:" : (HeapLifted ? "hl:" : "l2:")) + Name;
   }
 
   hol::Thm L1Corres, L2Corres, HLCorres, WACorres;
   /// ac_corres <final> SIMPL[f], composed through AC.compose.
   hol::Thm Pipeline;
+
+  /// True when this output was replayed from the abstraction cache: the
+  /// rendered artefacts below are authoritative and the term/theorem
+  /// fields above are null (a cache hit serves rendering and statistics;
+  /// re-run with the cache disabled to inspect live terms).
+  bool FromCache = false;
+  std::string CachedRender;
+  std::string CachedL1, CachedL2, CachedHL, CachedWA;
+  std::string CachedPipeline;
+  unsigned CachedSpecLines = 0;
+  unsigned CachedTermSize = 0;
+
+  /// Rendered per-phase specs and composed-theorem proposition; computed
+  /// from the live terms, or replayed verbatim on a cache hit.
+  std::string l1Spec() const;
+  std::string l2Spec() const;
+  std::string hlSpec() const; ///< empty if not heap-lifted
+  std::string waSpec() const; ///< empty if not word-abstracted
+  std::string pipelineProp() const;
+  /// Table 5 contributions of the final body.
+  unsigned finalSpecLines() const;
+  unsigned finalTermSize() const;
 };
 
 /// Table 5 statistics for one run.
@@ -97,6 +127,14 @@ struct ACStats {
   unsigned ACSpecLines = 0;
   unsigned ParserTermSizeTotal = 0;
   unsigned ACTermSizeTotal = 0;
+  /// Abstraction-cache accounting (all zero when the cache is disabled).
+  bool CacheEnabled = false;
+  unsigned CacheHits = 0;
+  /// Misses split into first sights and invalidations: a miss for a
+  /// function the cache already knows under a different key means its
+  /// inputs (or a transitive callee's) changed.
+  unsigned CacheMisses = 0;
+  unsigned CacheInvalidations = 0;
 
   double parserAvgTermSize() const {
     return NumFunctions ? double(ParserTermSizeTotal) / NumFunctions : 0;

@@ -1,0 +1,283 @@
+//===- ResultCache.cpp ----------------------------------------------------===//
+
+#include "core/ResultCache.h"
+
+#include "core/CallGraph.h"
+#include "simpl/PrintSimpl.h"
+#include "support/Fingerprint.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+using namespace ac;
+using namespace ac::core;
+using support::Fingerprint;
+
+//===----------------------------------------------------------------------===//
+// Directory resolution
+//===----------------------------------------------------------------------===//
+
+std::string ResultCache::resolveDir(const std::string &OptDir) {
+  const char *Toggle = std::getenv("AC_CACHE");
+  if (Toggle && std::string(Toggle) == "0")
+    return "";
+  if (!OptDir.empty())
+    return OptDir;
+  const char *EnvDir = std::getenv("AC_CACHE_DIR");
+  if (EnvDir && *EnvDir)
+    return EnvDir;
+  if (Toggle && std::string(Toggle) == "1")
+    return ".ac-cache";
+  return "";
+}
+
+//===----------------------------------------------------------------------===//
+// Load / save. Versioned text with length-prefixed blobs; any structural
+// surprise stops the parse silently (entries read so far are kept, the
+// rest are misses).
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::string cacheFile(const std::string &Dir) {
+  return Dir + "/accache-v" + std::to_string(ResultCache::FormatVersion) +
+         ".txt";
+}
+
+/// Reads "blob <len>\n<raw bytes>\n"; false on any mismatch.
+bool readBlob(std::istream &In, std::string &Out) {
+  std::string Tag;
+  size_t Len;
+  if (!(In >> Tag >> Len) || Tag != "blob")
+    return false;
+  if (In.get() != '\n')
+    return false;
+  Out.resize(Len);
+  if (Len && !In.read(Out.data(), static_cast<std::streamsize>(Len)))
+    return false;
+  return In.get() == '\n';
+}
+
+void writeBlob(std::ostream &Out, const std::string &S) {
+  Out << "blob " << S.size() << "\n" << S << "\n";
+}
+
+bool readEntry(std::istream &In, CachedFunc &E) {
+  std::string Tag, Hex;
+  if (!(In >> Tag >> Hex) || Tag != "entry" ||
+      !Fingerprint::parseHex(Hex, E.Key))
+    return false;
+  if (!(In >> Tag >> E.Name) || Tag != "name")
+    return false;
+  int HL, WAE, WA;
+  if (!(In >> Tag >> HL >> WAE >> WA) || Tag != "flags")
+    return false;
+  E.HeapLifted = HL != 0;
+  E.WAEngineAbstracted = WAE != 0;
+  E.WordAbstracted = WA != 0;
+  size_t N;
+  if (!(In >> Tag >> N) || Tag != "args" || N > 4096)
+    return false;
+  E.ArgNames.resize(N);
+  for (std::string &A : E.ArgNames)
+    if (!(In >> A))
+      return false;
+  if (!(In >> Tag >> E.SpecLines >> E.TermSize) || Tag != "stat")
+    return false;
+  if (!(In >> Tag >> N) || Tag != "notes" || N > 4096)
+    return false;
+  if (In.get() != '\n')
+    return false;
+  E.Notes.resize(N);
+  for (std::string &Note : E.Notes)
+    if (!readBlob(In, Note))
+      return false;
+  for (std::string *S : {&E.Render, &E.L1Spec, &E.L2Spec, &E.HLSpec,
+                         &E.WASpec, &E.PipelineProp})
+    if (!readBlob(In, *S))
+      return false;
+  if (!(In >> Tag) || Tag != "end")
+    return false;
+  return true;
+}
+
+void writeEntry(std::ostream &Out, const CachedFunc &E) {
+  Out << "entry " << Fingerprint::hex(E.Key) << "\n";
+  Out << "name " << E.Name << "\n";
+  Out << "flags " << (E.HeapLifted ? 1 : 0) << " "
+      << (E.WAEngineAbstracted ? 1 : 0) << " "
+      << (E.WordAbstracted ? 1 : 0) << "\n";
+  Out << "args " << E.ArgNames.size();
+  for (const std::string &A : E.ArgNames)
+    Out << " " << A;
+  Out << "\n";
+  Out << "stat " << E.SpecLines << " " << E.TermSize << "\n";
+  Out << "notes " << E.Notes.size() << "\n";
+  for (const std::string &Note : E.Notes)
+    writeBlob(Out, Note);
+  for (const std::string *S : {&E.Render, &E.L1Spec, &E.L2Spec, &E.HLSpec,
+                               &E.WASpec, &E.PipelineProp})
+    writeBlob(Out, *S);
+  Out << "end\n";
+}
+
+} // namespace
+
+ResultCache::ResultCache(std::string D) : Dir(std::move(D)) { load(); }
+
+void ResultCache::load() {
+  std::ifstream In(cacheFile(Dir), std::ios::binary);
+  if (!In)
+    return;
+  std::string Magic;
+  unsigned Version;
+  if (!(In >> Magic >> Version) || Magic != "ACCACHE" ||
+      Version != FormatVersion)
+    return; // stale or foreign file: every lookup misses
+  CachedFunc E;
+  while (readEntry(In, E)) {
+    KnownNames[E.Name] = E.Key;
+    Entries[E.Key] = std::move(E);
+    E = CachedFunc();
+  }
+}
+
+const CachedFunc *ResultCache::lookup(uint64_t Key) const {
+  auto It = Entries.find(Key);
+  return It == Entries.end() ? nullptr : &It->second;
+}
+
+bool ResultCache::knowsFunction(const std::string &Name) const {
+  return KnownNames.count(Name) != 0;
+}
+
+void ResultCache::insert(CachedFunc E) {
+  std::lock_guard<std::mutex> L(M);
+  auto It = KnownNames.find(E.Name);
+  if (It != KnownNames.end() && It->second != E.Key)
+    Entries.erase(It->second); // superseded: the inputs changed
+  KnownNames[E.Name] = E.Key;
+  Entries[E.Key] = std::move(E);
+}
+
+bool ResultCache::save() const {
+  std::error_code EC;
+  std::filesystem::create_directories(Dir, EC); // best-effort
+  // The temp name only needs to dodge concurrent savers of *other*
+  // processes; hashing the entry set keeps it deterministic per content.
+  Fingerprint NameFP;
+  for (const auto &[Key, E] : Entries)
+    NameFP.u64(Key);
+  std::string Tmp = cacheFile(Dir) + ".tmp." + Fingerprint::hex(NameFP.digest());
+  {
+    std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
+    if (!Out)
+      return false;
+    Out << "ACCACHE " << FormatVersion << "\n";
+    for (const auto &[Key, E] : Entries)
+      writeEntry(Out, E);
+    if (!Out)
+      return false;
+  }
+  if (std::rename(Tmp.c_str(), cacheFile(Dir).c_str()) != 0) {
+    std::remove(Tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Fingerprinting
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::string typeName(const hol::TypeRef &T) {
+  return T ? hol::typeStr(T) : "<void>";
+}
+
+/// Everything program-wide that shapes rendered output beyond a single
+/// function's own body: record layouts (globals, structs, lifted_globals)
+/// and the heap-type list that drives the split-heap field generation.
+/// Per-function `<f>_state` records are hashed with their function.
+uint64_t programSalt(const simpl::SimplProgram &Prog) {
+  Fingerprint FP;
+  FP.u32(ResultCache::FormatVersion);
+  for (const auto &[Name, RI] : Prog.Records.all()) {
+    if (Name.size() > 6 && Name.rfind("_state") == Name.size() - 6)
+      continue;
+    FP.str(Name);
+    FP.u64(RI.Fields.size());
+    for (const auto &[FName, FTy] : RI.Fields) {
+      FP.str(FName);
+      FP.str(typeName(FTy));
+    }
+  }
+  FP.u64(Prog.HeapTypes.size());
+  for (const hol::TypeRef &T : Prog.HeapTypes)
+    FP.str(typeName(T));
+  return FP.digest();
+}
+
+/// One function's own contribution: signature, locals (they shape the
+/// Simpl state record), options, and the rendered Simpl body.
+void hashFunction(Fingerprint &FP, const simpl::SimplFunc &F,
+                  bool NoHL, bool NoWA) {
+  FP.str(F.Name);
+  FP.boolean(NoHL);
+  FP.boolean(NoWA);
+  FP.boolean(F.IsRecursive);
+  FP.u64(F.Params.size());
+  for (const auto &[Name, Ty] : F.Params) {
+    FP.str(Name);
+    FP.str(typeName(Ty));
+  }
+  FP.u64(F.Locals.size());
+  for (const auto &[Name, Ty] : F.Locals) {
+    FP.str(Name);
+    FP.str(typeName(Ty));
+  }
+  FP.str(typeName(F.RetTy));
+  FP.str(simpl::printSimplFunc(F));
+}
+
+} // namespace
+
+std::map<std::string, uint64_t>
+core::computeFunctionKeys(const simpl::SimplProgram &Prog,
+                          const std::set<std::string> &NoHeapAbs,
+                          const std::set<std::string> &NoWordAbs) {
+  uint64_t Salt = programSalt(Prog);
+  CallGraphSchedule Sched = buildCallGraphSchedule(Prog);
+
+  std::map<std::string, size_t> SCCOf;
+  for (size_t I = 0; I != Sched.SCCs.size(); ++I)
+    for (const std::string &Name : Sched.SCCs[I])
+      SCCOf.emplace(Name, I);
+
+  std::map<std::string, uint64_t> Keys;
+  // Callee-first topological order: external callee keys always exist.
+  for (size_t I = 0; I != Sched.SCCs.size(); ++I) {
+    Fingerprint FP(Salt);
+    for (const std::string &Name : Sched.SCCs[I]) {
+      const simpl::SimplFunc *F = Prog.function(Name);
+      hashFunction(FP, *F, NoHeapAbs.count(Name) != 0,
+                   NoWordAbs.count(Name) != 0);
+      for (const std::string &Callee : calleesOf(Prog, *F)) {
+        if (SCCOf.at(Callee) == I)
+          continue; // intra-SCC: the member bodies above cover it
+        FP.str(Callee);
+        FP.u64(Keys.at(Callee));
+      }
+    }
+    uint64_t SCCKey = FP.digest();
+    for (const std::string &Name : Sched.SCCs[I]) {
+      Fingerprint MF(SCCKey);
+      MF.str(Name);
+      Keys[Name] = MF.digest();
+    }
+  }
+  return Keys;
+}

@@ -1,0 +1,131 @@
+//===- ResultCache.h - On-disk abstraction cache ----------------*- C++ -*-===//
+//
+// Part of the autocorres-cpp project, under the BSD 2-Clause License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A content-addressed, on-disk cache of per-function pipeline results.
+/// In an interactive verification workflow only a handful of functions
+/// change between runs, so the driver fingerprints every function's
+/// pipeline *inputs* — its Simpl body and signature, the per-function
+/// options that affect output, and (transitively) its callees'
+/// fingerprints, so invalidation flows up the call graph — and skips the
+/// whole L1 -> L2 -> HL -> WA chain for functions whose fingerprint has a
+/// cached entry. Cached output is bit-identical to a cold run at any job
+/// count; the golden-spec snapshot suite and the cache-equivalence test
+/// are the enforcing oracles.
+///
+/// The cache file is a versioned, length-prefixed text format under the
+/// cache directory. Corrupt, truncated, or version-mismatched content is
+/// silently treated as a miss — the cache can always be deleted.
+/// What a cached entry stores is the *rendered* artefacts (final spec,
+/// per-phase specs, composed-theorem proposition, diagnostics) plus the
+/// result signature callers need (heap-lifted / word-abstracted flags);
+/// the in-memory term and theorem objects are not reconstructed, so a
+/// cache-hit FuncOutput serves rendering and statistics, not further
+/// term-level processing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AC_CORE_RESULTCACHE_H
+#define AC_CORE_RESULTCACHE_H
+
+#include "simpl/Program.h"
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace ac::core {
+
+/// One cached per-function pipeline result.
+struct CachedFunc {
+  uint64_t Key = 0;
+  std::string Name;
+  /// Result signature (what call sites in other functions observe).
+  bool HeapLifted = false;         ///< HL engine lifted the function
+  bool WAEngineAbstracted = false; ///< WA engine produced an abstraction
+  /// Driver-level selection: the WA result was kept as the final body
+  /// (can be false while WAEngineAbstracted is true, Sec 3.2).
+  bool WordAbstracted = false;
+  std::vector<std::string> ArgNames;
+  /// Rendered artefacts, byte-identical to a cold run.
+  std::string Render;       ///< AutoCorres::render() output
+  std::string L1Spec;       ///< printTerm of the L1 term
+  std::string L2Spec;       ///< printTerm of the applied L2 body
+  std::string HLSpec;       ///< empty when not heap-lifted
+  std::string WASpec;       ///< empty when not word-abstracted
+  std::string PipelineProp; ///< printTerm of the composed theorem's prop
+  /// Per-function driver notes, replayed verbatim on a hit so the merged
+  /// diagnostic stream matches a cold run.
+  std::vector<std::string> Notes;
+  /// Table 5 contributions of the final body.
+  unsigned SpecLines = 0;
+  unsigned TermSize = 0;
+};
+
+/// The on-disk store: load at construction, insert misses, save once.
+/// insert() is thread-safe; everything else is driver-single-threaded.
+class ResultCache {
+public:
+  /// Bump when CachedFunc gains fields or the key derivation changes;
+  /// older files are then ignored wholesale (stale == miss).
+  static constexpr unsigned FormatVersion = 1;
+
+  /// Loads the cache file under \p Dir (created on save if absent).
+  /// Unreadable or corrupt content yields an empty (all-miss) cache.
+  explicit ResultCache(std::string Dir);
+
+  /// The entry for \p Key, or nullptr (miss).
+  const CachedFunc *lookup(uint64_t Key) const;
+
+  /// True if some entry (under any key) is for function \p Name — a miss
+  /// for a known name is an invalidation, not a first sight.
+  bool knowsFunction(const std::string &Name) const;
+
+  /// Records a freshly computed result for the next save(). One entry
+  /// per function name: a recompute evicts the superseded entry, so the
+  /// file holds exactly the latest build's results.
+  void insert(CachedFunc E);
+
+  /// Writes all entries back (atomic: temp file + rename). Returns false
+  /// on I/O failure; the cache is best-effort, so callers only note it.
+  bool save() const;
+
+  const std::string &dir() const { return Dir; }
+  size_t size() const { return Entries.size(); }
+
+  /// Resolves the effective cache directory: AC_CACHE=0 force-disables;
+  /// otherwise \p OptDir, else $AC_CACHE_DIR, else ".ac-cache" when
+  /// AC_CACHE=1. Empty result means the cache is disabled.
+  static std::string resolveDir(const std::string &OptDir);
+
+private:
+  void load();
+
+  std::string Dir;
+  std::map<uint64_t, CachedFunc> Entries;
+  /// Name -> current key, for eviction and invalidation accounting.
+  std::map<std::string, uint64_t> KnownNames;
+  mutable std::mutex M;
+};
+
+/// Computes every function's content fingerprint, callee-first. The key
+/// covers the Simpl body and signature, the per-function NoHeapAbs /
+/// NoWordAbs options, a whole-program salt (record layouts and heap types,
+/// which shape the lifted_globals state), and the keys of all callees —
+/// mutating one function therefore re-keys exactly that function and its
+/// transitive callers. Mutually recursive functions share an SCC-level
+/// fingerprint, salted per member.
+std::map<std::string, uint64_t>
+computeFunctionKeys(const simpl::SimplProgram &Prog,
+                    const std::set<std::string> &NoHeapAbs,
+                    const std::set<std::string> &NoWordAbs);
+
+} // namespace ac::core
+
+#endif // AC_CORE_RESULTCACHE_H

@@ -1245,6 +1245,13 @@ HLResult &HeapAbstraction::abstractFunction(const simpl::SimplFunc &F,
   return Results.emplace(F.Name, std::move(Res)).first->second;
 }
 
+void HeapAbstraction::seedCached(const std::string &Name, bool Lifted) {
+  HLResult Res;
+  Res.Lifted = Lifted;
+  std::unique_lock<std::shared_mutex> L(ResultsM);
+  Results.emplace(Name, std::move(Res));
+}
+
 //===----------------------------------------------------------------------===//
 // Runtime semantics of lift_global_heap
 //===----------------------------------------------------------------------===//

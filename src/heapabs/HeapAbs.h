@@ -70,6 +70,12 @@ public:
 
   const std::map<std::string, HLResult> &results() const { return Results; }
 
+  /// Publishes a cache-replayed result signature for \p Name: call sites
+  /// in functions abstracted later only consult the Lifted flag, so a
+  /// cached function can be skipped entirely while its callers still
+  /// translate calls to it correctly (core/ResultCache.h).
+  void seedCached(const std::string &Name, bool Lifted);
+
   /// End-user rule extension (Sec 4.5: "can be extended by end-users to
   /// add additional support for abstracting code-level idioms").
   /// The theorem must conclude abs_h_val ?P ?a ?c.

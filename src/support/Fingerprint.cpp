@@ -1,0 +1,33 @@
+//===- Fingerprint.cpp ----------------------------------------------------===//
+
+#include "support/Fingerprint.h"
+
+using namespace ac::support;
+
+std::string Fingerprint::hex(uint64_t V) {
+  static const char *Digits = "0123456789abcdef";
+  std::string S(16, '0');
+  for (int I = 15; I >= 0; --I) {
+    S[I] = Digits[V & 0xf];
+    V >>= 4;
+  }
+  return S;
+}
+
+bool Fingerprint::parseHex(std::string_view S, uint64_t &Out) {
+  if (S.size() != 16)
+    return false;
+  uint64_t V = 0;
+  for (char C : S) {
+    unsigned D;
+    if (C >= '0' && C <= '9')
+      D = C - '0';
+    else if (C >= 'a' && C <= 'f')
+      D = C - 'a' + 10;
+    else
+      return false;
+    V = (V << 4) | D;
+  }
+  Out = V;
+  return true;
+}

@@ -1716,3 +1716,10 @@ WAResult &WordAbstraction::abstractFunction(
   std::unique_lock<std::shared_mutex> L(ResultsM);
   return Results.emplace(FnName, std::move(Res)).first->second;
 }
+
+void WordAbstraction::seedCached(const std::string &Name, bool Abstracted) {
+  WAResult Res;
+  Res.Abstracted = Abstracted;
+  std::unique_lock<std::shared_mutex> L(ResultsM);
+  Results.emplace(Name, std::move(Res));
+}

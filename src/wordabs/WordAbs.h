@@ -86,6 +86,12 @@ public:
 
   const std::map<std::string, WAResult> &results() const { return Results; }
 
+  /// Publishes a cache-replayed result signature for \p Name: call sites
+  /// in functions abstracted later only consult the Abstracted flag, so a
+  /// cached function can be skipped entirely while its callers still
+  /// translate calls to it correctly (core/ResultCache.h).
+  void seedCached(const std::string &Name, bool Abstracted);
+
   /// User rule extension: theorem concluding `abs_w_val ?P ?f ?a ?c`
   /// whose premises are abs_w_val judgements (Sec 3.3's custom-rule
   /// mechanism).

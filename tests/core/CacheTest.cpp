@@ -1,0 +1,270 @@
+//===- CacheTest.cpp - Abstraction-cache equivalence gate -------*- C++ -*-===//
+//
+// Part of the autocorres-cpp project, under the BSD 2-Clause License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The acceptance gate of the content-addressed abstraction cache
+/// (core/ResultCache.h): runs with the cache — cold, warm, and after a
+/// source edit — must be byte-identical to runs without it, at every job
+/// count. Invalidation must flow up the call graph: editing one function
+/// recomputes exactly it and its transitive callers, while untouched
+/// functions replay as hits. A corrupt or stale cache file must degrade
+/// to a cold run, never to wrong output.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/AutoCorres.h"
+#include "core/ResultCache.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace ac;
+
+namespace {
+
+/// A five-function program with a diamond-free chain top -> mid -> leaf,
+/// an unrelated pure function, and an unrelated pointer function (so the
+/// heap-lifting path is exercised too).
+///
+///   top --> mid --> leaf        lone        bump
+///     \------------^
+const char *chainSource(const char *LeafExpr) {
+  static std::string Buf;
+  Buf = std::string("unsigned int leaf(unsigned int x) { return ") +
+        LeafExpr +
+        "; }\n"
+        "unsigned int mid(unsigned int x) { return leaf(x) * 2u; }\n"
+        "unsigned int top(unsigned int x) { return mid(x) + leaf(x); }\n"
+        "unsigned int lone(unsigned int a, unsigned int b) {\n"
+        "  if (a < b) { return a; }\n"
+        "  return b;\n"
+        "}\n"
+        "void bump(unsigned int *p) { *p = *p + 1u; }\n";
+  return Buf.c_str();
+}
+
+/// Everything the equivalence gate compares, per function, using the
+/// accessors that are defined for both live and cache-replayed outputs.
+struct Snapshot {
+  std::vector<std::string> Names;
+  std::vector<std::string> Rendered;
+  std::vector<std::string> FinalKeys;
+  std::vector<std::string> Pipelines;
+  std::vector<std::string> Diags;
+  core::ACStats Stats;
+};
+
+Snapshot runWith(const std::string &Src, const std::string &CacheDir,
+                 unsigned Jobs = 1) {
+  DiagEngine Diags;
+  core::ACOptions Opts;
+  Opts.Jobs = Jobs;
+  Opts.CacheDir = CacheDir;
+  auto AC = core::AutoCorres::run(Src, Diags, Opts);
+  EXPECT_TRUE(AC) << Diags.str();
+  Snapshot S;
+  if (!AC)
+    return S;
+  for (const std::string &Name : AC->order()) {
+    const core::FuncOutput *F = AC->func(Name);
+    if (!F) {
+      ADD_FAILURE() << "no output for " << Name;
+      continue;
+    }
+    S.Names.push_back(Name);
+    S.Rendered.push_back(AC->render(Name));
+    S.FinalKeys.push_back(F->finalKey());
+    S.Pipelines.push_back(F->pipelineProp());
+  }
+  for (const Diagnostic &D : Diags.diagnostics())
+    S.Diags.push_back(D.str());
+  S.Stats = AC->stats();
+  return S;
+}
+
+void expectIdentical(const Snapshot &A, const Snapshot &B,
+                     const std::string &What) {
+  ASSERT_EQ(A.Names.size(), B.Names.size()) << What;
+  for (size_t I = 0; I != A.Names.size(); ++I) {
+    ASSERT_EQ(A.Names[I], B.Names[I]) << What;
+    EXPECT_EQ(A.FinalKeys[I], B.FinalKeys[I])
+        << What << ": finalKey diverged for " << A.Names[I];
+    EXPECT_EQ(A.Rendered[I], B.Rendered[I])
+        << What << ": rendered spec diverged for " << A.Names[I];
+    EXPECT_EQ(A.Pipelines[I], B.Pipelines[I])
+        << What << ": pipeline proposition diverged for " << A.Names[I];
+  }
+  EXPECT_EQ(A.Diags, B.Diags) << What << ": diagnostic stream diverged";
+  // Table 5 output columns must not depend on cache warmth either.
+  EXPECT_EQ(A.Stats.ACSpecLines, B.Stats.ACSpecLines) << What;
+  EXPECT_EQ(A.Stats.ACTermSizeTotal, B.Stats.ACTermSizeTotal) << What;
+}
+
+/// Fresh empty directory under the test temp root.
+class CacheTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    // The option-passed directory must govern regardless of the
+    // environment the test runner happens to have.
+    ::unsetenv("AC_CACHE");
+    ::unsetenv("AC_CACHE_DIR");
+    Dir = ::testing::TempDir() + "ac-cache-test/" +
+          ::testing::UnitTest::GetInstance()
+              ->current_test_info()
+              ->name();
+    std::filesystem::remove_all(Dir);
+  }
+  void TearDown() override { std::filesystem::remove_all(Dir); }
+
+  std::string cacheFilePath() const {
+    return Dir + "/accache-v" +
+           std::to_string(core::ResultCache::FormatVersion) + ".txt";
+  }
+
+  std::string Dir;
+};
+
+} // namespace
+
+TEST_F(CacheTest, ColdAndWarmMatchUncachedRun) {
+  std::string Src = chainSource("x + 1u");
+  Snapshot Ref = runWith(Src, /*CacheDir=*/"");
+  ASSERT_EQ(Ref.Names.size(), 5u);
+  EXPECT_FALSE(Ref.Stats.CacheEnabled);
+
+  Snapshot Cold = runWith(Src, Dir);
+  EXPECT_TRUE(Cold.Stats.CacheEnabled);
+  EXPECT_EQ(Cold.Stats.CacheHits, 0u);
+  EXPECT_EQ(Cold.Stats.CacheMisses, 5u);
+  EXPECT_EQ(Cold.Stats.CacheInvalidations, 0u);
+  expectIdentical(Ref, Cold, "uncached vs cold");
+  EXPECT_TRUE(std::filesystem::exists(cacheFilePath()));
+
+  Snapshot Warm = runWith(Src, Dir);
+  EXPECT_EQ(Warm.Stats.CacheHits, 5u);
+  EXPECT_EQ(Warm.Stats.CacheMisses, 0u);
+  expectIdentical(Ref, Warm, "uncached vs warm");
+}
+
+TEST_F(CacheTest, InvalidationFlowsUpTheCallGraphOnly) {
+  std::string Before = chainSource("x + 1u");
+  std::string After = chainSource("x + 2u");
+
+  Snapshot Cold = runWith(Before, Dir);
+  ASSERT_EQ(Cold.Stats.CacheMisses, 5u);
+
+  // Editing leaf must recompute leaf, mid and top (its transitive
+  // callers) while lone and bump stay warm.
+  Snapshot Edited = runWith(After, Dir);
+  EXPECT_EQ(Edited.Stats.CacheHits, 2u);
+  EXPECT_EQ(Edited.Stats.CacheMisses, 3u);
+  EXPECT_EQ(Edited.Stats.CacheInvalidations, 3u);
+  expectIdentical(runWith(After, /*CacheDir=*/""), Edited,
+                  "uncached vs partially-invalidated");
+
+  // The edited results are stored too: a second run is fully warm.
+  Snapshot Warm = runWith(After, Dir);
+  EXPECT_EQ(Warm.Stats.CacheHits, 5u);
+  EXPECT_EQ(Warm.Stats.CacheMisses, 0u);
+
+  // And switching back revalidates nothing incorrectly: the old entries
+  // were replaced under the same names, so the original source misses on
+  // the chain again and still matches an uncached run byte for byte.
+  Snapshot Back = runWith(Before, Dir);
+  EXPECT_EQ(Back.Stats.CacheHits, 2u);
+  EXPECT_EQ(Back.Stats.CacheInvalidations, 3u);
+  expectIdentical(runWith(Before, /*CacheDir=*/""), Back,
+                  "uncached vs reverted");
+}
+
+TEST_F(CacheTest, WarmReplayIsJobCountInvariant) {
+  std::string Src = chainSource("x + 1u");
+  Snapshot Ref = runWith(Src, /*CacheDir=*/"");
+
+  // Populate at Jobs=4, replay at Jobs=1 and Jobs=4: identical output
+  // and full hit coverage everywhere.
+  Snapshot Cold4 = runWith(Src, Dir, /*Jobs=*/4);
+  expectIdentical(Ref, Cold4, "uncached vs cold Jobs=4");
+
+  Snapshot Warm1 = runWith(Src, Dir, /*Jobs=*/1);
+  EXPECT_EQ(Warm1.Stats.CacheHits, 5u);
+  expectIdentical(Ref, Warm1, "uncached vs warm Jobs=1");
+
+  Snapshot Warm4 = runWith(Src, Dir, /*Jobs=*/4);
+  EXPECT_EQ(Warm4.Stats.CacheHits, 5u);
+  expectIdentical(Ref, Warm4, "uncached vs warm Jobs=4");
+}
+
+TEST_F(CacheTest, CorruptCacheFileIsACleanMiss) {
+  std::string Src = chainSource("x + 1u");
+  runWith(Src, Dir);
+  ASSERT_TRUE(std::filesystem::exists(cacheFilePath()));
+
+  {
+    std::ofstream Out(cacheFilePath(), std::ios::binary | std::ios::trunc);
+    Out << "ACCACHE 1\nentry zzzz-not-a-key\nname \x01\x02 garbage\n";
+  }
+  Snapshot AfterCorrupt = runWith(Src, Dir);
+  EXPECT_EQ(AfterCorrupt.Stats.CacheHits, 0u);
+  EXPECT_EQ(AfterCorrupt.Stats.CacheMisses, 5u);
+  expectIdentical(runWith(Src, /*CacheDir=*/""), AfterCorrupt,
+                  "uncached vs corrupt-cache");
+
+  // The cold run rewrote the file: warmth is restored.
+  Snapshot Warm = runWith(Src, Dir);
+  EXPECT_EQ(Warm.Stats.CacheHits, 5u);
+}
+
+TEST_F(CacheTest, StaleFormatVersionIsACleanMiss) {
+  std::string Src = chainSource("x + 1u");
+  runWith(Src, Dir);
+
+  // Pretend a future format wrote this file: the header mismatch must
+  // discard every entry, not misparse them.
+  std::string Contents;
+  {
+    std::ifstream In(cacheFilePath(), std::ios::binary);
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    Contents = Buf.str();
+  }
+  ASSERT_EQ(Contents.rfind("ACCACHE 1", 0), 0u);
+  Contents.replace(0, 9, "ACCACHE 9");
+  {
+    std::ofstream Out(cacheFilePath(), std::ios::binary | std::ios::trunc);
+    Out << Contents;
+  }
+
+  Snapshot Stale = runWith(Src, Dir);
+  EXPECT_EQ(Stale.Stats.CacheHits, 0u);
+  EXPECT_EQ(Stale.Stats.CacheMisses, 5u);
+  expectIdentical(runWith(Src, /*CacheDir=*/""), Stale,
+                  "uncached vs stale-version");
+}
+
+TEST_F(CacheTest, OptionChangesInvalidate) {
+  std::string Src = chainSource("x + 1u");
+  Snapshot Cold = runWith(Src, Dir);
+  ASSERT_EQ(Cold.Stats.CacheMisses, 5u);
+
+  // Turning off word abstraction for one function changes its key (and
+  // its callers'), so those entries miss; the cache must never serve a
+  // result computed under different options.
+  DiagEngine Diags;
+  core::ACOptions Opts;
+  Opts.CacheDir = Dir;
+  Opts.NoWordAbs.insert("leaf");
+  auto AC = core::AutoCorres::run(Src, Diags, Opts);
+  ASSERT_TRUE(AC) << Diags.str();
+  EXPECT_GE(AC->stats().CacheMisses, 3u);
+  EXPECT_EQ(AC->stats().CacheHits, 2u);
+}
