@@ -14,8 +14,15 @@
 #      runs twice against one fresh cache directory. The second run must
 #      report cache hits and still match every checked-in fixture —
 #      i.e. warm replay is byte-identical to a cold run.
+#   4. AddressSanitizer build (-DAC_SANITIZE=address) of the service
+#      surface — the daemon juggles detached connection threads, shared
+#      cache tiers and a shared pool, exactly where lifetime bugs hide.
+#   5. Daemon golden round trip: start a real acd, serve every golden
+#      corpus through acc --golden, byte-compare against the checked-in
+#      fixtures (cold, then warm with asserted cache hits), then
+#      SIGTERM-drain and require a clean exit.
 #
-# Usage: scripts/tier1.sh [--skip-tsan]
+# Usage: scripts/tier1.sh [--skip-tsan] [--skip-asan]
 #
 #===-----------------------------------------------------------------------===#
 
@@ -23,7 +30,14 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SKIP_TSAN=0
-[[ "${1:-}" == "--skip-tsan" ]] && SKIP_TSAN=1
+SKIP_ASAN=0
+for arg in "$@"; do
+  case "$arg" in
+    --skip-tsan) SKIP_TSAN=1 ;;
+    --skip-asan) SKIP_ASAN=1 ;;
+    *) echo "tier-1: unknown option $arg" >&2; exit 2 ;;
+  esac
+done
 
 echo "=== tier-1 pass 1: normal build + ctest ==="
 if ! cmake -B build -S . >/dev/null; then
@@ -58,7 +72,13 @@ fi
 
 echo "=== tier-1 pass 3: abstraction-cache round trip ==="
 CACHE_DIR="$(mktemp -d)"
-trap 'rm -rf "$CACHE_DIR"' EXIT
+ACD_DIR=""
+ACD_PID=""
+cleanup() {
+  [[ -n "$ACD_PID" ]] && kill -KILL "$ACD_PID" 2>/dev/null || true
+  rm -rf "$CACHE_DIR" ${ACD_DIR:+"$ACD_DIR"}
+}
+trap cleanup EXIT
 # Cold run populates the cache; the fixtures must already match.
 (cd build && AC_CACHE_DIR="$CACHE_DIR" ctest -L golden --output-on-failure)
 # Warm run: same fixtures byte-for-byte, and the [cache] stdout lines
@@ -72,5 +92,82 @@ if ! grep -q '\[cache\] hits=[1-9]' <<<"$WARM_LOG"; then
 fi
 echo "warm cache hits confirmed:"
 grep '\[cache\]' <<<"$WARM_LOG" | sort | uniq -c
+
+if [[ "$SKIP_ASAN" == 1 ]]; then
+  echo "=== tier-1 pass 4: skipped (--skip-asan) ==="
+else
+  echo "=== tier-1 pass 4: AddressSanitizer (service surface) ==="
+  if ! cmake -B build-asan -S . -DAC_SANITIZE=address >/dev/null; then
+    echo "tier-1: FAILED — ASan cmake configure failed (see above)." >&2
+    exit 1
+  fi
+  cmake --build build-asan -j \
+    --target test_service test_json test_threadpool >/dev/null
+  (
+    cd build-asan
+    ./tests/test_json
+    ./tests/test_threadpool
+    ./tests/test_service
+  )
+fi
+
+echo "=== tier-1 pass 5: daemon golden round trip (acd/acc) ==="
+ACD_DIR="$(mktemp -d)"
+ACD="build/tools/acd"
+ACC="build/tools/acc"
+SOCK="$ACD_DIR/acd.sock"
+"$ACD" --socket "$SOCK" --cache-dir "$ACD_DIR/cache" \
+  >"$ACD_DIR/acd.log" 2>&1 &
+ACD_PID=$!
+for _ in $(seq 100); do
+  [[ -S "$SOCK" ]] && break
+  sleep 0.1
+done
+if ! "$ACC" --socket "$SOCK" --ping >/dev/null; then
+  echo "tier-1: FAILED — acd did not come up:" >&2
+  cat "$ACD_DIR/acd.log" >&2
+  exit 1
+fi
+# Cold, then warm: daemon-served golden snapshots must match the
+# checked-in fixtures byte for byte both times.
+for round in cold warm; do
+  for c in max gcd swap midpoint reverse; do
+    "$ACC" --socket "$SOCK" --corpus "$c" --golden >"$ACD_DIR/$c.$round"
+    if ! cmp -s "$ACD_DIR/$c.$round" "tests/golden/$c.expected"; then
+      echo "tier-1: FAILED — daemon-served $c ($round) diverged from" \
+           "tests/golden/$c.expected:" >&2
+      diff "tests/golden/$c.expected" "$ACD_DIR/$c.$round" | head >&2
+      exit 1
+    fi
+  done
+done
+# The warm round must have come out of the in-memory tier.
+STATS="$("$ACC" --socket "$SOCK" --stats)"
+if ! grep -qE '"hits":[1-9]' <<<"$STATS"; then
+  echo "tier-1: FAILED — warm daemon round reported no cache hits:" >&2
+  echo "$STATS" >&2
+  exit 1
+fi
+echo "daemon cache hits confirmed: $(grep -oE '"hits":[0-9]+' <<<"$STATS")"
+# Graceful drain: SIGTERM must finish in-flight work, flush the cache,
+# remove the socket and exit 0.
+kill -TERM "$ACD_PID"
+ACD_RC=0
+wait "$ACD_PID" || ACD_RC=$?
+ACD_PID=""
+if [[ "$ACD_RC" != 0 ]]; then
+  echo "tier-1: FAILED — acd exited $ACD_RC on SIGTERM:" >&2
+  cat "$ACD_DIR/acd.log" >&2
+  exit 1
+fi
+if [[ -e "$SOCK" ]]; then
+  echo "tier-1: FAILED — acd left its socket file behind." >&2
+  exit 1
+fi
+if ! ls "$ACD_DIR"/cache/accache-v*.txt >/dev/null 2>&1; then
+  echo "tier-1: FAILED — acd drain did not flush the cache to disk." >&2
+  exit 1
+fi
+echo "acd drained cleanly (socket removed, cache flushed)"
 
 echo "=== tier-1: all passes green ==="

@@ -111,18 +111,27 @@ std::unique_ptr<AutoCorres> AutoCorres::run(const std::string &Source,
   // whose fingerprint — Simpl body, options, and transitively its
   // callees' fingerprints — has a stored entry, and seed the HL/WA
   // result maps with the replayed signatures so that non-cached callers
-  // still translate their calls exactly as a cold run would.
-  std::unique_ptr<ResultCache> Cache;
+  // still translate their calls exactly as a cold run would. The cache
+  // is either this run's own (loaded from CacheDir, saved at the end) or
+  // a caller-owned shared instance (the daemon's in-memory tier, which
+  // persists across requests and is flushed by its owner).
+  std::unique_ptr<ResultCache> OwnedCache;
+  ResultCache *Cache = Opts.SharedCache;
+  if (!Cache) {
+    std::string CacheDir = ResultCache::resolveDir(Opts.CacheDir);
+    if (!CacheDir.empty()) {
+      OwnedCache = std::make_unique<ResultCache>(CacheDir);
+      Cache = OwnedCache.get();
+    }
+  }
   std::map<std::string, uint64_t> Keys;
   std::vector<char> Hit(Order.size(), 0);
-  std::string CacheDir = ResultCache::resolveDir(Opts.CacheDir);
-  if (!CacheDir.empty()) {
+  if (Cache) {
     AC->Stats.CacheEnabled = true;
-    Cache = std::make_unique<ResultCache>(CacheDir);
     Keys = computeFunctionKeys(*AC->Prog, Opts.NoHeapAbs, Opts.NoWordAbs);
     for (size_t I = 0; I != Order.size(); ++I) {
       const std::string &Name = Order[I];
-      const CachedFunc *E = Cache->lookup(Keys.at(Name));
+      CachedFuncRef E = Cache->lookup(Keys.at(Name));
       if (!E || E->Name != Name) {
         ++AC->Stats.CacheMisses;
         if (Cache->knowsFunction(Name))
@@ -261,8 +270,16 @@ std::unique_ptr<AutoCorres> AutoCorres::run(const std::string &Source,
             processFn(I);
         }
       });
-    support::ThreadPool Pool(Jobs);
-    runTaskGraph(Pool, Tasks, Sched.Deps);
+    if (Opts.SharedPool) {
+      // The daemon's warm pool: concurrent runs interleave their SCC
+      // tasks on it; runTaskGraph keeps per-call bookkeeping, so the
+      // schedules never interfere.
+      AC->Stats.Jobs = Opts.SharedPool->jobs();
+      runTaskGraph(*Opts.SharedPool, Tasks, Sched.Deps);
+    } else {
+      support::ThreadPool Pool(Jobs);
+      runTaskGraph(Pool, Tasks, Sched.Deps);
+    }
   }
 
   // Store every freshly computed result before the timing gate closes:
@@ -294,7 +311,8 @@ std::unique_ptr<AutoCorres> AutoCorres::run(const std::string &Source,
       E.TermSize = Out.finalTermSize();
       Cache->insert(std::move(E));
     }
-    Cache->save(); // best-effort; a failed save only costs warmth
+    if (OwnedCache)
+      OwnedCache->save(); // best-effort; a failed save only costs warmth
   }
 
   AC->Stats.AutoCorresWallSeconds = secondsSince(T1);

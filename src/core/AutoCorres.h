@@ -38,9 +38,22 @@
 #include <memory>
 #include <set>
 
+namespace ac::support {
+class ThreadPool;
+} // namespace ac::support
+
 namespace ac::core {
 
+class ResultCache;
+
 /// Per-run options.
+///
+/// run() is reentrant: concurrent calls from different threads — the
+/// verification daemon (service/Server.h) runs one per in-flight request
+/// — share no mutable state beyond the process-wide hash-consing tables
+/// and the axiom inventory, both of which are thread-safe and
+/// content-addressed (an axiom name always determines its proposition,
+/// so two programs can only ever re-register identical axioms).
 struct ACOptions {
   /// Functions to keep on the byte-level heap (Sec 4.6).
   std::set<std::string> NoHeapAbs;
@@ -57,6 +70,17 @@ struct ACOptions {
   /// whole abstraction chain and replay their cached rendered output,
   /// which is bit-identical to a cold run at any Jobs count.
   std::string CacheDir;
+  /// A long-lived cache owned by the caller (the daemon's in-memory
+  /// tier). When set it overrides CacheDir entirely: the run hits and
+  /// fills this instance and never touches disk — persistence is the
+  /// owner's business (e.g. a save on drain). Must outlive the run.
+  ResultCache *SharedCache = nullptr;
+  /// A warm worker pool owned by the caller. When set (and the run is
+  /// parallel, Jobs != 1) the abstraction stages are scheduled onto it
+  /// instead of spawning a pool per run; Jobs then only selects the
+  /// parallel path and the pool's size is reported in ACStats::Jobs.
+  /// Safe to share between concurrent runs. Must outlive the run.
+  support::ThreadPool *SharedPool = nullptr;
 };
 
 /// Everything produced for one function.

@@ -4,6 +4,7 @@
 
 #include "core/CallGraph.h"
 #include "simpl/PrintSimpl.h"
+#include "support/FileLock.h"
 #include "support/Fingerprint.h"
 
 #include <cstdio>
@@ -44,6 +45,12 @@ namespace {
 std::string cacheFile(const std::string &Dir) {
   return Dir + "/accache-v" + std::to_string(ResultCache::FormatVersion) +
          ".txt";
+}
+
+/// The advisory lock guarding the cache file against concurrent
+/// processes. One lock file per directory, version-independent.
+std::string lockFile(const std::string &Dir) {
+  return Dir + "/accache.lock";
 }
 
 /// Reads "blob <len>\n<raw bytes>\n"; false on any mismatch.
@@ -125,32 +132,54 @@ void writeEntry(std::ostream &Out, const CachedFunc &E) {
 
 } // namespace
 
-ResultCache::ResultCache(std::string D) : Dir(std::move(D)) { load(); }
-
-void ResultCache::load() {
-  std::ifstream In(cacheFile(Dir), std::ios::binary);
+/// Parses the cache file at \p Path into \p Entries / \p KnownNames.
+/// Structural surprises stop the parse; entries read so far are kept.
+static void readCacheFile(const std::string &Path,
+                          std::map<uint64_t, CachedFuncRef> &Entries,
+                          std::map<std::string, uint64_t> &KnownNames) {
+  std::ifstream In(Path, std::ios::binary);
   if (!In)
     return;
   std::string Magic;
   unsigned Version;
   if (!(In >> Magic >> Version) || Magic != "ACCACHE" ||
-      Version != FormatVersion)
+      Version != ResultCache::FormatVersion)
     return; // stale or foreign file: every lookup misses
   CachedFunc E;
   while (readEntry(In, E)) {
     KnownNames[E.Name] = E.Key;
-    Entries[E.Key] = std::move(E);
+    Entries[E.Key] = std::make_shared<const CachedFunc>(std::move(E));
     E = CachedFunc();
   }
 }
 
-const CachedFunc *ResultCache::lookup(uint64_t Key) const {
+ResultCache::ResultCache(std::string D) : Dir(std::move(D)) { load(); }
+
+void ResultCache::load() {
+  if (Dir.empty())
+    return; // memory-only tier
+  // Shared lock: concurrent readers overlap, but a mid-save writer can
+  // never hand us a half-written file. Lockless fallback if the lock
+  // file is unopenable (e.g. the directory does not exist yet).
+  support::FileLock L = support::FileLock::acquire(lockFile(Dir),
+                                                   /*Exclusive=*/false);
+  readCacheFile(cacheFile(Dir), Entries, KnownNames);
+}
+
+CachedFuncRef ResultCache::lookup(uint64_t Key) const {
+  std::lock_guard<std::mutex> L(M);
   auto It = Entries.find(Key);
-  return It == Entries.end() ? nullptr : &It->second;
+  return It == Entries.end() ? nullptr : It->second;
 }
 
 bool ResultCache::knowsFunction(const std::string &Name) const {
+  std::lock_guard<std::mutex> L(M);
   return KnownNames.count(Name) != 0;
+}
+
+size_t ResultCache::size() const {
+  std::lock_guard<std::mutex> L(M);
+  return Entries.size();
 }
 
 void ResultCache::insert(CachedFunc E) {
@@ -159,16 +188,43 @@ void ResultCache::insert(CachedFunc E) {
   if (It != KnownNames.end() && It->second != E.Key)
     Entries.erase(It->second); // superseded: the inputs changed
   KnownNames[E.Name] = E.Key;
-  Entries[E.Key] = std::move(E);
+  uint64_t Key = E.Key;
+  Entries[Key] = std::make_shared<const CachedFunc>(std::move(E));
 }
 
-bool ResultCache::save() const {
+bool ResultCache::save() {
+  if (Dir.empty())
+    return true; // memory-only tier persists nothing
   std::error_code EC;
   std::filesystem::create_directories(Dir, EC); // best-effort
+
+  // Exclusive lock for the whole read-merge-write: another process that
+  // saved since our load must not lose its entries, and no reader may
+  // observe a torn file. Own names win (we computed them more recently);
+  // foreign-only names are carried over.
+  support::FileLock Lock = support::FileLock::acquire(lockFile(Dir),
+                                                      /*Exclusive=*/true);
+
+  std::map<uint64_t, CachedFuncRef> Merged;
+  std::map<std::string, uint64_t> MergedNames;
+  readCacheFile(cacheFile(Dir), Merged, MergedNames);
+  {
+    std::lock_guard<std::mutex> L(M);
+    for (const auto &[Name, Key] : KnownNames) {
+      auto It = MergedNames.find(Name);
+      if (It != MergedNames.end() && It->second != Key)
+        Merged.erase(It->second);
+      MergedNames[Name] = Key;
+      Merged[Key] = Entries.at(Key);
+    }
+  }
+
   // The temp name only needs to dodge concurrent savers of *other*
-  // processes; hashing the entry set keeps it deterministic per content.
+  // directories' files landing in shared tmp listings; hashing the entry
+  // set keeps it deterministic per content. (Same-directory savers are
+  // serialized by the lock above.)
   Fingerprint NameFP;
-  for (const auto &[Key, E] : Entries)
+  for (const auto &[Key, E] : Merged)
     NameFP.u64(Key);
   std::string Tmp = cacheFile(Dir) + ".tmp." + Fingerprint::hex(NameFP.digest());
   {
@@ -176,8 +232,8 @@ bool ResultCache::save() const {
     if (!Out)
       return false;
     Out << "ACCACHE " << FormatVersion << "\n";
-    for (const auto &[Key, E] : Entries)
-      writeEntry(Out, E);
+    for (const auto &[Key, E] : Merged)
+      writeEntry(Out, *E);
     if (!Out)
       return false;
   }

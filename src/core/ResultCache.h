@@ -68,8 +68,23 @@ struct CachedFunc {
   unsigned TermSize = 0;
 };
 
-/// The on-disk store: load at construction, insert misses, save once.
-/// insert() is thread-safe; everything else is driver-single-threaded.
+/// A shared, immutable cached entry. Lookups hand out shared ownership so
+/// a concurrent insert/eviction (the daemon runs sessions in parallel
+/// against one cache) can never invalidate an entry a reader still holds.
+using CachedFuncRef = std::shared_ptr<const CachedFunc>;
+
+/// The store: load at construction, insert misses, save on demand. Fully
+/// thread-safe — the verification daemon keeps one long-lived instance
+/// per cache directory as its in-memory tier and runs concurrent
+/// abstraction sessions against it; the CLI path constructs one per run.
+///
+/// With a non-empty directory the entries are also persisted on disk.
+/// Cross-process coordination is by advisory file lock
+/// (support/FileLock.h): loads take the lock shared, saves take it
+/// exclusive and *merge* with the file's current contents (own names
+/// win), so two processes sharing a CacheDir can interleave runs without
+/// corrupting the file or dropping each other's entries. A directory-less
+/// instance is a pure in-memory cache (load/save are no-ops).
 class ResultCache {
 public:
   /// Bump when CachedFunc gains fields or the key derivation changes;
@@ -78,26 +93,30 @@ public:
 
   /// Loads the cache file under \p Dir (created on save if absent).
   /// Unreadable or corrupt content yields an empty (all-miss) cache.
+  /// An empty \p Dir makes a memory-only cache.
   explicit ResultCache(std::string Dir);
 
-  /// The entry for \p Key, or nullptr (miss).
-  const CachedFunc *lookup(uint64_t Key) const;
+  /// The entry for \p Key, or null (miss).
+  CachedFuncRef lookup(uint64_t Key) const;
 
   /// True if some entry (under any key) is for function \p Name — a miss
   /// for a known name is an invalidation, not a first sight.
   bool knowsFunction(const std::string &Name) const;
 
-  /// Records a freshly computed result for the next save(). One entry
-  /// per function name: a recompute evicts the superseded entry, so the
-  /// file holds exactly the latest build's results.
+  /// Records a freshly computed result. One entry per function name: a
+  /// recompute evicts the superseded entry, so the store holds exactly
+  /// the latest results.
   void insert(CachedFunc E);
 
-  /// Writes all entries back (atomic: temp file + rename). Returns false
-  /// on I/O failure; the cache is best-effort, so callers only note it.
-  bool save() const;
+  /// Writes all entries back (atomic: temp file + rename), after merging
+  /// under the exclusive file lock with whatever another process saved
+  /// since our load — their names are kept unless we recomputed them.
+  /// Returns false on I/O failure (and true, trivially, for a memory-only
+  /// cache); the cache is best-effort, so callers only note it.
+  bool save();
 
   const std::string &dir() const { return Dir; }
-  size_t size() const { return Entries.size(); }
+  size_t size() const;
 
   /// Resolves the effective cache directory: AC_CACHE=0 force-disables;
   /// otherwise \p OptDir, else $AC_CACHE_DIR, else ".ac-cache" when
@@ -108,7 +127,7 @@ private:
   void load();
 
   std::string Dir;
-  std::map<uint64_t, CachedFunc> Entries;
+  std::map<uint64_t, CachedFuncRef> Entries;
   /// Name -> current key, for eviction and invalidation accounting.
   std::map<std::string, uint64_t> KnownNames;
   mutable std::mutex M;

@@ -631,7 +631,10 @@ Thm globalGetRule(const std::string &Name, const TypeRef &Ty) {
   TermRef SG = Term::mkFree("s!", G);
   TermRef Abs = lamStateDisp( L, mkFieldGet(liftedRecName(), Name, Ty, L, SL));
   TermRef Con = lamStateDisp( G, mkFieldGet(simpl::globalsRecName(), Name, Ty, G, SG));
-  return Kernel::axiom("HL.global_get." + Name,
+  // The type tag keeps the axiom name injective over propositions: two
+  // concurrently-served programs may both have a global `counter`, and
+  // only identically-typed ones may share the registered axiom.
+  return Kernel::axiom("HL.global_get." + Name + "." + heapTypeTag(Ty),
                        mkAbsHVal(trueP(), Abs, Con, Ty));
 }
 
@@ -650,7 +653,7 @@ Thm globalUpdRule(const std::string &Name, const TypeRef &Ty) {
   TermRef Con = lamStateDisp( G,
       mkFieldSet(simpl::globalsRecName(), Name, Ty, G,
                  betaNorm(Term::mkApp(Vc, SG)), SG));
-  return Kernel::axiom("HL.global_upd." + Name,
+  return Kernel::axiom("HL.global_upd." + Name + "." + heapTypeTag(Ty),
                        mkImp(Prem, mkAbsHMod(P, Abs, Con)));
 }
 

@@ -98,7 +98,11 @@ ListTheory ac::proof::makeListTheory(const std::string &RecName,
     return mkApps(C, {std::move(F), std::move(At), std::move(To)});
   };
   auto Ax = [&](const std::string &Name, TermRef Prop) {
-    Thm A = Kernel::axiom("List." + RecName + "." + Name, std::move(Prop));
+    // Qualified by record *and* field so the name determines the
+    // proposition even when two concurrently-translated programs use the
+    // same record name with different next-like fields (reentrancy).
+    Thm A = Kernel::axiom("List." + RecName + "." + NextField + "." + Name,
+                          std::move(Prop));
     T.Lemmas.push_back(A);
     return A;
   };

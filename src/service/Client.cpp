@@ -1,0 +1,77 @@
+//===- Client.cpp ---------------------------------------------------------===//
+
+#include "service/Client.h"
+
+#include <chrono>
+#include <thread>
+
+using namespace ac::service;
+using ac::support::Json;
+using ac::support::Socket;
+
+Client Client::connect(const std::string &SocketPath) {
+  Client C;
+  C.Sock = Socket::connectUnix(SocketPath);
+  return C;
+}
+
+bool Client::roundTrip(const Json &Req, Json &Resp, std::string &Err) {
+  if (!Sock.valid()) {
+    Err = "not connected";
+    return false;
+  }
+  if (!Sock.sendFrame(Req.dump())) {
+    Err = "send failed (daemon gone?)";
+    return false;
+  }
+  std::string Raw;
+  if (!Sock.recvFrame(Raw)) {
+    Err = "connection closed before a reply arrived";
+    return false;
+  }
+  return Json::parse(Raw, Resp, Err);
+}
+
+bool Client::check(const CheckRequest &Req, CheckResponse &Out,
+                   std::string &Err) {
+  Json Resp;
+  if (!roundTrip(Req.toJson(), Resp, Err))
+    return false;
+  return CheckResponse::fromJson(Resp, Out, Err);
+}
+
+bool Client::checkRetry(const CheckRequest &Req, CheckResponse &Out,
+                        std::string &Err, unsigned MaxAttempts) {
+  for (unsigned Attempt = 0;; ++Attempt) {
+    if (!check(Req, Out, Err))
+      return false;
+    if (Out.Ok || Out.Err != ErrorCode::Busy ||
+        Attempt + 1 >= MaxAttempts)
+      return true;
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(Out.RetryAfterMs ? Out.RetryAfterMs : 10));
+  }
+}
+
+bool Client::stats(Json &Out, std::string &Err) {
+  Json Req = Json::object();
+  Req.set("v", ProtocolVersion);
+  Req.set("op", "stats");
+  return roundTrip(Req, Out, Err) && Out.get("ok").asBool();
+}
+
+bool Client::ping(std::string &Err) {
+  Json Req = Json::object();
+  Req.set("v", ProtocolVersion);
+  Req.set("op", "ping");
+  Json Resp;
+  return roundTrip(Req, Resp, Err) && Resp.get("ok").asBool();
+}
+
+bool Client::drain(std::string &Err) {
+  Json Req = Json::object();
+  Req.set("v", ProtocolVersion);
+  Req.set("op", "drain");
+  Json Resp;
+  return roundTrip(Req, Resp, Err) && Resp.get("ok").asBool();
+}

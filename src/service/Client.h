@@ -1,0 +1,64 @@
+//===- Client.h - Thin client for the acd daemon ----------------*- C++ -*-===//
+//
+// Part of the autocorres-cpp project, under the BSD 2-Clause License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The client side of the verification service protocol: connect to the
+/// daemon's Unix socket, frame a request, decode the reply. This is all
+/// `acc` (and the tests/bench) need; the only policy it adds over raw
+/// frames is checkRetry(), which obeys the daemon's `busy` backpressure
+/// signal by sleeping `retry_after_ms` and resubmitting.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AC_SERVICE_CLIENT_H
+#define AC_SERVICE_CLIENT_H
+
+#include "service/Protocol.h"
+#include "support/Socket.h"
+
+#include <string>
+
+namespace ac::service {
+
+/// One connection to an acd daemon.
+class Client {
+public:
+  /// Connects to the daemon at \p SocketPath; connected() tells success.
+  static Client connect(const std::string &SocketPath);
+
+  bool connected() const { return Sock.valid(); }
+  support::Socket &socket() { return Sock; }
+
+  /// One check round-trip. Returns false only on transport/decode
+  /// failure; a daemon-side rejection is a successful round-trip with
+  /// Out.Ok == false.
+  bool check(const CheckRequest &Req, CheckResponse &Out, std::string &Err);
+
+  /// check(), but obeying backpressure: on a `busy` response sleeps the
+  /// advertised retry_after_ms and resubmits, up to \p MaxAttempts.
+  bool checkRetry(const CheckRequest &Req, CheckResponse &Out,
+                  std::string &Err, unsigned MaxAttempts = 50);
+
+  /// Fetches the live `stats` payload.
+  bool stats(support::Json &Out, std::string &Err);
+
+  /// Liveness probe.
+  bool ping(std::string &Err);
+
+  /// Asks the daemon to drain (graceful shutdown).
+  bool drain(std::string &Err);
+
+private:
+  /// Sends \p Req as one frame and decodes the reply frame.
+  bool roundTrip(const support::Json &Req, support::Json &Resp,
+                 std::string &Err);
+
+  support::Socket Sock;
+};
+
+} // namespace ac::service
+
+#endif // AC_SERVICE_CLIENT_H

@@ -1,0 +1,57 @@
+//===- Metrics.cpp --------------------------------------------------------===//
+
+#include "service/Metrics.h"
+
+using namespace ac::service;
+using ac::support::Histogram;
+using ac::support::Json;
+
+namespace {
+
+Json histJson(const Histogram &H) {
+  Json J = Json::object();
+  J.set("count", static_cast<uint64_t>(H.count()));
+  J.set("sum_ms", H.sum() * 1e3);
+  J.set("p50_ms", H.quantile(0.50) * 1e3);
+  J.set("p90_ms", H.quantile(0.90) * 1e3);
+  J.set("p99_ms", H.quantile(0.99) * 1e3);
+  return J;
+}
+
+} // namespace
+
+Json ServiceMetrics::toJson(size_t QueueDepth, size_t QueueCapacity,
+                            size_t InFlight, unsigned Workers,
+                            size_t MemCacheEntries, bool Draining) const {
+  Json J = Json::object();
+  J.set("ok", true);
+  J.set("uptime_s", uptimeSeconds());
+  J.set("draining", Draining);
+  J.set("workers", Workers);
+  J.set("queue_depth", static_cast<uint64_t>(QueueDepth));
+  J.set("queue_capacity", static_cast<uint64_t>(QueueCapacity));
+  J.set("in_flight", static_cast<uint64_t>(InFlight));
+
+  Json R = Json::object();
+  R.set("received", Received.load());
+  R.set("completed", Completed.load());
+  R.set("failed", Failed.load());
+  R.set("cancelled", Cancelled.load());
+  R.set("rejected", Rejected.load());
+  J.set("requests", std::move(R));
+
+  Json L = Json::object();
+  L.set("wait", histJson(WaitH));
+  L.set("parse", histJson(ParseH));
+  L.set("abstract", histJson(AbstractH));
+  L.set("total", histJson(TotalH));
+  J.set("latency", std::move(L));
+
+  Json C = Json::object();
+  C.set("hits", CacheHits.load());
+  C.set("misses", CacheMisses.load());
+  C.set("invalidations", CacheInvalidations.load());
+  C.set("mem_entries", static_cast<uint64_t>(MemCacheEntries));
+  J.set("cache", std::move(C));
+  return J;
+}

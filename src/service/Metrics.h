@@ -1,0 +1,75 @@
+//===- Metrics.h - Live service observability -------------------*- C++ -*-===//
+//
+// Part of the autocorres-cpp project, under the BSD 2-Clause License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The daemon's observability surface, served by the `stats` request:
+/// request-lifecycle counters, per-phase latency histograms
+/// (p50/p90/p99 — queue wait, C parsing, abstraction, end-to-end), and
+/// cumulative abstraction-cache accounting summed over every completed
+/// run (the per-run numbers live in core::ACStats; here they accumulate
+/// for the life of the process).
+///
+/// Everything is atomics + thread-safe histograms, so workers record
+/// without coordination and the stats handler reads a live snapshot.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AC_SERVICE_METRICS_H
+#define AC_SERVICE_METRICS_H
+
+#include "support/Histogram.h"
+#include "support/Json.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace ac::service {
+
+/// Counters and histograms for one daemon instance.
+struct ServiceMetrics {
+  std::chrono::steady_clock::time_point Start =
+      std::chrono::steady_clock::now();
+
+  /// Request lifecycle. `Received` counts admitted check requests;
+  /// every admitted request ends in exactly one of Completed (ran,
+  /// response delivered), Failed (ran, error response delivered — e.g.
+  /// a C parse error), or Cancelled (client hung up: the queue slot was
+  /// freed without running, or the response was undeliverable).
+  /// Rejected counts refusals that never entered the queue (Busy /
+  /// Draining).
+  std::atomic<uint64_t> Received{0};
+  std::atomic<uint64_t> Completed{0};
+  std::atomic<uint64_t> Failed{0};
+  std::atomic<uint64_t> Cancelled{0};
+  std::atomic<uint64_t> Rejected{0};
+
+  /// Cumulative core::ACStats cache counters over all completed runs.
+  std::atomic<uint64_t> CacheHits{0};
+  std::atomic<uint64_t> CacheMisses{0};
+  std::atomic<uint64_t> CacheInvalidations{0};
+
+  /// Per-phase latency. Wait is time spent queued before a worker picked
+  /// the request up; Parse/Abstract split the pipeline; Total is
+  /// admission-to-response.
+  support::Histogram WaitH, ParseH, AbstractH, TotalH;
+
+  double uptimeSeconds() const {
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - Start)
+        .count();
+  }
+
+  /// Renders the `stats` response payload. The queue/in-flight gauges
+  /// are owned by the server and passed in.
+  support::Json toJson(size_t QueueDepth, size_t QueueCapacity,
+                       size_t InFlight, unsigned Workers,
+                       size_t MemCacheEntries, bool Draining) const;
+};
+
+} // namespace ac::service
+
+#endif // AC_SERVICE_METRICS_H

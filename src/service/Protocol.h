@@ -1,0 +1,107 @@
+//===- Protocol.h - Verification service wire protocol ----------*- C++ -*-===//
+//
+// Part of the autocorres-cpp project, under the BSD 2-Clause License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Message types of the `acd` verification service and their JSON
+/// encoding. The wire format is length-prefixed JSON frames over a
+/// Unix-domain stream socket; docs/PROTOCOL.md is the normative spec.
+///
+/// Requests carry an `op`: "check" (run the pipeline over one translation
+/// unit, with per-request ACOptions), "stats" (live service metrics),
+/// "ping" (liveness), "drain" (graceful shutdown, same as SIGTERM).
+/// Responses share an envelope: `ok`, and on failure an `error` code with
+/// optional `retry_after_ms` — the backpressure signal a client obeys
+/// when the admission queue is full.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AC_SERVICE_PROTOCOL_H
+#define AC_SERVICE_PROTOCOL_H
+
+#include "support/Json.h"
+
+#include <string>
+#include <vector>
+
+namespace ac::service {
+
+/// Wire protocol version, sent by clients and checked by the daemon.
+constexpr unsigned ProtocolVersion = 1;
+
+/// Machine-readable error codes of the response envelope.
+enum class ErrorCode {
+  None,
+  Busy,       ///< admission queue full — retry after `retry_after_ms`
+  Draining,   ///< daemon is shutting down, refuses new work
+  BadRequest, ///< malformed frame / JSON / missing fields
+  ParseError, ///< the C source failed to parse or translate
+  Internal,   ///< pipeline threw; details in `message`
+};
+
+const char *errorCodeName(ErrorCode E);
+ErrorCode errorCodeFromName(const std::string &Name);
+
+/// A "check" request: one translation unit plus per-request options
+/// (mirroring core::ACOptions).
+struct CheckRequest {
+  std::string Source;
+  std::vector<std::string> NoHeapAbs;
+  std::vector<std::string> NoWordAbs;
+  unsigned Jobs = 0;        ///< 0 = daemon default
+  std::string CacheDir;     ///< "" = daemon default tier
+  bool WantSpecs = false;   ///< include per-phase specs in the response
+  unsigned DebugDelayMs = 0; ///< testing aid: hold the worker before running
+
+  support::Json toJson() const;
+  static bool fromJson(const support::Json &J, CheckRequest &Out,
+                       std::string &Err);
+};
+
+/// Per-function payload of a successful "check" response.
+struct FuncResult {
+  std::string Name;
+  std::string FinalKey; ///< FuncOutput::finalKey()
+  bool HeapLifted = false;
+  bool WordAbstracted = false;
+  std::string Render;   ///< AutoCorres::render()
+  std::string Pipeline; ///< composed theorem proposition
+  /// Per-phase specs; only populated when the request set want_specs.
+  std::string L1Spec, L2Spec, HLSpec, WASpec;
+};
+
+/// A "check" response (also used, without functions, as the generic
+/// error envelope for every op).
+struct CheckResponse {
+  bool Ok = false;
+  ErrorCode Err = ErrorCode::None;
+  std::string Message;
+  unsigned RetryAfterMs = 0;
+
+  std::vector<FuncResult> Functions;
+  std::vector<std::string> Diagnostics;
+
+  /// Per-run statistics (subset of core::ACStats).
+  unsigned SourceLines = 0;
+  unsigned NumFunctions = 0;
+  unsigned Jobs = 0;
+  double ParseSeconds = 0;
+  double AbstractWallSeconds = 0;
+  bool CacheEnabled = false;
+  unsigned CacheHits = 0;
+  unsigned CacheMisses = 0;
+  unsigned CacheInvalidations = 0;
+
+  support::Json toJson() const;
+  static bool fromJson(const support::Json &J, CheckResponse &Out,
+                       std::string &Err);
+
+  static CheckResponse error(ErrorCode E, const std::string &Msg,
+                             unsigned RetryAfterMs = 0);
+};
+
+} // namespace ac::service
+
+#endif // AC_SERVICE_PROTOCOL_H

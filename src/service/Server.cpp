@@ -1,0 +1,391 @@
+//===- Server.cpp ---------------------------------------------------------===//
+
+#include "service/Server.h"
+
+#include "support/Diagnostics.h"
+
+#include <cassert>
+#include <chrono>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace ac::service;
+using namespace ac::core;
+using ac::support::Json;
+using ac::support::Socket;
+
+namespace {
+
+double secondsBetween(std::chrono::steady_clock::time_point A,
+                      std::chrono::steady_clock::time_point B) {
+  return std::chrono::duration<double>(B - A).count();
+}
+
+} // namespace
+
+/// One client connection: the socket plus a write lock so the reader
+/// thread (inline replies) and a session worker (check responses) never
+/// interleave frames.
+struct Server::Conn {
+  Socket Sock;
+  std::mutex WriteM;
+
+  explicit Conn(Socket S) : Sock(std::move(S)) {}
+
+  bool send(const Json &J) {
+    std::lock_guard<std::mutex> L(WriteM);
+    return Sock.sendFrame(J.dump());
+  }
+};
+
+/// One admitted check request, shared between the queue, the worker that
+/// runs it, and the connection thread that waits for completion.
+struct Server::Request {
+  std::shared_ptr<Conn> C;
+  CheckRequest Req;
+  std::chrono::steady_clock::time_point Admitted;
+
+  std::mutex M;
+  std::condition_variable CV;
+  bool Done = false;
+
+  void markDone() {
+    std::lock_guard<std::mutex> L(M);
+    Done = true;
+    CV.notify_all();
+  }
+  void waitDone() {
+    std::unique_lock<std::mutex> L(M);
+    CV.wait(L, [&] { return Done; });
+  }
+};
+
+Server::Server(ServerOptions O) : Opts(std::move(O)) {
+  if (Opts.Workers == 0)
+    Opts.Workers = 1;
+  if (Opts.QueueCapacity == 0)
+    Opts.QueueCapacity = 1;
+}
+
+Server::~Server() { stop(); }
+
+bool Server::start() {
+  assert(!Started && "server started twice");
+  Listen = Socket::listenUnix(Opts.SocketPath);
+  if (!Listen.valid())
+    return false;
+  Started = true;
+  Acceptor = std::thread([this] { acceptLoop(); });
+  for (unsigned I = 0; I != Opts.Workers; ++I)
+    SessionWorkers.emplace_back([this] { workerLoop(); });
+  return true;
+}
+
+void Server::beginDrain() { Draining.store(true); }
+
+void Server::waitDrained() {
+  {
+    std::unique_lock<std::mutex> L(QueueM);
+    DrainCV.wait(L, [&] { return Queue.empty() && InFlight.load() == 0; });
+  }
+  std::lock_guard<std::mutex> L(CachesM);
+  for (auto &[Dir, Cache] : Caches)
+    Cache->save();
+}
+
+void Server::stop() {
+  if (!Started)
+    return;
+  beginDrain();
+  waitDrained();
+  {
+    std::lock_guard<std::mutex> L(QueueM);
+    Stopping.store(true);
+    QueueCV.notify_all();
+  }
+  Acceptor.join();
+  for (std::thread &W : SessionWorkers)
+    W.join();
+  SessionWorkers.clear();
+  // Wake reader threads blocked in waitReadable and wait for each to
+  // unregister itself; they hold shared ownership of their Conn, so the
+  // sockets stay valid until the last reader is gone.
+  {
+    std::unique_lock<std::mutex> L(ConnsM);
+    for (const std::shared_ptr<Conn> &C : Conns)
+      ::shutdown(C->Sock.fd(), SHUT_RDWR);
+    ConnsCV.wait(L, [&] { return Conns.empty(); });
+  }
+  Listen.close();
+  ::unlink(Opts.SocketPath.c_str());
+  Started = false;
+}
+
+size_t Server::queueDepth() const {
+  std::lock_guard<std::mutex> L(QueueM);
+  return Queue.size();
+}
+
+//===----------------------------------------------------------------------===//
+// Accepting and reading
+//===----------------------------------------------------------------------===//
+
+void Server::acceptLoop() {
+  while (!Stopping.load()) {
+    if (!Listen.waitReadable(100))
+      continue;
+    Socket S = Listen.accept();
+    if (!S.valid() || Stopping.load())
+      continue;
+    auto C = std::make_shared<Conn>(std::move(S));
+    {
+      std::lock_guard<std::mutex> L(ConnsM);
+      Conns.push_back(C);
+    }
+    // Reader threads are detached; stop() waits for Conns to empty, so
+    // none can outlive the server.
+    std::thread([this, C] { connLoop(C); }).detach();
+  }
+}
+
+void Server::connLoop(std::shared_ptr<Conn> C) {
+  while (!Stopping.load()) {
+    if (!C->Sock.waitReadable(200)) {
+      if (C->Sock.peerClosed())
+        break;
+      continue;
+    }
+    std::string Raw;
+    if (!C->Sock.recvFrame(Raw))
+      break; // EOF or framing error
+    handleFrame(C, Raw);
+  }
+  std::lock_guard<std::mutex> L(ConnsM);
+  for (size_t I = 0; I != Conns.size(); ++I)
+    if (Conns[I] == C) {
+      Conns.erase(Conns.begin() + I);
+      break;
+    }
+  ConnsCV.notify_all();
+}
+
+void Server::handleFrame(const std::shared_ptr<Conn> &C,
+                         const std::string &Raw) {
+  Json J;
+  std::string Err;
+  if (!Json::parse(Raw, J, Err)) {
+    C->send(CheckResponse::error(ErrorCode::BadRequest,
+                                 "malformed JSON: " + Err)
+                .toJson());
+    return;
+  }
+  if (J.has("v") && J.get("v").asInt() != ProtocolVersion) {
+    C->send(CheckResponse::error(ErrorCode::BadRequest,
+                                 "unsupported protocol version")
+                .toJson());
+    return;
+  }
+  const std::string &Op = J.get("op").asString();
+  if (Op == "ping") {
+    Json R = Json::object();
+    R.set("ok", true);
+    R.set("op", "pong");
+    C->send(R);
+  } else if (Op == "stats") {
+    C->send(statsJson());
+  } else if (Op == "drain") {
+    beginDrain();
+    Json R = Json::object();
+    R.set("ok", true);
+    R.set("draining", true);
+    C->send(R);
+  } else if (Op == "check") {
+    CheckRequest Req;
+    if (!CheckRequest::fromJson(J, Req, Err)) {
+      C->send(CheckResponse::error(ErrorCode::BadRequest, Err).toJson());
+      return;
+    }
+    handleCheck(C, std::move(Req));
+  } else {
+    C->send(CheckResponse::error(ErrorCode::BadRequest,
+                                 "unknown op `" + Op + "`")
+                .toJson());
+  }
+}
+
+void Server::handleCheck(const std::shared_ptr<Conn> &C, CheckRequest Req) {
+  auto R = std::make_shared<Request>();
+  R->C = C;
+  R->Req = std::move(Req);
+  R->Admitted = std::chrono::steady_clock::now();
+  {
+    std::lock_guard<std::mutex> L(QueueM);
+    if (Draining.load()) {
+      Metrics.Rejected.fetch_add(1);
+      C->send(CheckResponse::error(ErrorCode::Draining,
+                                   "daemon is draining")
+                  .toJson());
+      return;
+    }
+    if (Queue.size() >= Opts.QueueCapacity) {
+      Metrics.Rejected.fetch_add(1);
+      C->send(CheckResponse::error(ErrorCode::Busy,
+                                   "admission queue full",
+                                   Opts.RetryAfterMs)
+                  .toJson());
+      return;
+    }
+    Metrics.Received.fetch_add(1);
+    Queue.push_back(R);
+    QueueCV.notify_one();
+  }
+  // One outstanding check per connection: block this reader until the
+  // worker has sent (or abandoned) the response, so frames never race.
+  R->waitDone();
+}
+
+//===----------------------------------------------------------------------===//
+// Session workers
+//===----------------------------------------------------------------------===//
+
+void Server::workerLoop() {
+  for (;;) {
+    std::shared_ptr<Request> R;
+    {
+      std::unique_lock<std::mutex> L(QueueM);
+      QueueCV.wait(L, [&] { return Stopping.load() || !Queue.empty(); });
+      if (Queue.empty())
+        return; // stopping, nothing left
+      R = Queue.front();
+      Queue.pop_front();
+      InFlight.fetch_add(1);
+    }
+    runRequest(*R);
+    R->markDone();
+    {
+      std::lock_guard<std::mutex> L(QueueM);
+      InFlight.fetch_sub(1);
+      DrainCV.notify_all();
+    }
+  }
+}
+
+void Server::runRequest(Request &R) {
+  // The client may have hung up while the request sat in the queue;
+  // don't burn a session on a response nobody will read.
+  if (R.C->Sock.peerClosed()) {
+    Metrics.Cancelled.fetch_add(1);
+    return;
+  }
+  Metrics.WaitH.record(
+      secondsBetween(R.Admitted, std::chrono::steady_clock::now()));
+
+  if (R.Req.DebugDelayMs)
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(R.Req.DebugDelayMs));
+
+  ACOptions ACO;
+  ACO.NoHeapAbs.insert(R.Req.NoHeapAbs.begin(), R.Req.NoHeapAbs.end());
+  ACO.NoWordAbs.insert(R.Req.NoWordAbs.begin(), R.Req.NoWordAbs.end());
+  unsigned EffJobs = R.Req.Jobs ? R.Req.Jobs
+                                : (Opts.Jobs ? Opts.Jobs
+                                             : support::ThreadPool::defaultJobs());
+  ACO.Jobs = EffJobs;
+  ACO.SharedCache = cacheFor(R.Req.CacheDir);
+  if (EffJobs > 1) {
+    std::lock_guard<std::mutex> L(PoolM);
+    if (!Pool)
+      Pool = std::make_unique<support::ThreadPool>(EffJobs);
+    ACO.SharedPool = Pool.get();
+  }
+
+  CheckResponse Resp;
+  ac::DiagEngine Diags;
+  std::unique_ptr<AutoCorres> AC;
+  try {
+    AC = AutoCorres::run(R.Req.Source, Diags, ACO);
+  } catch (const std::exception &E) {
+    Resp = CheckResponse::error(ErrorCode::Internal,
+                                std::string("pipeline threw: ") + E.what());
+  }
+
+  if (AC) {
+    Resp.Ok = true;
+    const ACStats &St = AC->stats();
+    for (const std::string &Name : AC->order()) {
+      const FuncOutput *FO = AC->func(Name);
+      if (!FO)
+        continue;
+      FuncResult F;
+      F.Name = Name;
+      F.FinalKey = FO->finalKey();
+      F.HeapLifted = FO->HeapLifted;
+      F.WordAbstracted = FO->WordAbstracted;
+      F.Render = AC->render(Name);
+      F.Pipeline = FO->pipelineProp();
+      if (R.Req.WantSpecs) {
+        F.L1Spec = FO->l1Spec();
+        F.L2Spec = FO->l2Spec();
+        F.HLSpec = FO->hlSpec();
+        F.WASpec = FO->waSpec();
+      }
+      Resp.Functions.push_back(std::move(F));
+    }
+    Resp.SourceLines = St.SourceLines;
+    Resp.NumFunctions = St.NumFunctions;
+    Resp.Jobs = St.Jobs;
+    Resp.ParseSeconds = St.ParserSeconds;
+    Resp.AbstractWallSeconds = St.AutoCorresWallSeconds;
+    Resp.CacheEnabled = St.CacheEnabled;
+    Resp.CacheHits = St.CacheHits;
+    Resp.CacheMisses = St.CacheMisses;
+    Resp.CacheInvalidations = St.CacheInvalidations;
+    Metrics.ParseH.record(St.ParserSeconds);
+    Metrics.AbstractH.record(St.AutoCorresWallSeconds);
+    Metrics.CacheHits.fetch_add(St.CacheHits);
+    Metrics.CacheMisses.fetch_add(St.CacheMisses);
+    Metrics.CacheInvalidations.fetch_add(St.CacheInvalidations);
+  } else if (Resp.Err == ErrorCode::None) {
+    Resp = CheckResponse::error(ErrorCode::ParseError,
+                                "translation failed");
+  }
+  for (const ac::Diagnostic &D : Diags.diagnostics())
+    Resp.Diagnostics.push_back(D.str());
+
+  bool Delivered = R.C->send(Resp.toJson());
+  if (!Delivered)
+    Metrics.Cancelled.fetch_add(1);
+  else if (Resp.Ok)
+    Metrics.Completed.fetch_add(1);
+  else
+    Metrics.Failed.fetch_add(1);
+  Metrics.TotalH.record(
+      secondsBetween(R.Admitted, std::chrono::steady_clock::now()));
+}
+
+//===----------------------------------------------------------------------===//
+// Stats and cache tiers
+//===----------------------------------------------------------------------===//
+
+ac::support::Json Server::statsJson() {
+  return Metrics.toJson(queueDepth(), Opts.QueueCapacity, InFlight.load(),
+                        Opts.Workers, memCacheEntries(), Draining.load());
+}
+
+ResultCache *Server::cacheFor(const std::string &RequestedDir) {
+  std::string Dir = ResultCache::resolveDir(
+      RequestedDir.empty() ? Opts.CacheDir : RequestedDir);
+  std::lock_guard<std::mutex> L(CachesM);
+  std::unique_ptr<ResultCache> &Slot = Caches[Dir];
+  if (!Slot)
+    Slot = std::make_unique<ResultCache>(Dir);
+  return Slot.get();
+}
+
+size_t Server::memCacheEntries() {
+  std::lock_guard<std::mutex> L(CachesM);
+  size_t N = 0;
+  for (const auto &[Dir, Cache] : Caches)
+    N += Cache->size();
+  return N;
+}

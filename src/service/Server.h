@@ -1,0 +1,164 @@
+//===- Server.h - The acd verification daemon -------------------*- C++ -*-===//
+//
+// Part of the autocorres-cpp project, under the BSD 2-Clause License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The long-lived verification service behind the `acd` binary. One
+/// process keeps the expensive state of a verification session resident —
+/// interned HOL terms and axioms survive across requests, the abstraction
+/// cache lives in memory in front of its on-disk file, and a warm
+/// ThreadPool skips per-run thread spawning — so a warm re-check of an
+/// unchanged translation unit costs a cache probe and a render replay
+/// instead of a process start.
+///
+/// Concurrency model: an acceptor thread hands each connection to its own
+/// reader thread; `stats` / `ping` / `drain` are answered inline, while
+/// `check` requests go through a bounded admission queue drained by a
+/// fixed set of session workers (each runs one AutoCorres::run, which is
+/// reentrant). A full queue is explicit backpressure: the request is
+/// rejected immediately with `busy` + `retry_after_ms` instead of
+/// stalling the connection. Clients that hang up while queued are
+/// detected at dequeue (and at response delivery) and their slot is
+/// simply freed — counted as `cancelled`, never leaked as in-flight.
+///
+/// Shutdown is graceful: beginDrain() (wired to SIGTERM by acd) refuses
+/// new work with `draining`, lets queued + in-flight requests finish,
+/// flushes every disk-backed cache tier, then tears the threads down.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AC_SERVICE_SERVER_H
+#define AC_SERVICE_SERVER_H
+
+#include "core/AutoCorres.h"
+#include "core/ResultCache.h"
+#include "service/Metrics.h"
+#include "service/Protocol.h"
+#include "support/Socket.h"
+#include "support/ThreadPool.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace ac::service {
+
+/// Daemon configuration.
+struct ServerOptions {
+  /// Path of the Unix-domain listening socket.
+  std::string SocketPath;
+  /// Session workers: how many check requests run concurrently.
+  unsigned Workers = 2;
+  /// Admission queue capacity; a full queue rejects with `busy`.
+  size_t QueueCapacity = 8;
+  /// Default abstraction jobs per request (requests may override).
+  /// 0 = AC_JOBS (1 when unset). Values != 1 run on the shared pool.
+  unsigned Jobs = 0;
+  /// Default cache directory for requests that don't name one; resolved
+  /// through ResultCache::resolveDir. Even when resolution yields no
+  /// disk directory the daemon still serves a memory-only tier.
+  std::string CacheDir;
+  /// The retry hint attached to `busy` rejections.
+  unsigned RetryAfterMs = 50;
+};
+
+/// The daemon. start() spawns the threads; beginDrain()/waitDrained()
+/// (or stop(), which is both plus teardown) end the life cycle.
+class Server {
+public:
+  explicit Server(ServerOptions Opts);
+  ~Server();
+
+  Server(const Server &) = delete;
+  Server &operator=(const Server &) = delete;
+
+  /// Binds the socket and spawns acceptor + workers. False if the
+  /// socket can't be bound.
+  bool start();
+
+  /// Stops admitting work: every subsequent check is refused with
+  /// `draining`. Idempotent, callable from a signal-handling thread.
+  void beginDrain();
+
+  /// Blocks until the queue is empty and no request is in flight, then
+  /// flushes all disk-backed cache tiers.
+  void waitDrained();
+
+  /// beginDrain() + waitDrained() + join all threads + remove the
+  /// socket file. Called by the destructor if still running.
+  void stop();
+
+  bool draining() const { return Draining.load(); }
+  const ServerOptions &options() const { return Opts; }
+  ServiceMetrics &metrics() { return Metrics; }
+
+  /// Live queue depth / in-flight gauges (for tests and stats).
+  size_t queueDepth() const;
+  size_t inFlight() const { return InFlight.load(); }
+
+private:
+  struct Conn;
+  struct Request;
+
+  void acceptLoop();
+  void connLoop(std::shared_ptr<Conn> C);
+  void workerLoop();
+
+  /// Dispatches one decoded frame; returns the reply payload.
+  void handleFrame(const std::shared_ptr<Conn> &C, const std::string &Raw);
+  void handleCheck(const std::shared_ptr<Conn> &C, CheckRequest Req);
+  support::Json statsJson();
+
+  /// Runs the pipeline for one admitted request and sends the response.
+  void runRequest(Request &R);
+
+  /// The cache tier for \p RequestedDir (falling back to the server
+  /// default): one long-lived ResultCache per resolved directory,
+  /// created (and loaded) on first use; the "" key is the pure
+  /// in-memory tier used when no disk cache is configured.
+  core::ResultCache *cacheFor(const std::string &RequestedDir);
+
+  /// Total entries across all tiers (stats).
+  size_t memCacheEntries();
+
+  ServerOptions Opts;
+  ServiceMetrics Metrics;
+
+  support::Socket Listen;
+  std::thread Acceptor;
+  std::vector<std::thread> SessionWorkers;
+
+  std::mutex ConnsM;
+  std::condition_variable ConnsCV; ///< signalled when a reader exits
+  std::vector<std::shared_ptr<Conn>> Conns;
+
+  mutable std::mutex QueueM;
+  std::condition_variable QueueCV;  ///< workers wait for requests
+  std::condition_variable DrainCV;  ///< waitDrained waits for empty+idle
+  std::deque<std::shared_ptr<Request>> Queue;
+  std::atomic<size_t> InFlight{0};
+
+  std::mutex CachesM;
+  std::map<std::string, std::unique_ptr<core::ResultCache>> Caches;
+
+  /// Warm abstraction pool, shared by all concurrent sessions. Created
+  /// lazily on the first parallel request.
+  std::mutex PoolM;
+  std::unique_ptr<support::ThreadPool> Pool;
+
+  std::atomic<bool> Draining{false};
+  std::atomic<bool> Stopping{false};
+  bool Started = false;
+};
+
+} // namespace ac::service
+
+#endif // AC_SERVICE_SERVER_H

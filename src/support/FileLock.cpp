@@ -1,0 +1,44 @@
+//===- FileLock.cpp -------------------------------------------------------===//
+
+#include "support/FileLock.h"
+
+#include <cerrno>
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
+using namespace ac::support;
+
+FileLock &FileLock::operator=(FileLock &&O) noexcept {
+  if (this != &O) {
+    unlock();
+    Fd = O.Fd;
+    O.Fd = -1;
+  }
+  return *this;
+}
+
+FileLock FileLock::acquire(const std::string &Path, bool Exclusive) {
+  FileLock L;
+  int Fd = ::open(Path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0666);
+  if (Fd < 0)
+    return L;
+  int Rc;
+  do {
+    Rc = ::flock(Fd, Exclusive ? LOCK_EX : LOCK_SH);
+  } while (Rc < 0 && errno == EINTR);
+  if (Rc < 0) {
+    ::close(Fd);
+    return L;
+  }
+  L.Fd = Fd;
+  return L;
+}
+
+void FileLock::unlock() {
+  if (Fd >= 0) {
+    ::flock(Fd, LOCK_UN);
+    ::close(Fd);
+    Fd = -1;
+  }
+}

@@ -1,0 +1,53 @@
+//===- FileLock.h - Advisory cross-process file locking ---------*- C++ -*-===//
+//
+// Part of the autocorres-cpp project, under the BSD 2-Clause License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// RAII advisory locking via flock(2), used to serialize abstraction-cache
+/// load/save across processes sharing one cache directory (two concurrent
+/// `acd`/CLI runs must neither corrupt the cache file nor lose each
+/// other's entries — core/ResultCache.cpp merges under this lock).
+///
+/// flock locks attach to the open file description, so two ResultCache
+/// instances contend even inside one process (unlike fcntl(F_SETLK),
+/// whose per-process semantics would make the in-process two-writer
+/// stress test vacuous). Locks release on destruction or process death.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AC_SUPPORT_FILELOCK_H
+#define AC_SUPPORT_FILELOCK_H
+
+#include <string>
+
+namespace ac::support {
+
+/// Holds an advisory lock on a dedicated lock file for its lifetime.
+class FileLock {
+public:
+  FileLock() = default;
+  ~FileLock() { unlock(); }
+
+  FileLock(FileLock &&O) noexcept : Fd(O.Fd) { O.Fd = -1; }
+  FileLock &operator=(FileLock &&O) noexcept;
+  FileLock(const FileLock &) = delete;
+  FileLock &operator=(const FileLock &) = delete;
+
+  /// Opens (creating if needed) \p Path and blocks until the lock is
+  /// acquired. Exclusive locks serialize writers; shared locks let
+  /// concurrent readers overlap. Returns an unlocked FileLock on I/O
+  /// failure — callers degrade to lockless operation rather than fail.
+  static FileLock acquire(const std::string &Path, bool Exclusive);
+
+  bool held() const { return Fd >= 0; }
+  void unlock();
+
+private:
+  int Fd = -1;
+};
+
+} // namespace ac::support
+
+#endif // AC_SUPPORT_FILELOCK_H

@@ -1,0 +1,77 @@
+//===- Histogram.cpp ------------------------------------------------------===//
+
+#include "support/Histogram.h"
+
+#include <cmath>
+
+using namespace ac::support;
+
+unsigned Histogram::bucketFor(double Seconds) {
+  if (!(Seconds > 0))
+    return 0;
+  double Micros = Seconds * 1e6;
+  if (Micros <= 1.0)
+    return 0;
+  // Octave = floor(log2(us)); sub-bucket = position within the octave.
+  int Oct = static_cast<int>(std::floor(std::log2(Micros)));
+  if (Oct >= static_cast<int>(Octaves))
+    return NumBuckets - 1;
+  double Lo = std::ldexp(1.0, Oct); // 2^Oct us
+  unsigned Sub = static_cast<unsigned>((Micros - Lo) / Lo * SubBuckets);
+  if (Sub >= SubBuckets)
+    Sub = SubBuckets - 1;
+  unsigned Idx = static_cast<unsigned>(Oct) * SubBuckets + Sub;
+  return Idx < NumBuckets ? Idx : NumBuckets - 1;
+}
+
+double Histogram::bucketUpperBound(unsigned Idx) {
+  unsigned Oct = Idx / SubBuckets, Sub = Idx % SubBuckets;
+  double Lo = std::ldexp(1.0, static_cast<int>(Oct)); // 2^Oct us
+  double Upper = Lo + Lo * static_cast<double>(Sub + 1) / SubBuckets;
+  return Upper * 1e-6; // back to seconds
+}
+
+void Histogram::record(double Seconds) {
+  if (Seconds < 0)
+    Seconds = 0;
+  Buckets[bucketFor(Seconds)].fetch_add(1, std::memory_order_relaxed);
+  Count.fetch_add(1, std::memory_order_relaxed);
+  SumMicros.fetch_add(static_cast<uint64_t>(Seconds * 1e6),
+                      std::memory_order_relaxed);
+}
+
+uint64_t Histogram::count() const {
+  return Count.load(std::memory_order_relaxed);
+}
+
+double Histogram::sum() const {
+  return static_cast<double>(SumMicros.load(std::memory_order_relaxed)) *
+         1e-6;
+}
+
+double Histogram::quantile(double Q) const {
+  uint64_t Total = count();
+  if (Total == 0)
+    return 0;
+  if (Q < 0)
+    Q = 0;
+  if (Q > 1)
+    Q = 1;
+  uint64_t Target = static_cast<uint64_t>(std::ceil(Q * Total));
+  if (Target == 0)
+    Target = 1;
+  uint64_t Seen = 0;
+  for (unsigned I = 0; I != NumBuckets; ++I) {
+    Seen += Buckets[I].load(std::memory_order_relaxed);
+    if (Seen >= Target)
+      return bucketUpperBound(I);
+  }
+  return bucketUpperBound(NumBuckets - 1);
+}
+
+void Histogram::reset() {
+  for (auto &B : Buckets)
+    B.store(0, std::memory_order_relaxed);
+  Count.store(0, std::memory_order_relaxed);
+  SumMicros.store(0, std::memory_order_relaxed);
+}

@@ -1,0 +1,68 @@
+//===- Histogram.h - Log-bucketed latency histograms ------------*- C++ -*-===//
+//
+// Part of the autocorres-cpp project, under the BSD 2-Clause License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed-size, logarithmically-bucketed histogram for latency metrics.
+/// The verification service records per-phase durations into one of these
+/// per phase and reports p50/p90/p99 through the `stats` request.
+///
+/// Buckets span 1 microsecond to ~2000 seconds with 8 sub-buckets per
+/// octave (~9% relative width), so quantile estimates carry at most that
+/// relative error — plenty for serving metrics, and recording is a couple
+/// of integer ops plus one relaxed atomic add, cheap enough for hot paths.
+/// Histogram itself is thread-safe: record() may race with quantile()
+/// readers, which observe a consistent-enough snapshot for monitoring.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AC_SUPPORT_HISTOGRAM_H
+#define AC_SUPPORT_HISTOGRAM_H
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace ac::support {
+
+/// Thread-safe log-bucketed histogram of durations in seconds.
+class Histogram {
+public:
+  /// 8 sub-buckets per factor-of-2, from 1us up; 31 octaves covers
+  /// ~2147s, beyond which samples clamp into the last bucket.
+  static constexpr unsigned SubBuckets = 8;
+  static constexpr unsigned Octaves = 31;
+  static constexpr unsigned NumBuckets = Octaves * SubBuckets;
+
+  Histogram() = default;
+
+  /// Records one duration (negative values clamp to zero).
+  void record(double Seconds);
+
+  /// Number of recorded samples.
+  uint64_t count() const;
+  /// Sum of recorded durations, in seconds (approximate: samples are
+  /// accumulated exactly, not re-derived from buckets).
+  double sum() const;
+
+  /// The smallest duration d such that at least \p Q (in [0,1]) of the
+  /// samples are <= d, estimated from bucket upper bounds. 0 when empty.
+  double quantile(double Q) const;
+
+  /// Zeroes every bucket.
+  void reset();
+
+private:
+  static unsigned bucketFor(double Seconds);
+  static double bucketUpperBound(unsigned Idx);
+
+  std::atomic<uint64_t> Buckets[NumBuckets] = {};
+  std::atomic<uint64_t> Count{0};
+  std::atomic<uint64_t> SumMicros{0};
+};
+
+} // namespace ac::support
+
+#endif // AC_SUPPORT_HISTOGRAM_H

@@ -1,0 +1,107 @@
+//===- Json.h - Minimal JSON values, parsing, serialization -----*- C++ -*-===//
+//
+// Part of the autocorres-cpp project, under the BSD 2-Clause License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, dependency-free JSON implementation for the verification
+/// service wire protocol (docs/PROTOCOL.md). Values are a tagged union of
+/// null / bool / number (double) / string / array / object; parsing is a
+/// strict recursive-descent parser (UTF-8 pass-through, \uXXXX escapes
+/// decoded for the BMP), serialization is deterministic: object keys keep
+/// insertion order, numbers that hold integral values print without a
+/// fractional part so round-trips are byte-stable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AC_SUPPORT_JSON_H
+#define AC_SUPPORT_JSON_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ac::support {
+
+/// One JSON value.
+class Json {
+public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Json() : K(Kind::Null) {}
+  Json(std::nullptr_t) : K(Kind::Null) {}
+  Json(bool B) : K(Kind::Bool), B(B) {}
+  Json(double N) : K(Kind::Number), N(N) {}
+  Json(int N) : K(Kind::Number), N(N) {}
+  Json(unsigned N) : K(Kind::Number), N(N) {}
+  Json(int64_t N) : K(Kind::Number), N(static_cast<double>(N)) {}
+  Json(uint64_t N) : K(Kind::Number), N(static_cast<double>(N)) {}
+  Json(std::string S) : K(Kind::String), S(std::move(S)) {}
+  Json(const char *S) : K(Kind::String), S(S) {}
+
+  static Json array() {
+    Json J;
+    J.K = Kind::Array;
+    return J;
+  }
+  static Json object() {
+    Json J;
+    J.K = Kind::Object;
+    return J;
+  }
+
+  Kind kind() const { return K; }
+  bool isNull() const { return K == Kind::Null; }
+  bool isBool() const { return K == Kind::Bool; }
+  bool isNumber() const { return K == Kind::Number; }
+  bool isString() const { return K == Kind::String; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isObject() const { return K == Kind::Object; }
+
+  /// Typed accessors with defaults — the service treats missing/mistyped
+  /// fields as their zero value rather than failing the whole request.
+  bool asBool(bool Dflt = false) const { return isBool() ? B : Dflt; }
+  double asNumber(double Dflt = 0) const { return isNumber() ? N : Dflt; }
+  int64_t asInt(int64_t Dflt = 0) const {
+    return isNumber() ? static_cast<int64_t>(N) : Dflt;
+  }
+  const std::string &asString() const {
+    static const std::string Empty;
+    return isString() ? S : Empty;
+  }
+
+  const std::vector<Json> &items() const { return Arr; }
+  void push(Json V) { Arr.push_back(std::move(V)); }
+  size_t size() const { return isArray() ? Arr.size() : Members.size(); }
+
+  /// Object member access. get() returns a null value for absent keys.
+  void set(const std::string &Key, Json V);
+  const Json &get(const std::string &Key) const;
+  bool has(const std::string &Key) const;
+  const std::vector<std::pair<std::string, Json>> &members() const {
+    return Members;
+  }
+
+  /// Serializes this value. Compact (no whitespace), deterministic.
+  std::string dump() const;
+
+  /// Parses \p Text. Returns false (and fills \p Err) on malformed input;
+  /// trailing non-whitespace is an error.
+  static bool parse(const std::string &Text, Json &Out, std::string &Err);
+
+private:
+  Kind K;
+  bool B = false;
+  double N = 0;
+  std::string S;
+  std::vector<Json> Arr;
+  std::vector<std::pair<std::string, Json>> Members;
+};
+
+} // namespace ac::support
+
+#endif // AC_SUPPORT_JSON_H

@@ -1,0 +1,162 @@
+//===- Socket.cpp ---------------------------------------------------------===//
+
+#include "support/Socket.h"
+
+#include <cerrno>
+#include <cstring>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace ac::support;
+
+Socket &Socket::operator=(Socket &&O) noexcept {
+  if (this != &O) {
+    close();
+    Fd = O.Fd;
+    O.Fd = -1;
+  }
+  return *this;
+}
+
+Socket::~Socket() { close(); }
+
+void Socket::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+}
+
+static bool fillAddr(const std::string &Path, sockaddr_un &Addr) {
+  if (Path.size() >= sizeof(Addr.sun_path))
+    return false;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+  return true;
+}
+
+Socket Socket::connectUnix(const std::string &Path) {
+  sockaddr_un Addr;
+  if (!fillAddr(Path, Addr))
+    return Socket();
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return Socket();
+  int Rc;
+  do {
+    Rc = ::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr));
+  } while (Rc < 0 && errno == EINTR);
+  if (Rc < 0) {
+    ::close(Fd);
+    return Socket();
+  }
+  return Socket(Fd);
+}
+
+Socket Socket::listenUnix(const std::string &Path, int Backlog) {
+  sockaddr_un Addr;
+  if (!fillAddr(Path, Addr))
+    return Socket();
+  ::unlink(Path.c_str()); // stale socket file from a previous run
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return Socket();
+  if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0 ||
+      ::listen(Fd, Backlog) < 0) {
+    ::close(Fd);
+    return Socket();
+  }
+  return Socket(Fd);
+}
+
+Socket Socket::accept() const {
+  int Conn;
+  do {
+    Conn = ::accept(Fd, nullptr, nullptr);
+  } while (Conn < 0 && errno == EINTR);
+  return Conn < 0 ? Socket() : Socket(Conn);
+}
+
+bool Socket::peerClosed() const {
+  char C;
+  ssize_t N = ::recv(Fd, &C, 1, MSG_PEEK | MSG_DONTWAIT);
+  return N == 0;
+}
+
+bool Socket::waitReadable(int TimeoutMs) const {
+  pollfd P{Fd, POLLIN, 0};
+  int Rc;
+  do {
+    Rc = ::poll(&P, 1, TimeoutMs);
+  } while (Rc < 0 && errno == EINTR);
+  return Rc > 0;
+}
+
+bool Socket::writeAll(const void *Buf, size_t Len) const {
+  const char *P = static_cast<const char *>(Buf);
+  while (Len > 0) {
+    ssize_t N = ::send(Fd, P, Len, MSG_NOSIGNAL);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    P += N;
+    Len -= static_cast<size_t>(N);
+  }
+  return true;
+}
+
+bool Socket::readAll(void *Buf, size_t Len) const {
+  char *P = static_cast<char *>(Buf);
+  while (Len > 0) {
+    ssize_t N = ::recv(Fd, P, Len, 0);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    if (N == 0)
+      return false; // EOF mid-message
+    P += N;
+    Len -= static_cast<size_t>(N);
+  }
+  return true;
+}
+
+bool Socket::sendFrame(const std::string &Payload) const {
+  if (Payload.size() > MaxFrameBytes)
+    return false;
+  uint32_t Len = static_cast<uint32_t>(Payload.size());
+  unsigned char Hdr[4] = {
+      static_cast<unsigned char>(Len >> 24),
+      static_cast<unsigned char>(Len >> 16),
+      static_cast<unsigned char>(Len >> 8),
+      static_cast<unsigned char>(Len),
+  };
+  return writeAll(Hdr, 4) && writeAll(Payload.data(), Payload.size());
+}
+
+bool Socket::recvFrame(std::string &Payload) const {
+  unsigned char Hdr[4];
+  if (!readAll(Hdr, 4))
+    return false;
+  uint32_t Len = (uint32_t(Hdr[0]) << 24) | (uint32_t(Hdr[1]) << 16) |
+                 (uint32_t(Hdr[2]) << 8) | uint32_t(Hdr[3]);
+  if (Len > MaxFrameBytes)
+    return false;
+  Payload.resize(Len);
+  return Len == 0 || readAll(Payload.data(), Len);
+}
+
+bool ac::support::socketPair(Socket &A, Socket &B) {
+  int Fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, Fds) != 0)
+    return false;
+  A = Socket(Fds[0]);
+  B = Socket(Fds[1]);
+  return true;
+}

@@ -46,6 +46,23 @@ void ThreadPool::post(std::function<void()> Task) {
   CV.notify_one();
 }
 
+void ThreadPool::drain() {
+  std::unique_lock<std::mutex> L(M);
+  Idle.wait(L, [this] { return Queue.empty() && Active == 0; });
+}
+
+std::exception_ptr ThreadPool::takeError() {
+  std::lock_guard<std::mutex> L(M);
+  std::exception_ptr E = FirstError;
+  FirstError = nullptr;
+  return E;
+}
+
+void ThreadPool::rethrowIfError() {
+  if (std::exception_ptr E = takeError())
+    std::rethrow_exception(E);
+}
+
 void ThreadPool::workerLoop() {
   for (;;) {
     std::function<void()> Task;
@@ -56,8 +73,21 @@ void ThreadPool::workerLoop() {
         return; // Stop requested and nothing left to drain.
       Task = std::move(Queue.front());
       Queue.pop_front();
+      ++Active;
     }
-    Task();
+    std::exception_ptr E;
+    try {
+      Task();
+    } catch (...) {
+      E = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> L(M);
+      --Active;
+      if (E && !FirstError)
+        FirstError = E;
+    }
+    Idle.notify_all();
   }
 }
 

@@ -13,9 +13,12 @@
 ///
 /// The pool size defaults to the AC_JOBS environment variable (1 when
 /// unset), overridable per construction. Exceptions thrown by a task are
-/// captured and rethrown to the caller: from the future for submit(), and
+/// captured and rethrown to the caller: from the future for submit(),
 /// from runTaskGraph() for graph tasks (lowest-index failure wins, so the
-/// reported error is deterministic under any schedule).
+/// reported error is deterministic under any schedule), and — for raw
+/// post() callables — from takeError()/rethrowIfError() instead of
+/// std::terminate, so a throwing fire-and-forget task can never take the
+/// whole daemon down.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -61,9 +64,22 @@ public:
   /// or unparsable.
   static unsigned defaultJobs();
 
-  /// Low-level fire-and-forget enqueue: no future, exceptions must not
-  /// escape the callable. submit() and runTaskGraph() are built on it.
+  /// Low-level fire-and-forget enqueue: no future. An exception escaping
+  /// the callable is captured (first one wins) rather than terminating;
+  /// retrieve it with takeError(). submit() and runTaskGraph() are built
+  /// on it and do their own capturing, so they never surface here.
   void post(std::function<void()> Task);
+
+  /// Blocks until the queue is empty and no worker is running a task.
+  /// Tasks posted concurrently with drain() extend the wait.
+  void drain();
+
+  /// The first exception captured from a post()ed task, or nullptr.
+  /// Clears the slot so later failures are observable again.
+  std::exception_ptr takeError();
+
+  /// Rethrows takeError() if one is pending; no-op otherwise.
+  void rethrowIfError();
 
 private:
   void workerLoop();
@@ -72,6 +88,9 @@ private:
   std::deque<std::function<void()>> Queue;
   std::mutex M;
   std::condition_variable CV;
+  std::condition_variable Idle; ///< signalled when a task finishes
+  unsigned Active = 0;          ///< workers currently running a task
+  std::exception_ptr FirstError;
   bool Stop = false;
 };
 

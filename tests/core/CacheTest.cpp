@@ -20,11 +20,13 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 using namespace ac;
@@ -267,4 +269,100 @@ TEST_F(CacheTest, OptionChangesInvalidate) {
   ASSERT_TRUE(AC) << Diags.str();
   EXPECT_GE(AC->stats().CacheMisses, 3u);
   EXPECT_EQ(AC->stats().CacheHits, 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// Concurrent writers (the advisory file lock + merge-on-save path)
+//===----------------------------------------------------------------------===//
+
+TEST_F(CacheTest, SaveMergesWithAConcurrentWritersFile) {
+  // Writer A loads (empty), then B loads, inserts and saves; A's later
+  // save must keep B's entry rather than clobbering the file with its
+  // own pre-B view — the read-merge-write under the exclusive lock.
+  std::filesystem::create_directories(Dir);
+  core::ResultCache A(Dir);
+  {
+    core::ResultCache B(Dir);
+    core::CachedFunc E;
+    E.Key = 0xB0B;
+    E.Name = "from_b";
+    E.Render = "render b";
+    B.insert(std::move(E));
+    ASSERT_TRUE(B.save());
+  }
+  core::CachedFunc E;
+  E.Key = 0xA11CE;
+  E.Name = "from_a";
+  E.Render = "render a";
+  A.insert(std::move(E));
+  ASSERT_TRUE(A.save());
+
+  core::ResultCache Final(Dir);
+  EXPECT_EQ(Final.size(), 2u);
+  EXPECT_TRUE(Final.knowsFunction("from_a"));
+  EXPECT_TRUE(Final.knowsFunction("from_b"));
+  EXPECT_TRUE(Final.lookup(0xB0B) != nullptr);
+  EXPECT_TRUE(std::filesystem::exists(Dir + "/accache.lock"));
+}
+
+TEST_F(CacheTest, RecomputeSupersedesAConcurrentWritersEntry) {
+  // Both writers computed `shared`, under different keys (say the
+  // source changed between their loads). Whoever saves last wins for
+  // that name — but there must be exactly one `shared` entry, never a
+  // stale duplicate under the old key.
+  std::filesystem::create_directories(Dir);
+  auto makeEntry = [](uint64_t Key) {
+    core::CachedFunc E;
+    E.Key = Key;
+    E.Name = "shared";
+    E.Render = "render " + std::to_string(Key);
+    return E;
+  };
+  core::ResultCache A(Dir), B(Dir);
+  A.insert(makeEntry(111));
+  ASSERT_TRUE(A.save());
+  B.insert(makeEntry(222));
+  ASSERT_TRUE(B.save());
+
+  core::ResultCache Final(Dir);
+  EXPECT_EQ(Final.size(), 1u);
+  EXPECT_TRUE(Final.knowsFunction("shared"));
+  EXPECT_EQ(Final.lookup(111), nullptr);
+  ASSERT_TRUE(Final.lookup(222) != nullptr);
+  EXPECT_EQ(Final.lookup(222)->Render, "render 222");
+}
+
+TEST_F(CacheTest, TwoWriterStressLosesNoEntries) {
+  // Two threads hammer the same cache directory with interleaved
+  // load/insert/save cycles (flock attaches to the open file
+  // description, so two in-process instances genuinely contend). The
+  // merge-on-save contract: no writer's entries are ever lost.
+  std::filesystem::create_directories(Dir);
+  constexpr int Rounds = 25;
+  std::atomic<int> SaveFailures{0};
+  auto Writer = [&](unsigned Id) {
+    for (int R = 0; R != Rounds; ++R) {
+      core::ResultCache C(Dir);
+      core::CachedFunc E;
+      E.Key = Id * 1000u + static_cast<unsigned>(R) + 1;
+      E.Name =
+          "fn_" + std::to_string(Id) + "_" + std::to_string(R);
+      E.Render = "render " + E.Name;
+      C.insert(std::move(E));
+      if (!C.save())
+        SaveFailures.fetch_add(1);
+    }
+  };
+  std::thread T1(Writer, 1), T2(Writer, 2);
+  T1.join();
+  T2.join();
+  EXPECT_EQ(SaveFailures.load(), 0);
+
+  core::ResultCache Final(Dir);
+  EXPECT_EQ(Final.size(), 2u * Rounds);
+  for (unsigned Id = 1; Id <= 2; ++Id)
+    for (int R = 0; R != Rounds; ++R)
+      EXPECT_TRUE(Final.knowsFunction("fn_" + std::to_string(Id) + "_" +
+                                      std::to_string(R)))
+          << "lost entry of writer " << Id << " round " << R;
 }

@@ -1,0 +1,603 @@
+//===- ServiceTest.cpp - The acd verification service -----------*- C++ -*-===//
+//
+// Part of the autocorres-cpp project, under the BSD 2-Clause License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// End-to-end tests of the verification daemon (service/Server.h) and its
+/// client: wire framing over a socketpair, byte-identity of daemon-served
+/// specs against in-process runs (including under concurrent clients and
+/// across a drain/restart cycle on a shared cache directory),
+/// backpressure on a full admission queue, request cancellation when the
+/// client hangs up, and the stats surface that proves no session leaks.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/AutoCorres.h"
+#include "corpus/Sources.h"
+#include "service/Client.h"
+#include "service/Server.h"
+#include "support/Socket.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace ac;
+using namespace ac::service;
+using ac::support::Json;
+using ac::support::Socket;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Wire framing and protocol encode/decode (no server involved)
+//===----------------------------------------------------------------------===//
+
+TEST(WireFraming, FramesRoundTripOverASocketPair) {
+  Socket A, B;
+  ASSERT_TRUE(support::socketPair(A, B));
+  ASSERT_TRUE(A.sendFrame("hello"));
+  ASSERT_TRUE(A.sendFrame("")); // empty payloads are legal
+  std::string P1, P2;
+  ASSERT_TRUE(B.recvFrame(P1));
+  ASSERT_TRUE(B.recvFrame(P2));
+  EXPECT_EQ(P1, "hello");
+  EXPECT_EQ(P2, "");
+}
+
+TEST(WireFraming, BinaryPayloadSurvives) {
+  Socket A, B;
+  ASSERT_TRUE(support::socketPair(A, B));
+  std::string Payload;
+  for (int I = 0; I != 1000; ++I)
+    Payload.push_back(static_cast<char>(I % 256));
+  ASSERT_TRUE(A.sendFrame(Payload));
+  std::string Back;
+  ASSERT_TRUE(B.recvFrame(Back));
+  EXPECT_EQ(Back, Payload);
+}
+
+TEST(WireFraming, OversizedLengthPrefixIsRejected) {
+  Socket A, B;
+  ASSERT_TRUE(support::socketPair(A, B));
+  // A corrupt 4-byte prefix claiming ~4 GiB must not allocate; the
+  // receiver drops the connection instead.
+  unsigned char Hdr[4] = {0xFF, 0xFF, 0xFF, 0xFF};
+  ASSERT_TRUE(A.writeAll(Hdr, 4));
+  std::string P;
+  EXPECT_FALSE(B.recvFrame(P));
+}
+
+TEST(WireFraming, EofMidFrameIsAnError) {
+  Socket A, B;
+  ASSERT_TRUE(support::socketPair(A, B));
+  unsigned char Hdr[4] = {0, 0, 0, 100}; // promises 100 bytes
+  ASSERT_TRUE(A.writeAll(Hdr, 4));
+  ASSERT_TRUE(A.writeAll("short", 5));
+  A.close();
+  std::string P;
+  EXPECT_FALSE(B.recvFrame(P));
+}
+
+TEST(WireFraming, PeerClosedDetection) {
+  Socket A, B;
+  ASSERT_TRUE(support::socketPair(A, B));
+  EXPECT_FALSE(B.peerClosed());
+  A.close();
+  EXPECT_TRUE(B.peerClosed());
+}
+
+TEST(Protocol, CheckRequestRoundTrips) {
+  CheckRequest Req;
+  Req.Source = "int f(void) { return 1; }\n";
+  Req.NoHeapAbs = {"f", "g"};
+  Req.NoWordAbs = {"h"};
+  Req.Jobs = 4;
+  Req.CacheDir = "/tmp/cache";
+  Req.WantSpecs = true;
+  CheckRequest Back;
+  std::string Err;
+  ASSERT_TRUE(CheckRequest::fromJson(Req.toJson(), Back, Err)) << Err;
+  EXPECT_EQ(Back.Source, Req.Source);
+  EXPECT_EQ(Back.NoHeapAbs, Req.NoHeapAbs);
+  EXPECT_EQ(Back.NoWordAbs, Req.NoWordAbs);
+  EXPECT_EQ(Back.Jobs, 4u);
+  EXPECT_EQ(Back.CacheDir, "/tmp/cache");
+  EXPECT_TRUE(Back.WantSpecs);
+}
+
+TEST(Protocol, ErrorEnvelopeRoundTrips) {
+  CheckResponse R =
+      CheckResponse::error(ErrorCode::Busy, "admission queue full", 75);
+  CheckResponse Back;
+  std::string Err;
+  ASSERT_TRUE(CheckResponse::fromJson(R.toJson(), Back, Err)) << Err;
+  EXPECT_FALSE(Back.Ok);
+  EXPECT_EQ(Back.Err, ErrorCode::Busy);
+  EXPECT_EQ(Back.Message, "admission queue full");
+  EXPECT_EQ(Back.RetryAfterMs, 75u);
+}
+
+TEST(Protocol, ErrorCodeNamesRoundTrip) {
+  for (ErrorCode E :
+       {ErrorCode::None, ErrorCode::Busy, ErrorCode::Draining,
+        ErrorCode::BadRequest, ErrorCode::ParseError, ErrorCode::Internal})
+    EXPECT_EQ(errorCodeFromName(errorCodeName(E)), E);
+}
+
+//===----------------------------------------------------------------------===//
+// Live-server fixture
+//===----------------------------------------------------------------------===//
+
+/// What an in-process run produces for one source — the oracle daemon
+/// responses are compared against, field by field, byte for byte.
+struct RefRun {
+  bool Ok = false;
+  std::vector<std::string> Names, FinalKeys, Renders, Pipelines, Diags;
+};
+
+RefRun inProcessRun(const std::string &Src) {
+  RefRun R;
+  DiagEngine Diags;
+  auto AC = core::AutoCorres::run(Src, Diags);
+  for (const Diagnostic &D : Diags.diagnostics())
+    R.Diags.push_back(D.str());
+  if (!AC)
+    return R;
+  R.Ok = true;
+  for (const std::string &Name : AC->order()) {
+    const core::FuncOutput *F = AC->func(Name);
+    R.Names.push_back(Name);
+    R.FinalKeys.push_back(F->finalKey());
+    R.Renders.push_back(AC->render(Name));
+    R.Pipelines.push_back(F->pipelineProp());
+  }
+  return R;
+}
+
+void expectMatchesRef(const CheckResponse &Resp, const RefRun &Ref,
+                      const std::string &What) {
+  ASSERT_TRUE(Resp.Ok) << What << ": " << Resp.Message;
+  ASSERT_EQ(Resp.Functions.size(), Ref.Names.size()) << What;
+  for (size_t I = 0; I != Ref.Names.size(); ++I) {
+    EXPECT_EQ(Resp.Functions[I].Name, Ref.Names[I]) << What;
+    EXPECT_EQ(Resp.Functions[I].FinalKey, Ref.FinalKeys[I]) << What;
+    EXPECT_EQ(Resp.Functions[I].Render, Ref.Renders[I])
+        << What << ": daemon-served spec diverged for " << Ref.Names[I];
+    EXPECT_EQ(Resp.Functions[I].Pipeline, Ref.Pipelines[I])
+        << What << ": composed theorem diverged for " << Ref.Names[I];
+  }
+  EXPECT_EQ(Resp.Diagnostics, Ref.Diags) << What;
+}
+
+class ServiceTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    ::unsetenv("AC_CACHE");
+    ::unsetenv("AC_CACHE_DIR");
+    ::unsetenv("AC_JOBS");
+    const char *Name =
+        ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    Root = ::testing::TempDir() + "ac-service-" + Name;
+    std::filesystem::remove_all(Root);
+    std::filesystem::create_directories(Root);
+    SockPath = Root + "/acd.sock";
+  }
+  void TearDown() override { std::filesystem::remove_all(Root); }
+
+  ServerOptions baseOpts() {
+    ServerOptions O;
+    O.SocketPath = SockPath;
+    O.Workers = 2;
+    O.QueueCapacity = 4;
+    return O;
+  }
+
+  /// Polls the daemon's stats endpoint until \p Pred holds.
+  bool waitStats(const std::function<bool(const Json &)> &Pred,
+                 int TimeoutMs = 5000) {
+    auto Deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(TimeoutMs);
+    while (std::chrono::steady_clock::now() < Deadline) {
+      Client C = Client::connect(SockPath);
+      Json J;
+      std::string Err;
+      if (C.connected() && C.stats(J, Err) && Pred(J))
+        return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    return false;
+  }
+
+  std::string Root, SockPath;
+};
+
+} // namespace
+
+TEST_F(ServiceTest, PingAndStats) {
+  Server Srv(baseOpts());
+  ASSERT_TRUE(Srv.start());
+  Client C = Client::connect(SockPath);
+  ASSERT_TRUE(C.connected());
+  std::string Err;
+  EXPECT_TRUE(C.ping(Err)) << Err;
+  Json St;
+  ASSERT_TRUE(C.stats(St, Err)) << Err;
+  EXPECT_TRUE(St.get("ok").asBool());
+  EXPECT_FALSE(St.get("draining").asBool(true));
+  EXPECT_EQ(St.get("workers").asInt(), 2);
+  EXPECT_EQ(St.get("queue_capacity").asInt(), 4);
+  EXPECT_EQ(St.get("requests").get("received").asInt(), 0);
+  Srv.stop();
+}
+
+TEST_F(ServiceTest, ServedSpecsAreByteIdenticalToInProcessRuns) {
+  Server Srv(baseOpts());
+  ASSERT_TRUE(Srv.start());
+  Client C = Client::connect(SockPath);
+  ASSERT_TRUE(C.connected());
+  const char *Sources[] = {corpus::maxSource(), corpus::swapSource(),
+                           corpus::reverseSource(),
+                           corpus::suzukiSource()};
+  for (const char *Src : Sources) {
+    RefRun Ref = inProcessRun(Src);
+    CheckRequest Req;
+    Req.Source = Src;
+    CheckResponse Resp;
+    std::string Err;
+    ASSERT_TRUE(C.check(Req, Resp, Err)) << Err;
+    expectMatchesRef(Resp, Ref, "single client");
+  }
+  // Same connection, warm tier: second serving is identical too.
+  RefRun Ref = inProcessRun(corpus::maxSource());
+  CheckRequest Req;
+  Req.Source = corpus::maxSource();
+  CheckResponse Resp;
+  std::string Err;
+  ASSERT_TRUE(C.check(Req, Resp, Err)) << Err;
+  expectMatchesRef(Resp, Ref, "warm re-check");
+  EXPECT_GT(Resp.CacheHits, 0u) << "in-memory tier did not warm up";
+  Srv.stop();
+}
+
+TEST_F(ServiceTest, ConcurrentClientsEachGetExactResults) {
+  // Different programs in flight at once exercise run()'s reentrancy
+  // (shared intern tables, axiom inventory, lifted-globals axioms with
+  // program-dependent names); every client must still get byte-exact
+  // output for its own program.
+  Server Srv(baseOpts());
+  ASSERT_TRUE(Srv.start());
+
+  const char *Sources[] = {corpus::maxSource(),      corpus::gcdSource(),
+                           corpus::swapSource(),     corpus::midpointSource(),
+                           corpus::reverseSource(),  corpus::suzukiSource()};
+  constexpr size_t N = sizeof(Sources) / sizeof(Sources[0]);
+  std::vector<RefRun> Refs(N);
+  for (size_t I = 0; I != N; ++I)
+    Refs[I] = inProcessRun(Sources[I]);
+
+  std::atomic<int> Failures{0};
+  std::vector<std::thread> Ts;
+  for (size_t I = 0; I != N; ++I)
+    Ts.emplace_back([&, I] {
+      for (int Round = 0; Round != 3; ++Round) {
+        Client C = Client::connect(SockPath);
+        CheckRequest Req;
+        Req.Source = Sources[I];
+        CheckResponse Resp;
+        std::string Err;
+        if (!C.connected() || !C.checkRetry(Req, Resp, Err) || !Resp.Ok) {
+          Failures.fetch_add(1);
+          return;
+        }
+        if (Resp.Functions.size() != Refs[I].Names.size()) {
+          Failures.fetch_add(1);
+          return;
+        }
+        for (size_t F = 0; F != Refs[I].Names.size(); ++F)
+          if (Resp.Functions[F].Render != Refs[I].Renders[F] ||
+              Resp.Functions[F].Pipeline != Refs[I].Pipelines[F] ||
+              Resp.Functions[F].FinalKey != Refs[I].FinalKeys[F])
+            Failures.fetch_add(1);
+      }
+    });
+  for (std::thread &T : Ts)
+    T.join();
+  EXPECT_EQ(Failures.load(), 0);
+
+  // Every admitted request is accounted for, nothing leaks.
+  EXPECT_TRUE(waitStats([](const Json &St) {
+    return St.get("in_flight").asInt() == 0 &&
+           St.get("queue_depth").asInt() == 0;
+  }));
+  ServiceMetrics &M = Srv.metrics();
+  EXPECT_EQ(M.Received.load(), M.Completed.load());
+  EXPECT_EQ(M.Failed.load(), 0u);
+  EXPECT_EQ(M.Cancelled.load(), 0u);
+  Srv.stop();
+}
+
+TEST_F(ServiceTest, FullQueueGetsBusyWithRetryHint) {
+  ServerOptions O = baseOpts();
+  O.Workers = 1;
+  O.QueueCapacity = 1;
+  O.RetryAfterMs = 25;
+  Server Srv(O);
+  ASSERT_TRUE(Srv.start());
+
+  CheckRequest Slow;
+  Slow.Source = corpus::maxSource();
+  Slow.DebugDelayMs = 400;
+
+  // A occupies the single worker...
+  Client A = Client::connect(SockPath);
+  std::thread TA([&] {
+    CheckResponse R;
+    std::string E;
+    A.check(Slow, R, E);
+  });
+  ASSERT_TRUE(waitStats(
+      [](const Json &St) { return St.get("in_flight").asInt() == 1; }));
+
+  // ...B fills the one queue slot...
+  Client B = Client::connect(SockPath);
+  std::thread TB([&] {
+    CheckResponse R;
+    std::string E;
+    B.check(Slow, R, E);
+  });
+  ASSERT_TRUE(waitStats(
+      [](const Json &St) { return St.get("queue_depth").asInt() == 1; }));
+
+  // ...so C must be rejected immediately with the retry hint.
+  Client C = Client::connect(SockPath);
+  CheckRequest Quick;
+  Quick.Source = corpus::maxSource();
+  CheckResponse R;
+  std::string Err;
+  ASSERT_TRUE(C.check(Quick, R, Err)) << Err;
+  EXPECT_FALSE(R.Ok);
+  EXPECT_EQ(R.Err, ErrorCode::Busy);
+  EXPECT_EQ(R.RetryAfterMs, 25u);
+  EXPECT_GE(Srv.metrics().Rejected.load(), 1u);
+
+  // Obeying the backpressure signal eventually gets through.
+  CheckResponse R2;
+  ASSERT_TRUE(C.checkRetry(Quick, R2, Err)) << Err;
+  EXPECT_TRUE(R2.Ok) << R2.Message;
+
+  TA.join();
+  TB.join();
+  Srv.stop();
+}
+
+TEST_F(ServiceTest, DisconnectedClientsRequestIsCancelledNotLeaked) {
+  ServerOptions O = baseOpts();
+  O.Workers = 1;
+  Server Srv(O);
+  ASSERT_TRUE(Srv.start());
+
+  // Keep the single worker busy so the victim's request has to queue.
+  CheckRequest Slow;
+  Slow.Source = corpus::maxSource();
+  Slow.DebugDelayMs = 300;
+  Client A = Client::connect(SockPath);
+  std::thread TA([&] {
+    CheckResponse R;
+    std::string E;
+    A.check(Slow, R, E);
+  });
+  ASSERT_TRUE(waitStats(
+      [](const Json &St) { return St.get("in_flight").asInt() == 1; }));
+
+  // The victim submits a check, then hangs up without waiting.
+  {
+    Client B = Client::connect(SockPath);
+    ASSERT_TRUE(B.connected());
+    CheckRequest Req;
+    Req.Source = corpus::gcdSource();
+    ASSERT_TRUE(B.socket().sendFrame(Req.toJson().dump()));
+    ASSERT_TRUE(waitStats(
+        [](const Json &St) { return St.get("queue_depth").asInt() == 1; }));
+  } // B's socket closes here, with its request still queued
+
+  // The worker must detect the hang-up at dequeue, free the slot, and
+  // account the request as cancelled — not run it, not leak it.
+  TA.join();
+  ASSERT_TRUE(waitStats([](const Json &St) {
+    return St.get("requests").get("cancelled").asInt() == 1 &&
+           St.get("in_flight").asInt() == 0 &&
+           St.get("queue_depth").asInt() == 0;
+  }));
+  ServiceMetrics &M = Srv.metrics();
+  EXPECT_EQ(M.Received.load(), 2u);
+  EXPECT_EQ(M.Completed.load(), 1u); // A's
+  EXPECT_EQ(M.Cancelled.load(), 1u); // B's
+  EXPECT_EQ(M.Failed.load(), 0u);
+  Srv.stop();
+}
+
+TEST_F(ServiceTest, MalformedAndInvalidRequestsGetTypedErrors) {
+  Server Srv(baseOpts());
+  ASSERT_TRUE(Srv.start());
+  Client C = Client::connect(SockPath);
+  ASSERT_TRUE(C.connected());
+
+  auto roundTripRaw = [&](const std::string &Raw, CheckResponse &Out) {
+    EXPECT_TRUE(C.socket().sendFrame(Raw));
+    std::string Reply;
+    EXPECT_TRUE(C.socket().recvFrame(Reply));
+    Json J;
+    std::string Err;
+    EXPECT_TRUE(Json::parse(Reply, J, Err)) << Err;
+    EXPECT_TRUE(CheckResponse::fromJson(J, Out, Err)) << Err;
+  };
+
+  CheckResponse R;
+  roundTripRaw("this is not json", R);
+  EXPECT_EQ(R.Err, ErrorCode::BadRequest);
+
+  roundTripRaw(R"({"v":1,"op":"frobnicate"})", R);
+  EXPECT_EQ(R.Err, ErrorCode::BadRequest);
+
+  roundTripRaw(R"({"v":99,"op":"ping"})", R);
+  EXPECT_EQ(R.Err, ErrorCode::BadRequest);
+
+  roundTripRaw(R"({"v":1,"op":"check"})", R); // no source
+  EXPECT_EQ(R.Err, ErrorCode::BadRequest);
+
+  // Valid request, invalid C: a parse_error with diagnostics, and the
+  // connection stays usable afterwards.
+  CheckRequest Req;
+  Req.Source = "int broken(void) { return ; }\n";
+  CheckResponse Bad;
+  std::string Err;
+  ASSERT_TRUE(C.check(Req, Bad, Err)) << Err;
+  EXPECT_FALSE(Bad.Ok);
+  EXPECT_EQ(Bad.Err, ErrorCode::ParseError);
+  EXPECT_FALSE(Bad.Diagnostics.empty());
+  // The failure counter is bumped after the response is delivered, so
+  // observe it through the (eventually consistent) stats endpoint.
+  EXPECT_TRUE(waitStats([](const Json &St) {
+    return St.get("requests").get("failed").asInt() == 1;
+  }));
+
+  Req.Source = corpus::maxSource();
+  CheckResponse Good;
+  ASSERT_TRUE(C.check(Req, Good, Err)) << Err;
+  EXPECT_TRUE(Good.Ok);
+  Srv.stop();
+}
+
+TEST_F(ServiceTest, DrainRefusesNewWorkAndFinishesQueued) {
+  ServerOptions O = baseOpts();
+  O.Workers = 1;
+  Server Srv(O);
+  ASSERT_TRUE(Srv.start());
+
+  CheckRequest Slow;
+  Slow.Source = corpus::maxSource();
+  Slow.DebugDelayMs = 250;
+  Client A = Client::connect(SockPath);
+  CheckResponse RA;
+  std::string ErrA;
+  std::thread TA([&] { A.check(Slow, RA, ErrA); });
+  ASSERT_TRUE(waitStats(
+      [](const Json &St) { return St.get("in_flight").asInt() == 1; }));
+
+  Client D = Client::connect(SockPath);
+  std::string Err;
+  ASSERT_TRUE(D.drain(Err)) << Err;
+  EXPECT_TRUE(Srv.draining());
+
+  // New work is refused while the in-flight request still completes.
+  Client C = Client::connect(SockPath);
+  CheckRequest Req;
+  Req.Source = corpus::gcdSource();
+  CheckResponse R;
+  ASSERT_TRUE(C.check(Req, R, Err)) << Err;
+  EXPECT_FALSE(R.Ok);
+  EXPECT_EQ(R.Err, ErrorCode::Draining);
+
+  TA.join();
+  EXPECT_TRUE(RA.Ok) << ErrA << " " << RA.Message;
+  Srv.stop();
+  EXPECT_EQ(Srv.metrics().Completed.load(), 1u);
+}
+
+TEST_F(ServiceTest, WarmCacheSurvivesDrainAndRestart) {
+  std::string CacheDir = Root + "/cache";
+  RefRun Ref = inProcessRun(corpus::reverseSource());
+
+  ServerOptions O = baseOpts();
+  O.CacheDir = CacheDir;
+  {
+    Server Srv(O);
+    ASSERT_TRUE(Srv.start());
+    Client C = Client::connect(SockPath);
+    CheckRequest Req;
+    Req.Source = corpus::reverseSource();
+    CheckResponse Resp;
+    std::string Err;
+    ASSERT_TRUE(C.check(Req, Resp, Err)) << Err;
+    expectMatchesRef(Resp, Ref, "first daemon, cold");
+    EXPECT_GT(Resp.CacheMisses, 0u);
+    Srv.stop(); // drains and flushes the tier to disk
+  }
+  ASSERT_TRUE(std::filesystem::exists(CacheDir));
+
+  // A fresh daemon on the same directory serves the same bytes from a
+  // warm tier: all hits, no recompute.
+  {
+    Server Srv(O);
+    ASSERT_TRUE(Srv.start());
+    Client C = Client::connect(SockPath);
+    CheckRequest Req;
+    Req.Source = corpus::reverseSource();
+    CheckResponse Resp;
+    std::string Err;
+    ASSERT_TRUE(C.check(Req, Resp, Err)) << Err;
+    expectMatchesRef(Resp, Ref, "second daemon, warm");
+    EXPECT_EQ(Resp.CacheMisses, 0u);
+    EXPECT_GT(Resp.CacheHits, 0u);
+    Srv.stop();
+  }
+}
+
+TEST_F(ServiceTest, PerRequestOptionsAreHonoured) {
+  Server Srv(baseOpts());
+  ASSERT_TRUE(Srv.start());
+  Client C = Client::connect(SockPath);
+
+  // swap normally heap-lifts; NoHeapAbs must turn that off for exactly
+  // this request and be reflected in the result signature.
+  CheckRequest Req;
+  Req.Source = corpus::swapSource();
+  CheckResponse Lifted;
+  std::string Err;
+  ASSERT_TRUE(C.check(Req, Lifted, Err)) << Err;
+  ASSERT_EQ(Lifted.Functions.size(), 1u);
+  EXPECT_TRUE(Lifted.Functions[0].HeapLifted);
+
+  Req.NoHeapAbs = {"swap"};
+  CheckResponse Raw;
+  ASSERT_TRUE(C.check(Req, Raw, Err)) << Err;
+  ASSERT_EQ(Raw.Functions.size(), 1u);
+  EXPECT_FALSE(Raw.Functions[0].HeapLifted);
+  EXPECT_NE(Raw.Functions[0].Render, Lifted.Functions[0].Render);
+
+  // want_specs controls the per-phase payload.
+  Req.NoHeapAbs.clear();
+  Req.WantSpecs = true;
+  CheckResponse Specs;
+  ASSERT_TRUE(C.check(Req, Specs, Err)) << Err;
+  ASSERT_EQ(Specs.Functions.size(), 1u);
+  EXPECT_FALSE(Specs.Functions[0].L1Spec.empty());
+  EXPECT_FALSE(Specs.Functions[0].HLSpec.empty());
+  Srv.stop();
+}
+
+TEST_F(ServiceTest, ParallelRequestsUseTheSharedPool) {
+  ServerOptions O = baseOpts();
+  O.Jobs = 4; // daemon default: abstraction stages on the shared pool
+  Server Srv(O);
+  ASSERT_TRUE(Srv.start());
+  Client C = Client::connect(SockPath);
+  RefRun Ref = inProcessRun(corpus::reverseSource());
+  CheckRequest Req;
+  Req.Source = corpus::reverseSource();
+  CheckResponse Resp;
+  std::string Err;
+  ASSERT_TRUE(C.check(Req, Resp, Err)) << Err;
+  expectMatchesRef(Resp, Ref, "shared-pool run");
+  EXPECT_EQ(Resp.Jobs, 4u);
+  Srv.stop();
+}

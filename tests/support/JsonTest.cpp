@@ -1,0 +1,185 @@
+//===- JsonTest.cpp - Wire-format building blocks ---------------*- C++ -*-===//
+//
+// Part of the autocorres-cpp project, under the BSD 2-Clause License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests the service's wire-format building blocks: the JSON value /
+/// parser / serializer (round-trips, escapes, strictness on malformed
+/// input) and the log-bucketed latency histogram behind the daemon's
+/// p50/p90/p99 metrics.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/Histogram.h"
+#include "support/Json.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace ac::support;
+
+namespace {
+
+Json parseOk(const std::string &Text) {
+  Json J;
+  std::string Err;
+  EXPECT_TRUE(Json::parse(Text, J, Err)) << Text << ": " << Err;
+  return J;
+}
+
+void expectParseFails(const std::string &Text) {
+  Json J;
+  std::string Err;
+  EXPECT_FALSE(Json::parse(Text, J, Err)) << "accepted: " << Text;
+}
+
+} // namespace
+
+TEST(Json, ScalarsRoundTrip) {
+  EXPECT_EQ(parseOk("null").kind(), Json::Kind::Null);
+  EXPECT_TRUE(parseOk("true").asBool());
+  EXPECT_FALSE(parseOk("false").asBool(true));
+  EXPECT_EQ(parseOk("42").asInt(), 42);
+  EXPECT_EQ(parseOk("-7").asInt(), -7);
+  EXPECT_DOUBLE_EQ(parseOk("2.5e3").asNumber(), 2500.0);
+  EXPECT_EQ(parseOk("\"hi\"").asString(), "hi");
+}
+
+TEST(Json, IntegralNumbersPrintWithoutFraction) {
+  // Byte-stable framing depends on this: 3 must not re-serialize as
+  // 3.0 after a decode/encode hop.
+  EXPECT_EQ(Json(3).dump(), "3");
+  EXPECT_EQ(Json(uint64_t(1) << 40).dump(), "1099511627776");
+  EXPECT_EQ(Json(2.5).dump(), "2.5");
+  EXPECT_EQ(parseOk("17").dump(), "17");
+}
+
+TEST(Json, StringEscapes) {
+  Json J = parseOk(R"("a\"b\\c\nd\teA")");
+  EXPECT_EQ(J.asString(), "a\"b\\c\nd\teA");
+  // Control characters and quotes re-escape on dump.
+  EXPECT_EQ(Json("x\n\"y\"").dump(), R"("x\n\"y\"")");
+  // Non-ASCII UTF-8 passes through untouched.
+  EXPECT_EQ(parseOk("\"\xC3\xA9\"").asString(), "\xC3\xA9");
+  // \u escapes outside ASCII decode to UTF-8.
+  EXPECT_EQ(parseOk("\"\\u00e9\"").asString(), "\xC3\xA9");
+}
+
+TEST(Json, ObjectsKeepInsertionOrder) {
+  Json J = Json::object();
+  J.set("zeta", 1);
+  J.set("alpha", 2);
+  J.set("mid", Json::array());
+  EXPECT_EQ(J.dump(), R"({"zeta":1,"alpha":2,"mid":[]})");
+  // Overwriting a key keeps its original position.
+  J.set("zeta", 9);
+  EXPECT_EQ(J.dump(), R"({"zeta":9,"alpha":2,"mid":[]})");
+}
+
+TEST(Json, NestedRoundTrip) {
+  const std::string Text =
+      R"({"v":1,"op":"check","options":{"jobs":4,"no_heap_abs":["f","g"]},"ok":true})";
+  Json J = parseOk(Text);
+  EXPECT_EQ(J.get("op").asString(), "check");
+  EXPECT_EQ(J.get("options").get("jobs").asInt(), 4);
+  ASSERT_EQ(J.get("options").get("no_heap_abs").items().size(), 2u);
+  EXPECT_EQ(J.get("options").get("no_heap_abs").items()[1].asString(), "g");
+  // Missing keys are a null value, not a crash.
+  EXPECT_TRUE(J.get("nope").isNull());
+  EXPECT_EQ(J.dump(), Text); // insertion order == source order
+}
+
+TEST(Json, RejectsMalformedInput) {
+  expectParseFails("");
+  expectParseFails("{");
+  expectParseFails("[1,]");
+  expectParseFails("{\"a\":}");
+  expectParseFails("{\"a\" 1}");
+  expectParseFails("nul");
+  expectParseFails("\"unterminated");
+  expectParseFails("\"bad\\q\"");
+  expectParseFails("01");
+  expectParseFails("1 trailing");
+  expectParseFails("{} {}");
+}
+
+TEST(Json, ParsesItsOwnDump) {
+  Json J = Json::object();
+  J.set("s", "line1\nline2 \"quoted\"");
+  Json A = Json::array();
+  for (int I = -3; I != 4; ++I)
+    A.push(I);
+  A.push(true);
+  A.push(nullptr);
+  J.set("mixed", std::move(A));
+  Json Back = parseOk(J.dump());
+  EXPECT_EQ(Back.dump(), J.dump());
+  EXPECT_EQ(Back.get("s").asString(), "line1\nline2 \"quoted\"");
+}
+
+//===----------------------------------------------------------------------===//
+// Histogram
+//===----------------------------------------------------------------------===//
+
+TEST(Histogram, EmptyIsAllZero) {
+  Histogram H;
+  EXPECT_EQ(H.count(), 0u);
+  EXPECT_DOUBLE_EQ(H.sum(), 0.0);
+  EXPECT_DOUBLE_EQ(H.quantile(0.5), 0.0);
+}
+
+TEST(Histogram, QuantilesBracketTheSamples) {
+  Histogram H;
+  // 90 fast samples at ~1ms, 10 slow at ~1s: p50 must look like the
+  // fast cluster, p99 like the slow one. Log bucketing gives ~9%
+  // relative error, so compare with generous brackets.
+  for (int I = 0; I != 90; ++I)
+    H.record(0.001);
+  for (int I = 0; I != 10; ++I)
+    H.record(1.0);
+  EXPECT_EQ(H.count(), 100u);
+  EXPECT_NEAR(H.sum(), 10.09, 0.05);
+  EXPECT_GT(H.quantile(0.50), 0.0005);
+  EXPECT_LT(H.quantile(0.50), 0.002);
+  EXPECT_GT(H.quantile(0.99), 0.5);
+  EXPECT_LT(H.quantile(0.99), 2.0);
+  // Quantiles are monotone in Q.
+  EXPECT_LE(H.quantile(0.5), H.quantile(0.9));
+  EXPECT_LE(H.quantile(0.9), H.quantile(0.99));
+}
+
+TEST(Histogram, ClampsOutOfRangeSamples) {
+  Histogram H;
+  H.record(-1.0);       // clamps to zero-ish, must not crash
+  H.record(1e9);        // beyond the last octave, clamps to last bucket
+  EXPECT_EQ(H.count(), 2u);
+  EXPECT_GT(H.quantile(1.0), 1000.0);
+}
+
+TEST(Histogram, ResetZeroesEverything) {
+  Histogram H;
+  for (int I = 0; I != 10; ++I)
+    H.record(0.01);
+  H.reset();
+  EXPECT_EQ(H.count(), 0u);
+  EXPECT_DOUBLE_EQ(H.quantile(0.9), 0.0);
+}
+
+TEST(Histogram, ConcurrentRecordsAllLand) {
+  Histogram H;
+  constexpr int PerThread = 5000;
+  std::vector<std::thread> Ts;
+  for (int T = 0; T != 4; ++T)
+    Ts.emplace_back([&H] {
+      for (int I = 0; I != PerThread; ++I)
+        H.record(0.0001 * (1 + (I % 7)));
+    });
+  for (std::thread &T : Ts)
+    T.join();
+  EXPECT_EQ(H.count(), 4u * PerThread);
+}

@@ -67,6 +67,81 @@ TEST(ThreadPool, ManyConcurrentSubmits) {
 }
 
 //===----------------------------------------------------------------------===//
+// post() error propagation and drain()
+//===----------------------------------------------------------------------===//
+
+TEST(ThreadPool, PostedExceptionReachesTheSubmitter) {
+  // A fire-and-forget task that throws must not take the process down
+  // (the daemon posts such tasks); the error is captured for takeError.
+  ThreadPool Pool(2);
+  Pool.post([] { throw std::runtime_error("fire-and-forget blew up"); });
+  Pool.drain();
+  std::exception_ptr E = Pool.takeError();
+  ASSERT_TRUE(E != nullptr);
+  try {
+    std::rethrow_exception(E);
+    FAIL() << "expected the captured exception";
+  } catch (const std::runtime_error &Ex) {
+    EXPECT_STREQ(Ex.what(), "fire-and-forget blew up");
+  }
+  // takeError clears the slot, so later failures are observable anew.
+  EXPECT_TRUE(Pool.takeError() == nullptr);
+}
+
+TEST(ThreadPool, FirstPostedErrorWins) {
+  ThreadPool Pool(1);
+  Pool.post([] { throw std::runtime_error("first"); });
+  Pool.post([] { throw std::runtime_error("second"); });
+  Pool.drain();
+  try {
+    Pool.rethrowIfError();
+    FAIL() << "expected an error";
+  } catch (const std::runtime_error &E) {
+    EXPECT_STREQ(E.what(), "first");
+  }
+  Pool.rethrowIfError(); // slot cleared: no-op, must not throw
+}
+
+TEST(ThreadPool, RethrowIfErrorIsANoOpWhenClean) {
+  ThreadPool Pool(2);
+  Pool.post([] {});
+  Pool.drain();
+  Pool.rethrowIfError();
+  EXPECT_TRUE(Pool.takeError() == nullptr);
+}
+
+TEST(ThreadPool, DrainWaitsForBusyWorkersAndQueuedTasks) {
+  // Shutdown-while-busy: drain() is called while every worker is inside
+  // a task and more tasks are still queued; it must return only once
+  // all of them ran to completion.
+  ThreadPool Pool(2);
+  std::atomic<int> Done{0};
+  for (int I = 0; I != 10; ++I)
+    Pool.post([&Done] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      Done.fetch_add(1);
+    });
+  Pool.drain();
+  EXPECT_EQ(Done.load(), 10);
+}
+
+TEST(ThreadPool, DrainSurvivesThrowingTasksMidQueue) {
+  // Errors must not wedge the drain: workers keep consuming the queue
+  // after a task throws, and every non-throwing task still runs.
+  ThreadPool Pool(2);
+  std::atomic<int> Ran{0};
+  for (int I = 0; I != 20; ++I)
+    Pool.post([&Ran, I] {
+      if (I % 3 == 0)
+        throw std::runtime_error("task " + std::to_string(I));
+      Ran.fetch_add(1);
+    });
+  Pool.drain();
+  EXPECT_EQ(Ran.load(), 13); // 20 minus the 7 multiples of 3
+  EXPECT_TRUE(Pool.takeError() != nullptr);
+}
+
+//===----------------------------------------------------------------------===//
 // runTaskGraph
 //===----------------------------------------------------------------------===//
 

@@ -1,0 +1,268 @@
+//===- acc.cpp - Thin client for the acd verification daemon ---------------===//
+//
+// Submits one translation unit to a running acd and prints what came
+// back. Sources come from a file, stdin (`-`), or the embedded corpus
+// (`--corpus max`); `--golden` prints the exact golden-snapshot format
+// of tests/core/GoldenSpecTest.cpp so daemon output can be diffed
+// byte-for-byte against tests/golden/*.expected.
+//
+//   acc --socket /tmp/acd.sock file.c
+//   acc --socket /tmp/acd.sock --corpus swap --golden
+//   acc --socket /tmp/acd.sock --stats
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Sources.h"
+#include "corpus/Synthetic.h"
+#include "service/Client.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+using namespace ac::service;
+
+namespace {
+
+void usage(const char *Argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [options] [file.c | -]\n"
+      "  --socket PATH     daemon socket (default: acd.sock)\n"
+      "  --corpus NAME     use an embedded source instead of a file:\n"
+      "                    max gcd swap midpoint binary_search suzuki\n"
+      "                    memset reverse schorr_waite, or a synthetic\n"
+      "                    scale: sel4 capdl piccolo echronos\n"
+      "  --golden          print the golden-snapshot format (byte-\n"
+      "                    compatible with tests/golden/*.expected)\n"
+      "  --specs           request and print per-phase specs\n"
+      "  --no-heap-abs F   keep F on the byte-level heap (repeatable)\n"
+      "  --no-word-abs F   keep F on machine words (repeatable)\n"
+      "  --jobs N          abstraction jobs for this request\n"
+      "  --cache-dir DIR   cache tier for this request\n"
+      "  --stats           print daemon stats JSON and exit\n"
+      "  --ping            liveness probe (exit 0 iff alive)\n"
+      "  --drain           ask the daemon to drain and exit\n",
+      Argv0);
+}
+
+std::string corpusSource(const std::string &Name, bool &Ok) {
+  using namespace ac::corpus;
+  Ok = true;
+  if (Name == "max")
+    return maxSource();
+  if (Name == "gcd")
+    return gcdSource();
+  if (Name == "swap")
+    return swapSource();
+  if (Name == "midpoint")
+    return midpointSource();
+  if (Name == "binary_search")
+    return binarySearchSource();
+  if (Name == "suzuki")
+    return suzukiSource();
+  if (Name == "memset")
+    return memsetSource();
+  if (Name == "reverse")
+    return reverseSource();
+  if (Name == "schorr_waite")
+    return schorrWaiteSource();
+  if (Name == "sel4")
+    return generateSyntheticProgram(sel4Scale());
+  if (Name == "capdl")
+    return generateSyntheticProgram(capdlScale());
+  if (Name == "piccolo")
+    return generateSyntheticProgram(piccoloScale());
+  if (Name == "echronos")
+    return generateSyntheticProgram(echronosScale());
+  Ok = false;
+  return "";
+}
+
+/// Reproduces GoldenSpecTest's snapshot() byte-for-byte from a response.
+std::string goldenSnapshot(const CheckResponse &Resp) {
+  std::ostringstream OS;
+  for (const FuncResult &F : Resp.Functions) {
+    OS << "== function: " << F.Name << "\n";
+    OS << "final: " << F.FinalKey << "\n";
+    OS << "-- spec\n" << F.Render << "\n";
+    OS << "-- theorem\n" << F.Pipeline << "\n";
+  }
+  OS << "== diagnostics\n";
+  for (const std::string &D : Resp.Diagnostics)
+    OS << D << "\n";
+  return OS.str();
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string SocketPath = "acd.sock";
+  std::string File, Corpus;
+  bool Golden = false, Stats = false, Ping = false, Drain = false;
+  CheckRequest Req;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    auto Next = [&]() -> const char * {
+      return I + 1 < argc ? argv[++I] : nullptr;
+    };
+    if (Arg == "--socket") {
+      const char *V = Next();
+      if (!V)
+        return usage(argv[0]), 2;
+      SocketPath = V;
+    } else if (Arg == "--corpus") {
+      const char *V = Next();
+      if (!V)
+        return usage(argv[0]), 2;
+      Corpus = V;
+    } else if (Arg == "--golden") {
+      Golden = true;
+    } else if (Arg == "--specs") {
+      Req.WantSpecs = true;
+    } else if (Arg == "--no-heap-abs") {
+      const char *V = Next();
+      if (!V)
+        return usage(argv[0]), 2;
+      Req.NoHeapAbs.push_back(V);
+    } else if (Arg == "--no-word-abs") {
+      const char *V = Next();
+      if (!V)
+        return usage(argv[0]), 2;
+      Req.NoWordAbs.push_back(V);
+    } else if (Arg == "--jobs") {
+      const char *V = Next();
+      if (!V)
+        return usage(argv[0]), 2;
+      Req.Jobs = static_cast<unsigned>(std::atoi(V));
+    } else if (Arg == "--cache-dir") {
+      const char *V = Next();
+      if (!V)
+        return usage(argv[0]), 2;
+      Req.CacheDir = V;
+    } else if (Arg == "--stats") {
+      Stats = true;
+    } else if (Arg == "--ping") {
+      Ping = true;
+    } else if (Arg == "--drain") {
+      Drain = true;
+    } else if (Arg == "--help" || Arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (Arg[0] == '-' && Arg != "-") {
+      std::fprintf(stderr, "acc: bad argument `%s`\n", Arg.c_str());
+      usage(argv[0]);
+      return 2;
+    } else {
+      File = Arg;
+    }
+  }
+
+  Client C = Client::connect(SocketPath);
+  if (!C.connected()) {
+    std::fprintf(stderr, "acc: cannot connect to %s (is acd running?)\n",
+                 SocketPath.c_str());
+    return 1;
+  }
+  std::string Err;
+
+  if (Ping) {
+    if (!C.ping(Err)) {
+      std::fprintf(stderr, "acc: ping failed: %s\n", Err.c_str());
+      return 1;
+    }
+    std::printf("pong\n");
+    return 0;
+  }
+  if (Stats) {
+    ac::support::Json J;
+    if (!C.stats(J, Err)) {
+      std::fprintf(stderr, "acc: stats failed: %s\n", Err.c_str());
+      return 1;
+    }
+    std::printf("%s\n", J.dump().c_str());
+    return 0;
+  }
+  if (Drain) {
+    if (!C.drain(Err)) {
+      std::fprintf(stderr, "acc: drain failed: %s\n", Err.c_str());
+      return 1;
+    }
+    std::printf("draining\n");
+    return 0;
+  }
+
+  if (!Corpus.empty()) {
+    bool Ok = false;
+    Req.Source = corpusSource(Corpus, Ok);
+    if (!Ok) {
+      std::fprintf(stderr, "acc: unknown corpus `%s`\n", Corpus.c_str());
+      return 2;
+    }
+  } else if (File == "-") {
+    std::ostringstream Buf;
+    Buf << std::cin.rdbuf();
+    Req.Source = Buf.str();
+  } else if (!File.empty()) {
+    std::ifstream In(File, std::ios::binary);
+    if (!In.good()) {
+      std::fprintf(stderr, "acc: cannot read %s\n", File.c_str());
+      return 1;
+    }
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    Req.Source = Buf.str();
+  } else {
+    usage(argv[0]);
+    return 2;
+  }
+
+  CheckResponse Resp;
+  if (!C.checkRetry(Req, Resp, Err)) {
+    std::fprintf(stderr, "acc: request failed: %s\n", Err.c_str());
+    return 1;
+  }
+  if (!Resp.Ok) {
+    std::fprintf(stderr, "acc: daemon refused: %s (%s)\n",
+                 errorCodeName(Resp.Err), Resp.Message.c_str());
+    for (const std::string &D : Resp.Diagnostics)
+      std::fprintf(stderr, "  %s\n", D.c_str());
+    return 1;
+  }
+
+  if (Golden) {
+    std::fputs(goldenSnapshot(Resp).c_str(), stdout);
+    return 0;
+  }
+
+  for (const FuncResult &F : Resp.Functions) {
+    std::printf("---- %s ----\n", F.Name.c_str());
+    std::printf("final: %s (heap-lifted: %s, word-abstracted: %s)\n",
+                F.FinalKey.c_str(), F.HeapLifted ? "yes" : "no",
+                F.WordAbstracted ? "yes" : "no");
+    std::printf("%s\n", F.Render.c_str());
+    if (Req.WantSpecs) {
+      if (!F.L1Spec.empty())
+        std::printf("-- L1\n%s\n", F.L1Spec.c_str());
+      if (!F.L2Spec.empty())
+        std::printf("-- L2\n%s\n", F.L2Spec.c_str());
+      if (!F.HLSpec.empty())
+        std::printf("-- HL\n%s\n", F.HLSpec.c_str());
+      if (!F.WASpec.empty())
+        std::printf("-- WA\n%s\n", F.WASpec.c_str());
+    }
+  }
+  for (const std::string &D : Resp.Diagnostics)
+    std::printf("note: %s\n", D.c_str());
+  std::printf("[acd] functions=%u jobs=%u parse=%.3fs abstract=%.3fs "
+              "cache(hits=%u misses=%u invalidations=%u)\n",
+              Resp.NumFunctions, Resp.Jobs, Resp.ParseSeconds,
+              Resp.AbstractWallSeconds, Resp.CacheHits, Resp.CacheMisses,
+              Resp.CacheInvalidations);
+  return 0;
+}

@@ -1,0 +1,130 @@
+//===- acd.cpp - The AutoCorres verification daemon ------------------------===//
+//
+// Long-lived verification service: keeps interned terms, the abstraction
+// cache, and a warm worker pool resident across requests, and serves
+// check/stats/ping/drain requests over a Unix-domain socket
+// (docs/PROTOCOL.md). `acc` is the matching client.
+//
+//   acd --socket /tmp/acd.sock --workers 2 --queue 8 --jobs 4
+//
+// SIGTERM / SIGINT (or a client `drain` request) trigger a graceful
+// drain: in-flight and queued requests finish, cache tiers are flushed
+// to disk, new work is refused, then the process exits 0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Server.h"
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <string>
+
+using namespace ac::service;
+
+namespace {
+
+void usage(const char *Argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [options]\n"
+      "  --socket PATH      listening Unix socket (default: acd.sock)\n"
+      "  --workers N        concurrent check sessions (default: 2)\n"
+      "  --queue N          admission queue capacity (default: 8)\n"
+      "  --jobs N           default abstraction jobs per request\n"
+      "                     (default: $AC_JOBS, 1 when unset)\n"
+      "  --cache-dir DIR    default abstraction-cache directory\n"
+      "  --retry-after-ms N backpressure retry hint (default: 50)\n",
+      Argv0);
+}
+
+bool parseUnsigned(const char *S, unsigned &Out) {
+  char *End = nullptr;
+  unsigned long V = std::strtoul(S, &End, 10);
+  if (!End || *End || V > 1u << 20)
+    return false;
+  Out = static_cast<unsigned>(V);
+  return true;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  ServerOptions Opts;
+  Opts.SocketPath = "acd.sock";
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    auto Next = [&]() -> const char * {
+      return I + 1 < argc ? argv[++I] : nullptr;
+    };
+    unsigned N = 0;
+    if (Arg == "--socket") {
+      const char *V = Next();
+      if (!V) {
+        usage(argv[0]);
+        return 2;
+      }
+      Opts.SocketPath = V;
+    } else if (Arg == "--workers" && Next() && parseUnsigned(argv[I], N)) {
+      Opts.Workers = N;
+    } else if (Arg == "--queue" && Next() && parseUnsigned(argv[I], N)) {
+      Opts.QueueCapacity = N;
+    } else if (Arg == "--jobs" && Next() && parseUnsigned(argv[I], N)) {
+      Opts.Jobs = N;
+    } else if (Arg == "--cache-dir") {
+      const char *V = Next();
+      if (!V) {
+        usage(argv[0]);
+        return 2;
+      }
+      Opts.CacheDir = V;
+    } else if (Arg == "--retry-after-ms" && Next() &&
+               parseUnsigned(argv[I], N)) {
+      Opts.RetryAfterMs = N;
+    } else if (Arg == "--help" || Arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "acd: bad argument `%s`\n", Arg.c_str());
+      usage(argv[0]);
+      return 2;
+    }
+  }
+
+  // Block the shutdown signals in every thread the server will spawn;
+  // the main thread collects them below with sigtimedwait, so a SIGTERM
+  // turns into a drain instead of killing mid-request.
+  sigset_t Sigs;
+  sigemptyset(&Sigs);
+  sigaddset(&Sigs, SIGTERM);
+  sigaddset(&Sigs, SIGINT);
+  pthread_sigmask(SIG_BLOCK, &Sigs, nullptr);
+
+  Server Srv(Opts);
+  if (!Srv.start()) {
+    std::fprintf(stderr, "acd: cannot listen on %s\n",
+                 Opts.SocketPath.c_str());
+    return 1;
+  }
+  std::printf("acd: listening on %s (workers=%u queue=%zu)\n",
+              Opts.SocketPath.c_str(), Srv.options().Workers,
+              Srv.options().QueueCapacity);
+  std::fflush(stdout);
+
+  // Wait for SIGTERM/SIGINT or a protocol-level drain request.
+  timespec Tick{0, 200 * 1000 * 1000};
+  while (!Srv.draining()) {
+    int Sig = sigtimedwait(&Sigs, nullptr, &Tick);
+    if (Sig == SIGTERM || Sig == SIGINT)
+      break;
+  }
+
+  std::printf("acd: draining (finishing in-flight work)\n");
+  std::fflush(stdout);
+  Srv.stop(); // drain + flush caches + teardown
+  std::printf("acd: drained, bye\n");
+  return 0;
+}
