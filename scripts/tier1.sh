@@ -21,6 +21,13 @@
 #      corpus through acc --golden, byte-compare against the checked-in
 #      fixtures (cold, then warm with asserted cache hits), then
 #      SIGTERM-drain and require a clean exit.
+#   6. Chaos: the fault-injection suite under ASan (every registered
+#      site driven through failure and recovery), the AC_FAULTS env
+#      path (a cache write torn mid-save must recover byte-identically
+#      on the next run, with a warning), and whole-process failure —
+#      kill -9 a live acd mid-request, require acc to degrade to an
+#      in-process run with the exact golden bytes, then a fresh acd
+#      must bind the same socket path and serve again.
 #
 # Usage: scripts/tier1.sh [--skip-tsan] [--skip-asan]
 #
@@ -169,5 +176,109 @@ if ! ls "$ACD_DIR"/cache/accache-v*.txt >/dev/null 2>&1; then
   exit 1
 fi
 echo "acd drained cleanly (socket removed, cache flushed)"
+
+echo "=== tier-1 pass 6: chaos (fault injection + daemon kill) ==="
+# 6a. Every registered fault site, driven through failure and recovery.
+#     Under ASan when available: injected faults must not leak either.
+if [[ "$SKIP_ASAN" == 1 ]]; then
+  cmake --build build -j --target test_chaos >/dev/null
+  ./build/tests/test_chaos
+else
+  cmake --build build-asan -j --target test_chaos >/dev/null
+  ./build-asan/tests/test_chaos
+fi
+
+# 6b. The AC_FAULTS environment path: tear the cache file mid-save (the
+#     state a power cut leaves), then prove the next run over the same
+#     cache directory warns, re-verifies the damaged tail, and still
+#     emits the exact golden bytes.
+CHAOS_DIR="$ACD_DIR/chaos"
+mkdir -p "$CHAOS_DIR"
+NOSOCK="$CHAOS_DIR/nobody-home.sock" # nothing listens: acc runs locally
+AC_FAULTS=cache.save.crash:1 "$ACC" --socket "$NOSOCK" \
+  --cache-dir "$CHAOS_DIR/cache" --corpus gcd --golden \
+  >"$CHAOS_DIR/gcd.torn" 2>"$CHAOS_DIR/gcd.torn.err"
+if ! cmp -s "$CHAOS_DIR/gcd.torn" "tests/golden/gcd.expected"; then
+  echo "tier-1: FAILED — output of the run whose cache save was torn" \
+       "diverged from tests/golden/gcd.expected." >&2
+  exit 1
+fi
+"$ACC" --socket "$NOSOCK" --cache-dir "$CHAOS_DIR/cache" --corpus gcd \
+  --golden >"$CHAOS_DIR/gcd.recovered" 2>"$CHAOS_DIR/gcd.recovered.err"
+if ! cmp -s "$CHAOS_DIR/gcd.recovered" "tests/golden/gcd.expected"; then
+  echo "tier-1: FAILED — recovery run over the torn cache diverged from" \
+       "tests/golden/gcd.expected." >&2
+  exit 1
+fi
+if ! grep -q "dropped" "$CHAOS_DIR/gcd.recovered.err"; then
+  echo "tier-1: FAILED — recovery over a torn cache did not warn about" \
+       "dropped entries:" >&2
+  cat "$CHAOS_DIR/gcd.recovered.err" >&2
+  exit 1
+fi
+echo "torn cache write recovered byte-identically (with warning)"
+
+# 6c. Whole-process failure: SIGKILL a live acd mid-request. The client
+#     must degrade to an in-process run with the exact golden bytes, and
+#     a fresh acd must bind the same (now stale) socket path and serve.
+SOCK2="$ACD_DIR/acd-chaos.sock"
+"$ACD" --socket "$SOCK2" --cache-dir "$ACD_DIR/chaos-cache" \
+  >"$ACD_DIR/acd2.log" 2>&1 &
+ACD_PID=$!
+for _ in $(seq 100); do
+  [[ -S "$SOCK2" ]] && break
+  sleep 0.1
+done
+"$ACC" --socket "$SOCK2" --ping >/dev/null
+"$ACC" --socket "$SOCK2" --corpus max --debug-delay-ms 3000 --golden \
+  >"$ACD_DIR/max.killed" 2>"$ACD_DIR/max.killed.err" &
+ACC_PID=$!
+sleep 0.5 # let the request reach the daemon's session worker
+kill -KILL "$ACD_PID"
+ACC_RC=0
+wait "$ACC_PID" || ACC_RC=$?
+ACD_PID=""
+if [[ "$ACC_RC" != 0 ]]; then
+  echo "tier-1: FAILED — acc exited $ACC_RC after its daemon was" \
+       "SIGKILLed mid-request:" >&2
+  cat "$ACD_DIR/max.killed.err" >&2
+  exit 1
+fi
+if ! cmp -s "$ACD_DIR/max.killed" "tests/golden/max.expected"; then
+  echo "tier-1: FAILED — fallback output after SIGKILL diverged from" \
+       "tests/golden/max.expected:" >&2
+  diff "tests/golden/max.expected" "$ACD_DIR/max.killed" | head >&2
+  exit 1
+fi
+if ! grep -q "falling back" "$ACD_DIR/max.killed.err"; then
+  echo "tier-1: FAILED — acc did not report its fallback:" >&2
+  cat "$ACD_DIR/max.killed.err" >&2
+  exit 1
+fi
+echo "SIGKILLed daemon degraded to an exact in-process run"
+# Restart on the same socket path (the dead daemon left a stale file).
+"$ACD" --socket "$SOCK2" --cache-dir "$ACD_DIR/chaos-cache" \
+  >"$ACD_DIR/acd3.log" 2>&1 &
+ACD_PID=$!
+for _ in $(seq 100); do
+  "$ACC" --socket "$SOCK2" --ping >/dev/null 2>&1 && break
+  sleep 0.1
+done
+"$ACC" --socket "$SOCK2" --no-fallback --corpus max --golden \
+  >"$ACD_DIR/max.restarted"
+if ! cmp -s "$ACD_DIR/max.restarted" "tests/golden/max.expected"; then
+  echo "tier-1: FAILED — restarted daemon on the stale socket path" \
+       "diverged from tests/golden/max.expected." >&2
+  exit 1
+fi
+kill -TERM "$ACD_PID"
+ACD_RC=0
+wait "$ACD_PID" || ACD_RC=$?
+ACD_PID=""
+if [[ "$ACD_RC" != 0 ]]; then
+  echo "tier-1: FAILED — restarted acd exited $ACD_RC on SIGTERM." >&2
+  exit 1
+fi
+echo "fresh acd reclaimed the stale socket and drained cleanly"
 
 echo "=== tier-1: all passes green ==="

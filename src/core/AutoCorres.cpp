@@ -128,6 +128,8 @@ std::unique_ptr<AutoCorres> AutoCorres::run(const std::string &Source,
   std::vector<char> Hit(Order.size(), 0);
   if (Cache) {
     AC->Stats.CacheEnabled = true;
+    AC->Stats.CacheDroppedEntries =
+        static_cast<unsigned>(Cache->corruptDropped());
     Keys = computeFunctionKeys(*AC->Prog, Opts.NoHeapAbs, Opts.NoWordAbs);
     for (size_t I = 0; I != Order.size(); ++I) {
       const std::string &Name = Order[I];

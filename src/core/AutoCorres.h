@@ -159,6 +159,9 @@ struct ACStats {
   /// inputs (or a transitive callee's) changed.
   unsigned CacheMisses = 0;
   unsigned CacheInvalidations = 0;
+  /// Damaged on-disk entries dropped by cache recovery this run (each one
+  /// re-verifies instead of being served — corruption costs warmth only).
+  unsigned CacheDroppedEntries = 0;
 
   double parserAvgTermSize() const {
     return NumFunctions ? double(ParserTermSizeTotal) / NumFunctions : 0;

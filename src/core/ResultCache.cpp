@@ -4,17 +4,35 @@
 
 #include "core/CallGraph.h"
 #include "simpl/PrintSimpl.h"
+#include "support/FaultInject.h"
 #include "support/FileLock.h"
 #include "support/Fingerprint.h"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
+
+#include <fcntl.h>
+#include <unistd.h>
 
 using namespace ac;
 using namespace ac::core;
+using support::FaultSite;
 using support::Fingerprint;
+
+// Persistence fault sites (docs/EXPERIMENTS.md has the inventory).
+// `crash` and `bitflip` corrupt the *published* bytes — they prove the
+// CRC recovery path; the other four fail the save cleanly and must leave
+// the previously published file untouched.
+static const FaultSite FaultSaveOpen("cache.save.open");
+static const FaultSite FaultSaveWrite("cache.save.write");
+static const FaultSite FaultSaveFsync("cache.save.fsync");
+static const FaultSite FaultSaveRename("cache.save.rename");
+static const FaultSite FaultSaveCrash("cache.save.crash");
+static const FaultSite FaultSaveBitflip("cache.save.bitflip");
 
 //===----------------------------------------------------------------------===//
 // Directory resolution
@@ -35,9 +53,11 @@ std::string ResultCache::resolveDir(const std::string &OptDir) {
 }
 
 //===----------------------------------------------------------------------===//
-// Load / save. Versioned text with length-prefixed blobs; any structural
-// surprise stops the parse silently (entries read so far are kept, the
-// rest are misses).
+// Load / save. Versioned text with length-prefixed blobs. Every entry
+// ends with a CRC-32 of its serialized body, and the parser recovers
+// per-entry: a damaged entry (torn write, truncation, bit flip) is
+// dropped and the scan resyncs at the next "entry " line start, so one
+// bad entry never takes out its intact neighbours.
 //===----------------------------------------------------------------------===//
 
 namespace {
@@ -53,64 +73,118 @@ std::string lockFile(const std::string &Dir) {
   return Dir + "/accache.lock";
 }
 
-/// Reads "blob <len>\n<raw bytes>\n"; false on any mismatch.
-bool readBlob(std::istream &In, std::string &Out) {
-  std::string Tag;
-  size_t Len;
-  if (!(In >> Tag >> Len) || Tag != "blob")
+// Strict cursor-based parsing over the whole file image. Strictness is
+// deliberate: the only writer is writeEntry below, so any deviation from
+// its exact byte layout *is* corruption, and failing fast hands control
+// to the resync loop (the CRC would reject the entry anyway).
+
+bool eatLit(const std::string &D, size_t &P, std::string_view Lit) {
+  if (D.size() - P < Lit.size() || D.compare(P, Lit.size(), Lit) != 0)
     return false;
-  if (In.get() != '\n')
+  P += Lit.size();
+  return true;
+}
+
+/// A non-empty run of chars up to the next ' ' or '\n' (exclusive).
+bool readWord(const std::string &D, size_t &P, std::string &Out) {
+  size_t Start = P;
+  while (P < D.size() && D[P] != ' ' && D[P] != '\n')
+    ++P;
+  if (P == Start)
     return false;
-  Out.resize(Len);
-  if (Len && !In.read(Out.data(), static_cast<std::streamsize>(Len)))
+  Out.assign(D, Start, P - Start);
+  return true;
+}
+
+bool readNum(const std::string &D, size_t &P, uint64_t &V) {
+  size_t Start = P;
+  V = 0;
+  while (P < D.size() && D[P] >= '0' && D[P] <= '9') {
+    if (V > (UINT64_MAX - 9) / 10)
+      return false;
+    V = V * 10 + static_cast<uint64_t>(D[P] - '0');
+    ++P;
+  }
+  return P != Start;
+}
+
+/// "blob <len>\n<raw bytes>\n"; false on any mismatch or if \p len
+/// overruns the image (truncated file).
+bool readBlobAt(const std::string &D, size_t &P, std::string &Out) {
+  uint64_t Len;
+  if (!eatLit(D, P, "blob ") || !readNum(D, P, Len) || !eatLit(D, P, "\n"))
     return false;
-  return In.get() == '\n';
+  if (Len > D.size() - P)
+    return false;
+  Out.assign(D, P, Len);
+  P += Len;
+  return eatLit(D, P, "\n");
 }
 
 void writeBlob(std::ostream &Out, const std::string &S) {
   Out << "blob " << S.size() << "\n" << S << "\n";
 }
 
-bool readEntry(std::istream &In, CachedFunc &E) {
-  std::string Tag, Hex;
-  if (!(In >> Tag >> Hex) || Tag != "entry" ||
-      !Fingerprint::parseHex(Hex, E.Key))
+/// Parses one entry whose "entry " keyword starts at \p P. On success
+/// fills \p E, advances \p P past the trailing "end\n", and guarantees
+/// the body bytes match the stored CRC. On failure \p P is unspecified —
+/// the caller resyncs from the entry start.
+bool parseEntryAt(const std::string &D, size_t &P, CachedFunc &E) {
+  size_t Body = P;
+  std::string Tok;
+  if (!eatLit(D, P, "entry ") || !readWord(D, P, Tok) ||
+      !Fingerprint::parseHex(Tok, E.Key) || !eatLit(D, P, "\n"))
     return false;
-  if (!(In >> Tag >> E.Name) || Tag != "name")
+  if (!eatLit(D, P, "name ") || !readWord(D, P, E.Name) ||
+      !eatLit(D, P, "\n"))
     return false;
-  int HL, WAE, WA;
-  if (!(In >> Tag >> HL >> WAE >> WA) || Tag != "flags")
+  uint64_t HL, WAE, WA;
+  if (!eatLit(D, P, "flags ") || !readNum(D, P, HL) || HL > 1 ||
+      !eatLit(D, P, " ") || !readNum(D, P, WAE) || WAE > 1 ||
+      !eatLit(D, P, " ") || !readNum(D, P, WA) || WA > 1 ||
+      !eatLit(D, P, "\n"))
     return false;
   E.HeapLifted = HL != 0;
   E.WAEngineAbstracted = WAE != 0;
   E.WordAbstracted = WA != 0;
-  size_t N;
-  if (!(In >> Tag >> N) || Tag != "args" || N > 4096)
+  uint64_t N;
+  if (!eatLit(D, P, "args ") || !readNum(D, P, N) || N > 4096)
     return false;
   E.ArgNames.resize(N);
   for (std::string &A : E.ArgNames)
-    if (!(In >> A))
+    if (!eatLit(D, P, " ") || !readWord(D, P, A))
       return false;
-  if (!(In >> Tag >> E.SpecLines >> E.TermSize) || Tag != "stat")
+  if (!eatLit(D, P, "\n"))
     return false;
-  if (!(In >> Tag >> N) || Tag != "notes" || N > 4096)
+  uint64_t SL, TS;
+  if (!eatLit(D, P, "stat ") || !readNum(D, P, SL) || SL > 0xffffffffu ||
+      !eatLit(D, P, " ") || !readNum(D, P, TS) || TS > 0xffffffffu ||
+      !eatLit(D, P, "\n"))
     return false;
-  if (In.get() != '\n')
+  E.SpecLines = static_cast<unsigned>(SL);
+  E.TermSize = static_cast<unsigned>(TS);
+  if (!eatLit(D, P, "notes ") || !readNum(D, P, N) || N > 4096 ||
+      !eatLit(D, P, "\n"))
     return false;
   E.Notes.resize(N);
   for (std::string &Note : E.Notes)
-    if (!readBlob(In, Note))
+    if (!readBlobAt(D, P, Note))
       return false;
   for (std::string *S : {&E.Render, &E.L1Spec, &E.L2Spec, &E.HLSpec,
                          &E.WASpec, &E.PipelineProp})
-    if (!readBlob(In, *S))
+    if (!readBlobAt(D, P, *S))
       return false;
-  if (!(In >> Tag) || Tag != "end")
+  uint32_t Want;
+  size_t BodyEnd = P;
+  if (!eatLit(D, P, "crc ") || !readWord(D, P, Tok) ||
+      !support::parseCrcHex(Tok, Want) || !eatLit(D, P, "\nend\n"))
     return false;
-  return true;
+  return support::crc32(D.data() + Body, BodyEnd - Body) == Want;
 }
 
-void writeEntry(std::ostream &Out, const CachedFunc &E) {
+/// Serializes \p E followed by the CRC-32 of exactly those bytes.
+void writeEntry(std::ostream &Final, const CachedFunc &E) {
+  std::ostringstream Out;
   Out << "entry " << Fingerprint::hex(E.Key) << "\n";
   Out << "name " << E.Name << "\n";
   Out << "flags " << (E.HeapLifted ? 1 : 0) << " "
@@ -127,29 +201,60 @@ void writeEntry(std::ostream &Out, const CachedFunc &E) {
   for (const std::string *S : {&E.Render, &E.L1Spec, &E.L2Spec, &E.HLSpec,
                                &E.WASpec, &E.PipelineProp})
     writeBlob(Out, *S);
-  Out << "end\n";
+  std::string Body = Out.str();
+  Final << Body << "crc " << support::crcHex(support::crc32(Body))
+        << "\nend\n";
+}
+
+/// The next "entry " keyword at a line start, at or after \p From.
+size_t findEntryStart(const std::string &D, size_t From) {
+  for (size_t At = D.find("entry ", From); At != std::string::npos;
+       At = D.find("entry ", At + 1))
+    if (At == 0 || D[At - 1] == '\n')
+      return At;
+  return std::string::npos;
 }
 
 } // namespace
 
 /// Parses the cache file at \p Path into \p Entries / \p KnownNames.
-/// Structural surprises stop the parse; entries read so far are kept.
+/// Damaged entries are dropped and counted in \p Dropped — one count per
+/// contiguous damaged region, since resyncing through a torn entry whose
+/// blob bytes happen to contain "entry " at a line start would otherwise
+/// inflate the count for a single casualty.
 static void readCacheFile(const std::string &Path,
                           std::map<uint64_t, CachedFuncRef> &Entries,
-                          std::map<std::string, uint64_t> &KnownNames) {
+                          std::map<std::string, uint64_t> &KnownNames,
+                          size_t &Dropped) {
   std::ifstream In(Path, std::ios::binary);
   if (!In)
     return;
-  std::string Magic;
-  unsigned Version;
-  if (!(In >> Magic >> Version) || Magic != "ACCACHE" ||
-      Version != ResultCache::FormatVersion)
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  const std::string D = Buf.str();
+  size_t P = 0;
+  uint64_t Version;
+  if (!eatLit(D, P, "ACCACHE ") || !readNum(D, P, Version) ||
+      !eatLit(D, P, "\n") || Version != ResultCache::FormatVersion)
     return; // stale or foreign file: every lookup misses
-  CachedFunc E;
-  while (readEntry(In, E)) {
-    KnownNames[E.Name] = E.Key;
-    Entries[E.Key] = std::make_shared<const CachedFunc>(std::move(E));
-    E = CachedFunc();
+  bool InBadRegion = false;
+  while (true) {
+    size_t At = findEntryStart(D, P);
+    if (At == std::string::npos)
+      break;
+    size_t Q = At;
+    CachedFunc E;
+    if (parseEntryAt(D, Q, E)) {
+      KnownNames[E.Name] = E.Key;
+      Entries[E.Key] = std::make_shared<const CachedFunc>(std::move(E));
+      P = Q;
+      InBadRegion = false;
+    } else {
+      if (!InBadRegion)
+        ++Dropped;
+      InBadRegion = true;
+      P = At + 6; // resync at the next line-start "entry "
+    }
   }
 }
 
@@ -163,7 +268,16 @@ void ResultCache::load() {
   // file is unopenable (e.g. the directory does not exist yet).
   support::FileLock L = support::FileLock::acquire(lockFile(Dir),
                                                    /*Exclusive=*/false);
-  readCacheFile(cacheFile(Dir), Entries, KnownNames);
+  size_t Dropped = 0;
+  readCacheFile(cacheFile(Dir), Entries, KnownNames, Dropped);
+  if (Dropped) {
+    CorruptDropped += Dropped;
+    std::fprintf(stderr,
+                 "ac: warning: abstraction cache %s: dropped %zu damaged "
+                 "entr%s (kept %zu intact; dropped functions re-verify)\n",
+                 cacheFile(Dir).c_str(), Dropped,
+                 Dropped == 1 ? "y" : "ies", Entries.size());
+  }
 }
 
 CachedFuncRef ResultCache::lookup(uint64_t Key) const {
@@ -180,6 +294,11 @@ bool ResultCache::knowsFunction(const std::string &Name) const {
 size_t ResultCache::size() const {
   std::lock_guard<std::mutex> L(M);
   return Entries.size();
+}
+
+size_t ResultCache::corruptDropped() const {
+  std::lock_guard<std::mutex> L(M);
+  return CorruptDropped;
 }
 
 void ResultCache::insert(CachedFunc E) {
@@ -207,9 +326,11 @@ bool ResultCache::save() {
 
   std::map<uint64_t, CachedFuncRef> Merged;
   std::map<std::string, uint64_t> MergedNames;
-  readCacheFile(cacheFile(Dir), Merged, MergedNames);
+  size_t Dropped = 0;
+  readCacheFile(cacheFile(Dir), Merged, MergedNames, Dropped);
   {
     std::lock_guard<std::mutex> L(M);
+    CorruptDropped += Dropped;
     for (const auto &[Name, Key] : KnownNames) {
       auto It = MergedNames.find(Name);
       if (It != MergedNames.end() && It->second != Key)
@@ -219,6 +340,30 @@ bool ResultCache::save() {
     }
   }
 
+  // Serialize the whole image up front: fault injection below mutates
+  // the finished byte string, and a single write keeps the temp-file
+  // window minimal.
+  std::string Image;
+  {
+    std::ostringstream Out;
+    Out << "ACCACHE " << FormatVersion << "\n";
+    for (const auto &[Key, E] : Merged)
+      writeEntry(Out, *E);
+    Image = Out.str();
+  }
+
+  // cache.save.crash: a torn image lands on the *published* path — the
+  // state a power cut leaves on a filesystem that reordered data and
+  // rename journal entries. The next load's per-entry recovery must cope.
+  bool Torn = FaultSaveCrash.fire();
+  if (Torn)
+    Image.resize(Image.size() - Image.size() / 3);
+  // cache.save.bitflip: silent single-bit corruption. The save itself
+  // reports success; the *next load* must catch the entry by CRC.
+  bool Flipped = FaultSaveBitflip.fire();
+  if (Flipped && !Image.empty())
+    Image[Image.size() / 2] ^= 0x20;
+
   // The temp name only needs to dodge concurrent savers of *other*
   // directories' files landing in shared tmp listings; hashing the entry
   // set keeps it deterministic per content. (Same-directory savers are
@@ -227,21 +372,49 @@ bool ResultCache::save() {
   for (const auto &[Key, E] : Merged)
     NameFP.u64(Key);
   std::string Tmp = cacheFile(Dir) + ".tmp." + Fingerprint::hex(NameFP.digest());
-  {
-    std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
-    if (!Out)
-      return false;
-    Out << "ACCACHE " << FormatVersion << "\n";
-    for (const auto &[Key, E] : Merged)
-      writeEntry(Out, *E);
-    if (!Out)
-      return false;
+
+  if (FaultSaveOpen.fire())
+    return false;
+  int FD = ::open(Tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (FD < 0)
+    return false;
+  auto Fail = [&] {
+    ::close(FD);
+    std::remove(Tmp.c_str());
+    return false;
+  };
+  if (FaultSaveWrite.fire()) {
+    // Partial write then failure: the temp file is abandoned whole-cloth
+    // and the published cache file stays intact.
+    (void)!::write(FD, Image.data(), Image.size() / 2);
+    return Fail();
   }
-  if (std::rename(Tmp.c_str(), cacheFile(Dir).c_str()) != 0) {
+  const char *Ptr = Image.data();
+  size_t Left = Image.size();
+  while (Left) {
+    ssize_t N = ::write(FD, Ptr, Left);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return Fail();
+    }
+    Ptr += N;
+    Left -= static_cast<size_t>(N);
+  }
+  // fsync before rename: otherwise the rename can become durable while
+  // the data is not — exactly the torn-file state the CRC recovery
+  // exists for, but not one we should manufacture ourselves.
+  if (FaultSaveFsync.fire() || ::fsync(FD) != 0)
+    return Fail();
+  ::close(FD);
+  if (FaultSaveRename.fire() ||
+      std::rename(Tmp.c_str(), cacheFile(Dir).c_str()) != 0) {
     std::remove(Tmp.c_str());
     return false;
   }
-  return true;
+  // A torn image did land (that is the point of the site), but the save
+  // as a whole did not complete normally — report it like a crash would.
+  return !Torn;
 }
 
 //===----------------------------------------------------------------------===//

@@ -85,11 +85,21 @@ using CachedFuncRef = std::shared_ptr<const CachedFunc>;
 /// win), so two processes sharing a CacheDir can interleave runs without
 /// corrupting the file or dropping each other's entries. A directory-less
 /// instance is a pure in-memory cache (load/save are no-ops).
+///
+/// Crash safety: saves land atomically (serialize, write to a temp file,
+/// fsync, rename) and every entry carries a CRC-32 of its serialized
+/// bytes, so a torn write, a truncated file, or a flipped bit is caught
+/// at load. Recovery is per-entry: a damaged entry is dropped (and
+/// counted — corruptDropped(), surfaced in ACStats) while every intact
+/// entry before and after it keeps serving. A corrupt entry is therefore
+/// never *served*; at worst its function is re-verified, which the
+/// golden-spec suite proves is byte-identical.
 class ResultCache {
 public:
   /// Bump when CachedFunc gains fields or the key derivation changes;
   /// older files are then ignored wholesale (stale == miss).
-  static constexpr unsigned FormatVersion = 1;
+  /// v2: per-entry CRC-32 trailer, strict line framing.
+  static constexpr unsigned FormatVersion = 2;
 
   /// Loads the cache file under \p Dir (created on save if absent).
   /// Unreadable or corrupt content yields an empty (all-miss) cache.
@@ -118,6 +128,10 @@ public:
   const std::string &dir() const { return Dir; }
   size_t size() const;
 
+  /// Damaged entries dropped by startup recovery (plus any found while
+  /// re-reading the file during save merges). Zero on a healthy cache.
+  size_t corruptDropped() const;
+
   /// Resolves the effective cache directory: AC_CACHE=0 force-disables;
   /// otherwise \p OptDir, else $AC_CACHE_DIR, else ".ac-cache" when
   /// AC_CACHE=1. Empty result means the cache is disabled.
@@ -130,6 +144,8 @@ private:
   std::map<uint64_t, CachedFuncRef> Entries;
   /// Name -> current key, for eviction and invalidation accounting.
   std::map<std::string, uint64_t> KnownNames;
+  /// Damaged entries dropped across all file reads of this instance.
+  size_t CorruptDropped = 0;
   mutable std::mutex M;
 };
 

@@ -2,7 +2,9 @@
 
 #include "service/Client.h"
 
+#include <algorithm>
 #include <chrono>
+#include <random>
 #include <thread>
 
 using namespace ac::service;
@@ -41,15 +43,38 @@ bool Client::check(const CheckRequest &Req, CheckResponse &Out,
 }
 
 bool Client::checkRetry(const CheckRequest &Req, CheckResponse &Out,
-                        std::string &Err, unsigned MaxAttempts) {
+                        std::string &Err, unsigned MaxAttempts,
+                        unsigned MaxTotalMs) {
+  // Jitter spreads resubmissions of clients that were all bounced off
+  // the same full queue; without it they return in lockstep and collide
+  // again (the daemon's retry_after_ms is identical for everyone).
+  static thread_local std::minstd_rand RNG{std::random_device{}()};
+  std::uniform_real_distribution<double> Jitter(0.75, 1.25);
+
+  auto Start = std::chrono::steady_clock::now();
+  auto elapsedMs = [&] {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - Start)
+            .count());
+  };
+
   for (unsigned Attempt = 0;; ++Attempt) {
     if (!check(Req, Out, Err))
       return false;
     if (Out.Ok || Out.Err != ErrorCode::Busy ||
         Attempt + 1 >= MaxAttempts)
       return true;
-    std::this_thread::sleep_for(
-        std::chrono::milliseconds(Out.RetryAfterMs ? Out.RetryAfterMs : 10));
+    // Exponential backoff from the daemon's hint, capped per-sleep at
+    // 2 s and in total at MaxTotalMs — a saturated daemon should fail
+    // over (see CheckRunner::checkWithFallback), not stall forever.
+    uint64_t Base = Out.RetryAfterMs ? Out.RetryAfterMs : 10;
+    uint64_t Delay = Base << std::min(Attempt, 10u);
+    Delay = std::min<uint64_t>(Delay, 2000);
+    Delay = static_cast<uint64_t>(static_cast<double>(Delay) * Jitter(RNG));
+    if (elapsedMs() + Delay >= MaxTotalMs)
+      return true; // bounded: hand the last `busy` back to the caller
+    std::this_thread::sleep_for(std::chrono::milliseconds(Delay));
   }
 }
 

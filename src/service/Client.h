@@ -37,10 +37,17 @@ public:
   /// Out.Ok == false.
   bool check(const CheckRequest &Req, CheckResponse &Out, std::string &Err);
 
-  /// check(), but obeying backpressure: on a `busy` response sleeps the
-  /// advertised retry_after_ms and resubmits, up to \p MaxAttempts.
+  /// check(), but obeying backpressure: on a `busy` response resubmits
+  /// after a backoff that starts at the daemon's advertised
+  /// retry_after_ms and doubles per attempt (capped at 2 s), with ±25%
+  /// jitter so a herd of clients bounced off a full queue does not
+  /// resubmit in lockstep. Gives up — returning the last `busy`
+  /// response, a successful round-trip — after \p MaxAttempts tries or
+  /// once the total time spent would exceed \p MaxTotalMs, whichever
+  /// comes first.
   bool checkRetry(const CheckRequest &Req, CheckResponse &Out,
-                  std::string &Err, unsigned MaxAttempts = 50);
+                  std::string &Err, unsigned MaxAttempts = 50,
+                  unsigned MaxTotalMs = 30000);
 
   /// Fetches the live `stats` payload.
   bool stats(support::Json &Out, std::string &Err);

@@ -37,6 +37,7 @@ Json ServiceMetrics::toJson(size_t QueueDepth, size_t QueueCapacity,
   R.set("completed", Completed.load());
   R.set("failed", Failed.load());
   R.set("cancelled", Cancelled.load());
+  R.set("deadline_exceeded", DeadlineExceeded.load());
   R.set("rejected", Rejected.load());
   J.set("requests", std::move(R));
 

@@ -19,6 +19,8 @@ const char *ac::service::errorCodeName(ErrorCode E) {
     return "parse_error";
   case ErrorCode::Internal:
     return "internal";
+  case ErrorCode::DeadlineExceeded:
+    return "deadline_exceeded";
   }
   return "internal";
 }
@@ -34,6 +36,8 @@ ErrorCode ac::service::errorCodeFromName(const std::string &Name) {
     return ErrorCode::BadRequest;
   if (Name == "parse_error")
     return ErrorCode::ParseError;
+  if (Name == "deadline_exceeded")
+    return ErrorCode::DeadlineExceeded;
   return ErrorCode::Internal;
 }
 
@@ -69,6 +73,8 @@ Json CheckRequest::toJson() const {
     J.set("want_specs", true);
   if (DebugDelayMs)
     J.set("debug_delay_ms", DebugDelayMs);
+  if (TimeoutMs)
+    J.set("timeout_ms", TimeoutMs);
   return J;
 }
 
@@ -93,6 +99,7 @@ bool CheckRequest::fromJson(const Json &J, CheckRequest &Out,
   Out.WantSpecs = J.get("want_specs").asBool(false);
   Out.DebugDelayMs =
       static_cast<unsigned>(J.get("debug_delay_ms").asInt(0));
+  Out.TimeoutMs = static_cast<unsigned>(J.get("timeout_ms").asInt(0));
   return true;
 }
 
@@ -159,6 +166,7 @@ Json CheckResponse::toJson() const {
     St.set("cache_hits", CacheHits);
     St.set("cache_misses", CacheMisses);
     St.set("cache_invalidations", CacheInvalidations);
+    St.set("cache_dropped", CacheDroppedEntries);
     J.set("stats", std::move(St));
   }
   return J;
@@ -204,5 +212,7 @@ bool CheckResponse::fromJson(const Json &J, CheckResponse &Out,
   Out.CacheMisses = static_cast<unsigned>(St.get("cache_misses").asInt());
   Out.CacheInvalidations =
       static_cast<unsigned>(St.get("cache_invalidations").asInt());
+  Out.CacheDroppedEntries =
+      static_cast<unsigned>(St.get("cache_dropped").asInt());
   return true;
 }

@@ -39,6 +39,11 @@ enum class ErrorCode {
   BadRequest, ///< malformed frame / JSON / missing fields
   ParseError, ///< the C source failed to parse or translate
   Internal,   ///< pipeline threw; details in `message`
+  /// The request's `timeout_ms` deadline elapsed before the pipeline
+  /// finished. The daemon freed the request's queue slot; any in-flight
+  /// work is discarded when it completes. Safe to retry (with a larger
+  /// deadline) — or to fall back to an in-process run.
+  DeadlineExceeded,
 };
 
 const char *errorCodeName(ErrorCode E);
@@ -54,6 +59,10 @@ struct CheckRequest {
   std::string CacheDir;     ///< "" = daemon default tier
   bool WantSpecs = false;   ///< include per-phase specs in the response
   unsigned DebugDelayMs = 0; ///< testing aid: hold the worker before running
+  /// Per-request deadline in milliseconds, measured from admission; 0 =
+  /// none. On expiry the daemon answers `deadline_exceeded` and frees the
+  /// request's slot (queued work is cancelled, in-flight work discarded).
+  unsigned TimeoutMs = 0;
 
   support::Json toJson() const;
   static bool fromJson(const support::Json &J, CheckRequest &Out,
@@ -93,6 +102,7 @@ struct CheckResponse {
   unsigned CacheHits = 0;
   unsigned CacheMisses = 0;
   unsigned CacheInvalidations = 0;
+  unsigned CacheDroppedEntries = 0; ///< damaged entries dropped by recovery
 
   support::Json toJson() const;
   static bool fromJson(const support::Json &J, CheckResponse &Out,

@@ -2,7 +2,7 @@
 
 #include "service/Server.h"
 
-#include "support/Diagnostics.h"
+#include "service/CheckRunner.h"
 
 #include <cassert>
 #include <chrono>
@@ -39,15 +39,31 @@ struct Server::Conn {
 };
 
 /// One admitted check request, shared between the queue, the worker that
-/// runs it, and the connection thread that waits for completion.
+/// runs it, the watchdog that enforces its deadline, and the connection
+/// thread that waits for completion.
 struct Server::Request {
   std::shared_ptr<Conn> C;
   CheckRequest Req;
   std::chrono::steady_clock::time_point Admitted;
+  /// Deadline, measured from admission; meaningful iff HasDeadline.
+  std::chrono::steady_clock::time_point Deadline;
+  bool HasDeadline = false;
+
+  /// Exactly-once response arbitration between the worker and the
+  /// watchdog: whoever flips this sends the (single) response frame.
+  std::atomic<bool> Responded{false};
+  /// Set by the watchdog at deadline; the worker's cooperative
+  /// cancellation points (and its final send) observe it.
+  std::atomic<bool> Cancelled{false};
 
   std::mutex M;
   std::condition_variable CV;
   bool Done = false;
+
+  bool claimRespond() { return !Responded.exchange(true); }
+  bool expired(std::chrono::steady_clock::time_point Now) const {
+    return HasDeadline && Now >= Deadline;
+  }
 
   void markDone() {
     std::lock_guard<std::mutex> L(M);
@@ -76,6 +92,7 @@ bool Server::start() {
     return false;
   Started = true;
   Acceptor = std::thread([this] { acceptLoop(); });
+  Watchdog = std::thread([this] { watchdogLoop(); });
   for (unsigned I = 0; I != Opts.Workers; ++I)
     SessionWorkers.emplace_back([this] { workerLoop(); });
   return true;
@@ -102,8 +119,10 @@ void Server::stop() {
     std::lock_guard<std::mutex> L(QueueM);
     Stopping.store(true);
     QueueCV.notify_all();
+    WatchCV.notify_all();
   }
   Acceptor.join();
+  Watchdog.join();
   for (std::thread &W : SessionWorkers)
     W.join();
   SessionWorkers.clear();
@@ -218,6 +237,11 @@ void Server::handleCheck(const std::shared_ptr<Conn> &C, CheckRequest Req) {
   R->C = C;
   R->Req = std::move(Req);
   R->Admitted = std::chrono::steady_clock::now();
+  if (R->Req.TimeoutMs) {
+    R->HasDeadline = true;
+    R->Deadline =
+        R->Admitted + std::chrono::milliseconds(R->Req.TimeoutMs);
+  }
   {
     std::lock_guard<std::mutex> L(QueueM);
     if (Draining.load()) {
@@ -259,99 +283,144 @@ void Server::workerLoop() {
       R = Queue.front();
       Queue.pop_front();
       InFlight.fetch_add(1);
+      Active.push_back(R);
     }
     runRequest(*R);
     R->markDone();
     {
       std::lock_guard<std::mutex> L(QueueM);
+      for (size_t I = 0; I != Active.size(); ++I)
+        if (Active[I] == R) {
+          Active.erase(Active.begin() + I);
+          break;
+        }
       InFlight.fetch_sub(1);
       DrainCV.notify_all();
     }
   }
 }
 
+//===----------------------------------------------------------------------===//
+// Deadline watchdog
+//===----------------------------------------------------------------------===//
+
+void Server::watchdogLoop() {
+  for (;;) {
+    std::vector<std::shared_ptr<Request>> Expired;
+    {
+      std::unique_lock<std::mutex> L(QueueM);
+      // A 10 ms tick bounds deadline slack; stop() wakes us early. A
+      // dedicated CV so we never steal a worker's QueueCV notify_one.
+      WatchCV.wait_for(L, std::chrono::milliseconds(10));
+      if (Stopping.load())
+        return;
+      auto Now = std::chrono::steady_clock::now();
+      // Still-queued requests past deadline: free the slot right away —
+      // timed-out work must not occupy admission capacity.
+      for (size_t I = 0; I < Queue.size();) {
+        if (Queue[I]->expired(Now)) {
+          Expired.push_back(Queue[I]);
+          Queue.erase(Queue.begin() + I);
+        } else {
+          ++I;
+        }
+      }
+      // In-flight requests are answered at the deadline too; the worker
+      // keeps running (AutoCorres::run is not preemptible) but its
+      // result is discarded and the client unblocked now.
+      for (const std::shared_ptr<Request> &R : Active)
+        if (R->expired(Now) && !R->Responded.load())
+          Expired.push_back(R);
+      if (!Expired.empty())
+        DrainCV.notify_all();
+    }
+    // Send outside QueueM: a slow client socket must not stall admission.
+    for (const std::shared_ptr<Request> &R : Expired) {
+      R->Cancelled.store(true);
+      if (!R->claimRespond())
+        continue; // the worker beat us to the send
+      Metrics.DeadlineExceeded.fetch_add(1);
+      // Keep the received = completed + failed + cancelled partition
+      // exact: a delivered deadline answer is a failed request, an
+      // undeliverable one means the client already hung up.
+      if (R->C->send(CheckResponse::error(
+                         ErrorCode::DeadlineExceeded,
+                         "deadline of " + std::to_string(R->Req.TimeoutMs) +
+                             " ms exceeded")
+                         .toJson()))
+        Metrics.Failed.fetch_add(1);
+      else
+        Metrics.Cancelled.fetch_add(1);
+      Metrics.TotalH.record(
+          secondsBetween(R->Admitted, std::chrono::steady_clock::now()));
+      R->markDone();
+    }
+  }
+}
+
 void Server::runRequest(Request &R) {
   // The client may have hung up while the request sat in the queue;
-  // don't burn a session on a response nobody will read.
+  // don't burn a session on a response nobody will read. (Claim the
+  // response so the watchdog doesn't answer a dead connection either.)
   if (R.C->Sock.peerClosed()) {
-    Metrics.Cancelled.fetch_add(1);
+    if (R.claimRespond())
+      Metrics.Cancelled.fetch_add(1);
+    return;
+  }
+  // Already past deadline at dequeue (e.g. it expired between two
+  // watchdog ticks while queued): answer without running.
+  if (R.expired(std::chrono::steady_clock::now())) {
+    if (R.claimRespond()) {
+      Metrics.DeadlineExceeded.fetch_add(1);
+      if (R.C->send(CheckResponse::error(
+                        ErrorCode::DeadlineExceeded,
+                        "deadline of " + std::to_string(R.Req.TimeoutMs) +
+                            " ms exceeded")
+                        .toJson()))
+        Metrics.Failed.fetch_add(1);
+      else
+        Metrics.Cancelled.fetch_add(1);
+    }
     return;
   }
   Metrics.WaitH.record(
       secondsBetween(R.Admitted, std::chrono::steady_clock::now()));
 
-  if (R.Req.DebugDelayMs)
-    std::this_thread::sleep_for(
-        std::chrono::milliseconds(R.Req.DebugDelayMs));
+  // Chunked so the watchdog's cancellation lands mid-delay: this delay
+  // is the tests' stand-in for a long pipeline phase, and it doubles as
+  // the worker's cooperative cancellation point.
+  for (unsigned Slept = 0;
+       Slept < R.Req.DebugDelayMs && !R.Cancelled.load(); Slept += 5)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  if (R.Cancelled.load())
+    return; // the watchdog answered at the deadline
 
-  ACOptions ACO;
-  ACO.NoHeapAbs.insert(R.Req.NoHeapAbs.begin(), R.Req.NoHeapAbs.end());
-  ACO.NoWordAbs.insert(R.Req.NoWordAbs.begin(), R.Req.NoWordAbs.end());
-  unsigned EffJobs = R.Req.Jobs ? R.Req.Jobs
-                                : (Opts.Jobs ? Opts.Jobs
-                                             : support::ThreadPool::defaultJobs());
-  ACO.Jobs = EffJobs;
-  ACO.SharedCache = cacheFor(R.Req.CacheDir);
-  if (EffJobs > 1) {
+  CheckContext Ctx;
+  Ctx.Jobs = R.Req.Jobs ? R.Req.Jobs
+                        : (Opts.Jobs ? Opts.Jobs
+                                     : support::ThreadPool::defaultJobs());
+  Ctx.SharedCache = cacheFor(R.Req.CacheDir);
+  if (Ctx.Jobs > 1) {
     std::lock_guard<std::mutex> L(PoolM);
     if (!Pool)
-      Pool = std::make_unique<support::ThreadPool>(EffJobs);
-    ACO.SharedPool = Pool.get();
+      Pool = std::make_unique<support::ThreadPool>(Ctx.Jobs);
+    Ctx.SharedPool = Pool.get();
   }
 
-  CheckResponse Resp;
-  ac::DiagEngine Diags;
-  std::unique_ptr<AutoCorres> AC;
-  try {
-    AC = AutoCorres::run(R.Req.Source, Diags, ACO);
-  } catch (const std::exception &E) {
-    Resp = CheckResponse::error(ErrorCode::Internal,
-                                std::string("pipeline threw: ") + E.what());
-  }
+  CheckResponse Resp = runCheck(R.Req, Ctx);
 
-  if (AC) {
-    Resp.Ok = true;
-    const ACStats &St = AC->stats();
-    for (const std::string &Name : AC->order()) {
-      const FuncOutput *FO = AC->func(Name);
-      if (!FO)
-        continue;
-      FuncResult F;
-      F.Name = Name;
-      F.FinalKey = FO->finalKey();
-      F.HeapLifted = FO->HeapLifted;
-      F.WordAbstracted = FO->WordAbstracted;
-      F.Render = AC->render(Name);
-      F.Pipeline = FO->pipelineProp();
-      if (R.Req.WantSpecs) {
-        F.L1Spec = FO->l1Spec();
-        F.L2Spec = FO->l2Spec();
-        F.HLSpec = FO->hlSpec();
-        F.WASpec = FO->waSpec();
-      }
-      Resp.Functions.push_back(std::move(F));
-    }
-    Resp.SourceLines = St.SourceLines;
-    Resp.NumFunctions = St.NumFunctions;
-    Resp.Jobs = St.Jobs;
-    Resp.ParseSeconds = St.ParserSeconds;
-    Resp.AbstractWallSeconds = St.AutoCorresWallSeconds;
-    Resp.CacheEnabled = St.CacheEnabled;
-    Resp.CacheHits = St.CacheHits;
-    Resp.CacheMisses = St.CacheMisses;
-    Resp.CacheInvalidations = St.CacheInvalidations;
-    Metrics.ParseH.record(St.ParserSeconds);
-    Metrics.AbstractH.record(St.AutoCorresWallSeconds);
-    Metrics.CacheHits.fetch_add(St.CacheHits);
-    Metrics.CacheMisses.fetch_add(St.CacheMisses);
-    Metrics.CacheInvalidations.fetch_add(St.CacheInvalidations);
-  } else if (Resp.Err == ErrorCode::None) {
-    Resp = CheckResponse::error(ErrorCode::ParseError,
-                                "translation failed");
-  }
-  for (const ac::Diagnostic &D : Diags.diagnostics())
-    Resp.Diagnostics.push_back(D.str());
+  // Exactly-once: if the deadline fired while we ran, the watchdog has
+  // already answered `deadline_exceeded` — discard this result.
+  if (!R.claimRespond())
+    return;
 
+  if (Resp.Ok) {
+    Metrics.ParseH.record(Resp.ParseSeconds);
+    Metrics.AbstractH.record(Resp.AbstractWallSeconds);
+    Metrics.CacheHits.fetch_add(Resp.CacheHits);
+    Metrics.CacheMisses.fetch_add(Resp.CacheMisses);
+    Metrics.CacheInvalidations.fetch_add(Resp.CacheInvalidations);
+  }
   bool Delivered = R.C->send(Resp.toJson());
   if (!Delivered)
     Metrics.Cancelled.fetch_add(1);

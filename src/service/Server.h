@@ -23,6 +23,13 @@
 /// detected at dequeue (and at response delivery) and their slot is
 /// simply freed — counted as `cancelled`, never leaked as in-flight.
 ///
+/// Deadlines: a request carrying `timeout_ms` is watched from admission
+/// by a watchdog thread. On expiry the watchdog answers
+/// `deadline_exceeded` exactly once (an atomic Responded flag arbitrates
+/// against the worker), frees a still-queued request's slot immediately,
+/// and flags an in-flight request cancelled so the worker discards its
+/// result instead of sending a second response.
+///
 /// Shutdown is graceful: beginDrain() (wired to SIGTERM by acd) refuses
 /// new work with `draining`, lets queued + in-flight requests finish,
 /// flushes every disk-backed cache tier, then tears the threads down.
@@ -111,6 +118,7 @@ private:
   void acceptLoop();
   void connLoop(std::shared_ptr<Conn> C);
   void workerLoop();
+  void watchdogLoop();
 
   /// Dispatches one decoded frame; returns the reply payload.
   void handleFrame(const std::shared_ptr<Conn> &C, const std::string &Raw);
@@ -134,6 +142,7 @@ private:
 
   support::Socket Listen;
   std::thread Acceptor;
+  std::thread Watchdog;
   std::vector<std::thread> SessionWorkers;
 
   std::mutex ConnsM;
@@ -143,7 +152,11 @@ private:
   mutable std::mutex QueueM;
   std::condition_variable QueueCV;  ///< workers wait for requests
   std::condition_variable DrainCV;  ///< waitDrained waits for empty+idle
+  std::condition_variable WatchCV;  ///< watchdog tick / shutdown wake
   std::deque<std::shared_ptr<Request>> Queue;
+  /// In-flight requests, registered by workers for the watchdog's
+  /// deadline scan. Guarded by QueueM.
+  std::vector<std::shared_ptr<Request>> Active;
   std::atomic<size_t> InFlight{0};
 
   std::mutex CachesM;

@@ -1,0 +1,180 @@
+//===- FaultInject.cpp ----------------------------------------------------===//
+
+#include "support/FaultInject.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+using namespace ac::support;
+
+namespace {
+
+/// Per-site schedule and counters. Passes/Fired only advance while some
+/// site is armed, so the disarmed fast path never touches this.
+struct SiteState {
+  bool Registered = false;
+  uint64_t Nth = 0;   ///< 0 = not armed; else first firing passage
+  uint64_t Count = 0; ///< consecutive firing passages
+  uint64_t Passes = 0;
+  uint64_t Fired = 0;
+};
+
+struct Registry {
+  std::mutex M;
+  std::map<std::string, SiteState> Sites;
+  unsigned ArmedSites = 0;
+};
+
+/// Function-local static: safe to touch from any static initializer
+/// order (FaultSite registrars run before main in unspecified order).
+Registry &registry() {
+  static Registry R;
+  return R;
+}
+
+[[noreturn]] void dieBadSpec(const std::string &Spec,
+                             const std::string &Why) {
+  std::fprintf(stderr,
+               "fatal: AC_FAULTS entry `%s` %s\n"
+               "       format: site:nth[:count], comma-separated; "
+               "known sites:\n",
+               Spec.c_str(), Why.c_str());
+  for (const std::string &S : FaultInject::sites())
+    std::fprintf(stderr, "         %s\n", S.c_str());
+  std::abort();
+}
+
+} // namespace
+
+std::atomic<bool> FaultInject::Armed{false};
+
+void FaultInject::registerSite(const char *Site) {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> L(R.M);
+  R.Sites[Site].Registered = true;
+}
+
+bool FaultInject::arm(const std::string &Site, uint64_t Nth,
+                      uint64_t Count) {
+  if (Nth == 0 || Count == 0)
+    return false;
+  Registry &R = registry();
+  std::lock_guard<std::mutex> L(R.M);
+  auto It = R.Sites.find(Site);
+  if (It == R.Sites.end() || !It->second.Registered)
+    return false;
+  if (It->second.Nth == 0)
+    ++R.ArmedSites;
+  It->second.Nth = Nth;
+  It->second.Count = Count;
+  It->second.Passes = 0;
+  It->second.Fired = 0;
+  Armed.store(true, std::memory_order_relaxed);
+  return true;
+}
+
+void FaultInject::disarmAll() {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> L(R.M);
+  for (auto &[Name, S] : R.Sites) {
+    S.Nth = 0;
+    S.Count = 0;
+    S.Passes = 0;
+    S.Fired = 0;
+  }
+  R.ArmedSites = 0;
+  Armed.store(false, std::memory_order_relaxed);
+}
+
+void FaultInject::resetCounters() {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> L(R.M);
+  for (auto &[Name, S] : R.Sites) {
+    S.Passes = 0;
+    S.Fired = 0;
+  }
+}
+
+uint64_t FaultInject::passes(const std::string &Site) {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> L(R.M);
+  auto It = R.Sites.find(Site);
+  return It == R.Sites.end() ? 0 : It->second.Passes;
+}
+
+uint64_t FaultInject::fired(const std::string &Site) {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> L(R.M);
+  auto It = R.Sites.find(Site);
+  return It == R.Sites.end() ? 0 : It->second.Fired;
+}
+
+std::vector<std::string> FaultInject::sites() {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> L(R.M);
+  std::vector<std::string> Out;
+  for (const auto &[Name, S] : R.Sites)
+    if (S.Registered)
+      Out.push_back(Name);
+  return Out; // std::map iteration: already sorted
+}
+
+bool FaultInject::isKnown(const std::string &Site) {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> L(R.M);
+  auto It = R.Sites.find(Site);
+  return It != R.Sites.end() && It->second.Registered;
+}
+
+bool FaultInject::shouldFire(const char *Site) {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> L(R.M);
+  auto It = R.Sites.find(Site);
+  if (It == R.Sites.end())
+    return false;
+  SiteState &S = It->second;
+  uint64_t Pass = ++S.Passes;
+  if (S.Nth == 0 || Pass < S.Nth || Pass >= S.Nth + S.Count)
+    return false;
+  ++S.Fired;
+  return true;
+}
+
+void FaultInject::ensureInit() {
+  static std::once_flag Once;
+  std::call_once(Once, [] {
+    const char *Env = std::getenv("AC_FAULTS");
+    if (!Env || !*Env)
+      return;
+    std::string Spec(Env);
+    size_t Pos = 0;
+    while (Pos < Spec.size()) {
+      size_t End = Spec.find(',', Pos);
+      if (End == std::string::npos)
+        End = Spec.size();
+      std::string Entry = Spec.substr(Pos, End - Pos);
+      Pos = End + 1;
+      if (Entry.empty())
+        continue;
+      // site:nth[:count] — split on the *last* one or two colons so a
+      // site name may itself contain dots (they all do) but no colons.
+      size_t C1 = Entry.find(':');
+      if (C1 == std::string::npos)
+        dieBadSpec(Entry, "lacks `:nth`");
+      std::string Site = Entry.substr(0, C1);
+      char *EndP = nullptr;
+      unsigned long long Nth =
+          std::strtoull(Entry.c_str() + C1 + 1, &EndP, 10);
+      unsigned long long Count = 1;
+      if (EndP && *EndP == ':') {
+        Count = std::strtoull(EndP + 1, &EndP, 10);
+      }
+      if (!EndP || *EndP != '\0' || Nth == 0 || Count == 0)
+        dieBadSpec(Entry, "has a malformed nth/count");
+      if (!arm(Site, Nth, Count))
+        dieBadSpec(Entry, "names an unknown fault site");
+    }
+  });
+}

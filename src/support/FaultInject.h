@@ -1,0 +1,128 @@
+//===- FaultInject.h - Deterministic fault injection ------------*- C++ -*-===//
+//
+// Part of the autocorres-cpp project, under the BSD 2-Clause License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic fault injection for the I/O and concurrency layers. The
+/// failure paths of a verification service must be as tested as the happy
+/// path — a torn cache write or a worker exception can never be allowed to
+/// silently corrupt a spec — so every interesting failure point in the
+/// code is a named *site*:
+///
+///   static const FaultSite FaultSockWrite("socket.write.fail");
+///   ...
+///   if (FaultSockWrite.fire()) { errno = ECONNRESET; return false; }
+///
+/// Sites self-register at static-initialization time, which gives the
+/// chaos suite a complete inventory to assert coverage against: a test
+/// run that arms an unknown site, or leaves a registered site untested,
+/// fails loudly instead of silently shrinking.
+///
+/// Arming is by environment or programmatically:
+///
+///   AC_FAULTS=site:nth[:count][,site:nth[:count]...]
+///   FaultInject::arm("cache.save.rename", /*Nth=*/1);
+///
+/// means: the Nth passage (1-based) through the site fires, and so do the
+/// following count-1 passages (count defaults to 1). With nothing armed
+/// the whole machinery is one relaxed atomic load per site — effectively
+/// free on every hot path. Counting is per-site and process-wide;
+/// resetCounters() rewinds the passage counters so one test can replay a
+/// schedule.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AC_SUPPORT_FAULTINJECT_H
+#define AC_SUPPORT_FAULTINJECT_H
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ac::support {
+
+/// Global fault-injection state: the site registry, the armed schedules,
+/// and the per-site passage counters. All static — faults are a
+/// process-wide testing mode, not a per-object policy.
+class FaultInject {
+public:
+  /// True iff at least one site is armed. The single check every
+  /// disarmed site pays.
+  static bool enabled() {
+    ensureInit();
+    return Armed.load(std::memory_order_relaxed);
+  }
+
+  /// Arms \p Site to fire on its \p Nth passage (1-based) and the
+  /// following \p Count - 1 passages. Returns false (and arms nothing)
+  /// if the site is not registered — a typo must fail the test, not
+  /// silently never fire. Re-arming a site replaces its schedule and
+  /// rewinds its passage counter.
+  static bool arm(const std::string &Site, uint64_t Nth,
+                  uint64_t Count = 1);
+
+  /// Disarms every site and rewinds all counters.
+  static void disarmAll();
+
+  /// Rewinds every passage/fire counter, keeping the armed schedules.
+  static void resetCounters();
+
+  /// Times \p Site has been crossed since its counters were last reset.
+  /// Counting only happens while some site is armed (the disarmed path
+  /// is zero-cost), so this is a chaos-run observability hook, not a
+  /// production metric.
+  static uint64_t passes(const std::string &Site);
+
+  /// Times \p Site actually fired since its counters were last reset.
+  static uint64_t fired(const std::string &Site);
+
+  /// Every registered site name, sorted. Stable within one binary.
+  static std::vector<std::string> sites();
+
+  /// True iff \p Site was registered by some FaultSite.
+  static bool isKnown(const std::string &Site);
+
+  /// Implementation hook for FaultSite::fire(); call through a FaultSite.
+  static bool shouldFire(const char *Site);
+
+  /// Implementation hook for FaultSite's constructor.
+  static void registerSite(const char *Site);
+
+private:
+  /// Parses AC_FAULTS exactly once, after all static registrars ran.
+  /// A malformed spec or an unknown site name aborts the process: the
+  /// variable only exists to make tests fail deterministically, and a
+  /// silently ignored typo would invert that.
+  static void ensureInit();
+
+  static std::atomic<bool> Armed;
+};
+
+/// One named injection point. Declare at namespace scope in the file that
+/// owns the failure path; construction registers the name.
+class FaultSite {
+public:
+  explicit FaultSite(const char *Name) : Name(Name) {
+    FaultInject::registerSite(Name);
+  }
+
+  const char *name() const { return Name; }
+
+  /// True when the armed schedule says this passage should fail. The
+  /// caller then simulates the failure exactly as the real world would
+  /// deliver it (errno value, short count, torn bytes, thrown
+  /// exception) so the recovery code under test sees the genuine shape.
+  bool fire() const {
+    return FaultInject::enabled() && FaultInject::shouldFire(Name);
+  }
+
+private:
+  const char *Name;
+};
+
+} // namespace ac::support
+
+#endif // AC_SUPPORT_FAULTINJECT_H

@@ -2,12 +2,18 @@
 
 #include "support/FileLock.h"
 
+#include "support/FaultInject.h"
+
 #include <cerrno>
 #include <fcntl.h>
 #include <sys/file.h>
 #include <unistd.h>
 
 using namespace ac::support;
+
+// An unopenable/unlockable lock file: callers must degrade to lockless
+// operation (cache saves still land atomically via rename), never fail.
+static const FaultSite FaultAcquire("filelock.acquire.fail");
 
 FileLock &FileLock::operator=(FileLock &&O) noexcept {
   if (this != &O) {
@@ -20,6 +26,8 @@ FileLock &FileLock::operator=(FileLock &&O) noexcept {
 
 FileLock FileLock::acquire(const std::string &Path, bool Exclusive) {
   FileLock L;
+  if (FaultAcquire.fire())
+    return L; // unlocked: the caller's degraded path takes over
   int Fd = ::open(Path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0666);
   if (Fd < 0)
     return L;

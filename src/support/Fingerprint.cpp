@@ -31,3 +31,60 @@ bool Fingerprint::parseHex(std::string_view S, uint64_t &Out) {
   Out = V;
   return true;
 }
+
+//===----------------------------------------------------------------------===//
+// CRC-32 (IEEE), table-driven
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct CrcTable {
+  uint32_t T[256];
+  CrcTable() {
+    for (uint32_t I = 0; I != 256; ++I) {
+      uint32_t C = I;
+      for (int K = 0; K != 8; ++K)
+        C = (C & 1) ? 0xedb88320u ^ (C >> 1) : C >> 1;
+      T[I] = C;
+    }
+  }
+};
+
+} // namespace
+
+uint32_t ac::support::crc32(const void *Data, size_t Len) {
+  static const CrcTable Tab;
+  const auto *P = static_cast<const unsigned char *>(Data);
+  uint32_t C = 0xffffffffu;
+  for (size_t I = 0; I != Len; ++I)
+    C = Tab.T[(C ^ P[I]) & 0xff] ^ (C >> 8);
+  return C ^ 0xffffffffu;
+}
+
+std::string ac::support::crcHex(uint32_t V) {
+  static const char *Digits = "0123456789abcdef";
+  std::string S(8, '0');
+  for (int I = 7; I >= 0; --I) {
+    S[I] = Digits[V & 0xf];
+    V >>= 4;
+  }
+  return S;
+}
+
+bool ac::support::parseCrcHex(std::string_view S, uint32_t &Out) {
+  if (S.size() != 8)
+    return false;
+  uint32_t V = 0;
+  for (char C : S) {
+    unsigned D;
+    if (C >= '0' && C <= '9')
+      D = C - '0';
+    else if (C >= 'a' && C <= 'f')
+      D = C - 'a' + 10;
+    else
+      return false;
+    V = (V << 4) | D;
+  }
+  Out = V;
+  return true;
+}

@@ -65,6 +65,20 @@ private:
   uint64_t H = 0xcbf29ce484222325ull; // FNV offset basis
 };
 
+/// CRC-32 (IEEE 802.3, the zlib polynomial) over \p Len bytes. Unlike the
+/// FNV fingerprints above — which content-address *inputs* — this guards
+/// *stored* bytes: every abstraction-cache entry carries its CRC so a
+/// torn write or bit flip on disk is detected at load and the damaged
+/// entry dropped instead of ever being served (core/ResultCache.cpp).
+uint32_t crc32(const void *Data, size_t Len);
+inline uint32_t crc32(std::string_view S) {
+  return crc32(S.data(), S.size());
+}
+
+/// 8-char lowercase hex rendering of a CRC, and its inverse.
+std::string crcHex(uint32_t V);
+bool parseCrcHex(std::string_view S, uint32_t &Out);
+
 } // namespace ac::support
 
 #endif // AC_SUPPORT_FINGERPRINT_H

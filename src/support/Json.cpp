@@ -397,11 +397,14 @@ struct Parser {
 bool Json::parse(const std::string &Text, Json &Out, std::string &Err) {
   Err.clear();
   Parser Ps{Text.data(), Text.data() + Text.size(), Err};
-  if (!Ps.parseValue(Out))
+  if (!Ps.parseValue(Out)) {
+    Out = Json(); // a rejected payload must not leak partial state
     return false;
+  }
   Ps.skipWs();
   if (Ps.P != Ps.End) {
     Err = "trailing characters after JSON value";
+    Out = Json();
     return false;
   }
   return true;

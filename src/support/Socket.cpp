@@ -2,6 +2,8 @@
 
 #include "support/Socket.h"
 
+#include "support/FaultInject.h"
+
 #include <cerrno>
 #include <cstring>
 #include <poll.h>
@@ -10,6 +12,18 @@
 #include <unistd.h>
 
 using namespace ac::support;
+
+// Fault-injection sites for every way the wire can betray us. Each fires
+// with the exact failure shape the kernel would deliver, so the recovery
+// paths under chaos test are the real ones.
+static const FaultSite FaultConnect("socket.connect.fail");
+static const FaultSite FaultAccept("socket.accept.fail");
+static const FaultSite FaultWriteFail("socket.write.fail");
+static const FaultSite FaultWriteShort("socket.write.short");
+static const FaultSite FaultWriteEintr("socket.write.eintr");
+static const FaultSite FaultReadFail("socket.read.fail");
+static const FaultSite FaultReadShort("socket.read.short");
+static const FaultSite FaultReadEintr("socket.read.eintr");
 
 Socket &Socket::operator=(Socket &&O) noexcept {
   if (this != &O) {
@@ -39,6 +53,8 @@ static bool fillAddr(const std::string &Path, sockaddr_un &Addr) {
 }
 
 Socket Socket::connectUnix(const std::string &Path) {
+  if (FaultConnect.fire())
+    return Socket(); // daemon unreachable (ECONNREFUSED)
   sockaddr_un Addr;
   if (!fillAddr(Path, Addr))
     return Socket();
@@ -73,6 +89,8 @@ Socket Socket::listenUnix(const std::string &Path, int Backlog) {
 }
 
 Socket Socket::accept() const {
+  if (FaultAccept.fire())
+    return Socket(); // transient accept(2) failure (EMFILE and friends)
   int Conn;
   do {
     Conn = ::accept(Fd, nullptr, nullptr);
@@ -98,7 +116,18 @@ bool Socket::waitReadable(int TimeoutMs) const {
 bool Socket::writeAll(const void *Buf, size_t Len) const {
   const char *P = static_cast<const char *>(Buf);
   while (Len > 0) {
-    ssize_t N = ::send(Fd, P, Len, MSG_NOSIGNAL);
+    if (FaultWriteFail.fire()) {
+      errno = ECONNRESET; // peer reset mid-write
+      return false;
+    }
+    if (FaultWriteEintr.fire()) {
+      errno = EINTR; // signal landed before any byte moved
+      continue;
+    }
+    // A short write: the kernel accepted one byte and the loop must
+    // carry the rest — exactly what a full socket buffer produces.
+    size_t Chunk = FaultWriteShort.fire() ? 1 : Len;
+    ssize_t N = ::send(Fd, P, Chunk, MSG_NOSIGNAL);
     if (N < 0) {
       if (errno == EINTR)
         continue;
@@ -113,7 +142,17 @@ bool Socket::writeAll(const void *Buf, size_t Len) const {
 bool Socket::readAll(void *Buf, size_t Len) const {
   char *P = static_cast<char *>(Buf);
   while (Len > 0) {
-    ssize_t N = ::recv(Fd, P, Len, 0);
+    if (FaultReadFail.fire()) {
+      errno = ECONNRESET; // peer reset mid-read
+      return false;
+    }
+    if (FaultReadEintr.fire()) {
+      errno = EINTR;
+      continue;
+    }
+    // A short read: one byte arrives, the loop must reassemble.
+    size_t Chunk = FaultReadShort.fire() ? 1 : Len;
+    ssize_t N = ::recv(Fd, P, Chunk, 0);
     if (N < 0) {
       if (errno == EINTR)
         continue;

@@ -2,10 +2,22 @@
 
 #include "support/ThreadPool.h"
 
+#include "support/FaultInject.h"
+
 #include <cassert>
 #include <cstdlib>
+#include <stdexcept>
 
 using namespace ac::support;
+
+// A worker exception at a chosen task. Two sites because the capture
+// paths differ: `pool.post.throw` exercises the fire-and-forget
+// FirstError machinery (the throw happens before the callable runs, so
+// only workerLoop's handler can catch it); `pool.graph.throw` fires
+// inside a task-graph node, exercising deterministic error selection and
+// dependent skipping. Arm the one whose recovery path you are testing.
+static const FaultSite FaultPostThrow("pool.post.throw");
+static const FaultSite FaultGraphThrow("pool.graph.throw");
 
 unsigned ThreadPool::defaultJobs() {
   const char *E = std::getenv("AC_JOBS");
@@ -77,6 +89,9 @@ void ThreadPool::workerLoop() {
     }
     std::exception_ptr E;
     try {
+      if (FaultPostThrow.fire())
+        throw std::runtime_error(
+            "fault-injected worker exception (pool.post.throw)");
       Task();
     } catch (...) {
       E = std::current_exception();
@@ -145,6 +160,9 @@ void runTask(ac::support::ThreadPool &Pool,
              const std::shared_ptr<GraphRun> &G, unsigned I) {
   std::exception_ptr E;
   try {
+    if (FaultGraphThrow.fire())
+      throw std::runtime_error(
+          "fault-injected worker exception (pool.graph.throw)");
     G->Tasks[I]();
   } catch (...) {
     E = std::current_exception();

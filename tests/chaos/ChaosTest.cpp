@@ -1,0 +1,474 @@
+//===- ChaosTest.cpp - Fault-injection coverage of the failure paths ------===//
+//
+// Part of the autocorres-cpp project, under the BSD 2-Clause License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Drives every registered fault-injection site (support/FaultInject.h)
+/// through its failure and recovery path. The suite is table-driven and
+/// closed over the site inventory: a site registered in the code but
+/// missing from the driver table fails ChaosCoverage, as does a driver
+/// naming a site that does not exist — the inventory and the tests can
+/// never drift apart silently.
+///
+/// The invariant every driver enforces is the project's core promise:
+/// an injected fault may cost a retry, a cache miss, or a refused save,
+/// but never wrong bytes. After any fault, a re-run produces output
+/// byte-identical to a never-faulted reference run.
+///
+/// Drivers here are single-threaded and deterministic (raw socket pairs,
+/// direct ResultCache/ThreadPool use). Whole-process failure — SIGKILL of
+/// a live daemon mid-request, fallback, restart — is exercised by
+/// scripts/tier1.sh pass 6, where client and daemon are separate
+/// processes and the fault registry is not shared.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/AutoCorres.h"
+#include "core/ResultCache.h"
+#include "support/FaultInject.h"
+#include "support/FileLock.h"
+#include "support/Socket.h"
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <set>
+#include <string>
+#include <vector>
+
+using namespace ac;
+using support::FaultInject;
+using support::FaultSite;
+using support::FileLock;
+using support::Socket;
+using support::ThreadPool;
+
+namespace {
+
+/// A registered site that exists only to test the framework itself:
+/// nth/count schedules, pass/fire counters, and counter rewind.
+const FaultSite SelfTest("chaos.selftest");
+
+/// Fresh empty directory for one driver run.
+std::string freshDir(const std::string &Tag) {
+  std::string D = ::testing::TempDir() + "ac-chaos/" + Tag;
+  std::filesystem::remove_all(D);
+  std::filesystem::create_directories(D);
+  return D;
+}
+
+//===----------------------------------------------------------------------===//
+// Pipeline snapshot helpers (the byte-identity oracle, as in CacheTest)
+//===----------------------------------------------------------------------===//
+
+/// Five functions: a call chain (invalidation flows), a pure function,
+/// and a pointer function (heap path) — enough shape that a lost or
+/// damaged cache entry is visible in hit/miss counts.
+const char *chainSource() {
+  return "unsigned int leaf(unsigned int x) { return x + 1u; }\n"
+         "unsigned int mid(unsigned int x) { return leaf(x) * 2u; }\n"
+         "unsigned int top(unsigned int x) { return mid(x) + leaf(x); }\n"
+         "unsigned int lone(unsigned int a, unsigned int b) {\n"
+         "  if (a < b) { return a; }\n"
+         "  return b;\n"
+         "}\n"
+         "void bump(unsigned int *p) { *p = *p + 1u; }\n";
+}
+
+struct Snapshot {
+  std::vector<std::string> Names, Rendered, FinalKeys, Pipelines, Diags;
+  core::ACStats Stats;
+};
+
+Snapshot runWith(const std::string &Src, const std::string &CacheDir) {
+  DiagEngine Diags;
+  core::ACOptions Opts;
+  Opts.Jobs = 1;
+  Opts.CacheDir = CacheDir;
+  auto AC = core::AutoCorres::run(Src, Diags, Opts);
+  EXPECT_TRUE(AC) << Diags.str();
+  Snapshot S;
+  if (!AC)
+    return S;
+  for (const std::string &Name : AC->order()) {
+    const core::FuncOutput *F = AC->func(Name);
+    if (!F) {
+      ADD_FAILURE() << "no output for " << Name;
+      continue;
+    }
+    S.Names.push_back(Name);
+    S.Rendered.push_back(AC->render(Name));
+    S.FinalKeys.push_back(F->finalKey());
+    S.Pipelines.push_back(F->pipelineProp());
+  }
+  for (const Diagnostic &D : Diags.diagnostics())
+    S.Diags.push_back(D.str());
+  S.Stats = AC->stats();
+  return S;
+}
+
+void expectIdentical(const Snapshot &A, const Snapshot &B,
+                     const std::string &What) {
+  ASSERT_EQ(A.Names.size(), B.Names.size()) << What;
+  for (size_t I = 0; I != A.Names.size(); ++I) {
+    ASSERT_EQ(A.Names[I], B.Names[I]) << What;
+    EXPECT_EQ(A.FinalKeys[I], B.FinalKeys[I]) << What << ": " << A.Names[I];
+    EXPECT_EQ(A.Rendered[I], B.Rendered[I])
+        << What << ": spec diverged after fault for " << A.Names[I];
+    EXPECT_EQ(A.Pipelines[I], B.Pipelines[I])
+        << What << ": theorem diverged after fault for " << A.Names[I];
+  }
+  EXPECT_EQ(A.Diags, B.Diags) << What << ": diagnostic stream diverged";
+}
+
+std::string cacheFilePath(const std::string &Dir) {
+  return Dir + "/accache-v" +
+         std::to_string(core::ResultCache::FormatVersion) + ".txt";
+}
+
+//===----------------------------------------------------------------------===//
+// Per-site drivers. Each arms its site, provokes the failure, asserts the
+// site actually fired, then proves recovery — usually by byte-comparing a
+// post-fault run against a never-faulted reference.
+//===----------------------------------------------------------------------===//
+
+void driveSelfTest() {
+  EXPECT_FALSE(FaultInject::arm("chaos.no.such.site", 1))
+      << "arming an unregistered site must fail, not silently never fire";
+  ASSERT_TRUE(FaultInject::arm("chaos.selftest", /*Nth=*/2, /*Count=*/2));
+  EXPECT_FALSE(SelfTest.fire()); // passage 1
+  EXPECT_TRUE(SelfTest.fire());  // 2: first of the armed window
+  EXPECT_TRUE(SelfTest.fire());  // 3: count extends the window
+  EXPECT_FALSE(SelfTest.fire()); // 4: window over
+  EXPECT_EQ(FaultInject::passes("chaos.selftest"), 4u);
+  EXPECT_EQ(FaultInject::fired("chaos.selftest"), 2u);
+  // resetCounters rewinds the passage clock but keeps the schedule.
+  FaultInject::resetCounters();
+  EXPECT_FALSE(SelfTest.fire());
+  EXPECT_TRUE(SelfTest.fire());
+  EXPECT_EQ(FaultInject::fired("chaos.selftest"), 1u);
+}
+
+void driveConnectFail() {
+  std::string Dir = freshDir("connect");
+  Socket L = Socket::listenUnix(Dir + "/s.sock");
+  ASSERT_TRUE(L.valid());
+  ASSERT_TRUE(FaultInject::arm("socket.connect.fail", 1));
+  EXPECT_FALSE(Socket::connectUnix(Dir + "/s.sock").valid());
+  EXPECT_EQ(FaultInject::fired("socket.connect.fail"), 1u);
+  FaultInject::disarmAll();
+  EXPECT_TRUE(Socket::connectUnix(Dir + "/s.sock").valid());
+}
+
+void driveAcceptFail() {
+  std::string Dir = freshDir("accept");
+  Socket L = Socket::listenUnix(Dir + "/s.sock");
+  ASSERT_TRUE(L.valid());
+  ASSERT_TRUE(FaultInject::arm("socket.accept.fail", 1));
+  Socket C = Socket::connectUnix(Dir + "/s.sock");
+  ASSERT_TRUE(C.valid());
+  ASSERT_TRUE(L.waitReadable(2000));
+  EXPECT_FALSE(L.accept().valid());
+  EXPECT_EQ(FaultInject::fired("socket.accept.fail"), 1u);
+  FaultInject::disarmAll();
+  // The connection is still pending in the backlog; the retry serves it.
+  EXPECT_TRUE(L.accept().valid());
+}
+
+void driveWriteFail() {
+  Socket A, B;
+  ASSERT_TRUE(support::socketPair(A, B));
+  ASSERT_TRUE(FaultInject::arm("socket.write.fail", 1));
+  EXPECT_FALSE(A.sendFrame("doomed"));
+  EXPECT_EQ(FaultInject::fired("socket.write.fail"), 1u);
+  FaultInject::disarmAll();
+  // The failure fired before any byte left, so the stream has no torn
+  // frame: the retry round-trips cleanly.
+  ASSERT_TRUE(A.sendFrame("after"));
+  std::string P;
+  ASSERT_TRUE(B.recvFrame(P));
+  EXPECT_EQ(P, "after");
+}
+
+void driveWriteShort() {
+  Socket A, B;
+  ASSERT_TRUE(support::socketPair(A, B));
+  ASSERT_TRUE(FaultInject::arm("socket.write.short", 1, /*Count=*/3));
+  ASSERT_TRUE(A.sendFrame("short-write payload"));
+  EXPECT_EQ(FaultInject::fired("socket.write.short"), 3u);
+  std::string P;
+  ASSERT_TRUE(B.recvFrame(P));
+  EXPECT_EQ(P, "short-write payload") << "writeAll must resume after "
+                                         "partial sends";
+}
+
+void driveWriteEintr() {
+  Socket A, B;
+  ASSERT_TRUE(support::socketPair(A, B));
+  ASSERT_TRUE(FaultInject::arm("socket.write.eintr", 1));
+  ASSERT_TRUE(A.sendFrame("interrupted"));
+  EXPECT_EQ(FaultInject::fired("socket.write.eintr"), 1u);
+  std::string P;
+  ASSERT_TRUE(B.recvFrame(P));
+  EXPECT_EQ(P, "interrupted") << "EINTR must be transparent to framing";
+}
+
+void driveReadFail() {
+  Socket A, B;
+  ASSERT_TRUE(support::socketPair(A, B));
+  ASSERT_TRUE(A.sendFrame("never-arrives"));
+  ASSERT_TRUE(FaultInject::arm("socket.read.fail", 1));
+  std::string P;
+  EXPECT_FALSE(B.recvFrame(P));
+  EXPECT_EQ(FaultInject::fired("socket.read.fail"), 1u);
+  FaultInject::disarmAll();
+  Socket C, D;
+  ASSERT_TRUE(support::socketPair(C, D));
+  ASSERT_TRUE(C.sendFrame("fresh"));
+  ASSERT_TRUE(D.recvFrame(P));
+  EXPECT_EQ(P, "fresh");
+}
+
+void driveReadShort() {
+  Socket A, B;
+  ASSERT_TRUE(support::socketPair(A, B));
+  ASSERT_TRUE(A.sendFrame("short-read payload"));
+  ASSERT_TRUE(FaultInject::arm("socket.read.short", 1, /*Count=*/3));
+  std::string P;
+  ASSERT_TRUE(B.recvFrame(P));
+  EXPECT_EQ(P, "short-read payload") << "readAll must resume after "
+                                        "partial reads";
+  EXPECT_EQ(FaultInject::fired("socket.read.short"), 3u);
+}
+
+void driveReadEintr() {
+  Socket A, B;
+  ASSERT_TRUE(support::socketPair(A, B));
+  ASSERT_TRUE(A.sendFrame("interrupted"));
+  ASSERT_TRUE(FaultInject::arm("socket.read.eintr", 1));
+  std::string P;
+  ASSERT_TRUE(B.recvFrame(P));
+  EXPECT_EQ(P, "interrupted");
+  EXPECT_EQ(FaultInject::fired("socket.read.eintr"), 1u);
+}
+
+void driveFileLockFail() {
+  std::string Dir = freshDir("filelock");
+  ASSERT_TRUE(FaultInject::arm("filelock.acquire.fail", 1));
+  FileLock L = FileLock::acquire(Dir + "/x.lock", /*Exclusive=*/true);
+  EXPECT_FALSE(L.held()) << "callers must degrade to lockless operation";
+  EXPECT_EQ(FaultInject::fired("filelock.acquire.fail"), 1u);
+  FaultInject::disarmAll();
+  FileLock L2 = FileLock::acquire(Dir + "/x.lock", /*Exclusive=*/true);
+  EXPECT_TRUE(L2.held());
+}
+
+void drivePoolPostThrow() {
+  ThreadPool P(2);
+  std::atomic<int> Ran{0};
+  ASSERT_TRUE(FaultInject::arm("pool.post.throw", 2));
+  for (int I = 0; I != 4; ++I)
+    P.post([&] { Ran.fetch_add(1); });
+  P.drain();
+  EXPECT_EQ(Ran.load(), 3) << "the injected throw replaces exactly one task";
+  EXPECT_EQ(FaultInject::fired("pool.post.throw"), 1u);
+  std::exception_ptr E = P.takeError();
+  ASSERT_TRUE(E) << "the worker exception must be captured, not lost";
+  try {
+    std::rethrow_exception(E);
+  } catch (const std::exception &Ex) {
+    EXPECT_NE(std::string(Ex.what()).find("pool.post.throw"),
+              std::string::npos);
+  }
+  FaultInject::disarmAll();
+  // The pool survives a worker exception: same workers, clean error slate.
+  for (int I = 0; I != 2; ++I)
+    P.post([&] { Ran.fetch_add(1); });
+  P.drain();
+  EXPECT_EQ(Ran.load(), 5);
+  EXPECT_FALSE(P.takeError());
+}
+
+void drivePoolGraphThrow() {
+  ThreadPool P(1); // one worker: passage order == task order
+  std::atomic<int> Ran{0};
+  std::vector<std::function<void()>> Tasks;
+  for (int I = 0; I != 4; ++I)
+    Tasks.push_back([&] { Ran.fetch_add(1); });
+  // 0 and 1 independent; 2 needs 1; 3 needs 2.
+  std::vector<std::vector<unsigned>> Deps = {{}, {}, {1}, {2}};
+  ASSERT_TRUE(FaultInject::arm("pool.graph.throw", 2));
+  EXPECT_THROW(support::runTaskGraph(P, Tasks, Deps), std::runtime_error);
+  EXPECT_EQ(FaultInject::fired("pool.graph.throw"), 1u);
+  EXPECT_EQ(Ran.load(), 1) << "dependents of the failed node must be "
+                              "skipped, independent work completed";
+  FaultInject::disarmAll();
+  support::runTaskGraph(P, Tasks, Deps);
+  EXPECT_EQ(Ran.load(), 5);
+}
+
+/// Common shape of the four clean-failure save sites: the save reports
+/// failure, the published cache file is untouched (here: absent), and
+/// the next run rebuilds full warmth with byte-identical output.
+void driveSaveFailure(const char *Site) {
+  std::string Dir = freshDir(Site);
+  Snapshot Ref = runWith(chainSource(), /*CacheDir=*/"");
+
+  ASSERT_TRUE(FaultInject::arm(Site, 1));
+  Snapshot Cold = runWith(chainSource(), Dir);
+  EXPECT_EQ(FaultInject::fired(Site), 1u);
+  FaultInject::disarmAll();
+  EXPECT_FALSE(std::filesystem::exists(cacheFilePath(Dir)))
+      << Site << ": a failed save must not publish anything";
+  expectIdentical(Ref, Cold, std::string(Site) + ": faulted cold run");
+
+  Snapshot Retry = runWith(chainSource(), Dir); // save succeeds this time
+  EXPECT_EQ(Retry.Stats.CacheHits, 0u);
+  expectIdentical(Ref, Retry, std::string(Site) + ": retry run");
+
+  Snapshot Warm = runWith(chainSource(), Dir);
+  EXPECT_EQ(Warm.Stats.CacheHits, 5u)
+      << Site << ": warmth must be fully restored";
+  expectIdentical(Ref, Warm, std::string(Site) + ": warm run");
+}
+
+void driveSaveOpen() { driveSaveFailure("cache.save.open"); }
+void driveSaveWrite() { driveSaveFailure("cache.save.write"); }
+void driveSaveFsync() { driveSaveFailure("cache.save.fsync"); }
+void driveSaveRename() { driveSaveFailure("cache.save.rename"); }
+
+void driveSaveCrash() {
+  std::string Dir = freshDir("crash");
+  Snapshot Ref = runWith(chainSource(), /*CacheDir=*/"");
+
+  // The crash site publishes a torn image — the state a power cut leaves.
+  ASSERT_TRUE(FaultInject::arm("cache.save.crash", 1));
+  Snapshot Cold = runWith(chainSource(), Dir);
+  EXPECT_EQ(FaultInject::fired("cache.save.crash"), 1u);
+  FaultInject::disarmAll();
+  ASSERT_TRUE(std::filesystem::exists(cacheFilePath(Dir)));
+  expectIdentical(Ref, Cold, "crash: faulted cold run");
+
+  // Recovery: damaged tail entries are dropped (with a warning naming
+  // the count), intact ones still serve, and the output is exact.
+  ::testing::internal::CaptureStderr();
+  Snapshot Rec = runWith(chainSource(), Dir);
+  std::string Warn = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(Warn.find("dropped"), std::string::npos)
+      << "recovery must warn about dropped entries, got: " << Warn;
+  EXPECT_GE(Rec.Stats.CacheDroppedEntries, 1u);
+  EXPECT_EQ(Rec.Stats.CacheHits + Rec.Stats.CacheMisses, 5u);
+  EXPECT_GE(Rec.Stats.CacheMisses, 1u) << "the torn tail must re-verify";
+  expectIdentical(Ref, Rec, "crash: recovery run");
+
+  // The recovery run re-saved a clean file: full warmth, no drops.
+  Snapshot Warm = runWith(chainSource(), Dir);
+  EXPECT_EQ(Warm.Stats.CacheDroppedEntries, 0u);
+  EXPECT_EQ(Warm.Stats.CacheHits, 5u);
+  expectIdentical(Ref, Warm, "crash: healed warm run");
+}
+
+void driveSaveBitflip() {
+  std::string Dir = freshDir("bitflip");
+  Snapshot Ref = runWith(chainSource(), /*CacheDir=*/"");
+
+  // Silent corruption: the save itself claims success.
+  ASSERT_TRUE(FaultInject::arm("cache.save.bitflip", 1));
+  Snapshot Cold = runWith(chainSource(), Dir);
+  EXPECT_EQ(FaultInject::fired("cache.save.bitflip"), 1u);
+  FaultInject::disarmAll();
+  expectIdentical(Ref, Cold, "bitflip: faulted cold run");
+
+  // The flipped entry must be *detected* (CRC) and re-verified — a
+  // corrupt entry served as-is would mean wrong specs, the one outcome
+  // this whole subsystem exists to prevent.
+  Snapshot Rec = runWith(chainSource(), Dir);
+  EXPECT_EQ(Rec.Stats.CacheHits + Rec.Stats.CacheMisses, 5u);
+  EXPECT_GE(Rec.Stats.CacheMisses, 1u)
+      << "the flipped entry must miss, never be served";
+  expectIdentical(Ref, Rec, "bitflip: recovery run");
+
+  Snapshot Warm = runWith(chainSource(), Dir);
+  EXPECT_EQ(Warm.Stats.CacheHits, 5u);
+  EXPECT_EQ(Warm.Stats.CacheDroppedEntries, 0u);
+  expectIdentical(Ref, Warm, "bitflip: healed warm run");
+}
+
+//===----------------------------------------------------------------------===//
+// The driver table and the coverage gate
+//===----------------------------------------------------------------------===//
+
+struct SiteCase {
+  const char *Site;
+  void (*Drive)();
+};
+
+const SiteCase AllSites[] = {
+    {"chaos.selftest", driveSelfTest},
+    {"socket.connect.fail", driveConnectFail},
+    {"socket.accept.fail", driveAcceptFail},
+    {"socket.write.fail", driveWriteFail},
+    {"socket.write.short", driveWriteShort},
+    {"socket.write.eintr", driveWriteEintr},
+    {"socket.read.fail", driveReadFail},
+    {"socket.read.short", driveReadShort},
+    {"socket.read.eintr", driveReadEintr},
+    {"filelock.acquire.fail", driveFileLockFail},
+    {"pool.post.throw", drivePoolPostThrow},
+    {"pool.graph.throw", drivePoolGraphThrow},
+    {"cache.save.open", driveSaveOpen},
+    {"cache.save.write", driveSaveWrite},
+    {"cache.save.fsync", driveSaveFsync},
+    {"cache.save.rename", driveSaveRename},
+    {"cache.save.crash", driveSaveCrash},
+    {"cache.save.bitflip", driveSaveBitflip},
+};
+
+class ChaosSite : public ::testing::TestWithParam<SiteCase> {
+protected:
+  void SetUp() override {
+    ::unsetenv("AC_CACHE");
+    ::unsetenv("AC_CACHE_DIR");
+    ::unsetenv("AC_FAULTS");
+    FaultInject::disarmAll();
+  }
+  void TearDown() override { FaultInject::disarmAll(); }
+};
+
+TEST_P(ChaosSite, InjectAndRecover) {
+  ASSERT_TRUE(FaultInject::isKnown(GetParam().Site))
+      << "driver names an unregistered site: " << GetParam().Site;
+  GetParam().Drive();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSites, ChaosSite, ::testing::ValuesIn(AllSites),
+    [](const ::testing::TestParamInfo<SiteCase> &Info) {
+      std::string Name = Info.param.Site;
+      for (char &C : Name)
+        if (C == '.')
+          C = '_';
+      return Name;
+    });
+
+/// The closure gate: the driver table and the registered inventory must
+/// be the same set. Registering a new FaultSite without writing a chaos
+/// driver — or driving a name that no code registers — fails here.
+TEST(ChaosCoverage, DriverTableMatchesRegisteredSites) {
+  std::set<std::string> Driven;
+  for (const SiteCase &C : AllSites)
+    Driven.insert(C.Site);
+  std::set<std::string> Registered;
+  for (const std::string &S : FaultInject::sites())
+    Registered.insert(S);
+  EXPECT_EQ(Registered, Driven)
+      << "every registered fault site needs a chaos driver (and every "
+         "driver a registered site)";
+}
+
+} // namespace

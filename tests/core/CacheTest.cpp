@@ -239,8 +239,10 @@ TEST_F(CacheTest, StaleFormatVersionIsACleanMiss) {
     Buf << In.rdbuf();
     Contents = Buf.str();
   }
-  ASSERT_EQ(Contents.rfind("ACCACHE 1", 0), 0u);
-  Contents.replace(0, 9, "ACCACHE 9");
+  const std::string Header =
+      "ACCACHE " + std::to_string(core::ResultCache::FormatVersion);
+  ASSERT_EQ(Contents.rfind(Header, 0), 0u);
+  Contents.replace(0, Header.size(), "ACCACHE 9");
   {
     std::ofstream Out(cacheFilePath(), std::ios::binary | std::ios::trunc);
     Out << Contents;

@@ -16,6 +16,7 @@
 
 #include "core/AutoCorres.h"
 #include "corpus/Sources.h"
+#include "service/CheckRunner.h"
 #include "service/Client.h"
 #include "service/Server.h"
 #include "support/Socket.h"
@@ -103,6 +104,7 @@ TEST(Protocol, CheckRequestRoundTrips) {
   Req.Jobs = 4;
   Req.CacheDir = "/tmp/cache";
   Req.WantSpecs = true;
+  Req.TimeoutMs = 2500;
   CheckRequest Back;
   std::string Err;
   ASSERT_TRUE(CheckRequest::fromJson(Req.toJson(), Back, Err)) << Err;
@@ -112,6 +114,7 @@ TEST(Protocol, CheckRequestRoundTrips) {
   EXPECT_EQ(Back.Jobs, 4u);
   EXPECT_EQ(Back.CacheDir, "/tmp/cache");
   EXPECT_TRUE(Back.WantSpecs);
+  EXPECT_EQ(Back.TimeoutMs, 2500u);
 }
 
 TEST(Protocol, ErrorEnvelopeRoundTrips) {
@@ -129,7 +132,8 @@ TEST(Protocol, ErrorEnvelopeRoundTrips) {
 TEST(Protocol, ErrorCodeNamesRoundTrip) {
   for (ErrorCode E :
        {ErrorCode::None, ErrorCode::Busy, ErrorCode::Draining,
-        ErrorCode::BadRequest, ErrorCode::ParseError, ErrorCode::Internal})
+        ErrorCode::BadRequest, ErrorCode::ParseError, ErrorCode::Internal,
+        ErrorCode::DeadlineExceeded})
     EXPECT_EQ(errorCodeFromName(errorCodeName(E)), E);
 }
 
@@ -599,5 +603,219 @@ TEST_F(ServiceTest, ParallelRequestsUseTheSharedPool) {
   ASSERT_TRUE(C.check(Req, Resp, Err)) << Err;
   expectMatchesRef(Resp, Ref, "shared-pool run");
   EXPECT_EQ(Resp.Jobs, 4u);
+  Srv.stop();
+}
+
+//===----------------------------------------------------------------------===//
+// Deadlines, retry bounds, and graceful degradation
+//===----------------------------------------------------------------------===//
+
+TEST_F(ServiceTest, QueuedRequestPastDeadlineIsAnsweredAndSlotFreed) {
+  ServerOptions O = baseOpts();
+  O.Workers = 1; // one slow request blocks the only worker
+  Server Srv(O);
+  ASSERT_TRUE(Srv.start());
+
+  // Occupy the worker (generously: the suite may share a loaded box).
+  std::thread Slow([&] {
+    Client C = Client::connect(SockPath);
+    CheckRequest Req;
+    Req.Source = corpus::maxSource();
+    Req.DebugDelayMs = 2000;
+    CheckResponse Resp;
+    std::string Err;
+    EXPECT_TRUE(C.check(Req, Resp, Err)) << Err;
+    EXPECT_TRUE(Resp.Ok) << Resp.Message;
+  });
+  bool Occupied = waitStats(
+      [](const Json &St) { return St.get("in_flight").asInt() == 1; });
+  if (!Occupied) {
+    Slow.join();
+    Srv.stop();
+    FAIL() << "worker never became busy";
+  }
+
+  // A queued request with a 100 ms deadline must be answered by the
+  // watchdog long before the worker frees up.
+  Client C = Client::connect(SockPath);
+  CheckRequest Req;
+  Req.Source = corpus::maxSource();
+  Req.TimeoutMs = 100;
+  CheckResponse Resp;
+  std::string Err;
+  auto T0 = std::chrono::steady_clock::now();
+  ASSERT_TRUE(C.check(Req, Resp, Err)) << Err;
+  auto ElapsedMs = std::chrono::duration_cast<std::chrono::milliseconds>(
+                       std::chrono::steady_clock::now() - T0)
+                       .count();
+  EXPECT_FALSE(Resp.Ok);
+  EXPECT_EQ(Resp.Err, ErrorCode::DeadlineExceeded) << Resp.Message;
+  EXPECT_LT(ElapsedMs, 1500) << "watchdog must not wait for the worker";
+  // The expired request's queue slot was freed, not leaked.
+  EXPECT_TRUE(waitStats([](const Json &St) {
+    return St.get("queue_depth").asInt() == 0 &&
+           St.get("requests").get("deadline_exceeded").asInt() == 1;
+  }));
+  Slow.join();
+  Srv.stop();
+}
+
+TEST_F(ServiceTest, InFlightRequestOverDeadlineIsCancelled) {
+  ServerOptions O = baseOpts();
+  O.Workers = 1;
+  Server Srv(O);
+  ASSERT_TRUE(Srv.start());
+
+  // The request itself dawdles past its own deadline.
+  Client C = Client::connect(SockPath);
+  CheckRequest Req;
+  Req.Source = corpus::maxSource();
+  Req.DebugDelayMs = 2000;
+  Req.TimeoutMs = 100;
+  CheckResponse Resp;
+  std::string Err;
+  auto T0 = std::chrono::steady_clock::now();
+  ASSERT_TRUE(C.check(Req, Resp, Err)) << Err;
+  auto ElapsedMs = std::chrono::duration_cast<std::chrono::milliseconds>(
+                       std::chrono::steady_clock::now() - T0)
+                       .count();
+  EXPECT_FALSE(Resp.Ok);
+  EXPECT_EQ(Resp.Err, ErrorCode::DeadlineExceeded) << Resp.Message;
+  EXPECT_LT(ElapsedMs, 1500)
+      << "the deadline response must not wait out the full delay";
+
+  // The worker survives: it discards the cancelled result and serves the
+  // next request normally.
+  RefRun Ref = inProcessRun(corpus::maxSource());
+  Client C2 = Client::connect(SockPath);
+  CheckRequest Req2;
+  Req2.Source = corpus::maxSource();
+  CheckResponse Resp2;
+  ASSERT_TRUE(C2.check(Req2, Resp2, Err)) << Err;
+  expectMatchesRef(Resp2, Ref, "after a cancelled in-flight request");
+  EXPECT_TRUE(waitStats([](const Json &St) {
+    return St.get("requests").get("deadline_exceeded").asInt() == 1 &&
+           St.get("in_flight").asInt() == 0;
+  }));
+  Srv.stop();
+}
+
+TEST_F(ServiceTest, CheckRetryBoundsTotalTimeUnderSaturation) {
+  ServerOptions O = baseOpts();
+  O.Workers = 1;
+  O.QueueCapacity = 1;
+  O.RetryAfterMs = 30;
+  Server Srv(O);
+  ASSERT_TRUE(Srv.start());
+
+  // Saturate: one in flight, one queued — everything else gets `busy`.
+  // Started one at a time (the second would itself bounce off the
+  // size-1 queue while the first still sits in it), with holds generous
+  // enough that the saturated window survives a loaded box.
+  // The in-flight hold outlasts the 5 s saturation wait below by a
+  // margin wider than the probe's 300 ms budget, so the probe can never
+  // slip into a freed slot however slowly the wait converged.
+  auto Holder = [&](unsigned DelayMs) {
+    Client C = Client::connect(SockPath);
+    CheckRequest Req;
+    Req.Source = corpus::maxSource();
+    Req.DebugDelayMs = DelayMs;
+    CheckResponse Resp;
+    std::string Err;
+    C.check(Req, Resp, Err);
+  };
+  std::vector<std::thread> Holders;
+  Holders.emplace_back(Holder, 8000u);
+  bool InFlight = waitStats([](const Json &St) {
+    return St.get("in_flight").asInt() == 1 &&
+           St.get("queue_depth").asInt() == 0;
+  });
+  if (InFlight)
+    Holders.emplace_back(Holder, 100u);
+  bool Saturated =
+      InFlight && waitStats([](const Json &St) {
+        return St.get("in_flight").asInt() == 1 &&
+               St.get("queue_depth").asInt() == 1;
+      });
+  if (!Saturated) {
+    for (std::thread &T : Holders)
+      T.join();
+    Srv.stop();
+    FAIL() << "daemon never reached the saturated state";
+  }
+
+  // A bounded retry loop must give up with the daemon's last `busy`
+  // answer well before the holders finish, not spin until admitted.
+  Client C = Client::connect(SockPath);
+  CheckRequest Req;
+  Req.Source = corpus::maxSource();
+  CheckResponse Resp;
+  std::string Err;
+  auto T0 = std::chrono::steady_clock::now();
+  ASSERT_TRUE(C.checkRetry(Req, Resp, Err, /*MaxAttempts=*/50,
+                           /*MaxTotalMs=*/300))
+      << Err;
+  auto ElapsedMs = std::chrono::duration_cast<std::chrono::milliseconds>(
+                       std::chrono::steady_clock::now() - T0)
+                       .count();
+  EXPECT_FALSE(Resp.Ok);
+  EXPECT_EQ(Resp.Err, ErrorCode::Busy);
+  // Far below the ~8 s the holders occupy the daemon: the loop gave up
+  // on its own clock instead of waiting to be admitted.
+  EXPECT_LT(ElapsedMs, 3000) << "retry loop must respect its time bound";
+  for (std::thread &T : Holders)
+    T.join();
+  Srv.stop();
+}
+
+TEST_F(ServiceTest, FallbackServesIdenticalResultsWithNoDaemon) {
+  RefRun Ref = inProcessRun(corpus::gcdSource());
+  CheckRequest Req;
+  Req.Source = corpus::gcdSource();
+  bool UsedFallback = false;
+  std::string Note;
+  // Nothing listens on SockPath: the check must degrade to an
+  // in-process run and still produce exact results.
+  CheckResponse Resp = checkWithFallback(SockPath, Req, UsedFallback, Note);
+  EXPECT_TRUE(UsedFallback);
+  EXPECT_NE(Note.find("falling back"), std::string::npos) << Note;
+  expectMatchesRef(Resp, Ref, "fallback with no daemon");
+}
+
+TEST_F(ServiceTest, FallbackKicksInWhenTheDaemonMissesTheDeadline) {
+  ServerOptions O = baseOpts();
+  O.Workers = 1;
+  Server Srv(O);
+  ASSERT_TRUE(Srv.start());
+
+  RefRun Ref = inProcessRun(corpus::maxSource());
+  CheckRequest Req;
+  Req.Source = corpus::maxSource();
+  Req.DebugDelayMs = 800; // the daemon will sit on it...
+  Req.TimeoutMs = 100;    // ...past the deadline
+  bool UsedFallback = false;
+  std::string Note;
+  CheckResponse Resp = checkWithFallback(SockPath, Req, UsedFallback, Note);
+  EXPECT_TRUE(UsedFallback);
+  EXPECT_NE(Note.find("deadline"), std::string::npos) << Note;
+  // The local run ignores the daemon-side debug delay and serves the
+  // same bytes the daemon would have.
+  expectMatchesRef(Resp, Ref, "fallback after deadline_exceeded");
+  Srv.stop();
+}
+
+TEST_F(ServiceTest, FallbackDoesNotMaskRequestErrors) {
+  Server Srv(baseOpts());
+  ASSERT_TRUE(Srv.start());
+  CheckRequest Req;
+  Req.Source = "this is not C;"; // a parse_error, the *request's* fault
+  bool UsedFallback = false;
+  std::string Note;
+  CheckResponse Resp = checkWithFallback(SockPath, Req, UsedFallback, Note);
+  EXPECT_FALSE(UsedFallback)
+      << "an error the daemon *diagnosed* must not silently re-run "
+         "locally: " << Note;
+  EXPECT_FALSE(Resp.Ok);
+  EXPECT_EQ(Resp.Err, ErrorCode::ParseError) << Resp.Message;
   Srv.stop();
 }

@@ -17,6 +17,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <random>
 #include <string>
 #include <thread>
 #include <vector>
@@ -120,6 +122,103 @@ TEST(Json, ParsesItsOwnDump) {
   Json Back = parseOk(J.dump());
   EXPECT_EQ(Back.dump(), J.dump());
   EXPECT_EQ(Back.get("s").asString(), "line1\nline2 \"quoted\"");
+}
+
+//===----------------------------------------------------------------------===//
+// Fuzz corpus: mutated wire payloads
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// The canonical payloads from docs/PROTOCOL.md — the exact shapes a
+/// confused or malicious peer would start from before the bytes went
+/// wrong in transit.
+const char *const WirePayloads[] = {
+    R"({"v":1,"op":"check","source":"unsigned max(unsigned a, unsigned b) { return a < b ? b : a; }","options":{"no_heap_abs":["f","g"],"no_word_abs":["h"],"jobs":4,"cache_dir":"/path/to/cache"},"want_specs":true,"timeout_ms":2000})",
+    R"({"v":1,"op":"stats"})",
+    R"({"v":1,"op":"ping"})",
+    R"({"v":1,"op":"drain"})",
+    R"json({"ok":true,"functions":[{"name":"max","final":"wa:max","heap_lifted":false,"word_abstracted":true,"render":"max' a b ==\nreturn (if a < b then b else a)","pipeline":"ac_corres (return (if a < b then b else a)) SIMPL[max]","specs":{"l1":"...","l2":"...","hl":"","wa":"..."}}],"diagnostics":[],"stats":{"source_lines":4,"functions":1,"jobs":1,"parse_s":0.001,"abstract_wall_s":0.002,"cache_enabled":true,"cache_hits":0,"cache_misses":1,"cache_invalidations":0,"cache_dropped":0}})json",
+    R"({"ok":false,"error":"busy","message":"queue full","retry_after_ms":50})",
+    R"({"ok":false,"error":"deadline_exceeded","message":"deadline of 100 ms exceeded"})",
+    R"({"ok":true,"uptime_s":12.3,"draining":false,"workers":2,"queue_depth":0,"queue_capacity":8,"in_flight":1,"requests":{"received":10,"completed":8,"failed":1,"cancelled":1,"rejected":2,"deadline_exceeded":0}})",
+};
+
+/// One deterministic byte-level mutation. The shapes mirror what torn
+/// frames, bad length prefixes, and bit rot actually produce.
+std::string mutate(const std::string &Base, std::minstd_rand &Rng) {
+  std::string S = Base;
+  switch (Rng() % 6) {
+  case 0: // truncate anywhere (a torn frame)
+    S.resize(Rng() % (S.size() + 1));
+    break;
+  case 1: // flip one bit
+    if (!S.empty())
+      S[Rng() % S.size()] ^= static_cast<char>(1u << (Rng() % 8));
+    break;
+  case 2: // delete one byte
+    if (!S.empty())
+      S.erase(S.begin() + Rng() % S.size());
+    break;
+  case 3: // insert a random byte (including NUL and controls)
+    S.insert(S.begin() + Rng() % (S.size() + 1),
+             static_cast<char>(Rng() % 256));
+    break;
+  case 4: // duplicate a span
+    if (!S.empty()) {
+      size_t At = Rng() % S.size();
+      size_t N = 1 + Rng() % std::min<size_t>(16, S.size() - At);
+      S.insert(At, S.substr(At, N));
+    }
+    break;
+  default: // swap two bytes
+    if (S.size() >= 2) {
+      size_t A = Rng() % S.size(), B = Rng() % S.size();
+      std::swap(S[A], S[B]);
+    }
+    break;
+  }
+  return S;
+}
+
+} // namespace
+
+/// A daemon must survive any bytes a peer can put in a frame: 200
+/// deterministic mutations of the PROTOCOL.md example payloads. Every
+/// mutant must either be rejected with an error message, or — when the
+/// mutation happened to keep the text well-formed — parse to a value
+/// whose dump() round-trips. Never a crash, never a hang, and on
+/// rejection the output value must be reset to null, not left holding
+/// partially-parsed state.
+TEST(Json, SurvivesMutatedWirePayloads) {
+  std::minstd_rand Rng(20140604); // fixed seed: failures must replay
+  const size_t NumPayloads = sizeof(WirePayloads) / sizeof(WirePayloads[0]);
+  size_t Rejected = 0, Accepted = 0;
+  for (int I = 0; I != 200; ++I) {
+    const std::string Base = WirePayloads[I % NumPayloads];
+    const std::string Mutant = mutate(Base, Rng);
+    Json J(42); // poison: must not survive a failed parse
+    std::string Err;
+    if (!Json::parse(Mutant, J, Err)) {
+      EXPECT_FALSE(Err.empty())
+          << "rejection must say why; input: " << Mutant;
+      EXPECT_TRUE(J.isNull())
+          << "failed parse must not leak partial state; input: " << Mutant;
+      ++Rejected;
+      continue;
+    }
+    ++Accepted;
+    // A survivor must at least be internally consistent.
+    Json Back;
+    ASSERT_TRUE(Json::parse(J.dump(), Back, Err))
+        << "dump of accepted mutant does not re-parse: " << J.dump();
+    EXPECT_EQ(Back.dump(), J.dump());
+  }
+  // Byte-level damage to tightly-structured JSON should almost always
+  // be fatal; a mostly-accepting parser would mean the corpus (or the
+  // parser) is broken.
+  EXPECT_GT(Rejected, Accepted);
+  EXPECT_GT(Rejected, 100u);
 }
 
 //===----------------------------------------------------------------------===//

@@ -6,6 +6,13 @@
 // of tests/core/GoldenSpecTest.cpp so daemon output can be diffed
 // byte-for-byte against tests/golden/*.expected.
 //
+// Degrades gracefully: when the daemon is unreachable, dies mid-request,
+// or answers `deadline_exceeded`/`busy`/`draining`, the check runs
+// in-process through the same response builder (service/CheckRunner.h),
+// against the same cache directory — the output bytes are identical
+// either way. `--no-fallback` turns this off for scripts that must know
+// the daemon served them.
+//
 //   acc --socket /tmp/acd.sock file.c
 //   acc --socket /tmp/acd.sock --corpus swap --golden
 //   acc --socket /tmp/acd.sock --stats
@@ -14,6 +21,7 @@
 
 #include "corpus/Sources.h"
 #include "corpus/Synthetic.h"
+#include "service/CheckRunner.h"
 #include "service/Client.h"
 
 #include <cstdio>
@@ -44,6 +52,10 @@ void usage(const char *Argv0) {
       "  --no-word-abs F   keep F on machine words (repeatable)\n"
       "  --jobs N          abstraction jobs for this request\n"
       "  --cache-dir DIR   cache tier for this request\n"
+      "  --timeout-ms N    per-request deadline enforced by the daemon\n"
+      "  --debug-delay-ms N  ask the daemon to hold the request (tests)\n"
+      "  --no-fallback     fail instead of degrading to an in-process\n"
+      "                    run when the daemon cannot serve the check\n"
       "  --stats           print daemon stats JSON and exit\n"
       "  --ping            liveness probe (exit 0 iff alive)\n"
       "  --drain           ask the daemon to drain and exit\n",
@@ -104,6 +116,7 @@ int main(int argc, char **argv) {
   std::string SocketPath = "acd.sock";
   std::string File, Corpus;
   bool Golden = false, Stats = false, Ping = false, Drain = false;
+  bool NoFallback = false;
   CheckRequest Req;
 
   for (int I = 1; I < argc; ++I) {
@@ -145,6 +158,18 @@ int main(int argc, char **argv) {
       if (!V)
         return usage(argv[0]), 2;
       Req.CacheDir = V;
+    } else if (Arg == "--timeout-ms") {
+      const char *V = Next();
+      if (!V)
+        return usage(argv[0]), 2;
+      Req.TimeoutMs = static_cast<unsigned>(std::atoi(V));
+    } else if (Arg == "--debug-delay-ms") {
+      const char *V = Next();
+      if (!V)
+        return usage(argv[0]), 2;
+      Req.DebugDelayMs = static_cast<unsigned>(std::atoi(V));
+    } else if (Arg == "--no-fallback") {
+      NoFallback = true;
     } else if (Arg == "--stats") {
       Stats = true;
     } else if (Arg == "--ping") {
@@ -163,32 +188,33 @@ int main(int argc, char **argv) {
     }
   }
 
-  Client C = Client::connect(SocketPath);
-  if (!C.connected()) {
-    std::fprintf(stderr, "acc: cannot connect to %s (is acd running?)\n",
-                 SocketPath.c_str());
-    return 1;
-  }
   std::string Err;
 
-  if (Ping) {
-    if (!C.ping(Err)) {
-      std::fprintf(stderr, "acc: ping failed: %s\n", Err.c_str());
+  // Admin ops address a specific daemon; there is nothing to degrade to.
+  if (Ping || Stats || Drain) {
+    Client C = Client::connect(SocketPath);
+    if (!C.connected()) {
+      std::fprintf(stderr, "acc: cannot connect to %s (is acd running?)\n",
+                   SocketPath.c_str());
       return 1;
     }
-    std::printf("pong\n");
-    return 0;
-  }
-  if (Stats) {
-    ac::support::Json J;
-    if (!C.stats(J, Err)) {
-      std::fprintf(stderr, "acc: stats failed: %s\n", Err.c_str());
-      return 1;
+    if (Ping) {
+      if (!C.ping(Err)) {
+        std::fprintf(stderr, "acc: ping failed: %s\n", Err.c_str());
+        return 1;
+      }
+      std::printf("pong\n");
+      return 0;
     }
-    std::printf("%s\n", J.dump().c_str());
-    return 0;
-  }
-  if (Drain) {
+    if (Stats) {
+      ac::support::Json J;
+      if (!C.stats(J, Err)) {
+        std::fprintf(stderr, "acc: stats failed: %s\n", Err.c_str());
+        return 1;
+      }
+      std::printf("%s\n", J.dump().c_str());
+      return 0;
+    }
     if (!C.drain(Err)) {
       std::fprintf(stderr, "acc: drain failed: %s\n", Err.c_str());
       return 1;
@@ -223,12 +249,26 @@ int main(int argc, char **argv) {
   }
 
   CheckResponse Resp;
-  if (!C.checkRetry(Req, Resp, Err)) {
-    std::fprintf(stderr, "acc: request failed: %s\n", Err.c_str());
-    return 1;
+  bool UsedFallback = false;
+  if (NoFallback) {
+    Client C = Client::connect(SocketPath);
+    if (!C.connected()) {
+      std::fprintf(stderr, "acc: cannot connect to %s (is acd running?)\n",
+                   SocketPath.c_str());
+      return 1;
+    }
+    if (!C.checkRetry(Req, Resp, Err)) {
+      std::fprintf(stderr, "acc: request failed: %s\n", Err.c_str());
+      return 1;
+    }
+  } else {
+    std::string Note;
+    Resp = checkWithFallback(SocketPath, Req, UsedFallback, Note);
+    if (UsedFallback)
+      std::fprintf(stderr, "acc: %s\n", Note.c_str());
   }
   if (!Resp.Ok) {
-    std::fprintf(stderr, "acc: daemon refused: %s (%s)\n",
+    std::fprintf(stderr, "acc: check failed: %s (%s)\n",
                  errorCodeName(Resp.Err), Resp.Message.c_str());
     for (const std::string &D : Resp.Diagnostics)
       std::fprintf(stderr, "  %s\n", D.c_str());
@@ -259,10 +299,10 @@ int main(int argc, char **argv) {
   }
   for (const std::string &D : Resp.Diagnostics)
     std::printf("note: %s\n", D.c_str());
-  std::printf("[acd] functions=%u jobs=%u parse=%.3fs abstract=%.3fs "
+  std::printf("[%s] functions=%u jobs=%u parse=%.3fs abstract=%.3fs "
               "cache(hits=%u misses=%u invalidations=%u)\n",
-              Resp.NumFunctions, Resp.Jobs, Resp.ParseSeconds,
-              Resp.AbstractWallSeconds, Resp.CacheHits, Resp.CacheMisses,
-              Resp.CacheInvalidations);
+              UsedFallback ? "local" : "acd", Resp.NumFunctions, Resp.Jobs,
+              Resp.ParseSeconds, Resp.AbstractWallSeconds, Resp.CacheHits,
+              Resp.CacheMisses, Resp.CacheInvalidations);
   return 0;
 }
