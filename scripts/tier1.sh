@@ -28,6 +28,14 @@
 #      kill -9 a live acd mid-request, require acc to degrade to an
 #      in-process run with the exact golden bytes, then a fresh acd
 #      must bind the same socket path and serve again.
+#   7. Observability: a traced acc run must emit byte-identical golden
+#      output to an untraced one, and its trace must lint as Chrome
+#      trace-event JSON carrying the pipeline's span names plus the full
+#      rule profile (>= 40 word-abs, >= 35 heap-abs rules). The daemon's
+#      per-request trace (--trace-dir + --trace-id) and Prometheus
+#      metrics endpoint lint too, and a trace-file write failure
+#      (AC_FAULTS=trace.write.fail) must warn without failing the check
+#      or perturbing its output.
 #
 # Usage: scripts/tier1.sh [--skip-tsan] [--skip-asan]
 #
@@ -280,5 +288,110 @@ if [[ "$ACD_RC" != 0 ]]; then
   exit 1
 fi
 echo "fresh acd reclaimed the stale socket and drained cleanly"
+
+echo "=== tier-1 pass 7: observability (tracing, rule profile, metrics) ==="
+ACLINT="build/tools/aclint"
+cmake --build build -j --target aclint >/dev/null
+OBS_DIR="$ACD_DIR/obs"
+mkdir -p "$OBS_DIR"
+NOSOCK7="$OBS_DIR/nobody-home.sock" # nothing listens: acc runs locally
+
+# 7a. Tracing must be invisible to the result: the traced run's golden
+#     bytes match the untraced fixture exactly.
+"$ACC" --socket "$NOSOCK7" --trace "$OBS_DIR/max.trace.json" \
+  --cache-dir "$OBS_DIR/cache" --corpus max --golden \
+  >"$OBS_DIR/max.traced" 2>/dev/null
+if ! cmp -s "$OBS_DIR/max.traced" "tests/golden/max.expected"; then
+  echo "tier-1: FAILED — traced run diverged from tests/golden/max.expected:" >&2
+  diff "tests/golden/max.expected" "$OBS_DIR/max.traced" | head >&2
+  exit 1
+fi
+# ...and the trace itself is well-formed Chrome JSON carrying the
+# pipeline's spans and the paper-scale rule inventory as a profile.
+if ! "$ACLINT" trace "$OBS_DIR/max.trace.json" \
+    --require-span parse --require-span core.fn \
+    --require-span wordabs.fn --require-span heapabs.fn \
+    --require-span monad.peephole --require-span cache.save \
+    --min-wa 40 --min-hl 35; then
+  echo "tier-1: FAILED — acc trace did not lint (see findings above)." >&2
+  exit 1
+fi
+echo "traced run byte-identical; trace linted (spans + rule profile)"
+
+# 7b. The daemon's per-request traces and metrics endpoint.
+SOCK7="$OBS_DIR/acd.sock"
+"$ACD" --socket "$SOCK7" --trace-dir "$OBS_DIR/traces" \
+  --log-file "$OBS_DIR/acd.jsonl" >"$OBS_DIR/acd.log" 2>&1 &
+ACD_PID=$!
+for _ in $(seq 100); do
+  "$ACC" --socket "$SOCK7" --ping >/dev/null 2>&1 && break
+  sleep 0.1
+done
+"$ACC" --socket "$SOCK7" --no-fallback --trace-id tier1-pass7 \
+  --corpus gcd --golden >"$OBS_DIR/gcd.served"
+if ! cmp -s "$OBS_DIR/gcd.served" "tests/golden/gcd.expected"; then
+  echo "tier-1: FAILED — daemon-served gcd under tracing diverged." >&2
+  exit 1
+fi
+for _ in $(seq 100); do
+  [[ -f "$OBS_DIR/traces/tier1-pass7.json" ]] && break
+  sleep 0.1
+done
+if ! "$ACLINT" trace "$OBS_DIR/traces/tier1-pass7.json" \
+    --require-span core.fn; then
+  echo "tier-1: FAILED — per-request daemon trace did not lint." >&2
+  exit 1
+fi
+"$ACC" --socket "$SOCK7" --metrics >"$OBS_DIR/metrics.txt"
+if ! "$ACLINT" metrics "$OBS_DIR/metrics.txt"; then
+  echo "tier-1: FAILED — daemon metrics exposition did not lint." >&2
+  exit 1
+fi
+if ! grep -q '^acd_requests_completed_total 1$' "$OBS_DIR/metrics.txt"; then
+  echo "tier-1: FAILED — metrics did not count the served request:" >&2
+  grep '^acd_requests' "$OBS_DIR/metrics.txt" >&2 || true
+  exit 1
+fi
+# The structured log is JSONL with the request's lifecycle under its id.
+if ! grep -q '"event":"request.completed".*"trace_id":"tier1-pass7"' \
+    "$OBS_DIR/acd.jsonl" && \
+   ! grep -q '"trace_id":"tier1-pass7".*"event":"request.completed"' \
+    "$OBS_DIR/acd.jsonl"; then
+  echo "tier-1: FAILED — no request.completed log line for tier1-pass7:" >&2
+  cat "$OBS_DIR/acd.jsonl" >&2
+  exit 1
+fi
+kill -TERM "$ACD_PID"
+ACD_RC=0
+wait "$ACD_PID" || ACD_RC=$?
+ACD_PID=""
+if [[ "$ACD_RC" != 0 ]]; then
+  echo "tier-1: FAILED — traced acd exited $ACD_RC on SIGTERM." >&2
+  exit 1
+fi
+echo "daemon per-request trace, metrics and structured log linted"
+
+# 7c. Observability must never fail the work it observes: inject a trace
+#     write failure; the check still exits 0 with the exact golden bytes
+#     and only a warning marks the lost trace.
+OBS_RC=0
+AC_FAULTS=trace.write.fail:1 "$ACC" --socket "$NOSOCK7" \
+  --trace "$OBS_DIR/torn.trace.json" --corpus max --golden \
+  >"$OBS_DIR/max.torntrace" 2>"$OBS_DIR/max.torntrace.err" || OBS_RC=$?
+if [[ "$OBS_RC" != 0 ]]; then
+  echo "tier-1: FAILED — a torn trace write failed the check (exit $OBS_RC):" >&2
+  cat "$OBS_DIR/max.torntrace.err" >&2
+  exit 1
+fi
+if ! cmp -s "$OBS_DIR/max.torntrace" "tests/golden/max.expected"; then
+  echo "tier-1: FAILED — output diverged when the trace write was torn." >&2
+  exit 1
+fi
+if ! grep -q "trace.write_failed" "$OBS_DIR/max.torntrace.err"; then
+  echo "tier-1: FAILED — torn trace write did not warn:" >&2
+  cat "$OBS_DIR/max.torntrace.err" >&2
+  exit 1
+fi
+echo "torn trace write warned without failing the check"
 
 echo "=== tier-1: all passes green ==="

@@ -4,10 +4,15 @@
 
 #include "core/CallGraph.h"
 #include "core/ResultCache.h"
+#include "heapabs/HeapAbs.h"
 #include "hol/Names.h"
 #include "hol/Print.h"
 #include "simpl/PrintSimpl.h"
+#include "support/Log.h"
+#include "support/RuleProfile.h"
 #include "support/ThreadPool.h"
+#include "support/Trace.h"
+#include "wordabs/WordAbs.h"
 
 #include <chrono>
 #include <ctime>
@@ -81,6 +86,19 @@ std::unique_ptr<AutoCorres> AutoCorres::run(const std::string &Source,
                                             const ACOptions &Opts) {
   auto AC = std::unique_ptr<AutoCorres>(new AutoCorres());
 
+  const std::string TracePath =
+      !Opts.TracePath.empty() ? Opts.TracePath : support::Trace::envPath();
+  // A traced run also profiles rules: the exported trace's `ruleProfile`
+  // key carries per-rule fire counts, so AC_TRACE alone answers "which
+  // rules carried this run" without a separate profiling pass. A
+  // run-local trace restores the profiler's prior state on the way out.
+  const bool ProfWasEnabled = support::RuleProfile::enabled();
+  if (!TracePath.empty()) {
+    support::RuleProfile::setEnabled(true);
+    support::Trace::start();
+  }
+  support::Span RunSpan("ac.run");
+
   auto T0 = std::chrono::steady_clock::now();
   AC->Prog = simpl::parseAndTranslate(Source, Diags);
   if (!AC->Prog)
@@ -130,7 +148,10 @@ std::unique_ptr<AutoCorres> AutoCorres::run(const std::string &Source,
     AC->Stats.CacheEnabled = true;
     AC->Stats.CacheDroppedEntries =
         static_cast<unsigned>(Cache->corruptDropped());
-    Keys = computeFunctionKeys(*AC->Prog, Opts.NoHeapAbs, Opts.NoWordAbs);
+    {
+      AC_SPAN("cache.fingerprint");
+      Keys = computeFunctionKeys(*AC->Prog, Opts.NoHeapAbs, Opts.NoWordAbs);
+    }
     for (size_t I = 0; I != Order.size(); ++I) {
       const std::string &Name = Order[I];
       CachedFuncRef E = Cache->lookup(Keys.at(Name));
@@ -173,6 +194,8 @@ std::unique_ptr<AutoCorres> AutoCorres::run(const std::string &Source,
   auto processFn = [&](size_t OrderIdx) {
     double C0 = threadCpuSeconds();
     const std::string &Name = Order[OrderIdx];
+    support::Span FnSpan("core.fn");
+    FnSpan.arg("fn", Name);
     const simpl::SimplFunc *F = AC->Prog->function(Name);
 
     monad::L1Result L1R = monad::convertL1(*AC->Prog, *F);
@@ -237,8 +260,11 @@ std::unique_ptr<AutoCorres> AutoCorres::run(const std::string &Source,
       Phases.push_back(Out.HLCorres);
     Phases.push_back(Out.L2Corres);
     Phases.push_back(Out.L1Corres);
-    Out.Pipeline = composeChain(Phases, Out.finalBody(),
-                                monad::simplBodyConst(*F));
+    {
+      AC_SPAN("core.compose");
+      Out.Pipeline = composeChain(Phases, Out.finalBody(),
+                                  monad::simplBodyConst(*F));
+    }
 
     FnCpuSeconds[OrderIdx] = threadCpuSeconds() - C0;
     std::lock_guard<std::mutex> L(OutputM);
@@ -322,6 +348,28 @@ std::unique_ptr<AutoCorres> AutoCorres::run(const std::string &Source,
     AC->Stats.AutoCorresSeconds += S;
   for (const DiagEngine &D : FnDiags)
     Diags.merge(D);
+
+  if (!TracePath.empty()) {
+    // The dumped profile covers the whole registered rule inventory, not
+    // just the rules this input happened to exercise: fill in the
+    // standard per-width/per-type families the run may not have minted,
+    // then merge every WA./HL. axiom in as a zero row before flushing.
+    wordabs::WordAbstraction::registerStandardRules();
+    heapabs::HeapAbstraction::registerStandardRules();
+    for (const auto &[N, P] : Inventory::instance().axioms())
+      if (N.rfind("WA.", 0) == 0 || N.rfind("HL.", 0) == 0)
+        support::RuleProfile::preregister(N);
+    if (!support::Trace::flush(TracePath))
+      support::Log::warn("trace.write_failed", {{"path", TracePath}});
+    // A run-local trace (Opts.TracePath without ambient AC_TRACE) must
+    // not leave collection running for the rest of the process.
+    if (support::Trace::envPath().empty()) {
+      support::Trace::stop();
+      support::Trace::reset();
+      if (!ProfWasEnabled)
+        support::RuleProfile::setEnabled(false);
+    }
+  }
 
   // Table 5 metrics.
   for (const std::string &Name : AC->Prog->FunctionOrder) {

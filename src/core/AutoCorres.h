@@ -81,6 +81,11 @@ struct ACOptions {
   /// parallel path and the pool's size is reported in ACStats::Jobs.
   /// Safe to share between concurrent runs. Must outlive the run.
   support::ThreadPool *SharedPool = nullptr;
+  /// When non-empty, span tracing (support/Trace.h) is enabled for this
+  /// run and the collected Chrome trace JSON is flushed here at the end.
+  /// Empty falls back to $AC_TRACE. Flushing is best-effort: a trace
+  /// that cannot be written warns and never fails the run.
+  std::string TracePath;
 };
 
 /// Everything produced for one function.

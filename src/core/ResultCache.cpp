@@ -6,6 +6,8 @@
 #include "simpl/PrintSimpl.h"
 #include "support/FaultInject.h"
 #include "support/FileLock.h"
+#include "support/Log.h"
+#include "support/Trace.h"
 #include "support/Fingerprint.h"
 
 #include <cerrno>
@@ -263,20 +265,26 @@ ResultCache::ResultCache(std::string D) : Dir(std::move(D)) { load(); }
 void ResultCache::load() {
   if (Dir.empty())
     return; // memory-only tier
+  AC_SPAN("cache.load");
   // Shared lock: concurrent readers overlap, but a mid-save writer can
   // never hand us a half-written file. Lockless fallback if the lock
   // file is unopenable (e.g. the directory does not exist yet).
-  support::FileLock L = support::FileLock::acquire(lockFile(Dir),
-                                                   /*Exclusive=*/false);
+  support::FileLock L = [&] {
+    AC_SPAN("cache.lockwait");
+    return support::FileLock::acquire(lockFile(Dir), /*Exclusive=*/false);
+  }();
   size_t Dropped = 0;
   readCacheFile(cacheFile(Dir), Entries, KnownNames, Dropped);
   if (Dropped) {
     CorruptDropped += Dropped;
-    std::fprintf(stderr,
-                 "ac: warning: abstraction cache %s: dropped %zu damaged "
-                 "entr%s (kept %zu intact; dropped functions re-verify)\n",
-                 cacheFile(Dir).c_str(), Dropped,
-                 Dropped == 1 ? "y" : "ies", Entries.size());
+    // "dropped" is load-bearing: operators (and tier-1) grep for it.
+    support::Log::warn(
+        "cache.entries_dropped",
+        {{"path", cacheFile(Dir)},
+         {"dropped", static_cast<uint64_t>(Dropped)},
+         {"kept", static_cast<uint64_t>(Entries.size())},
+         {"msg", "dropped damaged cache entries; dropped functions "
+                 "re-verify"}});
   }
 }
 
@@ -314,6 +322,7 @@ void ResultCache::insert(CachedFunc E) {
 bool ResultCache::save() {
   if (Dir.empty())
     return true; // memory-only tier persists nothing
+  AC_SPAN("cache.save");
   std::error_code EC;
   std::filesystem::create_directories(Dir, EC); // best-effort
 
@@ -321,8 +330,10 @@ bool ResultCache::save() {
   // saved since our load must not lose its entries, and no reader may
   // observe a torn file. Own names win (we computed them more recently);
   // foreign-only names are carried over.
-  support::FileLock Lock = support::FileLock::acquire(lockFile(Dir),
-                                                      /*Exclusive=*/true);
+  support::FileLock Lock = [&] {
+    AC_SPAN("cache.lockwait");
+    return support::FileLock::acquire(lockFile(Dir), /*Exclusive=*/true);
+  }();
 
   std::map<uint64_t, CachedFuncRef> Merged;
   std::map<std::string, uint64_t> MergedNames;

@@ -3,6 +3,7 @@
 #include "cparser/Parser.h"
 
 #include "cparser/Lexer.h"
+#include "support/Trace.h"
 
 using namespace ac;
 using namespace ac::cparser;
@@ -836,9 +837,14 @@ private:
 std::unique_ptr<TranslationUnit> ac::cparser::parseTranslationUnit(
     const std::string &Source, DiagEngine &Diags) {
   unsigned CodeLines = 0;
-  std::vector<Token> Toks = tokenize(Source, Diags, &CodeLines);
+  std::vector<Token> Toks;
+  {
+    AC_SPAN("cparser.lex");
+    Toks = tokenize(Source, Diags, &CodeLines);
+  }
   if (Diags.hasErrors())
     return nullptr;
+  AC_SPAN("cparser.parse");
   Parser P(std::move(Toks), Diags);
   std::unique_ptr<TranslationUnit> TU = P.run();
   if (!TU || Diags.hasErrors())

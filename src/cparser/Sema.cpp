@@ -3,6 +3,7 @@
 #include "cparser/Sema.h"
 
 #include "cparser/Parser.h"
+#include "support/Trace.h"
 
 #include <map>
 
@@ -660,6 +661,7 @@ private:
 
 bool ac::cparser::checkTranslationUnit(TranslationUnit &TU,
                                        DiagEngine &Diags) {
+  support::Span Sp("cparser.sema");
   Sema S(TU, Diags);
   if (!S.run())
     return false;

@@ -2,9 +2,14 @@
 
 #include "heapabs/HeapAbs.h"
 
+#include "support/RuleProfile.h"
+#include "support/Trace.h"
+
 #include "hol/Names.h"
 #include "hol/ProofState.h"
 #include "monad/Peephole.h"
+
+#include <mutex>
 
 using namespace ac;
 using namespace ac::heapabs;
@@ -515,16 +520,35 @@ HLRules &rules() {
   return *R;
 }
 
-/// Instantiation helper.
+/// Instantiation helper. Committing to a rule counts as a fire of the
+/// rule's axiom name in the profile, with the instantiation time
+/// attributed to it.
 Thm inst(const Thm &Ax,
          std::vector<std::pair<const char *, TermRef>> Tms,
          std::vector<std::pair<const char *, TypeRef>> Tys = {}) {
+  support::RuleTimer RuleRT([&Ax] { return Ax.deriv()->name(); });
+  RuleRT.hit();
   Subst S;
   for (auto &[N, T] : Tys)
     S.bindTy(N, T);
   for (auto &[N, T] : Tms)
     S.bind(N, 0, T);
   return Kernel::instantiate(Ax, S);
+}
+
+/// A rule candidate that matched the input's shape but whose
+/// sub-derivation failed: a failed match of the named rule.
+std::nullopt_t ruleMiss(const Thm &Rule) {
+  if (support::RuleProfile::enabled())
+    support::RuleProfile::record(Rule.deriv()->name(), false, 0);
+  return std::nullopt;
+}
+
+/// Same, for per-type rules whose Thm was never built.
+template <typename NameFn> std::nullopt_t ruleMissN(NameFn &&F) {
+  if (support::RuleProfile::enabled())
+    support::RuleProfile::record(F(), false, 0);
+  return std::nullopt;
 }
 
 } // namespace
@@ -672,6 +696,27 @@ HeapAbstraction::HeapAbstraction(simpl::SimplProgram &Prog,
 
 unsigned HeapAbstraction::ruleCount() { return rules().Count; }
 
+void HeapAbstraction::registerStandardRules() {
+  (void)rules(); // the generic Table 4 rules
+
+  // The per-type read/write/guard family at the standard word widths.
+  // These axioms only depend on the heap type (lifted_globals is a
+  // fixed record name), so a detached LiftedGlobals carrying just the
+  // canonical types mints the exact propositions a real program would.
+  static std::once_flag Once;
+  std::call_once(Once, [] {
+    LiftedGlobals LG;
+    LG.LiftedTy = liftedTy();
+    LG.ConcreteTy = globTy();
+    for (unsigned W : {8u, 16u, 32u, 64u}) {
+      TypeRef T = wordTy(W);
+      (void)readRule(LG, T);
+      (void)writeRule(LG, T);
+      (void)ptrGuardRule(LG, T);
+    }
+  });
+}
+
 void HeapAbstraction::addValRule(const Thm &Rule) {
   UserValRules.push_back(Rule);
 }
@@ -811,7 +856,8 @@ HeapAbstraction::val(const TermRef &C) {
     TermRef PtrC = lambdaFree(SGName, C->type(), Args[1]);
     std::optional<ValOut> Sub = val(PtrC);
     if (!Sub)
-      return std::nullopt;
+      return ruleMissN(
+          [&] { return "HL.read." + heapTypeTag(typeOf(Body)); });
     TypeRef T = typeOf(Body);
     Thm Rule = readRule(LG, T);
     Thm Inst = inst(Rule, {{"P", Sub->P}, {"a'", Sub->A},
@@ -866,9 +912,15 @@ HeapAbstraction::val(const TermRef &C) {
       }
       SubThms.push_back(Sub->Th);
     }
-    if (!Ok)
+    if (!Ok) {
+      (void)ruleMiss(UR);
       continue;
-    Thm Cur = Kernel::instantiate(UR, S);
+    }
+    Thm Cur = [&] {
+      support::RuleTimer RuleRT([&] { return UR.deriv()->name(); });
+      RuleRT.hit();
+      return Kernel::instantiate(UR, S);
+    }();
     for (const Thm &Sub : SubThms)
       Cur = Kernel::mp(Cur, Sub);
     return Close(Cur);
@@ -906,10 +958,10 @@ HeapAbstraction::val(const TermRef &C) {
     TermRef XC = lambdaFree(SGName, C->type(), Body->argTerm());
     std::optional<ValOut> FV = val(FC);
     if (!FV)
-      return std::nullopt;
+      return ruleMiss(R.ValApp);
     std::optional<ValOut> XV = val(XC);
     if (!XV)
-      return std::nullopt;
+      return ruleMiss(R.ValApp);
     TypeRef XTy = typeOf(Body->argTerm());
     TypeRef YTy = typeOf(Body);
     Thm Inst = inst(R.ValApp,
@@ -927,7 +979,7 @@ HeapAbstraction::val(const TermRef &C) {
       TermRef VC = lambdaFree(SGName, C->type(), Inner);
       std::optional<ValOut> Sub = val(VC);
       if (!Sub)
-        return std::nullopt;
+        return ruleMiss(rules().ValConstFun);
       Thm Inst = inst(rules().ValConstFun,
                       {{"P", Sub->P}, {"v'", Sub->A}, {"v", VC}},
                       {{"x", typeOf(Inner)}, {"y", Body->type()}});
@@ -982,10 +1034,12 @@ HeapAbstraction::mod(const TermRef &C) {
     TermRef ValC = lambdaFree(SGName, C->type(), WArgs[2]);
     std::optional<ValOut> PV = val(PtrC);
     if (!PV)
-      return std::nullopt;
+      return ruleMissN(
+          [&] { return "HL.write." + heapTypeTag(typeOf(WArgs[2])); });
     std::optional<ValOut> VV = val(ValC);
     if (!VV)
-      return std::nullopt;
+      return ruleMissN(
+          [&] { return "HL.write." + heapTypeTag(typeOf(WArgs[2])); });
     TypeRef T = typeOf(WArgs[2]);
     Thm Rule = writeRule(LG, T);
     Thm Inst = inst(Rule, {{"P", PV->P}, {"Q", VV->P}, {"a'", PV->A},
@@ -1002,7 +1056,7 @@ HeapAbstraction::mod(const TermRef &C) {
   TermRef ValC = lambdaFree(SGName, C->type(), NewVal);
   std::optional<ValOut> VV = val(ValC);
   if (!VV)
-    return std::nullopt;
+    return ruleMissN([&] { return "HL.global_upd." + Field; });
   Thm Rule = globalUpdRule(Field, *FT);
   Thm Inst = inst(Rule, {{"P", VV->P}, {"v'", VV->A}, {"v", ValC}});
   return Close(Kernel::mp(Inst, VV->Th));
@@ -1029,7 +1083,7 @@ std::optional<Thm> HeapAbstraction::stmt(const TermRef &C) {
   if (Head->isConst(nm::Gets) && Args.size() == 1) {
     std::optional<ValOut> VO = val(Args[0]);
     if (!VO)
-      return std::nullopt;
+      return ruleMiss(R.Gets);
     Thm Rule = isTrueP(VO->P) ? R.GetsPure : R.Gets;
     Thm Inst = isTrueP(VO->P)
                    ? inst(Rule, {{"a", VO->A}, {"c", Args[0]}},
@@ -1043,7 +1097,7 @@ std::optional<Thm> HeapAbstraction::stmt(const TermRef &C) {
   if (Head->isConst(nm::Modify) && Args.size() == 1) {
     std::optional<ValOut> VO = mod(Args[0]);
     if (!VO)
-      return std::nullopt;
+      return ruleMiss(R.Modify);
     Thm Rule = isTrueP(VO->P) ? R.ModifyPure : R.Modify;
     Thm Inst = isTrueP(VO->P)
                    ? inst(Rule, {{"a", VO->A}, {"c", Args[0]}},
@@ -1057,7 +1111,7 @@ std::optional<Thm> HeapAbstraction::stmt(const TermRef &C) {
   if (Head->isConst(nm::Guard) && Args.size() == 1) {
     std::optional<ValOut> VO = val(Args[0]);
     if (!VO)
-      return std::nullopt;
+      return ruleMiss(R.Guard);
     Thm Inst;
     if (isTrueP(VO->A) && !isTrueP(VO->P))
       Inst = inst(R.GuardAbsorb, {{"P", VO->P}, {"c", Args[0]}},
@@ -1075,13 +1129,13 @@ std::optional<Thm> HeapAbstraction::stmt(const TermRef &C) {
   if (Head->isConst(nm::Bind) && Args.size() == 2 && Args[1]->isLam()) {
     std::optional<Thm> LT = stmt(Args[0]);
     if (!LT)
-      return std::nullopt;
+      return ruleMiss(R.Bind);
     std::string RName = fresh("r");
     TermRef RFree = Term::mkFree(RName, Args[1]->type());
     TermRef RBody = betaNorm(Term::mkApp(Args[1], RFree));
     std::optional<Thm> RT = stmt(RBody);
     if (!RT)
-      return std::nullopt;
+      return ruleMiss(R.Bind);
     TermRef RAbs = lamWithDisplay(RName, Args[1]->name(),
                                   Args[1]->type(), absOf(*RT));
     Thm RAll = Kernel::generalize(RName, Args[1]->type(), *RT);
@@ -1100,13 +1154,13 @@ std::optional<Thm> HeapAbstraction::stmt(const TermRef &C) {
   if (Head->isConst(nm::Catch) && Args.size() == 2 && Args[1]->isLam()) {
     std::optional<Thm> MT = stmt(Args[0]);
     if (!MT)
-      return std::nullopt;
+      return ruleMiss(R.Catch);
     std::string EName = fresh("ex");
     TermRef EFree = Term::mkFree(EName, Args[1]->type());
     TermRef HBody = betaNorm(Term::mkApp(Args[1], EFree));
     std::optional<Thm> HT = stmt(HBody);
     if (!HT)
-      return std::nullopt;
+      return ruleMiss(R.Catch);
     TermRef HAbs = lamWithDisplay(EName, Args[1]->name(),
                                   Args[1]->type(), absOf(*HT));
     Thm HAll = Kernel::generalize(EName, Args[1]->type(), *HT);
@@ -1123,11 +1177,11 @@ std::optional<Thm> HeapAbstraction::stmt(const TermRef &C) {
   if (Head->isConst(nm::Condition) && Args.size() == 3) {
     std::optional<ValOut> CV = val(Args[0]);
     if (!CV)
-      return std::nullopt;
+      return ruleMiss(R.Cond);
     std::optional<Thm> AT = stmt(Args[1]);
     std::optional<Thm> BT = AT ? stmt(Args[2]) : std::nullopt;
     if (!BT)
-      return std::nullopt;
+      return ruleMiss(R.Cond);
     bool Pure = isTrueP(CV->P);
     Thm Rule = Pure ? R.CondPure : R.Cond;
     std::vector<std::pair<const char *, TermRef>> Tms = {
@@ -1148,7 +1202,7 @@ std::optional<Thm> HeapAbstraction::stmt(const TermRef &C) {
     TermRef CondAt = betaNorm(Term::mkApp(Args[0], R1));
     std::optional<ValOut> CV = val(CondAt);
     if (!CV)
-      return std::nullopt;
+      return ruleMiss(R.While);
     bool Pure = isTrueP(CV->P);
     TermRef CondAbs = lamWithDisplay(RN1, Args[0]->name(), ITy, CV->A);
     TermRef PAbs = lamWithDisplay(RN1, Args[0]->name(), ITy, CV->P);
@@ -1159,7 +1213,7 @@ std::optional<Thm> HeapAbstraction::stmt(const TermRef &C) {
     TermRef BodyAt = betaNorm(Term::mkApp(Args[1], R2));
     std::optional<Thm> BT = stmt(BodyAt);
     if (!BT)
-      return std::nullopt;
+      return ruleMiss(R.While);
     TermRef BodyAbs = lamWithDisplay(RN2, Args[1]->name(), ITy,
                                      absOf(*BT));
     Thm BodyAll = Kernel::generalize(RN2, ITy, *BT);
@@ -1206,6 +1260,8 @@ std::optional<Thm> HeapAbstraction::stmt(const TermRef &C) {
 HLResult &HeapAbstraction::abstractFunction(const simpl::SimplFunc &F,
                                             const monad::L2Result &L2,
                                             bool Lift) {
+  support::Span Sp("heapabs.fn");
+  Sp.arg("fn", F.Name);
   CurFn = F.Name;
   FreshCtr = 0; // Fresh names restart per function: schedule-independent.
   HLResult Res;

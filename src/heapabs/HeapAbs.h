@@ -84,6 +84,13 @@ public:
   /// Number of distinct HL.* rules registered (Table 4 accounting).
   static unsigned ruleCount();
 
+  /// Eagerly registers the standard rule set: the generic Table 4 rules
+  /// plus the per-type read/write/pointer-guard family at the standard
+  /// word widths. The engine mints per-type rules lazily, so audits of
+  /// the Inventory after a run only see what the corpus exercised; this
+  /// gives rule inventories and profiles the full set. Idempotent.
+  static void registerStandardRules();
+
 private:
   struct ValOut {
     hol::Thm Th;

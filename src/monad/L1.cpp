@@ -2,6 +2,8 @@
 
 #include "monad/L1.h"
 
+#include "support/Trace.h"
+
 using namespace ac;
 using namespace ac::monad;
 using namespace ac::hol;
@@ -143,6 +145,8 @@ private:
 } // namespace
 
 L1Result ac::monad::convertL1(const SimplProgram &Prog, const SimplFunc &F) {
+  support::Span Sp("monad.l1");
+  Sp.arg("fn", F.Name);
   L1Converter C(Prog, F);
   L1Result R;
   R.Term = C.convert(F.Body);

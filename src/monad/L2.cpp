@@ -25,6 +25,7 @@
 #include "monad/L2.h"
 
 #include "monad/Peephole.h"
+#include "support/Trace.h"
 
 #include <set>
 
@@ -905,6 +906,8 @@ L2Result L2Converter::run() {
 } // namespace
 
 L2Result ac::monad::convertL2(const SimplProgram &Prog, const SimplFunc &F) {
+  support::Span Sp("monad.l2");
+  Sp.arg("fn", F.Name);
   L2Converter C(Prog, F);
   return C.run();
 }

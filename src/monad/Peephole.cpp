@@ -2,6 +2,8 @@
 
 #include "monad/Peephole.h"
 
+#include "support/Trace.h"
+
 #include "hol/Names.h"
 
 using namespace ac;
@@ -531,6 +533,7 @@ TermRef dedupSpine(const TermRef &T, std::vector<TermRef> Seen) {
 } // namespace
 
 TermRef ac::monad::simplifyMonadTerm(const TermRef &T, unsigned Budget) {
+  AC_SPAN("monad.peephole");
   Peephole P(Budget);
   return dedupSpine(P.run(T), {});
 }

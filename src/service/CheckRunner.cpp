@@ -6,6 +6,7 @@
 #include "core/ResultCache.h"
 #include "service/Client.h"
 #include "support/Diagnostics.h"
+#include "support/Log.h"
 #include "support/ThreadPool.h"
 
 using namespace ac::service;
@@ -19,6 +20,7 @@ CheckResponse ac::service::runCheck(const CheckRequest &Req,
   ACO.Jobs = Ctx.Jobs ? Ctx.Jobs : support::ThreadPool::defaultJobs();
   ACO.SharedCache = Ctx.SharedCache;
   ACO.SharedPool = Ctx.SharedPool;
+  ACO.TracePath = Ctx.TracePath;
   if (!Ctx.SharedCache)
     ACO.CacheDir = Req.CacheDir;
 
@@ -70,6 +72,12 @@ CheckResponse ac::service::runCheck(const CheckRequest &Req,
   }
   for (const ac::Diagnostic &D : Diags.diagnostics())
     Resp.Diagnostics.push_back(D.str());
+  Resp.TraceId = Req.TraceId;
+  if (!Resp.Ok)
+    ac::support::Log::error("check.failed",
+                            {{"trace_id", Req.TraceId},
+                             {"error", errorCodeName(Resp.Err)},
+                             {"message", Resp.Message}});
   return Resp;
 }
 

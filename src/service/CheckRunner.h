@@ -40,6 +40,10 @@ struct CheckContext {
   support::ThreadPool *SharedPool = nullptr;
   /// Effective job count; 0 = AC_JOBS default.
   unsigned Jobs = 0;
+  /// When set, the run flushes its pipeline trace here (best-effort;
+  /// see support::Trace). Used by `acc --trace` on the local path —
+  /// daemon-side per-request traces go through ServerOptions::TraceDir.
+  std::string TracePath;
 };
 
 /// Runs the pipeline for \p Req and builds the full response: function

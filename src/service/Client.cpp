@@ -85,6 +85,21 @@ bool Client::stats(Json &Out, std::string &Err) {
   return roundTrip(Req, Out, Err) && Out.get("ok").asBool();
 }
 
+bool Client::metricsText(std::string &Out, std::string &Err) {
+  Json Req = Json::object();
+  Req.set("v", ProtocolVersion);
+  Req.set("op", "metrics");
+  Json Resp;
+  if (!roundTrip(Req, Resp, Err))
+    return false;
+  if (!Resp.get("ok").asBool()) {
+    Err = Resp.get("message").asString();
+    return false;
+  }
+  Out = Resp.get("body").asString();
+  return true;
+}
+
 bool Client::ping(std::string &Err) {
   Json Req = Json::object();
   Req.set("v", ProtocolVersion);

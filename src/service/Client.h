@@ -52,6 +52,9 @@ public:
   /// Fetches the live `stats` payload.
   bool stats(support::Json &Out, std::string &Err);
 
+  /// Fetches the `metrics` request's Prometheus text exposition.
+  bool metricsText(std::string &Out, std::string &Err);
+
   /// Liveness probe.
   bool ping(std::string &Err);
 

@@ -2,57 +2,230 @@
 
 #include "service/Metrics.h"
 
+#include <cstdio>
+
 using namespace ac::service;
 using ac::support::Histogram;
 using ac::support::Json;
 
 namespace {
 
-Json histJson(const Histogram &H) {
+ServiceMetrics::HistStat readHist(const Histogram &H) {
+  ServiceMetrics::HistStat S;
+  S.Count = static_cast<uint64_t>(H.count());
+  S.SumS = H.sum();
+  S.P50S = H.quantile(0.50);
+  S.P90S = H.quantile(0.90);
+  S.P99S = H.quantile(0.99);
+  return S;
+}
+
+Json histJson(const ServiceMetrics::HistStat &S) {
   Json J = Json::object();
-  J.set("count", static_cast<uint64_t>(H.count()));
-  J.set("sum_ms", H.sum() * 1e3);
-  J.set("p50_ms", H.quantile(0.50) * 1e3);
-  J.set("p90_ms", H.quantile(0.90) * 1e3);
-  J.set("p99_ms", H.quantile(0.99) * 1e3);
+  J.set("count", S.Count);
+  J.set("sum_ms", S.SumS * 1e3);
+  J.set("p50_ms", S.P50S * 1e3);
+  J.set("p90_ms", S.P90S * 1e3);
+  J.set("p99_ms", S.P99S * 1e3);
   return J;
+}
+
+void emitHeader(std::string &Out, const char *Name, const char *Help,
+                const char *Type) {
+  Out += "# HELP ";
+  Out += Name;
+  Out += ' ';
+  Out += Help;
+  Out += "\n# TYPE ";
+  Out += Name;
+  Out += ' ';
+  Out += Type;
+  Out += '\n';
+}
+
+void emitU64(std::string &Out, const char *Name, const char *Help,
+             const char *Type, uint64_t V) {
+  emitHeader(Out, Name, Help, Type);
+  char Buf[96];
+  std::snprintf(Buf, sizeof(Buf), "%s %llu\n", Name,
+                static_cast<unsigned long long>(V));
+  Out += Buf;
+}
+
+void emitF64(std::string &Out, const char *Name, const char *Help,
+             const char *Type, double V) {
+  emitHeader(Out, Name, Help, Type);
+  char Buf[96];
+  std::snprintf(Buf, sizeof(Buf), "%s %.6f\n", Name, V);
+  Out += Buf;
+}
+
+void emitSummary(std::string &Out, const char *Name, const char *Help,
+                 const ServiceMetrics::HistStat &S) {
+  emitHeader(Out, Name, Help, "summary");
+  char Buf[128];
+  std::snprintf(Buf, sizeof(Buf), "%s{quantile=\"0.5\"} %.6f\n", Name,
+                S.P50S);
+  Out += Buf;
+  std::snprintf(Buf, sizeof(Buf), "%s{quantile=\"0.9\"} %.6f\n", Name,
+                S.P90S);
+  Out += Buf;
+  std::snprintf(Buf, sizeof(Buf), "%s{quantile=\"0.99\"} %.6f\n", Name,
+                S.P99S);
+  Out += Buf;
+  std::snprintf(Buf, sizeof(Buf), "%s_sum %.6f\n", Name, S.SumS);
+  Out += Buf;
+  std::snprintf(Buf, sizeof(Buf), "%s_count %llu\n", Name,
+                static_cast<unsigned long long>(S.Count));
+  Out += Buf;
 }
 
 } // namespace
 
-Json ServiceMetrics::toJson(size_t QueueDepth, size_t QueueCapacity,
-                            size_t InFlight, unsigned Workers,
-                            size_t MemCacheEntries, bool Draining) const {
+ServiceMetrics::Snapshot
+ServiceMetrics::snapshot(size_t QueueDepth, size_t QueueCapacity,
+                         size_t InFlight, unsigned Workers,
+                         size_t MemCacheEntries, bool Draining) const {
+  Snapshot S;
+  // The single clock sample for this render.
+  S.UptimeS =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
+          .count();
+  S.Draining = Draining;
+  S.Workers = Workers;
+  S.QueueDepth = QueueDepth;
+  S.QueueCapacity = QueueCapacity;
+  S.InFlight = InFlight;
+  S.InFlightPeak = InFlightPeak.load();
+  S.Received = Received.load();
+  S.Completed = Completed.load();
+  S.Failed = Failed.load();
+  S.Cancelled = Cancelled.load();
+  S.DeadlineExceeded = DeadlineExceeded.load();
+  S.Rejected = Rejected.load();
+  S.CacheHits = CacheHits.load();
+  S.CacheMisses = CacheMisses.load();
+  S.CacheInvalidations = CacheInvalidations.load();
+  S.MemCacheEntries = MemCacheEntries;
+  S.ParseCpuMicros = ParseCpuMicros.load();
+  S.AbstractCpuMicros = AbstractCpuMicros.load();
+  S.Wait = readHist(WaitH);
+  S.Parse = readHist(ParseH);
+  S.Abstract = readHist(AbstractH);
+  S.Total = readHist(TotalH);
+  return S;
+}
+
+Json ServiceMetrics::Snapshot::toJson() const {
   Json J = Json::object();
   J.set("ok", true);
-  J.set("uptime_s", uptimeSeconds());
+  J.set("uptime_s", UptimeS);
   J.set("draining", Draining);
   J.set("workers", Workers);
-  J.set("queue_depth", static_cast<uint64_t>(QueueDepth));
-  J.set("queue_capacity", static_cast<uint64_t>(QueueCapacity));
-  J.set("in_flight", static_cast<uint64_t>(InFlight));
+  J.set("queue_depth", QueueDepth);
+  J.set("queue_capacity", QueueCapacity);
+  J.set("in_flight", InFlight);
 
   Json R = Json::object();
-  R.set("received", Received.load());
-  R.set("completed", Completed.load());
-  R.set("failed", Failed.load());
-  R.set("cancelled", Cancelled.load());
-  R.set("deadline_exceeded", DeadlineExceeded.load());
-  R.set("rejected", Rejected.load());
+  R.set("received", Received);
+  R.set("completed", Completed);
+  R.set("failed", Failed);
+  R.set("cancelled", Cancelled);
+  R.set("deadline_exceeded", DeadlineExceeded);
+  R.set("rejected", Rejected);
+  R.set("in_flight_peak", InFlightPeak);
   J.set("requests", std::move(R));
 
   Json L = Json::object();
-  L.set("wait", histJson(WaitH));
-  L.set("parse", histJson(ParseH));
-  L.set("abstract", histJson(AbstractH));
-  L.set("total", histJson(TotalH));
+  L.set("wait", histJson(Wait));
+  L.set("parse", histJson(Parse));
+  L.set("abstract", histJson(Abstract));
+  L.set("total", histJson(Total));
   J.set("latency", std::move(L));
 
+  Json Ph = Json::object();
+  Ph.set("parse_cpu_s", static_cast<double>(ParseCpuMicros) * 1e-6);
+  Ph.set("abstract_cpu_s", static_cast<double>(AbstractCpuMicros) * 1e-6);
+  J.set("phase_time", std::move(Ph));
+
   Json C = Json::object();
-  C.set("hits", CacheHits.load());
-  C.set("misses", CacheMisses.load());
-  C.set("invalidations", CacheInvalidations.load());
-  C.set("mem_entries", static_cast<uint64_t>(MemCacheEntries));
+  C.set("hits", CacheHits);
+  C.set("misses", CacheMisses);
+  C.set("invalidations", CacheInvalidations);
+  C.set("mem_entries", MemCacheEntries);
   J.set("cache", std::move(C));
   return J;
+}
+
+std::string ServiceMetrics::Snapshot::toPrometheus() const {
+  std::string O;
+  O.reserve(4096);
+  emitF64(O, "acd_uptime_seconds", "Seconds since the daemon started.",
+          "gauge", UptimeS);
+  emitU64(O, "acd_draining", "1 while the daemon refuses new work.",
+          "gauge", Draining ? 1 : 0);
+  emitU64(O, "acd_workers", "Configured concurrent check sessions.",
+          "gauge", Workers);
+  emitU64(O, "acd_queue_depth", "Check requests waiting for a worker.",
+          "gauge", QueueDepth);
+  emitU64(O, "acd_queue_capacity", "Admission queue capacity.", "gauge",
+          QueueCapacity);
+  emitU64(O, "acd_in_flight", "Check requests currently running.", "gauge",
+          InFlight);
+  emitU64(O, "acd_in_flight_peak",
+          "High-water mark of concurrently running check requests.",
+          "gauge", InFlightPeak);
+
+  emitU64(O, "acd_requests_received_total", "Admitted check requests.",
+          "counter", Received);
+  emitU64(O, "acd_requests_completed_total",
+          "Requests that ran and delivered a success response.", "counter",
+          Completed);
+  emitU64(O, "acd_requests_failed_total",
+          "Requests that ran and delivered an error response.", "counter",
+          Failed);
+  emitU64(O, "acd_requests_cancelled_total",
+          "Requests abandoned by their client.", "counter", Cancelled);
+  emitU64(O, "acd_requests_deadline_exceeded_total",
+          "Requests answered at their deadline.", "counter",
+          DeadlineExceeded);
+  emitU64(O, "acd_requests_rejected_total",
+          "Requests refused at admission (busy/draining).", "counter",
+          Rejected);
+
+  emitU64(O, "acd_cache_hits_total", "Abstraction-cache hits.", "counter",
+          CacheHits);
+  emitU64(O, "acd_cache_misses_total", "Abstraction-cache misses.",
+          "counter", CacheMisses);
+  emitU64(O, "acd_cache_invalidations_total",
+          "Abstraction-cache invalidations.", "counter",
+          CacheInvalidations);
+  emitU64(O, "acd_cache_mem_entries",
+          "Entries resident across in-memory cache tiers.", "gauge",
+          MemCacheEntries);
+
+  emitF64(O, "acd_phase_parse_cpu_seconds_total",
+          "Cumulative C parse time over all completed runs.", "counter",
+          static_cast<double>(ParseCpuMicros) * 1e-6);
+  emitF64(O, "acd_phase_abstract_cpu_seconds_total",
+          "Cumulative abstraction time over all completed runs.", "counter",
+          static_cast<double>(AbstractCpuMicros) * 1e-6);
+
+  emitSummary(O, "acd_latency_wait_seconds",
+              "Queue wait before a worker dequeued the request.", Wait);
+  emitSummary(O, "acd_latency_parse_seconds",
+              "C parse + translation time per request.", Parse);
+  emitSummary(O, "acd_latency_abstract_seconds",
+              "Abstraction pipeline wall time per request.", Abstract);
+  emitSummary(O, "acd_latency_total_seconds",
+              "Admission-to-response latency per request.", Total);
+  return O;
+}
+
+Json ServiceMetrics::toJson(size_t QueueDepth, size_t QueueCapacity,
+                            size_t InFlight, unsigned Workers,
+                            size_t MemCacheEntries, bool Draining) const {
+  return snapshot(QueueDepth, QueueCapacity, InFlight, Workers,
+                  MemCacheEntries, Draining)
+      .toJson();
 }

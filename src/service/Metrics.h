@@ -5,15 +5,19 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The daemon's observability surface, served by the `stats` request:
+/// The daemon's observability surface, served by the `stats` request
+/// (JSON) and the `metrics` request (Prometheus text exposition):
 /// request-lifecycle counters, per-phase latency histograms
-/// (p50/p90/p99 — queue wait, C parsing, abstraction, end-to-end), and
-/// cumulative abstraction-cache accounting summed over every completed
-/// run (the per-run numbers live in core::ACStats; here they accumulate
-/// for the life of the process).
+/// (p50/p90/p99 — queue wait, C parsing, abstraction, end-to-end),
+/// per-phase cumulative CPU time, and cumulative abstraction-cache
+/// accounting summed over every completed run (the per-run numbers live
+/// in core::ACStats; here they accumulate for the life of the process).
 ///
 /// Everything is atomics + thread-safe histograms, so workers record
 /// without coordination and the stats handler reads a live snapshot.
+/// Both renderers go through one Snapshot taken at a single instant, so
+/// a stats frame never mixes an uptime sampled at time T with counters
+/// sampled at T+dt.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -26,6 +30,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <string>
 
 namespace ac::service {
 
@@ -49,15 +54,36 @@ struct ServiceMetrics {
   std::atomic<uint64_t> DeadlineExceeded{0};
   std::atomic<uint64_t> Rejected{0};
 
+  /// High-water mark of concurrently running check requests over the
+  /// process lifetime; tells whether the configured worker count is
+  /// ever actually saturated.
+  std::atomic<uint64_t> InFlightPeak{0};
+
   /// Cumulative core::ACStats cache counters over all completed runs.
   std::atomic<uint64_t> CacheHits{0};
   std::atomic<uint64_t> CacheMisses{0};
   std::atomic<uint64_t> CacheInvalidations{0};
 
+  /// Cumulative per-phase pipeline time over all completed runs, in
+  /// microseconds. Unlike the latency histograms (per-request
+  /// distributions), these answer "where has this daemon's lifetime
+  /// gone" — the service-side analogue of core::ACStats phase seconds.
+  std::atomic<uint64_t> ParseCpuMicros{0};
+  std::atomic<uint64_t> AbstractCpuMicros{0};
+
   /// Per-phase latency. Wait is time spent queued before a worker picked
   /// the request up; Parse/Abstract split the pipeline; Total is
   /// admission-to-response.
   support::Histogram WaitH, ParseH, AbstractH, TotalH;
+
+  /// Raises InFlightPeak to \p N if it grew. Lock-free CAS max.
+  void noteInFlight(uint64_t N) {
+    uint64_t Cur = InFlightPeak.load(std::memory_order_relaxed);
+    while (N > Cur &&
+           !InFlightPeak.compare_exchange_weak(Cur, N,
+                                               std::memory_order_relaxed)) {
+    }
+  }
 
   double uptimeSeconds() const {
     return std::chrono::duration<double>(
@@ -65,8 +91,45 @@ struct ServiceMetrics {
         .count();
   }
 
-  /// Renders the `stats` response payload. The queue/in-flight gauges
-  /// are owned by the server and passed in.
+  /// One histogram, read once.
+  struct HistStat {
+    uint64_t Count = 0;
+    double SumS = 0, P50S = 0, P90S = 0, P99S = 0;
+  };
+
+  /// Everything a stats/metrics render needs, captured at one instant:
+  /// the steady clock is sampled exactly once and every counter is read
+  /// during the same pass, so the JSON and Prometheus views of a frame
+  /// are internally consistent.
+  struct Snapshot {
+    double UptimeS = 0;
+    bool Draining = false;
+    unsigned Workers = 0;
+    uint64_t QueueDepth = 0, QueueCapacity = 0;
+    uint64_t InFlight = 0, InFlightPeak = 0;
+    uint64_t Received = 0, Completed = 0, Failed = 0, Cancelled = 0,
+             DeadlineExceeded = 0, Rejected = 0;
+    uint64_t CacheHits = 0, CacheMisses = 0, CacheInvalidations = 0,
+             MemCacheEntries = 0;
+    uint64_t ParseCpuMicros = 0, AbstractCpuMicros = 0;
+    HistStat Wait, Parse, Abstract, Total;
+
+    /// The `stats` response payload.
+    support::Json toJson() const;
+
+    /// Prometheus text exposition (version 0.0.4): `# HELP` / `# TYPE`
+    /// headers plus one sample per counter/gauge, histogram quantiles
+    /// as `{quantile="..."}` summary samples.
+    std::string toPrometheus() const;
+  };
+
+  /// Captures a Snapshot. The queue/in-flight gauges are owned by the
+  /// server and passed in.
+  Snapshot snapshot(size_t QueueDepth, size_t QueueCapacity, size_t InFlight,
+                    unsigned Workers, size_t MemCacheEntries,
+                    bool Draining) const;
+
+  /// Renders the `stats` response payload (snapshot() + toJson()).
   support::Json toJson(size_t QueueDepth, size_t QueueCapacity,
                        size_t InFlight, unsigned Workers,
                        size_t MemCacheEntries, bool Draining) const;

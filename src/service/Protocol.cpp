@@ -75,6 +75,8 @@ Json CheckRequest::toJson() const {
     J.set("debug_delay_ms", DebugDelayMs);
   if (TimeoutMs)
     J.set("timeout_ms", TimeoutMs);
+  if (!TraceId.empty())
+    J.set("trace_id", TraceId);
   return J;
 }
 
@@ -100,6 +102,7 @@ bool CheckRequest::fromJson(const Json &J, CheckRequest &Out,
   Out.DebugDelayMs =
       static_cast<unsigned>(J.get("debug_delay_ms").asInt(0));
   Out.TimeoutMs = static_cast<unsigned>(J.get("timeout_ms").asInt(0));
+  Out.TraceId = J.get("trace_id").asString();
   return true;
 }
 
@@ -120,6 +123,8 @@ CheckResponse CheckResponse::error(ErrorCode E, const std::string &Msg,
 Json CheckResponse::toJson() const {
   Json J = Json::object();
   J.set("ok", Ok);
+  if (!TraceId.empty())
+    J.set("trace_id", TraceId);
   if (!Ok) {
     J.set("error", errorCodeName(Err));
     if (!Message.empty())
@@ -179,6 +184,7 @@ bool CheckResponse::fromJson(const Json &J, CheckResponse &Out,
     return false;
   }
   Out.Ok = J.get("ok").asBool(false);
+  Out.TraceId = J.get("trace_id").asString();
   Out.Err = Out.Ok ? ErrorCode::None
                    : errorCodeFromName(J.get("error").asString());
   Out.Message = J.get("message").asString();

@@ -63,6 +63,10 @@ struct CheckRequest {
   /// none. On expiry the daemon answers `deadline_exceeded` and frees the
   /// request's slot (queued work is cancelled, in-flight work discarded).
   unsigned TimeoutMs = 0;
+  /// Correlation id echoed in the response, every structured log line
+  /// the request produces, and the per-request trace filename (when the
+  /// daemon runs with --trace-dir). "" lets the daemon mint one.
+  std::string TraceId;
 
   support::Json toJson() const;
   static bool fromJson(const support::Json &J, CheckRequest &Out,
@@ -88,6 +92,10 @@ struct CheckResponse {
   ErrorCode Err = ErrorCode::None;
   std::string Message;
   unsigned RetryAfterMs = 0;
+  /// The request's correlation id (the client's, or daemon-minted when
+  /// the request carried none). Present on success and failure alike so
+  /// a rejected request can still be matched to its log lines.
+  std::string TraceId;
 
   std::vector<FuncResult> Functions;
   std::vector<std::string> Diagnostics;

@@ -3,9 +3,14 @@
 #include "service/Server.h"
 
 #include "service/CheckRunner.h"
+#include "support/Log.h"
+#include "support/RuleProfile.h"
+#include "support/Trace.h"
 
+#include <atomic>
 #include <cassert>
 #include <chrono>
+#include <filesystem>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -87,6 +92,16 @@ Server::~Server() { stop(); }
 
 bool Server::start() {
   assert(!Started && "server started twice");
+  if (!Opts.TraceDir.empty()) {
+    // Best-effort, like all tracing: a trace dir that cannot be made
+    // costs the traces (each flush warns), never the daemon.
+    std::error_code EC;
+    std::filesystem::create_directories(Opts.TraceDir, EC);
+    if (EC)
+      support::Log::warn("trace.dir_failed",
+                         {{"path", Opts.TraceDir},
+                          {"error", EC.message()}});
+  }
   Listen = Socket::listenUnix(Opts.SocketPath);
   if (!Listen.valid())
     return false;
@@ -212,6 +227,8 @@ void Server::handleFrame(const std::shared_ptr<Conn> &C,
     C->send(R);
   } else if (Op == "stats") {
     C->send(statsJson());
+  } else if (Op == "metrics") {
+    C->send(metricsJson());
   } else if (Op == "drain") {
     beginDrain();
     Json R = Json::object();
@@ -232,34 +249,52 @@ void Server::handleFrame(const std::shared_ptr<Conn> &C,
   }
 }
 
+std::string Server::mintTraceId() {
+  static std::atomic<uint64_t> Seq{0};
+  return "req-" + std::to_string(getpid()) + "-" +
+         std::to_string(Seq.fetch_add(1) + 1);
+}
+
 void Server::handleCheck(const std::shared_ptr<Conn> &C, CheckRequest Req) {
   auto R = std::make_shared<Request>();
   R->C = C;
   R->Req = std::move(Req);
+  if (R->Req.TraceId.empty())
+    R->Req.TraceId = mintTraceId();
   R->Admitted = std::chrono::steady_clock::now();
   if (R->Req.TimeoutMs) {
     R->HasDeadline = true;
     R->Deadline =
         R->Admitted + std::chrono::milliseconds(R->Req.TimeoutMs);
   }
+  auto reject = [&](ErrorCode E, const char *Msg, unsigned RetryMs) {
+    Metrics.Rejected.fetch_add(1);
+    support::Log::warn("request.rejected",
+                       {{"trace_id", R->Req.TraceId},
+                        {"error", errorCodeName(E)}});
+    CheckResponse Resp = CheckResponse::error(E, Msg, RetryMs);
+    Resp.TraceId = R->Req.TraceId;
+    C->send(Resp.toJson());
+  };
   {
     std::lock_guard<std::mutex> L(QueueM);
     if (Draining.load()) {
-      Metrics.Rejected.fetch_add(1);
-      C->send(CheckResponse::error(ErrorCode::Draining,
-                                   "daemon is draining")
-                  .toJson());
+      reject(ErrorCode::Draining, "daemon is draining", 0);
       return;
     }
     if (Queue.size() >= Opts.QueueCapacity) {
-      Metrics.Rejected.fetch_add(1);
-      C->send(CheckResponse::error(ErrorCode::Busy,
-                                   "admission queue full",
-                                   Opts.RetryAfterMs)
-                  .toJson());
+      reject(ErrorCode::Busy, "admission queue full", Opts.RetryAfterMs);
       return;
     }
     Metrics.Received.fetch_add(1);
+    // Logged before the queue push: once a worker can claim the
+    // request, its lifecycle lines may land at any moment, and the log
+    // must read received -> completed/failed for every trace id.
+    support::Log::info(
+        "request.received",
+        {{"trace_id", R->Req.TraceId},
+         {"source_bytes", static_cast<uint64_t>(R->Req.Source.size())},
+         {"timeout_ms", R->Req.TimeoutMs}});
     Queue.push_back(R);
     QueueCV.notify_one();
   }
@@ -282,7 +317,7 @@ void Server::workerLoop() {
         return; // stopping, nothing left
       R = Queue.front();
       Queue.pop_front();
-      InFlight.fetch_add(1);
+      Metrics.noteInFlight(InFlight.fetch_add(1) + 1);
       Active.push_back(R);
     }
     runRequest(*R);
@@ -340,14 +375,18 @@ void Server::watchdogLoop() {
       if (!R->claimRespond())
         continue; // the worker beat us to the send
       Metrics.DeadlineExceeded.fetch_add(1);
+      support::Log::warn("request.deadline_exceeded",
+                         {{"trace_id", R->Req.TraceId},
+                          {"timeout_ms", R->Req.TimeoutMs}});
+      CheckResponse Resp = CheckResponse::error(
+          ErrorCode::DeadlineExceeded,
+          "deadline of " + std::to_string(R->Req.TimeoutMs) +
+              " ms exceeded");
+      Resp.TraceId = R->Req.TraceId;
       // Keep the received = completed + failed + cancelled partition
       // exact: a delivered deadline answer is a failed request, an
       // undeliverable one means the client already hung up.
-      if (R->C->send(CheckResponse::error(
-                         ErrorCode::DeadlineExceeded,
-                         "deadline of " + std::to_string(R->Req.TimeoutMs) +
-                             " ms exceeded")
-                         .toJson()))
+      if (R->C->send(Resp.toJson()))
         Metrics.Failed.fetch_add(1);
       else
         Metrics.Cancelled.fetch_add(1);
@@ -363,8 +402,12 @@ void Server::runRequest(Request &R) {
   // don't burn a session on a response nobody will read. (Claim the
   // response so the watchdog doesn't answer a dead connection either.)
   if (R.C->Sock.peerClosed()) {
-    if (R.claimRespond())
+    if (R.claimRespond()) {
       Metrics.Cancelled.fetch_add(1);
+      support::Log::info("request.cancelled",
+                         {{"trace_id", R.Req.TraceId},
+                          {"reason", "client hung up while queued"}});
+    }
     return;
   }
   // Already past deadline at dequeue (e.g. it expired between two
@@ -372,11 +415,15 @@ void Server::runRequest(Request &R) {
   if (R.expired(std::chrono::steady_clock::now())) {
     if (R.claimRespond()) {
       Metrics.DeadlineExceeded.fetch_add(1);
-      if (R.C->send(CheckResponse::error(
-                        ErrorCode::DeadlineExceeded,
-                        "deadline of " + std::to_string(R.Req.TimeoutMs) +
-                            " ms exceeded")
-                        .toJson()))
+      support::Log::warn("request.deadline_exceeded",
+                         {{"trace_id", R.Req.TraceId},
+                          {"timeout_ms", R.Req.TimeoutMs}});
+      CheckResponse Resp = CheckResponse::error(
+          ErrorCode::DeadlineExceeded,
+          "deadline of " + std::to_string(R.Req.TimeoutMs) +
+              " ms exceeded");
+      Resp.TraceId = R.Req.TraceId;
+      if (R.C->send(Resp.toJson()))
         Metrics.Failed.fetch_add(1);
       else
         Metrics.Cancelled.fetch_add(1);
@@ -407,29 +454,68 @@ void Server::runRequest(Request &R) {
     Ctx.SharedPool = Pool.get();
   }
 
+  // Per-request tracing: spans recorded during this run (and, with
+  // concurrent workers, any overlapping run) flush to one file named by
+  // the request's correlation id.
+  bool Tracing = !Opts.TraceDir.empty();
+  if (Tracing) {
+    // Rule fire counts ride along in each trace's ruleProfile key. The
+    // profiler is cumulative across requests (concurrent workers share
+    // it, like the span buffers).
+    support::RuleProfile::setEnabled(true);
+    support::Trace::start();
+  }
+
   CheckResponse Resp = runCheck(R.Req, Ctx);
 
   // Exactly-once: if the deadline fired while we ran, the watchdog has
   // already answered `deadline_exceeded` — discard this result.
-  if (!R.claimRespond())
+  if (!R.claimRespond()) {
+    if (Tracing)
+      support::Trace::reset();
     return;
+  }
 
   if (Resp.Ok) {
     Metrics.ParseH.record(Resp.ParseSeconds);
     Metrics.AbstractH.record(Resp.AbstractWallSeconds);
+    Metrics.ParseCpuMicros.fetch_add(
+        static_cast<uint64_t>(Resp.ParseSeconds * 1e6));
+    Metrics.AbstractCpuMicros.fetch_add(
+        static_cast<uint64_t>(Resp.AbstractWallSeconds * 1e6));
     Metrics.CacheHits.fetch_add(Resp.CacheHits);
     Metrics.CacheMisses.fetch_add(Resp.CacheMisses);
     Metrics.CacheInvalidations.fetch_add(Resp.CacheInvalidations);
   }
   bool Delivered = R.C->send(Resp.toJson());
-  if (!Delivered)
+  double TotalS = secondsBetween(R.Admitted, std::chrono::steady_clock::now());
+  if (!Delivered) {
     Metrics.Cancelled.fetch_add(1);
-  else if (Resp.Ok)
+    support::Log::info("request.cancelled",
+                       {{"trace_id", R.Req.TraceId},
+                        {"reason", "response undeliverable"}});
+  } else if (Resp.Ok) {
     Metrics.Completed.fetch_add(1);
-  else
+    support::Log::info("request.completed",
+                       {{"trace_id", R.Req.TraceId},
+                        {"functions", Resp.NumFunctions},
+                        {"cache_hits", Resp.CacheHits},
+                        {"total_ms", TotalS * 1e3}});
+  } else {
     Metrics.Failed.fetch_add(1);
-  Metrics.TotalH.record(
-      secondsBetween(R.Admitted, std::chrono::steady_clock::now()));
+    support::Log::error("request.failed",
+                        {{"trace_id", R.Req.TraceId},
+                         {"error", errorCodeName(Resp.Err)},
+                         {"message", Resp.Message}});
+  }
+  Metrics.TotalH.record(TotalS);
+
+  if (Tracing) {
+    std::string Path = Opts.TraceDir + "/" + R.Req.TraceId + ".json";
+    if (!support::Trace::flushReset(Path))
+      support::Log::warn("trace.write_failed",
+                         {{"trace_id", R.Req.TraceId}, {"path", Path}});
+  }
 }
 
 //===----------------------------------------------------------------------===//
@@ -439,6 +525,17 @@ void Server::runRequest(Request &R) {
 ac::support::Json Server::statsJson() {
   return Metrics.toJson(queueDepth(), Opts.QueueCapacity, InFlight.load(),
                         Opts.Workers, memCacheEntries(), Draining.load());
+}
+
+ac::support::Json Server::metricsJson() {
+  ServiceMetrics::Snapshot S =
+      Metrics.snapshot(queueDepth(), Opts.QueueCapacity, InFlight.load(),
+                       Opts.Workers, memCacheEntries(), Draining.load());
+  Json R = Json::object();
+  R.set("ok", true);
+  R.set("content_type", "text/plain; version=0.0.4");
+  R.set("body", S.toPrometheus());
+  return R;
 }
 
 ResultCache *Server::cacheFor(const std::string &RequestedDir) {

@@ -75,6 +75,14 @@ struct ServerOptions {
   std::string CacheDir;
   /// The retry hint attached to `busy` rejections.
   unsigned RetryAfterMs = 50;
+  /// When set, every check request flushes its pipeline trace to
+  /// `<TraceDir>/<trace_id>.json` (Chrome trace-event format) after the
+  /// response is sent. Strictly best-effort: an unwritable trace warns
+  /// in the log and never fails the request. Note that with concurrent
+  /// workers the span streams of overlapping requests interleave; the
+  /// per-file rule profile and spans cover everything recorded since
+  /// the previous flush.
+  std::string TraceDir;
 };
 
 /// The daemon. start() spawns the threads; beginDrain()/waitDrained()
@@ -124,6 +132,11 @@ private:
   void handleFrame(const std::shared_ptr<Conn> &C, const std::string &Raw);
   void handleCheck(const std::shared_ptr<Conn> &C, CheckRequest Req);
   support::Json statsJson();
+  support::Json metricsJson();
+
+  /// Mints a process-unique correlation id for a request that carried
+  /// none.
+  std::string mintTraceId();
 
   /// Runs the pipeline for one admitted request and sends the response.
   void runRequest(Request &R);

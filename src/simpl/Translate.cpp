@@ -29,6 +29,7 @@
 #include "simpl/Program.h"
 
 #include "hol/GroundEval.h"
+#include "support/Trace.h"
 
 #include <set>
 
@@ -1046,6 +1047,7 @@ private:
 std::unique_ptr<SimplProgram>
 ac::simpl::translateToSimpl(std::unique_ptr<cparser::TranslationUnit> TU,
                             DiagEngine &Diags) {
+  AC_SPAN("simpl.translate");
   auto Prog = std::make_unique<SimplProgram>();
   Prog->TU = std::move(TU);
   Translator T(*Prog, Diags);
@@ -1056,6 +1058,7 @@ ac::simpl::translateToSimpl(std::unique_ptr<cparser::TranslationUnit> TU,
 
 std::unique_ptr<SimplProgram>
 ac::simpl::parseAndTranslate(const std::string &Source, DiagEngine &Diags) {
+  AC_SPAN("parse");
   auto TU = cparser::parseTranslationUnit(Source, Diags);
   if (!TU)
     return nullptr;

@@ -3,6 +3,7 @@
 #include "support/ThreadPool.h"
 
 #include "support/FaultInject.h"
+#include "support/Trace.h"
 
 #include <cassert>
 #include <cstdlib>
@@ -50,6 +51,16 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::post(std::function<void()> Task) {
+  if (Trace::enabled()) {
+    // Make queue pressure visible: the gap between posting and a worker
+    // picking the task up becomes its own span on the worker's track.
+    uint64_t PostNs = Trace::nowNs();
+    Task = [PostNs, T = std::move(Task)] {
+      Trace::interval("pool.queue_gap", PostNs, Trace::nowNs());
+      Span Sp("pool.task");
+      T();
+    };
+  }
   {
     std::lock_guard<std::mutex> L(M);
     assert(!Stop && "submit on a stopped pool");

@@ -1,0 +1,163 @@
+//===- Trace.h - Pipeline span tracing --------------------------*- C++ -*-===//
+//
+// Part of the autocorres-cpp project, under the BSD 2-Clause License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A lock-cheap, thread-safe span recorder for the whole pipeline. Every
+/// interesting region of work — a parse, one SCC task, a cache probe, a
+/// peephole pass — opens a nestable RAII scope:
+///
+///   AC_SPAN("cache.load");
+///   ...
+///   support::Span S("core.fn");
+///   S.arg("fn", Name);
+///
+/// Spans land in per-thread ring buffers (no cross-thread contention on
+/// the hot path; one uncontended mutex per append so a concurrent flush
+/// sees consistent events), timestamped from a process-wide steady-clock
+/// anchor. flush() exports the Chrome trace-event JSON format, loadable
+/// directly in chrome://tracing or Perfetto; the export also embeds the
+/// current RuleProfile as a top-level `ruleProfile` key (extra top-level
+/// keys are explicitly allowed by the format).
+///
+/// Tracing is off by default and costs one relaxed atomic load per
+/// AC_SPAN when off. It is enabled by `AC_TRACE=<file>` in the
+/// environment (the driver flushes there at the end of a run), by
+/// `ACOptions::TracePath`, or programmatically via start(). Flushing is
+/// strictly best-effort: a trace that cannot be written warns and
+/// returns false, it never fails the verification run it observed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AC_SUPPORT_TRACE_H
+#define AC_SUPPORT_TRACE_H
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ac::support {
+
+/// Process-wide span collection: the per-thread buffer registry and the
+/// Chrome-JSON exporter. All static — tracing is a process-wide
+/// observability mode, like FaultInject.
+class Trace {
+public:
+  /// True iff spans are being collected. The single relaxed load every
+  /// disabled AC_SPAN pays.
+  static bool enabled() {
+    ensureInit();
+    return Enabled.load(std::memory_order_relaxed);
+  }
+
+  /// Begins (resumes) collection. Idempotent.
+  static void start();
+
+  /// Stops collection; already-recorded events are kept for flush().
+  static void stop();
+
+  /// Discards every recorded event (buffers stay registered).
+  static void reset();
+
+  /// The file named by AC_TRACE, or "" when unset. When set, enabled()
+  /// is true from the first call on and the pipeline driver flushes
+  /// here at the end of each run.
+  static const std::string &envPath();
+
+  /// Serializes everything recorded so far as Chrome trace-event JSON
+  /// (plus top-level `ruleProfile` / `otherData` keys).
+  static std::string exportJson();
+
+  /// Writes exportJson() to \p Path. Best-effort: returns false on any
+  /// I/O failure (also the `trace.write.fail` chaos site) and never
+  /// throws — tracing must not be able to fail a verification run.
+  static bool flush(const std::string &Path);
+
+  /// flush() then reset() under one registry pass — the daemon's
+  /// per-request trace emission. Returns flush()'s result.
+  static bool flushReset(const std::string &Path);
+
+  /// Events currently held across all thread buffers.
+  static size_t eventCount();
+
+  /// Events lost to ring-buffer overflow since the last reset().
+  static uint64_t droppedEvents();
+
+  /// Aggregation of recorded spans by name — count and cumulative
+  /// nanoseconds — for span-driven phase tables (bench/phase_times).
+  struct NameStat {
+    uint64_t Count = 0;
+    uint64_t TotalNs = 0;
+  };
+  static std::map<std::string, NameStat> summarize();
+
+  /// Nanoseconds on the steady clock since the process trace anchor.
+  static uint64_t nowNs();
+
+  /// Records an already-measured interval on the calling thread — for
+  /// spans whose start was sampled on another thread, like the time a
+  /// task sat in the ThreadPool queue before a worker picked it up.
+  static void interval(const char *Name, uint64_t StartNs, uint64_t EndNs);
+
+private:
+  friend class Span;
+
+  /// Appends one completed span to the calling thread's ring buffer.
+  static void record(const char *Name, uint64_t StartNs, uint64_t EndNs,
+                     std::vector<std::pair<std::string, std::string>> Args);
+
+  /// Parses AC_TRACE / AC_TRACE_BUF exactly once.
+  static void ensureInit();
+
+  static std::atomic<bool> Enabled;
+};
+
+/// One nestable RAII span. Construction samples the clock iff tracing is
+/// on; destruction records the completed event on the owning thread's
+/// buffer. Key/value attributes attach via arg() and land in the Chrome
+/// event's `args` object.
+class Span {
+public:
+  explicit Span(const char *Name) : Active(Trace::enabled()), Name(Name) {
+    if (Active)
+      StartNs = Trace::nowNs();
+  }
+  Span(const Span &) = delete;
+  Span &operator=(const Span &) = delete;
+  ~Span() {
+    if (Active)
+      Trace::record(Name, StartNs, Trace::nowNs(), std::move(Args));
+  }
+
+  bool active() const { return Active; }
+
+  void arg(const char *Key, std::string Value) {
+    if (Active)
+      Args.emplace_back(Key, std::move(Value));
+  }
+  void arg(const char *Key, uint64_t Value) {
+    if (Active)
+      Args.emplace_back(Key, std::to_string(Value));
+  }
+
+private:
+  bool Active;
+  const char *Name;
+  uint64_t StartNs = 0;
+  std::vector<std::pair<std::string, std::string>> Args;
+};
+
+#define AC_SPAN_CONCAT_IMPL(A, B) A##B
+#define AC_SPAN_CONCAT(A, B) AC_SPAN_CONCAT_IMPL(A, B)
+/// Anonymous span covering the rest of the enclosing scope.
+#define AC_SPAN(NameLiteral)                                                   \
+  ::ac::support::Span AC_SPAN_CONCAT(AcSpan_, __LINE__)(NameLiteral)
+
+} // namespace ac::support
+
+#endif // AC_SUPPORT_TRACE_H

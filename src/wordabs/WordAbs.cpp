@@ -26,8 +26,11 @@
 #include "hol/GroundEval.h"
 #include "hol/ProofState.h"
 #include "monad/Peephole.h"
+#include "support/RuleProfile.h"
+#include "support/Trace.h"
 
 #include <atomic>
+#include <mutex>
 
 using namespace ac;
 using namespace ac::wordabs;
@@ -582,12 +585,34 @@ std::atomic<unsigned> GlobalPerWidthCount{0};
 Thm inst(const Thm &Ax,
          std::vector<std::pair<const char *, TermRef>> Tms,
          std::vector<std::pair<const char *, TypeRef>> Tys = {}) {
+  // Committing to a rule: the profile counts this as a fire of the
+  // rule's axiom name and attributes the instantiation time to it.
+  support::RuleTimer RT([&Ax] { return Ax.deriv()->name(); });
+  RT.hit();
   Subst S;
   for (auto &[N, T] : Tys)
     S.bindTy(N, T);
   for (auto &[N, T] : Tms)
     S.bind(N, 0, T);
   return Kernel::instantiate(Ax, S);
+}
+
+/// Profile bookkeeping for a rule candidate that matched the shape of
+/// the input but whose sub-derivation failed: a failed match of the
+/// named rule. Returns nullopt so failure paths read
+/// `return ruleMiss(R.Bind);`.
+std::nullopt_t ruleMiss(const Thm &Rule) {
+  if (support::RuleProfile::enabled())
+    support::RuleProfile::record(Rule.deriv()->name(), false, 0);
+  return std::nullopt;
+}
+
+/// Same, for per-width rules whose Thm was never built — the name is
+/// assembled only when profiling is armed.
+template <typename NameFn> std::nullopt_t ruleMissN(NameFn &&F) {
+  if (support::RuleProfile::enabled())
+    support::RuleProfile::record(F(), false, 0);
+  return std::nullopt;
 }
 
 //===----------------------------------------------------------------------===//
@@ -737,6 +762,74 @@ Thm iteRule(const std::string &Name, const TypeRef &WT, const TermRef &Rx,
   return T;
 }
 
+/// Base name ("nat_plus" / "int_div" / ...) of the binary arithmetic
+/// rule abstracting concrete operator \p Op, or nullptr if \p Op has no
+/// arithmetic abstraction rule.
+const char *binBaseName(const std::string &Op, bool IsInt) {
+  if (Op == nm::Plus)
+    return IsInt ? "int_plus" : "nat_plus";
+  if (Op == nm::Minus)
+    return IsInt ? "int_minus" : "nat_minus";
+  if (Op == nm::Times)
+    return IsInt ? "int_times" : "nat_times";
+  if (Op == nm::Div)
+    return IsInt ? "int_div" : "nat_div";
+  if (Op == nm::Mod)
+    return IsInt ? "int_mod" : "nat_mod";
+  return nullptr;
+}
+
+/// Builds (registering on first use) the width-\p W binary arithmetic
+/// rule for operator \p Op. Shared by the abstraction engine and
+/// registerStandardRules: both must mint byte-identical propositions for
+/// a given name or Inventory::registerAxiom would reject the collision.
+Thm binRuleAt(const std::string &Op, bool IsInt, unsigned W, bool PP) {
+  const char *Base = binBaseName(Op, IsInt);
+  assert(Base && "operator has no arithmetic abstraction rule");
+  Int128 UMax = wordMaxVal(W);
+  Int128 SMax = swordMaxVal(W), SMin = swordMinVal(W);
+  auto IntRange = [SMin, SMax](TermRef T) {
+    return mkConj(mkLessEq(mkNumOf(intTy(), SMin), T),
+                  mkLessEq(T, mkNumOf(intTy(), SMax)));
+  };
+  std::function<TermRef(TermRef, TermRef)> AbsOp, Side;
+  if (Op == nm::Plus) {
+    AbsOp = [](TermRef A, TermRef B) { return mkPlus(A, B); };
+    Side = [IsInt, UMax, IntRange](TermRef A, TermRef B) {
+      TermRef Sum = mkPlus(A, B);
+      if (!IsInt)
+        return mkLessEq(Sum, mkNumOf(natTy(), UMax));
+      return IntRange(Sum);
+    };
+  } else if (Op == nm::Minus) {
+    AbsOp = [](TermRef A, TermRef B) { return mkMinus(A, B); };
+    Side = [IsInt, IntRange](TermRef A, TermRef B) {
+      if (!IsInt)
+        return mkLessEq(B, A);
+      return IntRange(mkMinus(A, B));
+    };
+  } else if (Op == nm::Times) {
+    AbsOp = [](TermRef A, TermRef B) { return mkTimes(A, B); };
+    Side = [IsInt, UMax, IntRange](TermRef A, TermRef B) {
+      TermRef Pr = mkTimes(A, B);
+      if (!IsInt)
+        return mkLessEq(Pr, mkNumOf(natTy(), UMax));
+      return IntRange(Pr);
+    };
+  } else if (Op == nm::Div) {
+    AbsOp = [](TermRef A, TermRef B) { return mkDiv(A, B); };
+    if (IsInt)
+      Side = [SMin](TermRef A, TermRef B) {
+        return mkNot(mkConj(mkEq(A, mkNumOf(intTy(), SMin)),
+                            mkEq(B, mkNumOf(intTy(), -1))));
+      };
+  } else { // nm::Mod
+    AbsOp = [](TermRef A, TermRef B) { return mkMod(A, B); };
+  }
+  return IsInt ? intBinRule(Base, W, Op.c_str(), AbsOp, Side, PP)
+               : natBinRule(Base, W, Op.c_str(), AbsOp, Side, PP);
+}
+
 } // namespace
 
 //===----------------------------------------------------------------------===//
@@ -749,6 +842,42 @@ WordAbstraction::WordAbstraction(monad::InterpCtx &Ctx) : Ctx(Ctx) {
 
 unsigned WordAbstraction::ruleCount() {
   return rules().Count + GlobalPerWidthCount.load();
+}
+
+void WordAbstraction::registerStandardRules() {
+  (void)rules(); // the generic Table 3 rules
+
+  // The canonical per-width family at the C `int` width. The engine
+  // mints these lazily (and at other widths / in _pp form) as programs
+  // demand them; registering the width-32 guarded forms up front gives
+  // rule inventories and profiles the full standard rule set even when
+  // a corpus happens not to exercise some member.
+  static std::once_flag Once;
+  std::call_once(Once, [] {
+    const unsigned W = 32;
+    for (const char *Op : {nm::Plus, nm::Minus, nm::Times, nm::Div,
+                           nm::Mod}) {
+      (void)binRuleAt(Op, /*IsInt=*/false, W, /*PP=*/false);
+      (void)binRuleAt(Op, /*IsInt=*/true, W, /*PP=*/false);
+    }
+    std::string WS = std::to_string(W);
+    for (const char *Op : {nm::Less, nm::LessEq, nm::Eq}) {
+      (void)cmpRule("nat_cmp_" + std::string(Op) + "." + WS, wordTy(W),
+                    unatC(W), natTy(), Op);
+      (void)cmpRule("int_cmp_" + std::string(Op) + "." + WS, swordTy(W),
+                    sintC(W), intTy(), Op);
+    }
+    (void)iteRule("nat_ite." + WS, wordTy(W), unatC(W), natTy());
+    (void)iteRule("int_ite." + WS, swordTy(W), sintC(W), intTy());
+    (void)leafRule("nat_leaf." + WS, wordTy(W), unatC(W), natTy());
+    (void)leafRule("int_leaf." + WS, swordTy(W), sintC(W), intTy());
+    (void)wrapRule("nat_wrap." + WS, wordTy(W), unatC(W), natTy(),
+                   ofNatC(W));
+    (void)wrapRule("int_wrap." + WS, swordTy(W), sintC(W), intTy(),
+                   ofIntC(W));
+    (void)elimRule("unat_elim." + WS, wordTy(W), unatC(W), natTy());
+    (void)elimRule("sint_elim." + WS, swordTy(W), sintC(W), intTy());
+  });
 }
 
 void WordAbstraction::addValRule(const Thm &Rule) {
@@ -855,19 +984,20 @@ WordAbstraction::valNatInt(const TermRef &C, bool IsInt) {
 
   if (Head->isConst() && Args.size() == 2) {
     const std::string &N = Head->name();
-    auto Bin = [&](const char *RName,
-                   std::function<TermRef(TermRef, TermRef)> AbsOp,
-                   std::function<TermRef(TermRef, TermRef)> Side)
-        -> std::optional<ValOut> {
+    if (const char *Base = binBaseName(N, IsInt)) {
+      auto Miss = [&] {
+        return ruleMissN([&] {
+          return "WA." + std::string(Base) + "." + std::to_string(W);
+        });
+      };
       std::optional<ValOut> AV = valNatInt(Args[0], IsInt);
       if (!AV)
-        return std::nullopt;
+        return Miss();
       std::optional<ValOut> BV = valNatInt(Args[1], IsInt);
       if (!BV)
-        return std::nullopt;
+        return Miss();
       bool PP = AV->P->isConst(nm::True) && BV->P->isConst(nm::True);
-      Thm Rule = IsInt ? intBinRule(RName, W, N.c_str(), AbsOp, Side, PP)
-                       : natBinRule(RName, W, N.c_str(), AbsOp, Side, PP);
+      Thm Rule = binRuleAt(N, IsInt, W, PP);
       std::vector<std::pair<const char *, TermRef>> Tms = {
           {"a'", AV->A}, {"aa", Args[0]}, {"b'", BV->A},
           {"bb", Args[1]}};
@@ -877,53 +1007,7 @@ WordAbstraction::valNatInt(const TermRef &C, bool IsInt) {
       }
       Thm Inst = inst(Rule, Tms);
       return Close(Kernel::mp(Kernel::mp(Inst, AV->Th), BV->Th));
-    };
-    Int128 UMax = wordMaxVal(W);
-    Int128 SMax = swordMaxVal(W), SMin = swordMinVal(W);
-    if (N == nm::Plus)
-      return Bin(IsInt ? "int_plus" : "nat_plus",
-                 [&](TermRef A2, TermRef B2) { return mkPlus(A2, B2); },
-                 [&](TermRef A2, TermRef B2) {
-                   TermRef Sum = mkPlus(A2, B2);
-                   if (!IsInt)
-                     return mkLessEq(Sum, mkNumOf(natTy(), UMax));
-                   return mkConj(mkLessEq(mkNumOf(intTy(), SMin), Sum),
-                                 mkLessEq(Sum, mkNumOf(intTy(), SMax)));
-                 });
-    if (N == nm::Minus)
-      return Bin(IsInt ? "int_minus" : "nat_minus",
-                 [&](TermRef A2, TermRef B2) { return mkMinus(A2, B2); },
-                 [&](TermRef A2, TermRef B2) {
-                   TermRef D = mkMinus(A2, B2);
-                   if (!IsInt)
-                     return mkLessEq(B2, A2);
-                   return mkConj(mkLessEq(mkNumOf(intTy(), SMin), D),
-                                 mkLessEq(D, mkNumOf(intTy(), SMax)));
-                 });
-    if (N == nm::Times)
-      return Bin(IsInt ? "int_times" : "nat_times",
-                 [&](TermRef A2, TermRef B2) { return mkTimes(A2, B2); },
-                 [&](TermRef A2, TermRef B2) {
-                   TermRef Pr = mkTimes(A2, B2);
-                   if (!IsInt)
-                     return mkLessEq(Pr, mkNumOf(natTy(), UMax));
-                   return mkConj(mkLessEq(mkNumOf(intTy(), SMin), Pr),
-                                 mkLessEq(Pr, mkNumOf(intTy(), SMax)));
-                 });
-    if (N == nm::Div)
-      return Bin(IsInt ? "int_div" : "nat_div",
-                 [&](TermRef A2, TermRef B2) { return mkDiv(A2, B2); },
-                 IsInt ? std::function<TermRef(TermRef, TermRef)>(
-                             [&](TermRef A2, TermRef B2) {
-                               return mkNot(mkConj(
-                                   mkEq(A2, mkNumOf(intTy(), SMin)),
-                                   mkEq(B2, mkNumOf(intTy(), -1))));
-                             })
-                       : nullptr);
-    if (N == nm::Mod)
-      return Bin(IsInt ? "int_mod" : "nat_mod",
-                 [&](TermRef A2, TermRef B2) { return mkMod(A2, B2); },
-                 nullptr);
+    }
   }
 
   // If-then-else at word type.
@@ -934,7 +1018,10 @@ WordAbstraction::valNatInt(const TermRef &C, bool IsInt) {
     std::optional<ValOut> BV = AV ? valNatInt(Args[2], IsInt)
                                   : std::nullopt;
     if (!BV)
-      return std::nullopt;
+      return ruleMissN([&] {
+        return std::string(IsInt ? "WA.int_ite." : "WA.nat_ite.") +
+               std::to_string(W);
+      });
     Thm Rule =
         iteRule((IsInt ? std::string("int_ite.") : std::string("nat_ite.")) +
                     std::to_string(W),
@@ -952,7 +1039,10 @@ WordAbstraction::valNatInt(const TermRef &C, bool IsInt) {
   // reads stay at the word level inside).
   std::optional<ValOut> IdV = valId(C, /*SkipWrap=*/true);
   if (!IdV)
-    return std::nullopt;
+    return ruleMissN([&] {
+      return std::string(IsInt ? "WA.int_leaf." : "WA.nat_leaf.") +
+             std::to_string(W);
+    });
   Thm Rule = leafRule((IsInt ? std::string("int_leaf.")
                              : std::string("nat_leaf.")) +
                           std::to_string(W),
@@ -1013,9 +1103,15 @@ WordAbstraction::valId(const TermRef &C, bool SkipWrap) {
       }
       SubThms.push_back(Sub->Th);
     }
-    if (!Ok)
+    if (!Ok) {
+      (void)ruleMiss(UR);
       continue;
-    Thm Cur = Kernel::instantiate(UR, S);
+    }
+    Thm Cur = [&] {
+      support::RuleTimer RT([&] { return UR.deriv()->name(); });
+      RT.hit();
+      return Kernel::instantiate(UR, S);
+    }();
     for (const Thm &Sub : SubThms)
       Cur = Kernel::mp(Cur, Sub);
     return Close(Cur);
@@ -1036,7 +1132,11 @@ WordAbstraction::valId(const TermRef &C, bool SkipWrap) {
       std::optional<ValOut> BV = AV ? valNatInt(Args[1], IsInt)
                                     : std::nullopt;
       if (!BV)
-        return std::nullopt;
+        return ruleMissN([&] {
+          return (IsInt ? std::string("WA.int_cmp_")
+                        : std::string("WA.nat_cmp_")) +
+                 N + "." + std::to_string(W);
+        });
       bool PP = AV->P->isConst(nm::True) && BV->P->isConst(nm::True);
       std::string RName = (IsInt ? std::string("int_cmp_")
                                  : std::string("nat_cmp_")) +
@@ -1063,7 +1163,8 @@ WordAbstraction::valId(const TermRef &C, bool SkipWrap) {
       unsigned W = wordBits(ArgTy);
       std::optional<ValOut> AV = valNatInt(Args[0], /*IsInt=*/false);
       if (!AV)
-        return std::nullopt;
+        return ruleMissN(
+            [&] { return "WA.unat_elim." + std::to_string(W); });
       Thm Rule = elimRule("unat_elim." + std::to_string(W), ArgTy,
                           unatC(W), natTy());
       Thm Inst = inst(Rule, {{"P", AV->P}, {"a'", AV->A},
@@ -1074,7 +1175,8 @@ WordAbstraction::valId(const TermRef &C, bool SkipWrap) {
       unsigned W = wordBits(ArgTy);
       std::optional<ValOut> AV = valNatInt(Args[0], /*IsInt=*/true);
       if (!AV)
-        return std::nullopt;
+        return ruleMissN(
+            [&] { return "WA.sint_elim." + std::to_string(W); });
       Thm Rule = elimRule("sint_elim." + std::to_string(W), ArgTy,
                           sintC(W), intTy());
       Thm Inst = inst(Rule, {{"P", AV->P}, {"a'", AV->A},
@@ -1090,7 +1192,10 @@ WordAbstraction::valId(const TermRef &C, bool SkipWrap) {
     unsigned W = wordBits(Ty);
     std::optional<ValOut> NV = valNatInt(C, IsInt);
     if (!NV)
-      return std::nullopt;
+      return ruleMissN([&] {
+        return std::string(IsInt ? "WA.int_wrap." : "WA.nat_wrap.") +
+               std::to_string(W);
+      });
     Thm Rule = IsInt ? wrapRule("int_wrap." + std::to_string(W), Ty,
                                 sintC(W), intTy(), ofIntC(W))
                      : wrapRule("nat_wrap." + std::to_string(W), Ty,
@@ -1111,7 +1216,7 @@ WordAbstraction::valId(const TermRef &C, bool SkipWrap) {
     std::optional<ValOut> FV = valId(C->fun());
     std::optional<ValOut> XV = FV ? valId(C->argTerm()) : std::nullopt;
     if (!XV)
-      return std::nullopt;
+      return ruleMiss(R.IdApp);
     TypeRef XTy = typeOf(C->argTerm());
     Thm Inst = inst(R.IdApp,
                     {{"P", FV->P}, {"Q", XV->P}, {"f'", FV->A},
@@ -1128,9 +1233,9 @@ WordAbstraction::valId(const TermRef &C, bool SkipWrap) {
     TermRef Body = betaNorm(Term::mkApp(C, VFree));
     std::optional<ValOut> BV = valId(Body);
     if (!BV)
-      return std::nullopt;
+      return ruleMiss(R.IdExt);
     if (occursFree(BV->P, VN))
-      return std::nullopt; // precondition must not capture the binder
+      return ruleMiss(R.IdExt); // precondition must not capture the binder
     TermRef GAbs = Term::mkLam(
         C->name(), C->type(), lambdaFree(VN, C->type(), BV->A)->body());
     Thm BAll = Kernel::generalize(VN, C->type(), BV->Th);
@@ -1159,7 +1264,7 @@ WordAbstraction::val(const TermRef &C) {
       std::optional<ValOut> XV = val(Args[0]);
       std::optional<ValOut> YV = XV ? val(Args[1]) : std::nullopt;
       if (!YV)
-        return std::nullopt;
+        return ruleMiss(rules().PairR);
       TypeRef TC = typeOf(Args[0]), TD = typeOf(Args[1]);
       Thm Inst = inst(rules().PairR,
                       {{"P", XV->P}, {"Q", YV->P},
@@ -1236,7 +1341,7 @@ std::optional<Thm> WordAbstraction::stmt(const TermRef &C) {
   if (Head->isConst(nm::Return) && Args.size() == 1) {
     std::optional<ValOut> VO = val(Args[0]);
     if (!VO)
-      return std::nullopt;
+      return ruleMiss(R.Return_);
     Thm Inst = inst(R.Return_,
                     {{"P", VO->P}, {"f", RxA}, {"a", VO->A},
                      {"cc", Args[0]}, {"ex", ExE}},
@@ -1246,7 +1351,7 @@ std::optional<Thm> WordAbstraction::stmt(const TermRef &C) {
   if (Head->isConst(nm::Throw) && Args.size() == 1) {
     std::optional<ValOut> VO = val(Args[0]);
     if (!VO)
-      return std::nullopt;
+      return ruleMiss(R.Throw_);
     Thm Inst = inst(R.Throw_,
                     {{"P", VO->P}, {"f", RxA}, {"e'", VO->A},
                      {"ee", Args[0]}, {"ex", ExE}},
@@ -1266,7 +1371,7 @@ std::optional<Thm> WordAbstraction::stmt(const TermRef &C) {
     TermRef Body = betaNorm(Term::mkApp(Args[0], SF));
     std::optional<ValOut> VO = val(Body);
     if (!VO)
-      return std::nullopt;
+      return ruleMiss(R.Gets);
     TermRef PAbs = lamDisp(SN, "s", S, VO->P);
     TermRef AAbsF = lamDisp(SN, "s", S, VO->A);
     Thm VAll = Kernel::generalize(SN, S, VO->Th);
@@ -1283,7 +1388,7 @@ std::optional<Thm> WordAbstraction::stmt(const TermRef &C) {
     TermRef Body = betaNorm(Term::mkApp(Args[0], SF));
     std::optional<ValOut> VO = valId(Body);
     if (!VO)
-      return std::nullopt;
+      return ruleMiss(R.Modify);
     TermRef PAbs = lamDisp(SN, "s", S, VO->P);
     TermRef MAbs = lamDisp(SN, "s", S, VO->A);
     Thm VAll = Kernel::generalize(SN, S, VO->Th);
@@ -1300,7 +1405,7 @@ std::optional<Thm> WordAbstraction::stmt(const TermRef &C) {
     TermRef Body = betaNorm(Term::mkApp(Args[0], SF));
     std::optional<ValOut> VO = valId(Body);
     if (!VO)
-      return std::nullopt;
+      return ruleMiss(R.Guard);
     TermRef PAbs = lamDisp(SN, "s", S, VO->P);
     TermRef GAbs = lamDisp(SN, "s", S, VO->A);
     Thm VAll = Kernel::generalize(SN, S, VO->Th);
@@ -1314,7 +1419,7 @@ std::optional<Thm> WordAbstraction::stmt(const TermRef &C) {
   if (Head->isConst(nm::Bind) && Args.size() == 2 && Args[1]->isLam()) {
     std::optional<Thm> LT = stmt(Args[0]);
     if (!LT)
-      return std::nullopt;
+      return ruleMiss(R.Bind);
     // Left value type and its abstraction.
     TypeRef S1, A1, E1;
     destMonadTy(typeOf(Args[0]), S1, A1, E1);
@@ -1328,7 +1433,7 @@ std::optional<Thm> WordAbstraction::stmt(const TermRef &C) {
     std::optional<Thm> RT = stmt(RBody);
     Tracked.erase(RN);
     if (!RT)
-      return std::nullopt;
+      return ruleMiss(R.Bind);
     // R' = %ra. body with the rx-image patterns of r replaced by ra.
     TermRef AbsBody = absOfStmt(*RT);
     TermRef Image = betaNorm(Term::mkApp(Rx1, RF));
@@ -1336,7 +1441,7 @@ std::optional<Thm> WordAbstraction::stmt(const TermRef &C) {
     TermRef RAF = Term::mkFree(RAN, A1Abs);
     TermRef Repl = replaceImages(AbsBody, A1, RF, RAF);
     if (!Repl)
-      return std::nullopt; // a bare concrete variable survived
+      return ruleMiss(R.Bind); // a bare concrete variable survived
     (void)Image;
     TermRef RAbs = lamDisp(RAN, Args[1]->name(), A1Abs, Repl);
     Thm RAll = Kernel::generalize(RN, A1, *RT);
@@ -1352,7 +1457,7 @@ std::optional<Thm> WordAbstraction::stmt(const TermRef &C) {
   if (Head->isConst(nm::Catch) && Args.size() == 2 && Args[1]->isLam()) {
     std::optional<Thm> MT = stmt(Args[0]);
     if (!MT)
-      return std::nullopt;
+      return ruleMiss(R.Catch);
     TypeRef S1, A1, E1;
     destMonadTy(typeOf(Args[0]), S1, A1, E1);
     TypeRef E1Abs = absTy(E1);
@@ -1364,13 +1469,13 @@ std::optional<Thm> WordAbstraction::stmt(const TermRef &C) {
     std::optional<Thm> HT = stmt(HBody);
     Tracked.erase(EN);
     if (!HT)
-      return std::nullopt;
+      return ruleMiss(R.Catch);
     TermRef AbsBody = absOfStmt(*HT);
     std::string EAN = fresh("ea");
     TermRef EAF = Term::mkFree(EAN, E1Abs);
     TermRef Repl = replaceImages(AbsBody, E1, EF, EAF);
     if (!Repl)
-      return std::nullopt;
+      return ruleMiss(R.Catch);
     TermRef HAbs = lamDisp(EAN, Args[1]->name(), E1Abs, Repl);
     Thm HAll = Kernel::generalize(EN, E1, *HT);
     Thm Inst = inst(R.Catch,
@@ -1390,11 +1495,11 @@ std::optional<Thm> WordAbstraction::stmt(const TermRef &C) {
     TermRef CBody = betaNorm(Term::mkApp(Args[0], SF));
     std::optional<ValOut> CV = valId(CBody);
     if (!CV)
-      return std::nullopt;
+      return ruleMiss(R.Cond);
     std::optional<Thm> AT = stmt(Args[1]);
     std::optional<Thm> BT = AT ? stmt(Args[2]) : std::nullopt;
     if (!BT)
-      return std::nullopt;
+      return ruleMiss(R.Cond);
     TermRef PAbs = lamDisp(SN, "s", S, CV->P);
     TermRef CAbs = lamDisp(SN, "s", S, CV->A);
     Thm CAll = Kernel::generalize(SN, S, CV->Th);
@@ -1422,13 +1527,13 @@ std::optional<Thm> WordAbstraction::stmt(const TermRef &C) {
     std::optional<ValOut> CV = valId(CondBody);
     Tracked.erase(RN);
     if (!CV)
-      return std::nullopt;
+      return ruleMiss(R.While);
     std::string RAN = fresh("ra");
     TermRef RAF = Term::mkFree(RAN, IAbs);
     TermRef PIm = replaceImages(CV->P, ITy, RF, RAF);
     TermRef CIm = replaceImages(CV->A, ITy, RF, RAF);
     if (!PIm || !CIm)
-      return std::nullopt;
+      return ruleMiss(R.While);
     TermRef PAbs = lamDisp(RAN, Args[0]->name(), IAbs,
                            lamDisp(SN, "s", S, PIm));
     TermRef CAbs = lamDisp(RAN, Args[0]->name(), IAbs,
@@ -1443,18 +1548,18 @@ std::optional<Thm> WordAbstraction::stmt(const TermRef &C) {
     std::optional<Thm> BT = stmt(BBody);
     Tracked.erase(RN2);
     if (!BT)
-      return std::nullopt;
+      return ruleMiss(R.While);
     std::string RAN2 = fresh("ra");
     TermRef RAF2 = Term::mkFree(RAN2, IAbs);
     TermRef BIm = replaceImages(absOfStmt(*BT), ITy, RF2, RAF2);
     if (!BIm)
-      return std::nullopt;
+      return ruleMiss(R.While);
     TermRef BAbs = lamDisp(RAN2, Args[1]->name(), IAbs, BIm);
     Thm BAll = Kernel::generalize(RN2, ITy, *BT);
     // Initial value.
     std::optional<ValOut> IV = val(Args[2]);
     if (!IV)
-      return std::nullopt;
+      return ruleMiss(R.While);
     Thm Inst = inst(R.While,
                     {{"rxi", RxI}, {"ex", ExE}, {"Pc", PAbs},
                      {"c'", CAbs}, {"cnd", Args[0]},
@@ -1670,6 +1775,8 @@ WAResult &WordAbstraction::abstractFunction(
     const std::string &FnName, const TermRef &Body,
     const std::vector<std::string> &ArgNames,
     const std::vector<TypeRef> &ArgTys, const WAOptions &Opts) {
+  support::Span Sp("wordabs.fn");
+  Sp.arg("fn", FnName);
   CurFn = FnName;
   FreshCtr = 0; // Fresh names restart per function: schedule-independent.
   WAResult Res;

@@ -100,6 +100,14 @@ public:
   /// Number of generic WA.* rules plus per-width instances registered.
   static unsigned ruleCount();
 
+  /// Eagerly registers the standard rule set: the generic Table 3 rules
+  /// plus the canonical width-32 per-width family (arithmetic,
+  /// comparison, ite, leaf, wrap, coercion elimination). The engine
+  /// mints per-width rules lazily, so a rule inventory or profile taken
+  /// after a run only sees what the corpus happened to exercise; this
+  /// gives such audits the full standard set. Idempotent.
+  static void registerStandardRules();
+
 private:
   struct ValOut {
     hol::Thm Th;

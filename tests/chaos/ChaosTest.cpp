@@ -29,15 +29,19 @@
 #include "core/ResultCache.h"
 #include "support/FaultInject.h"
 #include "support/FileLock.h"
+#include "support/Json.h"
 #include "support/Socket.h"
 #include "support/ThreadPool.h"
+#include "support/Trace.h"
 
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <set>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -85,11 +89,13 @@ struct Snapshot {
   core::ACStats Stats;
 };
 
-Snapshot runWith(const std::string &Src, const std::string &CacheDir) {
+Snapshot runWith(const std::string &Src, const std::string &CacheDir,
+                 const std::string &TracePath = "") {
   DiagEngine Diags;
   core::ACOptions Opts;
   Opts.Jobs = 1;
   Opts.CacheDir = CacheDir;
+  Opts.TracePath = TracePath;
   auto AC = core::AutoCorres::run(Src, Diags, Opts);
   EXPECT_TRUE(AC) << Diags.str();
   Snapshot S;
@@ -399,6 +405,35 @@ void driveSaveBitflip() {
   expectIdentical(Ref, Warm, "bitflip: healed warm run");
 }
 
+/// The observability promise: a trace sink that cannot be written costs
+/// the trace and nothing else — the verification run still succeeds,
+/// byte-identical to an untraced run, and a healthy retry produces a
+/// parseable Chrome trace.
+void driveTraceWriteFail() {
+  std::string Dir = freshDir("tracewrite");
+  std::string TracePath = Dir + "/run.json";
+  Snapshot Ref = runWith(chainSource(), /*CacheDir=*/"");
+
+  ASSERT_TRUE(FaultInject::arm("trace.write.fail", 1));
+  Snapshot Faulted = runWith(chainSource(), /*CacheDir=*/"", TracePath);
+  EXPECT_EQ(FaultInject::fired("trace.write.fail"), 1u);
+  FaultInject::disarmAll();
+  EXPECT_FALSE(std::filesystem::exists(TracePath))
+      << "a failed trace flush must not leave a partial file";
+  expectIdentical(Ref, Faulted, "trace.write.fail: faulted traced run");
+
+  Snapshot Retry = runWith(chainSource(), /*CacheDir=*/"", TracePath);
+  expectIdentical(Ref, Retry, "trace.write.fail: healthy traced run");
+  ASSERT_TRUE(std::filesystem::exists(TracePath));
+  std::ifstream In(TracePath, std::ios::binary);
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  support::Json J;
+  std::string Err;
+  ASSERT_TRUE(support::Json::parse(Buf.str(), J, Err)) << Err;
+  EXPECT_TRUE(J.get("traceEvents").isArray());
+}
+
 //===----------------------------------------------------------------------===//
 // The driver table and the coverage gate
 //===----------------------------------------------------------------------===//
@@ -427,6 +462,7 @@ const SiteCase AllSites[] = {
     {"cache.save.rename", driveSaveRename},
     {"cache.save.crash", driveSaveCrash},
     {"cache.save.bitflip", driveSaveBitflip},
+    {"trace.write.fail", driveTraceWriteFail},
 };
 
 class ChaosSite : public ::testing::TestWithParam<SiteCase> {

@@ -19,6 +19,7 @@
 #include "service/CheckRunner.h"
 #include "service/Client.h"
 #include "service/Server.h"
+#include "support/Log.h"
 #include "support/Socket.h"
 
 #include <gtest/gtest.h>
@@ -26,7 +27,11 @@
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -223,6 +228,20 @@ protected:
 
   std::string Root, SockPath;
 };
+
+/// The daemon flushes per-request trace files after delivering the
+/// response, so a client that just got its answer may still be a few
+/// microseconds ahead of the file.
+bool waitForFile(const std::string &Path, int TimeoutMs = 5000) {
+  auto Deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(TimeoutMs);
+  while (std::chrono::steady_clock::now() < Deadline) {
+    if (std::filesystem::exists(Path))
+      return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return false;
+}
 
 } // namespace
 
@@ -818,4 +837,187 @@ TEST_F(ServiceTest, FallbackDoesNotMaskRequestErrors) {
   EXPECT_FALSE(Resp.Ok);
   EXPECT_EQ(Resp.Err, ErrorCode::ParseError) << Resp.Message;
   Srv.stop();
+}
+
+//===----------------------------------------------------------------------===//
+// Observability: trace ids, metrics exposition, structured logs
+//===----------------------------------------------------------------------===//
+
+TEST_F(ServiceTest, TraceIdRoundTripsAndIsMintedWhenAbsent) {
+  ServerOptions O = baseOpts();
+  O.TraceDir = Root + "/traces";
+  std::filesystem::create_directories(O.TraceDir);
+  Server Srv(O);
+  ASSERT_TRUE(Srv.start());
+  Client C = Client::connect(SockPath);
+  ASSERT_TRUE(C.connected());
+
+  // Client-supplied id echoes back verbatim, on success...
+  CheckRequest Req;
+  Req.Source = corpus::maxSource();
+  Req.TraceId = "ci-run-42";
+  CheckResponse Resp;
+  std::string Err;
+  ASSERT_TRUE(C.check(Req, Resp, Err)) << Err;
+  EXPECT_TRUE(Resp.Ok);
+  EXPECT_EQ(Resp.TraceId, "ci-run-42");
+  // ...and the per-request trace file lands under TraceDir by that name.
+  EXPECT_TRUE(waitForFile(O.TraceDir + "/ci-run-42.json"));
+
+  // ...and on failure.
+  CheckRequest Bad;
+  Bad.Source = "this is not C;";
+  Bad.TraceId = "ci-run-43";
+  CheckResponse BadResp;
+  ASSERT_TRUE(C.check(Bad, BadResp, Err)) << Err;
+  EXPECT_FALSE(BadResp.Ok);
+  EXPECT_EQ(BadResp.TraceId, "ci-run-43");
+
+  // Absent id: the daemon mints one and still echoes it.
+  CheckRequest Anon;
+  Anon.Source = corpus::maxSource();
+  CheckResponse AnonResp;
+  ASSERT_TRUE(C.check(Anon, AnonResp, Err)) << Err;
+  EXPECT_TRUE(AnonResp.Ok);
+  EXPECT_FALSE(AnonResp.TraceId.empty());
+  EXPECT_EQ(AnonResp.TraceId.rfind("req-", 0), 0u) << AnonResp.TraceId;
+  Srv.stop();
+}
+
+TEST_F(ServiceTest, PerRequestTraceFilesAreValidChromeJson) {
+  ServerOptions O = baseOpts();
+  O.TraceDir = Root + "/traces";
+  std::filesystem::create_directories(O.TraceDir);
+  Server Srv(O);
+  ASSERT_TRUE(Srv.start());
+  Client C = Client::connect(SockPath);
+  ASSERT_TRUE(C.connected());
+  CheckRequest Req;
+  Req.Source = corpus::swapSource();
+  Req.TraceId = "trace-json-check";
+  CheckResponse Resp;
+  std::string Err;
+  ASSERT_TRUE(C.check(Req, Resp, Err)) << Err;
+  ASSERT_TRUE(Resp.Ok);
+  ASSERT_TRUE(waitForFile(O.TraceDir + "/trace-json-check.json"));
+
+  std::ifstream In(O.TraceDir + "/trace-json-check.json");
+  ASSERT_TRUE(In.good());
+  std::stringstream SS;
+  SS << In.rdbuf();
+  Json J;
+  ASSERT_TRUE(Json::parse(SS.str(), J, Err)) << Err;
+  ASSERT_TRUE(J.get("traceEvents").isArray());
+  // The served pipeline's phases are in there.
+  bool SawFn = false;
+  for (const Json &E : J.get("traceEvents").items())
+    if (E.get("name").asString() == "core.fn")
+      SawFn = true;
+  EXPECT_TRUE(SawFn) << "per-request trace carries no pipeline spans";
+  Srv.stop();
+}
+
+TEST_F(ServiceTest, MetricsRequestServesPrometheusText) {
+  Server Srv(baseOpts());
+  ASSERT_TRUE(Srv.start());
+  Client C = Client::connect(SockPath);
+  ASSERT_TRUE(C.connected());
+
+  // One served request so the counters are warm.
+  CheckRequest Req;
+  Req.Source = corpus::maxSource();
+  CheckResponse Resp;
+  std::string Err;
+  ASSERT_TRUE(C.check(Req, Resp, Err)) << Err;
+
+  std::string Body;
+  ASSERT_TRUE(C.metricsText(Body, Err)) << Err;
+  // Exposition-format lint: every non-comment line is `name{labels} value`,
+  // every metric has # HELP and # TYPE headers before its samples.
+  std::set<std::string> Typed;
+  std::istringstream Lines(Body);
+  std::string Line;
+  while (std::getline(Lines, Line)) {
+    if (Line.empty())
+      continue;
+    if (Line.rfind("# TYPE ", 0) == 0) {
+      std::istringstream T(Line.substr(7));
+      std::string Name, Kind;
+      T >> Name >> Kind;
+      EXPECT_TRUE(Kind == "counter" || Kind == "gauge" ||
+                  Kind == "summary")
+          << Line;
+      Typed.insert(Name);
+      continue;
+    }
+    if (Line.rfind("# HELP ", 0) == 0 || Line.rfind("#", 0) == 0)
+      continue;
+    size_t Sp = Line.rfind(' ');
+    ASSERT_NE(Sp, std::string::npos) << Line;
+    std::string Name = Line.substr(0, Line.find_first_of("{ "));
+    // Summary _sum/_count samples belong to the base metric's TYPE.
+    for (const char *Suffix : {"_sum", "_count"}) {
+      size_t L = Name.size(), SL = strlen(Suffix);
+      if (L > SL && Name.compare(L - SL, SL, Suffix) == 0 &&
+          Typed.count(Name.substr(0, L - SL)))
+        Name = Name.substr(0, L - SL);
+    }
+    EXPECT_TRUE(Typed.count(Name)) << "sample without TYPE: " << Line;
+    EXPECT_NO_THROW((void)std::stod(Line.substr(Sp + 1))) << Line;
+  }
+  EXPECT_TRUE(Typed.count("acd_requests_received_total"));
+  EXPECT_TRUE(Typed.count("acd_in_flight_peak"));
+  EXPECT_TRUE(Typed.count("acd_phase_parse_cpu_seconds_total"));
+  EXPECT_TRUE(Typed.count("acd_latency_total_seconds"));
+  EXPECT_NE(Body.find("acd_requests_completed_total 1"), std::string::npos)
+      << Body;
+  Srv.stop();
+}
+
+TEST_F(ServiceTest, FailedRequestsEmitStructuredLogLines) {
+  std::string LogPath = Root + "/acd.jsonl";
+  ASSERT_TRUE(support::Log::setFile(LogPath));
+  support::Log::setLevel(support::LogLevel::Info);
+
+  Server Srv(baseOpts());
+  ASSERT_TRUE(Srv.start());
+  Client C = Client::connect(SockPath);
+  ASSERT_TRUE(C.connected());
+  CheckRequest Req;
+  Req.Source = "this is not C;";
+  Req.TraceId = "log-test-1";
+  CheckResponse Resp;
+  std::string Err;
+  ASSERT_TRUE(C.check(Req, Resp, Err)) << Err;
+  EXPECT_FALSE(Resp.Ok);
+  Srv.stop();
+  support::Log::setFile(""); // back to stderr before asserting
+
+  // Every line is one JSON object; among them are the received and
+  // failed events for our trace id, in that order.
+  std::ifstream In(LogPath);
+  ASSERT_TRUE(In.good());
+  std::string Line;
+  int ReceivedAt = -1, FailedAt = -1, N = 0;
+  while (std::getline(In, Line)) {
+    if (Line.empty())
+      continue;
+    Json J;
+    ASSERT_TRUE(Json::parse(Line, J, Err)) << Line << ": " << Err;
+    EXPECT_TRUE(J.get("ts").isNumber()) << Line;
+    EXPECT_TRUE(J.get("level").isString()) << Line;
+    EXPECT_TRUE(J.get("event").isString()) << Line;
+    if (J.get("trace_id").asString() == "log-test-1") {
+      if (J.get("event").asString() == "request.received")
+        ReceivedAt = N;
+      if (J.get("event").asString() == "request.failed") {
+        FailedAt = N;
+        EXPECT_EQ(J.get("level").asString(), "error") << Line;
+        EXPECT_EQ(J.get("error").asString(), "parse_error") << Line;
+      }
+    }
+    ++N;
+  }
+  EXPECT_GE(ReceivedAt, 0) << "no request.received line for log-test-1";
+  EXPECT_GT(FailedAt, ReceivedAt) << "no request.failed line after receive";
 }

@@ -21,8 +21,13 @@
 
 #include "corpus/Sources.h"
 #include "corpus/Synthetic.h"
+#include "heapabs/HeapAbs.h"
+#include "hol/Thm.h"
+#include "wordabs/WordAbs.h"
 #include "service/CheckRunner.h"
 #include "service/Client.h"
+#include "support/Log.h"
+#include "support/RuleProfile.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -56,7 +61,15 @@ void usage(const char *Argv0) {
       "  --debug-delay-ms N  ask the daemon to hold the request (tests)\n"
       "  --no-fallback     fail instead of degrading to an in-process\n"
       "                    run when the daemon cannot serve the check\n"
+      "  --trace FILE      run in-process and write a Chrome trace\n"
+      "                    (chrome://tracing / Perfetto) to FILE\n"
+      "  --rule-profile    run in-process and print the per-rule\n"
+      "                    fire/miss/self-time table\n"
+      "  --trace-id ID     correlation id sent with the request\n"
+      "  --log-file PATH   append structured JSONL log lines to PATH\n"
       "  --stats           print daemon stats JSON and exit\n"
+      "  --metrics         print daemon metrics in Prometheus text\n"
+      "                    exposition format and exit\n"
       "  --ping            liveness probe (exit 0 iff alive)\n"
       "  --drain           ask the daemon to drain and exit\n",
       Argv0);
@@ -114,9 +127,9 @@ std::string goldenSnapshot(const CheckResponse &Resp) {
 
 int main(int argc, char **argv) {
   std::string SocketPath = "acd.sock";
-  std::string File, Corpus;
+  std::string File, Corpus, TracePath;
   bool Golden = false, Stats = false, Ping = false, Drain = false;
-  bool NoFallback = false;
+  bool NoFallback = false, Metrics = false, RuleProfile = false;
   CheckRequest Req;
 
   for (int I = 1; I < argc; ++I) {
@@ -172,6 +185,26 @@ int main(int argc, char **argv) {
       NoFallback = true;
     } else if (Arg == "--stats") {
       Stats = true;
+    } else if (Arg == "--metrics") {
+      Metrics = true;
+    } else if (Arg == "--rule-profile") {
+      RuleProfile = true;
+    } else if (Arg == "--trace") {
+      const char *V = Next();
+      if (!V)
+        return usage(argv[0]), 2;
+      TracePath = V;
+    } else if (Arg == "--trace-id") {
+      const char *V = Next();
+      if (!V)
+        return usage(argv[0]), 2;
+      Req.TraceId = V;
+    } else if (Arg == "--log-file") {
+      const char *V = Next();
+      if (!V || !ac::support::Log::setFile(V)) {
+        std::fprintf(stderr, "acc: cannot open log file\n");
+        return 2;
+      }
     } else if (Arg == "--ping") {
       Ping = true;
     } else if (Arg == "--drain") {
@@ -191,7 +224,7 @@ int main(int argc, char **argv) {
   std::string Err;
 
   // Admin ops address a specific daemon; there is nothing to degrade to.
-  if (Ping || Stats || Drain) {
+  if (Ping || Stats || Metrics || Drain) {
     Client C = Client::connect(SocketPath);
     if (!C.connected()) {
       std::fprintf(stderr, "acc: cannot connect to %s (is acd running?)\n",
@@ -213,6 +246,15 @@ int main(int argc, char **argv) {
         return 1;
       }
       std::printf("%s\n", J.dump().c_str());
+      return 0;
+    }
+    if (Metrics) {
+      std::string Text;
+      if (!C.metricsText(Text, Err)) {
+        std::fprintf(stderr, "acc: metrics failed: %s\n", Err.c_str());
+        return 1;
+      }
+      std::fputs(Text.c_str(), stdout);
       return 0;
     }
     if (!C.drain(Err)) {
@@ -250,7 +292,17 @@ int main(int argc, char **argv) {
 
   CheckResponse Resp;
   bool UsedFallback = false;
-  if (NoFallback) {
+  if (!TracePath.empty() || RuleProfile) {
+    // Tracing and rule profiling observe *this* process's pipeline, so
+    // these modes always run in-process.
+    if (RuleProfile)
+      ac::support::RuleProfile::setEnabled(true);
+    CheckContext Ctx;
+    Ctx.Jobs = Req.Jobs;
+    Ctx.TracePath = TracePath;
+    Resp = runCheck(Req, Ctx);
+    UsedFallback = true;
+  } else if (NoFallback) {
     Client C = Client::connect(SocketPath);
     if (!C.connected()) {
       std::fprintf(stderr, "acc: cannot connect to %s (is acd running?)\n",
@@ -300,9 +352,22 @@ int main(int argc, char **argv) {
   for (const std::string &D : Resp.Diagnostics)
     std::printf("note: %s\n", D.c_str());
   std::printf("[%s] functions=%u jobs=%u parse=%.3fs abstract=%.3fs "
-              "cache(hits=%u misses=%u invalidations=%u)\n",
+              "cache(hits=%u misses=%u invalidations=%u)%s%s\n",
               UsedFallback ? "local" : "acd", Resp.NumFunctions, Resp.Jobs,
               Resp.ParseSeconds, Resp.AbstractWallSeconds, Resp.CacheHits,
-              Resp.CacheMisses, Resp.CacheInvalidations);
+              Resp.CacheMisses, Resp.CacheInvalidations,
+              Resp.TraceId.empty() ? "" : " trace_id=",
+              Resp.TraceId.c_str());
+  if (RuleProfile) {
+    // Zero-fire rules still show up: the standard families are filled
+    // in and every registered WA./HL. axiom gets a row, so "this rule
+    // never fired on this input" is visible.
+    ac::wordabs::WordAbstraction::registerStandardRules();
+    ac::heapabs::HeapAbstraction::registerStandardRules();
+    for (const auto &[N, P] : ac::hol::Inventory::instance().axioms())
+      if (N.rfind("WA.", 0) == 0 || N.rfind("HL.", 0) == 0)
+        ac::support::RuleProfile::preregister(N);
+    std::fputs(ac::support::RuleProfile::table().c_str(), stdout);
+  }
   return 0;
 }

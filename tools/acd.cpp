@@ -14,6 +14,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "service/Server.h"
+#include "support/Log.h"
 
 #include <csignal>
 #include <cstdio>
@@ -36,7 +37,13 @@ void usage(const char *Argv0) {
       "  --jobs N           default abstraction jobs per request\n"
       "                     (default: $AC_JOBS, 1 when unset)\n"
       "  --cache-dir DIR    default abstraction-cache directory\n"
-      "  --retry-after-ms N backpressure retry hint (default: 50)\n",
+      "  --retry-after-ms N backpressure retry hint (default: 50)\n"
+      "  --trace-dir DIR    write a Chrome trace JSON per request to\n"
+      "                     DIR/<trace_id>.json (best-effort)\n"
+      "  --log-file PATH    append structured JSONL log lines to PATH\n"
+      "                     (default: stderr; also $AC_LOG_FILE)\n"
+      "  --log-level LVL    debug|info|warn|error|off (default: info;\n"
+      "                     also $AC_LOG)\n",
       Argv0);
 }
 
@@ -84,6 +91,27 @@ int main(int argc, char **argv) {
     } else if (Arg == "--retry-after-ms" && Next() &&
                parseUnsigned(argv[I], N)) {
       Opts.RetryAfterMs = N;
+    } else if (Arg == "--trace-dir") {
+      const char *V = Next();
+      if (!V) {
+        usage(argv[0]);
+        return 2;
+      }
+      Opts.TraceDir = V;
+    } else if (Arg == "--log-file") {
+      const char *V = Next();
+      if (!V || !ac::support::Log::setFile(V)) {
+        std::fprintf(stderr, "acd: cannot open log file\n");
+        return 2;
+      }
+    } else if (Arg == "--log-level") {
+      const char *V = Next();
+      ac::support::LogLevel Lv;
+      if (!V || !ac::support::Log::parseLevel(V, Lv)) {
+        usage(argv[0]);
+        return 2;
+      }
+      ac::support::Log::setLevel(Lv);
     } else if (Arg == "--help" || Arg == "-h") {
       usage(argv[0]);
       return 0;
@@ -113,6 +141,11 @@ int main(int argc, char **argv) {
               Opts.SocketPath.c_str(), Srv.options().Workers,
               Srv.options().QueueCapacity);
   std::fflush(stdout);
+  ac::support::Log::info(
+      "daemon.started",
+      {{"socket", Opts.SocketPath},
+       {"workers", Srv.options().Workers},
+       {"queue", static_cast<uint64_t>(Srv.options().QueueCapacity)}});
 
   // Wait for SIGTERM/SIGINT or a protocol-level drain request.
   timespec Tick{0, 200 * 1000 * 1000};
@@ -126,5 +159,6 @@ int main(int argc, char **argv) {
   std::fflush(stdout);
   Srv.stop(); // drain + flush caches + teardown
   std::printf("acd: drained, bye\n");
+  ac::support::Log::info("daemon.stopped", {});
   return 0;
 }

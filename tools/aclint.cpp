@@ -1,0 +1,266 @@
+//===- aclint.cpp - Observability artifact lint ----------------------------===//
+//
+// Part of the autocorres-cpp project, under the BSD 2-Clause License.
+//
+//===----------------------------------------------------------------------===//
+//
+// Validates the artifacts the observability surface emits, so CI can
+// assert their shape without a Chrome or Prometheus install:
+//
+//   aclint trace <file.json> [--require-span NAME]... [--min-wa N] [--min-hl N]
+//       The file parses as Chrome trace-event JSON (object form), every
+//       event is a well-formed complete event, every --require-span name
+//       occurs at least once, and the embedded ruleProfile carries at
+//       least N word-abstraction / heap-abstraction rule rows.
+//
+//   aclint metrics <file>        ("-" reads stdin)
+//       The file is Prometheus text exposition format 0.0.4: every
+//       sample line is `name[{labels}] value`, every sample's metric has
+//       a preceding # TYPE of a known kind, summary quantile samples and
+//       _sum/_count attach to a declared summary.
+//
+// Exit status: 0 clean, 1 lint findings (each printed on stderr), 2 usage.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Json.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using ac::support::Json;
+
+namespace {
+
+int Findings = 0;
+
+void finding(const std::string &Msg) {
+  std::fprintf(stderr, "aclint: %s\n", Msg.c_str());
+  ++Findings;
+}
+
+bool readAll(const std::string &Path, std::string &Out) {
+  if (Path == "-") {
+    std::stringstream SS;
+    SS << std::cin.rdbuf();
+    Out = SS.str();
+    return true;
+  }
+  std::ifstream In(Path, std::ios::binary);
+  if (!In.good())
+    return false;
+  std::stringstream SS;
+  SS << In.rdbuf();
+  Out = SS.str();
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// trace mode
+//===----------------------------------------------------------------------===//
+
+int lintTrace(const std::string &Path,
+              const std::vector<std::string> &RequiredSpans, int MinWA,
+              int MinHL) {
+  std::string Text;
+  if (!readAll(Path, Text)) {
+    finding("cannot read " + Path);
+    return 1;
+  }
+  Json J;
+  std::string Err;
+  if (!Json::parse(Text, J, Err)) {
+    finding(Path + ": not valid JSON: " + Err);
+    return 1;
+  }
+  if (!J.isObject() || !J.get("traceEvents").isArray()) {
+    finding(Path + ": no traceEvents array (not object-form Chrome JSON)");
+    return 1;
+  }
+
+  std::set<std::string> Seen;
+  size_t Idx = 0;
+  for (const Json &E : J.get("traceEvents").items()) {
+    std::string Where = Path + ": traceEvents[" + std::to_string(Idx++) + "]";
+    if (!E.isObject()) {
+      finding(Where + ": not an object");
+      continue;
+    }
+    if (!E.get("name").isString() || E.get("name").asString().empty())
+      finding(Where + ": missing name");
+    if (E.get("ph").asString() != "X")
+      finding(Where + ": ph is not \"X\" (complete event)");
+    if (!E.get("ts").isNumber() || E.get("ts").asNumber() < 0)
+      finding(Where + ": bad ts");
+    if (!E.get("dur").isNumber() || E.get("dur").asNumber() < 0)
+      finding(Where + ": bad dur");
+    if (!E.get("pid").isNumber() || !E.get("tid").isNumber())
+      finding(Where + ": missing pid/tid");
+    Seen.insert(E.get("name").asString());
+  }
+
+  for (const std::string &Name : RequiredSpans)
+    if (!Seen.count(Name))
+      finding(Path + ": required span `" + Name + "` never recorded");
+
+  if (MinWA > 0 || MinHL > 0) {
+    const Json &RP = J.get("ruleProfile");
+    if (!RP.isObject()) {
+      finding(Path + ": no ruleProfile object");
+    } else {
+      int WA = 0, HL = 0;
+      for (const auto &[Name, Stat] : RP.members()) {
+        if (!Stat.isObject() || !Stat.get("fires").isNumber())
+          finding(Path + ": ruleProfile." + Name + ": malformed row");
+        if (Name.rfind("WA.", 0) == 0)
+          ++WA;
+        else if (Name.rfind("HL.", 0) == 0)
+          ++HL;
+      }
+      if (WA < MinWA)
+        finding(Path + ": ruleProfile has " + std::to_string(WA) +
+                " word-abs rules, expected >= " + std::to_string(MinWA));
+      if (HL < MinHL)
+        finding(Path + ": ruleProfile has " + std::to_string(HL) +
+                " heap-abs rules, expected >= " + std::to_string(MinHL));
+    }
+  }
+  return Findings ? 1 : 0;
+}
+
+//===----------------------------------------------------------------------===//
+// metrics mode
+//===----------------------------------------------------------------------===//
+
+bool validMetricName(const std::string &N) {
+  if (N.empty())
+    return false;
+  for (size_t I = 0; I != N.size(); ++I) {
+    char C = N[I];
+    bool Ok = (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') ||
+              C == '_' || C == ':' || (I > 0 && C >= '0' && C <= '9');
+    if (!Ok)
+      return false;
+  }
+  return true;
+}
+
+int lintMetrics(const std::string &Path) {
+  std::string Text;
+  if (!readAll(Path, Text)) {
+    finding("cannot read " + Path);
+    return 1;
+  }
+  std::set<std::string> Typed, Summaries;
+  std::istringstream Lines(Text);
+  std::string Line;
+  int LineNo = 0;
+  while (std::getline(Lines, Line)) {
+    ++LineNo;
+    std::string Where = Path + ":" + std::to_string(LineNo);
+    if (Line.empty())
+      continue;
+    if (Line.rfind("# TYPE ", 0) == 0) {
+      std::istringstream T(Line.substr(7));
+      std::string Name, Kind;
+      T >> Name >> Kind;
+      if (!validMetricName(Name))
+        finding(Where + ": bad metric name in TYPE: " + Name);
+      if (Kind != "counter" && Kind != "gauge" && Kind != "summary" &&
+          Kind != "histogram" && Kind != "untyped")
+        finding(Where + ": unknown TYPE kind: " + Kind);
+      if (Typed.count(Name))
+        finding(Where + ": duplicate TYPE for " + Name);
+      Typed.insert(Name);
+      if (Kind == "summary")
+        Summaries.insert(Name);
+      continue;
+    }
+    if (Line[0] == '#')
+      continue; // HELP and free comments
+    size_t Sp = Line.rfind(' ');
+    if (Sp == std::string::npos) {
+      finding(Where + ": sample line has no value: " + Line);
+      continue;
+    }
+    std::string Value = Line.substr(Sp + 1);
+    char *End = nullptr;
+    std::strtod(Value.c_str(), &End);
+    if (End == Value.c_str() || *End != '\0')
+      finding(Where + ": unparsable sample value: " + Value);
+
+    std::string Name = Line.substr(0, Line.find_first_of("{ "));
+    if (!validMetricName(Name)) {
+      finding(Where + ": bad metric name: " + Name);
+      continue;
+    }
+    // A summary's _sum/_count samples belong to the declared base.
+    std::string Base = Name;
+    for (const char *Suffix : {"_sum", "_count"}) {
+      size_t L = Name.size(), SL = std::strlen(Suffix);
+      if (L > SL && Name.compare(L - SL, SL, Suffix) == 0 &&
+          Summaries.count(Name.substr(0, L - SL)))
+        Base = Name.substr(0, L - SL);
+    }
+    if (!Typed.count(Base))
+      finding(Where + ": sample without preceding TYPE: " + Name);
+    if (Base == Name && Summaries.count(Name) &&
+        Line.find("quantile=\"") == std::string::npos)
+      finding(Where + ": summary sample without quantile label: " + Line);
+  }
+  if (Typed.empty())
+    finding(Path + ": no metrics at all");
+  return Findings ? 1 : 0;
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: aclint trace <file.json> [--require-span NAME]...\n"
+      "              [--min-wa N] [--min-hl N]\n"
+      "       aclint metrics <file|->\n");
+  return 2;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  if (argc < 3)
+    return usage();
+  std::string Mode = argv[1], Path = argv[2];
+  if (Mode == "metrics") {
+    if (argc != 3)
+      return usage();
+    return lintMetrics(Path);
+  }
+  if (Mode != "trace")
+    return usage();
+  std::vector<std::string> RequiredSpans;
+  int MinWA = 0, MinHL = 0;
+  for (int I = 3; I < argc; ++I) {
+    std::string A = argv[I];
+    auto needArg = [&](const char *Flag) -> const char * {
+      if (I + 1 >= argc) {
+        std::fprintf(stderr, "aclint: %s needs an argument\n", Flag);
+        exit(2);
+      }
+      return argv[++I];
+    };
+    if (A == "--require-span")
+      RequiredSpans.push_back(needArg("--require-span"));
+    else if (A == "--min-wa")
+      MinWA = std::atoi(needArg("--min-wa"));
+    else if (A == "--min-hl")
+      MinHL = std::atoi(needArg("--min-hl"));
+    else
+      return usage();
+  }
+  return lintTrace(Path, RequiredSpans, MinWA, MinHL);
+}
