@@ -100,10 +100,12 @@ std::unique_ptr<AutoCorres> AutoCorres::run(const std::string &Source,
   support::Span RunSpan("ac.run");
 
   auto T0 = std::chrono::steady_clock::now();
+  double PC0 = threadCpuSeconds();
   AC->Prog = simpl::parseAndTranslate(Source, Diags);
   if (!AC->Prog)
     return nullptr;
   AC->Stats.ParserSeconds = secondsSince(T0);
+  AC->Stats.ParserCpuSeconds = threadCpuSeconds() - PC0;
   AC->Stats.SourceLines = AC->Prog->TU->SourceLines;
   AC->Stats.NumFunctions = AC->Prog->FunctionOrder.size();
 
@@ -348,6 +350,11 @@ std::unique_ptr<AutoCorres> AutoCorres::run(const std::string &Source,
     AC->Stats.AutoCorresSeconds += S;
   for (const DiagEngine &D : FnDiags)
     Diags.merge(D);
+
+  // Close the whole-run span before any flush: a still-open span would
+  // miss this run's trace file and, after reset(), leak a stale ac.run
+  // event into the next traced run in this process.
+  RunSpan.end();
 
   if (!TracePath.empty()) {
     // The dumped profile covers the whole registered rule inventory, not

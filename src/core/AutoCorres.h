@@ -144,6 +144,9 @@ struct ACStats {
   unsigned SourceLines = 0;
   unsigned NumFunctions = 0;
   double ParserSeconds = 0;
+  /// CPU time of the parse + translation phase (single-threaded, so
+  /// normally tracks ParserSeconds minus any time blocked off-CPU).
+  double ParserCpuSeconds = 0;
   /// Summed per-thread CPU time of the abstraction stages — comparable
   /// to the paper's serial Table 5 column at any job count.
   double AutoCorresSeconds = 0;

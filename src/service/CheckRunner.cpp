@@ -61,6 +61,8 @@ CheckResponse ac::service::runCheck(const CheckRequest &Req,
     Resp.Jobs = St.Jobs;
     Resp.ParseSeconds = St.ParserSeconds;
     Resp.AbstractWallSeconds = St.AutoCorresWallSeconds;
+    Resp.ParseCpuSeconds = St.ParserCpuSeconds;
+    Resp.AbstractCpuSeconds = St.AutoCorresSeconds;
     Resp.CacheEnabled = St.CacheEnabled;
     Resp.CacheHits = St.CacheHits;
     Resp.CacheMisses = St.CacheMisses;

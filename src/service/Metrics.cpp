@@ -205,11 +205,12 @@ std::string ServiceMetrics::Snapshot::toPrometheus() const {
           MemCacheEntries);
 
   emitF64(O, "acd_phase_parse_cpu_seconds_total",
-          "Cumulative C parse time over all completed runs.", "counter",
-          static_cast<double>(ParseCpuMicros) * 1e-6);
+          "Cumulative C parse CPU time over all completed runs.",
+          "counter", static_cast<double>(ParseCpuMicros) * 1e-6);
   emitF64(O, "acd_phase_abstract_cpu_seconds_total",
-          "Cumulative abstraction time over all completed runs.", "counter",
-          static_cast<double>(AbstractCpuMicros) * 1e-6);
+          "Cumulative abstraction CPU time, summed across worker "
+          "threads, over all completed runs.",
+          "counter", static_cast<double>(AbstractCpuMicros) * 1e-6);
 
   emitSummary(O, "acd_latency_wait_seconds",
               "Queue wait before a worker dequeued the request.", Wait);

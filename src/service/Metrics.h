@@ -64,10 +64,14 @@ struct ServiceMetrics {
   std::atomic<uint64_t> CacheMisses{0};
   std::atomic<uint64_t> CacheInvalidations{0};
 
-  /// Cumulative per-phase pipeline time over all completed runs, in
-  /// microseconds. Unlike the latency histograms (per-request
-  /// distributions), these answer "where has this daemon's lifetime
-  /// gone" — the service-side analogue of core::ACStats phase seconds.
+  /// Cumulative per-phase CPU time over all completed runs, in
+  /// microseconds — fed from the per-run thread-CPU clocks
+  /// (CheckResponse::{Parse,Abstract}CpuSeconds), not wall time, so the
+  /// abstract counter can exceed the abstract latency histogram's sum
+  /// when runs use several workers. Unlike the latency histograms
+  /// (per-request distributions), these answer "where has this daemon's
+  /// lifetime gone" — the service-side analogue of core::ACStats phase
+  /// seconds.
   std::atomic<uint64_t> ParseCpuMicros{0};
   std::atomic<uint64_t> AbstractCpuMicros{0};
 

@@ -167,6 +167,8 @@ Json CheckResponse::toJson() const {
     St.set("jobs", Jobs);
     St.set("parse_s", ParseSeconds);
     St.set("abstract_wall_s", AbstractWallSeconds);
+    St.set("parse_cpu_s", ParseCpuSeconds);
+    St.set("abstract_cpu_s", AbstractCpuSeconds);
     St.set("cache_enabled", CacheEnabled);
     St.set("cache_hits", CacheHits);
     St.set("cache_misses", CacheMisses);
@@ -213,6 +215,8 @@ bool CheckResponse::fromJson(const Json &J, CheckResponse &Out,
   Out.Jobs = static_cast<unsigned>(St.get("jobs").asInt());
   Out.ParseSeconds = St.get("parse_s").asNumber();
   Out.AbstractWallSeconds = St.get("abstract_wall_s").asNumber();
+  Out.ParseCpuSeconds = St.get("parse_cpu_s").asNumber();
+  Out.AbstractCpuSeconds = St.get("abstract_cpu_s").asNumber();
   Out.CacheEnabled = St.get("cache_enabled").asBool();
   Out.CacheHits = static_cast<unsigned>(St.get("cache_hits").asInt());
   Out.CacheMisses = static_cast<unsigned>(St.get("cache_misses").asInt());

@@ -106,6 +106,11 @@ struct CheckResponse {
   unsigned Jobs = 0;
   double ParseSeconds = 0;
   double AbstractWallSeconds = 0;
+  /// Actual CPU time per phase: parse on its one thread, abstraction
+  /// summed over worker threads (core::ACStats::AutoCorresSeconds) —
+  /// what the daemon's acd_phase_*_cpu_seconds_total counters accumulate.
+  double ParseCpuSeconds = 0;
+  double AbstractCpuSeconds = 0;
   bool CacheEnabled = false;
   unsigned CacheHits = 0;
   unsigned CacheMisses = 0;

@@ -255,12 +255,38 @@ std::string Server::mintTraceId() {
          std::to_string(Seq.fetch_add(1) + 1);
 }
 
+/// A trace id names the per-request trace file under --trace-dir, so a
+/// client-supplied id is only accepted when it cannot steer the path:
+/// [A-Za-z0-9._-] only (no '/' — no traversal), a leading alphanumeric
+/// (no dot-files, no option-lookalikes), and a bounded length. Anything
+/// else is discarded and the daemon names the request itself.
+bool Server::pathSafeTraceId(const std::string &Id) {
+  if (Id.empty() || Id.size() > 128)
+    return false;
+  auto Alnum = [](char C) {
+    return (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') ||
+           (C >= '0' && C <= '9');
+  };
+  if (!Alnum(Id[0]))
+    return false;
+  for (char C : Id)
+    if (!Alnum(C) && C != '.' && C != '_' && C != '-')
+      return false;
+  return true;
+}
+
 void Server::handleCheck(const std::shared_ptr<Conn> &C, CheckRequest Req) {
   auto R = std::make_shared<Request>();
   R->C = C;
   R->Req = std::move(Req);
-  if (R->Req.TraceId.empty())
-    R->Req.TraceId = mintTraceId();
+  if (!pathSafeTraceId(R->Req.TraceId)) {
+    std::string Minted = mintTraceId();
+    if (!R->Req.TraceId.empty())
+      support::Log::warn("request.trace_id_replaced",
+                         {{"trace_id", Minted},
+                          {"reason", "client id not path-safe"}});
+    R->Req.TraceId = std::move(Minted);
+  }
   R->Admitted = std::chrono::steady_clock::now();
   if (R->Req.TimeoutMs) {
     R->HasDeadline = true;
@@ -480,9 +506,9 @@ void Server::runRequest(Request &R) {
     Metrics.ParseH.record(Resp.ParseSeconds);
     Metrics.AbstractH.record(Resp.AbstractWallSeconds);
     Metrics.ParseCpuMicros.fetch_add(
-        static_cast<uint64_t>(Resp.ParseSeconds * 1e6));
+        static_cast<uint64_t>(Resp.ParseCpuSeconds * 1e6));
     Metrics.AbstractCpuMicros.fetch_add(
-        static_cast<uint64_t>(Resp.AbstractWallSeconds * 1e6));
+        static_cast<uint64_t>(Resp.AbstractCpuSeconds * 1e6));
     Metrics.CacheHits.fetch_add(Resp.CacheHits);
     Metrics.CacheMisses.fetch_add(Resp.CacheMisses);
     Metrics.CacheInvalidations.fetch_add(Resp.CacheInvalidations);

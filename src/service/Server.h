@@ -138,6 +138,12 @@ private:
   /// none.
   std::string mintTraceId();
 
+  /// True iff a client-supplied trace id is safe to use verbatim as a
+  /// file name under --trace-dir (allowlisted characters, no path
+  /// separators, bounded length). An unsafe id is replaced with a
+  /// minted one at admission.
+  static bool pathSafeTraceId(const std::string &Id);
+
   /// Runs the pipeline for one admitted request and sends the response.
   void runRequest(Request &R);
 

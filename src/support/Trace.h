@@ -129,9 +129,15 @@ public:
   }
   Span(const Span &) = delete;
   Span &operator=(const Span &) = delete;
-  ~Span() {
+  ~Span() { end(); }
+
+  /// Records the span now rather than at scope exit — for a span that
+  /// must land before a flush later in the same scope. Idempotent;
+  /// arg() after end() is a no-op.
+  void end() {
     if (Active)
       Trace::record(Name, StartNs, Trace::nowNs(), std::move(Args));
+    Active = false;
   }
 
   bool active() const { return Active; }

@@ -14,8 +14,14 @@
 #include "core/AutoCorres.h"
 #include "corpus/Sources.h"
 #include "hol/Print.h"
+#include "support/Json.h"
+#include "support/Trace.h"
 
 #include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
 
 using namespace ac;
 using namespace ac::hol;
@@ -167,6 +173,39 @@ TEST(Driver, StatsAreFilledIn) {
   EXPECT_GT(S.ACSpecLines, 0u);
   EXPECT_GT(S.parserAvgTermSize(), 0.0);
   EXPECT_GT(S.acAvgTermSize(), 0.0);
+  // Real CPU clocks, not wall time: both phases did actual work.
+  EXPECT_GT(S.ParserCpuSeconds, 0.0);
+  EXPECT_GT(S.AutoCorresSeconds, 0.0);
+}
+
+TEST(Driver, RunLocalTraceCarriesWholeRunSpanAndLeavesNoResidue) {
+  // A run-local trace (Opts.TracePath without ambient AC_TRACE) must
+  // flush the whole-run `ac.run` span into its own file and leave the
+  // ring buffers empty — a span recorded after the reset would pollute
+  // the next traced run in this process.
+  if (!ac::support::Trace::envPath().empty())
+    GTEST_SKIP() << "ambient AC_TRACE changes run-local semantics";
+  std::string Path = ::testing::TempDir() + "ac-runlocal-trace.json";
+  core::ACOptions Opts;
+  Opts.TracePath = Path;
+  auto AC = runAC(corpus::maxSource(), Opts);
+  ASSERT_TRUE(AC);
+  EXPECT_EQ(ac::support::Trace::eventCount(), 0u)
+      << "run-local trace left stale events behind";
+
+  std::ifstream In(Path);
+  ASSERT_TRUE(In.good());
+  std::stringstream SS;
+  SS << In.rdbuf();
+  ac::support::Json J;
+  std::string Err;
+  ASSERT_TRUE(ac::support::Json::parse(SS.str(), J, Err)) << Err;
+  unsigned Runs = 0;
+  for (const ac::support::Json &E : J.get("traceEvents").items())
+    if (E.get("name").asString() == "ac.run")
+      ++Runs;
+  EXPECT_EQ(Runs, 1u) << "flushed trace lacks the ac.run span";
+  std::filesystem::remove(Path);
 }
 
 TEST(Driver, UnknownFunctionIsNull) {

@@ -884,6 +884,60 @@ TEST_F(ServiceTest, TraceIdRoundTripsAndIsMintedWhenAbsent) {
   Srv.stop();
 }
 
+TEST_F(ServiceTest, UnsafeTraceIdsAreReplacedNeverUsedAsPaths) {
+  ServerOptions O = baseOpts();
+  O.TraceDir = Root + "/traces";
+  std::filesystem::create_directories(O.TraceDir);
+  Server Srv(O);
+  ASSERT_TRUE(Srv.start());
+  Client C = Client::connect(SockPath);
+  ASSERT_TRUE(C.connected());
+  std::string Err;
+
+  // A traversal id must not steer the trace file outside --trace-dir:
+  // the daemon renames the request and answers with the id it used.
+  CheckRequest Req;
+  Req.Source = corpus::maxSource();
+  Req.TraceId = "../escape";
+  CheckResponse Resp;
+  ASSERT_TRUE(C.check(Req, Resp, Err)) << Err;
+  EXPECT_TRUE(Resp.Ok);
+  EXPECT_EQ(Resp.TraceId.rfind("req-", 0), 0u)
+      << "unsafe id echoed back: " << Resp.TraceId;
+  EXPECT_TRUE(waitForFile(O.TraceDir + "/" + Resp.TraceId + ".json"));
+  EXPECT_FALSE(std::filesystem::exists(Root + "/escape.json"))
+      << "trace file escaped --trace-dir";
+
+  // Every other unsafe shape is replaced too...
+  for (const char *Bad :
+       {"a/b", "..", ".hidden", "-dash", "id with space",
+        "nul\1byte"}) {
+    CheckRequest B;
+    B.Source = corpus::maxSource();
+    B.TraceId = Bad;
+    CheckResponse R;
+    ASSERT_TRUE(C.check(B, R, Err)) << Err;
+    EXPECT_EQ(R.TraceId.rfind("req-", 0), 0u)
+        << "accepted unsafe id: " << Bad;
+  }
+  CheckRequest Long;
+  Long.Source = corpus::maxSource();
+  Long.TraceId = std::string(300, 'a');
+  CheckResponse LongResp;
+  ASSERT_TRUE(C.check(Long, LongResp, Err)) << Err;
+  EXPECT_EQ(LongResp.TraceId.rfind("req-", 0), 0u);
+
+  // ...while the documented safe alphabet passes through verbatim.
+  CheckRequest Good;
+  Good.Source = corpus::maxSource();
+  Good.TraceId = "CI-run_7.3";
+  CheckResponse GoodResp;
+  ASSERT_TRUE(C.check(Good, GoodResp, Err)) << Err;
+  EXPECT_EQ(GoodResp.TraceId, "CI-run_7.3");
+  EXPECT_TRUE(waitForFile(O.TraceDir + "/CI-run_7.3.json"));
+  Srv.stop();
+}
+
 TEST_F(ServiceTest, PerRequestTraceFilesAreValidChromeJson) {
   ServerOptions O = baseOpts();
   O.TraceDir = Root + "/traces";
@@ -971,6 +1025,17 @@ TEST_F(ServiceTest, MetricsRequestServesPrometheusText) {
   EXPECT_TRUE(Typed.count("acd_latency_total_seconds"));
   EXPECT_NE(Body.find("acd_requests_completed_total 1"), std::string::npos)
       << Body;
+  // The CPU counters are fed from the run's thread-CPU clocks: one
+  // completed request leaves both strictly positive.
+  auto SampleValue = [&Body](const std::string &Name) {
+    size_t At = Body.find("\n" + Name + " ");
+    EXPECT_NE(At, std::string::npos) << Name;
+    if (At == std::string::npos)
+      return 0.0;
+    return std::stod(Body.substr(At + Name.size() + 2));
+  };
+  EXPECT_GT(SampleValue("acd_phase_parse_cpu_seconds_total"), 0.0);
+  EXPECT_GT(SampleValue("acd_phase_abstract_cpu_seconds_total"), 0.0);
   Srv.stop();
 }
 

@@ -219,6 +219,26 @@ TEST_F(TraceTest, DisabledTracingRecordsNothing) {
   EXPECT_LT(S, 1.0);
 }
 
+TEST_F(TraceTest, ExplicitEndRecordsOnceBeforeScopeExit) {
+  {
+    Span S("early");
+    S.arg("k", std::string("v"));
+    S.end();
+    // The event is already recorded — a flush/reset later in the same
+    // scope (the run-local trace pattern) sees it.
+    EXPECT_EQ(Trace::eventCount(), 1u);
+    S.end();                         // idempotent
+    S.arg("late", std::string("x")); // no-op after end()
+  }
+  // The destructor must not record a second copy.
+  EXPECT_EQ(Trace::eventCount(), 1u);
+  Json J = parseTrace();
+  auto E = eventsNamed(J, "early");
+  ASSERT_EQ(E.size(), 1u);
+  EXPECT_EQ(E[0].get("args").get("k").asString(), "v");
+  EXPECT_FALSE(E[0].get("args").get("late").isString());
+}
+
 TEST_F(TraceTest, StopKeepsEventsUntilReset) {
   {
     AC_SPAN("kept");
