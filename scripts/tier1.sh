@@ -36,8 +36,20 @@
 #      metrics endpoint lint too, and a trace-file write failure
 #      (AC_FAULTS=trace.write.fail) must warn without failing the check
 #      or perturbing its output.
+#   8. Perf floor: the hash-consed kernel's cold-run speedup over the
+#      recorded seed baseline (bench/baselines/seed-perf.txt) must hold
+#      (phase_times on the echronos corpus, >= AC_PERF_MIN_SPEEDUP x,
+#      default 1.4 — the reference runner measures ~2x, and the slack
+#      absorbs its +/-15% wall-clock noise), a cold/warm
+#      abstraction-cache pair must stay
+#      byte-identical, and a traced run must keep the word-/heap-
+#      abstraction span shares at or below the seed's recorded shares
+#      (aclint --max-span-share). Baseline walls are machine-dependent:
+#      on a runner much slower than the reference, lower
+#      AC_PERF_MIN_SPEEDUP or pass --skip-perf (the share and warm-cache
+#      checks are ratio-free and still meaningful anywhere).
 #
-# Usage: scripts/tier1.sh [--skip-tsan] [--skip-asan]
+# Usage: scripts/tier1.sh [--skip-tsan] [--skip-asan] [--skip-perf]
 #
 #===-----------------------------------------------------------------------===#
 
@@ -46,10 +58,12 @@ cd "$(dirname "$0")/.."
 
 SKIP_TSAN=0
 SKIP_ASAN=0
+SKIP_PERF=0
 for arg in "$@"; do
   case "$arg" in
     --skip-tsan) SKIP_TSAN=1 ;;
     --skip-asan) SKIP_ASAN=1 ;;
+    --skip-perf) SKIP_PERF=1 ;;
     *) echo "tier-1: unknown option $arg" >&2; exit 2 ;;
   esac
 done
@@ -393,5 +407,74 @@ if ! grep -q "trace.write_failed" "$OBS_DIR/max.torntrace.err"; then
   exit 1
 fi
 echo "torn trace write warned without failing the check"
+
+if [[ "$SKIP_PERF" == 1 ]]; then
+  echo "=== tier-1 pass 8: skipped (--skip-perf) ==="
+else
+  echo "=== tier-1 pass 8: perf floor (hash-consed kernel) ==="
+  PERF_BASE="bench/baselines/seed-perf.txt"
+  if [[ ! -f "$PERF_BASE" ]]; then
+    echo "tier-1: FAILED — $PERF_BASE missing (seed perf baseline)." >&2
+    exit 1
+  fi
+  base() { awk -v k="$1" '$1==k{print $2}' "$PERF_BASE"; }
+  PERF_DIR="$OBS_DIR/perf"
+  mkdir -p "$PERF_DIR"
+  cmake --build build -j --target phase_times >/dev/null
+
+  # 8a. Cold-run floor: the same phase_times invocation the seed baseline
+  #     recorded, compared as a ratio. The floor is deliberately below
+  #     the speedup measured on the reference runner so noise does not
+  #     flake the gate, but high enough that losing the hash-consed
+  #     fast paths (or the WA/HL memo tables) fails it.
+  ./build/bench/phase_times echronos 3 >"$PERF_DIR/phase.log"
+  WALL="$(sed -n 's/.*wall=\([0-9.]*\)s.*/\1/p' "$PERF_DIR/phase.log" | head -1)"
+  SEED_WALL="$(base phase_echronos3_wall_s)"
+  MIN_SPEEDUP="${AC_PERF_MIN_SPEEDUP:-1.4}"
+  if [[ -z "$WALL" || -z "$SEED_WALL" ]]; then
+    echo "tier-1: FAILED — could not read cold wall (got '$WALL' vs seed '$SEED_WALL')." >&2
+    exit 1
+  fi
+  if ! awk -v w="$WALL" -v s="$SEED_WALL" -v m="$MIN_SPEEDUP" \
+      'BEGIN { exit !(w > 0 && s / w >= m) }'; then
+    echo "tier-1: FAILED — cold echronos wall ${WALL}s misses the ${MIN_SPEEDUP}x floor vs seed ${SEED_WALL}s." >&2
+    echo "tier-1: (baselines are machine-dependent; see $PERF_BASE for the reference runner," >&2
+    echo "tier-1:  and AC_PERF_MIN_SPEEDUP / --skip-perf for slower machines.)" >&2
+    exit 1
+  fi
+  echo "cold echronos wall ${WALL}s vs seed ${SEED_WALL}s: floor ${MIN_SPEEDUP}x holds"
+
+  # 8b. Warm-cache behaviour unchanged: a cold and a warm run against one
+  #     fresh cache directory must produce byte-identical output.
+  "$ACC" --socket "$NOSOCK7" --cache-dir "$PERF_DIR/cache" \
+    --corpus echronos --golden >"$PERF_DIR/echronos.cold"
+  "$ACC" --socket "$NOSOCK7" --cache-dir "$PERF_DIR/cache" \
+    --corpus echronos --golden >"$PERF_DIR/echronos.warm"
+  if ! cmp -s "$PERF_DIR/echronos.cold" "$PERF_DIR/echronos.warm"; then
+    echo "tier-1: FAILED — warm-cache echronos output diverged from the cold run:" >&2
+    diff "$PERF_DIR/echronos.cold" "$PERF_DIR/echronos.warm" | head >&2
+    exit 1
+  fi
+  echo "cold/warm cache pair byte-identical"
+
+  # 8c. The WA/HL share of a traced run must stay at or below the seed's
+  #     recorded shares — the span-level proof that the hot abstraction
+  #     paths stopped re-walking structure. Ratio-free: valid on any
+  #     machine.
+  "$ACC" --socket "$NOSOCK7" --trace "$PERF_DIR/echronos.trace.json" \
+    --corpus echronos --golden >"$PERF_DIR/echronos.traced"
+  if ! cmp -s "$PERF_DIR/echronos.traced" "$PERF_DIR/echronos.cold"; then
+    echo "tier-1: FAILED — traced echronos run diverged from the untraced one." >&2
+    exit 1
+  fi
+  if ! "$ACLINT" trace "$PERF_DIR/echronos.trace.json" \
+      --require-span wordabs.fn --require-span heapabs.fn \
+      --max-span-share "wordabs.fn:$(base trace_echronos_wa_share_pct)" \
+      --max-span-share "heapabs.fn:$(base trace_echronos_hl_share_pct)"; then
+    echo "tier-1: FAILED — WA/HL span share regressed past the seed baseline." >&2
+    exit 1
+  fi
+  echo "WA/HL span shares at or below the seed's recorded shares"
+fi
 
 echo "=== tier-1: all passes green ==="

@@ -7,6 +7,7 @@
 
 #include "hol/Names.h"
 #include "hol/ProofState.h"
+#include "hol/RuleCache.h"
 #include "monad/Peephole.h"
 
 #include <mutex>
@@ -18,6 +19,8 @@ namespace nm = ac::hol::names;
 
 thread_local std::string HeapAbstraction::CurFn;
 thread_local unsigned HeapAbstraction::FreshCtr = 0;
+thread_local std::unordered_map<uint64_t, HeapAbstraction::ValOut>
+    HeapAbstraction::ValMemo;
 
 //===----------------------------------------------------------------------===//
 // Judgement and combinator constants (explicitly typed so rule terms with
@@ -559,126 +562,149 @@ template <typename NameFn> std::nullopt_t ruleMissN(NameFn &&F) {
 
 namespace {
 
+/// Mint-once cache for the per-type / per-global rules below (see
+/// RuleCache.h). The heap engine requests a rule per *use* of a heap
+/// operation; only the first request per axiom name builds the
+/// proposition.
+RuleCache &mintCache() {
+  static auto *C = new RuleCache();
+  return *C;
+}
+
 /// abs_h_val ?P ?a' ?a ==> abs_h_val (%s. ?P s & is_valid_T s (?a' s))
 ///                                  (%s. heap_T s (?a' s))
 ///                                  (%s. read (heap' s) (?a s))
 Thm readRule(const LiftedGlobals &LG, const TypeRef &T) {
-  TypeRef L = liftedTy(), G = globTy();
-  TypeRef PT = ptrTy(T);
-  TermRef P = V("P", funTy(L, boolTy()));
-  TermRef Ap = V("a'", funTy(L, PT));
-  TermRef Ac = V("a", funTy(G, PT));
-  TermRef Prem = mkAbsHVal(P, Ap, Ac, PT);
+  return mintCache().get("HL.read." + heapTypeTag(T), [&] {
+    TypeRef L = liftedTy(), G = globTy();
+    TypeRef PT = ptrTy(T);
+    TermRef P = V("P", funTy(L, boolTy()));
+    TermRef Ap = V("a'", funTy(L, PT));
+    TermRef Ac = V("a", funTy(G, PT));
+    TermRef Prem = mkAbsHVal(P, Ap, Ac, PT);
 
-  TermRef SL = Term::mkFree("s!", L);
-  TermRef SG = Term::mkFree("s!", G);
-  TermRef PreBody =
-      mkConj(Term::mkApp(P, SL),
-             LG.isValid(T, SL, Term::mkApp(Ap, SL)));
-  TermRef Pre = lamStateDisp( L, PreBody);
-  TermRef Abs =
-      lamStateDisp( L, LG.heapVal(T, SL, Term::mkApp(Ap, SL)));
-  TermRef HeapAt = mkFieldGet(simpl::globalsRecName(),
-                              simpl::heapFieldName(), heapTy(), G, SG);
-  TermRef Con = lamStateDisp( G, mkReadHeap(HeapAt, betaNorm(Term::mkApp(Ac, SG))));
-  return Kernel::axiom("HL.read." + heapTypeTag(T),
-                       mkImp(Prem, mkAbsHVal(Pre, Abs, Con, T)));
+    TermRef SL = Term::mkFree("s!", L);
+    TermRef SG = Term::mkFree("s!", G);
+    TermRef PreBody =
+        mkConj(Term::mkApp(P, SL),
+               LG.isValid(T, SL, Term::mkApp(Ap, SL)));
+    TermRef Pre = lamStateDisp( L, PreBody);
+    TermRef Abs =
+        lamStateDisp( L, LG.heapVal(T, SL, Term::mkApp(Ap, SL)));
+    TermRef HeapAt = mkFieldGet(simpl::globalsRecName(),
+                                simpl::heapFieldName(), heapTy(), G, SG);
+    TermRef Con = lamStateDisp( G, mkReadHeap(HeapAt, betaNorm(Term::mkApp(Ac, SG))));
+    return Kernel::axiom("HL.read." + heapTypeTag(T),
+                         mkImp(Prem, mkAbsHVal(Pre, Abs, Con, T)));
+  });
 }
 
 /// Pointer-validity guards (HPTR of Table 4).
 Thm ptrGuardRule(const LiftedGlobals &LG, const TypeRef &T) {
-  TypeRef L = liftedTy(), G = globTy();
-  TypeRef PT = ptrTy(T);
-  TermRef P = V("P", funTy(L, boolTy()));
-  TermRef Ap = V("a'", funTy(L, PT));
-  TermRef Ac = V("a", funTy(G, PT));
-  TermRef Prem = mkAbsHVal(P, Ap, Ac, PT);
-  TermRef SL = Term::mkFree("s!", L);
-  TermRef SG = Term::mkFree("s!", G);
-  TermRef Pre = lamStateDisp( L,
-      mkConj(Term::mkApp(P, SL),
-             LG.isValid(T, SL, Term::mkApp(Ap, SL))));
-  TermRef Abs = Term::mkLam("s", L, mkTrue());
-  TermRef CP = betaNorm(Term::mkApp(Ac, SG));
-  TermRef Con = lamStateDisp( G, mkConj(mkPtrAligned(CP), mkPtrRangeOk(CP)));
-  return Kernel::axiom("HL.ptr_guard." + heapTypeTag(T),
-                       mkImp(Prem, mkAbsHVal(Pre, Abs, Con, boolTy())));
+  return mintCache().get("HL.ptr_guard." + heapTypeTag(T), [&] {
+    TypeRef L = liftedTy(), G = globTy();
+    TypeRef PT = ptrTy(T);
+    TermRef P = V("P", funTy(L, boolTy()));
+    TermRef Ap = V("a'", funTy(L, PT));
+    TermRef Ac = V("a", funTy(G, PT));
+    TermRef Prem = mkAbsHVal(P, Ap, Ac, PT);
+    TermRef SL = Term::mkFree("s!", L);
+    TermRef SG = Term::mkFree("s!", G);
+    TermRef Pre = lamStateDisp( L,
+        mkConj(Term::mkApp(P, SL),
+               LG.isValid(T, SL, Term::mkApp(Ap, SL))));
+    TermRef Abs = Term::mkLam("s", L, mkTrue());
+    TermRef CP = betaNorm(Term::mkApp(Ac, SG));
+    TermRef Con = lamStateDisp( G, mkConj(mkPtrAligned(CP), mkPtrRangeOk(CP)));
+    return Kernel::axiom("HL.ptr_guard." + heapTypeTag(T),
+                         mkImp(Prem, mkAbsHVal(Pre, Abs, Con, boolTy())));
+  });
 }
 
 /// Heap write.
 Thm writeRule(const LiftedGlobals &LG, const TypeRef &T) {
-  TypeRef L = liftedTy(), G = globTy();
-  TypeRef PT = ptrTy(T);
-  TermRef Pp = V("P", funTy(L, boolTy()));
-  TermRef Qp = V("Q", funTy(L, boolTy()));
-  TermRef App_ = V("a'", funTy(L, PT));
-  TermRef Apc = V("a", funTy(G, PT));
-  TermRef Vp = V("v'", funTy(L, T));
-  TermRef Vc = V("v", funTy(G, T));
-  TermRef Prem1 = mkAbsHVal(Pp, App_, Apc, PT);
-  TermRef Prem2 = mkAbsHVal(Qp, Vp, Vc, T);
+  return mintCache().get("HL.write." + heapTypeTag(T), [&] {
+    TypeRef L = liftedTy(), G = globTy();
+    TypeRef PT = ptrTy(T);
+    TermRef Pp = V("P", funTy(L, boolTy()));
+    TermRef Qp = V("Q", funTy(L, boolTy()));
+    TermRef App_ = V("a'", funTy(L, PT));
+    TermRef Apc = V("a", funTy(G, PT));
+    TermRef Vp = V("v'", funTy(L, T));
+    TermRef Vc = V("v", funTy(G, T));
+    TermRef Prem1 = mkAbsHVal(Pp, App_, Apc, PT);
+    TermRef Prem2 = mkAbsHVal(Qp, Vp, Vc, T);
 
-  TermRef SL = Term::mkFree("s!", L);
-  TermRef SG = Term::mkFree("s!", G);
-  TermRef Pre = lamStateDisp( L,
-      mkConj(Term::mkApp(Pp, SL),
-             mkConj(Term::mkApp(Qp, SL),
-                    LG.isValid(T, SL, Term::mkApp(App_, SL)))));
-  // Abstract: %s. heap_T_update (%h. h(p := v)) s.
-  TermRef HFree = Term::mkFree("h!", funTy(PT, T));
-  TermRef FunUpd = Term::mkConst(
-      "fun_upd",
-      funTys({funTy(PT, T), PT, T}, funTy(PT, T)));
-  TermRef NewH = mkApps(FunUpd, {HFree, Term::mkApp(App_, SL),
-                                 Term::mkApp(Vp, SL)});
-  TermRef UpdFn = lambdaFree("h!", funTy(PT, T), NewH);
-  TermRef Abs = lamStateDisp( L,
-      mkFieldUpdate(liftedRecName(), heapFieldFor(T), funTy(PT, T), L,
-                    UpdFn, SL));
-  // Concrete: %s. heap'_update (%_. write (heap' s) p v) s.
-  TermRef HeapAt = mkFieldGet(simpl::globalsRecName(),
-                              simpl::heapFieldName(), heapTy(), G, SG);
-  TermRef W = mkWriteHeap(HeapAt, betaNorm(Term::mkApp(Apc, SG)),
-                          betaNorm(Term::mkApp(Vc, SG)));
-  TermRef Con = lamStateDisp( G,
-      mkFieldSet(simpl::globalsRecName(), simpl::heapFieldName(),
-                 heapTy(), G, W, SG));
-  return Kernel::axiom(
-      "HL.write." + heapTypeTag(T),
-      mkImp(Prem1, mkImp(Prem2, mkAbsHMod(Pre, Abs, Con))));
+    TermRef SL = Term::mkFree("s!", L);
+    TermRef SG = Term::mkFree("s!", G);
+    TermRef Pre = lamStateDisp( L,
+        mkConj(Term::mkApp(Pp, SL),
+               mkConj(Term::mkApp(Qp, SL),
+                      LG.isValid(T, SL, Term::mkApp(App_, SL)))));
+    // Abstract: %s. heap_T_update (%h. h(p := v)) s.
+    TermRef HFree = Term::mkFree("h!", funTy(PT, T));
+    TermRef FunUpd = Term::mkConst(
+        "fun_upd",
+        funTys({funTy(PT, T), PT, T}, funTy(PT, T)));
+    TermRef NewH = mkApps(FunUpd, {HFree, Term::mkApp(App_, SL),
+                                   Term::mkApp(Vp, SL)});
+    TermRef UpdFn = lambdaFree("h!", funTy(PT, T), NewH);
+    TermRef Abs = lamStateDisp( L,
+        mkFieldUpdate(liftedRecName(), heapFieldFor(T), funTy(PT, T), L,
+                      UpdFn, SL));
+    // Concrete: %s. heap'_update (%_. write (heap' s) p v) s.
+    TermRef HeapAt = mkFieldGet(simpl::globalsRecName(),
+                                simpl::heapFieldName(), heapTy(), G, SG);
+    TermRef W = mkWriteHeap(HeapAt, betaNorm(Term::mkApp(Apc, SG)),
+                            betaNorm(Term::mkApp(Vc, SG)));
+    TermRef Con = lamStateDisp( G,
+        mkFieldSet(simpl::globalsRecName(), simpl::heapFieldName(),
+                   heapTy(), G, W, SG));
+    return Kernel::axiom(
+        "HL.write." + heapTypeTag(T),
+        mkImp(Prem1, mkImp(Prem2, mkAbsHMod(Pre, Abs, Con))));
+  });
 }
 
 /// Plain global read: abs_h_val True (%s. g s) (%s. g s).
 Thm globalGetRule(const std::string &Name, const TypeRef &Ty) {
-  TypeRef L = liftedTy(), G = globTy();
-  TermRef SL = Term::mkFree("s!", L);
-  TermRef SG = Term::mkFree("s!", G);
-  TermRef Abs = lamStateDisp( L, mkFieldGet(liftedRecName(), Name, Ty, L, SL));
-  TermRef Con = lamStateDisp( G, mkFieldGet(simpl::globalsRecName(), Name, Ty, G, SG));
   // The type tag keeps the axiom name injective over propositions: two
   // concurrently-served programs may both have a global `counter`, and
   // only identically-typed ones may share the registered axiom.
-  return Kernel::axiom("HL.global_get." + Name + "." + heapTypeTag(Ty),
-                       mkAbsHVal(trueP(), Abs, Con, Ty));
+  return mintCache().get(
+      "HL.global_get." + Name + "." + heapTypeTag(Ty), [&] {
+        TypeRef L = liftedTy(), G = globTy();
+        TermRef SL = Term::mkFree("s!", L);
+        TermRef SG = Term::mkFree("s!", G);
+        TermRef Abs =
+            lamStateDisp( L, mkFieldGet(liftedRecName(), Name, Ty, L, SL));
+        TermRef Con = lamStateDisp(
+            G, mkFieldGet(simpl::globalsRecName(), Name, Ty, G, SG));
+        return Kernel::axiom("HL.global_get." + Name + "." + heapTypeTag(Ty),
+                             mkAbsHVal(trueP(), Abs, Con, Ty));
+      });
 }
 
 /// Plain global update.
 Thm globalUpdRule(const std::string &Name, const TypeRef &Ty) {
-  TypeRef L = liftedTy(), G = globTy();
-  TermRef P = V("P", funTy(L, boolTy()));
-  TermRef Vp = V("v'", funTy(L, Ty));
-  TermRef Vc = V("v", funTy(G, Ty));
-  TermRef Prem = mkAbsHVal(P, Vp, Vc, Ty);
-  TermRef SL = Term::mkFree("s!", L);
-  TermRef SG = Term::mkFree("s!", G);
-  TermRef Abs = lamStateDisp( L,
-      mkFieldSet(liftedRecName(), Name, Ty, L,
-                 betaNorm(Term::mkApp(Vp, SL)), SL));
-  TermRef Con = lamStateDisp( G,
-      mkFieldSet(simpl::globalsRecName(), Name, Ty, G,
-                 betaNorm(Term::mkApp(Vc, SG)), SG));
-  return Kernel::axiom("HL.global_upd." + Name + "." + heapTypeTag(Ty),
-                       mkImp(Prem, mkAbsHMod(P, Abs, Con)));
+  return mintCache().get(
+      "HL.global_upd." + Name + "." + heapTypeTag(Ty), [&] {
+        TypeRef L = liftedTy(), G = globTy();
+        TermRef P = V("P", funTy(L, boolTy()));
+        TermRef Vp = V("v'", funTy(L, Ty));
+        TermRef Vc = V("v", funTy(G, Ty));
+        TermRef Prem = mkAbsHVal(P, Vp, Vc, Ty);
+        TermRef SL = Term::mkFree("s!", L);
+        TermRef SG = Term::mkFree("s!", G);
+        TermRef Abs = lamStateDisp( L,
+            mkFieldSet(liftedRecName(), Name, Ty, L,
+                       betaNorm(Term::mkApp(Vp, SL)), SL));
+        TermRef Con = lamStateDisp( G,
+            mkFieldSet(simpl::globalsRecName(), Name, Ty, G,
+                       betaNorm(Term::mkApp(Vc, SG)), SG));
+        return Kernel::axiom("HL.global_upd." + Name + "." + heapTypeTag(Ty),
+                             mkImp(Prem, mkAbsHMod(P, Abs, Con)));
+      });
 }
 
 } // namespace
@@ -718,7 +744,18 @@ void HeapAbstraction::registerStandardRules() {
 }
 
 void HeapAbstraction::addValRule(const Thm &Rule) {
+  // Index the conclusion's concrete side (abs_h_val ?P ?a ?c — the
+  // pattern matched against goal subterms is ?c). Ids follow the rule's
+  // position so an index-driven scan fires the same rule first.
+  std::vector<TermRef> Prems;
+  TermRef Concl;
+  stripImps(Rule.prop(), Prems, Concl);
+  std::vector<TermRef> CArgs;
+  stripApp(Concl, CArgs);
+  if (CArgs.size() == 3)
+    UserValIndex.add(CArgs[2], static_cast<unsigned>(UserValRules.size()));
   UserValRules.push_back(Rule);
+  ValMemo.clear(); // cached val results predate the new rule
 }
 
 TermRef HeapAbstraction::absOf(const Thm &StmtThm) const {
@@ -802,8 +839,28 @@ Thm normalizePre(Thm Th, bool IsMod) {
 
 std::optional<HeapAbstraction::ValOut>
 HeapAbstraction::val(const TermRef &C) {
+  auto It = ValMemo.find(C->id());
+  if (It != ValMemo.end())
+    return It->second;
+  unsigned FreshBefore = FreshCtr;
+  std::optional<ValOut> R = valUncached(C);
+  // Cache only fresh-free computations: a hit then returns exactly what
+  // recomputation would have produced and leaves the fresh-name sequence
+  // untouched, so abstraction output is identical with or without it.
+  if (R && FreshCtr == FreshBefore)
+    ValMemo.emplace(C->id(), *R);
+  return R;
+}
+
+std::optional<HeapAbstraction::ValOut>
+HeapAbstraction::valUncached(const TermRef &C) {
   assert(C->isLam() && "abs_h_val inputs are state functions");
-  std::string SGName = fresh("sgv");
+  // A reserved probe name, not a fresh one: it is abstracted back out of
+  // every term before val returns, engine fresh names always end in a
+  // digit, and '~' cannot occur in a C identifier — so the constant can
+  // never collide, and val stays a pure function of its argument (which
+  // is what makes the id-keyed memo above sound).
+  std::string SGName = "sgv~";
   TermRef SG = Term::mkFree(SGName, C->type());
   TermRef Body = betaNorm(substBound(C->body(), SG));
   HLRules &R = rules();
@@ -881,8 +938,13 @@ HeapAbstraction::val(const TermRef &C) {
 
   // User-supplied idiom rules: match the conclusion's concrete side,
   // then solve the premises recursively, unifying the schematics with
-  // the derived abstractions.
-  for (const Thm &UR : UserValRules) {
+  // the derived abstractions. The index prunes rules whose pattern head
+  // cannot match C; candidates come back ascending, so the first match
+  // is the scan's first match.
+  std::vector<unsigned> URCands;
+  UserValIndex.lookup(C, URCands);
+  for (unsigned URId : URCands) {
+    const Thm &UR = UserValRules[URId];
     std::vector<TermRef> Prems;
     TermRef Concl;
     stripImps(UR.prop(), Prems, Concl);
@@ -1264,6 +1326,7 @@ HLResult &HeapAbstraction::abstractFunction(const simpl::SimplFunc &F,
   Sp.arg("fn", F.Name);
   CurFn = F.Name;
   FreshCtr = 0; // Fresh names restart per function: schedule-independent.
+  ValMemo.clear();
   HLResult Res;
   if (Lift) {
     std::optional<Thm> Th = stmt(L2.AppliedBody);

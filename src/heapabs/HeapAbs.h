@@ -31,11 +31,14 @@
 #define AC_HEAPABS_HEAPABS_H
 
 #include "heapabs/LiftedGlobals.h"
+#include "hol/RuleIndex.h"
 #include "hol/Thm.h"
 #include "monad/L2.h"
 
+#include <cstdint>
 #include <optional>
 #include <shared_mutex>
+#include <unordered_map>
 
 namespace ac::heapabs {
 
@@ -98,6 +101,7 @@ private:
   };
 
   std::optional<ValOut> val(const hol::TermRef &C);
+  std::optional<ValOut> valUncached(const hol::TermRef &C);
   std::optional<ValOut> mod(const hol::TermRef &C);
   /// Returns the theorem; the abstract term is its first argument.
   std::optional<hol::Thm> stmt(const hol::TermRef &C);
@@ -113,12 +117,23 @@ private:
   mutable std::shared_mutex ResultsM;
   std::map<std::string, HLResult> Results;
   std::vector<hol::Thm> UserValRules;
+  /// Discrimination tree over the conclusions' concrete sides, so val()
+  /// consults only the user rules whose pattern could match the current
+  /// subterm. Rules whose conclusion is not a 3-argument application are
+  /// unindexed — they can never fire in the scan either.
+  hol::RuleIndex UserValIndex;
   /// Per-thread engine state: the function being abstracted and its
   /// fresh-name counter. Thread-local (each worker abstracts one function
   /// at a time) and reset on abstractFunction entry, so fresh names
   /// depend only on the function, never on the schedule.
   static thread_local std::string CurFn;
   static thread_local unsigned FreshCtr;
+  /// Function-scoped val() memo keyed on interned term ids. val is a
+  /// pure function of its argument (its probe name is a reserved
+  /// constant, its rules are fixed per engine), and only fresh-free
+  /// results are stored, so hits reproduce recomputation exactly.
+  /// Cleared on abstractFunction entry and on addValRule.
+  static thread_local std::unordered_map<uint64_t, ValOut> ValMemo;
 
   std::string fresh(const std::string &H) {
     return H + "~" + std::to_string(FreshCtr++);

@@ -1,57 +1,114 @@
-//===- Intern.h - Sharded hash-consing tables -------------------*- C++ -*-===//
+//===- Intern.h - Arena-backed hash-consing store ---------------*- C++ -*-===//
 //
 // Part of the autocorres-cpp project, under the BSD 2-Clause License.
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// A sharded, mutex-guarded intern (hash-consing) table. The term and
-/// type factories use it to canonicalise the high-duplication node kinds
-/// (all types; Const and Num terms), so that
+/// The arena-backed, sharded hash-consing store behind every Term and
+/// Type node. All factories funnel through InternStore::get, so
 ///
-///   * structurally equal nodes are usually pointer-equal, which lets
-///     typeEq/termEq take their pointer fast path, and
+///   * every structurally distinct node exists exactly once for the life
+///     of the process, which makes structural equality of canonical
+///     references pointer equality and hashing O(1);
+///   * each node carries a unique, monotonically assigned intern id
+///     (shared across all stores, so term and type ids never collide),
+///     usable as a stable memo key;
+///   * nodes live in per-shard arenas (std::deque blocks — stable
+///     addresses, chunked allocation, no per-node control block), and
+///     the references handed out are non-owning aliases: copying a
+///     TermRef/TypeRef costs no atomic refcount traffic;
 ///   * the factories are safe to call from the parallel abstraction
-///     pipeline: each shard serialises its own insertions, and shards are
-///     picked by hash, so concurrent workers rarely contend.
+///     pipeline: each shard serialises its own insertions, and shards
+///     are picked by hash, so concurrent workers rarely contend.
 ///
-/// Entries are held by strong reference for the life of the process — the
-/// population is bounded by the distinct constants/types of the programs
-/// translated, which is the classic hash-consing trade (cf. Isabelle's
-/// name tables).
+/// Entries are immortal — the store is leaked on purpose, the classic
+/// hash-consing trade (cf. Isabelle's name tables). The population is
+/// bounded by the distinct nodes of the programs translated, not by the
+/// number of constructor calls, which is exactly what hash-consing is
+/// for. DESIGN.md ("Hash-consed kernel representation") discusses the
+/// invariants in detail.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef AC_HOL_INTERN_H
 #define AC_HOL_INTERN_H
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
 #include <mutex>
 #include <unordered_map>
 #include <vector>
 
 namespace ac::hol {
 
-/// Sharded canonicalisation table for shared-pointer nodes.
+/// Process-wide intern id counter, shared by every InternStore so ids
+/// are unique across arenas (terms never collide with types). Id 0 is
+/// reserved as "never interned".
+inline std::atomic<uint64_t> &internIdCounter() {
+  static std::atomic<uint64_t> C{1};
+  return C;
+}
+
+/// Arena-backed, sharded canonicalisation store for immutable nodes.
 ///
 /// get() looks up an existing node with the given hash that satisfies
-/// \p Eq; if none exists, \p Fresh is stored and returned. Collisions on
-/// the hash are resolved by the structural predicate, never assumed away.
-template <typename Ref, unsigned ShardCount = 64> class InternShards {
+/// \p Eq; if none exists, \p Make(Id) builds the node (with its assigned
+/// intern id) and it is moved into the shard's arena. Collisions on the
+/// hash are resolved by the structural predicate, never assumed away.
+template <typename Node, unsigned ShardCount = 64> class InternStore {
 public:
+  using Ref = std::shared_ptr<const Node>;
+
   /// \p Eq is the structural match against the prospective node's
-  /// components; \p Make allocates it only on a miss.
+  /// components; \p Make builds it only on a miss, receiving the fresh
+  /// node's unique intern id.
   template <typename EqFn, typename MakeFn>
   Ref get(size_t Hash, EqFn Eq, MakeFn Make) {
     Shard &S = Shards[Hash % ShardCount];
     std::lock_guard<std::mutex> L(S.M);
-    std::vector<Ref> &Bucket = S.Buckets[Hash];
-    for (const Ref &R : Bucket)
-      if (Eq(R))
-        return R;
-    Ref Fresh = Make();
-    Bucket.push_back(Fresh);
-    return Fresh;
+    if (S.Table.empty())
+      S.Table.resize(1024);
+    // Open addressing with linear probing: the factories run on every
+    // single node construction, so the lookup must touch as little
+    // memory as possible — one probe sequence in a flat array, then the
+    // node itself. Low bits of Hash picked the shard, so the slot uses
+    // the hash divided by the shard count to stay decorrelated.
+    size_t Mask = S.Table.size() - 1;
+    size_t I = (Hash / ShardCount) & Mask;
+    while (true) {
+      const Slot &E = S.Table[I];
+      if (!E.N)
+        break;
+      if (E.Hash == Hash && Eq(*E.N))
+        return Ref(Ref{}, E.N);
+      I = (I + 1) & Mask;
+    }
+    S.Arena.push_back(
+        Make(internIdCounter().fetch_add(1, std::memory_order_relaxed)));
+    const Node *Fresh = &S.Arena.back();
+    // Grow at 70% load; entries are never removed, so no tombstones.
+    if ((S.Arena.size() * 10) / 7 >= S.Table.size()) {
+      std::vector<Slot> Old(S.Table.size() * 2);
+      Old.swap(S.Table);
+      Mask = S.Table.size() - 1;
+      for (const Slot &E : Old) {
+        if (!E.N)
+          continue;
+        size_t J = (E.Hash / ShardCount) & Mask;
+        while (S.Table[J].N)
+          J = (J + 1) & Mask;
+        S.Table[J] = E;
+      }
+      I = (Hash / ShardCount) & Mask;
+      while (S.Table[I].N)
+        I = (I + 1) & Mask;
+    }
+    S.Table[I] = {Hash, Fresh};
+    return Ref(Ref{}, Fresh);
   }
 
   /// Number of interned nodes (diagnostics; takes every shard lock).
@@ -59,16 +116,22 @@ public:
     size_t N = 0;
     for (const Shard &S : Shards) {
       std::lock_guard<std::mutex> L(S.M);
-      for (const auto &[H, B] : S.Buckets)
-        N += B.size();
+      N += S.Arena.size();
     }
     return N;
   }
 
 private:
+  struct Slot {
+    size_t Hash = 0;
+    const Node *N = nullptr;
+  };
   struct Shard {
     mutable std::mutex M;
-    std::unordered_map<size_t, std::vector<Ref>> Buckets;
+    std::vector<Slot> Table;
+    /// The arena: deque blocks give stable addresses under push_back,
+    /// so the non-owning refs handed out above never dangle.
+    std::deque<Node> Arena;
   };
   Shard Shards[ShardCount];
 };

@@ -1,0 +1,58 @@
+//===- RuleCache.h - Mint-once cache for generated rule axioms --*- C++ -*-===//
+//
+// Part of the autocorres-cpp project, under the BSD 2-Clause License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The WA/HL engines mint per-width and per-type rule axioms at their use
+/// sites (e.g. the width-32 nat_plus rule, the HL.read rule for word32),
+/// once per *occurrence* in the program being abstracted. Axioms are
+/// immutable and keyed by name, so every minting after the first rebuilds
+/// a large proposition term only to be handed the already-registered Thm
+/// by Kernel::axiom. This cache cuts the rebuild: the first minting of a
+/// name is canonical and every later request is a map lookup.
+///
+/// Safe because Kernel::axiom itself rejects two different propositions
+/// under one name — a cache that handed back the wrong Thm for a name
+/// could only exist if the uncached code was already broken.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AC_HOL_RULECACHE_H
+#define AC_HOL_RULECACHE_H
+
+#include "hol/Thm.h"
+
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace ac::hol {
+
+class RuleCache {
+public:
+  /// Returns the cached Thm for \p Name, or runs \p Make once and caches
+  /// its result. Concurrent first requests may both run Make; that is
+  /// harmless (Kernel::axiom is idempotent per name) and keeps Make —
+  /// which re-enters the kernel — outside the cache lock.
+  template <typename MakeFn> Thm get(const std::string &Name, MakeFn Make) {
+    {
+      std::lock_guard<std::mutex> L(M);
+      auto It = Map.find(Name);
+      if (It != Map.end())
+        return It->second;
+    }
+    Thm T = Make();
+    std::lock_guard<std::mutex> L(M);
+    return Map.emplace(Name, std::move(T)).first->second;
+  }
+
+private:
+  std::mutex M;
+  std::map<std::string, Thm> Map;
+};
+
+} // namespace ac::hol
+
+#endif // AC_HOL_RULECACHE_H

@@ -1,0 +1,250 @@
+//===- RuleIndex.cpp ------------------------------------------------------===//
+
+#include "hol/RuleIndex.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <cstdlib>
+#include <mutex>
+#include <set>
+#include <string>
+
+using namespace ac::hol;
+
+//===----------------------------------------------------------------------===//
+// Trie node
+//===----------------------------------------------------------------------===//
+
+/// One position in the preorder flattening. Kids is keyed by the symbol
+/// string of a rigid head; Wild is the single edge that swallows a whole
+/// goal subtree (taken by every goal during lookup, and the only edge a
+/// flex goal subtree can take).
+struct RuleIndex::Node {
+  std::map<std::string, std::unique_ptr<Node>> Kids;
+  std::unique_ptr<Node> Wild;
+  /// Rules whose pattern is fully consumed at this position (ascending —
+  /// add() requires ascending ids).
+  std::vector<unsigned> Here;
+};
+
+RuleIndex::RuleIndex() : Root(std::make_unique<Node>()) {}
+RuleIndex::~RuleIndex() = default;
+RuleIndex::RuleIndex(RuleIndex &&) noexcept = default;
+RuleIndex &RuleIndex::operator=(RuleIndex &&) noexcept = default;
+
+//===----------------------------------------------------------------------===//
+// Symbol keys
+//===----------------------------------------------------------------------===//
+
+static std::string i128Str(Int128 V) {
+  if (V == 0)
+    return "0";
+  bool Neg = V < 0;
+  // Negate via unsigned to survive INT128_MIN.
+  unsigned __int128 U =
+      Neg ? -static_cast<unsigned __int128>(V) : static_cast<unsigned __int128>(V);
+  std::string S;
+  while (U) {
+    S.insert(S.begin(), static_cast<char>('0' + static_cast<int>(U % 10)));
+    U /= 10;
+  }
+  return Neg ? "-" + S : S;
+}
+
+/// Key for a rigid head applied to \p Arity arguments. Matching under
+/// matchTerm decomposes applications one App node at a time, so two rigid
+/// heads can only unify when kind, identity, *and* arity all agree —
+/// which is why arity is part of the key. Types are deliberately absent:
+/// matchTerm may succeed across pattern type variables, and leaving types
+/// out can only widen the candidate set (superset-safe).
+static std::string symKey(const Term &Head, size_t Arity) {
+  std::string K;
+  switch (Head.kind()) {
+  case Term::Kind::Const:
+    K = "c" + Head.name();
+    break;
+  case Term::Kind::Free:
+    K = "f" + Head.name();
+    break;
+  case Term::Kind::Bound:
+    K = "b" + std::to_string(Head.index());
+    break;
+  case Term::Kind::Num:
+    K = "n" + i128Str(Head.value());
+    break;
+  case Term::Kind::Lam:
+    // Display name and argument type are invisible to termEq/matchTerm.
+    K = "l";
+    break;
+  case Term::Kind::Var:
+  case Term::Kind::App:
+    assert(false && "flex or undecomposed head has no symbol key");
+    break;
+  }
+  K += "/" + std::to_string(Arity);
+  return K;
+}
+
+//===----------------------------------------------------------------------===//
+// Insertion
+//===----------------------------------------------------------------------===//
+
+/// Walks \p P's preorder flattening from \p N, creating edges, and returns
+/// the node after the whole subtree is consumed. A subtree headed by a
+/// schematic variable (including a higher-order pattern `?F x y`) becomes
+/// one wildcard edge.
+static RuleIndex::Node *insertTerm(RuleIndex::Node *N, const TermRef &P) {
+  std::vector<TermRef> Args;
+  TermRef Head = stripApp(P, Args);
+  if (Head->isVar() || (Head->isLam() && !Args.empty())) {
+    // Flex head — or a residual redex, whose shape matchTerm would only
+    // see after normalisation; both must accept anything.
+    if (!N->Wild)
+      N->Wild = std::make_unique<RuleIndex::Node>();
+    return N->Wild.get();
+  }
+  std::unique_ptr<RuleIndex::Node> &Slot = N->Kids[symKey(*Head, Args.size())];
+  if (!Slot)
+    Slot = std::make_unique<RuleIndex::Node>();
+  N = Slot.get();
+  if (Head->isLam())
+    N = insertTerm(N, Head->body());
+  for (const TermRef &A : Args)
+    N = insertTerm(N, A);
+  return N;
+}
+
+void RuleIndex::add(const TermRef &Lhs, unsigned RuleId) {
+  assert(Lhs && "null pattern");
+  assert((AllIds.empty() || AllIds.back() < RuleId) &&
+         "rule ids must be added in ascending order");
+  // Index the *normal form*: unifyRec matches through Subst::apply, which
+  // beta-normalises the pattern before decomposing it. A pattern like
+  // `fst (Pair ?a ?b)` therefore effectively matches as its normal form
+  // `?a`, and indexing the raw shape would wrongly prune it.
+  Node *N = insertTerm(Root.get(), betaNorm(Lhs));
+  N->Here.push_back(RuleId);
+  AllIds.push_back(RuleId);
+  ++NRules;
+}
+
+//===----------------------------------------------------------------------===//
+// Lookup
+//===----------------------------------------------------------------------===//
+
+namespace {
+/// Lookup walks pattern positions and goal subtrees in lock step. The
+/// to-visit list is an explicit stack (back = next subtree), so taking a
+/// wildcard edge is "pop one subtree"; descending a rigid edge pushes the
+/// subtree's children in reverse.
+void walkNode(const RuleIndex::Node &N, std::vector<TermRef> &Stack,
+              std::vector<unsigned> &Out) {
+  if (Stack.empty()) {
+    Out.insert(Out.end(), N.Here.begin(), N.Here.end());
+    return;
+  }
+  if (N.Wild) {
+    TermRef Saved = Stack.back();
+    Stack.pop_back();
+    walkNode(*N.Wild, Stack, Out);
+    Stack.push_back(Saved);
+  }
+  if (N.Kids.empty())
+    return;
+  std::vector<TermRef> Args;
+  TermRef Head = stripApp(Stack.back(), Args);
+  if (Head->isVar())
+    return; // Flex goal subtree: a rigid pattern head cannot match it
+            // under matchTerm's rigid-right discipline.
+  assert(!(Head->isLam() && !Args.empty()) &&
+         "goal must be beta-normal at lookup");
+  auto It = N.Kids.find(symKey(*Head, Args.size()));
+  if (It == N.Kids.end())
+    return;
+  TermRef Saved = Stack.back();
+  Stack.pop_back();
+  size_t Mark = Stack.size();
+  for (auto AIt = Args.rbegin(); AIt != Args.rend(); ++AIt)
+    Stack.push_back(*AIt);
+  if (Head->isLam())
+    Stack.push_back(Head->body());
+  walkNode(*It->second, Stack, Out);
+  Stack.resize(Mark);
+  Stack.push_back(Saved);
+}
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Bypass + audit hooks
+//===----------------------------------------------------------------------===//
+
+static std::atomic<bool> &bypassFlag() {
+  static std::atomic<bool> F{[] {
+    const char *E = std::getenv("AC_NO_RULE_INDEX");
+    return E && E[0] == '1';
+  }()};
+  return F;
+}
+
+bool RuleIndex::bypassed() {
+  return bypassFlag().load(std::memory_order_relaxed);
+}
+void RuleIndex::setBypass(bool On) {
+  bypassFlag().store(On, std::memory_order_relaxed);
+}
+
+namespace {
+struct AuditState {
+  std::mutex M;
+  bool Armed = false;
+  std::set<uint64_t> SeenIds;
+  std::vector<TermRef> Goals;
+};
+AuditState &audit() {
+  static auto *S = new AuditState();
+  return *S;
+}
+std::atomic<bool> AuditArmed{false};
+} // namespace
+
+void RuleIndex::auditArm(bool On) {
+  AuditState &S = audit();
+  std::lock_guard<std::mutex> L(S.M);
+  S.Armed = On;
+  AuditArmed.store(On, std::memory_order_relaxed);
+}
+
+std::vector<TermRef> RuleIndex::auditDrain() {
+  AuditState &S = audit();
+  std::lock_guard<std::mutex> L(S.M);
+  std::vector<TermRef> Out;
+  Out.swap(S.Goals);
+  S.SeenIds.clear();
+  return Out;
+}
+
+void RuleIndex::lookup(const TermRef &Goal, std::vector<unsigned> &Out) const {
+  Out.clear();
+  assert(Goal && "null goal");
+  if (AuditArmed.load(std::memory_order_relaxed)) {
+    AuditState &S = audit();
+    std::lock_guard<std::mutex> L(S.M);
+    if (S.Armed && S.SeenIds.insert(Goal->id()).second)
+      S.Goals.push_back(Goal);
+  }
+  if (bypassed()) {
+    Out = AllIds;
+    return;
+  }
+  // Mirror the normalisation matchTerm performs via Subst::apply. On the
+  // simplifier's hot path the goal is already normal, so this is the O(1)
+  // flag check.
+  std::vector<TermRef> Stack{betaNorm(Goal)};
+  walkNode(*Root, Stack, Out);
+  // Each pattern occupies one leaf path, but a goal can reach the same
+  // Here set at most once per path, and distinct paths carry distinct
+  // rules — so ids are unique. They are *not* sorted yet: wildcard edges
+  // are explored before rigid edges, and ids interleave across paths.
+  std::sort(Out.begin(), Out.end());
+}

@@ -1,0 +1,87 @@
+//===- RuleIndex.h - Discrimination-tree rule head index --------*- C++ -*-===//
+//
+// Part of the autocorres-cpp project, under the BSD 2-Clause License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A discrimination tree over rule left-hand sides, so a resolution or
+/// rewriting step consults only the schemata whose heads could possibly
+/// match the goal instead of scanning the full rule list (the classic
+/// term-indexing structure; cf. Isabelle's net.ML / the E prover's
+/// perfect discrimination trees).
+///
+/// Patterns are flattened to preorder symbol strings. A subterm headed
+/// by a schematic variable (a higher-order pattern like `?F x y`) is one
+/// wildcard that can swallow any goal subtree — the overapproximation
+/// that keeps retrieval sound. Both insertion and lookup beta-normalise
+/// first, mirroring exactly what Subst::apply does inside unifyRec, so:
+///
+///   lookup(G) is a superset of { R | matchTerm(lhs(R), G) succeeds }
+///
+/// and candidates are returned in ascending insertion order, which makes
+/// an index-driven scan fire the same rule a full linear scan would have
+/// fired first. The rule-index equivalence suite (tests/hol/
+/// RuleIndexTest.cpp) pins both properties against recorded goal
+/// corpora; AC_NO_RULE_INDEX=1 (or setBypass) degrades every lookup to
+/// the full list for A/B comparison.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AC_HOL_RULEINDEX_H
+#define AC_HOL_RULEINDEX_H
+
+#include "hol/Term.h"
+
+#include <map>
+#include <memory>
+#include <vector>
+
+namespace ac::hol {
+
+class RuleIndex {
+public:
+  /// Trie node; opaque outside RuleIndex.cpp (public only so the file's
+  /// static helpers can name it).
+  struct Node;
+
+  RuleIndex();
+  ~RuleIndex();
+  RuleIndex(RuleIndex &&) noexcept;
+  RuleIndex &operator=(RuleIndex &&) noexcept;
+
+  /// Indexes \p Lhs under \p RuleId (the caller's position in its rule
+  /// list). Ids must be added in ascending order to preserve the linear
+  /// scan's first-match semantics.
+  void add(const TermRef &Lhs, unsigned RuleId);
+
+  /// Fills \p Out (cleared first) with the ids of every rule whose lhs
+  /// could match \p Goal, ascending and deduplicated. With bypass in
+  /// force, returns every registered id — behaviour-equivalent to the
+  /// linear scan by construction, just slower.
+  void lookup(const TermRef &Goal, std::vector<unsigned> &Out) const;
+
+  /// Number of rules indexed.
+  unsigned ruleCount() const { return NRules; }
+
+  /// True when AC_NO_RULE_INDEX=1 was set at startup or setBypass(true)
+  /// was called: lookups stop pruning (equivalence-test A/B switch).
+  static bool bypassed();
+  static void setBypass(bool On);
+
+  /// Test hook: while armed, every goal passed to any index's lookup()
+  /// is recorded (deduplicated by intern id). The equivalence suite
+  /// arms this, drives the real pipeline, and replays the recorded
+  /// goals against both retrieval strategies.
+  static void auditArm(bool On);
+  static std::vector<TermRef> auditDrain();
+
+private:
+  std::unique_ptr<Node> Root;
+  std::vector<unsigned> AllIds;
+  unsigned NRules = 0;
+};
+
+} // namespace ac::hol
+
+#endif // AC_HOL_RULEINDEX_H

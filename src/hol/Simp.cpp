@@ -4,9 +4,54 @@
 
 #include "hol/GroundEval.h"
 #include "hol/Names.h"
+#include "support/FaultInject.h"
 
 using namespace ac::hol;
 namespace nm = ac::hol::names;
+
+/// Chaos hook: randomly dropping memo entries (at lookup) or refusing
+/// inserts must never change results, only timings (see Simpset doc).
+static const ac::support::FaultSite FaultMemoEvict("simp.memo.evict");
+
+Simpset::Simpset(const Simpset &O) {
+  std::lock_guard<std::mutex> L(O.MemoM);
+  Rules = O.Rules;
+  Solvers = O.Solvers;
+  for (unsigned I = 0; I != Rules.size(); ++I)
+    Index.add(Rules[I].Lhs, I);
+  NormalMemo = O.NormalMemo;
+}
+
+Simpset &Simpset::operator=(const Simpset &O) {
+  if (this == &O)
+    return *this;
+  Simpset Tmp(O);
+  std::lock_guard<std::mutex> L(MemoM);
+  Rules = std::move(Tmp.Rules);
+  Solvers = std::move(Tmp.Solvers);
+  Index = std::move(Tmp.Index);
+  NormalMemo = std::move(Tmp.NormalMemo);
+  return *this;
+}
+
+bool Simpset::memoNormal(const TermRef &T) const {
+  std::lock_guard<std::mutex> L(MemoM);
+  auto It = NormalMemo.find(T->id());
+  if (It == NormalMemo.end())
+    return false;
+  if (FaultMemoEvict.fire()) {
+    NormalMemo.erase(It);
+    return false;
+  }
+  return true;
+}
+
+void Simpset::memoMarkNormal(const TermRef &T) const {
+  std::lock_guard<std::mutex> L(MemoM);
+  if (FaultMemoEvict.fire())
+    return;
+  NormalMemo.insert(T->id());
+}
 
 void Simpset::addRule(const Thm &T) {
   Rule R;
@@ -30,13 +75,36 @@ void Simpset::addRule(const Thm &T) {
     R.Rhs = mkTrue();
     R.AsEqTrue = true;
   }
-  // A rule whose right-hand side introduces unbound schematics would be
-  // unsound to apply; reject early.
+  // Match targets are always beta-normal (the rewriter normalizes as it
+  // rebuilds, and the unifier normalizes on every substitution step), so
+  // store and index the normalized lhs. A lhs the normalizer contracts
+  // to a schematic head — e.g. `fst (?a, ?b)`, which betaNorm projects
+  // straight to `?a` — is a root wildcard: it would "match" every term,
+  // rewrite none of them (its rhs is the same projection), and its
+  // vacuous matches would bump the event counter that gates the
+  // normal-form memo at every single node. betaNorm itself already
+  // performs the contraction such a rule describes, so skip it.
+  R.Lhs = betaNorm(R.Lhs);
+  TermRef Head = R.Lhs;
+  while (Head->isApp())
+    Head = Head->fun();
+  if (Head->isVar())
+    return;
+  Index.add(R.Lhs, static_cast<unsigned>(Rules.size()));
   Rules.push_back(std::move(R));
+  // Context changed: terms normal under the old rule set may now be
+  // rewritable.
+  std::lock_guard<std::mutex> MemoL(MemoM);
+  NormalMemo.clear();
 }
 
 void Simpset::addSolver(CondSolver Solver) {
   Solvers.push_back(std::move(Solver));
+  // Solvers discharge rule conditions, so a new solver can unlock
+  // conditional rewrites; the memo only records unconditional normality,
+  // but clearing keeps the invalidation story uniform and cheap.
+  std::lock_guard<std::mutex> L(MemoM);
+  NormalMemo.clear();
 }
 
 namespace {
@@ -70,16 +138,36 @@ public:
 private:
   const Simpset &SS;
   unsigned Budget;
-  unsigned FreshCtr = 0;
+  /// Number of binders currently opened by enclosing convOnce frames.
+  /// Fresh frees are named by this level ("s!0", "s!1", ...): two live
+  /// opens are always at distinct levels, so no capture, and the name is
+  /// a function of the term position alone — a memo hit that skips a
+  /// sibling subtree cannot shift the names later opens pick (which a
+  /// monotonic counter would, breaking byte-for-byte reproducibility
+  /// under memo eviction).
+  unsigned OpenLevel = 0;
+  /// Bumped whenever something happened that makes the current subtree's
+  /// result depend on more than the rule heads: a rule lhs matched (even
+  /// if the rewrite was then rejected), ground evaluation applied, or the
+  /// budget gate closed the rule loop. A conv round that ends with zero
+  /// new events and an unchanged term has proved the term normal in a
+  /// context-independent way — only those certificates enter the memo.
+  uint64_t Events = 0;
 
   /// Fully simplifies a beta-normal term.
   SimpResult conv(const TermRef &T, unsigned Depth) {
     TermRef Cur = T;
     Thm Eq = Kernel::refl(T);
     for (unsigned Iter = 0; Iter != 100; ++Iter) {
-      SimpResult Step = convOnce(Cur, Depth);
-      if (termEq(Step.Result, Cur))
+      if (SS.memoNormal(Cur))
         return {Cur, Eq};
+      uint64_t Before = Events;
+      SimpResult Step = convOnce(Cur, Depth);
+      if (termEq(Step.Result, Cur)) {
+        if (Events == Before)
+          SS.memoMarkNormal(Cur);
+        return {Cur, Eq};
+      }
       Eq = Kernel::trans(Eq, Step.Eq);
       Cur = Step.Result;
       if (Budget == 0)
@@ -101,10 +189,12 @@ private:
       break;
     }
     case Term::Kind::Lam: {
-      std::string FreeName = "s!" + std::to_string(FreshCtr++);
+      std::string FreeName = "s!" + std::to_string(OpenLevel);
       TermRef Free = Term::mkFree(FreeName, T->type());
       TermRef Opened = betaNorm(substBound(T->body(), Free));
+      ++OpenLevel;
       SimpResult B = conv(Opened, Depth);
+      --OpenLevel;
       Eq = Kernel::abstract(FreeName, T->type(), B.Eq);
       TermRef L, R;
       bool IsEq = destEq(Eq.prop(), L, R);
@@ -123,19 +213,28 @@ private:
     // Ground computation at this node.
     if (!Cur->isNum() && !Cur->isConst()) {
       if (std::optional<Thm> G = computeEq(Cur)) {
+        ++Events;
         TermRef L, R;
         destEq(G->prop(), L, R);
         return {R, Kernel::trans(Eq, *G)};
       }
     }
 
-    // Try each rule once at the root.
-    for (const Simpset::Rule &Rule : SS.rules()) {
-      if (Budget == 0)
+    // Try each plausibly matching rule once at the root, in rule order —
+    // candidates() returns ascending indices, so the first rule to fire
+    // is the one a full linear scan would have fired.
+    std::vector<unsigned> Cands;
+    SS.candidates(Cur, Cands);
+    for (unsigned RuleId : Cands) {
+      const Simpset::Rule &Rule = SS.rules()[RuleId];
+      if (Budget == 0) {
+        ++Events; // Rules went untried; this proves nothing normal.
         break;
+      }
       std::optional<Subst> M = matchTerm(Rule.Lhs, Cur);
       if (!M)
         continue;
+      ++Events;
       TermRef Rhs = M->apply(Rule.Rhs);
       if (Rhs->hasSchematic() && !Cur->hasSchematic())
         continue; // under-determined instantiation

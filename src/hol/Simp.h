@@ -21,10 +21,13 @@
 #ifndef AC_HOL_SIMP_H
 #define AC_HOL_SIMP_H
 
+#include "hol/RuleIndex.h"
 #include "hol/Thm.h"
 
 #include <functional>
+#include <mutex>
 #include <optional>
+#include <unordered_set>
 
 namespace ac::hol {
 
@@ -33,8 +36,24 @@ namespace ac::hol {
 using CondSolver = std::function<std::optional<Thm>(const TermRef &)>;
 
 /// A set of rewrite rules plus condition solvers.
+///
+/// Rule heads are indexed by a discrimination tree (RuleIndex), so the
+/// rewriter's per-node scan touches only the rules whose lhs could match.
+/// The set also carries the simplifier's normal-form memo: the intern ids
+/// of terms known to be in simp-normal form *for this rule/solver
+/// context*. Only "nothing matched anywhere, nothing computed" results
+/// are memoised — a property independent of rewrite budget and condition
+/// depth — so an entry can be dropped at any time (and the chaos suite
+/// does, via the "simp.memo.evict" fault site) without changing a single
+/// output byte; eviction costs time only. Any context change (addRule /
+/// addSolver) clears the memo: a term normal under fewer rules need not
+/// stay normal.
 class Simpset {
 public:
+  Simpset() = default;
+  Simpset(const Simpset &O);
+  Simpset &operator=(const Simpset &O);
+
   /// Adds a rule. The theorem must look like
   /// `C1 --> ... --> Cn --> lhs = rhs` or `C1 --> ... --> Cn --> P`
   /// (the latter is used as P = True).
@@ -51,9 +70,28 @@ public:
   const std::vector<Rule> &rules() const { return Rules; }
   const std::vector<CondSolver> &solvers() const { return Solvers; }
 
+  /// Fills \p Out with the indices (ascending) of every rule whose lhs
+  /// could match \p Goal; a superset of the rules a linear scan would
+  /// find matching.
+  void candidates(const TermRef &Goal, std::vector<unsigned> &Out) const {
+    Index.lookup(Goal, Out);
+  }
+
+  /// True if \p T was previously certified simp-normal in this context.
+  bool memoNormal(const TermRef &T) const;
+  /// Records that \p T is simp-normal in this context. Callers must only
+  /// pass terms whose normality is budget- and depth-independent (no rule
+  /// lhs matched in the subtree, no ground computation applied).
+  void memoMarkNormal(const TermRef &T) const;
+
 private:
   std::vector<Rule> Rules;
   std::vector<CondSolver> Solvers;
+  RuleIndex Index;
+  /// Normal-form memo, keyed on Term::id(). Guarded: simpsets (notably
+  /// basicSimpset()) are shared across worker threads.
+  mutable std::mutex MemoM;
+  mutable std::unordered_set<uint64_t> NormalMemo;
 };
 
 /// Result of simplification: the new term and |- old = new.

@@ -14,93 +14,178 @@ static size_t combineHash(size_t A, size_t B) {
   return A ^ (B + 0x9e3779b97f4a7c15ULL + (A << 6) + (A >> 2));
 }
 
-/// Canonicalisation table for the high-duplication leaf kinds (Const and
-/// Num). Every monadic program mentions the same few hundred combinator
-/// and operator constants millions of times; interning them makes those
-/// the pointer-equality fast path of termEq and keeps the factories safe
-/// under the parallel abstraction pipeline (see Intern.h).
-static InternShards<TermRef> &termInterner() {
-  // Leaked on purpose: avoids destruction-order races with other statics.
-  static auto *T = new InternShards<TermRef>();
+/// The arena store every term factory funnels through (see Intern.h).
+/// Every structurally distinct node is built exactly once; children of a
+/// prospective node are already canonical, so the structural matches in
+/// the factories below reduce to pointer comparisons and the per-node
+/// cached flags/ids are computed exactly once.
+static InternStore<Term> &termStore() {
+  // Leaked on purpose: avoids destruction-order races with other statics
+  // and makes every TermRef immortal (they are non-owning aliases).
+  static auto *T = new InternStore<Term>();
   return *T;
+}
+
+size_t ac::hol::internedTermCount() { return termStore().size(); }
+
+/// If \p T is `Pair a b`, fills A/B.
+static bool destPairApp(const TermRef &T, TermRef &A, TermRef &B) {
+  if (!T->isApp() || !T->fun()->isApp())
+    return false;
+  const TermRef &H = T->fun()->fun();
+  if (!H->isConst() || H->name() != "Pair")
+    return false;
+  A = T->fun()->argTerm();
+  B = T->argTerm();
+  return true;
+}
+
+/// True if `F X` reduces at the root: a beta redex, or the fst/snd-of-
+/// Pair projection redex betaNorm also contracts.
+static bool isRootRedex(const TermRef &F, const TermRef &X) {
+  if (F->isLam())
+    return true;
+  if (F->isConst() && (F->name() == "fst" || F->name() == "snd")) {
+    TermRef A, B;
+    if (destPairApp(X, A, B))
+      return true;
+  }
+  return false;
 }
 
 TermRef Term::mkConst(const std::string &Name, TypeRef Ty) {
   assert(Ty && "constant requires a type");
   size_t H = combineHash(std::hash<std::string>()(Name), 0x11);
   H = combineHash(H, Ty->hash());
-  return termInterner().get(
+  return termStore().get(
       H,
-      [&](const TermRef &R) {
-        return R->isConst() && R->name() == Name && typeEq(R->type(), Ty);
+      [&](const Term &R) {
+        return R.isConst() && R.Ty.get() == Ty.get() && R.Name == Name;
       },
-      [&] {
-        auto *T = new Term();
-        T->K = Kind::Const;
-        T->Name = Name;
-        T->Ty = std::move(Ty);
-        T->Hash = H;
-        return TermRef(T);
+      [&](uint64_t Id) {
+        Term T;
+        T.K = Kind::Const;
+        T.Name = Name;
+        T.Hash = H;
+        T.Id = Id;
+        T.TyVar = Ty->hasVar();
+        T.Ty = std::move(Ty);
+        return T;
       });
 }
 
 TermRef Term::mkFree(const std::string &Name, TypeRef Ty) {
   assert(Ty && "free variable requires a type");
-  auto *T = new Term();
-  T->K = Kind::Free;
-  T->Name = Name;
-  T->Ty = std::move(Ty);
-  T->Hash = combineHash(std::hash<std::string>()(Name), 0x22);
-  return TermRef(T);
+  // The hash keys the name only (as termEq compares Frees); same-name
+  // Frees at different types share a bucket and are split by the match.
+  size_t H = combineHash(std::hash<std::string>()(Name), 0x22);
+  return termStore().get(
+      H,
+      [&](const Term &R) {
+        return R.isFree() && R.Ty.get() == Ty.get() && R.Name == Name;
+      },
+      [&](uint64_t Id) {
+        Term T;
+        T.K = Kind::Free;
+        T.Name = Name;
+        T.Hash = H;
+        T.Id = Id;
+        T.TyVar = Ty->hasVar();
+        T.Ty = std::move(Ty);
+        return T;
+      });
 }
 
 TermRef Term::mkVar(const std::string &Name, unsigned Index, TypeRef Ty) {
   assert(Ty && "schematic variable requires a type");
-  auto *T = new Term();
-  T->K = Kind::Var;
-  T->Name = Name;
-  T->Index = Index;
-  T->Ty = std::move(Ty);
-  T->Hash = combineHash(std::hash<std::string>()(Name), 0x33 + Index);
-  T->Schematic = true;
-  return TermRef(T);
+  size_t H = combineHash(std::hash<std::string>()(Name), 0x33 + Index);
+  return termStore().get(
+      H,
+      [&](const Term &R) {
+        return R.isVar() && R.Index == Index && R.Ty.get() == Ty.get() &&
+               R.Name == Name;
+      },
+      [&](uint64_t Id) {
+        Term T;
+        T.K = Kind::Var;
+        T.Name = Name;
+        T.Index = Index;
+        T.Hash = H;
+        T.Id = Id;
+        T.Schematic = true;
+        T.TyVar = Ty->hasVar();
+        T.Ty = std::move(Ty);
+        return T;
+      });
 }
 
 TermRef Term::mkBound(unsigned Index) {
-  auto *T = new Term();
-  T->K = Kind::Bound;
-  T->Index = Index;
-  T->Hash = combineHash(0x44, Index);
-  T->MaxLoose = Index + 1;
-  return TermRef(T);
+  size_t H = combineHash(0x44, Index);
+  return termStore().get(
+      H, [&](const Term &R) { return R.isBound() && R.Index == Index; },
+      [&](uint64_t Id) {
+        Term T;
+        T.K = Kind::Bound;
+        T.Index = Index;
+        T.Hash = H;
+        T.Id = Id;
+        T.MaxLoose = Index + 1;
+        return T;
+      });
 }
 
 TermRef Term::mkLam(const std::string &Name, TypeRef ArgTy, TermRef Body) {
   assert(ArgTy && Body && "lambda requires argument type and body");
-  auto *T = new Term();
-  T->K = Kind::Lam;
-  T->Name = Name;
-  T->Ty = std::move(ArgTy);
-  T->A = std::move(Body);
-  T->Hash = combineHash(0x55, T->A->hash());
-  T->Hash = combineHash(T->Hash, T->Ty->hash());
-  T->Size = 1 + T->A->size();
-  T->MaxLoose = T->A->maxLoose() > 0 ? T->A->maxLoose() - 1 : 0;
-  T->Schematic = T->A->hasSchematic();
-  return TermRef(T);
+  // The hash ignores the display name (as alpha-equality does); the
+  // interner's match keys on it so printing is preserved exactly.
+  size_t H = combineHash(0x55, Body->hash());
+  H = combineHash(H, ArgTy->hash());
+  return termStore().get(
+      H,
+      [&](const Term &R) {
+        return R.isLam() && R.A.get() == Body.get() &&
+               R.Ty.get() == ArgTy.get() && R.Name == Name;
+      },
+      [&](uint64_t Id) {
+        Term T;
+        T.K = Kind::Lam;
+        T.Name = Name;
+        T.Hash = H;
+        T.Id = Id;
+        T.Size = 1 + Body->size();
+        T.MaxLoose = Body->maxLoose() > 0 ? Body->maxLoose() - 1 : 0;
+        T.Schematic = Body->hasSchematic();
+        T.TyVar = ArgTy->hasVar() || Body->hasTyVar();
+        T.BetaNormal = Body->isBetaNormal();
+        T.Ty = std::move(ArgTy);
+        T.A = std::move(Body);
+        return T;
+      });
 }
 
 TermRef Term::mkApp(TermRef F, TermRef X) {
   assert(F && X && "application requires both terms");
-  auto *T = new Term();
-  T->K = Kind::App;
-  T->A = std::move(F);
-  T->B = std::move(X);
-  T->Hash = combineHash(T->A->hash(), T->B->hash());
-  T->Size = 1 + T->A->size() + T->B->size();
-  T->MaxLoose = std::max(T->A->maxLoose(), T->B->maxLoose());
-  T->Schematic = T->A->hasSchematic() || T->B->hasSchematic();
-  return TermRef(T);
+  size_t H = combineHash(F->hash(), X->hash());
+  return termStore().get(
+      H,
+      [&](const Term &R) {
+        return R.isApp() && R.A.get() == F.get() && R.B.get() == X.get();
+      },
+      [&](uint64_t Id) {
+        Term T;
+        T.K = Kind::App;
+        T.Hash = H;
+        T.Id = Id;
+        T.Size = 1 + F->size() + X->size();
+        T.MaxLoose = std::max(F->maxLoose(), X->maxLoose());
+        T.Schematic = F->hasSchematic() || X->hasSchematic();
+        T.TyVar = F->hasTyVar() || X->hasTyVar();
+        T.BetaNormal =
+            F->isBetaNormal() && X->isBetaNormal() && !isRootRedex(F, X);
+        T.A = std::move(F);
+        T.B = std::move(X);
+        return T;
+      });
 }
 
 TermRef Term::mkNum(Int128 Value, TypeRef Ty) {
@@ -108,18 +193,20 @@ TermRef Term::mkNum(Int128 Value, TypeRef Ty) {
   size_t H = combineHash(0x66, static_cast<size_t>(static_cast<uint64_t>(
                                    Value ^ (Value >> 64))));
   H = combineHash(H, Ty->hash());
-  return termInterner().get(
+  return termStore().get(
       H,
-      [&](const TermRef &R) {
-        return R->isNum() && R->value() == Value && typeEq(R->type(), Ty);
+      [&](const Term &R) {
+        return R.isNum() && R.Value == Value && R.Ty.get() == Ty.get();
       },
-      [&] {
-        auto *T = new Term();
-        T->K = Kind::Num;
-        T->Value = Value;
-        T->Ty = std::move(Ty);
-        T->Hash = H;
-        return TermRef(T);
+      [&](uint64_t Id) {
+        Term T;
+        T.K = Kind::Num;
+        T.Value = Value;
+        T.Hash = H;
+        T.Id = Id;
+        T.TyVar = Ty->hasVar();
+        T.Ty = std::move(Ty);
+        return T;
       });
 }
 
@@ -167,8 +254,6 @@ TermRef ac::hol::stripApp(TermRef T, std::vector<TermRef> &Args) {
 }
 
 TypeRef ac::hol::typeOf(const TermRef &T, std::vector<TypeRef> *BoundTys) {
-  std::vector<TypeRef> Local;
-  std::vector<TypeRef> &Env = BoundTys ? *BoundTys : Local;
   switch (T->kind()) {
   case Term::Kind::Const:
   case Term::Kind::Free:
@@ -176,22 +261,39 @@ TypeRef ac::hol::typeOf(const TermRef &T, std::vector<TypeRef> *BoundTys) {
   case Term::Kind::Num:
     return T->type();
   case Term::Kind::Bound: {
-    assert(T->index() < Env.size() && "loose bound variable in typeOf");
-    return Env[Env.size() - 1 - T->index()];
+    std::vector<TypeRef> *Env = BoundTys;
+    assert(Env && T->index() < Env->size() &&
+           "loose bound variable in typeOf");
+    return (*Env)[Env->size() - 1 - T->index()];
   }
-  case Term::Kind::Lam: {
+  case Term::Kind::Lam:
+  case Term::Kind::App:
+    break;
+  }
+
+  // Closed compound terms cache their type on the node (types are
+  // immortal interned nodes, so the raw pointer re-wraps safely).
+  bool Closed = T->maxLoose() == 0;
+  if (Closed)
+    if (const Type *C = T->cachedTypePtr())
+      return TypeRef(TypeRef{}, C);
+
+  std::vector<TypeRef> Local;
+  std::vector<TypeRef> &Env = BoundTys ? *BoundTys : Local;
+  TypeRef R;
+  if (T->isLam()) {
     Env.push_back(T->type());
     TypeRef BodyTy = typeOf(T->body(), &Env);
     Env.pop_back();
-    return funTy(T->type(), BodyTy);
-  }
-  case Term::Kind::App: {
+    R = funTy(T->type(), BodyTy);
+  } else {
     TypeRef FTy = typeOf(T->fun(), &Env);
     assert(isFunTy(FTy) && "application of non-function");
-    return ranTy(FTy);
+    R = ranTy(FTy);
   }
-  }
-  return nullptr;
+  if (Closed)
+    T->cacheTypePtr(R.get());
+  return R;
 }
 
 TermRef ac::hol::liftLoose(const TermRef &T, unsigned Inc, unsigned Cutoff) {
@@ -233,19 +335,9 @@ TermRef ac::hol::substBound(const TermRef &Body, const TermRef &Arg,
   }
 }
 
-/// If \p T is `Pair a b`, fills A/B.
-static bool destPairApp(const TermRef &T, TermRef &A, TermRef &B) {
-  if (!T->isApp() || !T->fun()->isApp())
-    return false;
-  const TermRef &H = T->fun()->fun();
-  if (!H->isConst() || H->name() != "Pair")
-    return false;
-  A = T->fun()->argTerm();
-  B = T->argTerm();
-  return true;
-}
-
 TermRef ac::hol::betaNorm(const TermRef &T) {
+  if (T->isBetaNormal())
+    return T;
   switch (T->kind()) {
   case Term::Kind::App: {
     TermRef F = betaNorm(T->fun());

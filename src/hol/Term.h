@@ -13,10 +13,22 @@
 /// expression bodies, monadic programs (built from the combinator constants
 /// of Table 1), guards, Hoare assertions, and the propositions of theorems.
 ///
-/// Terms are immutable, shared DAGs. Each node caches its hash, its size
-/// (the "term size" metric of Table 5 — the number of AST nodes), the
-/// number of loose bound variables, and whether schematics occur, so the
-/// unifier and the statistics pass are cheap.
+/// Terms are immutable, hash-consed DAGs in an arena-backed store
+/// (Intern.h): every factory interns, so a structurally identical node is
+/// only ever built once and canonical references to equal structure are
+/// pointer-equal. Each node carries a unique intern id (an O(1) memo key)
+/// and caches its hash, its size (the "term size" metric of Table 5 — the
+/// number of AST nodes), the number of loose bound variables, whether
+/// schematics occur, whether type variables occur, whether the node is
+/// already in beta normal form, and (lazily) the type of closed terms —
+/// so the unifier, the rewriters and the statistics pass are cheap.
+///
+/// Note the interner's equality is *full structural identity* (it keys
+/// Free and Var nodes on their types and Lam nodes on their display
+/// names), which is strictly finer than termEq (alpha-equality that
+/// compares Free nodes by name only). Pointer equality therefore implies
+/// termEq but not conversely — exactly the soundness direction termEq's
+/// fast path needs. See DESIGN.md ("Hash-consed kernel representation").
 ///
 //===----------------------------------------------------------------------===//
 
@@ -25,6 +37,7 @@
 
 #include "hol/Type.h"
 
+#include <atomic>
 #include <cassert>
 #include <cstdint>
 #include <memory>
@@ -41,7 +54,9 @@ using TermRef = std::shared_ptr<const Term>;
 /// "ideal" nat/int of the abstract level during evaluation.
 using Int128 = __int128;
 
-/// An immutable term node.
+template <typename Node, unsigned ShardCount> class InternStore;
+
+/// An immutable, interned term node.
 class Term {
 public:
   enum class Kind {
@@ -90,14 +105,45 @@ public:
   }
 
   size_t hash() const { return Hash; }
+  /// Unique intern id (see Intern.h): monotonic, assigned once at intern
+  /// time, never shared with any other term or type node — a stable O(1)
+  /// memo key (the simplifier's normal-form memo is keyed on it).
+  uint64_t id() const { return Id; }
   /// Number of nodes in the term tree (Table 5 "term size").
   unsigned size() const { return Size; }
   /// 0 for closed-under-binders terms, else 1 + max loose de Bruijn index.
   unsigned maxLoose() const { return MaxLoose; }
   bool hasSchematic() const { return Schematic; }
+  /// True if a type variable occurs in any type inside this term. A term
+  /// with neither schematics nor type variables is fixed by any Subst.
+  bool hasTyVar() const { return TyVar; }
+  /// True if the term contains no beta redex and no fst/snd-of-Pair
+  /// projection redex — betaNorm(T) == T, decided in O(1).
+  bool isBetaNormal() const { return BetaNormal; }
+
+  /// Cached type of a closed (maxLoose()==0) term, or nullptr if not yet
+  /// computed. Interned types are immortal, so the raw pointer is safe to
+  /// cache and re-wrap. Internal plumbing for typeOf().
+  const Type *cachedTypePtr() const {
+    return CachedTy.load(std::memory_order_acquire);
+  }
+  void cacheTypePtr(const Type *P) const {
+    CachedTy.store(P, std::memory_order_release);
+  }
+
+  /// Arena relocation only (InternStore moves freshly built nodes into a
+  /// shard's deque). There is no public way to obtain a non-const Term,
+  /// so this cannot move a live node out from under its aliases.
+  Term(Term &&O) noexcept
+      : K(O.K), Name(std::move(O.Name)), Ty(std::move(O.Ty)),
+        Index(O.Index), Value(O.Value), A(std::move(O.A)),
+        B(std::move(O.B)), Hash(O.Hash), Id(O.Id), Size(O.Size),
+        MaxLoose(O.MaxLoose), Schematic(O.Schematic), TyVar(O.TyVar),
+        BetaNormal(O.BetaNormal),
+        CachedTy(O.CachedTy.load(std::memory_order_relaxed)) {}
 
   //===--------------------------------------------------------------------===//
-  // Factories
+  // Factories (all interning: equal structure => same node)
   //===--------------------------------------------------------------------===//
 
   static TermRef mkConst(const std::string &Name, TypeRef Ty);
@@ -118,12 +164,21 @@ private:
   Int128 Value = 0;
   TermRef A, B;
   size_t Hash = 0;
+  uint64_t Id = 0;
   unsigned Size = 1;
   unsigned MaxLoose = 0;
   bool Schematic = false;
+  bool TyVar = false;
+  bool BetaNormal = true;
+  /// Lazily computed type of a closed term (nullptr until first typeOf).
+  /// Benign to race: every writer stores the same canonical pointer.
+  mutable std::atomic<const Type *> CachedTy{nullptr};
 };
 
-/// Structural (de Bruijn alpha-) equality.
+/// Structural (de Bruijn alpha-) equality. Canonical refs to identical
+/// structure are pointer-equal (the fast path); the structural walk only
+/// runs for alpha-variants: Lam display names and Free/Var types are
+/// ignored here but distinguish interned nodes.
 bool termEq(const TermRef &A, const TermRef &B);
 
 /// Applies \p F to each argument in \p Args in turn.
@@ -134,6 +189,7 @@ TermRef stripApp(TermRef T, std::vector<TermRef> &Args);
 
 /// Computes the type of \p T. \p BoundTys are the argument types of the
 /// lambdas enclosing T, innermost first. Asserts internal well-typedness.
+/// Closed terms cache their type on the node, so repeat calls are O(1).
 TypeRef typeOf(const TermRef &T, std::vector<TypeRef> *BoundTys = nullptr);
 
 /// Shifts loose bound variables >= \p Cutoff by \p Inc.
@@ -145,6 +201,7 @@ TermRef substBound(const TermRef &Body, const TermRef &Arg,
                    unsigned Depth = 0);
 
 /// Full beta normalization (call-by-name to normal form; terms are small).
+/// O(1) on already-normal terms via the isBetaNormal() node flag.
 TermRef betaNorm(const TermRef &T);
 
 /// Replaces the free variable \p Name with \p Repl (lifting under binders).
@@ -160,6 +217,10 @@ std::vector<std::string> freeVars(const TermRef &T);
 
 /// Abstracts the free variable \p Name out of \p T, producing a lambda.
 TermRef lambdaFree(const std::string &Name, TypeRef Ty, const TermRef &T);
+
+/// Number of live interned term nodes (diagnostics for the property
+/// suite and the stats pass).
+size_t internedTermCount();
 
 } // namespace ac::hol
 

@@ -22,47 +22,51 @@ static size_t typeHash(Type::Kind K, const std::string &Name,
   return H;
 }
 
-Type::Type(Kind K, std::string Name, std::vector<TypeRef> Args)
-    : K(K), Name(std::move(Name)), Args(std::move(Args)) {
+Type::Type(Kind K, std::string Name, std::vector<TypeRef> Args, uint64_t Id)
+    : K(K), Name(std::move(Name)), Args(std::move(Args)), Id(Id) {
   Hash = typeHash(K, this->Name, this->Args);
   ContainsVar = (K == Kind::Var);
   for (const TypeRef &A : this->Args)
     ContainsVar = ContainsVar || A->hasVar();
 }
 
-/// Process-wide canonicalisation table (see Intern.h). Because every type
-/// flows through var()/con(), structurally equal types are pointer-equal
-/// and typeEq's identity fast path almost always hits.
-static InternShards<TypeRef> &typeInterner() {
-  // Leaked on purpose: avoids destruction-order races with other statics.
-  static auto *T = new InternShards<TypeRef>();
+/// Process-wide arena store (see Intern.h). Because every type flows
+/// through var()/con(), structurally equal types are pointer-equal: the
+/// argument refs of a prospective node are themselves canonical, so the
+/// structural match below reduces to pointer comparisons.
+static InternStore<Type> &typeStore() {
+  // Leaked on purpose: avoids destruction-order races with other statics
+  // and makes every TypeRef immortal (they are non-owning aliases).
+  static auto *T = new InternStore<Type>();
   return *T;
 }
 
 /// Structural match of an interned candidate against prospective pieces.
-static bool sameType(const TypeRef &R, Type::Kind K,
-                     const std::string &Name,
+/// Args are canonical, so element equality is pointer equality.
+static bool sameType(const Type &R, Type::Kind K, const std::string &Name,
                      const std::vector<TypeRef> &Args) {
-  if (R->kind() != K || R->name() != Name || R->args().size() != Args.size())
+  if (R.kind() != K || R.args().size() != Args.size() || R.name() != Name)
     return false;
   for (size_t I = 0; I != Args.size(); ++I)
-    if (!typeEq(R->arg(I), Args[I]))
+    if (R.arg(I).get() != Args[I].get())
       return false;
   return true;
 }
 
 TypeRef Type::var(const std::string &Name) {
-  return typeInterner().get(
+  return typeStore().get(
       typeHash(Kind::Var, Name, {}),
-      [&](const TypeRef &R) { return sameType(R, Kind::Var, Name, {}); },
-      [&] { return TypeRef(new Type(Kind::Var, Name, {})); });
+      [&](const Type &R) { return sameType(R, Kind::Var, Name, {}); },
+      [&](uint64_t Id) { return Type(Kind::Var, Name, {}, Id); });
 }
 
 TypeRef Type::con(const std::string &Name, std::vector<TypeRef> Args) {
-  return typeInterner().get(
+  return typeStore().get(
       typeHash(Kind::Con, Name, Args),
-      [&](const TypeRef &R) { return sameType(R, Kind::Con, Name, Args); },
-      [&] { return TypeRef(new Type(Kind::Con, Name, std::move(Args))); });
+      [&](const Type &R) { return sameType(R, Kind::Con, Name, Args); },
+      [&](uint64_t Id) {
+        return Type(Kind::Con, Name, std::move(Args), Id);
+      });
 }
 
 bool ac::hol::typeEq(const TypeRef &A, const TypeRef &B) {

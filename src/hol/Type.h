@@ -53,6 +53,11 @@ public:
 
   size_t hash() const { return Hash; }
 
+  /// Unique intern id (see Intern.h): assigned once when the node is
+  /// interned, monotonic, and never shared with any other term or type
+  /// node — a stable O(1) memo key.
+  uint64_t id() const { return Id; }
+
   /// True if a type variable occurs anywhere inside this type.
   bool hasVar() const { return ContainsVar; }
 
@@ -63,12 +68,13 @@ public:
   static TypeRef con(const std::string &Name, std::vector<TypeRef> Args = {});
 
 private:
-  Type(Kind K, std::string Name, std::vector<TypeRef> Args);
+  Type(Kind K, std::string Name, std::vector<TypeRef> Args, uint64_t Id);
 
   Kind K;
   std::string Name;
   std::vector<TypeRef> Args;
   size_t Hash;
+  uint64_t Id;
   bool ContainsVar;
 };
 

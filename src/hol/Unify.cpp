@@ -33,6 +33,11 @@ TypeRef Subst::applyTy(const TypeRef &T) const {
 }
 
 static TermRef applyRaw(const Subst &S, const TermRef &T) {
+  // A substitution can only touch schematic variables and type
+  // variables; a term containing neither is fixed. The node flags make
+  // this O(1), which stops the unifier re-walking ground subtrees.
+  if (!T->hasSchematic() && !T->hasTyVar())
+    return T;
   switch (T->kind()) {
   case Term::Kind::Const: {
     TypeRef Ty = S.applyTy(T->type());
@@ -81,7 +86,7 @@ static TermRef applyRaw(const Subst &S, const TermRef &T) {
 }
 
 TermRef Subst::apply(const TermRef &T) const {
-  if (empty())
+  if (empty() || (!T->hasSchematic() && !T->hasTyVar()))
     return betaNorm(T);
   return betaNorm(applyRaw(*this, T));
 }
@@ -145,6 +150,8 @@ bool ac::hol::unifyTypes(const TypeRef &A0, const TypeRef &B0, Subst &S) {
 
 static bool occursVar(const std::string &Name, unsigned Index,
                       const TermRef &T) {
+  if (!T->hasSchematic())
+    return false;
   switch (T->kind()) {
   case Term::Kind::Var:
     return T->name() == Name && T->index() == Index;
@@ -340,6 +347,10 @@ static TypeRef freshenTy(const TypeRef &T, unsigned Offset) {
 }
 
 TermRef ac::hol::freshenSchematics(const TermRef &T, unsigned Offset) {
+  // Nothing to rename below a ground subtree (and with interning the
+  // identity rebuild would return this very node anyway).
+  if (!T->hasSchematic() && !T->hasTyVar())
+    return T;
   switch (T->kind()) {
   case Term::Kind::Const: {
     TypeRef Ty = freshenTy(T->type(), Offset);
@@ -369,6 +380,8 @@ TermRef ac::hol::freshenSchematics(const TermRef &T, unsigned Offset) {
 }
 
 unsigned ac::hol::maxSchematicIndex(const TermRef &T) {
+  if (!T->hasSchematic())
+    return 0;
   switch (T->kind()) {
   case Term::Kind::Var:
     return T->index();

@@ -25,6 +25,7 @@
 #include "hol/Names.h"
 #include "hol/GroundEval.h"
 #include "hol/ProofState.h"
+#include "hol/RuleCache.h"
 #include "monad/Peephole.h"
 #include "support/RuleProfile.h"
 #include "support/Trace.h"
@@ -40,6 +41,37 @@ namespace nm = ac::hol::names;
 thread_local std::set<std::string> WordAbstraction::Tracked;
 thread_local std::string WordAbstraction::CurFn;
 thread_local unsigned WordAbstraction::FreshCtr = 0;
+thread_local std::unordered_map<uint64_t, bool> WordAbstraction::TrackedMemo;
+thread_local std::unordered_map<uint64_t, WordAbstraction::ValOut>
+    WordAbstraction::ValIdMemo[2];
+thread_local std::unordered_map<uint64_t, WordAbstraction::ValOut>
+    WordAbstraction::ValNatIntMemo[2];
+
+void WordAbstraction::trackAdd(const std::string &N) {
+  Tracked.insert(N);
+  TrackedMemo.clear();
+  ValIdMemo[0].clear();
+  ValIdMemo[1].clear();
+  ValNatIntMemo[0].clear();
+  ValNatIntMemo[1].clear();
+}
+
+void WordAbstraction::trackDrop(const std::string &N) {
+  Tracked.erase(N);
+  TrackedMemo.clear();
+  ValIdMemo[0].clear();
+  ValIdMemo[1].clear();
+  ValNatIntMemo[0].clear();
+  ValNatIntMemo[1].clear();
+}
+
+void WordAbstraction::clearFnMemos() {
+  TrackedMemo.clear();
+  ValIdMemo[0].clear();
+  ValIdMemo[1].clear();
+  ValNatIntMemo[0].clear();
+  ValNatIntMemo[1].clear();
+}
 
 //===----------------------------------------------------------------------===//
 // Kinds and abstraction functions
@@ -582,6 +614,15 @@ WARules &rules() {
 
 std::atomic<unsigned> GlobalPerWidthCount{0};
 
+/// Mint-once cache for the per-width rules below (see RuleCache.h). The
+/// abstraction engine requests a rule per *use* of an operator; only the
+/// first request per axiom name builds the proposition. With the cache,
+/// GlobalPerWidthCount counts distinct per-width rules.
+RuleCache &mintCache() {
+  static auto *C = new RuleCache();
+  return *C;
+}
+
 Thm inst(const Thm &Ax,
          std::vector<std::pair<const char *, TermRef>> Tms,
          std::vector<std::pair<const char *, TypeRef>> Tys = {}) {
@@ -625,49 +666,55 @@ Thm natBinRule(const std::string &Name, unsigned W, const char *Op,
                const std::function<TermRef(TermRef, TermRef)> &AbsOp,
                const std::function<TermRef(TermRef, TermRef)> &Side,
                bool PurePQ = false) {
-  TypeRef WT = wordTy(W);
-  TermRef P = PurePQ ? mkTrue() : V("P", boolTy());
-  TermRef Q = PurePQ ? mkTrue() : V("Q", boolTy());
-  TermRef Ap = V("a'", natTy()), Ac = V("aa", WT);
-  TermRef Bp = V("b'", natTy()), Bc = V("bb", WT);
-  TermRef Prem1 = mkAbsWVal(P, unatC(W), Ap, Ac, funTy(WT, natTy()));
-  TermRef Prem2 = mkAbsWVal(Q, unatC(W), Bp, Bc, funTy(WT, natTy()));
-  TermRef Pre = PurePQ ? (Side ? Side(Ap, Bp) : mkTrue())
-                       : (Side ? mkConj(mkConj(P, Q), Side(Ap, Bp))
-                               : mkConj(P, Q));
-  TermRef ConOp = mkBinop(Op, WT, Ac, Bc);
-  Thm T = Kernel::axiom(
-      "WA." + Name + (PurePQ ? "_pp." : ".") + std::to_string(W),
-      mkImp(Prem1, mkImp(Prem2, mkAbsWVal(Pre, unatC(W), AbsOp(Ap, Bp),
-                                          ConOp, funTy(WT, natTy())))));
-  ++GlobalPerWidthCount;
-  return T;
+  std::string AxName =
+      "WA." + Name + (PurePQ ? "_pp." : ".") + std::to_string(W);
+  return mintCache().get(AxName, [&] {
+    TypeRef WT = wordTy(W);
+    TermRef P = PurePQ ? mkTrue() : V("P", boolTy());
+    TermRef Q = PurePQ ? mkTrue() : V("Q", boolTy());
+    TermRef Ap = V("a'", natTy()), Ac = V("aa", WT);
+    TermRef Bp = V("b'", natTy()), Bc = V("bb", WT);
+    TermRef Prem1 = mkAbsWVal(P, unatC(W), Ap, Ac, funTy(WT, natTy()));
+    TermRef Prem2 = mkAbsWVal(Q, unatC(W), Bp, Bc, funTy(WT, natTy()));
+    TermRef Pre = PurePQ ? (Side ? Side(Ap, Bp) : mkTrue())
+                         : (Side ? mkConj(mkConj(P, Q), Side(Ap, Bp))
+                                 : mkConj(P, Q));
+    TermRef ConOp = mkBinop(Op, WT, Ac, Bc);
+    Thm T = Kernel::axiom(
+        AxName,
+        mkImp(Prem1, mkImp(Prem2, mkAbsWVal(Pre, unatC(W), AbsOp(Ap, Bp),
+                                            ConOp, funTy(WT, natTy())))));
+    ++GlobalPerWidthCount;
+    return T;
+  });
 }
 
 /// Comparison rule (result bool via id).
 Thm cmpRule(const std::string &Name, const TypeRef &WT, const TermRef &RxC,
             const TypeRef &ITy, const char *Op, bool PurePQ = false) {
-  TermRef P = PurePQ ? mkTrue() : V("P", boolTy());
-  TermRef Q = PurePQ ? mkTrue() : V("Q", boolTy());
-  TermRef Ap = V("a'", ITy), Ac = V("aa", WT);
-  TermRef Bp = V("b'", ITy), Bc = V("bb", WT);
-  TermRef Prem1 = mkAbsWVal(P, RxC, Ap, Ac, funTy(WT, ITy));
-  TermRef Prem2 = mkAbsWVal(Q, RxC, Bp, Bc, funTy(WT, ITy));
-  TermRef AbsCmp = std::string(Op) == nm::Eq
-                       ? mkEq(Ap, Bp)
-                       : mkBinop(Op, boolTy(), Ap, Bp);
-  TermRef ConCmp = std::string(Op) == nm::Eq
-                       ? mkEq(Ac, Bc)
-                       : mkBinop(Op, boolTy(), Ac, Bc);
-  TermRef Pre = PurePQ ? mkTrue() : mkConj(P, Q);
-  Thm T = Kernel::axiom(
-      "WA." + Name,
-      mkImp(Prem1,
-            mkImp(Prem2, mkAbsWVal(Pre, idAbsC(boolTy()),
-                                   AbsCmp, ConCmp,
-                                   funTy(boolTy(), boolTy())))));
-  ++GlobalPerWidthCount;
-  return T;
+  return mintCache().get("WA." + Name, [&] {
+    TermRef P = PurePQ ? mkTrue() : V("P", boolTy());
+    TermRef Q = PurePQ ? mkTrue() : V("Q", boolTy());
+    TermRef Ap = V("a'", ITy), Ac = V("aa", WT);
+    TermRef Bp = V("b'", ITy), Bc = V("bb", WT);
+    TermRef Prem1 = mkAbsWVal(P, RxC, Ap, Ac, funTy(WT, ITy));
+    TermRef Prem2 = mkAbsWVal(Q, RxC, Bp, Bc, funTy(WT, ITy));
+    TermRef AbsCmp = std::string(Op) == nm::Eq
+                         ? mkEq(Ap, Bp)
+                         : mkBinop(Op, boolTy(), Ap, Bp);
+    TermRef ConCmp = std::string(Op) == nm::Eq
+                         ? mkEq(Ac, Bc)
+                         : mkBinop(Op, boolTy(), Ac, Bc);
+    TermRef Pre = PurePQ ? mkTrue() : mkConj(P, Q);
+    Thm T = Kernel::axiom(
+        "WA." + Name,
+        mkImp(Prem1,
+              mkImp(Prem2, mkAbsWVal(Pre, idAbsC(boolTy()),
+                                     AbsCmp, ConCmp,
+                                     funTy(boolTy(), boolTy())))));
+    ++GlobalPerWidthCount;
+    return T;
+  });
 }
 
 /// Signed binary arithmetic at width W.
@@ -675,91 +722,103 @@ Thm intBinRule(const std::string &Name, unsigned W, const char *Op,
                const std::function<TermRef(TermRef, TermRef)> &AbsOp,
                const std::function<TermRef(TermRef, TermRef)> &Side,
                bool PurePQ = false) {
-  TypeRef WT = swordTy(W);
-  TermRef P = PurePQ ? mkTrue() : V("P", boolTy());
-  TermRef Q = PurePQ ? mkTrue() : V("Q", boolTy());
-  TermRef Ap = V("a'", intTy()), Ac = V("aa", WT);
-  TermRef Bp = V("b'", intTy()), Bc = V("bb", WT);
-  TermRef Prem1 = mkAbsWVal(P, sintC(W), Ap, Ac, funTy(WT, intTy()));
-  TermRef Prem2 = mkAbsWVal(Q, sintC(W), Bp, Bc, funTy(WT, intTy()));
-  TermRef Pre = PurePQ ? (Side ? Side(Ap, Bp) : mkTrue())
-                       : (Side ? mkConj(mkConj(P, Q), Side(Ap, Bp))
-                               : mkConj(P, Q));
-  Thm T = Kernel::axiom(
-      "WA." + Name + (PurePQ ? "_pp." : ".") + std::to_string(W),
-      mkImp(Prem1,
-            mkImp(Prem2, mkAbsWVal(Pre, sintC(W), AbsOp(Ap, Bp),
-                                   mkBinop(Op, WT, Ac, Bc),
-                                   funTy(WT, intTy())))));
-  ++GlobalPerWidthCount;
-  return T;
+  std::string AxName =
+      "WA." + Name + (PurePQ ? "_pp." : ".") + std::to_string(W);
+  return mintCache().get(AxName, [&] {
+    TypeRef WT = swordTy(W);
+    TermRef P = PurePQ ? mkTrue() : V("P", boolTy());
+    TermRef Q = PurePQ ? mkTrue() : V("Q", boolTy());
+    TermRef Ap = V("a'", intTy()), Ac = V("aa", WT);
+    TermRef Bp = V("b'", intTy()), Bc = V("bb", WT);
+    TermRef Prem1 = mkAbsWVal(P, sintC(W), Ap, Ac, funTy(WT, intTy()));
+    TermRef Prem2 = mkAbsWVal(Q, sintC(W), Bp, Bc, funTy(WT, intTy()));
+    TermRef Pre = PurePQ ? (Side ? Side(Ap, Bp) : mkTrue())
+                         : (Side ? mkConj(mkConj(P, Q), Side(Ap, Bp))
+                                 : mkConj(P, Q));
+    Thm T = Kernel::axiom(
+        AxName,
+        mkImp(Prem1,
+              mkImp(Prem2, mkAbsWVal(Pre, sintC(W), AbsOp(Ap, Bp),
+                                     mkBinop(Op, WT, Ac, Bc),
+                                     funTy(WT, intTy())))));
+    ++GlobalPerWidthCount;
+    return T;
+  });
 }
 
 /// Unary wrap/leaf/elim rules.
 Thm wrapRule(const std::string &Name, const TypeRef &WT, const TermRef &Rx,
              const TypeRef &ITy, const TermRef &OfC) {
-  // abs_w_val P rx a' c ==> abs_w_val P id_abs (of a') c.
-  TermRef P = V("P", boolTy());
-  TermRef Ap = V("a'", ITy), Ac = V("cc", WT);
-  Thm T = Kernel::axiom(
-      "WA." + Name,
-      mkImp(mkAbsWVal(P, Rx, Ap, Ac, funTy(WT, ITy)),
-            mkAbsWVal(P, idAbsC(WT), Term::mkApp(OfC, Ap), Ac,
-                      funTy(WT, WT))));
-  ++GlobalPerWidthCount;
-  return T;
+  return mintCache().get("WA." + Name, [&] {
+    // abs_w_val P rx a' c ==> abs_w_val P id_abs (of a') c.
+    TermRef P = V("P", boolTy());
+    TermRef Ap = V("a'", ITy), Ac = V("cc", WT);
+    Thm T = Kernel::axiom(
+        "WA." + Name,
+        mkImp(mkAbsWVal(P, Rx, Ap, Ac, funTy(WT, ITy)),
+              mkAbsWVal(P, idAbsC(WT), Term::mkApp(OfC, Ap), Ac,
+                        funTy(WT, WT))));
+    ++GlobalPerWidthCount;
+    return T;
+  });
 }
 
 Thm leafRule(const std::string &Name, const TypeRef &WT, const TermRef &Rx,
              const TypeRef &ITy) {
-  // abs_w_val P id_abs t' t ==> abs_w_val P rx (rx t') t.
-  TermRef P = V("P", boolTy());
-  TermRef Tp = V("t'", WT), Tc = V("tt", WT);
-  Thm T = Kernel::axiom(
-      "WA." + Name,
-      mkImp(mkAbsWVal(P, idAbsC(WT), Tp, Tc, funTy(WT, WT)),
-            mkAbsWVal(P, Rx, Term::mkApp(Rx, Tp), Tc, funTy(WT, ITy))));
-  ++GlobalPerWidthCount;
-  return T;
+  return mintCache().get("WA." + Name, [&] {
+    // abs_w_val P id_abs t' t ==> abs_w_val P rx (rx t') t.
+    TermRef P = V("P", boolTy());
+    TermRef Tp = V("t'", WT), Tc = V("tt", WT);
+    Thm T = Kernel::axiom(
+        "WA." + Name,
+        mkImp(mkAbsWVal(P, idAbsC(WT), Tp, Tc, funTy(WT, WT)),
+              mkAbsWVal(P, Rx, Term::mkApp(Rx, Tp), Tc, funTy(WT, ITy))));
+    ++GlobalPerWidthCount;
+    return T;
+  });
 }
 
 Thm elimRule(const std::string &Name, const TypeRef &WT, const TermRef &Rx,
              const TypeRef &ITy) {
-  // abs_w_val P rx a' c ==> abs_w_val P id_abs a' (rx c)
-  // — eliminates explicit sint/unat coercions in guard expressions.
-  TermRef P = V("P", boolTy());
-  TermRef Ap = V("a'", ITy), Ac = V("cc", WT);
-  Thm T = Kernel::axiom(
-      "WA." + Name,
-      mkImp(mkAbsWVal(P, Rx, Ap, Ac, funTy(WT, ITy)),
-            mkAbsWVal(P, idAbsC(ITy), Ap, Term::mkApp(Rx, Ac),
-                      funTy(ITy, ITy))));
-  ++GlobalPerWidthCount;
-  return T;
+  return mintCache().get("WA." + Name, [&] {
+    // abs_w_val P rx a' c ==> abs_w_val P id_abs a' (rx c)
+    // — eliminates explicit sint/unat coercions in guard expressions.
+    TermRef P = V("P", boolTy());
+    TermRef Ap = V("a'", ITy), Ac = V("cc", WT);
+    Thm T = Kernel::axiom(
+        "WA." + Name,
+        mkImp(mkAbsWVal(P, Rx, Ap, Ac, funTy(WT, ITy)),
+              mkAbsWVal(P, idAbsC(ITy), Ap, Term::mkApp(Rx, Ac),
+                        funTy(ITy, ITy))));
+    ++GlobalPerWidthCount;
+    return T;
+  });
 }
 
 /// If-then-else at an abstracted type.
 Thm iteRule(const std::string &Name, const TypeRef &WT, const TermRef &Rx,
             const TypeRef &ITy) {
-  TermRef Pc = V("Pc", boolTy()), Pa = V("Pa", boolTy()),
-          Pb = V("Pb", boolTy());
-  TermRef Cp = V("c'", boolTy()), Cc = V("cnd", boolTy());
-  TermRef Ap = V("a'", ITy), Ac = V("aa", WT);
-  TermRef Bp = V("b'", ITy), Bc = V("bb", WT);
-  TermRef PremC = mkAbsWVal(Pc, idAbsC(boolTy()), Cp, Cc,
-                            funTy(boolTy(), boolTy()));
-  TermRef PremA = mkAbsWVal(Pa, Rx, Ap, Ac, funTy(WT, ITy));
-  TermRef PremB = mkAbsWVal(Pb, Rx, Bp, Bc, funTy(WT, ITy));
-  Thm T = Kernel::axiom(
-      "WA." + Name,
-      mkImp(PremC,
-            mkImp(PremA,
-                  mkImp(PremB,
-                        mkAbsWVal(mkConj(Pc, mkConj(Pa, Pb)), Rx,
-                                  mkIte(Cp, Ap, Bp), mkIte(Cc, Ac, Bc),
-                                  funTy(WT, ITy))))));
-  ++GlobalPerWidthCount;
-  return T;
+  return mintCache().get("WA." + Name, [&] {
+    TermRef Pc = V("Pc", boolTy()), Pa = V("Pa", boolTy()),
+            Pb = V("Pb", boolTy());
+    TermRef Cp = V("c'", boolTy()), Cc = V("cnd", boolTy());
+    TermRef Ap = V("a'", ITy), Ac = V("aa", WT);
+    TermRef Bp = V("b'", ITy), Bc = V("bb", WT);
+    TermRef PremC = mkAbsWVal(Pc, idAbsC(boolTy()), Cp, Cc,
+                              funTy(boolTy(), boolTy()));
+    TermRef PremA = mkAbsWVal(Pa, Rx, Ap, Ac, funTy(WT, ITy));
+    TermRef PremB = mkAbsWVal(Pb, Rx, Bp, Bc, funTy(WT, ITy));
+    Thm T = Kernel::axiom(
+        "WA." + Name,
+        mkImp(PremC,
+              mkImp(PremA,
+                    mkImp(PremB,
+                          mkAbsWVal(mkConj(Pc, mkConj(Pa, Pb)), Rx,
+                                    mkIte(Cp, Ap, Bp), mkIte(Cc, Ac, Bc),
+                                    funTy(WT, ITy))))));
+    ++GlobalPerWidthCount;
+    return T;
+  });
 }
 
 /// Base name ("nat_plus" / "int_div" / ...) of the binary arithmetic
@@ -881,7 +940,18 @@ void WordAbstraction::registerStandardRules() {
 }
 
 void WordAbstraction::addValRule(const Thm &Rule) {
+  // Index the conclusion's concrete side (abs_w_val ?P ?f ?a ?c — the
+  // pattern matched against goal subterms is ?c). Ids follow the rule's
+  // position so an index-driven scan fires the same rule first.
+  std::vector<TermRef> Prems;
+  TermRef Concl;
+  stripImps(Rule.prop(), Prems, Concl);
+  std::vector<TermRef> CArgs;
+  stripApp(Concl, CArgs);
+  if (CArgs.size() == 4)
+    UserValIndex.add(CArgs[3], static_cast<unsigned>(UserValRules.size()));
   UserValRules.push_back(Rule);
+  clearFnMemos(); // cached valId results predate the new rule
 }
 
 bool WordAbstraction::containsTracked(const TermRef &T) const {
@@ -889,9 +959,19 @@ bool WordAbstraction::containsTracked(const TermRef &T) const {
   case Term::Kind::Free:
     return Tracked.count(T->name()) != 0;
   case Term::Kind::Lam:
-    return containsTracked(T->body());
-  case Term::Kind::App:
-    return containsTracked(T->fun()) || containsTracked(T->argTerm());
+  case Term::Kind::App: {
+    // valId consults this at every node it visits, so an unmemoised walk
+    // is quadratic in expression size. Hash-consing makes the node id a
+    // stable key; the table is cleared whenever Tracked changes.
+    auto It = TrackedMemo.find(T->id());
+    if (It != TrackedMemo.end())
+      return It->second;
+    bool R = T->isLam() ? containsTracked(T->body())
+                        : containsTracked(T->fun()) ||
+                              containsTracked(T->argTerm());
+    TrackedMemo.emplace(T->id(), R);
+    return R;
+  }
   default:
     return false;
   }
@@ -958,6 +1038,21 @@ TermRef absOfStmt(const Thm &T) {
 
 std::optional<WordAbstraction::ValOut>
 WordAbstraction::valNatInt(const TermRef &C, bool IsInt) {
+  auto &M = ValNatIntMemo[IsInt ? 1 : 0];
+  auto It = M.find(C->id());
+  if (It != M.end())
+    return It->second;
+  unsigned FreshBefore = FreshCtr;
+  std::optional<ValOut> R = valNatIntUncached(C, IsInt);
+  // Fresh-free results only, as in valId: hits replay recomputation
+  // exactly and leave the fresh-name sequence untouched.
+  if (R && FreshCtr == FreshBefore)
+    M.emplace(C->id(), *R);
+  return R;
+}
+
+std::optional<WordAbstraction::ValOut>
+WordAbstraction::valNatIntUncached(const TermRef &C, bool IsInt) {
   TypeRef WT = typeOf(C);
   unsigned W = wordBits(WT);
   TypeRef ITy = IsInt ? intTy() : natTy();
@@ -1053,6 +1148,23 @@ WordAbstraction::valNatInt(const TermRef &C, bool IsInt) {
 
 std::optional<WordAbstraction::ValOut>
 WordAbstraction::valId(const TermRef &C, bool SkipWrap) {
+  auto &M = ValIdMemo[SkipWrap ? 1 : 0];
+  auto It = M.find(C->id());
+  if (It != M.end())
+    return It->second;
+  unsigned FreshBefore = FreshCtr;
+  std::optional<ValOut> R = valIdUncached(C, SkipWrap);
+  // Only fresh-free computations are cached: a hit then returns exactly
+  // what recomputation would have, and the global fresh-name sequence is
+  // untouched, so the abstraction output is bit-identical with or
+  // without the memo.
+  if (R && FreshCtr == FreshBefore)
+    M.emplace(C->id(), *R);
+  return R;
+}
+
+std::optional<WordAbstraction::ValOut>
+WordAbstraction::valIdUncached(const TermRef &C, bool SkipWrap) {
   WARules &R = rules();
   TypeRef Ty = typeOf(C);
 
@@ -1073,7 +1185,12 @@ WordAbstraction::valId(const TermRef &C, bool SkipWrap) {
   // Match the conclusion's concrete side, then solve the premises by
   // recursive abstraction, unifying the remaining schematics (the
   // abstract values and preconditions) with what the engine derived.
-  for (const Thm &UR : UserValRules) {
+  // The index prunes rules whose pattern head cannot match C; candidates
+  // come back ascending, so the first match is the scan's first match.
+  std::vector<unsigned> URCands;
+  UserValIndex.lookup(C, URCands);
+  for (unsigned URId : URCands) {
+    const Thm &UR = UserValRules[URId];
     std::vector<TermRef> Prems;
     TermRef Concl;
     stripImps(UR.prop(), Prems, Concl);
@@ -1428,10 +1545,10 @@ std::optional<Thm> WordAbstraction::stmt(const TermRef &C) {
     // Abstract the continuation at a tracked concrete binder.
     std::string RN = fresh("r");
     TermRef RF = Term::mkFree(RN, A1);
-    Tracked.insert(RN);
+    trackAdd(RN);
     TermRef RBody = betaNorm(Term::mkApp(Args[1], RF));
     std::optional<Thm> RT = stmt(RBody);
-    Tracked.erase(RN);
+    trackDrop(RN);
     if (!RT)
       return ruleMiss(R.Bind);
     // R' = %ra. body with the rx-image patterns of r replaced by ra.
@@ -1464,10 +1581,10 @@ std::optional<Thm> WordAbstraction::stmt(const TermRef &C) {
     TermRef Ex1 = rxTerm(E1);
     std::string EN = fresh("e");
     TermRef EF = Term::mkFree(EN, E1);
-    Tracked.insert(EN);
+    trackAdd(EN);
     TermRef HBody = betaNorm(Term::mkApp(Args[1], EF));
     std::optional<Thm> HT = stmt(HBody);
-    Tracked.erase(EN);
+    trackDrop(EN);
     if (!HT)
       return ruleMiss(R.Catch);
     TermRef AbsBody = absOfStmt(*HT);
@@ -1521,11 +1638,11 @@ std::optional<Thm> WordAbstraction::stmt(const TermRef &C) {
     std::string RN = fresh("r"), SN = fresh("s");
     TermRef RF = Term::mkFree(RN, ITy);
     TermRef SF = Term::mkFree(SN, S);
-    Tracked.insert(RN);
+    trackAdd(RN);
     TermRef CondBody =
         betaNorm(mkApps(Args[0], {RF, SF}));
     std::optional<ValOut> CV = valId(CondBody);
-    Tracked.erase(RN);
+    trackDrop(RN);
     if (!CV)
       return ruleMiss(R.While);
     std::string RAN = fresh("ra");
@@ -1543,10 +1660,10 @@ std::optional<Thm> WordAbstraction::stmt(const TermRef &C) {
     // Body at a tracked binder.
     std::string RN2 = fresh("r");
     TermRef RF2 = Term::mkFree(RN2, ITy);
-    Tracked.insert(RN2);
+    trackAdd(RN2);
     TermRef BBody = betaNorm(Term::mkApp(Args[1], RF2));
     std::optional<Thm> BT = stmt(BBody);
-    Tracked.erase(RN2);
+    trackDrop(RN2);
     if (!BT)
       return ruleMiss(R.While);
     std::string RAN2 = fresh("ra");
@@ -1785,6 +1902,7 @@ WAResult &WordAbstraction::abstractFunction(
   Tracked.clear();
   for (const std::string &N : ArgNames)
     Tracked.insert(N);
+  clearFnMemos();
 
   if (Opts.Enabled) {
     std::optional<Thm> Th = stmt(Body);

@@ -32,12 +32,15 @@
 #ifndef AC_WORDABS_WORDABS_H
 #define AC_WORDABS_WORDABS_H
 
+#include "hol/RuleIndex.h"
 #include "hol/Thm.h"
 #include "monad/Interp.h"
 
+#include <cstdint>
 #include <optional>
 #include <set>
 #include <shared_mutex>
+#include <unordered_map>
 
 namespace ac::wordabs {
 
@@ -116,8 +119,10 @@ private:
   };
 
   std::optional<ValOut> valNatInt(const hol::TermRef &C, bool IsInt);
+  std::optional<ValOut> valNatIntUncached(const hol::TermRef &C, bool IsInt);
   std::optional<ValOut> valId(const hol::TermRef &C,
                               bool SkipWrap = false);
+  std::optional<ValOut> valIdUncached(const hol::TermRef &C, bool SkipWrap);
   /// Dispatches on kindOf(typeOf(C)).
   std::optional<ValOut> val(const hol::TermRef &C);
   std::optional<hol::Thm> stmt(const hol::TermRef &C);
@@ -134,6 +139,11 @@ private:
   mutable std::shared_mutex ResultsM;
   std::map<std::string, WAResult> Results;
   std::vector<hol::Thm> UserValRules;
+  /// Discrimination tree over the conclusions' concrete sides, so val()
+  /// consults only the user rules whose pattern could match the current
+  /// subterm. Rules whose conclusion is not a 4-argument application are
+  /// unindexed — they can never fire in the scan either.
+  hol::RuleIndex UserValIndex;
   /// Per-thread engine state (each worker abstracts one function at a
   /// time); Tracked is scoped to the current function and CurFn/FreshCtr
   /// are reset on abstractFunction entry, so the output is identical
@@ -141,6 +151,20 @@ private:
   static thread_local std::set<std::string> Tracked; ///< concrete frees
   static thread_local std::string CurFn;
   static thread_local unsigned FreshCtr;
+
+  /// Function-scoped memo tables keyed on interned term ids (the
+  /// hash-consed store makes ids stable and O(1) to read). Both caches
+  /// depend on the current Tracked set, so any Tracked mutation clears
+  /// them — go through trackAdd/trackDrop, never mutate Tracked
+  /// directly. valId results are memoised only when their computation
+  /// consumed no fresh names, so a hit is byte-for-byte the result a
+  /// recomputation would have produced.
+  static thread_local std::unordered_map<uint64_t, bool> TrackedMemo;
+  static thread_local std::unordered_map<uint64_t, ValOut> ValIdMemo[2];
+  static thread_local std::unordered_map<uint64_t, ValOut> ValNatIntMemo[2];
+  static void trackAdd(const std::string &N);
+  static void trackDrop(const std::string &N);
+  static void clearFnMemos();
 
   std::string fresh(const std::string &H) {
     return H + "^" + std::to_string(FreshCtr++);

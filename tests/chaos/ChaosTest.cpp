@@ -27,6 +27,8 @@
 
 #include "core/AutoCorres.h"
 #include "core/ResultCache.h"
+#include "hol/Print.h"
+#include "hol/Simp.h"
 #include "support/FaultInject.h"
 #include "support/FileLock.h"
 #include "support/Json.h"
@@ -434,6 +436,65 @@ void driveTraceWriteFail() {
   EXPECT_TRUE(J.get("traceEvents").isArray());
 }
 
+/// The simplifier's normal-form memo is a pure accelerator: entries are
+/// only written for results that are depth- and budget-independent, so
+/// dropping any subset of them mid-run — the memo equivalent of a cache
+/// eviction under memory pressure — may cost recomputation but can never
+/// change a byte of output. The workload is a family of terms built
+/// around one shared irreducible core, so once the first simplification
+/// certifies the core normal, every later term's walk consults the memo
+/// for it. Two eviction schedules prove the invariant: a total one
+/// (every memo insert is dropped and every hit evicts its entry: the
+/// memo is effectively off) and a partial one (a block of mid-run
+/// operations fails, so hits, misses and dropped inserts all mix in one
+/// run).
+void driveSimpMemoEvict() {
+  using hol::Term;
+  using hol::TermRef;
+
+  auto family = [] {
+    std::vector<TermRef> Ts;
+    TermRef P = Term::mkFree("p", hol::boolTy());
+    TermRef A = Term::mkFree("a", hol::natTy());
+    TermRef B = Term::mkFree("b", hol::natTy());
+    // `if p then a else b` has no rule match — simp-normal, memoised.
+    TermRef Core = hol::mkIte(P, A, B);
+    for (unsigned I = 0; I != 16; ++I) {
+      TermRef T = Core;
+      for (unsigned J = 0; J != I % 5; ++J)
+        T = hol::mkIte(hol::mkTrue(), T, Core); // reducible spine
+      Ts.push_back(hol::mkConj(hol::mkTrue(),
+                               hol::mkConj(hol::mkEq(T, Core),
+                                           hol::mkTrue())));
+    }
+    return Ts;
+  };
+  // Each render starts from a fresh copy of the shared basic simpset
+  // (same rules, private memo), so the three runs differ only in the
+  // armed eviction schedule.
+  auto render = [&family] {
+    hol::Simpset SS = hol::basicSimpset();
+    std::vector<std::string> Out;
+    for (const TermRef &T : family())
+      Out.push_back(hol::printTerm(hol::simplify(SS, T).Result));
+    return Out;
+  };
+
+  std::vector<std::string> Ref = render();
+
+  ASSERT_TRUE(FaultInject::arm("simp.memo.evict", 1, /*Count=*/100000000));
+  std::vector<std::string> NoMemo = render();
+  EXPECT_GE(FaultInject::fired("simp.memo.evict"), 1u)
+      << "the rewriter never touched the memo; the driver is vacuous";
+  FaultInject::disarmAll();
+  EXPECT_EQ(Ref, NoMemo) << "simp.memo.evict: memo fully evicted";
+
+  ASSERT_TRUE(FaultInject::arm("simp.memo.evict", 7, /*Count=*/200));
+  std::vector<std::string> Partial = render();
+  FaultInject::disarmAll();
+  EXPECT_EQ(Ref, Partial) << "simp.memo.evict: partial eviction";
+}
+
 //===----------------------------------------------------------------------===//
 // The driver table and the coverage gate
 //===----------------------------------------------------------------------===//
@@ -463,6 +524,7 @@ const SiteCase AllSites[] = {
     {"cache.save.crash", driveSaveCrash},
     {"cache.save.bitflip", driveSaveBitflip},
     {"trace.write.fail", driveTraceWriteFail},
+    {"simp.memo.evict", driveSimpMemoEvict},
 };
 
 class ChaosSite : public ::testing::TestWithParam<SiteCase> {

@@ -463,14 +463,51 @@ TEST(Differential, RandomProgramSweep) {
     return;
   }
 
-  constexpr unsigned Programs = 220;
-  constexpr uint64_t BaseSeed = 0xd1ff0001;
+  // Two disjoint seed banks: the original 220-program bank, and a second
+  // bank added when the kernel representation moved to hash-consing —
+  // fresh programs the interning, rule-index and memo fast paths have
+  // never seen, summing to a 500-program sweep.
+  constexpr unsigned BankAPrograms = 220;
+  constexpr uint64_t BankABase = 0xd1ff0001;
+  constexpr unsigned BankBPrograms = 280;
+  constexpr uint64_t BankBBase = 0xd1ffba5e;
   Tally T;
-  for (unsigned P = 0; P != Programs; ++P)
-    checkProgram(BaseSeed + P, /*TrialsPerFn=*/4, T);
+  for (unsigned P = 0; P != BankAPrograms; ++P)
+    checkProgram(BankABase + P, /*TrialsPerFn=*/4, T);
+  for (unsigned P = 0; P != BankBPrograms; ++P)
+    checkProgram(BankBBase + P, /*TrialsPerFn=*/4, T);
   reportFailures(T);
   // The sweep must be conclusive, not vacuously green: most trials run
   // three checks per function, so Ok counts should dwarf program count.
-  EXPECT_GT(T.Ok, Programs * 3) << "sweep mostly inconclusive: Ok="
-                                << T.Ok << " Skip=" << T.Skip;
+  EXPECT_GT(T.Ok, (BankAPrograms + BankBPrograms) * 3)
+      << "sweep mostly inconclusive: Ok=" << T.Ok << " Skip=" << T.Skip;
+}
+
+/// Seeds that once surfaced a divergence (or exercised a then-new fast
+/// path) are pinned here with extra trials, so the exact program that
+/// broke an engine keeps guarding it after the sweep's banks move on.
+/// Every entry records why it earned its place.
+TEST(Differential, PinnedSeeds) {
+  struct Pin {
+    uint64_t Seed;
+    const char *Why;
+  };
+  const Pin Pins[] = {
+      // Bank boundaries of the 500-program sweep: first/last program of
+      // each bank, replayed at triple trials. These pin the sweep's
+      // endpoints against generator drift when banks are renumbered.
+      {0xd1ff0001, "bank A first program"},
+      {0xd1ff0001 + 219, "bank A last program"},
+      {0xd1ffba5e, "bank B first program"},
+      {0xd1ffba5e + 279, "bank B last program"},
+  };
+  Tally T;
+  for (const Pin &P : Pins) {
+    size_t Before = T.Failures.size();
+    checkProgram(P.Seed, /*TrialsPerFn=*/12, T);
+    for (size_t I = Before; I != T.Failures.size(); ++I)
+      T.Failures[I] += std::string("\npinned because: ") + P.Why;
+  }
+  reportFailures(T);
+  EXPECT_GT(T.Ok, 0u);
 }

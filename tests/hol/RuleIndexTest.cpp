@@ -1,0 +1,278 @@
+//===- RuleIndexTest.cpp - Discrimination-tree retrieval equivalence ------===//
+//
+// The rule index (hol/RuleIndex.h) is pure retrieval: it may return rules
+// whose lhs does not match, never miss one that does, and must preserve
+// the linear scan's first-match order. This suite pins all three ways:
+//
+//   * handcrafted patterns covering every edge kind (rigid heads,
+//     schematic wildcards, higher-order patterns, residual redexes);
+//   * the superset property replayed over a *recorded* goal corpus — the
+//     audit hook captures every goal the real pipeline ever looked up,
+//     and each is checked against a full linear matchTerm scan of the
+//     basic simpset and of every registered WA.*/HL.* rule head;
+//   * a whole-pipeline A/B: the same program abstracted with the index
+//     active and with AC_NO_RULE_INDEX-style bypass must render
+//     byte-identical specs and record identical per-rule fire/miss
+//     counts in the RuleProfile.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/AutoCorres.h"
+#include "heapabs/HeapAbs.h"
+#include "hol/Builder.h"
+#include "hol/ProofState.h"
+#include "hol/RuleIndex.h"
+#include "hol/Simp.h"
+#include "hol/Unify.h"
+#include "support/RuleProfile.h"
+#include "wordabs/WordAbs.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+using namespace ac;
+using namespace ac::hol;
+
+namespace {
+
+/// A program touching every engine: unsigned and signed arithmetic (WA
+/// per-width rules), heap reads/writes and a global (HL rules), calls,
+/// branches and a loop (the simplifier's peephole diet).
+const char *pipelineSource() {
+  return "struct cell { unsigned v; int w; };\n"
+         "unsigned g_total = 0;\n"
+         "unsigned leaf(unsigned x) { return x + 1u; }\n"
+         "unsigned mix(unsigned a, unsigned b) {\n"
+         "  unsigned acc = leaf(a);\n"
+         "  while (acc < b) { acc = acc * 2u + 1u; }\n"
+         "  if (b > 3u) { acc = acc / (b % 7u + 1u); }\n"
+         "  return acc ^ b;\n"
+         "}\n"
+         "int signedpart(int x, int y) {\n"
+         "  int r = 0;\n"
+         "  if (x > y) { r = x - y; } else { r = y / 3; }\n"
+         "  return r;\n"
+         "}\n"
+         "unsigned heapy(struct cell *p, unsigned v) {\n"
+         "  if (p == NULL) { return 0u; }\n"
+         "  p->v = p->v + (v % 5u);\n"
+         "  if (p->v > 10u) { p->w = 7; }\n"
+         "  g_total = g_total + p->v;\n"
+         "  return p->v;\n"
+         "}\n";
+}
+
+struct Rendered {
+  std::vector<std::string> Names, Specs, Keys;
+};
+
+Rendered runPipeline() {
+  DiagEngine Diags;
+  core::ACOptions Opts;
+  Opts.Jobs = 1;
+  auto AC = core::AutoCorres::run(pipelineSource(), Diags, Opts);
+  EXPECT_TRUE(AC) << Diags.str();
+  Rendered R;
+  if (!AC)
+    return R;
+  for (const std::string &Name : AC->order()) {
+    R.Names.push_back(Name);
+    R.Specs.push_back(AC->render(Name));
+    R.Keys.push_back(AC->func(Name)->finalKey());
+  }
+  return R;
+}
+
+/// The goals the pipeline actually resolved against rule indexes, via the
+/// audit hook. Recorded once, shared by the superset tests.
+const std::vector<TermRef> &auditedGoals() {
+  static const std::vector<TermRef> *Goals = [] {
+    RuleIndex::auditArm(true);
+    runPipeline();
+    RuleIndex::auditArm(false);
+    auto *G = new std::vector<TermRef>(RuleIndex::auditDrain());
+    return G;
+  }();
+  return *Goals;
+}
+
+/// The pattern a WA/HL rule is retrieved by: the last argument (the
+/// concrete side) of its conclusion. Returns null for rules whose
+/// conclusion is not an application — those are never head-indexed.
+TermRef rulePattern(const TermRef &Prop) {
+  std::vector<TermRef> Prems;
+  TermRef Concl;
+  stripImps(Prop, Prems, Concl);
+  std::vector<TermRef> Args;
+  stripApp(Concl, Args);
+  return Args.empty() ? TermRef() : Args.back();
+}
+
+} // namespace
+
+/// Handcrafted patterns: one per edge kind the trie distinguishes.
+TEST(RuleIndex, EdgeKindsAndPruning) {
+  TypeRef N = natTy();
+  TermRef A = Term::mkFree("a", N);
+  TermRef VarX = Term::mkVar("X", 0, N);
+  TermRef VarF = Term::mkVar("F", 0, funTy(N, N));
+
+  RuleIndex Idx;
+  // 0: rigid const head, rigid arg          plus(a, a)
+  Idx.add(mkPlus(A, A), 0);
+  // 1: rigid const head, wildcard args      plus(?X, ?X)
+  Idx.add(mkPlus(VarX, VarX), 1);
+  // 2: bare wildcard                        ?X
+  Idx.add(VarX, 2);
+  // 3: higher-order pattern                 ?F a   (wildcard: flex head)
+  Idx.add(Term::mkApp(VarF, A), 3);
+  // 4: residual redex                       (%x. x) ?X — normalises to ?X
+  Idx.add(Term::mkApp(Term::mkLam("x", N, Term::mkBound(0)), VarX), 4);
+  // 5: numeral head                         plus(1, ?X)
+  Idx.add(mkPlus(mkNumOf(N, 1), VarX), 5);
+  // 6: lambda pattern                       %x. ?X
+  Idx.add(Term::mkLam("x", N, VarX), 6);
+
+  ASSERT_EQ(Idx.ruleCount(), 7u);
+  std::vector<unsigned> Out;
+
+  // Goal plus(a, a): everything plus-headed or wildcard, not the lambda.
+  Idx.lookup(mkPlus(A, A), Out);
+  EXPECT_EQ(Out, (std::vector<unsigned>{0, 1, 2, 3, 4}));
+
+  // Goal plus(1, a): rule 0's rigid arg `a` prunes (1 is not a); 5 joins.
+  Idx.lookup(mkPlus(mkNumOf(N, 1), A), Out);
+  EXPECT_EQ(Out, (std::vector<unsigned>{1, 2, 3, 4, 5}));
+
+  // A lambda goal: the wildcards (2, the flex-headed 3, the redex 4)
+  // plus the lambda pattern.
+  Idx.lookup(Term::mkLam("y", N, A), Out);
+  EXPECT_EQ(Out, (std::vector<unsigned>{2, 3, 4, 6}));
+
+  // A bare free: nothing rigid survives but the wildcards.
+  Idx.lookup(Term::mkFree("z", N), Out);
+  EXPECT_EQ(Out, (std::vector<unsigned>{2, 3, 4}));
+
+  // Bypass: every id, still ascending.
+  RuleIndex::setBypass(true);
+  Idx.lookup(Term::mkFree("z", N), Out);
+  RuleIndex::setBypass(false);
+  EXPECT_EQ(Out, (std::vector<unsigned>{0, 1, 2, 3, 4, 5, 6}));
+}
+
+/// The retrieval contract, checked exhaustively: over every goal the real
+/// pipeline ever looked up, the candidate set contains every rule a
+/// linear matchTerm scan of the basic simpset finds.
+TEST(RuleIndex, SupersetOfLinearScanOnSimpset) {
+  const std::vector<TermRef> &Goals = auditedGoals();
+  // The normal-form memo legitimately shrinks the audit (memo hits
+  // return before any candidate lookup), so the vacuity floor is set
+  // well below the memo-warm goal count (~68), not the memo-free one.
+  ASSERT_GT(Goals.size(), 40u)
+      << "audit recorded suspiciously few goals; is the hook wired?";
+
+  const Simpset &SS = basicSimpset();
+  ASSERT_FALSE(SS.rules().empty());
+  size_t Pruned = 0, Checked = 0;
+  std::vector<unsigned> Cands;
+  for (const TermRef &G : Goals) {
+    SS.candidates(G, Cands);
+    ASSERT_TRUE(std::is_sorted(Cands.begin(), Cands.end()));
+    ASSERT_TRUE(std::adjacent_find(Cands.begin(), Cands.end()) ==
+                Cands.end())
+        << "duplicate candidate id";
+    std::set<unsigned> CandSet(Cands.begin(), Cands.end());
+    for (unsigned I = 0; I != SS.rules().size(); ++I) {
+      ++Checked;
+      if (matchTerm(SS.rules()[I].Lhs, G))
+        ASSERT_TRUE(CandSet.count(I))
+            << "index dropped matching simp rule " << I << " for a goal";
+      else if (!CandSet.count(I))
+        ++Pruned;
+    }
+  }
+  // The index must actually prune, or it is dead weight.
+  EXPECT_GT(Pruned, Checked / 4) << "index prunes almost nothing";
+}
+
+/// Same contract against every registered WA.* / HL.* rule head: index
+/// all of their conclusion patterns, then replay the recorded goals.
+TEST(RuleIndex, SupersetOfLinearScanOnWAHLRules) {
+  wordabs::WordAbstraction::registerStandardRules();
+  heapabs::HeapAbstraction::registerStandardRules();
+
+  std::vector<TermRef> Patterns;
+  RuleIndex Idx;
+  for (const auto &[Name, Prop] : Inventory::instance().axioms()) {
+    if (Name.rfind("WA.", 0) != 0 && Name.rfind("HL.", 0) != 0)
+      continue;
+    if (TermRef Pat = rulePattern(Prop)) {
+      Idx.add(Pat, static_cast<unsigned>(Patterns.size()));
+      Patterns.push_back(Pat);
+    }
+  }
+  ASSERT_GT(Patterns.size(), 30u)
+      << "expected the standard WA/HL rule families to be registered";
+
+  const std::vector<TermRef> &Goals = auditedGoals();
+  ASSERT_FALSE(Goals.empty());
+  size_t Pruned = 0, Checked = 0;
+  std::vector<unsigned> Cands;
+  for (const TermRef &G : Goals) {
+    Idx.lookup(G, Cands);
+    std::set<unsigned> CandSet(Cands.begin(), Cands.end());
+    for (unsigned I = 0; I != Patterns.size(); ++I) {
+      ++Checked;
+      if (matchTerm(Patterns[I], G))
+        ASSERT_TRUE(CandSet.count(I))
+            << "index dropped matching WA/HL rule pattern " << I;
+      else if (!CandSet.count(I))
+        ++Pruned;
+    }
+  }
+  EXPECT_GT(Pruned, Checked / 4) << "index prunes almost nothing";
+}
+
+/// Whole-pipeline A/B: with the index bypassed (the linear-scan world),
+/// the same program must produce byte-identical specs and an identical
+/// per-rule fire/miss profile — proof that indexing changed retrieval
+/// cost and nothing else.
+TEST(RuleIndex, PipelineIdenticalUnderBypass) {
+  ASSERT_FALSE(RuleIndex::bypassed());
+
+  support::RuleProfile::setEnabled(true);
+  support::RuleProfile::reset();
+  Rendered WithIndex = runPipeline();
+  auto ProfIndexed = support::RuleProfile::snapshot();
+
+  RuleIndex::setBypass(true);
+  support::RuleProfile::reset();
+  Rendered Bypassed = runPipeline();
+  auto ProfLinear = support::RuleProfile::snapshot();
+  RuleIndex::setBypass(false);
+  support::RuleProfile::setEnabled(false);
+
+  ASSERT_EQ(WithIndex.Names, Bypassed.Names);
+  for (size_t I = 0; I != WithIndex.Names.size(); ++I) {
+    EXPECT_EQ(WithIndex.Specs[I], Bypassed.Specs[I])
+        << "spec diverged under bypass: " << WithIndex.Names[I];
+    EXPECT_EQ(WithIndex.Keys[I], Bypassed.Keys[I]);
+  }
+
+  // Identical fired/missed counts per rule. (Self-times differ, and
+  // preregistration of zero-fire names depends on mint warmth — compare
+  // the rules that actually ran.)
+  std::map<std::string, std::pair<uint64_t, uint64_t>> A, B;
+  for (const auto &[Name, S] : ProfIndexed)
+    if (S.Fires || S.Misses)
+      A[Name] = {S.Fires, S.Misses};
+  for (const auto &[Name, S] : ProfLinear)
+    if (S.Fires || S.Misses)
+      B[Name] = {S.Fires, S.Misses};
+  EXPECT_EQ(A, B) << "rule firing profile changed under index bypass";
+}

@@ -8,10 +8,14 @@
 // assert their shape without a Chrome or Prometheus install:
 //
 //   aclint trace <file.json> [--require-span NAME]... [--min-wa N] [--min-hl N]
+//               [--max-span-share NAME:PCT]...
 //       The file parses as Chrome trace-event JSON (object form), every
 //       event is a well-formed complete event, every --require-span name
 //       occurs at least once, and the embedded ruleProfile carries at
-//       least N word-abstraction / heap-abstraction rule rows.
+//       least N word-abstraction / heap-abstraction rule rows. Each
+//       --max-span-share asserts that the summed duration of spans with
+//       that name is at most PCT percent of the whole trace extent —
+//       the perf gate uses this to pin phase-share regressions.
 //
 //   aclint metrics <file>        ("-" reads stdin)
 //       The file is Prometheus text exposition format 0.0.4: every
@@ -30,6 +34,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <set>
 #include <sstream>
 #include <string>
@@ -66,9 +71,15 @@ bool readAll(const std::string &Path, std::string &Out) {
 // trace mode
 //===----------------------------------------------------------------------===//
 
+/// A `--max-span-share wordabs.fn:40` style bound, parsed up front.
+struct SpanShareBound {
+  std::string Name;
+  double MaxPct;
+};
+
 int lintTrace(const std::string &Path,
               const std::vector<std::string> &RequiredSpans, int MinWA,
-              int MinHL) {
+              int MinHL, const std::vector<SpanShareBound> &ShareBounds) {
   std::string Text;
   if (!readAll(Path, Text)) {
     finding("cannot read " + Path);
@@ -86,6 +97,9 @@ int lintTrace(const std::string &Path,
   }
 
   std::set<std::string> Seen;
+  std::map<std::string, double> SpanDur;
+  double MinTs = 0, MaxEnd = 0;
+  bool AnyEvent = false;
   size_t Idx = 0;
   for (const Json &E : J.get("traceEvents").items()) {
     std::string Where = Path + ": traceEvents[" + std::to_string(Idx++) + "]";
@@ -104,11 +118,40 @@ int lintTrace(const std::string &Path,
     if (!E.get("pid").isNumber() || !E.get("tid").isNumber())
       finding(Where + ": missing pid/tid");
     Seen.insert(E.get("name").asString());
+    if (E.get("ts").isNumber() && E.get("dur").isNumber()) {
+      double Ts = E.get("ts").asNumber(), Dur = E.get("dur").asNumber();
+      SpanDur[E.get("name").asString()] += Dur;
+      if (!AnyEvent || Ts < MinTs)
+        MinTs = Ts;
+      if (!AnyEvent || Ts + Dur > MaxEnd)
+        MaxEnd = Ts + Dur;
+      AnyEvent = true;
+    }
   }
 
   for (const std::string &Name : RequiredSpans)
     if (!Seen.count(Name))
       finding(Path + ": required span `" + Name + "` never recorded");
+
+  if (!ShareBounds.empty()) {
+    double Extent = AnyEvent ? MaxEnd - MinTs : 0;
+    if (Extent <= 0) {
+      finding(Path + ": --max-span-share needs a non-empty trace");
+    } else {
+      for (const SpanShareBound &B : ShareBounds) {
+        double Pct = 100.0 * SpanDur[B.Name] / Extent;
+        char Buf[160];
+        std::snprintf(Buf, sizeof(Buf), "%s: span `%s` is %.1f%% of the trace",
+                      Path.c_str(), B.Name.c_str(), Pct);
+        if (Pct > B.MaxPct)
+          finding(std::string(Buf) + ", bound is " +
+                  std::to_string(B.MaxPct) + "%");
+        else
+          std::fprintf(stderr, "aclint: ok: %s (bound %.1f%%)\n", Buf,
+                       B.MaxPct);
+      }
+    }
+  }
 
   if (MinWA > 0 || MinHL > 0) {
     const Json &RP = J.get("ruleProfile");
@@ -224,7 +267,7 @@ int usage() {
   std::fprintf(
       stderr,
       "usage: aclint trace <file.json> [--require-span NAME]...\n"
-      "              [--min-wa N] [--min-hl N]\n"
+      "              [--min-wa N] [--min-hl N] [--max-span-share NAME:PCT]...\n"
       "       aclint metrics <file|->\n");
   return 2;
 }
@@ -243,6 +286,7 @@ int main(int argc, char **argv) {
   if (Mode != "trace")
     return usage();
   std::vector<std::string> RequiredSpans;
+  std::vector<SpanShareBound> ShareBounds;
   int MinWA = 0, MinHL = 0;
   for (int I = 3; I < argc; ++I) {
     std::string A = argv[I];
@@ -259,8 +303,17 @@ int main(int argc, char **argv) {
       MinWA = std::atoi(needArg("--min-wa"));
     else if (A == "--min-hl")
       MinHL = std::atoi(needArg("--min-hl"));
-    else
+    else if (A == "--max-span-share") {
+      std::string Spec = needArg("--max-span-share");
+      size_t Colon = Spec.rfind(':');
+      if (Colon == std::string::npos || Colon == 0) {
+        std::fprintf(stderr, "aclint: --max-span-share wants NAME:PCT\n");
+        return 2;
+      }
+      ShareBounds.push_back(
+          {Spec.substr(0, Colon), std::atof(Spec.c_str() + Colon + 1)});
+    } else
       return usage();
   }
-  return lintTrace(Path, RequiredSpans, MinWA, MinHL);
+  return lintTrace(Path, RequiredSpans, MinWA, MinHL, ShareBounds);
 }
