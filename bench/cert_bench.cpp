@@ -1,0 +1,133 @@
+//===- cert_bench.cpp - Certificate production vs checking cost ------------===//
+//
+// The trust/cost ledger for proof certificates (EXPERIMENTS.md): per
+// corpus, one baseline pipeline run with recording off, one run that
+// exports a certificate, an independent acpc re-check of the result, and
+// the certificate's size and claim/inference counts. The interesting
+// ratios are check/produce (the checker re-derives every conclusion but
+// skips parsing, abstraction and search, so it should be a small
+// fraction) and certed/baseline (recording and serialization overhead on
+// top of the run that minted the theorems).
+//
+// Phase discipline: recording is process-sticky (hol/Cert.h), so every
+// baseline runs before the first certificate is requested; the baseline
+// column really is the recording-off pipeline.
+//
+//   cert_bench [iterations]   (default: 3)
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/AutoCorres.h"
+#include "corpus/Sources.h"
+#include "corpus/Synthetic.h"
+
+#include "../tools/acpc_check.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace ac;
+
+namespace {
+
+struct Row {
+  std::string Name;
+  std::string Source;
+};
+
+double secsSince(std::chrono::steady_clock::time_point T0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
+      .count();
+}
+
+/// One timed pipeline run; returns the best-of-Iters wall seconds.
+double timedRun(const std::string &Src, unsigned Iters,
+                const std::string &CertPath) {
+  double Best = 1e9;
+  for (unsigned I = 0; I != Iters; ++I) {
+    core::ACOptions Opts;
+    Opts.CertPath = CertPath; // empty: recording stays off
+    auto T0 = std::chrono::steady_clock::now();
+    DiagEngine Diags;
+    auto AC = core::AutoCorres::run(Src, Diags, Opts);
+    double S = secsSince(T0);
+    if (!AC) {
+      std::fprintf(stderr, "cert_bench: pipeline failed:\n%s\n",
+                   Diags.str().c_str());
+      std::exit(1);
+    }
+    Best = S < Best ? S : Best;
+  }
+  return Best;
+}
+
+std::string slurp(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  return Buf.str();
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  unsigned Iters = argc > 1 ? static_cast<unsigned>(atoi(argv[1])) : 3;
+  if (Iters == 0)
+    Iters = 1;
+
+  std::vector<Row> Corpora = {
+      {"swap", corpus::swapSource()},
+      {"reverse", corpus::reverseSource()},
+      {"suzuki", corpus::suzukiSource()},
+      {"echronos",
+       corpus::generateSyntheticProgram(corpus::echronosScale())},
+  };
+
+  // Phase 1: all baselines, recording off.
+  std::vector<double> Baseline(Corpora.size());
+  for (size_t I = 0; I != Corpora.size(); ++I)
+    Baseline[I] = timedRun(Corpora[I].Source, Iters, "");
+
+  std::printf("cert_bench: iterations=%u (best-of per cell)\n\n", Iters);
+  std::printf("%-10s %9s %9s %9s %8s %8s %8s %9s\n", "corpus", "base_s",
+              "cert_s", "check_s", "chk/prd", "claims", "infs",
+              "bytes");
+
+  // Phase 2: certificate runs + independent re-check.
+  for (size_t I = 0; I != Corpora.size(); ++I) {
+    std::string Path = "cert_bench_" + Corpora[I].Name + ".acpc";
+    double CertS = timedRun(Corpora[I].Source, Iters, Path);
+    std::string Bytes = slurp(Path);
+    if (Bytes.empty()) {
+      std::fprintf(stderr, "cert_bench: no certificate at %s\n",
+                   Path.c_str());
+      return 1;
+    }
+
+    double CheckBest = 1e9;
+    acpc::Result R;
+    for (unsigned K = 0; K != Iters; ++K) {
+      auto T0 = std::chrono::steady_clock::now();
+      R = acpc::check(Bytes);
+      double S = secsSince(T0);
+      CheckBest = S < CheckBest ? S : CheckBest;
+    }
+    if (!R.Ok) {
+      std::fprintf(stderr, "cert_bench: %s rejected at line %zu: %s\n",
+                   Path.c_str(), R.Line, R.Error.c_str());
+      return 1;
+    }
+    std::printf("%-10s %9.3f %9.3f %9.3f %7.1f%% %8llu %8llu %9zu\n",
+                Corpora[I].Name.c_str(), Baseline[I], CertS, CheckBest,
+                100.0 * CheckBest / CertS,
+                static_cast<unsigned long long>(R.ClaimCount),
+                static_cast<unsigned long long>(R.Derivs), Bytes.size());
+    std::remove(Path.c_str());
+  }
+  return 0;
+}

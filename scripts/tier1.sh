@@ -48,6 +48,19 @@
 #      on a runner much slower than the reference, lower
 #      AC_PERF_MIN_SPEEDUP or pass --skip-perf (the share and warm-cache
 #      checks are ratio-free and still meaningful anywhere).
+#   9. Proof certificates: an acc --cert run on the scaling corpus must
+#      keep byte-identical output, and its certificate must re-derive
+#      under the independent checker (tools/acpc) and lint (aclint
+#      cert). The daemon's per-request export (--cert-dir) round-trips
+#      through a real acd, including a hostile ../ trace id that must be
+#      replaced with a minted path-safe one instead of steering the
+#      write. The adversarial certificate suites (mutation + fuzz,
+#      ctest label `cert`) replay under ASan, and with recording
+#      disabled phase_times must still hold the pass-8 speedup floor —
+#      the always-on conclusion threading is required to stay in the
+#      noise the floor already absorbs — while enabled per-function
+#      export stays within AC_CERT_MAX_ENABLED_RATIO (default 2.0) of
+#      the disabled wall.
 #
 # Usage: scripts/tier1.sh [--skip-tsan] [--skip-asan] [--skip-perf]
 #
@@ -475,6 +488,161 @@ else
     exit 1
   fi
   echo "WA/HL span shares at or below the seed's recorded shares"
+fi
+
+echo "=== tier-1 pass 9: proof certificates (acpc round trips) ==="
+ACPC="build/tools/acpc"
+cmake --build build -j --target acpc aclint >/dev/null
+CERT_T1="$ACD_DIR/certs"
+mkdir -p "$CERT_T1"
+NOSOCK9="$CERT_T1/nobody-home.sock" # nothing listens: acc runs locally
+
+# 9a. Local round trip on the scaling corpus: exporting a certificate
+#     must not move a byte of the run's output; the certificate must
+#     re-derive under the independent checker and lint structurally.
+"$ACC" --socket "$NOSOCK9" --corpus echronos --golden \
+  >"$CERT_T1/echronos.plain"
+"$ACC" --socket "$NOSOCK9" --cert "$CERT_T1/echronos.acpc" \
+  --corpus echronos --golden >"$CERT_T1/echronos.certed"
+if ! cmp -s "$CERT_T1/echronos.plain" "$CERT_T1/echronos.certed"; then
+  echo "tier-1: FAILED — exporting a certificate perturbed echronos output:" >&2
+  diff "$CERT_T1/echronos.plain" "$CERT_T1/echronos.certed" | head >&2
+  exit 1
+fi
+if ! "$ACPC" "$CERT_T1/echronos.acpc"; then
+  echo "tier-1: FAILED — acpc rejected the echronos certificate." >&2
+  exit 1
+fi
+if ! "$ACLINT" cert "$CERT_T1/echronos.acpc" --min-claims 10 \
+    --require-meta generator --require-meta functions; then
+  echo "tier-1: FAILED — echronos certificate did not lint." >&2
+  exit 1
+fi
+echo "local acc --cert round trip checked and linted"
+
+# 9b. Daemon per-request export: a real acd writes
+#     <cert-dir>/<trace_id>.acpc, checkable independently; a hostile
+#     path-steering trace id must be replaced with a minted safe one at
+#     admission, never composed into the path.
+SOCK9="$CERT_T1/acd.sock"
+"$ACD" --socket "$SOCK9" --cert-dir "$CERT_T1/dcerts" \
+  >"$CERT_T1/acd.log" 2>&1 &
+ACD_PID=$!
+for _ in $(seq 100); do
+  "$ACC" --socket "$SOCK9" --ping >/dev/null 2>&1 && break
+  sleep 0.1
+done
+"$ACC" --socket "$SOCK9" --no-fallback --trace-id tier1-pass9 \
+  --corpus gcd --golden >"$CERT_T1/gcd.served"
+if ! cmp -s "$CERT_T1/gcd.served" "tests/golden/gcd.expected"; then
+  echo "tier-1: FAILED — daemon-served gcd under cert export diverged." >&2
+  exit 1
+fi
+for _ in $(seq 100); do
+  [[ -f "$CERT_T1/dcerts/tier1-pass9.acpc" ]] && break
+  sleep 0.1
+done
+if ! "$ACPC" "$CERT_T1/dcerts/tier1-pass9.acpc"; then
+  echo "tier-1: FAILED — per-request daemon certificate did not check." >&2
+  exit 1
+fi
+"$ACC" --socket "$SOCK9" --no-fallback --trace-id '../../escape' \
+  --corpus max --golden >"$CERT_T1/max.served"
+if ! cmp -s "$CERT_T1/max.served" "tests/golden/max.expected"; then
+  echo "tier-1: FAILED — daemon-served max (hostile trace id) diverged." >&2
+  exit 1
+fi
+if [[ -e "$ACD_DIR/escape.acpc" || -e "$CERT_T1/escape.acpc" ]]; then
+  echo "tier-1: FAILED — a hostile trace id steered a certificate write" \
+       "outside --cert-dir." >&2
+  exit 1
+fi
+MINTED=""
+for _ in $(seq 100); do
+  MINTED="$(ls "$CERT_T1"/dcerts/req-*.acpc 2>/dev/null | head -1)"
+  [[ -n "$MINTED" ]] && break
+  sleep 0.1
+done
+if [[ -z "$MINTED" ]] || ! "$ACPC" "$MINTED"; then
+  echo "tier-1: FAILED — no checkable minted-id certificate for the" \
+       "hostile trace id (got '$MINTED')." >&2
+  exit 1
+fi
+kill -TERM "$ACD_PID"
+ACD_RC=0
+wait "$ACD_PID" || ACD_RC=$?
+ACD_PID=""
+if [[ "$ACD_RC" != 0 ]]; then
+  echo "tier-1: FAILED — cert-exporting acd exited $ACD_RC on SIGTERM." >&2
+  exit 1
+fi
+echo "daemon per-request certs checked; hostile trace id contained"
+
+# 9c. Adversarial certificate suites under ASan: every registered
+#     record-kind mutation rejected, and the checker total under fuzzing
+#     (an over-read that returns the right bytes in a plain build still
+#     fails here).
+if [[ "$SKIP_ASAN" == 1 ]]; then
+  echo "(cert mutation/fuzz ASan replay skipped via --skip-asan)"
+else
+  cmake --build build-asan -j \
+    --target test_cert_mutation test_cert_fuzz >/dev/null
+  ./build-asan/tests/test_cert_mutation
+  ./build-asan/tests/test_cert_fuzz
+fi
+
+# 9d. Recording cost: with recording disabled (the default) the
+#     phase_times wall must still clear the pass-8 speedup floor against
+#     the seed baseline — the baseline predates certificate support, so
+#     the always-on conclusion threading has to live inside the noise
+#     the floor absorbs. With recording enabled plus per-function export
+#     (AC_CERT_DIR), the wall may grow by at most
+#     AC_CERT_MAX_ENABLED_RATIO (default 2.0).
+if [[ "$SKIP_PERF" == 1 ]]; then
+  echo "(cert recording-cost gate skipped via --skip-perf)"
+else
+  cbase() { awk -v k="$1" '$1==k{print $2}' bench/baselines/seed-perf.txt; }
+  cmake --build build -j --target phase_times >/dev/null
+  ./build/bench/phase_times echronos 3 >"$CERT_T1/phase.off.log"
+  WOFF="$(sed -n 's/.*wall=\([0-9.]*\)s.*/\1/p' "$CERT_T1/phase.off.log" | head -1)"
+  SEED_WALL="$(cbase phase_echronos3_wall_s)"
+  MIN_SPEEDUP="${AC_PERF_MIN_SPEEDUP:-1.4}"
+  if [[ -z "$WOFF" || -z "$SEED_WALL" ]]; then
+    echo "tier-1: FAILED — could not read cert-gate walls (got '$WOFF'" \
+         "vs seed '$SEED_WALL')." >&2
+    exit 1
+  fi
+  if ! awk -v w="$WOFF" -v s="$SEED_WALL" -v m="$MIN_SPEEDUP" \
+      'BEGIN { exit !(w > 0 && s / w >= m) }'; then
+    echo "tier-1: FAILED — recording-disabled wall ${WOFF}s misses the" \
+         "${MIN_SPEEDUP}x floor vs seed ${SEED_WALL}s." >&2
+    exit 1
+  fi
+  AC_CERT_DIR="$CERT_T1/bench-certs" \
+    ./build/bench/phase_times echronos 3 >"$CERT_T1/phase.on.log"
+  WON="$(sed -n 's/.*wall=\([0-9.]*\)s.*/\1/p' "$CERT_T1/phase.on.log" | head -1)"
+  MAX_RATIO="${AC_CERT_MAX_ENABLED_RATIO:-2.0}"
+  if [[ -z "$WON" ]]; then
+    echo "tier-1: FAILED — could not read recording-enabled wall." >&2
+    exit 1
+  fi
+  if ! awk -v on="$WON" -v off="$WOFF" -v m="$MAX_RATIO" \
+      'BEGIN { exit !(off > 0 && on / off <= m) }'; then
+    echo "tier-1: FAILED — recording-enabled wall ${WON}s exceeds" \
+         "${MAX_RATIO}x the disabled wall ${WOFF}s." >&2
+    exit 1
+  fi
+  if ! ls "$CERT_T1"/bench-certs/*.acpc >/dev/null 2>&1; then
+    echo "tier-1: FAILED — AC_CERT_DIR run left no per-function certs." >&2
+    exit 1
+  fi
+  ONE_CERT="$(ls "$CERT_T1"/bench-certs/*.acpc | head -1)"
+  if ! "$ACPC" "$ONE_CERT" >/dev/null; then
+    echo "tier-1: FAILED — per-function cert $ONE_CERT did not check." >&2
+    exit 1
+  fi
+  echo "recording disabled ${WOFF}s holds the ${MIN_SPEEDUP}x floor;" \
+       "enabled ${WON}s within ${MAX_RATIO}x"
 fi
 
 echo "=== tier-1: all passes green ==="

@@ -5,6 +5,7 @@
 #include "core/CallGraph.h"
 #include "core/ResultCache.h"
 #include "heapabs/HeapAbs.h"
+#include "hol/Cert.h"
 #include "hol/Names.h"
 #include "hol/Print.h"
 #include "simpl/PrintSimpl.h"
@@ -15,7 +16,10 @@
 #include "wordabs/WordAbs.h"
 
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <ctime>
+#include <filesystem>
 #include <mutex>
 #include <sstream>
 
@@ -79,6 +83,18 @@ Thm composeChain(const std::vector<Thm> &Phases, const TermRef &Final,
   return Cur;
 }
 
+std::string envOrEmpty(const char *Name) {
+  const char *V = std::getenv(Name);
+  return V ? std::string(V) : std::string();
+}
+
+std::string hexKey16(uint64_t V) {
+  char Buf[17];
+  std::snprintf(Buf, sizeof(Buf), "%016llx",
+                static_cast<unsigned long long>(V));
+  return Buf;
+}
+
 } // namespace
 
 std::unique_ptr<AutoCorres> AutoCorres::run(const std::string &Source,
@@ -97,6 +113,20 @@ std::unique_ptr<AutoCorres> AutoCorres::run(const std::string &Source,
     support::RuleProfile::setEnabled(true);
     support::Trace::start();
   }
+
+  // Certificate export: recording must be live before any theorem of
+  // this run is minted, or `instantiate`/`spec` nodes lack their replay
+  // payloads and their claims are unexportable. Sticky process-wide
+  // (hol/Cert.h), so concurrent daemon runs cannot disable a neighbour's
+  // recording.
+  const std::string CertPath =
+      !Opts.CertPath.empty() ? Opts.CertPath : envOrEmpty("AC_CERT");
+  const std::string CertDir =
+      !Opts.CertDir.empty() ? Opts.CertDir : envOrEmpty("AC_CERT_DIR");
+  const bool WantCerts = !CertPath.empty() || !CertDir.empty();
+  if (WantCerts)
+    hol::CertLog::enable();
+
   support::Span RunSpan("ac.run");
 
   auto T0 = std::chrono::steady_clock::now();
@@ -355,6 +385,59 @@ std::unique_ptr<AutoCorres> AutoCorres::run(const std::string &Source,
   // miss this run's trace file and, after reset(), leak a stale ac.run
   // event into the next traced run in this process.
   RunSpan.end();
+
+  // Certificate flush, outside the timed region like the trace flush:
+  // claims walk only pointers the run already holds, so this is pure
+  // serialisation + I/O and is best-effort — a cert that cannot be
+  // written warns and never fails the run.
+  if (WantCerts) {
+    // Per-function certs are keyed like the abstraction cache; compute
+    // the fingerprints if the cache did not already.
+    if (!CertDir.empty() && Keys.empty() && !Order.empty())
+      Keys = computeFunctionKeys(*AC->Prog, Opts.NoHeapAbs, Opts.NoWordAbs);
+    if (!CertDir.empty()) {
+      std::error_code EC;
+      std::filesystem::create_directories(CertDir, EC); // best-effort
+    }
+    hol::CertWriter All;
+    All.meta("generator", "autocorres-cpp");
+    All.meta("functions", std::to_string(Order.size()));
+    for (size_t I = 0; I != Order.size(); ++I) {
+      const std::string &Name = Order[I];
+      const FuncOutput &Out = AC->Funcs.at(Name);
+      if (Out.FromCache) {
+        ++AC->Stats.CertSkipped; // replayed render, no live derivation
+        continue;
+      }
+      bool Claimed = false;
+      if (!CertPath.empty())
+        Claimed = All.claim(Name, Out.Pipeline);
+      if (!CertDir.empty()) {
+        hol::CertWriter One;
+        One.meta("function", Name);
+        const std::string Key = hexKey16(Keys.at(Name));
+        One.meta("key", Key);
+        if (One.claim(Name, Out.Pipeline)) {
+          Claimed = true;
+          const std::string FilePath = CertDir + "/" + Key + ".acpc";
+          if (One.write(FilePath))
+            ++AC->Stats.CertsWritten;
+          else
+            support::Log::warn("cert.write_failed", {{"path", FilePath}});
+        }
+      }
+      if (Claimed)
+        ++AC->Stats.CertClaims;
+      else
+        ++AC->Stats.CertSkipped; // minted before recording was enabled
+    }
+    if (!CertPath.empty()) {
+      if (All.write(CertPath))
+        ++AC->Stats.CertsWritten;
+      else
+        support::Log::warn("cert.write_failed", {{"path", CertPath}});
+    }
+  }
 
   if (!TracePath.empty()) {
     // The dumped profile covers the whole registered rule inventory, not

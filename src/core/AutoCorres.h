@@ -86,6 +86,21 @@ struct ACOptions {
   /// Empty falls back to $AC_TRACE. Flushing is best-effort: a trace
   /// that cannot be written warns and never fails the run.
   std::string TracePath;
+  /// When non-empty, proof-certificate recording (hol/Cert.h) is enabled
+  /// for this run and one certificate claiming every freshly derived
+  /// end-to-end pipeline theorem (claim name = function name, in
+  /// FunctionOrder) is written here at the end. Empty falls back to
+  /// $AC_CERT. Cache-replayed functions have no live derivation and are
+  /// skipped — re-run with the cache disabled to certify them. Writing
+  /// is best-effort and never fails the run; see ACStats::CertsWritten.
+  std::string CertPath;
+  /// When non-empty, per-function certificates: each freshly derived
+  /// function writes `<16-hex-key>.acpc` into this directory, where the
+  /// key is the same content fingerprint that addresses the abstraction
+  /// cache (core/Fingerprint.h) — a cert and a cache entry for the same
+  /// key certify the same pipeline inputs. Empty falls back to
+  /// $AC_CERT_DIR. Composable with CertPath.
+  std::string CertDir;
 };
 
 /// Everything produced for one function.
@@ -170,6 +185,14 @@ struct ACStats {
   /// Damaged on-disk entries dropped by cache recovery this run (each one
   /// re-verifies instead of being served — corruption costs warmth only).
   unsigned CacheDroppedEntries = 0;
+  /// Proof-certificate accounting (all zero unless CertPath / CertDir —
+  /// or $AC_CERT / $AC_CERT_DIR — requested export this run).
+  unsigned CertsWritten = 0; ///< certificate files successfully written
+  unsigned CertClaims = 0;   ///< pipeline theorems claimed across them
+  /// Functions whose derivation could not be exported: replayed from the
+  /// abstraction cache (no live theorem), or minted before recording was
+  /// enabled (a process-static rule cached without its replay payload).
+  unsigned CertSkipped = 0;
 
   double parserAvgTermSize() const {
     return NumFunctions ? double(ParserTermSizeTotal) / NumFunctions : 0;

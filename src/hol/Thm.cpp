@@ -2,6 +2,7 @@
 
 #include "hol/Thm.h"
 
+#include "hol/Cert.h"
 #include "hol/Print.h"
 
 #include <cstdio>
@@ -38,9 +39,11 @@ void Inventory::noteOracle(const std::string &Name) {
 }
 
 Thm Kernel::make(TermRef Prop, Deriv::Kind K, const std::string &Name,
-                 std::vector<DerivRef> Premises) {
-  return Thm(std::move(Prop),
-             std::make_shared<Deriv>(K, Name, std::move(Premises)));
+                 std::vector<DerivRef> Premises,
+                 std::shared_ptr<const Deriv::Replay> R) {
+  DerivRef D = std::make_shared<Deriv>(K, Name, std::move(Premises), Prop,
+                                       std::move(R));
+  return Thm(std::move(Prop), std::move(D));
 }
 
 Thm Kernel::axiom(const std::string &Name, TermRef Prop) {
@@ -64,7 +67,11 @@ Thm Kernel::instantiate(const Thm &T, const Subst &S) {
   if (S.empty())
     return T;
   TermRef P = S.apply(T.prop());
-  return make(std::move(P), Deriv::Kind::Rule, "instantiate", {T.deriv()});
+  std::shared_ptr<const Deriv::Replay> R;
+  if (CertLog::enabled())
+    R = std::make_shared<const Deriv::Replay>(Deriv::Replay{S, nullptr});
+  return make(std::move(P), Deriv::Kind::Rule, "instantiate", {T.deriv()},
+              std::move(R));
 }
 
 Thm Kernel::mp(const Thm &AB, const Thm &A) {
@@ -87,8 +94,12 @@ Thm Kernel::spec(const Thm &AllThm, TermRef Inst) {
   bool IsAll = destAll(AllThm.prop(), Lam);
   assert(IsAll && "spec: not a universal");
   (void)IsAll;
+  std::shared_ptr<const Deriv::Replay> R;
+  if (CertLog::enabled())
+    R = std::make_shared<const Deriv::Replay>(Deriv::Replay{Subst(), Inst});
   TermRef Prop = betaNorm(Term::mkApp(Lam, std::move(Inst)));
-  return make(std::move(Prop), Deriv::Kind::Rule, "spec", {AllThm.deriv()});
+  return make(std::move(Prop), Deriv::Kind::Rule, "spec", {AllThm.deriv()},
+              std::move(R));
 }
 
 Thm Kernel::refl(TermRef T) {

@@ -47,17 +47,39 @@ class Deriv {
 public:
   enum class Kind { Axiom, Oracle, Rule };
 
-  Deriv(Kind K, std::string Name, std::vector<DerivRef> Premises)
-      : K(K), Name(std::move(Name)), Premises(std::move(Premises)) {}
+  /// Replay payload for the two rules whose conclusions the certificate
+  /// checker cannot recompute from premises alone: the substitution of
+  /// `instantiate` and the witness term of `spec`. Attached only while
+  /// certificate recording is enabled (hol/Cert.h) — a Deriv minted
+  /// before recording was switched on cannot be exported, which the
+  /// writer detects and reports instead of emitting a bogus record.
+  struct Replay {
+    Subst S;
+    TermRef Witness;
+  };
+
+  Deriv(Kind K, std::string Name, std::vector<DerivRef> Premises,
+        TermRef Concl, std::shared_ptr<const Replay> R = nullptr)
+      : K(K), Name(std::move(Name)), Premises(std::move(Premises)),
+        Concl(std::move(Concl)), R(std::move(R)) {}
 
   Kind kind() const { return K; }
   const std::string &name() const { return Name; }
   const std::vector<DerivRef> &premises() const { return Premises; }
+  /// The proposition this node proves. Aliases the owning Thm's prop
+  /// (terms are immortal interned nodes), so storing it is one pointer —
+  /// this is what lets the certificate writer serialize rule payloads
+  /// (generalize's binder, conjE's side, ...) from finished derivations,
+  /// including axiom Thms minted into process-static rule caches.
+  const TermRef &concl() const { return Concl; }
+  const std::shared_ptr<const Replay> &replay() const { return R; }
 
 private:
   Kind K;
   std::string Name;
   std::vector<DerivRef> Premises;
+  TermRef Concl;
+  std::shared_ptr<const Replay> R;
 };
 
 /// A theorem: |- Prop. Constructible only by the Kernel.
@@ -155,7 +177,8 @@ public:
 
 private:
   static Thm make(TermRef Prop, Deriv::Kind K, const std::string &Name,
-                  std::vector<DerivRef> Premises);
+                  std::vector<DerivRef> Premises,
+                  std::shared_ptr<const Deriv::Replay> R = nullptr);
 };
 
 /// Walks a derivation and collects the names of its Axiom/Oracle leaves.

@@ -43,6 +43,15 @@ public:
   bool empty() const { return TyMap.empty() && TmMap.empty(); }
   size_t size() const { return TyMap.size() + TmMap.size(); }
 
+  /// The raw binding maps, in sorted (std::map) order — what the
+  /// certificate writer serializes so the checker can replay apply()
+  /// deterministically (hol/Cert.h).
+  const std::map<std::string, TypeRef> &tyBindings() const { return TyMap; }
+  const std::map<std::pair<std::string, unsigned>, TermRef> &
+  tmBindings() const {
+    return TmMap;
+  }
+
 private:
   std::map<std::string, TypeRef> TyMap;
   std::map<std::pair<std::string, unsigned>, TermRef> TmMap;

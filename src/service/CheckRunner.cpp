@@ -21,6 +21,8 @@ CheckResponse ac::service::runCheck(const CheckRequest &Req,
   ACO.SharedCache = Ctx.SharedCache;
   ACO.SharedPool = Ctx.SharedPool;
   ACO.TracePath = Ctx.TracePath;
+  ACO.CertPath = Ctx.CertPath;
+  ACO.CertDir = Ctx.CertDir;
   if (!Ctx.SharedCache)
     ACO.CacheDir = Req.CacheDir;
 
@@ -68,6 +70,9 @@ CheckResponse ac::service::runCheck(const CheckRequest &Req,
     Resp.CacheMisses = St.CacheMisses;
     Resp.CacheInvalidations = St.CacheInvalidations;
     Resp.CacheDroppedEntries = St.CacheDroppedEntries;
+    Resp.CertsWritten = St.CertsWritten;
+    Resp.CertClaims = St.CertClaims;
+    Resp.CertSkipped = St.CertSkipped;
   } else if (Resp.Err == ErrorCode::None) {
     Resp = CheckResponse::error(ErrorCode::ParseError,
                                 "translation failed");

@@ -44,6 +44,16 @@ struct CheckContext {
   /// see support::Trace). Used by `acc --trace` on the local path —
   /// daemon-side per-request traces go through ServerOptions::TraceDir.
   std::string TracePath;
+  /// When set, the run exports one proof certificate claiming every
+  /// freshly derived pipeline theorem here (hol/Cert.h; best-effort).
+  /// Used by `acc --cert` on the local path; the daemon derives a
+  /// per-request path under ServerOptions::CertDir from the (path-safe)
+  /// trace id.
+  std::string CertPath;
+  /// When set, the run writes per-function certificates keyed by the
+  /// abstraction-cache fingerprint into this directory (`acc
+  /// --cert-dir` on the local path).
+  std::string CertDir;
 };
 
 /// Runs the pipeline for \p Req and builds the full response: function

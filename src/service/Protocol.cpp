@@ -174,6 +174,9 @@ Json CheckResponse::toJson() const {
     St.set("cache_misses", CacheMisses);
     St.set("cache_invalidations", CacheInvalidations);
     St.set("cache_dropped", CacheDroppedEntries);
+    St.set("certs_written", CertsWritten);
+    St.set("cert_claims", CertClaims);
+    St.set("cert_skipped", CertSkipped);
     J.set("stats", std::move(St));
   }
   return J;
@@ -224,5 +227,8 @@ bool CheckResponse::fromJson(const Json &J, CheckResponse &Out,
       static_cast<unsigned>(St.get("cache_invalidations").asInt());
   Out.CacheDroppedEntries =
       static_cast<unsigned>(St.get("cache_dropped").asInt());
+  Out.CertsWritten = static_cast<unsigned>(St.get("certs_written").asInt());
+  Out.CertClaims = static_cast<unsigned>(St.get("cert_claims").asInt());
+  Out.CertSkipped = static_cast<unsigned>(St.get("cert_skipped").asInt());
   return true;
 }

@@ -116,6 +116,11 @@ struct CheckResponse {
   unsigned CacheMisses = 0;
   unsigned CacheInvalidations = 0;
   unsigned CacheDroppedEntries = 0; ///< damaged entries dropped by recovery
+  /// Proof-certificate accounting (core::ACStats; zero unless the run
+  /// was asked to export certificates).
+  unsigned CertsWritten = 0;
+  unsigned CertClaims = 0;
+  unsigned CertSkipped = 0;
 
   support::Json toJson() const;
   static bool fromJson(const support::Json &J, CheckResponse &Out,

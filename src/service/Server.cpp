@@ -102,6 +102,14 @@ bool Server::start() {
                          {{"path", Opts.TraceDir},
                           {"error", EC.message()}});
   }
+  if (!Opts.CertDir.empty()) {
+    std::error_code EC;
+    std::filesystem::create_directories(Opts.CertDir, EC);
+    if (EC)
+      support::Log::warn("cert.dir_failed",
+                         {{"path", Opts.CertDir},
+                          {"error", EC.message()}});
+  }
   Listen = Socket::listenUnix(Opts.SocketPath);
   if (!Listen.valid())
     return false;
@@ -473,6 +481,11 @@ void Server::runRequest(Request &R) {
                         : (Opts.Jobs ? Opts.Jobs
                                      : support::ThreadPool::defaultJobs());
   Ctx.SharedCache = cacheFor(R.Req.CacheDir);
+  // Per-request certificate, named by the correlation id exactly like
+  // per-request traces. The id was forced path-safe at admission, so
+  // this composition cannot be steered out of CertDir.
+  if (!Opts.CertDir.empty())
+    Ctx.CertPath = Opts.CertDir + "/" + R.Req.TraceId + ".acpc";
   if (Ctx.Jobs > 1) {
     std::lock_guard<std::mutex> L(PoolM);
     if (!Pool)

@@ -83,6 +83,17 @@ struct ServerOptions {
   /// per-file rule profile and spans cover everything recorded since
   /// the previous flush.
   std::string TraceDir;
+  /// When set, every check request exports a proof certificate claiming
+  /// its freshly derived pipeline theorems to
+  /// `<CertDir>/<trace_id>.acpc` (hol/Cert.h). The filename reuses the
+  /// request's correlation id, which is already forced path-safe at
+  /// admission (pathSafeTraceId) — a client id that could steer the
+  /// path never reaches this composition. Best-effort like TraceDir: an
+  /// unwritable certificate warns and never fails the request. Note
+  /// that cache-replayed functions carry no live derivation and are
+  /// skipped (CheckResponse `cert_skipped`); certify against a cold
+  /// cache for full coverage.
+  std::string CertDir;
 };
 
 /// The daemon. start() spawns the threads; beginDrain()/waitDrained()

@@ -27,10 +27,16 @@
 #include "heapabs/LiftedGlobals.h"
 #include "wordabs/WordAbs.h"
 
+#include "../../tools/acpc_check.h"
+
 #include <gtest/gtest.h>
+
+#include <unistd.h>
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 
 using namespace ac;
@@ -510,4 +516,91 @@ TEST(Differential, PinnedSeeds) {
   }
   reportFailures(T);
   EXPECT_GT(T.Ok, 0u);
+}
+
+namespace {
+
+/// The canonical user-visible image of one run, GoldenSpecTest-style:
+/// per function the final-definition key, the rendered spec, and the
+/// composed theorem; then the diagnostic stream.
+std::string dumpRun(const std::string &Src, core::ACOptions Opts,
+                    unsigned &CertClaims) {
+  DiagEngine Diags;
+  auto AC = core::AutoCorres::run(Src, Diags, Opts);
+  if (!AC)
+    return "<run failed>\n" + Diags.str();
+  std::ostringstream OS;
+  for (const std::string &Fn : AC->order()) {
+    const core::FuncOutput *F = AC->func(Fn);
+    OS << "== " << Fn << "\n";
+    OS << F->finalKey() << "\n";
+    OS << AC->render(Fn) << "\n";
+    OS << F->pipelineProp() << "\n";
+  }
+  for (const Diagnostic &D : Diags.diagnostics())
+    OS << D.str() << "\n";
+  CertClaims = AC->stats().CertClaims;
+  return OS.str();
+}
+
+} // namespace
+
+/// Certificate recording must be a pure observer: over a pinned
+/// 50-program subsample of bank A, every run's user-visible output is
+/// byte-identical with and without a certificate being exported, and the
+/// exported certificate re-derives under the independent checker with
+/// one claim per function. Runs in two strict phases — all baselines
+/// before the first cert run — because recording is process-sticky once
+/// enabled; this test must therefore stay the last one registered in
+/// this suite that cares about recording being off.
+TEST(Differential, CertificateNonPerturbation) {
+  constexpr unsigned Programs = 50;
+  constexpr uint64_t Base = 0xd1ff0001; // bank A, stride 4 subsample
+  namespace fs = std::filesystem;
+  std::string Scratch =
+      (fs::temp_directory_path() /
+       ("ac-diffcert-" + std::to_string(getpid())))
+          .string();
+  std::error_code EC;
+  fs::create_directories(Scratch, EC);
+  ASSERT_FALSE(EC) << "cannot create scratch dir " << Scratch;
+
+  // Phase 1: baselines, recording off. Private cold cache directories
+  // keep the comparison honest under $AC_CACHE_DIR (a cache replay
+  // never mints derivations, so a warm cert run would be vacuous).
+  std::vector<std::string> Sources(Programs), Baselines(Programs);
+  for (unsigned P = 0; P != Programs; ++P) {
+    uint64_t Seed = Base + P * 4;
+    Sources[P] = DiffGen(Seed).run();
+    core::ACOptions Opts;
+    Opts.CacheDir = Scratch + "/base-" + std::to_string(P);
+    unsigned Claims = ~0u;
+    Baselines[P] = dumpRun(Sources[P], Opts, Claims);
+    EXPECT_EQ(Claims, 0u) << "baseline run claimed certificates";
+  }
+
+  // Phase 2: identical runs with a certificate exported.
+  for (unsigned P = 0; P != Programs; ++P) {
+    uint64_t Seed = Base + P * 4;
+    core::ACOptions Opts;
+    Opts.CacheDir = Scratch + "/cert-" + std::to_string(P);
+    Opts.CertPath = Scratch + "/p" + std::to_string(P) + ".acpc";
+    unsigned Claims = 0;
+    std::string Dump = dumpRun(Sources[P], Opts, Claims);
+    EXPECT_EQ(Dump, Baselines[P])
+        << "recording perturbed pipeline output; reproduce with: "
+           "AC_DIFF_SEED="
+        << Seed << " ./tests/test_differential";
+    EXPECT_GT(Claims, 0u);
+
+    std::ifstream In(Opts.CertPath, std::ios::binary);
+    ASSERT_TRUE(In.good()) << "certificate not written for seed " << Seed;
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    acpc::Result R = acpc::check(Buf.str());
+    EXPECT_TRUE(R.Ok) << "seed " << Seed << ": line " << R.Line << ": "
+                      << R.Error;
+    EXPECT_EQ(R.ClaimCount, Claims);
+  }
+  fs::remove_all(Scratch, EC);
 }

@@ -1,0 +1,287 @@
+//===- CertFuzzTest.cpp - Certificate parser fuzzing ------------*- C++ -*-===//
+//
+// Part of the autocorres-cpp project, under the BSD 2-Clause License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic fuzzing of the standalone certificate checker
+/// (tools/acpc_check.h): a few hundred seeded mutants — truncations,
+/// byte flips, line splices, duplicate and forward ids, oversized
+/// payloads, raw control bytes, numeric overflow — are thrown at
+/// acpc::check, which must return a clean verdict for every one of them:
+/// never crash, never over-read, never loop. A mutant is allowed to
+/// still be *valid* (a flipped byte inside a metadata value changes
+/// nothing the checker cares about); what is not allowed is any outcome
+/// other than a well-formed Result.
+///
+/// The suite carries the `chaos` ctest label, so the tier-1 script
+/// replays exactly these inputs under AddressSanitizer — an over-read
+/// that happens to return the right bytes in a plain build still fails
+/// the pipeline there.
+///
+/// Everything is seeded (std::mt19937, fixed constants): a failure
+/// reproduces by running the test again, no corpus files involved.
+///
+//===----------------------------------------------------------------------===//
+
+#include "hol/Builder.h"
+#include "hol/Cert.h"
+
+#include "../../tools/acpc_check.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <vector>
+
+using namespace ac::hol;
+
+namespace {
+
+/// A small but rule-diverse seed certificate (same shape as the
+/// mutation suite's pristine proof: every primitive rule, two axioms,
+/// one oracle).
+std::string seedCert() {
+  CertLog::enable();
+
+  TypeRef B = boolTy();
+  TermRef P = Term::mkFree("p", B);
+  Thm T1 = Kernel::trivial(P);
+  Thm Ax = Kernel::axiom("fuzz.ax", mkImp(mkTrue(), mkTrue()));
+  Thm TrueThm = Kernel::eqTrueElim(Kernel::refl(mkTrue()));
+  Thm T2 = Kernel::mp(Ax, TrueThm);
+  Thm G = Kernel::generalize("p", B, T1);
+  Thm Sp = Kernel::spec(G, mkTrue());
+  TermRef Q = Term::mkVar("Q", 1, B);
+  Thm Ax2 = Kernel::axiom("fuzz.schema", mkImp(Q, Q));
+  Subst S;
+  S.bind("Q", 1, mkTrue());
+  Thm Inst = Kernel::instantiate(Ax2, S);
+  Thm Refl = Kernel::refl(P);
+  Thm Tr = Kernel::trans(Refl, Kernel::sym(Refl));
+  Thm CI = Kernel::conjI(Sp, Tr);
+  Thm CE = Kernel::conjE(CI, false);
+  TermRef Lam = Term::mkLam("x", B, Term::mkBound(0));
+  Thm BC = Kernel::betaConv(Term::mkApp(Lam, P));
+  Thm Comb = Kernel::combination(Kernel::refl(Lam), Refl);
+  Thm Abs = Kernel::abstract("p", B, Refl);
+  Thm EI = Kernel::eqTrueIntro(Sp);
+  Thm EM = Kernel::eqMp(EI, Sp);
+  Thm Or = Kernel::oracle("fuzz.oracle", mkTrue());
+
+  CertWriter W;
+  W.meta("purpose", "fuzz-seed");
+  for (auto [N, T] : {std::pair<const char *, const Thm *>{"t2", &T2},
+                      {"inst", &Inst},
+                      {"ce", &CE},
+                      {"bc", &BC},
+                      {"comb", &Comb},
+                      {"abs", &Abs},
+                      {"em", &EM},
+                      {"oracle", &Or}})
+    EXPECT_TRUE(W.claim(N, *T)) << N;
+  return W.str();
+}
+
+std::vector<std::string> splitLines(const std::string &Cert) {
+  std::vector<std::string> Lines;
+  std::string Cur;
+  for (char C : Cert) {
+    if (C == '\n') {
+      Lines.push_back(Cur);
+      Cur.clear();
+    } else {
+      Cur.push_back(C);
+    }
+  }
+  return Lines;
+}
+
+std::string joinLines(const std::vector<std::string> &Lines) {
+  std::string Out;
+  for (const std::string &L : Lines) {
+    Out += L;
+    Out += '\n';
+  }
+  return Out;
+}
+
+/// The checker contract under fuzzing: a total function. Either Ok, or a
+/// non-empty error pinned to a line number inside (or one past) the
+/// input. Anything else — and any crash/sanitizer report on the way —
+/// is a bug.
+void expectTotal(const std::string &Mutant, const char *What, size_t Case) {
+  acpc::Result R = acpc::check(Mutant);
+  size_t MaxLine = 1;
+  for (char C : Mutant)
+    if (C == '\n')
+      ++MaxLine;
+  if (!R.Ok) {
+    EXPECT_FALSE(R.Error.empty()) << What << " case " << Case;
+    EXPECT_GE(R.Line, 1u) << What << " case " << Case;
+    EXPECT_LE(R.Line, MaxLine + 1) << What << " case " << Case;
+  }
+}
+
+} // namespace
+
+TEST(CertFuzz, SeedIsValid) {
+  acpc::Result R = acpc::check(seedCert());
+  ASSERT_TRUE(R.Ok) << "line " << R.Line << ": " << R.Error;
+  EXPECT_EQ(R.ClaimCount, 8u);
+}
+
+/// Byte-level truncation: every proper prefix that ends on a boundary we
+/// care about, plus random cut points. All must be rejected (the trailer
+/// or the final newline is gone), none may crash.
+TEST(CertFuzz, Truncations) {
+  const std::string Cert = seedCert();
+  std::mt19937 Rng(0xacbc0001);
+  std::uniform_int_distribution<size_t> Cut(0, Cert.size() - 1);
+  for (size_t Case = 0; Case != 64; ++Case) {
+    size_t N = Case < 4 ? Case : Cut(Rng); // include 0..3 explicitly
+    std::string Mutant = Cert.substr(0, N);
+    acpc::Result R = acpc::check(Mutant);
+    EXPECT_FALSE(R.Ok) << "prefix of " << N << " bytes accepted";
+    expectTotal(Mutant, "truncation", Case);
+  }
+  // Exactly the final newline missing.
+  acpc::Result R = acpc::check(Cert.substr(0, Cert.size() - 1));
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("newline"), std::string::npos) << R.Error;
+}
+
+/// Random single-byte flips over the whole file. Flips may land in
+/// metadata and stay valid; the checker just must stay total.
+TEST(CertFuzz, ByteFlips) {
+  const std::string Cert = seedCert();
+  std::mt19937 Rng(0xacbc0002);
+  std::uniform_int_distribution<size_t> Pos(0, Cert.size() - 1);
+  std::uniform_int_distribution<int> Byte(0, 255);
+  for (size_t Case = 0; Case != 96; ++Case) {
+    std::string Mutant = Cert;
+    Mutant[Pos(Rng)] = static_cast<char>(Byte(Rng));
+    expectTotal(Mutant, "byte flip", Case);
+  }
+}
+
+/// Raw control bytes (NUL, bell, DEL, 0xff) inserted at random offsets:
+/// always rejected, since the format is printable-ASCII lines only.
+TEST(CertFuzz, ControlBytes) {
+  const std::string Cert = seedCert();
+  std::mt19937 Rng(0xacbc0003);
+  std::uniform_int_distribution<size_t> Pos(0, Cert.size());
+  const char Bytes[] = {'\0', '\x01', '\x07', '\x7f', '\xff', '\r', '\t'};
+  for (size_t Case = 0; Case != 28; ++Case) {
+    std::string Mutant = Cert;
+    Mutant.insert(Pos(Rng), 1, Bytes[Case % (sizeof(Bytes))]);
+    acpc::Result R = acpc::check(Mutant);
+    EXPECT_FALSE(R.Ok) << "control byte accepted, case " << Case;
+    expectTotal(Mutant, "control byte", Case);
+  }
+}
+
+/// Line-level splices: duplicate, delete, or swap whole records. A
+/// duplicated id, a missing premise, or an out-of-order record must all
+/// fall out of the dense-id / trailer-count discipline.
+TEST(CertFuzz, LineSplices) {
+  const std::string Cert = seedCert();
+  const std::vector<std::string> Lines = splitLines(Cert);
+  std::mt19937 Rng(0xacbc0004);
+  std::uniform_int_distribution<size_t> Pick(0, Lines.size() - 1);
+  for (size_t Case = 0; Case != 60; ++Case) {
+    std::vector<std::string> L = Lines;
+    size_t A = Pick(Rng), B = Pick(Rng);
+    switch (Case % 3) {
+    case 0: // duplicate record A
+      L.insert(L.begin() + static_cast<long>(A), Lines[A]);
+      break;
+    case 1: // delete record A
+      L.erase(L.begin() + static_cast<long>(A));
+      break;
+    default: // swap records A and B
+      std::swap(L[A], L[B]);
+      break;
+    }
+    std::string Mutant = joinLines(L);
+    if (Mutant == Cert)
+      continue; // swapped a line with itself
+    expectTotal(Mutant, "line splice", Case);
+    // Duplicating or deleting a counted record always breaks dense ids
+    // or the trailer counts. Meta records are uncounted (duplicating or
+    // dropping one is legal), and a swap can pair two identical lines —
+    // those cases only assert totality above.
+    bool MetaTouched = Lines[A].rfind("m ", 0) == 0;
+    if (Case % 3 != 2 && !MetaTouched) {
+      EXPECT_FALSE(acpc::check(Mutant).Ok)
+          << "splice accepted, case " << Case;
+    }
+  }
+}
+
+/// Reference attacks: rewrite one numeric token to a forward id, a
+/// huge id, an overflowing number, or a zero-padded one. The strict
+/// parser must reject the record that carries it.
+TEST(CertFuzz, BadReferences) {
+  const std::string Cert = seedCert();
+  const std::vector<std::string> Lines = splitLines(Cert);
+  std::mt19937 Rng(0xacbc0005);
+  const char *Poison[] = {"999999", "18446744073709551616", "007", "-1",
+                          "0x10", "1e3"};
+  size_t Case = 0;
+  for (size_t LI = 1; LI + 1 < Lines.size(); ++LI) { // skip header/trailer
+    // Rewrite the *last* token of every record once per poison value in
+    // round-robin; the last token is a reference or payload on every
+    // record kind.
+    std::vector<std::string> L = Lines;
+    size_t Sp = L[LI].rfind(' ');
+    if (Sp == std::string::npos)
+      continue;
+    L[LI] = L[LI].substr(0, Sp + 1) + Poison[Case++ % 6];
+    expectTotal(joinLines(L), "bad reference", Case);
+  }
+  EXPECT_GT(Case, 20u); // the sweep actually covered the file
+}
+
+/// Oversized payloads: thousands of trailing tokens, kilobyte-long
+/// names, and very deep escape soup. The checker must reject on shape
+/// without degenerating (these run under ASan via the chaos label, and
+/// under the default depth/node budgets).
+TEST(CertFuzz, OversizedPayloads) {
+  const std::string Cert = seedCert();
+  const std::vector<std::string> Lines = splitLines(Cert);
+  std::mt19937 Rng(0xacbc0006);
+  std::uniform_int_distribution<size_t> Pick(1, Lines.size() - 2);
+
+  for (size_t Case = 0; Case != 12; ++Case) {
+    std::vector<std::string> L = Lines;
+    size_t LI = Pick(Rng);
+    switch (Case % 3) {
+    case 0: { // token bomb (`:x` parses nowhere: not a number, not a
+              // reference, and every string context checks arity)
+      std::string Extra;
+      for (int I = 0; I != 4000; ++I)
+        Extra += " :x";
+      L[LI] += Extra;
+      break;
+    }
+    case 1: { // name bomb
+      L[LI] += " :" + std::string(64 * 1024, 'a');
+      break;
+    }
+    default: { // escape soup
+      std::string Esc = " :";
+      for (int I = 0; I != 8000; ++I)
+        Esc += "%41";
+      L[LI] += Esc;
+      break;
+    }
+    }
+    std::string Mutant = joinLines(L);
+    acpc::Result R = acpc::check(Mutant);
+    EXPECT_FALSE(R.Ok) << "oversized payload accepted, case " << Case;
+    expectTotal(Mutant, "oversized payload", Case);
+  }
+}

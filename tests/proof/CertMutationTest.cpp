@@ -1,0 +1,449 @@
+//===- CertMutationTest.cpp - Adversarial certificate mutations -*- C++ -*-===//
+//
+// Part of the autocorres-cpp project, under the BSD 2-Clause License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The kernel-mutation suite for proof certificates: a pristine
+/// certificate exercising every primitive inference rule is built through
+/// the real kernel and writer, then one mutation operator per record kind
+/// corrupts it — a flipped axiom hash, a swapped premise, a forged claim,
+/// a spliced trailer — and the independent checker (tools/acpc_check.h)
+/// must reject every mutant while still accepting the pristine bytes.
+///
+/// The suite is closed over hol::certRecordKinds() in the ChaosTest
+/// site-registry style: a record kind registered by the format without a
+/// mutation operator driving it fails the suite, as does an operator
+/// naming a kind the format does not define. Growing the format forces
+/// growing the adversarial coverage in the same commit.
+///
+/// Operator design is pinned by earlier no-op pitfalls: swapping the
+/// premises of `trans` on P = P is accepted (both orders re-derive), and
+/// flipping the side bit of `conjE` over identical conjuncts changes
+/// nothing — so the pristine proof conjoins *distinct* propositions and
+/// every operator below was chosen to guarantee a rejection, either at
+/// the mutated line or at a downstream claim whose recorded proposition
+/// can no longer be re-derived.
+///
+//===----------------------------------------------------------------------===//
+
+#include "hol/Builder.h"
+#include "hol/Cert.h"
+
+#include "../../tools/acpc_check.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace ac::hol;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Pristine certificate
+//===----------------------------------------------------------------------===//
+
+/// Builds one certificate through the live kernel covering every
+/// derivation rule the format defines, with claims on each terminal
+/// theorem so a corrupted intermediate conclusion is always observable.
+std::string pristineCert() {
+  CertLog::enable(); // before any theorem is minted below
+
+  TypeRef B = boolTy();
+  TermRef P = Term::mkFree("p", B);
+  Thm T1 = Kernel::trivial(P); // p --> p
+  Thm Ax = Kernel::axiom("test.ax", mkImp(mkTrue(), mkTrue()));
+  Thm TrueThm = Kernel::eqTrueElim(Kernel::refl(mkTrue())); // |- True
+  Thm T2 = Kernel::mp(Ax, TrueThm);                         // |- True
+
+  Thm G = Kernel::generalize("p", B, T1); // All p. p --> p
+  Thm Sp = Kernel::spec(G, mkTrue());     // True --> True
+
+  TermRef Q = Term::mkVar("Q", 1, B);
+  Thm Ax2 = Kernel::axiom("test.schema", mkImp(Q, Q));
+  Subst S;
+  S.bind("Q", 1, mkTrue());
+  Thm Inst = Kernel::instantiate(Ax2, S); // True --> True
+
+  Thm Refl = Kernel::refl(P);       // p = p
+  Thm Sym = Kernel::sym(Refl);      // p = p
+  Thm Tr = Kernel::trans(Refl, Sym);// p = p
+
+  // Distinct conjuncts (True --> True /\ p = p): flipping the conjE side
+  // bit must change the conclusion, and redirecting a conjI premise must
+  // be visible downstream.
+  Thm CI = Kernel::conjI(Sp, Tr);
+  Thm CE = Kernel::conjE(CI, false); // True --> True
+
+  TermRef Lam = Term::mkLam("x", B, Term::mkBound(0));
+  Thm BC = Kernel::betaConv(Term::mkApp(Lam, P)); // (\x. x) p = p
+  Thm Comb = Kernel::combination(Kernel::refl(Lam), Refl);
+  Thm Abs = Kernel::abstract("p", B, Refl);
+  Thm EI = Kernel::eqTrueIntro(Sp); // (True-->True) = True
+  Thm EE = Kernel::eqTrueElim(EI);  // True --> True
+  Thm EM = Kernel::eqMp(EI, Sp);    // |- True
+  Thm Or = Kernel::oracle("test.oracle", mkTrue());
+
+  CertWriter W;
+  W.meta("purpose", "mutation-suite");
+  auto cl = [&](const char *N, const Thm &T) {
+    EXPECT_TRUE(W.claim(N, T)) << "unexportable derivation for " << N;
+  };
+  cl("t2", T2);
+  cl("spec", Sp);
+  cl("inst", Inst);
+  cl("ce", CE);
+  cl("trans", Tr);
+  cl("bc", BC);
+  cl("comb", Comb);
+  cl("abs", Abs);
+  cl("ee", EE);
+  cl("em", EM);
+  cl("oracle", Or);
+  return W.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Line surgery
+//===----------------------------------------------------------------------===//
+
+std::vector<std::string> splitLines(const std::string &Cert) {
+  std::vector<std::string> Lines;
+  std::string Cur;
+  for (char C : Cert) {
+    if (C == '\n') {
+      Lines.push_back(Cur);
+      Cur.clear();
+    } else {
+      Cur.push_back(C);
+    }
+  }
+  EXPECT_TRUE(Cur.empty()) << "certificate must end in a newline";
+  return Lines;
+}
+
+std::string joinLines(const std::vector<std::string> &Lines) {
+  std::string Out;
+  for (const std::string &L : Lines) {
+    Out += L;
+    Out += '\n';
+  }
+  return Out;
+}
+
+std::vector<std::string> tokens(const std::string &Line) {
+  std::vector<std::string> Toks;
+  std::istringstream IS(Line);
+  std::string T;
+  while (IS >> T)
+    Toks.push_back(T);
+  return Toks;
+}
+
+std::string retok(const std::vector<std::string> &Toks) {
+  std::string Out;
+  for (size_t I = 0; I != Toks.size(); ++I) {
+    if (I)
+      Out += ' ';
+    Out += Toks[I];
+  }
+  return Out;
+}
+
+/// Rewrites the first line whose tokens satisfy \p Pred through \p Edit.
+/// Returns false when no line matches (a broken anchor, reported by the
+/// driver as a suite bug rather than a silent skip).
+bool editFirst(std::vector<std::string> &Lines,
+               const std::function<bool(const std::vector<std::string> &)> &Pred,
+               const std::function<void(std::vector<std::string> &)> &Edit) {
+  for (std::string &L : Lines) {
+    std::vector<std::string> T = tokens(L);
+    if (T.empty() || !Pred(T))
+      continue;
+    Edit(T);
+    L = retok(T);
+    return true;
+  }
+  return false;
+}
+
+/// First line matching a derivation-rule record `d <id> <rule> ...`.
+bool editRule(std::vector<std::string> &Lines, const std::string &Rule,
+              const std::function<void(std::vector<std::string> &)> &Edit) {
+  return editFirst(
+      Lines,
+      [&](const std::vector<std::string> &T) {
+        return T[0] == "d" && T.size() > 2 && T[2] == Rule;
+      },
+      Edit);
+}
+
+/// The file id of the first term record satisfying \p Pred ("" if none).
+std::string findTermId(
+    const std::vector<std::string> &Lines,
+    const std::function<bool(const std::vector<std::string> &)> &Pred) {
+  for (const std::string &L : Lines) {
+    std::vector<std::string> T = tokens(L);
+    if (!T.empty() && T[0] == "t" && T.size() > 2 && Pred(T))
+      return T[1];
+  }
+  return "";
+}
+
+/// The derivation id bound to claim \p Name ("" if none).
+std::string findClaimDeriv(const std::vector<std::string> &Lines,
+                           const std::string &Name) {
+  for (const std::string &L : Lines) {
+    std::vector<std::string> T = tokens(L);
+    if (T.size() == 4 && T[0] == "q" && T[2] == ":" + Name)
+      return T[1];
+  }
+  return "";
+}
+
+//===----------------------------------------------------------------------===//
+// The operator registry
+//===----------------------------------------------------------------------===//
+
+struct Mutation {
+  std::string Kind; ///< must name an entry of certRecordKinds()
+  const char *Why;  ///< the rejection each operator banks on
+  std::function<bool(std::vector<std::string> &)> Apply;
+};
+
+/// One operator per record kind. Anchor ids (a loose bound variable, the
+/// True constant, the derivation behind the `trans` claim) are resolved
+/// from the pristine text so the operators survive id renumbering.
+std::vector<Mutation> buildOperators(const std::vector<std::string> &Pristine) {
+  // A term that can never equal a closed, derivable conclusion: the
+  // loose bound variable inside (\x. x).
+  const std::string BoundId = findTermId(
+      Pristine, [](const std::vector<std::string> &T) { return T[2] == "b"; });
+  // The True constant's term record.
+  const std::string TrueId =
+      findTermId(Pristine, [](const std::vector<std::string> &T) {
+        return T[2] == "c" && T.size() > 3 && T[3] == ":True";
+      });
+  // The derivation proving p = p (the `trans` claim): redirecting a
+  // premise here changes a conclusion without tripping arity checks.
+  const std::string TransDeriv = findClaimDeriv(Pristine, "trans");
+  EXPECT_FALSE(BoundId.empty());
+  EXPECT_FALSE(TrueId.empty());
+  EXPECT_FALSE(TransDeriv.empty());
+
+  auto first = [](const char *Tag) {
+    std::string T(Tag);
+    return [T](const std::vector<std::string> &Toks) { return Toks[0] == T; };
+  };
+
+  std::vector<Mutation> Ops;
+  Ops.push_back({"header", "version gate",
+                 [](std::vector<std::string> &L) {
+                   if (L.empty() || L[0] != "acpc 1")
+                     return false;
+                   L[0] = "acpc 2";
+                   return true;
+                 }});
+  Ops.push_back({"meta", "arity check",
+                 [first](std::vector<std::string> &L) {
+                   return editFirst(L, first("m"), [](auto &T) {
+                     T.resize(2); // drop the value token
+                   });
+                 }});
+  Ops.push_back({"type", "dense-sequential ids",
+                 [first](std::vector<std::string> &L) {
+                   return editFirst(L, first("y"),
+                                    [](auto &T) { T[1] = "1"; });
+                 }});
+  Ops.push_back({"term", "no self/forward references",
+                 [](std::vector<std::string> &L) {
+                   return editFirst(
+                       L,
+                       [](const std::vector<std::string> &T) {
+                         return T[0] == "t" && T.size() > 2 && T[2] == "a";
+                       },
+                       [](auto &T) { T[3] = T[1]; });
+                 }});
+  Ops.push_back({"claim", "claimed proposition must be the derived one",
+                 [first, BoundId](std::vector<std::string> &L) {
+                   return editFirst(L, first("q"),
+                                    [BoundId](auto &T) { T[3] = BoundId; });
+                 }});
+  Ops.push_back({"trailer", "splice/truncation detection",
+                 [first](std::vector<std::string> &L) {
+                   return editFirst(L, first("end"), [](auto &T) {
+                     T[1] = std::to_string(std::stoull(T[1]) + 1);
+                   });
+                 }});
+  Ops.push_back({"axiom", "hash binds the leaf to the audited inventory",
+                 [](std::vector<std::string> &L) {
+                   return editRule(L, "axiom", [](auto &T) {
+                     char &C = T.back().back();
+                     C = C == '0' ? '1' : '0';
+                   });
+                 }});
+  Ops.push_back({"oracle", "leaf propositions must be closed",
+                 [BoundId](std::vector<std::string> &L) {
+                   return editRule(L, "oracle", [BoundId](auto &T) {
+                     T.back() = BoundId;
+                   });
+                 }});
+  Ops.push_back({"trivial", "exact payload shape",
+                 [](std::vector<std::string> &L) {
+                   return editRule(L, "trivial",
+                                   [](auto &T) { T.push_back("0"); });
+                 }});
+  Ops.push_back({"instantiate", "empty substitutions are rejected",
+                 [](std::vector<std::string> &L) {
+                   return editRule(L, "instantiate", [](auto &T) {
+                     T.resize(4);
+                     T.push_back("0"); // no type bindings
+                     T.push_back("0"); // no term bindings
+                   });
+                 }});
+  Ops.push_back({"mp", "major premise must be an implication",
+                 [](std::vector<std::string> &L) {
+                   return editRule(L, "mp",
+                                   [](auto &T) { std::swap(T[3], T[4]); });
+                 }});
+  Ops.push_back({"generalize", "bound name is part of the conclusion",
+                 [](std::vector<std::string> &L) {
+                   return editRule(L, "generalize",
+                                   [](auto &T) { T[4] = ":zz"; });
+                 }});
+  Ops.push_back({"spec", "witness is part of the conclusion",
+                 [BoundId](std::vector<std::string> &L) {
+                   return editRule(L, "spec",
+                                   [BoundId](auto &T) { T[4] = BoundId; });
+                 }});
+  Ops.push_back({"refl", "reflected term is part of the conclusion",
+                 [BoundId](std::vector<std::string> &L) {
+                   return editRule(L, "refl",
+                                   [BoundId](auto &T) { T[3] = BoundId; });
+                 }});
+  Ops.push_back({"sym", "premise must be an equality",
+                 [](std::vector<std::string> &L) {
+                   return editRule(L, "sym", [](auto &T) { T[3] = "0"; });
+                 }});
+  Ops.push_back({"trans", "premises must be equalities",
+                 [](std::vector<std::string> &L) {
+                   return editRule(L, "trans", [](auto &T) { T[4] = "0"; });
+                 }});
+  Ops.push_back({"combination", "premises must be equalities",
+                 [](std::vector<std::string> &L) {
+                   return editRule(L, "combination",
+                                   [](auto &T) { T[4] = "0"; });
+                 }});
+  Ops.push_back({"abstract", "premise must be an equality",
+                 [](std::vector<std::string> &L) {
+                   return editRule(L, "abstract", [](auto &T) { T[3] = "0"; });
+                 }});
+  Ops.push_back({"betaConv", "redex is part of the conclusion",
+                 [TrueId](std::vector<std::string> &L) {
+                   return editRule(L, "betaConv",
+                                   [TrueId](auto &T) { T[3] = TrueId; });
+                 }});
+  Ops.push_back({"eqTrueIntro", "premise is part of the conclusion",
+                 [TransDeriv](std::vector<std::string> &L) {
+                   return editRule(L, "eqTrueIntro", [TransDeriv](auto &T) {
+                     T[3] = TransDeriv;
+                   });
+                 }});
+  Ops.push_back({"eqTrueElim", "premise must be an equality with True",
+                 [](std::vector<std::string> &L) {
+                   return editRule(L, "eqTrueElim",
+                                   [](auto &T) { T[3] = "0"; });
+                 }});
+  Ops.push_back({"eqMp", "first premise must be the equality",
+                 [](std::vector<std::string> &L) {
+                   return editRule(L, "eqMp",
+                                   [](auto &T) { std::swap(T[3], T[4]); });
+                 }});
+  // The conjuncts are distinct by construction, so swapping them moves
+  // whichever side the downstream conjE selects — guaranteed regardless
+  // of the side-bit convention.
+  Ops.push_back({"conjI", "premise order is part of the conclusion",
+                 [](std::vector<std::string> &L) {
+                   return editRule(L, "conjI",
+                                   [](auto &T) { std::swap(T[3], T[4]); });
+                 }});
+  Ops.push_back({"conjE", "side bit selects the conjunct",
+                 [](std::vector<std::string> &L) {
+                   return editRule(L, "conjE", [](auto &T) {
+                     T[4] = T[4] == "0" ? "1" : "0";
+                   });
+                 }});
+  return Ops;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Tests
+//===----------------------------------------------------------------------===//
+
+TEST(CertMutation, PristineCertificateChecks) {
+  std::string Cert = pristineCert();
+  acpc::Result R = acpc::check(Cert);
+  ASSERT_TRUE(R.Ok) << "line " << R.Line << ": " << R.Error;
+  EXPECT_EQ(R.ClaimCount, 11u);
+  // The trusted base the checker reports: exactly the leaves we minted.
+  ASSERT_EQ(R.AxiomLeaves.size(), 2u);
+  EXPECT_EQ(R.AxiomLeaves[0].first, "test.ax");
+  EXPECT_EQ(R.AxiomLeaves[1].first, "test.schema");
+  ASSERT_EQ(R.OracleLeaves.size(), 1u);
+  EXPECT_EQ(R.OracleLeaves[0], "test.oracle");
+}
+
+TEST(CertMutation, EveryOperatorIsRejected) {
+  const std::string Cert = pristineCert();
+  const std::vector<std::string> Pristine = splitLines(Cert);
+  ASSERT_TRUE(acpc::check(Cert).Ok);
+
+  size_t TotalLines = Pristine.size();
+  for (const Mutation &M : buildOperators(Pristine)) {
+    std::vector<std::string> Lines = Pristine;
+    ASSERT_TRUE(M.Apply(Lines))
+        << "operator '" << M.Kind << "' found no anchor record";
+    std::string Mutant = joinLines(Lines);
+    ASSERT_NE(Mutant, Cert)
+        << "operator '" << M.Kind << "' did not change the certificate";
+
+    acpc::Result R = acpc::check(Mutant);
+    EXPECT_FALSE(R.Ok) << "mutant '" << M.Kind << "' (" << M.Why
+                       << ") was accepted";
+    if (!R.Ok) {
+      EXPECT_FALSE(R.Error.empty()) << M.Kind;
+      EXPECT_GE(R.Line, 1u) << M.Kind;
+      EXPECT_LE(R.Line, TotalLines + 1) << M.Kind;
+    }
+  }
+}
+
+/// Registry closure (the ChaosTest pattern): the operator table and the
+/// format's record-kind registry must be the same set — growing one
+/// without the other fails here, naming the gap.
+TEST(CertMutation, OperatorsCoverEveryRecordKind) {
+  const std::vector<std::string> Pristine = splitLines(pristineCert());
+  std::set<std::string> Covered;
+  for (const Mutation &M : buildOperators(Pristine))
+    EXPECT_TRUE(Covered.insert(M.Kind).second)
+        << "duplicate operator for kind '" << M.Kind << "'";
+
+  std::set<std::string> Registered(certRecordKinds().begin(),
+                                   certRecordKinds().end());
+  for (const std::string &K : Registered)
+    EXPECT_TRUE(Covered.count(K))
+        << "record kind '" << K << "' has no mutation operator";
+  for (const std::string &K : Covered)
+    EXPECT_TRUE(Registered.count(K))
+        << "operator targets unknown record kind '" << K << "'";
+  EXPECT_EQ(Covered, Registered);
+}

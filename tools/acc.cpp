@@ -63,6 +63,11 @@ void usage(const char *Argv0) {
       "                    run when the daemon cannot serve the check\n"
       "  --trace FILE      run in-process and write a Chrome trace\n"
       "                    (chrome://tracing / Perfetto) to FILE\n"
+      "  --cert FILE       run in-process and write a proof certificate\n"
+      "                    claiming every pipeline theorem to FILE\n"
+      "                    (check it with `acpc FILE`)\n"
+      "  --cert-dir DIR    run in-process and write one certificate per\n"
+      "                    function to DIR/<fingerprint>.acpc\n"
       "  --rule-profile    run in-process and print the per-rule\n"
       "                    fire/miss/self-time table\n"
       "  --trace-id ID     correlation id sent with the request\n"
@@ -127,7 +132,7 @@ std::string goldenSnapshot(const CheckResponse &Resp) {
 
 int main(int argc, char **argv) {
   std::string SocketPath = "acd.sock";
-  std::string File, Corpus, TracePath;
+  std::string File, Corpus, TracePath, CertPath, CertDir;
   bool Golden = false, Stats = false, Ping = false, Drain = false;
   bool NoFallback = false, Metrics = false, RuleProfile = false;
   CheckRequest Req;
@@ -194,6 +199,16 @@ int main(int argc, char **argv) {
       if (!V)
         return usage(argv[0]), 2;
       TracePath = V;
+    } else if (Arg == "--cert") {
+      const char *V = Next();
+      if (!V)
+        return usage(argv[0]), 2;
+      CertPath = V;
+    } else if (Arg == "--cert-dir") {
+      const char *V = Next();
+      if (!V)
+        return usage(argv[0]), 2;
+      CertDir = V;
     } else if (Arg == "--trace-id") {
       const char *V = Next();
       if (!V)
@@ -292,14 +307,19 @@ int main(int argc, char **argv) {
 
   CheckResponse Resp;
   bool UsedFallback = false;
-  if (!TracePath.empty() || RuleProfile) {
-    // Tracing and rule profiling observe *this* process's pipeline, so
-    // these modes always run in-process.
+  if (!TracePath.empty() || !CertPath.empty() || !CertDir.empty() ||
+      RuleProfile) {
+    // Tracing, certificate export, and rule profiling observe *this*
+    // process's pipeline (a certificate records the local kernel's
+    // derivations), so these modes always run in-process. Daemon-side
+    // certificates go through `acd --cert-dir`.
     if (RuleProfile)
       ac::support::RuleProfile::setEnabled(true);
     CheckContext Ctx;
     Ctx.Jobs = Req.Jobs;
     Ctx.TracePath = TracePath;
+    Ctx.CertPath = CertPath;
+    Ctx.CertDir = CertDir;
     Resp = runCheck(Req, Ctx);
     UsedFallback = true;
   } else if (NoFallback) {
@@ -358,6 +378,9 @@ int main(int argc, char **argv) {
               Resp.CacheMisses, Resp.CacheInvalidations,
               Resp.TraceId.empty() ? "" : " trace_id=",
               Resp.TraceId.c_str());
+  if (!CertPath.empty() || !CertDir.empty())
+    std::printf("certs: written=%u claims=%u skipped=%u\n",
+                Resp.CertsWritten, Resp.CertClaims, Resp.CertSkipped);
   if (RuleProfile) {
     // Zero-fire rules still show up: the standard families are filled
     // in and every registered WA./HL. axiom gets a row, so "this rule

@@ -40,6 +40,9 @@ void usage(const char *Argv0) {
       "  --retry-after-ms N backpressure retry hint (default: 50)\n"
       "  --trace-dir DIR    write a Chrome trace JSON per request to\n"
       "                     DIR/<trace_id>.json (best-effort)\n"
+      "  --cert-dir DIR     write a proof certificate per request to\n"
+      "                     DIR/<trace_id>.acpc, checkable with `acpc`\n"
+      "                     (best-effort)\n"
       "  --log-file PATH    append structured JSONL log lines to PATH\n"
       "                     (default: stderr; also $AC_LOG_FILE)\n"
       "  --log-level LVL    debug|info|warn|error|off (default: info;\n"
@@ -98,6 +101,13 @@ int main(int argc, char **argv) {
         return 2;
       }
       Opts.TraceDir = V;
+    } else if (Arg == "--cert-dir") {
+      const char *V = Next();
+      if (!V) {
+        usage(argv[0]);
+        return 2;
+      }
+      Opts.CertDir = V;
     } else if (Arg == "--log-file") {
       const char *V = Next();
       if (!V || !ac::support::Log::setFile(V)) {

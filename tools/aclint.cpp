@@ -23,6 +23,16 @@
 //       a preceding # TYPE of a known kind, summary quantile samples and
 //       _sum/_count attach to a declared summary.
 //
+//   aclint cert <file.acpc> [--min-claims N] [--require-meta KEY]...
+//       The file has the proof-certificate *shape* (docs/PROTOCOL.md
+//       "Certificates"): `acpc 1` header, every record line carries a
+//       known tag, type/term/derivation/claim ids are dense and
+//       sequential, the `end` trailer is the last line and its counts
+//       match the records, and the file ends in a newline. This is a
+//       lint, not a proof check — `acpc` re-derives the claims; aclint
+//       only asserts the artifact is structurally sound (e.g. not
+//       truncated by a torn write).
+//
 // Exit status: 0 clean, 1 lint findings (each printed on stderr), 2 usage.
 //
 //===----------------------------------------------------------------------===//
@@ -263,12 +273,140 @@ int lintMetrics(const std::string &Path) {
   return Findings ? 1 : 0;
 }
 
+//===----------------------------------------------------------------------===//
+// cert mode
+//===----------------------------------------------------------------------===//
+
+/// Splits one certificate line on single spaces (the format never emits
+/// empty tokens).
+std::vector<std::string> certTokens(const std::string &Line) {
+  std::vector<std::string> Toks;
+  size_t Pos = 0;
+  while (Pos <= Line.size()) {
+    size_t Sp = Line.find(' ', Pos);
+    if (Sp == std::string::npos)
+      Sp = Line.size();
+    Toks.push_back(Line.substr(Pos, Sp - Pos));
+    Pos = Sp + 1;
+  }
+  return Toks;
+}
+
+/// Strict decimal u64: digits only, no leading zeros (the writer never
+/// produces them, and accepting them would let two spellings of one id
+/// through a shape check).
+bool certU64(const std::string &S, unsigned long long &Out) {
+  if (S.empty() || (S.size() > 1 && S[0] == '0'))
+    return false;
+  Out = 0;
+  for (char C : S) {
+    if (C < '0' || C > '9')
+      return false;
+    if (Out > (~0ull - (C - '0')) / 10)
+      return false;
+    Out = Out * 10 + (C - '0');
+  }
+  return true;
+}
+
+int lintCert(const std::string &Path, int MinClaims,
+             const std::vector<std::string> &RequireMeta) {
+  std::string Text;
+  if (!readAll(Path, Text)) {
+    finding("cannot read " + Path);
+    return 1;
+  }
+  if (Text.empty() || Text.back() != '\n') {
+    finding(Path + ": does not end in a newline (truncated?)");
+    return 1;
+  }
+
+  std::set<std::string> MetaKeys;
+  unsigned long long NTy = 0, NTm = 0, NDv = 0, NCl = 0;
+  bool SawHeader = false, SawEnd = false;
+  size_t LineNo = 0, Pos = 0;
+  while (Pos < Text.size()) {
+    size_t NL = Text.find('\n', Pos);
+    std::string Line = Text.substr(Pos, NL - Pos);
+    Pos = NL + 1;
+    ++LineNo;
+    std::string Where = Path + ":" + std::to_string(LineNo);
+    if (!SawHeader) {
+      if (Line != "acpc 1") {
+        finding(Where + ": bad header (want `acpc 1`): " + Line);
+        return 1;
+      }
+      SawHeader = true;
+      continue;
+    }
+    if (SawEnd) {
+      finding(Where + ": content after the `end` trailer");
+      break;
+    }
+    std::vector<std::string> T = certTokens(Line);
+    const std::string &Tag = T[0];
+    // Dense-sequential id check for the id-carrying records: the next
+    // id is always the count so far.
+    auto denseId = [&](unsigned long long Expect) {
+      unsigned long long Id = 0;
+      if (T.size() < 2 || !certU64(T[1], Id))
+        finding(Where + ": record lacks a numeric id: " + Line);
+      else if (Id != Expect)
+        finding(Where + ": id " + T[1] + " is not dense-sequential (want " +
+                std::to_string(Expect) + ")");
+    };
+    if (Tag == "m") {
+      if (T.size() != 3 || T[1].empty() || T[1][0] != ':' ||
+          T[2].empty() || T[2][0] != ':')
+        finding(Where + ": malformed meta record: " + Line);
+      else
+        MetaKeys.insert(T[1].substr(1));
+    } else if (Tag == "y") {
+      denseId(NTy++);
+    } else if (Tag == "t") {
+      denseId(NTm++);
+    } else if (Tag == "d") {
+      denseId(NDv++);
+    } else if (Tag == "q") {
+      ++NCl;
+      unsigned long long Did = 0;
+      if (T.size() != 4 || !certU64(T[1], Did) || Did >= NDv)
+        finding(Where + ": claim does not reference an earlier derivation: " +
+                Line);
+    } else if (Tag == "end") {
+      SawEnd = true;
+      unsigned long long E[4] = {0, 0, 0, 0};
+      bool Ok = T.size() == 5;
+      for (int I = 0; Ok && I != 4; ++I)
+        Ok = certU64(T[I + 1], E[I]);
+      if (!Ok)
+        finding(Where + ": malformed trailer: " + Line);
+      else if (E[0] != NTy || E[1] != NTm || E[2] != NDv || E[3] != NCl)
+        finding(Where + ": trailer counts disagree with records (spliced?)");
+    } else {
+      finding(Where + ": unknown record tag `" + Tag + "`");
+    }
+  }
+  if (!SawHeader)
+    finding(Path + ": empty certificate");
+  if (SawHeader && !SawEnd)
+    finding(Path + ": missing `end` trailer (truncated?)");
+  if (MinClaims > 0 && NCl < static_cast<unsigned long long>(MinClaims))
+    finding(Path + ": has " + std::to_string(NCl) + " claims, expected >= " +
+            std::to_string(MinClaims));
+  for (const std::string &Key : RequireMeta)
+    if (!MetaKeys.count(Key))
+      finding(Path + ": required meta key `" + Key + "` missing");
+  return Findings ? 1 : 0;
+}
+
 int usage() {
   std::fprintf(
       stderr,
       "usage: aclint trace <file.json> [--require-span NAME]...\n"
       "              [--min-wa N] [--min-hl N] [--max-span-share NAME:PCT]...\n"
-      "       aclint metrics <file|->\n");
+      "       aclint metrics <file|->\n"
+      "       aclint cert <file.acpc> [--min-claims N] [--require-meta KEY]...\n");
   return 2;
 }
 
@@ -282,6 +420,27 @@ int main(int argc, char **argv) {
     if (argc != 3)
       return usage();
     return lintMetrics(Path);
+  }
+  if (Mode == "cert") {
+    int MinClaims = 0;
+    std::vector<std::string> RequireMeta;
+    for (int I = 3; I < argc; ++I) {
+      std::string A = argv[I];
+      auto needArg = [&](const char *Flag) -> const char * {
+        if (I + 1 >= argc) {
+          std::fprintf(stderr, "aclint: %s needs an argument\n", Flag);
+          exit(2);
+        }
+        return argv[++I];
+      };
+      if (A == "--min-claims")
+        MinClaims = std::atoi(needArg("--min-claims"));
+      else if (A == "--require-meta")
+        RequireMeta.push_back(needArg("--require-meta"));
+      else
+        return usage();
+    }
+    return lintCert(Path, MinClaims, RequireMeta);
   }
   if (Mode != "trace")
     return usage();

@@ -1,0 +1,184 @@
+//===- acpc.cpp - AutoCorres proof-certificate checker ---------------------===//
+//
+// Part of the autocorres-cpp project, under the BSD 2-Clause License.
+//
+//===----------------------------------------------------------------------===//
+//
+// Independent streaming checker for `.acpc` proof certificates:
+//
+//   acpc [options] <cert.acpc>...
+//     -j N       check up to N certificates in parallel (default 1)
+//     --leaves   print each certificate's trusted base (axiom name+hash,
+//                oracle names) after its verdict
+//     --quiet    print nothing for certificates that verify
+//     --max-depth N, --node-budget N
+//                work limits (oversized input rejects cleanly)
+//
+// Exit status: 0 every certificate verifies; 1 any certificate is
+// rejected (the first offending record is printed as file:line: reason);
+// 2 usage or unreadable input.
+//
+// The entire checking logic lives in acpc_check.h, which includes
+// nothing from src/ — this file only adds argument handling and worker
+// threads. Each certificate is checked on a dedicated thread with a
+// large stack so legitimately deep terms (long bind spines) re-derive
+// fine while adversarially deep input still dies at the depth cap, not
+// by stack overflow.
+//
+//===----------------------------------------------------------------------===//
+
+#include "acpc_check.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <pthread.h>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct FileJob {
+  std::string Path;
+  bool Read = false;
+  acpc::Result Res;
+};
+
+struct WorkerArgs {
+  std::vector<FileJob> *Jobs;
+  std::atomic<size_t> *Next;
+  const acpc::Options *Opts;
+};
+
+bool readAll(const std::string &Path, std::string &Out) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In.good())
+    return false;
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  Out = SS.str();
+  return true;
+}
+
+void *worker(void *P) {
+  auto *A = static_cast<WorkerArgs *>(P);
+  for (;;) {
+    size_t I = A->Next->fetch_add(1);
+    if (I >= A->Jobs->size())
+      return nullptr;
+    FileJob &J = (*A->Jobs)[I];
+    std::string Text;
+    if (!readAll(J.Path, Text)) {
+      J.Read = false;
+      continue;
+    }
+    J.Read = true;
+    J.Res = acpc::check(Text, *A->Opts);
+  }
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: acpc [-j N] [--leaves] [--quiet] [--max-depth N] "
+               "[--node-budget N] <cert.acpc>...\n");
+  return 2;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  acpc::Options Opts;
+  std::vector<FileJob> Jobs;
+  unsigned NThreads = 1;
+  bool Leaves = false, Quiet = false;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string A = argv[I];
+    auto numArg = [&](unsigned long long &Out) {
+      if (I + 1 >= argc)
+        return false;
+      char *End = nullptr;
+      Out = std::strtoull(argv[++I], &End, 10);
+      return End && *End == '\0' && Out > 0;
+    };
+    unsigned long long N = 0;
+    if (A == "-j") {
+      if (!numArg(N))
+        return usage();
+      NThreads = static_cast<unsigned>(N > 256 ? 256 : N);
+    } else if (A == "--max-depth") {
+      if (!numArg(N))
+        return usage();
+      Opts.MaxDepth = N;
+    } else if (A == "--node-budget") {
+      if (!numArg(N))
+        return usage();
+      Opts.NodeBudget = N;
+    } else if (A == "--leaves") {
+      Leaves = true;
+    } else if (A == "--quiet") {
+      Quiet = true;
+    } else if (!A.empty() && A[0] == '-') {
+      return usage();
+    } else {
+      Jobs.push_back(FileJob{A, false, {}});
+    }
+  }
+  if (Jobs.empty())
+    return usage();
+
+  std::atomic<size_t> Next{0};
+  WorkerArgs WA{&Jobs, &Next, &Opts};
+  if (NThreads > Jobs.size())
+    NThreads = static_cast<unsigned>(Jobs.size());
+
+  // 64 MiB stacks: re-derivation recurses to term depth, and the depth
+  // cap (not the platform default stack) should be the binding limit.
+  pthread_attr_t Attr;
+  pthread_attr_init(&Attr);
+  pthread_attr_setstacksize(&Attr, 64u << 20);
+  std::vector<pthread_t> Threads(NThreads);
+  unsigned Started = 0;
+  for (unsigned T = 0; T != NThreads; ++T) {
+    if (pthread_create(&Threads[T], &Attr, worker, &WA) == 0)
+      ++Started;
+  }
+  pthread_attr_destroy(&Attr);
+  if (Started == 0)
+    worker(&WA); // fall back to inline checking
+  for (unsigned T = 0; T != Started; ++T)
+    pthread_join(Threads[T], nullptr);
+
+  // Report in input order, independent of completion order.
+  int Exit = 0;
+  for (const FileJob &J : Jobs) {
+    if (!J.Read) {
+      std::fprintf(stderr, "acpc: cannot read %s\n", J.Path.c_str());
+      if (Exit == 0)
+        Exit = 2;
+      continue;
+    }
+    if (!J.Res.Ok) {
+      std::fprintf(stderr, "acpc: %s:%zu: %s\n", J.Path.c_str(), J.Res.Line,
+                   J.Res.Error.c_str());
+      Exit = 1;
+      continue;
+    }
+    if (!Quiet)
+      std::printf("%s: ok: %llu claims, %llu inferences, %llu terms\n",
+                  J.Path.c_str(),
+                  static_cast<unsigned long long>(J.Res.ClaimCount),
+                  static_cast<unsigned long long>(J.Res.Derivs),
+                  static_cast<unsigned long long>(J.Res.Terms));
+    if (Leaves) {
+      for (const auto &[Name, Hash] : J.Res.AxiomLeaves)
+        std::printf("%s: axiom %s %s\n", J.Path.c_str(), Name.c_str(),
+                    Hash.c_str());
+      for (const std::string &Name : J.Res.OracleLeaves)
+        std::printf("%s: oracle %s\n", J.Path.c_str(), Name.c_str());
+    }
+  }
+  return Exit;
+}

@@ -1,0 +1,1483 @@
+//===- acpc_check.h - Standalone proof-certificate checker ------*- C++ -*-===//
+//
+// Part of the autocorres-cpp project, under the BSD 2-Clause License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The independent checker for `.acpc` proof certificates (hol/Cert.h
+/// documents the format; DESIGN.md documents the trust argument). This
+/// header is deliberately self-contained: it includes nothing from src/,
+/// re-states the term language and the kernel's seventeen side conditions
+/// in a few hundred lines, and is what `tools/acpc.cpp` links — so the
+/// trusted base of a checked certificate is this file plus the audited
+/// axiom/oracle leaves it reports, not the parser, the simplifier, or the
+/// abstraction engines.
+///
+/// Checking is streaming with bounded derivation memory: a light first
+/// pass counts premise references per derivation id, the second pass
+/// re-derives every conclusion in file (= topological) order and frees a
+/// conclusion as soon as its last reference is consumed. The parser is
+/// strict — dense sequential ids (duplicates and forward references are
+/// structurally impossible to accept), exact token shapes, a mandatory
+/// trailer with record counts — and total: malformed input of any shape
+/// produces a clean rejection with the offending line, never a crash or
+/// an over-read. Work bombs (deep nesting, exponential beta chains) are
+/// cut off by a depth cap and a node budget, again as clean rejections.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AC_TOOLS_ACPC_CHECK_H
+#define AC_TOOLS_ACPC_CHECK_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace acpc {
+
+//===----------------------------------------------------------------------===//
+// Public interface
+//===----------------------------------------------------------------------===//
+
+struct Options {
+  /// Maximum depth of any term parsed from the file; terms the rules
+  /// construct may reach twice this. Bounds native recursion.
+  uint64_t MaxDepth = 20000;
+  /// Maximum number of term/type nodes the checker will allocate while
+  /// re-deriving conclusions (betaNorm of adversarial input can try to
+  /// explode; this turns the bomb into a rejection).
+  uint64_t NodeBudget = 1u << 25;
+};
+
+struct Result {
+  bool Ok = false;
+  size_t Line = 0;    ///< 1-based line of the first offending record.
+  std::string Error;  ///< Empty iff Ok.
+  uint64_t Types = 0, Terms = 0, Derivs = 0, ClaimCount = 0;
+  /// Metadata records, in file order.
+  std::vector<std::pair<std::string, std::string>> Meta;
+  /// (name, proposition fingerprint) per validated claim, in file order.
+  std::vector<std::pair<std::string, std::string>> Claims;
+  /// The trusted base: every axiom leaf as (name, canonical hash) and
+  /// every oracle leaf by name, deduplicated, in first-use order.
+  std::vector<std::pair<std::string, std::string>> AxiomLeaves;
+  std::vector<std::string> OracleLeaves;
+};
+
+inline Result check(const std::string &Text, const Options &O = Options());
+
+//===----------------------------------------------------------------------===//
+// Implementation
+//===----------------------------------------------------------------------===//
+
+namespace detail {
+
+//===--- Types -----------------------------------------------------------===//
+
+struct CTy;
+using CTyRef = std::shared_ptr<const CTy>;
+
+struct CTy {
+  bool IsVar;
+  std::string Name;
+  std::vector<CTyRef> Args;
+  bool HasVar;
+};
+
+inline CTyRef tyVar(const std::string &N) {
+  auto T = std::make_shared<CTy>();
+  T->IsVar = true;
+  T->Name = N;
+  T->HasVar = true;
+  return T;
+}
+
+inline CTyRef tyCon(const std::string &N, std::vector<CTyRef> Args = {}) {
+  auto T = std::make_shared<CTy>();
+  T->IsVar = false;
+  T->Name = N;
+  T->HasVar = false;
+  for (const CTyRef &A : Args)
+    T->HasVar = T->HasVar || A->HasVar;
+  T->Args = std::move(Args);
+  return T;
+}
+
+inline bool typeEq(const CTyRef &A, const CTyRef &B) {
+  if (A.get() == B.get())
+    return true;
+  if (!A || !B || A->IsVar != B->IsVar || A->Name != B->Name ||
+      A->Args.size() != B->Args.size())
+    return false;
+  for (size_t I = 0; I != A->Args.size(); ++I)
+    if (!typeEq(A->Args[I], B->Args[I]))
+      return false;
+  return true;
+}
+
+inline CTyRef boolTy() { return tyCon("bool"); }
+inline CTyRef funTy(CTyRef D, CTyRef R) {
+  return tyCon("fun", {std::move(D), std::move(R)});
+}
+inline bool isFunTy(const CTyRef &T) {
+  return T && !T->IsVar && T->Name == "fun" && T->Args.size() == 2;
+}
+
+//===--- Terms -----------------------------------------------------------===//
+
+struct CTm;
+using CTmRef = std::shared_ptr<const CTm>;
+
+struct CTm {
+  enum Kind { Const, Free, Var, Bound, Lam, App, Num } K;
+  std::string Name;
+  CTyRef Ty;
+  uint64_t Index = 0;
+  __int128 Value = 0;
+  CTmRef A, B; ///< App fun/arg; Lam body in A.
+  uint64_t Size = 1, Depth = 1;
+  uint64_t MaxLoose = 0;
+  bool Schematic = false, HasTyVar = false, BetaNormal = true;
+  /// Lazily cached type of a closed term (single-threaded checker).
+  mutable CTyRef CachedTy;
+};
+
+/// Allocation context: enforces the node budget and the depth cap. Every
+/// constructor returns null once a limit trips; Error holds the reason.
+struct Ctx {
+  Options O;
+  uint64_t Built = 0;
+  std::string Error;
+
+  bool spend() {
+    if (!Error.empty())
+      return false;
+    if (++Built > O.NodeBudget) {
+      Error = "node budget exceeded (adversarial work bomb?)";
+      return false;
+    }
+    return true;
+  }
+  bool depthOk(uint64_t D) {
+    if (!Error.empty())
+      return false;
+    if (D > 2 * O.MaxDepth) {
+      Error = "constructed term exceeds depth cap";
+      return false;
+    }
+    return true;
+  }
+};
+
+inline uint64_t satAdd(uint64_t A, uint64_t B) {
+  uint64_t S = A + B;
+  return S < A ? ~0ULL : S;
+}
+
+inline CTmRef mkConst(Ctx &C, const std::string &N, CTyRef Ty) {
+  if (!C.spend() || !Ty)
+    return nullptr;
+  auto T = std::make_shared<CTm>();
+  T->K = CTm::Const;
+  T->Name = N;
+  T->HasTyVar = Ty->HasVar;
+  T->Ty = std::move(Ty);
+  return T;
+}
+
+inline CTmRef mkFree(Ctx &C, const std::string &N, CTyRef Ty) {
+  if (!C.spend() || !Ty)
+    return nullptr;
+  auto T = std::make_shared<CTm>();
+  T->K = CTm::Free;
+  T->Name = N;
+  T->HasTyVar = Ty->HasVar;
+  T->Ty = std::move(Ty);
+  return T;
+}
+
+inline CTmRef mkVar(Ctx &C, const std::string &N, uint64_t Index, CTyRef Ty) {
+  if (!C.spend() || !Ty)
+    return nullptr;
+  auto T = std::make_shared<CTm>();
+  T->K = CTm::Var;
+  T->Name = N;
+  T->Index = Index;
+  T->Schematic = true;
+  T->HasTyVar = Ty->HasVar;
+  T->Ty = std::move(Ty);
+  return T;
+}
+
+inline CTmRef mkBound(Ctx &C, uint64_t Index) {
+  if (!C.spend())
+    return nullptr;
+  auto T = std::make_shared<CTm>();
+  T->K = CTm::Bound;
+  T->Index = Index;
+  T->MaxLoose = satAdd(Index, 1);
+  return T;
+}
+
+inline CTmRef mkNum(Ctx &C, __int128 V, CTyRef Ty) {
+  if (!C.spend() || !Ty)
+    return nullptr;
+  auto T = std::make_shared<CTm>();
+  T->K = CTm::Num;
+  T->Value = V;
+  T->HasTyVar = Ty->HasVar;
+  T->Ty = std::move(Ty);
+  return T;
+}
+
+/// `Pair a b` destructor and the root-redex test, mirrored from the
+/// kernel (Term.cpp) so the BetaNormal flag means the same thing.
+inline bool destPairApp(const CTmRef &T, CTmRef &A, CTmRef &B) {
+  if (!T || T->K != CTm::App || !T->A || T->A->K != CTm::App)
+    return false;
+  const CTmRef &H = T->A->A;
+  if (!H || H->K != CTm::Const || H->Name != "Pair")
+    return false;
+  A = T->A->B;
+  B = T->B;
+  return true;
+}
+
+inline bool isRootRedex(const CTmRef &F, const CTmRef &X) {
+  if (F->K == CTm::Lam)
+    return true;
+  if (F->K == CTm::Const && (F->Name == "fst" || F->Name == "snd")) {
+    CTmRef A, B;
+    if (destPairApp(X, A, B))
+      return true;
+  }
+  return false;
+}
+
+inline CTmRef mkLam(Ctx &C, const std::string &N, CTyRef Ty, CTmRef Body) {
+  if (!C.spend() || !Ty || !Body)
+    return nullptr;
+  auto T = std::make_shared<CTm>();
+  T->K = CTm::Lam;
+  T->Name = N;
+  T->Size = satAdd(1, Body->Size);
+  T->Depth = 1 + Body->Depth;
+  T->MaxLoose = Body->MaxLoose > 0 ? Body->MaxLoose - 1 : 0;
+  T->Schematic = Body->Schematic;
+  T->HasTyVar = Ty->HasVar || Body->HasTyVar;
+  T->BetaNormal = Body->BetaNormal;
+  T->Ty = std::move(Ty);
+  T->A = std::move(Body);
+  if (!C.depthOk(T->Depth))
+    return nullptr;
+  return T;
+}
+
+inline CTmRef mkApp(Ctx &C, CTmRef F, CTmRef X) {
+  if (!C.spend() || !F || !X)
+    return nullptr;
+  auto T = std::make_shared<CTm>();
+  T->K = CTm::App;
+  T->Size = satAdd(1, satAdd(F->Size, X->Size));
+  T->Depth = 1 + (F->Depth > X->Depth ? F->Depth : X->Depth);
+  T->MaxLoose = F->MaxLoose > X->MaxLoose ? F->MaxLoose : X->MaxLoose;
+  T->Schematic = F->Schematic || X->Schematic;
+  T->HasTyVar = F->HasTyVar || X->HasTyVar;
+  T->BetaNormal = F->BetaNormal && X->BetaNormal && !isRootRedex(F, X);
+  T->A = std::move(F);
+  T->B = std::move(X);
+  if (!C.depthOk(T->Depth))
+    return nullptr;
+  return T;
+}
+
+/// Alpha-equality, mirroring the kernel's termEq: Free compared by name
+/// only, Var by name+index, Lam display names ignored but binder types
+/// compared, Const/Num compare types. Iterative with a proven-pair memo
+/// so shared-subterm DAGs compare in polynomial time.
+inline bool termEq(const CTmRef &A0, const CTmRef &B0) {
+  if (A0.get() == B0.get())
+    return true;
+  if (!A0 || !B0)
+    return false;
+  std::vector<std::pair<const CTm *, const CTm *>> St;
+  std::set<std::pair<const CTm *, const CTm *>> Seen;
+  St.emplace_back(A0.get(), B0.get());
+  while (!St.empty()) {
+    auto [A, B] = St.back();
+    St.pop_back();
+    if (A == B || !Seen.insert({A, B}).second)
+      continue;
+    if (A->K != B->K || A->Size != B->Size)
+      return false;
+    switch (A->K) {
+    case CTm::Const:
+      if (A->Name != B->Name || !typeEq(A->Ty, B->Ty))
+        return false;
+      break;
+    case CTm::Free:
+      if (A->Name != B->Name)
+        return false;
+      break;
+    case CTm::Var:
+      if (A->Name != B->Name || A->Index != B->Index)
+        return false;
+      break;
+    case CTm::Bound:
+      if (A->Index != B->Index)
+        return false;
+      break;
+    case CTm::Num:
+      if (A->Value != B->Value || !typeEq(A->Ty, B->Ty))
+        return false;
+      break;
+    case CTm::Lam:
+      if (!typeEq(A->Ty, B->Ty))
+        return false;
+      St.emplace_back(A->A.get(), B->A.get());
+      break;
+    case CTm::App:
+      St.emplace_back(A->A.get(), B->A.get());
+      St.emplace_back(A->B.get(), B->B.get());
+      break;
+    }
+  }
+  return true;
+}
+
+//===--- Term operations (mirrors of Term.cpp) ---------------------------===//
+
+inline CTyRef typeOf(Ctx &C, const CTmRef &T, std::vector<CTyRef> &Env) {
+  if (!T)
+    return nullptr;
+  switch (T->K) {
+  case CTm::Const:
+  case CTm::Free:
+  case CTm::Var:
+  case CTm::Num:
+    return T->Ty;
+  case CTm::Bound:
+    if (T->Index >= Env.size())
+      return nullptr; // loose bound variable: ill-typed here
+    return Env[Env.size() - 1 - T->Index];
+  case CTm::Lam: {
+    if (T->MaxLoose == 0 && T->CachedTy)
+      return T->CachedTy;
+    Env.push_back(T->Ty);
+    CTyRef BodyTy = typeOf(C, T->A, Env);
+    Env.pop_back();
+    if (!BodyTy)
+      return nullptr;
+    CTyRef R = funTy(T->Ty, BodyTy);
+    if (T->MaxLoose == 0)
+      T->CachedTy = R;
+    return R;
+  }
+  case CTm::App: {
+    if (T->MaxLoose == 0 && T->CachedTy)
+      return T->CachedTy;
+    CTyRef FTy = typeOf(C, T->A, Env);
+    if (!isFunTy(FTy))
+      return nullptr; // application of non-function
+    CTyRef R = FTy->Args[1];
+    if (T->MaxLoose == 0)
+      T->CachedTy = R;
+    return R;
+  }
+  }
+  return nullptr;
+}
+
+inline CTyRef typeOf(Ctx &C, const CTmRef &T) {
+  std::vector<CTyRef> Env;
+  return typeOf(C, T, Env);
+}
+
+inline CTmRef liftLoose(Ctx &C, const CTmRef &T, uint64_t Inc,
+                        uint64_t Cutoff = 0) {
+  if (!T)
+    return nullptr;
+  if (Inc == 0 || T->MaxLoose <= Cutoff)
+    return T;
+  switch (T->K) {
+  case CTm::Bound:
+    return mkBound(C, satAdd(T->Index, Inc));
+  case CTm::Lam:
+    return mkLam(C, T->Name, T->Ty, liftLoose(C, T->A, Inc, Cutoff + 1));
+  case CTm::App:
+    return mkApp(C, liftLoose(C, T->A, Inc, Cutoff),
+                 liftLoose(C, T->B, Inc, Cutoff));
+  default:
+    return T;
+  }
+}
+
+inline CTmRef substBound(Ctx &C, const CTmRef &Body, const CTmRef &Arg,
+                         uint64_t Depth = 0) {
+  if (!Body || !Arg)
+    return nullptr;
+  if (Body->MaxLoose <= Depth)
+    return Body;
+  switch (Body->K) {
+  case CTm::Bound:
+    if (Body->Index == Depth)
+      return liftLoose(C, Arg, Depth);
+    if (Body->Index > Depth)
+      return mkBound(C, Body->Index - 1);
+    return Body;
+  case CTm::Lam:
+    return mkLam(C, Body->Name, Body->Ty,
+                 substBound(C, Body->A, Arg, Depth + 1));
+  case CTm::App:
+    return mkApp(C, substBound(C, Body->A, Arg, Depth),
+                 substBound(C, Body->B, Arg, Depth));
+  default:
+    return Body;
+  }
+}
+
+inline CTmRef betaNorm(Ctx &C, const CTmRef &T) {
+  if (!T || !C.Error.empty())
+    return nullptr;
+  if (T->BetaNormal)
+    return T;
+  switch (T->K) {
+  case CTm::App: {
+    CTmRef F = betaNorm(C, T->A);
+    CTmRef X = betaNorm(C, T->B);
+    if (!F || !X)
+      return nullptr;
+    if (F->K == CTm::Lam)
+      return betaNorm(C, substBound(C, F->A, X));
+    if (F->K == CTm::Const && (F->Name == "fst" || F->Name == "snd")) {
+      CTmRef A, B;
+      if (destPairApp(X, A, B))
+        return F->Name == "fst" ? A : B;
+    }
+    if (F.get() == T->A.get() && X.get() == T->B.get())
+      return T;
+    return mkApp(C, std::move(F), std::move(X));
+  }
+  case CTm::Lam: {
+    CTmRef B = betaNorm(C, T->A);
+    if (!B)
+      return nullptr;
+    if (B.get() == T->A.get())
+      return T;
+    return mkLam(C, T->Name, T->Ty, std::move(B));
+  }
+  default:
+    return T;
+  }
+}
+
+inline CTmRef abstractFree(Ctx &C, const CTmRef &T, const std::string &Name,
+                           uint64_t Depth) {
+  if (!T)
+    return nullptr;
+  switch (T->K) {
+  case CTm::Free:
+    if (T->Name == Name)
+      return mkBound(C, Depth);
+    return T;
+  case CTm::Bound:
+    if (T->Index >= Depth)
+      return mkBound(C, satAdd(T->Index, 1));
+    return T;
+  case CTm::Lam:
+    return mkLam(C, T->Name, T->Ty, abstractFree(C, T->A, Name, Depth + 1));
+  case CTm::App:
+    return mkApp(C, abstractFree(C, T->A, Name, Depth),
+                 abstractFree(C, T->B, Name, Depth));
+  default:
+    return T;
+  }
+}
+
+inline CTmRef lambdaFree(Ctx &C, const std::string &Name, CTyRef Ty,
+                         const CTmRef &T) {
+  return mkLam(C, Name, std::move(Ty), abstractFree(C, T, Name, 0));
+}
+
+//===--- Logical builders (mirrors of Builder.cpp recipes) ---------------===//
+
+inline CTmRef mkTrue(Ctx &C) { return mkConst(C, "True", boolTy()); }
+
+inline CTmRef boolBinop(Ctx &C, const char *Name, CTmRef A, CTmRef B) {
+  CTmRef K = mkConst(C, Name, funTy(boolTy(), funTy(boolTy(), boolTy())));
+  return mkApp(C, mkApp(C, std::move(K), std::move(A)), std::move(B));
+}
+
+inline CTmRef mkImp(Ctx &C, CTmRef A, CTmRef B) {
+  return boolBinop(C, "implies", std::move(A), std::move(B));
+}
+inline CTmRef mkConj(Ctx &C, CTmRef A, CTmRef B) {
+  return boolBinop(C, "conj", std::move(A), std::move(B));
+}
+
+inline CTmRef mkEq(Ctx &C, CTmRef A, CTmRef B) {
+  CTyRef Ty = typeOf(C, A);
+  if (!Ty)
+    return nullptr;
+  CTmRef K = mkConst(C, "eq", funTy(Ty, funTy(Ty, boolTy())));
+  return mkApp(C, mkApp(C, std::move(K), std::move(A)), std::move(B));
+}
+
+inline CTmRef mkAllLam(Ctx &C, CTmRef Lam) {
+  CTyRef LamTy = typeOf(C, Lam);
+  if (!LamTy)
+    return nullptr;
+  CTmRef K = mkConst(C, "All", funTy(LamTy, boolTy()));
+  return mkApp(C, std::move(K), std::move(Lam));
+}
+
+/// Strips `h a1 .. an` with constant head \p Name and exactly \p Arity
+/// arguments (the kernel's destConstApp, names compared, types not).
+inline bool destConstApp(const CTmRef &T, const char *Name, unsigned Arity,
+                         std::vector<CTmRef> &Args) {
+  Args.clear();
+  CTmRef H = T;
+  while (H && H->K == CTm::App) {
+    Args.push_back(H->B);
+    H = H->A;
+  }
+  if (!H || H->K != CTm::Const || H->Name != Name || Args.size() != Arity)
+    return false;
+  std::vector<CTmRef> Rev(Args.rbegin(), Args.rend());
+  Args = std::move(Rev);
+  return true;
+}
+
+inline bool destImp(const CTmRef &T, CTmRef &A, CTmRef &B) {
+  std::vector<CTmRef> Args;
+  if (!destConstApp(T, "implies", 2, Args))
+    return false;
+  A = Args[0];
+  B = Args[1];
+  return true;
+}
+inline bool destEq(const CTmRef &T, CTmRef &L, CTmRef &R) {
+  std::vector<CTmRef> Args;
+  if (!destConstApp(T, "eq", 2, Args))
+    return false;
+  L = Args[0];
+  R = Args[1];
+  return true;
+}
+inline bool destConj(const CTmRef &T, CTmRef &L, CTmRef &R) {
+  std::vector<CTmRef> Args;
+  if (!destConstApp(T, "conj", 2, Args))
+    return false;
+  L = Args[0];
+  R = Args[1];
+  return true;
+}
+inline bool destAll(const CTmRef &T, CTmRef &Lam) {
+  std::vector<CTmRef> Args;
+  if (!destConstApp(T, "All", 1, Args))
+    return false;
+  Lam = Args[0];
+  return true;
+}
+
+//===--- Substitution replay (mirror of Unify.cpp) -----------------------===//
+
+struct CSubst {
+  std::map<std::string, CTyRef> TyMap;
+  std::map<std::pair<std::string, uint64_t>, CTmRef> TmMap;
+};
+
+/// applyTy with a chase-depth guard: the wire can encode binding cycles
+/// the producer's occurs checks make impossible, so unbounded chasing
+/// would loop. Exceeding the guard poisons the context.
+inline CTyRef applyTy(Ctx &C, const CSubst &S, const CTyRef &T,
+                      uint64_t Depth) {
+  if (!T || !C.Error.empty())
+    return nullptr;
+  if (Depth > C.O.MaxDepth) {
+    C.Error = "substitution chase exceeds depth cap (binding cycle?)";
+    return nullptr;
+  }
+  if (!T->HasVar)
+    return T;
+  if (T->IsVar) {
+    auto It = S.TyMap.find(T->Name);
+    if (It == S.TyMap.end())
+      return T;
+    return applyTy(C, S, It->second, Depth + 1);
+  }
+  std::vector<CTyRef> Args;
+  bool Changed = false;
+  Args.reserve(T->Args.size());
+  for (const CTyRef &A : T->Args) {
+    CTyRef A2 = applyTy(C, S, A, Depth + 1);
+    if (!A2)
+      return nullptr;
+    Changed = Changed || A2.get() != A.get();
+    Args.push_back(std::move(A2));
+  }
+  if (!Changed)
+    return T;
+  return tyCon(T->Name, std::move(Args));
+}
+
+inline CTmRef applyRaw(Ctx &C, const CSubst &S, const CTmRef &T,
+                       uint64_t Depth) {
+  if (!T || !C.Error.empty())
+    return nullptr;
+  if (Depth > 2 * C.O.MaxDepth) {
+    C.Error = "substitution exceeds depth cap (binding cycle?)";
+    return nullptr;
+  }
+  if (!T->Schematic && !T->HasTyVar)
+    return T;
+  switch (T->K) {
+  case CTm::Const: {
+    CTyRef Ty = applyTy(C, S, T->Ty, 0);
+    if (!Ty)
+      return nullptr;
+    if (Ty.get() == T->Ty.get())
+      return T;
+    return mkConst(C, T->Name, std::move(Ty));
+  }
+  case CTm::Free: {
+    CTyRef Ty = applyTy(C, S, T->Ty, 0);
+    if (!Ty)
+      return nullptr;
+    if (Ty.get() == T->Ty.get())
+      return T;
+    return mkFree(C, T->Name, std::move(Ty));
+  }
+  case CTm::Num: {
+    CTyRef Ty = applyTy(C, S, T->Ty, 0);
+    if (!Ty)
+      return nullptr;
+    if (Ty.get() == T->Ty.get())
+      return T;
+    return mkNum(C, T->Value, std::move(Ty));
+  }
+  case CTm::Var: {
+    auto It = S.TmMap.find({T->Name, T->Index});
+    if (It != S.TmMap.end())
+      return applyRaw(C, S, It->second, Depth + 1);
+    CTyRef Ty = applyTy(C, S, T->Ty, 0);
+    if (!Ty)
+      return nullptr;
+    if (Ty.get() == T->Ty.get())
+      return T;
+    return mkVar(C, T->Name, T->Index, std::move(Ty));
+  }
+  case CTm::Bound:
+    return T;
+  case CTm::Lam: {
+    CTyRef Ty = applyTy(C, S, T->Ty, 0);
+    CTmRef B = applyRaw(C, S, T->A, Depth + 1);
+    if (!Ty || !B)
+      return nullptr;
+    if (Ty.get() == T->Ty.get() && B.get() == T->A.get())
+      return T;
+    return mkLam(C, T->Name, std::move(Ty), std::move(B));
+  }
+  case CTm::App: {
+    CTmRef F = applyRaw(C, S, T->A, Depth + 1);
+    CTmRef X = applyRaw(C, S, T->B, Depth + 1);
+    if (!F || !X)
+      return nullptr;
+    if (F.get() == T->A.get() && X.get() == T->B.get())
+      return T;
+    return mkApp(C, std::move(F), std::move(X));
+  }
+  }
+  return nullptr;
+}
+
+inline CTmRef applySubst(Ctx &C, const CSubst &S, const CTmRef &T) {
+  return betaNorm(C, applyRaw(C, S, T, 0));
+}
+
+//===--- Canonical fingerprints (mirror of Cert.cpp) ---------------------===//
+
+inline void fpByte(uint64_t &H, uint8_t B) {
+  H ^= B;
+  H *= 1099511628211ULL;
+}
+inline void fpU64(uint64_t &H, uint64_t V) {
+  for (int I = 0; I != 8; ++I)
+    fpByte(H, static_cast<uint8_t>(V >> (8 * I)));
+}
+inline void fpStr(uint64_t &H, const std::string &S) {
+  fpU64(H, S.size());
+  for (char Ch : S)
+    fpByte(H, static_cast<uint8_t>(Ch));
+}
+
+inline uint64_t typeFingerprint(const CTyRef &T) {
+  uint64_t H = 1469598103934665603ULL;
+  if (T->IsVar) {
+    fpByte(H, 0x01);
+    fpStr(H, T->Name);
+    return H;
+  }
+  fpByte(H, 0x02);
+  fpStr(H, T->Name);
+  fpU64(H, T->Args.size());
+  for (const CTyRef &A : T->Args)
+    fpU64(H, typeFingerprint(A));
+  return H;
+}
+
+inline uint64_t termFingerprint(const CTmRef &T) {
+  uint64_t H = 1469598103934665603ULL;
+  switch (T->K) {
+  case CTm::Const:
+    fpByte(H, 0x11);
+    fpStr(H, T->Name);
+    fpU64(H, typeFingerprint(T->Ty));
+    break;
+  case CTm::Free:
+    fpByte(H, 0x12);
+    fpStr(H, T->Name);
+    fpU64(H, typeFingerprint(T->Ty));
+    break;
+  case CTm::Var:
+    fpByte(H, 0x13);
+    fpStr(H, T->Name);
+    fpU64(H, T->Index);
+    fpU64(H, typeFingerprint(T->Ty));
+    break;
+  case CTm::Bound:
+    fpByte(H, 0x14);
+    fpU64(H, T->Index);
+    break;
+  case CTm::Lam:
+    fpByte(H, 0x15);
+    fpStr(H, T->Name);
+    fpU64(H, typeFingerprint(T->Ty));
+    fpU64(H, termFingerprint(T->A));
+    break;
+  case CTm::App:
+    fpByte(H, 0x16);
+    fpU64(H, termFingerprint(T->A));
+    fpU64(H, termFingerprint(T->B));
+    break;
+  case CTm::Num: {
+    fpByte(H, 0x17);
+    auto V = static_cast<unsigned __int128>(T->Value);
+    fpU64(H, static_cast<uint64_t>(V));
+    fpU64(H, static_cast<uint64_t>(V >> 64));
+    fpU64(H, typeFingerprint(T->Ty));
+    break;
+  }
+  }
+  return H;
+}
+
+inline std::string hex16(uint64_t V) {
+  static const char *Hex = "0123456789abcdef";
+  std::string Out(16, '0');
+  for (int I = 15; I >= 0; --I) {
+    Out[I] = Hex[V & 0xf];
+    V >>= 4;
+  }
+  return Out;
+}
+
+} // namespace detail
+
+//===----------------------------------------------------------------------===//
+// The checker
+//===----------------------------------------------------------------------===//
+
+namespace detail {
+
+/// Strict token scanner for one certificate. All parse helpers return
+/// false on malformed input and never read out of bounds.
+struct Parser {
+  /// Splits into lines; rejects '\r' and other raw control bytes so a
+  /// certificate has exactly one canonical byte form.
+  static bool splitLines(const std::string &Text,
+                         std::vector<std::pair<size_t, size_t>> &Lines) {
+    size_t Start = 0;
+    for (size_t I = 0; I != Text.size(); ++I) {
+      unsigned char Ch = static_cast<unsigned char>(Text[I]);
+      if (Ch == '\n') {
+        Lines.emplace_back(Start, I - Start);
+        Start = I + 1;
+      } else if (Ch < 0x20 || Ch == 0x7f) {
+        return false; // raw control byte (escapes cover these)
+      }
+    }
+    return Start == Text.size(); // must end with a newline
+  }
+
+  static bool splitTokens(const char *S, size_t Len,
+                          std::vector<std::string> &Toks) {
+    Toks.clear();
+    size_t I = 0;
+    while (I < Len) {
+      size_t J = I;
+      while (J < Len && S[J] != ' ')
+        ++J;
+      if (J == I)
+        return false; // empty token: leading/double/trailing space
+      Toks.emplace_back(S + I, J - I);
+      I = J + 1;
+    }
+    return !Toks.empty() && S[Len - 1] != ' ';
+  }
+
+  static bool parseU64(const std::string &T, uint64_t &Out) {
+    if (T.empty() || (T.size() > 1 && T[0] == '0'))
+      return false;
+    uint64_t V = 0;
+    for (char Ch : T) {
+      if (Ch < '0' || Ch > '9')
+        return false;
+      uint64_t D = static_cast<uint64_t>(Ch - '0');
+      if (V > (~0ULL - D) / 10)
+        return false;
+      V = V * 10 + D;
+    }
+    Out = V;
+    return true;
+  }
+
+  static bool parseInt128(const std::string &T, __int128 &Out) {
+    size_t I = 0;
+    bool Neg = false;
+    if (!T.empty() && T[0] == '-') {
+      Neg = true;
+      I = 1;
+    }
+    if (I == T.size() || (T.size() - I > 1 && T[I] == '0'))
+      return false;
+    unsigned __int128 M = 0;
+    const unsigned __int128 Lim = static_cast<unsigned __int128>(1) << 127;
+    for (; I != T.size(); ++I) {
+      char Ch = T[I];
+      if (Ch < '0' || Ch > '9')
+        return false;
+      unsigned D = static_cast<unsigned>(Ch - '0');
+      if (M > (~static_cast<unsigned __int128>(0) - D) / 10)
+        return false;
+      M = M * 10 + D;
+    }
+    if (Neg ? M > Lim : M >= Lim)
+      return false;
+    Out = Neg ? -static_cast<__int128>(M) : static_cast<__int128>(M);
+    if (Neg && M == Lim)
+      Out = static_cast<__int128>(M); // two's-complement INT128_MIN
+    return true;
+  }
+
+  static int hexVal(char Ch) {
+    if (Ch >= '0' && Ch <= '9')
+      return Ch - '0';
+    if (Ch >= 'a' && Ch <= 'f')
+      return Ch - 'a' + 10;
+    return -1;
+  }
+
+  /// `:`-prefixed %xx-escaped string token.
+  static bool parseStr(const std::string &T, std::string &Out) {
+    if (T.empty() || T[0] != ':')
+      return false;
+    Out.clear();
+    for (size_t I = 1; I < T.size();) {
+      unsigned char Ch = static_cast<unsigned char>(T[I]);
+      if (Ch == '%') {
+        if (I + 2 >= T.size())
+          return false;
+        int Hi = hexVal(T[I + 1]), Lo = hexVal(T[I + 2]);
+        if (Hi < 0 || Lo < 0)
+          return false;
+        Out.push_back(static_cast<char>(Hi * 16 + Lo));
+        I += 3;
+      } else if (Ch > 0x20 && Ch < 0x7f && Ch != ':') {
+        Out.push_back(static_cast<char>(Ch));
+        ++I;
+      } else {
+        return false;
+      }
+    }
+    return true;
+  }
+};
+
+/// Premise arity per derivation rule — used by the refcount pre-pass and
+/// to slice payload tokens in the main pass.
+inline int premiseCount(const std::string &Rule) {
+  if (Rule == "axiom" || Rule == "oracle" || Rule == "trivial" ||
+      Rule == "refl" || Rule == "betaConv")
+    return 0;
+  if (Rule == "instantiate" || Rule == "generalize" || Rule == "spec" ||
+      Rule == "sym" || Rule == "abstract" || Rule == "eqTrueIntro" ||
+      Rule == "eqTrueElim" || Rule == "conjE")
+    return 1;
+  if (Rule == "mp" || Rule == "trans" || Rule == "combination" ||
+      Rule == "eqMp" || Rule == "conjI")
+    return 2;
+  return -1;
+}
+
+struct Checker {
+  const Options &O;
+  Ctx C;
+  Result R;
+
+  std::vector<CTyRef> TypeTab;
+  std::vector<CTmRef> TermTab;
+  /// Conclusions of still-referenced derivations; erased at refcount 0.
+  std::map<uint64_t, CTmRef> Concl;
+  std::map<uint64_t, uint64_t> RefCnt;
+  uint64_t NextDeriv = 0;
+  std::set<std::string> SeenAxioms, SeenOracles;
+
+  explicit Checker(const Options &O) : O(O) { C.O = O; }
+
+  Result fail(size_t Line, const std::string &Msg) {
+    R.Ok = false;
+    R.Line = Line;
+    R.Error = Msg;
+    return R;
+  }
+
+  bool typeRef(const std::string &Tok, CTyRef &Out) {
+    uint64_t Id;
+    if (!Parser::parseU64(Tok, Id) || Id >= TypeTab.size())
+      return false;
+    Out = TypeTab[Id];
+    return true;
+  }
+  bool termRef(const std::string &Tok, CTmRef &Out) {
+    uint64_t Id;
+    if (!Parser::parseU64(Tok, Id) || Id >= TermTab.size())
+      return false;
+    Out = TermTab[Id];
+    return true;
+  }
+  /// Fetches a live premise conclusion.
+  bool premRef(const std::string &Tok, uint64_t &Id, CTmRef &Out) {
+    if (!Parser::parseU64(Tok, Id) || Id >= NextDeriv)
+      return false;
+    auto It = Concl.find(Id);
+    if (It == Concl.end())
+      return false; // dropped or never-live premise
+    Out = It->second;
+    return true;
+  }
+  /// Consumes one reference to premise \p Id, dropping its conclusion at
+  /// zero — the bounded-memory discipline.
+  void release(uint64_t Id) {
+    auto It = RefCnt.find(Id);
+    if (It == RefCnt.end())
+      return;
+    if (It->second > 0)
+      --It->second;
+    if (It->second == 0)
+      Concl.erase(Id);
+  }
+
+  Result run(const std::string &Text) {
+    std::vector<std::pair<size_t, size_t>> Lines;
+    if (!Parser::splitLines(Text, Lines))
+      return fail(Lines.size() + 1,
+                  "raw control byte or missing final newline");
+    if (Lines.empty())
+      return fail(1, "empty certificate");
+    if (std::string(Text.data() + Lines[0].first, Lines[0].second) !=
+        "acpc 1")
+      return fail(1, "bad header (expected \"acpc 1\")");
+
+    // Pass 1: premise/claim refcounts per derivation id, so pass 2 can
+    // drop conclusions eagerly. Malformed lines are skipped here; pass 2
+    // reports them precisely.
+    std::vector<std::string> Toks;
+    for (size_t LI = 1; LI < Lines.size(); ++LI) {
+      const char *S = Text.data() + Lines[LI].first;
+      if (!Parser::splitTokens(S, Lines[LI].second, Toks) || Toks.empty())
+        continue;
+      if (Toks[0] == "d" && Toks.size() >= 3) {
+        int NP = premiseCount(Toks[2]);
+        for (int P = 0; P < NP && 3 + P < static_cast<int>(Toks.size());
+             ++P) {
+          uint64_t Id;
+          if (Parser::parseU64(Toks[3 + P], Id))
+            ++RefCnt[Id];
+        }
+      } else if (Toks[0] == "q" && Toks.size() >= 2) {
+        uint64_t Id;
+        if (Parser::parseU64(Toks[1], Id))
+          ++RefCnt[Id];
+      }
+    }
+
+    // Pass 2: validate in order.
+    bool SawEnd = false;
+    for (size_t LI = 1; LI < Lines.size(); ++LI) {
+      size_t LineNo = LI + 1;
+      const char *S = Text.data() + Lines[LI].first;
+      if (SawEnd)
+        return fail(LineNo, "content after trailer");
+      if (!Parser::splitTokens(S, Lines[LI].second, Toks))
+        return fail(LineNo, "malformed line");
+      const std::string &Kind = Toks[0];
+
+      if (Kind == "m") {
+        std::string K, V;
+        if (Toks.size() != 3 || !Parser::parseStr(Toks[1], K) ||
+            !Parser::parseStr(Toks[2], V))
+          return fail(LineNo, "malformed meta record");
+        R.Meta.emplace_back(K, V);
+      } else if (Kind == "y") {
+        if (!checkType(Toks))
+          return fail(LineNo, "malformed or out-of-order type record");
+      } else if (Kind == "t") {
+        if (!checkTerm(Toks))
+          return fail(LineNo, C.Error.empty()
+                                  ? "malformed or out-of-order term record"
+                                  : C.Error);
+      } else if (Kind == "d") {
+        std::string Err;
+        if (!checkDeriv(Toks, Err))
+          return fail(LineNo, Err.empty() ? "invalid derivation record"
+                                          : Err);
+      } else if (Kind == "q") {
+        std::string Err;
+        if (!checkClaim(Toks, Err))
+          return fail(LineNo, Err.empty() ? "invalid claim record" : Err);
+      } else if (Kind == "end") {
+        uint64_t NY, NT, ND, NQ;
+        if (Toks.size() != 5 || !Parser::parseU64(Toks[1], NY) ||
+            !Parser::parseU64(Toks[2], NT) ||
+            !Parser::parseU64(Toks[3], ND) || !Parser::parseU64(Toks[4], NQ))
+          return fail(LineNo, "malformed trailer");
+        if (NY != TypeTab.size() || NT != TermTab.size() ||
+            ND != NextDeriv || NQ != R.Claims.size())
+          return fail(LineNo, "trailer counts disagree with records "
+                              "(truncated or spliced certificate)");
+        SawEnd = true;
+      } else {
+        return fail(LineNo, "unknown record kind '" + Kind + "'");
+      }
+      if (!C.Error.empty())
+        return fail(LineNo, C.Error);
+    }
+    if (!SawEnd)
+      return fail(Lines.size() + 1, "missing trailer (truncated?)");
+
+    R.Ok = true;
+    R.Types = TypeTab.size();
+    R.Terms = TermTab.size();
+    R.Derivs = NextDeriv;
+    R.ClaimCount = R.Claims.size();
+    return R;
+  }
+
+  bool checkType(const std::vector<std::string> &Toks) {
+    uint64_t Id;
+    if (Toks.size() < 3 || !Parser::parseU64(Toks[1], Id) ||
+        Id != TypeTab.size())
+      return false; // density: the id must be the next unused one
+    std::string Name;
+    if (Toks[2] == "v") {
+      if (Toks.size() != 4 || !Parser::parseStr(Toks[3], Name))
+        return false;
+      TypeTab.push_back(tyVar(Name));
+      return true;
+    }
+    if (Toks[2] != "c" || Toks.size() < 4 ||
+        !Parser::parseStr(Toks[3], Name))
+      return false;
+    std::vector<CTyRef> Args;
+    for (size_t I = 4; I < Toks.size(); ++I) {
+      CTyRef A;
+      if (!typeRef(Toks[I], A))
+        return false;
+      Args.push_back(std::move(A));
+    }
+    TypeTab.push_back(tyCon(Name, std::move(Args)));
+    return true;
+  }
+
+  bool checkTerm(const std::vector<std::string> &Toks) {
+    uint64_t Id;
+    if (Toks.size() < 3 || !Parser::parseU64(Toks[1], Id) ||
+        Id != TermTab.size())
+      return false;
+    const std::string &K = Toks[2];
+    std::string Name;
+    CTyRef Ty;
+    CTmRef T;
+    if (K == "c" && Toks.size() == 5 && Parser::parseStr(Toks[3], Name) &&
+        typeRef(Toks[4], Ty)) {
+      T = mkConst(C, Name, Ty);
+    } else if (K == "f" && Toks.size() == 5 &&
+               Parser::parseStr(Toks[3], Name) && typeRef(Toks[4], Ty)) {
+      T = mkFree(C, Name, Ty);
+    } else if (K == "v" && Toks.size() == 6 &&
+               Parser::parseStr(Toks[3], Name) && typeRef(Toks[5], Ty)) {
+      uint64_t Idx;
+      if (!Parser::parseU64(Toks[4], Idx))
+        return false;
+      T = mkVar(C, Name, Idx, Ty);
+    } else if (K == "b" && Toks.size() == 4) {
+      uint64_t Idx;
+      if (!Parser::parseU64(Toks[3], Idx))
+        return false;
+      T = mkBound(C, Idx);
+    } else if (K == "l" && Toks.size() == 6 &&
+               Parser::parseStr(Toks[3], Name) && typeRef(Toks[4], Ty)) {
+      CTmRef Body;
+      if (!termRef(Toks[5], Body))
+        return false;
+      T = mkLam(C, Name, Ty, Body);
+    } else if (K == "a" && Toks.size() == 5) {
+      CTmRef F, X;
+      if (!termRef(Toks[3], F) || !termRef(Toks[4], X))
+        return false;
+      T = mkApp(C, F, X);
+    } else if (K == "n" && Toks.size() == 5 && typeRef(Toks[4], Ty)) {
+      __int128 V;
+      if (!Parser::parseInt128(Toks[3], V))
+        return false;
+      T = mkNum(C, V, Ty);
+    } else {
+      return false;
+    }
+    if (!T) {
+      if (C.Error.empty())
+        C.Error = "term record parsed but could not be built";
+      return false;
+    }
+    if (T->Depth > O.MaxDepth) {
+      C.Error = "term exceeds depth cap";
+      return false;
+    }
+    TermTab.push_back(std::move(T));
+    return true;
+  }
+
+  /// Re-derives one inference record — the heart of the checker. Every
+  /// branch recomputes the conclusion from the premises exactly as the
+  /// kernel rule would, or rejects.
+  bool checkDeriv(const std::vector<std::string> &Toks, std::string &Err) {
+    uint64_t Id;
+    if (Toks.size() < 3 || !Parser::parseU64(Toks[1], Id) ||
+        Id != NextDeriv) {
+      Err = "derivation id is not dense-sequential";
+      return false;
+    }
+    const std::string &Rule = Toks[2];
+    int NP = premiseCount(Rule);
+    if (NP < 0) {
+      Err = "unknown rule '" + Rule + "'";
+      return false;
+    }
+    // Fetch premises (they must be live: earlier, still-referenced ids).
+    std::vector<uint64_t> PremIds(NP);
+    std::vector<CTmRef> Prem(NP);
+    for (int P = 0; P != NP; ++P) {
+      if (3 + P >= static_cast<int>(Toks.size()) ||
+          !premRef(Toks[3 + P], PremIds[P], Prem[P])) {
+        Err = "premise reference is invalid or already released";
+        return false;
+      }
+    }
+    size_t PB = 3 + NP; // first payload token
+    auto Payload = [&](size_t I) -> const std::string & {
+      static const std::string Empty;
+      return PB + I < Toks.size() ? Toks[PB + I] : Empty;
+    };
+    auto ExactPayload = [&](size_t N) { return Toks.size() == PB + N; };
+
+    CTmRef Out;
+    if (Rule == "axiom" || Rule == "oracle") {
+      std::string Name;
+      CTmRef Prop;
+      if (Rule == "axiom") {
+        if (!ExactPayload(3) || !Parser::parseStr(Payload(0), Name) ||
+            !termRef(Payload(1), Prop)) {
+          Err = "malformed axiom record";
+          return false;
+        }
+        if (Payload(2) != hex16(termFingerprint(Prop))) {
+          Err = "axiom hash does not match its proposition";
+          return false;
+        }
+      } else {
+        if (!ExactPayload(2) || !Parser::parseStr(Payload(0), Name) ||
+            !termRef(Payload(1), Prop)) {
+          Err = "malformed oracle record";
+          return false;
+        }
+      }
+      if (Prop->MaxLoose != 0) {
+        Err = "leaf proposition has loose bound variables";
+        return false;
+      }
+      if (Rule == "axiom") {
+        if (SeenAxioms.insert(Name).second)
+          R.AxiomLeaves.emplace_back(Name, hex16(termFingerprint(Prop)));
+      } else if (SeenOracles.insert(Name).second) {
+        R.OracleLeaves.push_back(Name);
+      }
+      Out = Prop;
+    } else if (Rule == "trivial") {
+      CTmRef P;
+      if (!ExactPayload(1) || !termRef(Payload(0), P)) {
+        Err = "malformed trivial record";
+        return false;
+      }
+      Out = mkImp(C, P, P);
+    } else if (Rule == "instantiate") {
+      if (!checkInstantiate(Toks, PB, Prem[0], Out, Err))
+        return false;
+    } else if (Rule == "mp") {
+      CTmRef L, Rr;
+      if (!ExactPayload(0) || !destImp(Prem[0], L, Rr)) {
+        Err = "mp: major premise is not an implication";
+        return false;
+      }
+      if (!termEq(L, Prem[1])) {
+        Err = "mp: minor premise does not match the antecedent";
+        return false;
+      }
+      Out = Rr;
+    } else if (Rule == "generalize") {
+      std::string Name;
+      CTyRef Ty;
+      if (!ExactPayload(2) || !Parser::parseStr(Payload(0), Name) ||
+          !typeRef(Payload(1), Ty)) {
+        Err = "malformed generalize record";
+        return false;
+      }
+      Out = mkAllLam(C, lambdaFree(C, Name, Ty, Prem[0]));
+      if (!Out && C.Error.empty()) {
+        Err = "generalize: conclusion is ill-typed";
+        return false;
+      }
+    } else if (Rule == "spec") {
+      CTmRef Inst, Lam;
+      if (!ExactPayload(1) || !termRef(Payload(0), Inst)) {
+        Err = "malformed spec record";
+        return false;
+      }
+      if (!destAll(Prem[0], Lam)) {
+        Err = "spec: premise is not a universal";
+        return false;
+      }
+      Out = betaNorm(C, mkApp(C, Lam, Inst));
+    } else if (Rule == "refl") {
+      CTmRef T;
+      if (!ExactPayload(1) || !termRef(Payload(0), T)) {
+        Err = "malformed refl record";
+        return false;
+      }
+      Out = mkEq(C, T, T);
+      if (!Out && C.Error.empty()) {
+        Err = "refl: term is ill-typed";
+        return false;
+      }
+    } else if (Rule == "sym") {
+      CTmRef L, Rr;
+      if (!ExactPayload(0) || !destEq(Prem[0], L, Rr)) {
+        Err = "sym: premise is not an equality";
+        return false;
+      }
+      Out = mkEq(C, Rr, L);
+    } else if (Rule == "trans") {
+      CTmRef A, B1, B2, Cc;
+      if (!ExactPayload(0) || !destEq(Prem[0], A, B1) ||
+          !destEq(Prem[1], B2, Cc)) {
+        Err = "trans: premises are not equalities";
+        return false;
+      }
+      if (!termEq(B1, B2)) {
+        Err = "trans: middle terms differ";
+        return false;
+      }
+      Out = mkEq(C, A, Cc);
+    } else if (Rule == "combination") {
+      CTmRef F, G, X, Y;
+      if (!ExactPayload(0) || !destEq(Prem[0], F, G) ||
+          !destEq(Prem[1], X, Y)) {
+        Err = "combination: premises are not equalities";
+        return false;
+      }
+      Out = mkEq(C, betaNorm(C, mkApp(C, F, X)),
+                 betaNorm(C, mkApp(C, G, Y)));
+    } else if (Rule == "abstract") {
+      std::string Name;
+      CTyRef Ty;
+      CTmRef L, Rr;
+      if (!ExactPayload(2) || !Parser::parseStr(Payload(0), Name) ||
+          !typeRef(Payload(1), Ty)) {
+        Err = "malformed abstract record";
+        return false;
+      }
+      if (!destEq(Prem[0], L, Rr)) {
+        Err = "abstract: premise is not an equality";
+        return false;
+      }
+      Out = mkEq(C, lambdaFree(C, Name, Ty, L), lambdaFree(C, Name, Ty, Rr));
+    } else if (Rule == "betaConv") {
+      CTmRef T;
+      if (!ExactPayload(1) || !termRef(Payload(0), T)) {
+        Err = "malformed betaConv record";
+        return false;
+      }
+      Out = mkEq(C, T, betaNorm(C, T));
+    } else if (Rule == "eqTrueIntro") {
+      if (!ExactPayload(0)) {
+        Err = "malformed eqTrueIntro record";
+        return false;
+      }
+      Out = mkEq(C, Prem[0], mkTrue(C));
+    } else if (Rule == "eqTrueElim") {
+      CTmRef L, Rr;
+      if (!ExactPayload(0) || !destEq(Prem[0], L, Rr)) {
+        Err = "eqTrueElim: premise is not an equality";
+        return false;
+      }
+      if (Rr->K != CTm::Const || Rr->Name != "True") {
+        Err = "eqTrueElim: rhs is not True";
+        return false;
+      }
+      Out = L;
+    } else if (Rule == "eqMp") {
+      CTmRef L, Rr;
+      if (!ExactPayload(0) || !destEq(Prem[0], L, Rr)) {
+        Err = "eqMp: premise is not an equality";
+        return false;
+      }
+      if (!termEq(L, Prem[1])) {
+        Err = "eqMp: propositions do not match";
+        return false;
+      }
+      Out = Rr;
+    } else if (Rule == "conjI") {
+      if (!ExactPayload(0)) {
+        Err = "malformed conjI record";
+        return false;
+      }
+      Out = mkConj(C, Prem[0], Prem[1]);
+    } else if (Rule == "conjE") {
+      CTmRef L, Rr;
+      if (!ExactPayload(1) ||
+          (Payload(0) != "0" && Payload(0) != "1")) {
+        Err = "malformed conjE record";
+        return false;
+      }
+      if (!destConj(Prem[0], L, Rr)) {
+        Err = "conjE: premise is not a conjunction";
+        return false;
+      }
+      Out = Payload(0) == "0" ? L : Rr;
+    } else {
+      Err = "unknown rule '" + Rule + "'";
+      return false;
+    }
+
+    if (!Out) {
+      if (!C.Error.empty())
+        Err = C.Error;
+      else
+        Err = "conclusion could not be re-derived";
+      return false;
+    }
+    uint64_t MyId = NextDeriv++;
+    auto RC = RefCnt.find(MyId);
+    if (RC != RefCnt.end() && RC->second > 0)
+      Concl.emplace(MyId, Out);
+    for (int P = 0; P != NP; ++P)
+      release(PremIds[P]);
+    return true;
+  }
+
+  bool checkInstantiate(const std::vector<std::string> &Toks, size_t PB,
+                        const CTmRef &Prem, CTmRef &Out, std::string &Err) {
+    // instantiate <prem> <nty> {:name <ty>}* <ntm> {:name <idx> <tm>}*
+    CSubst S;
+    size_t I = PB;
+    uint64_t NTy;
+    if (I >= Toks.size() || !Parser::parseU64(Toks[I++], NTy)) {
+      Err = "malformed instantiate record";
+      return false;
+    }
+    for (uint64_t K = 0; K != NTy; ++K) {
+      std::string Name;
+      CTyRef Ty;
+      if (I + 1 >= Toks.size() || !Parser::parseStr(Toks[I], Name) ||
+          !typeRef(Toks[I + 1], Ty) ||
+          !S.TyMap.emplace(Name, std::move(Ty)).second) {
+        Err = "malformed instantiate type binding";
+        return false;
+      }
+      I += 2;
+    }
+    uint64_t NTm;
+    if (I >= Toks.size() || !Parser::parseU64(Toks[I++], NTm)) {
+      Err = "malformed instantiate record";
+      return false;
+    }
+    for (uint64_t K = 0; K != NTm; ++K) {
+      std::string Name;
+      uint64_t Idx;
+      CTmRef Tm;
+      if (I + 2 >= Toks.size() || !Parser::parseStr(Toks[I], Name) ||
+          !Parser::parseU64(Toks[I + 1], Idx) ||
+          !termRef(Toks[I + 2], Tm) ||
+          !S.TmMap.emplace(std::make_pair(Name, Idx), std::move(Tm))
+               .second) {
+        Err = "malformed instantiate term binding";
+        return false;
+      }
+      I += 3;
+    }
+    if (I != Toks.size()) {
+      Err = "trailing tokens on instantiate record";
+      return false;
+    }
+    if (S.TyMap.empty() && S.TmMap.empty()) {
+      Err = "instantiate with an empty substitution";
+      return false;
+    }
+    Out = applySubst(C, S, Prem);
+    return Out != nullptr;
+  }
+
+  bool checkClaim(const std::vector<std::string> &Toks, std::string &Err) {
+    uint64_t DId;
+    std::string Name;
+    CTmRef Prop, Derived;
+    if (Toks.size() != 4 || !premRef(Toks[1], DId, Derived) ||
+        !Parser::parseStr(Toks[2], Name) || !termRef(Toks[3], Prop)) {
+      Err = "malformed claim record (or claimed derivation not live)";
+      return false;
+    }
+    if (!termEq(Derived, Prop)) {
+      Err = "claimed proposition differs from the derived conclusion";
+      return false;
+    }
+    R.Claims.emplace_back(Name, hex16(termFingerprint(Prop)));
+    release(DId);
+    return true;
+  }
+};
+
+} // namespace detail
+
+inline Result check(const std::string &Text, const Options &O) {
+  detail::Checker CK(O);
+  return CK.run(Text);
+}
+
+} // namespace acpc
+
+#endif // AC_TOOLS_ACPC_CHECK_H
