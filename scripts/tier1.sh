@@ -61,6 +61,16 @@
 #      noise the floor already absorbs — while enabled per-function
 #      export stays within AC_CERT_MAX_ENABLED_RATIO (default 2.0) of
 #      the disabled wall.
+#  10. Fleet: accached + two authenticated TCP acd shards + acrouter on
+#      loopback. The golden corpora served through the router must match
+#      the checked-in fixtures byte for byte; a SIGKILL of one shard
+#      mid-replay must not move a byte (ring reroute); restarting both
+#      shards with wiped cache directories must refill them from the
+#      remote tier (every shard that serves work reports remote_hits in
+#      its stats) with byte-identical output; drain must stop the fleet
+#      cleanly. Unless --skip-perf, the fleet benchmark then runs and
+#      its BENCH_fleet.json must lint (aclint fleet) with >= 5x speedup
+#      at 4 shards and a >= 0.9 multi-shard remote hit rate.
 #
 # Usage: scripts/tier1.sh [--skip-tsan] [--skip-asan] [--skip-perf]
 #
@@ -643,6 +653,237 @@ else
   fi
   echo "recording disabled ${WOFF}s holds the ${MIN_SPEEDUP}x floor;" \
        "enabled ${WON}s within ${MAX_RATIO}x"
+fi
+
+echo "=== tier-1 pass 10: fleet (TCP auth, acrouter, remote cache tier) ==="
+cmake --build build -j --target acd acc acrouter accached aclint \
+  fleet_throughput >/dev/null
+FLEET="$ACD_DIR/fleet"
+mkdir -p "$FLEET"
+TOK="$FLEET/token"
+echo "tier1-fleet-secret" >"$TOK"
+ACROUTER="build/tools/acrouter"
+ACCACHED="build/tools/accached"
+FLEET_PIDS=()
+fleet_cleanup() {
+  [[ ${#FLEET_PIDS[@]} -eq 0 ]] && return 0
+  for pid in "${FLEET_PIDS[@]}"; do
+    kill -KILL "$pid" 2>/dev/null || true
+  done
+}
+trap 'fleet_cleanup; cleanup' EXIT
+port_of() { # log-file -> announced TCP port (polls until the line lands)
+  local p=""
+  for _ in $(seq 100); do
+    p="$(sed -n 's/.*listening on tcp port \([0-9]*\).*/\1/p' "$1" | head -1)"
+    [[ -n "$p" ]] && break
+    sleep 0.1
+  done
+  echo "$p"
+}
+
+# 10a. Boot the fleet: one accached, two authenticated TCP-only shards
+#      writing through to it, one acrouter in front of both.
+"$ACCACHED" --listen 127.0.0.1:0 --auth-token-file "$TOK" \
+  >"$FLEET/accached.log" 2>&1 &
+CACHED_PID=$!
+FLEET_PIDS+=("$CACHED_PID")
+CPORT="$(port_of "$FLEET/accached.log")"
+if [[ -z "$CPORT" ]]; then
+  echo "tier-1: FAILED — accached did not announce its port:" >&2
+  cat "$FLEET/accached.log" >&2
+  exit 1
+fi
+start_shard() { # name cache-dir listen-spec -> pid (port via log)
+  "$ACD" --socket none --listen "127.0.0.1:$3" --auth-token-file "$TOK" \
+    --shard-id "$1" --cache-dir "$2" --remote-cache "127.0.0.1:$CPORT" \
+    --remote-token-file "$TOK" >"$FLEET/$1.log" 2>&1 &
+}
+start_shard s1 "$FLEET/cache-s1" 0
+S1_PID=$!
+FLEET_PIDS+=("$S1_PID")
+start_shard s2 "$FLEET/cache-s2" 0
+S2_PID=$!
+FLEET_PIDS+=("$S2_PID")
+P1="$(port_of "$FLEET/s1.log")"
+P2="$(port_of "$FLEET/s2.log")"
+if [[ -z "$P1" || -z "$P2" ]]; then
+  echo "tier-1: FAILED — a fleet shard did not announce its port." >&2
+  cat "$FLEET/s1.log" "$FLEET/s2.log" >&2
+  exit 1
+fi
+"$ACROUTER" --listen 127.0.0.1:0 --auth-token-file "$TOK" \
+  --shard "127.0.0.1:$P1" --shard "127.0.0.1:$P2" \
+  --shard-token-file "$TOK" >"$FLEET/router.log" 2>&1 &
+ROUTER_PID=$!
+FLEET_PIDS+=("$ROUTER_PID")
+RPORT="$(port_of "$FLEET/router.log")"
+if [[ -z "$RPORT" ]]; then
+  echo "tier-1: FAILED — acrouter did not announce its port:" >&2
+  cat "$FLEET/router.log" >&2
+  exit 1
+fi
+ROUTER=(--router "127.0.0.1:$RPORT" --auth-token-file "$TOK")
+for _ in $(seq 100); do
+  "$ACC" "${ROUTER[@]}" --ping >/dev/null 2>&1 && break
+  sleep 0.1
+done
+# A wrong token must be refused with the typed error before any op.
+if "$ACC" --router "127.0.0.1:$RPORT" --auth-token-file /dev/null \
+    --ping >/dev/null 2>"$FLEET/badauth.err"; then
+  echo "tier-1: FAILED — the router accepted a connection without the" \
+       "shared token." >&2
+  exit 1
+fi
+
+# 10b. Golden corpora through the router: the fixtures are the
+#      single-daemon reference, so byte-equality is the fleet's
+#      correctness gate.
+for c in max gcd swap midpoint reverse; do
+  "$ACC" "${ROUTER[@]}" --no-fallback --corpus "$c" --golden \
+    >"$FLEET/$c.fleet"
+  if ! cmp -s "$FLEET/$c.fleet" "tests/golden/$c.expected"; then
+    echo "tier-1: FAILED — router-served $c diverged from" \
+         "tests/golden/$c.expected:" >&2
+    diff "tests/golden/$c.expected" "$FLEET/$c.fleet" | head >&2
+    exit 1
+  fi
+done
+# Write-through must have populated the shared store.
+CSTATS="$("$ACC" --router "127.0.0.1:$CPORT" --auth-token-file "$TOK" \
+  --stats)"
+if ! grep -qE '"puts":[1-9]' <<<"$CSTATS"; then
+  echo "tier-1: FAILED — accached saw no write-through puts: $CSTATS" >&2
+  exit 1
+fi
+echo "golden corpora byte-identical through the router; store populated"
+
+# 10c. SIGKILL shard s1 mid-replay: the router must reroute in ring
+#      order and the replay must still not move a byte.
+(
+  for c in max gcd swap midpoint reverse; do
+    "$ACC" "${ROUTER[@]}" --no-fallback --debug-delay-ms 200 \
+      --corpus "$c" --golden >"$FLEET/$c.killed"
+  done
+) &
+REPLAY_PID=$!
+sleep 0.4 # land the kill mid-replay
+kill -KILL "$S1_PID"
+REPLAY_RC=0
+wait "$REPLAY_PID" || REPLAY_RC=$?
+if [[ "$REPLAY_RC" != 0 ]]; then
+  echo "tier-1: FAILED — replay exited $REPLAY_RC after shard s1 was" \
+       "SIGKILLed (router log follows):" >&2
+  tail -20 "$FLEET/router.log" >&2
+  exit 1
+fi
+for c in max gcd swap midpoint reverse; do
+  if ! cmp -s "$FLEET/$c.killed" "tests/golden/$c.expected"; then
+    echo "tier-1: FAILED — $c diverged after shard s1 was SIGKILLed" \
+         "mid-replay." >&2
+    exit 1
+  fi
+done
+echo "shard SIGKILL mid-replay: all corpora byte-identical"
+
+# 10d. Cold restart: both shards come back on their old ports with
+#      wiped cache directories, and the replay must be served out of the
+#      remote tier — every shard that serves work reports remote hits.
+kill -TERM "$S2_PID"
+S2_RC=0
+wait "$S2_PID" || S2_RC=$?
+if [[ "$S2_RC" != 0 ]]; then
+  echo "tier-1: FAILED — shard s2 exited $S2_RC on SIGTERM drain." >&2
+  exit 1
+fi
+start_shard s1-cold "$FLEET/cache-s1-cold" "$P1"
+S1_PID=$!
+FLEET_PIDS+=("$S1_PID")
+start_shard s2-cold "$FLEET/cache-s2-cold" "$P2"
+S2_PID=$!
+FLEET_PIDS+=("$S2_PID")
+COLD_OK=0
+for _ in $(seq 100); do # wait for the router's probes to revive both
+  if "$ACC" "${ROUTER[@]}" --no-fallback --corpus gcd --golden \
+      >"$FLEET/gcd.revive" 2>/dev/null; then
+    COLD_OK=1
+    break
+  fi
+  sleep 0.1
+done
+if [[ "$COLD_OK" != 1 ]]; then
+  echo "tier-1: FAILED — fleet did not serve again after the cold" \
+       "restart (router log follows):" >&2
+  tail -20 "$FLEET/router.log" >&2
+  exit 1
+fi
+for c in max gcd swap midpoint reverse; do
+  "$ACC" "${ROUTER[@]}" --no-fallback --corpus "$c" --golden \
+    >"$FLEET/$c.cold"
+  if ! cmp -s "$FLEET/$c.cold" "tests/golden/$c.expected"; then
+    echo "tier-1: FAILED — cold-restarted fleet diverged on $c." >&2
+    exit 1
+  fi
+done
+TOTAL_REMOTE=0
+for port in "$P1" "$P2"; do
+  SSTATS="$("$ACC" --router "127.0.0.1:$port" --auth-token-file "$TOK" \
+    --stats)"
+  DONE="$(grep -o '"completed":[0-9]*' <<<"$SSTATS" | head -1 | cut -d: -f2)"
+  RHITS="$(grep -o '"remote_hits":[0-9]*' <<<"$SSTATS" | head -1 | cut -d: -f2)"
+  if [[ "${DONE:-0}" -gt 0 && "${RHITS:-0}" -eq 0 ]]; then
+    echo "tier-1: FAILED — cold shard on port $port served $DONE" \
+         "requests without a single remote-tier hit: $SSTATS" >&2
+    exit 1
+  fi
+  TOTAL_REMOTE=$((TOTAL_REMOTE + ${RHITS:-0}))
+done
+if [[ "$TOTAL_REMOTE" -eq 0 ]]; then
+  echo "tier-1: FAILED — no shard reported remote-tier hits after the" \
+       "cold restart." >&2
+  exit 1
+fi
+echo "cold restart refilled from the remote tier ($TOTAL_REMOTE hits)"
+
+# 10e. Drain the fleet: router first, then shards and the store, all
+#      exiting 0.
+"$ACC" "${ROUTER[@]}" --drain >/dev/null
+ROUTER_RC=0
+wait "$ROUTER_PID" || ROUTER_RC=$?
+if [[ "$ROUTER_RC" != 0 ]]; then
+  echo "tier-1: FAILED — acrouter exited $ROUTER_RC on drain." >&2
+  exit 1
+fi
+for pid in "$S1_PID" "$S2_PID" "$CACHED_PID"; do
+  kill -TERM "$pid"
+  RC=0
+  wait "$pid" || RC=$?
+  if [[ "$RC" != 0 ]]; then
+    echo "tier-1: FAILED — a fleet daemon exited $RC on SIGTERM." >&2
+    exit 1
+  fi
+done
+FLEET_PIDS=()
+echo "fleet drained cleanly (router, both shards, accached)"
+
+# 10f. The fleet benchmark and its artifact lint. Machine-dependent like
+#      pass 8, so --skip-perf skips it.
+if [[ "$SKIP_PERF" == 1 ]]; then
+  echo "(fleet benchmark skipped via --skip-perf)"
+else
+  FLEET_BENCH="$(pwd)/build/bench/fleet_throughput"
+  (cd "$FLEET" && "$FLEET_BENCH" >"$FLEET/bench.log" 2>&1) || {
+    echo "tier-1: FAILED — fleet_throughput missed its floor:" >&2
+    tail -12 "$FLEET/bench.log" >&2
+    exit 1
+  }
+  tail -7 "$FLEET/bench.log" | head -6
+  if ! "$ACLINT" fleet "$FLEET/BENCH_fleet.json" --min-speedup 5 \
+      --min-hit-rate 0.9; then
+    echo "tier-1: FAILED — BENCH_fleet.json did not lint." >&2
+    exit 1
+  fi
+  echo "fleet benchmark held its floor and its artifact linted"
 fi
 
 echo "=== tier-1: all passes green ==="

@@ -208,6 +208,21 @@ void writeEntry(std::ostream &Final, const CachedFunc &E) {
         << "\nend\n";
 }
 
+} // namespace
+
+std::string core::serializeCachedFunc(const CachedFunc &E) {
+  std::ostringstream Out;
+  writeEntry(Out, E);
+  return Out.str();
+}
+
+bool core::parseCachedFunc(const std::string &Blob, CachedFunc &Out) {
+  size_t P = 0;
+  return parseEntryAt(Blob, P, Out) && P == Blob.size();
+}
+
+namespace {
+
 /// The next "entry " keyword at a line start, at or after \p From.
 size_t findEntryStart(const std::string &D, size_t From) {
   for (size_t At = D.find("entry ", From); At != std::string::npos;
@@ -289,9 +304,35 @@ void ResultCache::load() {
 }
 
 CachedFuncRef ResultCache::lookup(uint64_t Key) const {
+  {
+    std::lock_guard<std::mutex> L(M);
+    auto It = Entries.find(Key);
+    if (It != Entries.end())
+      return It->second;
+  }
+  if (!Remote)
+    return nullptr;
+  // Remote fetch outside the mutex: a slow network round-trip must not
+  // serialize concurrent local hits.
+  CachedFunc E;
+  if (!Remote->get(Key, E) || E.Key != Key)
+    return nullptr;
+  auto Ref = std::make_shared<const CachedFunc>(std::move(E));
+  {
+    std::lock_guard<std::mutex> L(M);
+    ++RemoteHits;
+    auto It = KnownNames.find(Ref->Name);
+    if (It != KnownNames.end() && It->second != Key)
+      Entries.erase(It->second);
+    KnownNames[Ref->Name] = Key;
+    Entries[Key] = Ref; // promote: next time it is a memory hit
+  }
+  return Ref;
+}
+
+size_t ResultCache::remoteHits() const {
   std::lock_guard<std::mutex> L(M);
-  auto It = Entries.find(Key);
-  return It == Entries.end() ? nullptr : It->second;
+  return RemoteHits;
 }
 
 bool ResultCache::knowsFunction(const std::string &Name) const {
@@ -310,13 +351,22 @@ size_t ResultCache::corruptDropped() const {
 }
 
 void ResultCache::insert(CachedFunc E) {
-  std::lock_guard<std::mutex> L(M);
-  auto It = KnownNames.find(E.Name);
-  if (It != KnownNames.end() && It->second != E.Key)
-    Entries.erase(It->second); // superseded: the inputs changed
-  KnownNames[E.Name] = E.Key;
-  uint64_t Key = E.Key;
-  Entries[Key] = std::make_shared<const CachedFunc>(std::move(E));
+  CachedFuncRef Ref;
+  {
+    std::lock_guard<std::mutex> L(M);
+    auto It = KnownNames.find(E.Name);
+    if (It != KnownNames.end() && It->second != E.Key)
+      Entries.erase(It->second); // superseded: the inputs changed
+    KnownNames[E.Name] = E.Key;
+    uint64_t Key = E.Key;
+    Ref = std::make_shared<const CachedFunc>(std::move(E));
+    Entries[Key] = Ref;
+  }
+  // Write-through on miss: every freshly computed entry is published so
+  // the next shard's cold miss becomes a remote hit. Outside the mutex
+  // (network), best-effort (the tier may drop it).
+  if (Remote)
+    Remote->put(*Ref);
 }
 
 bool ResultCache::save() {

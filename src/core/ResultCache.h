@@ -73,6 +73,30 @@ struct CachedFunc {
 /// against one cache) can never invalidate an entry a reader still holds.
 using CachedFuncRef = std::shared_ptr<const CachedFunc>;
 
+/// A remote content-addressed entry store — the third cache tier behind
+/// memory and disk (src/cache/RemoteCache.h implements it over the wire;
+/// this interface keeps core free of any transport dependency). Both
+/// calls are best-effort: get() returning false is a miss, put() may
+/// silently drop (the entry is recomputable by construction). Must be
+/// thread-safe — concurrent sessions share one tier.
+class RemoteTier {
+public:
+  virtual ~RemoteTier() = default;
+  /// Fetches the entry under \p Key. False on miss or any error.
+  virtual bool get(uint64_t Key, CachedFunc &Out) = 0;
+  /// Publishes a freshly computed entry (write-through on miss).
+  virtual void put(const CachedFunc &E) = 0;
+};
+
+/// Serializes one entry in the v2 on-disk record format (CRC trailer
+/// included) — also the wire blob of the remote tier, so a remote entry
+/// is checked by exactly the code path that checks a disk entry.
+std::string serializeCachedFunc(const CachedFunc &E);
+
+/// Parses a serializeCachedFunc blob, rejecting trailing bytes and any
+/// CRC mismatch (torn write / bit flip anywhere in transit).
+bool parseCachedFunc(const std::string &Blob, CachedFunc &Out);
+
 /// The store: load at construction, insert misses, save on demand. Fully
 /// thread-safe — the verification daemon keeps one long-lived instance
 /// per cache directory as its in-memory tier and runs concurrent
@@ -106,8 +130,20 @@ public:
   /// An empty \p Dir makes a memory-only cache.
   explicit ResultCache(std::string Dir);
 
-  /// The entry for \p Key, or null (miss).
+  /// The entry for \p Key, or null (miss). On a local (memory) miss a
+  /// configured remote tier is consulted — outside the cache mutex, so a
+  /// slow network fetch never stalls concurrent local hits — and a
+  /// remote hit is promoted into the memory tier (and the disk file on
+  /// the next save).
   CachedFuncRef lookup(uint64_t Key) const;
+
+  /// Attaches the remote tier (memory → disk → remote). Not owned; must
+  /// outlive this cache. nullptr detaches.
+  void setRemote(RemoteTier *R) { Remote = R; }
+
+  /// Entries served from the remote tier by this instance (the per-shard
+  /// signal the fleet acceptance test asserts on).
+  size_t remoteHits() const;
 
   /// True if some entry (under any key) is for function \p Name — a miss
   /// for a known name is an invalidation, not a first sight.
@@ -141,11 +177,15 @@ private:
   void load();
 
   std::string Dir;
-  std::map<uint64_t, CachedFuncRef> Entries;
+  /// Mutable: a const lookup() promotes remote hits into the memory
+  /// tier — logically read-only caching.
+  mutable std::map<uint64_t, CachedFuncRef> Entries;
   /// Name -> current key, for eviction and invalidation accounting.
-  std::map<std::string, uint64_t> KnownNames;
+  mutable std::map<std::string, uint64_t> KnownNames;
   /// Damaged entries dropped across all file reads of this instance.
   size_t CorruptDropped = 0;
+  RemoteTier *Remote = nullptr;
+  mutable size_t RemoteHits = 0;
   mutable std::mutex M;
 };
 

@@ -1,0 +1,495 @@
+//===- Router.cpp ---------------------------------------------------------===//
+
+#include "router/Router.h"
+
+#include "service/CheckRunner.h"
+#include "support/FaultInject.h"
+#include "support/Fingerprint.h"
+#include "support/Log.h"
+
+#include <algorithm>
+#include <chrono>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace ac;
+using namespace ac::router;
+using service::CheckRequest;
+using service::CheckResponse;
+using service::ErrorCode;
+using support::FaultSite;
+using support::Fingerprint;
+using support::Json;
+using support::Socket;
+
+// Fault sites at the router's two network edges. Dial covers a shard
+// that is down before the request starts; forward covers a shard that
+// dies mid-request (the round-trip tears) — both must reroute, and the
+// rerouted answer must be byte-identical.
+static const FaultSite FaultRouterDial("router.dial.fail");
+static const FaultSite FaultRouterForward("router.forward.fail");
+
+/// One client connection (same shape as the acd server's).
+struct Router::Conn {
+  Socket Sock;
+  std::mutex WriteM;
+  bool NeedsAuth = false;
+
+  explicit Conn(Socket S) : Sock(std::move(S)) {}
+
+  bool send(const Json &J) {
+    std::lock_guard<std::mutex> L(WriteM);
+    return Sock.sendFrame(J.dump());
+  }
+};
+
+Router::Router(RouterOptions O) : Opts(std::move(O)) {
+  if (Opts.VirtualNodes == 0)
+    Opts.VirtualNodes = 1;
+  if (Opts.MaxInFlightPerShard == 0)
+    Opts.MaxInFlightPerShard = 1;
+}
+
+Router::~Router() { stop(); }
+
+/// FNV-1a (support::Fingerprint) has no final avalanche step, so the
+/// digests of near-identical inputs — shard addresses differing in one
+/// character, vnode counters — cluster on the ring and shard arcs clump
+/// badly (measured: 59% / 2% shares at 4 shards). A splitmix64-style
+/// finalizer restores uniformity; both ring points and routing keys go
+/// through it so the lower_bound walk sees uniform positions on both
+/// sides.
+static uint64_t mix64(uint64_t X) {
+  X ^= X >> 30;
+  X *= 0xbf58476d1ce4e5b9ull;
+  X ^= X >> 27;
+  X *= 0x94d049bb133111ebull;
+  X ^= X >> 31;
+  return X;
+}
+
+uint64_t Router::routingKey(const CheckRequest &Req) {
+  // Content only: the same translation unit + output-shaping options
+  // must land on the same shard no matter its trace id, deadline, or
+  // client-side cache directory — that is what keeps shard-local cache
+  // tiers hot. Option order is normalized away.
+  Fingerprint FP;
+  FP.str(Req.Source);
+  std::vector<std::string> HL = Req.NoHeapAbs, WA = Req.NoWordAbs;
+  std::sort(HL.begin(), HL.end());
+  std::sort(WA.begin(), WA.end());
+  for (const std::string &S : HL)
+    FP.str(S);
+  for (const std::string &S : WA)
+    FP.str(S);
+  FP.boolean(Req.WantSpecs);
+  return mix64(FP.digest());
+}
+
+size_t Router::shardFor(uint64_t Key) const {
+  auto It = Ring.lower_bound(Key);
+  if (It == Ring.end())
+    It = Ring.begin(); // wrap: the ring is circular
+  return It->second;
+}
+
+bool Router::start() {
+  if (Opts.Shards.empty())
+    return false;
+  if (Opts.SocketPath.empty() && Opts.ListenAddr.empty())
+    return false;
+  for (const std::string &Addr : Opts.Shards)
+    ShardList.push_back(std::make_unique<ShardState>(Addr));
+  // The ring hashes by shard *address*, so the mapping is stable under
+  // reordering of --shard flags.
+  for (size_t I = 0; I != ShardList.size(); ++I)
+    for (unsigned V = 0; V != Opts.VirtualNodes; ++V) {
+      Fingerprint FP;
+      FP.str(ShardList[I]->Addr);
+      FP.u32(V);
+      Ring[mix64(FP.digest())] = I;
+    }
+  if (!Opts.SocketPath.empty()) {
+    Listen = Socket::listenUnix(Opts.SocketPath);
+    if (!Listen.valid())
+      return false;
+  }
+  if (!Opts.ListenAddr.empty()) {
+    std::string Host;
+    uint16_t Port = 0;
+    if (!support::parseHostPort(Opts.ListenAddr, Host, Port,
+                                /*AllowPortZero=*/true))
+      return false;
+    ListenTcp = Socket::listenTcp(Host, Port);
+    if (!ListenTcp.valid())
+      return false;
+    TcpPort = ListenTcp.boundPort();
+  }
+  Started = true;
+  if (Listen.valid())
+    Acceptor =
+        std::thread([this] { acceptLoop(Listen, /*RequireAuth=*/false); });
+  if (ListenTcp.valid())
+    TcpAcceptor = std::thread(
+        [this] { acceptLoop(ListenTcp, !Opts.AuthToken.empty()); });
+  Prober = std::thread([this] { probeLoop(); });
+  return true;
+}
+
+void Router::stop() {
+  if (!Started)
+    return;
+  Stopping.store(true);
+  {
+    std::lock_guard<std::mutex> L(DrainM);
+    DrainCV.notify_all();
+  }
+  if (Acceptor.joinable())
+    Acceptor.join();
+  if (TcpAcceptor.joinable())
+    TcpAcceptor.join();
+  Prober.join();
+  {
+    std::unique_lock<std::mutex> L(ConnsM);
+    for (const std::shared_ptr<Conn> &C : Conns)
+      ::shutdown(C->Sock.fd(), SHUT_RDWR);
+    ConnsCV.wait(L, [&] { return Conns.empty(); });
+  }
+  Listen.close();
+  ListenTcp.close();
+  if (!Opts.SocketPath.empty())
+    ::unlink(Opts.SocketPath.c_str());
+  Started = false;
+}
+
+void Router::waitDrainRequested() {
+  std::unique_lock<std::mutex> L(DrainM);
+  DrainCV.wait(L, [&] { return Draining.load() || Stopping.load(); });
+}
+
+//===----------------------------------------------------------------------===//
+// Health probes
+//===----------------------------------------------------------------------===//
+
+void Router::probeLoop() {
+  while (!Stopping.load()) {
+    // Sleep one interval *before* each round (shards start presumed
+    // healthy, and a forward failure marks one down immediately, so an
+    // eager first round buys nothing) — this also makes "probe interval
+    // longer than the test" an exact statement: no probe ever runs, the
+    // router's view of the fleet only changes through forward failures.
+    for (unsigned Slept = 0;
+         Slept < Opts.HealthProbeMs && !Stopping.load(); Slept += 20)
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    if (Stopping.load())
+      return;
+    for (const std::unique_ptr<ShardState> &S : ShardList) {
+      if (Stopping.load())
+        return;
+      // A fresh dial per probe, deliberately outside the fault sites:
+      // chaos drivers arm router.dial.fail for the *forward* path, and
+      // a probe racing in must not consume the armed failure.
+      std::string Err;
+      service::Client C =
+          service::Client::connectTcp(S->Addr, Opts.ShardToken, Err);
+      bool Up = C.connected() && C.ping(Err);
+      bool Was = S->Healthy.exchange(Up);
+      if (Was != Up)
+        support::Log::warn(Up ? "router.shard_up" : "router.shard_down",
+                           {{"shard", S->Addr}});
+      if (!Up) {
+        // A dead shard's pooled connections are dead too.
+        std::lock_guard<std::mutex> L(S->PoolM);
+        S->Pool.clear();
+      }
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Accepting and dispatch
+//===----------------------------------------------------------------------===//
+
+void Router::acceptLoop(Socket &L, bool RequireAuth) {
+  while (!Stopping.load()) {
+    if (!L.waitReadable(100))
+      continue;
+    Socket S = L.accept();
+    if (!S.valid() || Stopping.load())
+      continue;
+    auto C = std::make_shared<Conn>(std::move(S));
+    C->NeedsAuth = RequireAuth;
+    {
+      std::lock_guard<std::mutex> G(ConnsM);
+      Conns.push_back(C);
+    }
+    std::thread([this, C] { connLoop(C); }).detach();
+  }
+}
+
+void Router::connLoop(std::shared_ptr<Conn> C) {
+  while (!Stopping.load()) {
+    if (!C->Sock.waitReadable(200)) {
+      if (C->Sock.peerClosed())
+        break;
+      continue;
+    }
+    std::string Raw;
+    if (!C->Sock.recvFrame(Raw))
+      break;
+    if (!handleFrame(C, Raw))
+      break;
+  }
+  std::lock_guard<std::mutex> L(ConnsM);
+  for (size_t I = 0; I != Conns.size(); ++I)
+    if (Conns[I] == C) {
+      Conns.erase(Conns.begin() + I);
+      break;
+    }
+  ConnsCV.notify_all();
+}
+
+bool Router::handleFrame(const std::shared_ptr<Conn> &C,
+                         const std::string &Raw) {
+  Json J;
+  std::string Err;
+  if (!Json::parse(Raw, J, Err)) {
+    C->send(CheckResponse::error(ErrorCode::BadRequest,
+                                 "malformed JSON: " + Err)
+                .toJson());
+    return !C->NeedsAuth;
+  }
+  if (J.has("v") && J.get("v").asInt() != service::ProtocolVersion) {
+    C->send(CheckResponse::error(ErrorCode::BadRequest,
+                                 "unsupported protocol version")
+                .toJson());
+    return !C->NeedsAuth;
+  }
+  const std::string &Op = J.get("op").asString();
+  if (Op == "auth") {
+    if (!service::constantTimeEqual(J.get("token").asString(),
+                                    Opts.AuthToken)) {
+      support::Log::warn("auth.failed", {{"daemon", "acrouter"}});
+      C->send(CheckResponse::error(ErrorCode::AuthFailed,
+                                   "auth token mismatch")
+                  .toJson());
+      return false;
+    }
+    C->NeedsAuth = false;
+    Json R = Json::object();
+    R.set("ok", true);
+    R.set("op", "auth");
+    C->send(R);
+    return true;
+  }
+  if (C->NeedsAuth) {
+    support::Log::warn("auth.failed", {{"daemon", "acrouter"},
+                                       {"reason", "no auth handshake"}});
+    C->send(CheckResponse::error(ErrorCode::AuthFailed,
+                                 "auth required before `" + Op + "`")
+                .toJson());
+    return false;
+  }
+  if (Op == "ping") {
+    Json R = Json::object();
+    R.set("ok", true);
+    R.set("op", "pong");
+    C->send(R);
+  } else if (Op == "stats") {
+    C->send(statsJson());
+  } else if (Op == "drain") {
+    {
+      std::lock_guard<std::mutex> L(DrainM);
+      Draining.store(true);
+      DrainCV.notify_all();
+    }
+    Json R = Json::object();
+    R.set("ok", true);
+    R.set("draining", true);
+    C->send(R);
+  } else if (Op == "check") {
+    CheckRequest Req;
+    if (!CheckRequest::fromJson(J, Req, Err)) {
+      C->send(CheckResponse::error(ErrorCode::BadRequest, Err).toJson());
+      return true;
+    }
+    handleCheck(C, std::move(Req));
+  } else {
+    C->send(CheckResponse::error(ErrorCode::BadRequest,
+                                 "unknown op `" + Op + "`")
+                .toJson());
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Forwarding
+//===----------------------------------------------------------------------===//
+
+bool Router::forwardTo(ShardState &S, const CheckRequest &Req,
+                       CheckResponse &Out) {
+  service::Client C;
+  {
+    std::lock_guard<std::mutex> L(S.PoolM);
+    if (!S.Pool.empty()) {
+      C = std::move(S.Pool.back());
+      S.Pool.pop_back();
+    }
+  }
+  std::string Err;
+  if (!C.connected()) {
+    if (FaultRouterDial.fire())
+      return false; // shard down before the request starts
+    C = service::Client::connectTcp(S.Addr, Opts.ShardToken, Err);
+    if (!C.connected())
+      return false;
+  }
+  // Shard death mid-request: the frame went out, the connection tore
+  // before the reply. Indistinguishable from SIGKILL between request
+  // and response — which is exactly what tier-1 pass 10 does for real.
+  if (FaultRouterForward.fire())
+    return false;
+  if (!C.check(Req, Out, Err))
+    return false;
+  std::lock_guard<std::mutex> L(S.PoolM);
+  S.Pool.push_back(std::move(C));
+  return true;
+}
+
+void Router::handleCheck(const std::shared_ptr<Conn> &C, CheckRequest Req) {
+  Received.fetch_add(1);
+  auto Admitted = std::chrono::steady_clock::now();
+  auto respond = [&](CheckResponse &Resp) {
+    if (Resp.TraceId.empty())
+      Resp.TraceId = Req.TraceId;
+    C->send(Resp.toJson());
+  };
+  if (Draining.load()) {
+    CheckResponse Resp =
+        CheckResponse::error(ErrorCode::Draining, "router is draining");
+    respond(Resp);
+    return;
+  }
+
+  uint64_t Key = routingKey(Req);
+  // Walk the ring from the key's successor: the first healthy, untried
+  // shard in ring order serves the request. Ring order (not shard-list
+  // order) keeps rerouted keys spread instead of dogpiling shard 0.
+  std::vector<bool> Tried(ShardList.size(), false);
+  size_t TriedCount = 0;
+  Forwarding.fetch_add(1);
+  while (TriedCount < ShardList.size()) {
+    // Deadline propagation: each attempt forwards only the remaining
+    // budget, so a shard cannot burn time the client no longer has.
+    CheckRequest Fwd = Req;
+    if (Req.TimeoutMs) {
+      auto ElapsedMs = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              std::chrono::steady_clock::now() - Admitted)
+              .count());
+      if (ElapsedMs >= Req.TimeoutMs) {
+        Forwarding.fetch_sub(1);
+        CheckResponse Resp = CheckResponse::error(
+            ErrorCode::DeadlineExceeded,
+            "deadline of " + std::to_string(Req.TimeoutMs) +
+                " ms exceeded in the router");
+        respond(Resp);
+        return;
+      }
+      Fwd.TimeoutMs = Req.TimeoutMs - static_cast<unsigned>(ElapsedMs);
+    }
+    // Next healthy untried shard in ring order from the key.
+    size_t Idx = SIZE_MAX;
+    auto It = Ring.lower_bound(Key);
+    for (size_t Steps = 0; Steps != Ring.size(); ++Steps, ++It) {
+      if (It == Ring.end())
+        It = Ring.begin();
+      size_t Cand = It->second;
+      if (!Tried[Cand] && ShardList[Cand]->Healthy.load()) {
+        Idx = Cand;
+        break;
+      }
+    }
+    if (Idx == SIZE_MAX)
+      break; // no healthy shard left
+    ShardState &S = *ShardList[Idx];
+    // Bounded in-flight window: backpressure instead of stacking onto a
+    // loaded shard. No reroute — moving overflow to another shard would
+    // defeat cache affinity; the client's retry obeys retry_after_ms.
+    unsigned Cur = S.InFlight.fetch_add(1) + 1;
+    if (Cur > Opts.MaxInFlightPerShard) {
+      S.InFlight.fetch_sub(1);
+      Forwarding.fetch_sub(1);
+      WindowBusy.fetch_add(1);
+      CheckResponse Resp = CheckResponse::error(
+          ErrorCode::Busy, "shard window full", Opts.RetryAfterMs);
+      respond(Resp);
+      return;
+    }
+    CheckResponse Out;
+    bool Ok = forwardTo(S, Fwd, Out);
+    S.InFlight.fetch_sub(1);
+    if (Ok) {
+      S.Forwarded.fetch_add(1);
+      Completed.fetch_add(1);
+      Forwarding.fetch_sub(1);
+      respond(Out);
+      return;
+    }
+    // Transport failure: mark the shard down (the prober revives it)
+    // and reroute to the next healthy ring node.
+    S.Errors.fetch_add(1);
+    if (S.Healthy.exchange(false))
+      support::Log::warn("router.shard_down",
+                         {{"shard", S.Addr}, {"reason", "forward failed"}});
+    {
+      std::lock_guard<std::mutex> L(S.PoolM);
+      S.Pool.clear();
+    }
+    Tried[Idx] = true;
+    ++TriedCount;
+    Rerouted.fetch_add(1);
+  }
+  // Last resort: every shard is down. The in-process path produces a
+  // byte-identical response (CheckRunner is the single implementation),
+  // so correctness degrades to capacity, never to answers.
+  if (Opts.LocalFallback) {
+    Fallbacks.fetch_add(1);
+    support::Log::warn("router.local_fallback",
+                       {{"trace_id", Req.TraceId}});
+    CheckResponse Resp = service::runLocalCheck(Req);
+    Completed.fetch_add(1);
+    Forwarding.fetch_sub(1);
+    respond(Resp);
+    return;
+  }
+  Forwarding.fetch_sub(1);
+  CheckResponse Resp = CheckResponse::error(
+      ErrorCode::Busy, "no healthy shard", Opts.RetryAfterMs);
+  respond(Resp);
+}
+
+ac::support::Json Router::statsJson() {
+  Json J = Json::object();
+  J.set("ok", true);
+  J.set("role", "router");
+  J.set("draining", Draining.load());
+  J.set("received", Received.load());
+  J.set("completed", Completed.load());
+  J.set("rerouted", Rerouted.load());
+  J.set("fallbacks", Fallbacks.load());
+  J.set("window_busy", WindowBusy.load());
+  J.set("forwarding", static_cast<uint64_t>(Forwarding.load()));
+  Json Shards = Json::array();
+  for (const std::unique_ptr<ShardState> &S : ShardList) {
+    Json SJ = Json::object();
+    SJ.set("addr", S->Addr);
+    SJ.set("healthy", S->Healthy.load());
+    SJ.set("in_flight", static_cast<uint64_t>(S->InFlight.load()));
+    SJ.set("forwarded", S->Forwarded.load());
+    SJ.set("errors", S->Errors.load());
+    Shards.push(std::move(SJ));
+  }
+  J.set("shards", std::move(Shards));
+  return J;
+}

@@ -1,0 +1,173 @@
+//===- Router.h - Consistent-hash front-end for an acd fleet ----*- C++ -*-===//
+//
+// Part of the autocorres-cpp project, under the BSD 2-Clause License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The `acrouter` front-end: speaks the verification service protocol to
+/// clients and forwards every check to one of N `acd` shards, chosen by
+/// consistent-hashing the request's corpus fingerprint onto a virtual-
+/// node ring (docs/PROTOCOL.md "Router"). Hashing by *content* is what
+/// makes the fleet's cache tiers compose: the same translation unit
+/// always lands on the same shard, so that shard's memory/disk tiers
+/// stay hot for it, and the remote tier only pays for genuinely new
+/// work.
+///
+/// Failure policy, in order:
+///   - a shard whose bounded in-flight window is full answers `busy` +
+///     `retry_after_ms` — the existing backpressure contract, now
+///     end-to-end through the router;
+///   - a dead shard (dial refused, connection torn mid-request) is
+///     marked down and the request reroutes to the next healthy ring
+///     node; a health-probe thread keeps pinging and revives it;
+///   - with every shard down, the router degrades to the in-process
+///     pipeline (service::runLocalCheck) as a last resort — the same
+///     graceful-degradation path `acc` itself has, so the answer is
+///     byte-identical either way.
+///
+/// Deadlines propagate: the remaining budget (request timeout minus time
+/// already spent in the router, including earlier forward attempts) is
+/// what each shard sees as its `timeout_ms`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AC_ROUTER_ROUTER_H
+#define AC_ROUTER_ROUTER_H
+
+#include "service/Client.h"
+#include "service/Protocol.h"
+#include "support/Socket.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace ac::router {
+
+/// acrouter configuration.
+struct RouterOptions {
+  /// Unix listening socket ("" = none).
+  std::string SocketPath;
+  /// TCP listen address "host:port" ("" = none); port 0 = ephemeral.
+  std::string ListenAddr;
+  /// Token clients must present on the router's TCP listener ("" = open).
+  std::string AuthToken;
+  /// Token the router presents when dialing shards ("" = none).
+  std::string ShardToken;
+  /// Shard addresses, "host:port" each. At least one.
+  std::vector<std::string> Shards;
+  /// Virtual nodes per shard on the hash ring; more nodes = smoother
+  /// key distribution when shards join/leave.
+  unsigned VirtualNodes = 64;
+  /// Bounded in-flight window per shard: forwards beyond it answer
+  /// `busy` + RetryAfterMs instead of stacking onto a loaded shard.
+  unsigned MaxInFlightPerShard = 8;
+  /// The retry hint attached to window-full `busy` answers.
+  unsigned RetryAfterMs = 50;
+  /// Health-probe cadence.
+  unsigned HealthProbeMs = 250;
+  /// Degrade to the in-process pipeline when no shard is reachable.
+  bool LocalFallback = true;
+};
+
+/// Live per-shard state: health, the in-flight window, and an idle
+/// connection pool (forwards re-use authenticated connections; a torn
+/// one is dropped and re-dialed).
+struct ShardState {
+  std::string Addr;
+  std::atomic<bool> Healthy{true};
+  std::atomic<unsigned> InFlight{0};
+  std::atomic<uint64_t> Forwarded{0};
+  std::atomic<uint64_t> Errors{0};
+  std::mutex PoolM;
+  std::vector<service::Client> Pool;
+
+  explicit ShardState(std::string A) : Addr(std::move(A)) {}
+};
+
+/// The router daemon.
+class Router {
+public:
+  explicit Router(RouterOptions Opts);
+  ~Router();
+
+  Router(const Router &) = delete;
+  Router &operator=(const Router &) = delete;
+
+  bool start();
+  void stop();
+
+  /// Blocks until a `drain` op arrives (or stop()).
+  void waitDrainRequested();
+
+  bool draining() const { return Draining.load(); }
+  uint16_t tcpPort() const { return TcpPort; }
+  const RouterOptions &options() const { return Opts; }
+
+  /// The routing key for \p Req: a fingerprint of the request *content*
+  /// (source and output-shaping options only — correlation ids and
+  /// deadlines must not move a request between shards). Exposed for the
+  /// ring-distribution tests.
+  static uint64_t routingKey(const service::CheckRequest &Req);
+
+  /// The shard index \p Key lands on, given only ring membership.
+  /// Exposed for tests; the live path also consults health/windows.
+  size_t shardFor(uint64_t Key) const;
+
+private:
+  struct Conn;
+
+  void acceptLoop(support::Socket &L, bool RequireAuth);
+  void connLoop(std::shared_ptr<Conn> C);
+  bool handleFrame(const std::shared_ptr<Conn> &C, const std::string &Raw);
+  void handleCheck(const std::shared_ptr<Conn> &C,
+                   service::CheckRequest Req);
+  void probeLoop();
+
+  /// One forward attempt to \p S. False on transport failure (the shard
+  /// is then marked down); a daemon-side rejection is a successful
+  /// round-trip.
+  bool forwardTo(ShardState &S, const service::CheckRequest &Req,
+                 service::CheckResponse &Out);
+
+  support::Json statsJson();
+
+  RouterOptions Opts;
+  std::vector<std::unique_ptr<ShardState>> ShardList;
+  /// The ring: point -> shard index. Built once at start (membership is
+  /// static per process; health is consulted at lookup time).
+  std::map<uint64_t, size_t> Ring;
+
+  std::atomic<uint64_t> Received{0}, Completed{0}, Rerouted{0},
+      Fallbacks{0}, WindowBusy{0};
+
+  support::Socket Listen;
+  support::Socket ListenTcp;
+  uint16_t TcpPort = 0;
+  std::thread Acceptor;
+  std::thread TcpAcceptor;
+  std::thread Prober;
+
+  std::mutex ConnsM;
+  std::condition_variable ConnsCV;
+  std::vector<std::shared_ptr<Conn>> Conns;
+
+  /// In-flight forwards, for graceful drain.
+  std::atomic<size_t> Forwarding{0};
+  std::mutex DrainM;
+  std::condition_variable DrainCV;
+  std::atomic<bool> Draining{false};
+  std::atomic<bool> Stopping{false};
+  bool Started = false;
+};
+
+} // namespace ac::router
+
+#endif // AC_ROUTER_ROUTER_H

@@ -107,6 +107,8 @@ bool shouldFallBack(const CheckResponse &Resp) {
   case ErrorCode::None:
   case ErrorCode::BadRequest: // the request itself is broken
   case ErrorCode::ParseError: // the *source* is broken; local == same
+  case ErrorCode::AuthFailed: // wrong token is a config error; a local
+                              // run would mask it and it won't heal
     return false;
   }
   return false;

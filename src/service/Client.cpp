@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <random>
 #include <thread>
 
@@ -14,6 +15,38 @@ using ac::support::Socket;
 Client Client::connect(const std::string &SocketPath) {
   Client C;
   C.Sock = Socket::connectUnix(SocketPath);
+  return C;
+}
+
+Client Client::connectTcp(const std::string &HostPort,
+                          const std::string &Token, std::string &Err) {
+  Client C;
+  std::string Host;
+  uint16_t Port = 0;
+  if (!support::parseHostPort(HostPort, Host, Port)) {
+    Err = "bad address `" + HostPort + "` (want host:port)";
+    return C;
+  }
+  C.Sock = Socket::connectTcp(Host, Port);
+  if (!C.Sock.valid()) {
+    Err = "cannot connect to " + HostPort;
+    return C;
+  }
+  if (Token.empty())
+    return C;
+  Json Req = Json::object();
+  Req.set("v", ProtocolVersion);
+  Req.set("op", "auth");
+  Req.set("token", Token);
+  Json Resp;
+  if (!C.roundTrip(Req, Resp, Err)) {
+    C.Sock.close();
+    return C;
+  }
+  if (!Resp.get("ok").asBool()) {
+    Err = "auth_failed: " + Resp.get("message").asString();
+    C.Sock.close();
+  }
   return C;
 }
 
@@ -48,7 +81,16 @@ bool Client::checkRetry(const CheckRequest &Req, CheckResponse &Out,
   // Jitter spreads resubmissions of clients that were all bounced off
   // the same full queue; without it they return in lockstep and collide
   // again (the daemon's retry_after_ms is identical for everyone).
-  static thread_local std::minstd_rand RNG{std::random_device{}()};
+  // AC_RETRY_SEED pins the stream so retry-bound tests are repeatable;
+  // each thread still gets its own sequence position via the id mix.
+  static thread_local std::minstd_rand RNG = [] {
+    if (const char *Seed = std::getenv("AC_RETRY_SEED")) {
+      auto Tid = std::hash<std::thread::id>{}(std::this_thread::get_id());
+      return std::minstd_rand(
+          static_cast<unsigned>(std::strtoul(Seed, nullptr, 10) ^ Tid));
+    }
+    return std::minstd_rand(std::random_device{}());
+  }();
   std::uniform_real_distribution<double> Jitter(0.75, 1.25);
 
   auto Start = std::chrono::steady_clock::now();

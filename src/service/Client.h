@@ -29,6 +29,14 @@ public:
   /// Connects to the daemon at \p SocketPath; connected() tells success.
   static Client connect(const std::string &SocketPath);
 
+  /// Connects over TCP to \p HostPort ("host:port"). A non-empty
+  /// \p Token performs the auth handshake (docs/PROTOCOL.md
+  /// "Authentication") before returning; a refused token yields a
+  /// disconnected client with \p Err set to the typed `auth_failed`
+  /// message.
+  static Client connectTcp(const std::string &HostPort,
+                           const std::string &Token, std::string &Err);
+
   bool connected() const { return Sock.valid(); }
   support::Socket &socket() { return Sock; }
 

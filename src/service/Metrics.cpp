@@ -43,42 +43,65 @@ void emitHeader(std::string &Out, const char *Name, const char *Help,
   Out += '\n';
 }
 
-void emitU64(std::string &Out, const char *Name, const char *Help,
-             const char *Type, uint64_t V) {
-  emitHeader(Out, Name, Help, Type);
-  char Buf[96];
-  std::snprintf(Buf, sizeof(Buf), "%s %llu\n", Name,
-                static_cast<unsigned long long>(V));
-  Out += Buf;
-}
+/// Emitter carrying the per-shard label set. Lbl is either empty or a
+/// bare `shard_id="..."` pair; samples compose it into `{...}` (and
+/// merge it with quantile labels) so an unlabeled render stays
+/// byte-identical to the pre-fleet surface.
+struct Emitter {
+  std::string &Out;
+  std::string Lbl;
 
-void emitF64(std::string &Out, const char *Name, const char *Help,
-             const char *Type, double V) {
-  emitHeader(Out, Name, Help, Type);
-  char Buf[96];
-  std::snprintf(Buf, sizeof(Buf), "%s %.6f\n", Name, V);
-  Out += Buf;
-}
+  /// `name{lbl}` or plain `name`.
+  std::string sample(const char *Name) const {
+    return Lbl.empty() ? std::string(Name)
+                       : std::string(Name) + "{" + Lbl + "}";
+  }
+  /// `name{lbl,Extra}` or `name{Extra}`.
+  std::string sample(const char *Name, const std::string &Extra) const {
+    return Lbl.empty() ? std::string(Name) + "{" + Extra + "}"
+                       : std::string(Name) + "{" + Lbl + "," + Extra + "}";
+  }
 
-void emitSummary(std::string &Out, const char *Name, const char *Help,
-                 const ServiceMetrics::HistStat &S) {
-  emitHeader(Out, Name, Help, "summary");
-  char Buf[128];
-  std::snprintf(Buf, sizeof(Buf), "%s{quantile=\"0.5\"} %.6f\n", Name,
-                S.P50S);
-  Out += Buf;
-  std::snprintf(Buf, sizeof(Buf), "%s{quantile=\"0.9\"} %.6f\n", Name,
-                S.P90S);
-  Out += Buf;
-  std::snprintf(Buf, sizeof(Buf), "%s{quantile=\"0.99\"} %.6f\n", Name,
-                S.P99S);
-  Out += Buf;
-  std::snprintf(Buf, sizeof(Buf), "%s_sum %.6f\n", Name, S.SumS);
-  Out += Buf;
-  std::snprintf(Buf, sizeof(Buf), "%s_count %llu\n", Name,
-                static_cast<unsigned long long>(S.Count));
-  Out += Buf;
-}
+  void u64(const char *Name, const char *Help, const char *Type,
+           uint64_t V) {
+    emitHeader(Out, Name, Help, Type);
+    char Buf[160];
+    std::snprintf(Buf, sizeof(Buf), "%s %llu\n", sample(Name).c_str(),
+                  static_cast<unsigned long long>(V));
+    Out += Buf;
+  }
+
+  void f64(const char *Name, const char *Help, const char *Type,
+           double V) {
+    emitHeader(Out, Name, Help, Type);
+    char Buf[160];
+    std::snprintf(Buf, sizeof(Buf), "%s %.6f\n", sample(Name).c_str(), V);
+    Out += Buf;
+  }
+
+  void summary(const char *Name, const char *Help,
+               const ServiceMetrics::HistStat &S) {
+    emitHeader(Out, Name, Help, "summary");
+    char Buf[224];
+    std::snprintf(Buf, sizeof(Buf), "%s %.6f\n",
+                  sample(Name, "quantile=\"0.5\"").c_str(), S.P50S);
+    Out += Buf;
+    std::snprintf(Buf, sizeof(Buf), "%s %.6f\n",
+                  sample(Name, "quantile=\"0.9\"").c_str(), S.P90S);
+    Out += Buf;
+    std::snprintf(Buf, sizeof(Buf), "%s %.6f\n",
+                  sample(Name, "quantile=\"0.99\"").c_str(), S.P99S);
+    Out += Buf;
+    std::snprintf(Buf, sizeof(Buf), "%s %.6f\n",
+                  sample((std::string(Name) + "_sum").c_str()).c_str(),
+                  S.SumS);
+    Out += Buf;
+    std::snprintf(Buf, sizeof(Buf), "%s %llu\n",
+                  sample((std::string(Name) + "_count").c_str()).c_str(),
+                  static_cast<unsigned long long>(S.Count));
+    Out += Buf;
+  }
+};
 
 } // namespace
 
@@ -103,6 +126,7 @@ ServiceMetrics::snapshot(size_t QueueDepth, size_t QueueCapacity,
   S.Cancelled = Cancelled.load();
   S.DeadlineExceeded = DeadlineExceeded.load();
   S.Rejected = Rejected.load();
+  S.AuthFailed = AuthFailed.load();
   S.CacheHits = CacheHits.load();
   S.CacheMisses = CacheMisses.load();
   S.CacheInvalidations = CacheInvalidations.load();
@@ -133,6 +157,7 @@ Json ServiceMetrics::Snapshot::toJson() const {
   R.set("cancelled", Cancelled);
   R.set("deadline_exceeded", DeadlineExceeded);
   R.set("rejected", Rejected);
+  R.set("auth_failed", AuthFailed);
   R.set("in_flight_peak", InFlightPeak);
   J.set("requests", std::move(R));
 
@@ -157,69 +182,74 @@ Json ServiceMetrics::Snapshot::toJson() const {
   return J;
 }
 
-std::string ServiceMetrics::Snapshot::toPrometheus() const {
+std::string
+ServiceMetrics::Snapshot::toPrometheus(const std::string &ShardId) const {
   std::string O;
   O.reserve(4096);
-  emitF64(O, "acd_uptime_seconds", "Seconds since the daemon started.",
-          "gauge", UptimeS);
-  emitU64(O, "acd_draining", "1 while the daemon refuses new work.",
-          "gauge", Draining ? 1 : 0);
-  emitU64(O, "acd_workers", "Configured concurrent check sessions.",
-          "gauge", Workers);
-  emitU64(O, "acd_queue_depth", "Check requests waiting for a worker.",
-          "gauge", QueueDepth);
-  emitU64(O, "acd_queue_capacity", "Admission queue capacity.", "gauge",
-          QueueCapacity);
-  emitU64(O, "acd_in_flight", "Check requests currently running.", "gauge",
-          InFlight);
-  emitU64(O, "acd_in_flight_peak",
-          "High-water mark of concurrently running check requests.",
-          "gauge", InFlightPeak);
+  Emitter E{O, ShardId.empty() ? std::string()
+                               : "shard_id=\"" + ShardId + "\""};
+  E.f64("acd_uptime_seconds", "Seconds since the daemon started.",
+        "gauge", UptimeS);
+  E.u64("acd_draining", "1 while the daemon refuses new work.", "gauge",
+        Draining ? 1 : 0);
+  E.u64("acd_workers", "Configured concurrent check sessions.", "gauge",
+        Workers);
+  E.u64("acd_queue_depth", "Check requests waiting for a worker.",
+        "gauge", QueueDepth);
+  E.u64("acd_queue_capacity", "Admission queue capacity.", "gauge",
+        QueueCapacity);
+  E.u64("acd_in_flight", "Check requests currently running.", "gauge",
+        InFlight);
+  E.u64("acd_in_flight_peak",
+        "High-water mark of concurrently running check requests.",
+        "gauge", InFlightPeak);
 
-  emitU64(O, "acd_requests_received_total", "Admitted check requests.",
-          "counter", Received);
-  emitU64(O, "acd_requests_completed_total",
-          "Requests that ran and delivered a success response.", "counter",
-          Completed);
-  emitU64(O, "acd_requests_failed_total",
-          "Requests that ran and delivered an error response.", "counter",
-          Failed);
-  emitU64(O, "acd_requests_cancelled_total",
-          "Requests abandoned by their client.", "counter", Cancelled);
-  emitU64(O, "acd_requests_deadline_exceeded_total",
-          "Requests answered at their deadline.", "counter",
-          DeadlineExceeded);
-  emitU64(O, "acd_requests_rejected_total",
-          "Requests refused at admission (busy/draining).", "counter",
-          Rejected);
+  E.u64("acd_requests_received_total", "Admitted check requests.",
+        "counter", Received);
+  E.u64("acd_requests_completed_total",
+        "Requests that ran and delivered a success response.", "counter",
+        Completed);
+  E.u64("acd_requests_failed_total",
+        "Requests that ran and delivered an error response.", "counter",
+        Failed);
+  E.u64("acd_requests_cancelled_total",
+        "Requests abandoned by their client.", "counter", Cancelled);
+  E.u64("acd_requests_deadline_exceeded_total",
+        "Requests answered at their deadline.", "counter",
+        DeadlineExceeded);
+  E.u64("acd_requests_rejected_total",
+        "Requests refused at admission (busy/draining).", "counter",
+        Rejected);
+  E.u64("acd_auth_failed_total",
+        "TCP connections dropped for a wrong or missing auth token.",
+        "counter", AuthFailed);
 
-  emitU64(O, "acd_cache_hits_total", "Abstraction-cache hits.", "counter",
-          CacheHits);
-  emitU64(O, "acd_cache_misses_total", "Abstraction-cache misses.",
-          "counter", CacheMisses);
-  emitU64(O, "acd_cache_invalidations_total",
-          "Abstraction-cache invalidations.", "counter",
-          CacheInvalidations);
-  emitU64(O, "acd_cache_mem_entries",
-          "Entries resident across in-memory cache tiers.", "gauge",
-          MemCacheEntries);
+  E.u64("acd_cache_hits_total", "Abstraction-cache hits.", "counter",
+        CacheHits);
+  E.u64("acd_cache_misses_total", "Abstraction-cache misses.", "counter",
+        CacheMisses);
+  E.u64("acd_cache_invalidations_total",
+        "Abstraction-cache invalidations.", "counter", CacheInvalidations);
+  E.u64("acd_cache_mem_entries",
+        "Entries resident across in-memory cache tiers.", "gauge",
+        MemCacheEntries);
 
-  emitF64(O, "acd_phase_parse_cpu_seconds_total",
-          "Cumulative C parse CPU time over all completed runs.",
-          "counter", static_cast<double>(ParseCpuMicros) * 1e-6);
-  emitF64(O, "acd_phase_abstract_cpu_seconds_total",
-          "Cumulative abstraction CPU time, summed across worker "
-          "threads, over all completed runs.",
-          "counter", static_cast<double>(AbstractCpuMicros) * 1e-6);
+  E.f64("acd_phase_parse_cpu_seconds_total",
+        "Cumulative C parse CPU time over all completed runs.", "counter",
+        static_cast<double>(ParseCpuMicros) * 1e-6);
+  E.f64("acd_phase_abstract_cpu_seconds_total",
+        "Cumulative abstraction CPU time, summed across worker "
+        "threads, over all completed runs.",
+        "counter", static_cast<double>(AbstractCpuMicros) * 1e-6);
 
-  emitSummary(O, "acd_latency_wait_seconds",
-              "Queue wait before a worker dequeued the request.", Wait);
-  emitSummary(O, "acd_latency_parse_seconds",
-              "C parse + translation time per request.", Parse);
-  emitSummary(O, "acd_latency_abstract_seconds",
-              "Abstraction pipeline wall time per request.", Abstract);
-  emitSummary(O, "acd_latency_total_seconds",
-              "Admission-to-response latency per request.", Total);
+  E.summary("acd_latency_wait_seconds",
+            "Queue wait before a worker dequeued the request.", Wait);
+  E.summary("acd_latency_parse_seconds",
+            "C parse + translation time per request.", Parse);
+  E.summary("acd_latency_abstract_seconds",
+            "Abstraction pipeline wall time per request.", Abstract);
+  E.summary("acd_latency_total_seconds",
+            "Admission-to-response latency per request.", Total);
   return O;
 }
 

@@ -53,6 +53,9 @@ struct ServiceMetrics {
   std::atomic<uint64_t> Cancelled{0};
   std::atomic<uint64_t> DeadlineExceeded{0};
   std::atomic<uint64_t> Rejected{0};
+  /// TCP connections dropped for a wrong/missing auth token (these never
+  /// reach admission, so they are counted separately from Rejected).
+  std::atomic<uint64_t> AuthFailed{0};
 
   /// High-water mark of concurrently running check requests over the
   /// process lifetime; tells whether the configured worker count is
@@ -112,7 +115,7 @@ struct ServiceMetrics {
     uint64_t QueueDepth = 0, QueueCapacity = 0;
     uint64_t InFlight = 0, InFlightPeak = 0;
     uint64_t Received = 0, Completed = 0, Failed = 0, Cancelled = 0,
-             DeadlineExceeded = 0, Rejected = 0;
+             DeadlineExceeded = 0, Rejected = 0, AuthFailed = 0;
     uint64_t CacheHits = 0, CacheMisses = 0, CacheInvalidations = 0,
              MemCacheEntries = 0;
     uint64_t ParseCpuMicros = 0, AbstractCpuMicros = 0;
@@ -123,8 +126,11 @@ struct ServiceMetrics {
 
     /// Prometheus text exposition (version 0.0.4): `# HELP` / `# TYPE`
     /// headers plus one sample per counter/gauge, histogram quantiles
-    /// as `{quantile="..."}` summary samples.
-    std::string toPrometheus() const;
+    /// as `{quantile="..."}` summary samples. A non-empty \p ShardId
+    /// attaches `shard_id="..."` to every sample so fleet scrapes
+    /// aggregate per shard; "" keeps the surface byte-identical to the
+    /// single-daemon output.
+    std::string toPrometheus(const std::string &ShardId = "") const;
   };
 
   /// Captures a Snapshot. The queue/in-flight gauges are owned by the

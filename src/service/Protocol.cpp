@@ -2,8 +2,36 @@
 
 #include "service/Protocol.h"
 
+#include <fstream>
+
 using namespace ac::service;
 using ac::support::Json;
+
+bool ac::service::constantTimeEqual(const std::string &A,
+                                    const std::string &B) {
+  // Length mismatch leaks only the length, which the framing exposes
+  // anyway. Always scan all of A so timing is independent of content.
+  volatile unsigned char Acc = A.size() == B.size() ? 0 : 1;
+  for (size_t I = 0; I != A.size(); ++I) {
+    unsigned char X = static_cast<unsigned char>(A[I]);
+    unsigned char Y =
+        static_cast<unsigned char>(B.empty() ? 0 : B[I % B.size()]);
+    Acc = Acc | static_cast<unsigned char>(X ^ Y);
+  }
+  return Acc == 0 && A.size() == B.size();
+}
+
+bool ac::service::readTokenFile(const std::string &Path,
+                                std::string &Token) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In.good())
+    return false;
+  std::getline(In, Token);
+  while (!Token.empty() &&
+         (Token.back() == '\n' || Token.back() == '\r'))
+    Token.pop_back();
+  return !Token.empty();
+}
 
 const char *ac::service::errorCodeName(ErrorCode E) {
   switch (E) {
@@ -21,6 +49,8 @@ const char *ac::service::errorCodeName(ErrorCode E) {
     return "internal";
   case ErrorCode::DeadlineExceeded:
     return "deadline_exceeded";
+  case ErrorCode::AuthFailed:
+    return "auth_failed";
   }
   return "internal";
 }
@@ -38,6 +68,8 @@ ErrorCode ac::service::errorCodeFromName(const std::string &Name) {
     return ErrorCode::ParseError;
   if (Name == "deadline_exceeded")
     return ErrorCode::DeadlineExceeded;
+  if (Name == "auth_failed")
+    return ErrorCode::AuthFailed;
   return ErrorCode::Internal;
 }
 

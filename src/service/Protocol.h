@@ -44,10 +44,23 @@ enum class ErrorCode {
   /// work is discarded when it completes. Safe to retry (with a larger
   /// deadline) — or to fall back to an in-process run.
   DeadlineExceeded,
+  /// TCP connection presented a wrong or missing auth token. The daemon
+  /// answers this and closes the connection; never retried.
+  AuthFailed,
 };
 
 const char *errorCodeName(ErrorCode E);
 ErrorCode errorCodeFromName(const std::string &Name);
+
+/// Constant-time string equality for auth-token checks: the running time
+/// depends only on the lengths, never on where the strings first differ,
+/// so a remote peer cannot binary-search the token byte by byte.
+bool constantTimeEqual(const std::string &A, const std::string &B);
+
+/// Reads an auth token from \p Path: the first line, with the trailing
+/// newline (and CR) stripped. Returns false if the file cannot be read
+/// or the token is empty.
+bool readTokenFile(const std::string &Path, std::string &Token);
 
 /// A "check" request: one translation unit plus per-request options
 /// (mirroring core::ACOptions).

@@ -34,6 +34,9 @@ double secondsBetween(std::chrono::steady_clock::time_point A,
 struct Server::Conn {
   Socket Sock;
   std::mutex WriteM;
+  /// TCP connection on an authenticated listener that has not presented
+  /// the token yet. Only the connection's reader thread touches it.
+  bool NeedsAuth = false;
 
   explicit Conn(Socket S) : Sock(std::move(S)) {}
 
@@ -110,11 +113,31 @@ bool Server::start() {
                          {{"path", Opts.CertDir},
                           {"error", EC.message()}});
   }
-  Listen = Socket::listenUnix(Opts.SocketPath);
-  if (!Listen.valid())
-    return false;
+  if (Opts.SocketPath.empty() && Opts.ListenAddr.empty())
+    return false; // nothing to listen on
+  if (!Opts.SocketPath.empty()) {
+    Listen = Socket::listenUnix(Opts.SocketPath);
+    if (!Listen.valid())
+      return false;
+  }
+  if (!Opts.ListenAddr.empty()) {
+    std::string Host;
+    uint16_t Port = 0;
+    if (!support::parseHostPort(Opts.ListenAddr, Host, Port,
+                                /*AllowPortZero=*/true))
+      return false;
+    ListenTcp = Socket::listenTcp(Host, Port);
+    if (!ListenTcp.valid())
+      return false;
+    TcpPort = ListenTcp.boundPort();
+  }
   Started = true;
-  Acceptor = std::thread([this] { acceptLoop(); });
+  if (Listen.valid())
+    Acceptor =
+        std::thread([this] { acceptLoop(Listen, /*RequireAuth=*/false); });
+  if (ListenTcp.valid())
+    TcpAcceptor = std::thread(
+        [this] { acceptLoop(ListenTcp, !Opts.AuthToken.empty()); });
   Watchdog = std::thread([this] { watchdogLoop(); });
   for (unsigned I = 0; I != Opts.Workers; ++I)
     SessionWorkers.emplace_back([this] { workerLoop(); });
@@ -144,7 +167,10 @@ void Server::stop() {
     QueueCV.notify_all();
     WatchCV.notify_all();
   }
-  Acceptor.join();
+  if (Acceptor.joinable())
+    Acceptor.join();
+  if (TcpAcceptor.joinable())
+    TcpAcceptor.join();
   Watchdog.join();
   for (std::thread &W : SessionWorkers)
     W.join();
@@ -159,7 +185,9 @@ void Server::stop() {
     ConnsCV.wait(L, [&] { return Conns.empty(); });
   }
   Listen.close();
-  ::unlink(Opts.SocketPath.c_str());
+  ListenTcp.close();
+  if (!Opts.SocketPath.empty())
+    ::unlink(Opts.SocketPath.c_str());
   Started = false;
 }
 
@@ -172,14 +200,15 @@ size_t Server::queueDepth() const {
 // Accepting and reading
 //===----------------------------------------------------------------------===//
 
-void Server::acceptLoop() {
+void Server::acceptLoop(Socket &L, bool RequireAuth) {
   while (!Stopping.load()) {
-    if (!Listen.waitReadable(100))
+    if (!L.waitReadable(100))
       continue;
-    Socket S = Listen.accept();
+    Socket S = L.accept();
     if (!S.valid() || Stopping.load())
       continue;
     auto C = std::make_shared<Conn>(std::move(S));
+    C->NeedsAuth = RequireAuth;
     {
       std::lock_guard<std::mutex> L(ConnsM);
       Conns.push_back(C);
@@ -200,7 +229,8 @@ void Server::connLoop(std::shared_ptr<Conn> C) {
     std::string Raw;
     if (!C->Sock.recvFrame(Raw))
       break; // EOF or framing error
-    handleFrame(C, Raw);
+    if (!handleFrame(C, Raw))
+      break; // failed auth handshake — connection closed
   }
   std::lock_guard<std::mutex> L(ConnsM);
   for (size_t I = 0; I != Conns.size(); ++I)
@@ -211,7 +241,7 @@ void Server::connLoop(std::shared_ptr<Conn> C) {
   ConnsCV.notify_all();
 }
 
-void Server::handleFrame(const std::shared_ptr<Conn> &C,
+bool Server::handleFrame(const std::shared_ptr<Conn> &C,
                          const std::string &Raw) {
   Json J;
   std::string Err;
@@ -219,15 +249,48 @@ void Server::handleFrame(const std::shared_ptr<Conn> &C,
     C->send(CheckResponse::error(ErrorCode::BadRequest,
                                  "malformed JSON: " + Err)
                 .toJson());
-    return;
+    // A garbage first frame on an authenticated listener still drops
+    // the connection — unauthenticated peers get exactly one frame.
+    return !C->NeedsAuth;
   }
   if (J.has("v") && J.get("v").asInt() != ProtocolVersion) {
     C->send(CheckResponse::error(ErrorCode::BadRequest,
                                  "unsupported protocol version")
                 .toJson());
-    return;
+    return !C->NeedsAuth;
   }
   const std::string &Op = J.get("op").asString();
+  if (Op == "auth") {
+    // Constant-time compare even when no token is configured, so an
+    // open listener is timing-indistinguishable too.
+    const std::string &Given = J.get("token").asString();
+    bool Ok = constantTimeEqual(Given, Opts.AuthToken);
+    if (!Ok) {
+      Metrics.AuthFailed.fetch_add(1);
+      support::Log::warn("auth.failed",
+                         {{"reason", Given.empty() ? "missing token"
+                                                   : "wrong token"}});
+      C->send(CheckResponse::error(ErrorCode::AuthFailed,
+                                   "auth token mismatch")
+                  .toJson());
+      return false; // close the connection
+    }
+    C->NeedsAuth = false;
+    Json R = Json::object();
+    R.set("ok", true);
+    R.set("op", "auth");
+    C->send(R);
+    return true;
+  }
+  if (C->NeedsAuth) {
+    Metrics.AuthFailed.fetch_add(1);
+    support::Log::warn("auth.failed", {{"reason", "no auth handshake"},
+                                       {"op", Op}});
+    C->send(CheckResponse::error(ErrorCode::AuthFailed,
+                                 "auth required before `" + Op + "`")
+                .toJson());
+    return false; // close the connection
+  }
   if (Op == "ping") {
     Json R = Json::object();
     R.set("ok", true);
@@ -247,7 +310,7 @@ void Server::handleFrame(const std::shared_ptr<Conn> &C,
     CheckRequest Req;
     if (!CheckRequest::fromJson(J, Req, Err)) {
       C->send(CheckResponse::error(ErrorCode::BadRequest, Err).toJson());
-      return;
+      return true;
     }
     handleCheck(C, std::move(Req));
   } else {
@@ -255,6 +318,7 @@ void Server::handleFrame(const std::shared_ptr<Conn> &C,
                                  "unknown op `" + Op + "`")
                 .toJson());
   }
+  return true;
 }
 
 std::string Server::mintTraceId() {
@@ -562,8 +626,13 @@ void Server::runRequest(Request &R) {
 //===----------------------------------------------------------------------===//
 
 ac::support::Json Server::statsJson() {
-  return Metrics.toJson(queueDepth(), Opts.QueueCapacity, InFlight.load(),
-                        Opts.Workers, memCacheEntries(), Draining.load());
+  Json J =
+      Metrics.toJson(queueDepth(), Opts.QueueCapacity, InFlight.load(),
+                     Opts.Workers, memCacheEntries(), Draining.load());
+  // Top-level rather than under "cache": the counter lives on the
+  // ResultCache instances, not in ServiceMetrics' snapshot.
+  J.set("remote_hits", static_cast<uint64_t>(remoteHitsTotal()));
+  return J;
 }
 
 ac::support::Json Server::metricsJson() {
@@ -573,7 +642,7 @@ ac::support::Json Server::metricsJson() {
   Json R = Json::object();
   R.set("ok", true);
   R.set("content_type", "text/plain; version=0.0.4");
-  R.set("body", S.toPrometheus());
+  R.set("body", S.toPrometheus(Opts.ShardId));
   return R;
 }
 
@@ -582,8 +651,11 @@ ResultCache *Server::cacheFor(const std::string &RequestedDir) {
       RequestedDir.empty() ? Opts.CacheDir : RequestedDir);
   std::lock_guard<std::mutex> L(CachesM);
   std::unique_ptr<ResultCache> &Slot = Caches[Dir];
-  if (!Slot)
+  if (!Slot) {
     Slot = std::make_unique<ResultCache>(Dir);
+    if (Opts.Remote)
+      Slot->setRemote(Opts.Remote);
+  }
   return Slot.get();
 }
 
@@ -592,5 +664,13 @@ size_t Server::memCacheEntries() {
   size_t N = 0;
   for (const auto &[Dir, Cache] : Caches)
     N += Cache->size();
+  return N;
+}
+
+size_t Server::remoteHitsTotal() {
+  std::lock_guard<std::mutex> L(CachesM);
+  size_t N = 0;
+  for (const auto &[Dir, Cache] : Caches)
+    N += Cache->remoteHits();
   return N;
 }

@@ -60,8 +60,25 @@ namespace ac::service {
 
 /// Daemon configuration.
 struct ServerOptions {
-  /// Path of the Unix-domain listening socket.
+  /// Path of the Unix-domain listening socket ("" = no Unix listener;
+  /// at least one of SocketPath / ListenAddr must be set).
   std::string SocketPath;
+  /// TCP listen address as "host:port" ("" = no TCP listener). Port 0
+  /// binds an ephemeral port — recover it with Server::tcpPort().
+  std::string ListenAddr;
+  /// Shared auth token required on TCP connections ("" = open). The
+  /// first frame on an authenticated listener must be the auth op
+  /// (docs/PROTOCOL.md "Authentication"); Unix-socket connections are
+  /// never challenged — filesystem permissions are their auth.
+  std::string AuthToken;
+  /// Label attached to every Prometheus metric this daemon exposes
+  /// (`shard_id="..."`) so a fleet's scrapes aggregate per shard. "" =
+  /// unlabeled, byte-identical to the pre-fleet surface.
+  std::string ShardId;
+  /// Optional remote cache tier shared by every ResultCache this server
+  /// creates (memory → disk → remote). Not owned; must outlive the
+  /// server. nullptr = two-tier behaviour, unchanged.
+  core::RemoteTier *Remote = nullptr;
   /// Session workers: how many check requests run concurrently.
   unsigned Workers = 2;
   /// Admission queue capacity; a full queue rejects with `busy`.
@@ -126,6 +143,10 @@ public:
   const ServerOptions &options() const { return Opts; }
   ServiceMetrics &metrics() { return Metrics; }
 
+  /// The TCP port actually bound (resolves an ephemeral ":0" listen
+  /// address); 0 when no TCP listener is configured.
+  uint16_t tcpPort() const { return TcpPort; }
+
   /// Live queue depth / in-flight gauges (for tests and stats).
   size_t queueDepth() const;
   size_t inFlight() const { return InFlight.load(); }
@@ -134,13 +155,14 @@ private:
   struct Conn;
   struct Request;
 
-  void acceptLoop();
+  void acceptLoop(support::Socket &L, bool RequireAuth);
   void connLoop(std::shared_ptr<Conn> C);
   void workerLoop();
   void watchdogLoop();
 
-  /// Dispatches one decoded frame; returns the reply payload.
-  void handleFrame(const std::shared_ptr<Conn> &C, const std::string &Raw);
+  /// Dispatches one decoded frame; false closes the connection (failed
+  /// auth handshake).
+  bool handleFrame(const std::shared_ptr<Conn> &C, const std::string &Raw);
   void handleCheck(const std::shared_ptr<Conn> &C, CheckRequest Req);
   support::Json statsJson();
   support::Json metricsJson();
@@ -167,11 +189,18 @@ private:
   /// Total entries across all tiers (stats).
   size_t memCacheEntries();
 
+  /// Entries served from the remote tier across all caches (stats) —
+  /// how a cold shard proves it was refilled by accached, not recompute.
+  size_t remoteHitsTotal();
+
   ServerOptions Opts;
   ServiceMetrics Metrics;
 
   support::Socket Listen;
+  support::Socket ListenTcp;
+  uint16_t TcpPort = 0;
   std::thread Acceptor;
+  std::thread TcpAcceptor;
   std::thread Watchdog;
   std::vector<std::thread> SessionWorkers;
 

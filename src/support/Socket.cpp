@@ -4,8 +4,13 @@
 
 #include "support/FaultInject.h"
 
+#include <arpa/inet.h>
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -86,6 +91,80 @@ Socket Socket::listenUnix(const std::string &Path, int Backlog) {
     return Socket();
   }
   return Socket(Fd);
+}
+
+Socket Socket::connectTcp(const std::string &Host, uint16_t Port) {
+  if (FaultConnect.fire())
+    return Socket(); // shard unreachable (ECONNREFUSED)
+  addrinfo Hints{};
+  Hints.ai_family = AF_INET;
+  Hints.ai_socktype = SOCK_STREAM;
+  addrinfo *Res = nullptr;
+  char PortStr[8];
+  std::snprintf(PortStr, sizeof(PortStr), "%u", unsigned(Port));
+  if (::getaddrinfo(Host.c_str(), PortStr, &Hints, &Res) != 0 || !Res)
+    return Socket();
+  int Fd = ::socket(Res->ai_family, Res->ai_socktype, Res->ai_protocol);
+  if (Fd < 0) {
+    ::freeaddrinfo(Res);
+    return Socket();
+  }
+  int Rc;
+  do {
+    Rc = ::connect(Fd, Res->ai_addr, Res->ai_addrlen);
+  } while (Rc < 0 && errno == EINTR);
+  ::freeaddrinfo(Res);
+  if (Rc < 0) {
+    ::close(Fd);
+    return Socket();
+  }
+  int One = 1;
+  ::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+  return Socket(Fd);
+}
+
+Socket Socket::listenTcp(const std::string &Host, uint16_t Port,
+                         int Backlog) {
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(Port);
+  if (Host.empty() || Host == "0.0.0.0") {
+    Addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  } else if (::inet_pton(AF_INET, Host.c_str(), &Addr.sin_addr) != 1) {
+    // Not a dotted quad — resolve (e.g. "localhost").
+    addrinfo Hints{};
+    Hints.ai_family = AF_INET;
+    Hints.ai_socktype = SOCK_STREAM;
+    Hints.ai_flags = AI_PASSIVE;
+    addrinfo *Res = nullptr;
+    if (::getaddrinfo(Host.c_str(), nullptr, &Hints, &Res) != 0 || !Res)
+      return Socket();
+    Addr.sin_addr =
+        reinterpret_cast<sockaddr_in *>(Res->ai_addr)->sin_addr;
+    ::freeaddrinfo(Res);
+  }
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return Socket();
+  int One = 1;
+  ::setsockopt(Fd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+  if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0 ||
+      ::listen(Fd, Backlog) < 0) {
+    ::close(Fd);
+    return Socket();
+  }
+  return Socket(Fd);
+}
+
+uint16_t Socket::boundPort() const {
+  sockaddr_storage SS{};
+  socklen_t Len = sizeof(SS);
+  if (Fd < 0 ||
+      ::getsockname(Fd, reinterpret_cast<sockaddr *>(&SS), &Len) != 0)
+    return 0;
+  if (SS.ss_family != AF_INET)
+    return 0;
+  return ntohs(reinterpret_cast<sockaddr_in *>(&SS)->sin_port);
 }
 
 Socket Socket::accept() const {
@@ -197,5 +276,20 @@ bool ac::support::socketPair(Socket &A, Socket &B) {
     return false;
   A = Socket(Fds[0]);
   B = Socket(Fds[1]);
+  return true;
+}
+
+bool ac::support::parseHostPort(const std::string &Spec, std::string &Host,
+                                uint16_t &Port, bool AllowPortZero) {
+  size_t Colon = Spec.rfind(':');
+  if (Colon == std::string::npos || Colon == 0 || Colon + 1 == Spec.size())
+    return false;
+  const char *P = Spec.c_str() + Colon + 1;
+  char *End = nullptr;
+  unsigned long V = std::strtoul(P, &End, 10);
+  if (End == P || *End != '\0' || V > 65535 || (V == 0 && !AllowPortZero))
+    return false;
+  Host = Spec.substr(0, Colon);
+  Port = static_cast<uint16_t>(V);
   return true;
 }

@@ -5,11 +5,13 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Thin RAII wrappers over AF_UNIX stream sockets plus the service wire
-/// framing: every message is a 4-byte big-endian payload length followed
-/// by that many bytes of UTF-8 JSON (docs/PROTOCOL.md). All calls handle
-/// EINTR; writes are SIGPIPE-proof (MSG_NOSIGNAL) so a vanished client
-/// surfaces as an error return, not a killed daemon.
+/// Thin RAII wrappers over AF_UNIX and TCP stream sockets plus the
+/// service wire framing: every message is a 4-byte big-endian payload
+/// length followed by that many bytes of UTF-8 JSON (docs/PROTOCOL.md).
+/// All calls handle EINTR; writes are SIGPIPE-proof (MSG_NOSIGNAL) so a
+/// vanished client surfaces as an error return, not a killed daemon. The
+/// framing layer is transport-agnostic: a frame sent over TCP is byte-
+/// identical to the same frame over a Unix socket.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -42,6 +44,22 @@ public:
 
   /// Binds + listens on \p Path (unlinking any stale socket file first).
   static Socket listenUnix(const std::string &Path, int Backlog = 64);
+
+  /// Connects a TCP stream to \p Host:\p Port (numeric or resolvable
+  /// host). TCP_NODELAY is set: frames are small and latency-bound.
+  /// Invalid socket on failure. Shares the socket.connect.fail site with
+  /// connectUnix so chaos coverage spans both transports.
+  static Socket connectTcp(const std::string &Host, uint16_t Port);
+
+  /// Binds + listens on \p Host:\p Port with SO_REUSEADDR. Port 0 asks
+  /// the kernel for an ephemeral port; recover it with boundPort() and
+  /// print it so scripts can discover the address.
+  static Socket listenTcp(const std::string &Host, uint16_t Port,
+                          int Backlog = 64);
+
+  /// The local port a listening/connected TCP socket is bound to
+  /// (getsockname); 0 on failure or for Unix sockets.
+  uint16_t boundPort() const;
 
   /// accept(2) on a listening socket; invalid socket on failure/EAGAIN.
   Socket accept() const;
@@ -77,6 +95,13 @@ private:
 /// Creates a connected AF_UNIX stream pair (socketpair) for in-process
 /// protocol tests. Returns false on failure.
 bool socketPair(Socket &A, Socket &B);
+
+/// Splits "host:port" into its parts. The host may be empty ("":0 is
+/// rejected); the port must be 1..65535 unless \p AllowPortZero. Returns
+/// false on malformed input. IPv6 literals are not supported — the fleet
+/// protocol addresses shards as IPv4/hostname:port.
+bool parseHostPort(const std::string &Spec, std::string &Host,
+                   uint16_t &Port, bool AllowPortZero = false);
 
 } // namespace ac::support
 

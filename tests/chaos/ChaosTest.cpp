@@ -25,10 +25,15 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "cache/RemoteCache.h"
 #include "core/AutoCorres.h"
 #include "core/ResultCache.h"
 #include "hol/Print.h"
 #include "hol/Simp.h"
+#include "router/Router.h"
+#include "service/CheckRunner.h"
+#include "service/Client.h"
+#include "service/Server.h"
 #include "support/FaultInject.h"
 #include "support/FileLock.h"
 #include "support/Json.h"
@@ -39,12 +44,15 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <set>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <unistd.h>
 #include <vector>
 
 using namespace ac;
@@ -62,8 +70,12 @@ const FaultSite SelfTest("chaos.selftest");
 
 /// Fresh empty directory for one driver run.
 std::string freshDir(const std::string &Tag) {
-  std::string D = ::testing::TempDir() + "ac-chaos/" + Tag;
-  std::filesystem::remove_all(D);
+  // Pid-unique root: concurrent invocations of this binary must not
+  // race each other's remove_all.
+  std::string D = ::testing::TempDir() + "ac-chaos-" +
+                  std::to_string(::getpid()) + "/" + Tag;
+  std::error_code EC;
+  std::filesystem::remove_all(D, EC);
   std::filesystem::create_directories(D);
   return D;
 }
@@ -496,6 +508,184 @@ void driveSimpMemoEvict() {
 }
 
 //===----------------------------------------------------------------------===//
+// The fleet sites: remote cache tier and router network edges
+//===----------------------------------------------------------------------===//
+
+core::CachedFunc remoteSampleEntry() {
+  core::CachedFunc E;
+  E.Key = 0xc0ffee123456ull;
+  E.Name = "sample";
+  E.Render = "sample' x == gets (λs. x)";
+  E.PipelineProp = "ccorres ... sample";
+  E.Notes = {"driver entry"};
+  return E;
+}
+
+/// Every client-side remote-tier failure must degrade to a miss or a
+/// dropped put — the tier is an accelerator, never a correctness input.
+void driveRemoteDialFail() {
+  std::string Dir = freshDir("remotedial");
+  cache::RemoteCacheServerOptions O;
+  O.SocketPath = Dir + "/cached.sock";
+  cache::RemoteCacheServer Srv(O);
+  ASSERT_TRUE(Srv.start());
+  cache::RemoteCacheClient C(O.SocketPath);
+  core::CachedFunc E = remoteSampleEntry(), Out;
+
+  ASSERT_TRUE(FaultInject::arm("remote.dial.fail", 1));
+  EXPECT_FALSE(C.get(E.Key, Out)) << "a refused dial is a miss";
+  EXPECT_EQ(FaultInject::fired("remote.dial.fail"), 1u);
+  FaultInject::disarmAll();
+
+  C.put(E); // re-dials transparently
+  ASSERT_TRUE(C.get(E.Key, Out));
+  EXPECT_EQ(core::serializeCachedFunc(Out), core::serializeCachedFunc(E));
+  Srv.stop();
+}
+
+void driveRemoteGetFail() {
+  std::string Dir = freshDir("remoteget");
+  cache::RemoteCacheServerOptions O;
+  O.SocketPath = Dir + "/cached.sock";
+  cache::RemoteCacheServer Srv(O);
+  ASSERT_TRUE(Srv.start());
+  cache::RemoteCacheClient C(O.SocketPath);
+  core::CachedFunc E = remoteSampleEntry(), Out;
+  C.put(E);
+
+  ASSERT_TRUE(FaultInject::arm("remote.get.fail", 1));
+  EXPECT_FALSE(C.get(E.Key, Out)) << "a torn fetch is a miss, never "
+                                     "partial bytes";
+  EXPECT_EQ(FaultInject::fired("remote.get.fail"), 1u);
+  FaultInject::disarmAll();
+
+  ASSERT_TRUE(C.get(E.Key, Out)) << "the entry survived the client's bad "
+                                    "round-trip";
+  EXPECT_EQ(core::serializeCachedFunc(Out), core::serializeCachedFunc(E));
+  Srv.stop();
+}
+
+void driveRemotePutFail() {
+  std::string Dir = freshDir("remoteput");
+  cache::RemoteCacheServerOptions O;
+  O.SocketPath = Dir + "/cached.sock";
+  cache::RemoteCacheServer Srv(O);
+  ASSERT_TRUE(Srv.start());
+  cache::RemoteCacheClient C(O.SocketPath);
+  core::CachedFunc E = remoteSampleEntry(), Out;
+
+  ASSERT_TRUE(FaultInject::arm("remote.put.fail", 1));
+  C.put(E); // silently dropped
+  EXPECT_EQ(FaultInject::fired("remote.put.fail"), 1u);
+  FaultInject::disarmAll();
+  EXPECT_FALSE(C.get(E.Key, Out)) << "the dropped put must not have "
+                                     "half-published anything";
+
+  C.put(E);
+  ASSERT_TRUE(C.get(E.Key, Out));
+  EXPECT_EQ(core::serializeCachedFunc(Out), core::serializeCachedFunc(E));
+  Srv.stop();
+}
+
+void driveRemoteStoreTorn() {
+  std::string Dir = freshDir("remotetorn");
+  cache::RemoteCacheServerOptions O;
+  O.SocketPath = Dir + "/cached.sock";
+  cache::RemoteCacheServer Srv(O);
+  ASSERT_TRUE(Srv.start());
+  cache::RemoteCacheClient C(O.SocketPath);
+  core::CachedFunc E = remoteSampleEntry(), Out;
+
+  // The store accepts the put but persists a truncated image — a torn
+  // write inside the tier. The later get must reject it by CRC and
+  // report a miss: a damaged entry may cost a recompute, never serve
+  // wrong bytes (the invariant the whole cache family enforces).
+  ASSERT_TRUE(FaultInject::arm("remotecache.store.torn", 1));
+  C.put(E);
+  EXPECT_EQ(FaultInject::fired("remotecache.store.torn"), 1u);
+  FaultInject::disarmAll();
+  EXPECT_FALSE(C.get(E.Key, Out))
+      << "a torn stored entry must be a miss, never wrong bytes";
+
+  C.put(E); // clean overwrite heals the slot
+  ASSERT_TRUE(C.get(E.Key, Out));
+  EXPECT_EQ(core::serializeCachedFunc(Out), core::serializeCachedFunc(E));
+  Srv.stop();
+}
+
+/// Shared harness for the two router edges: one real shard on loopback
+/// TCP, a router with local fallback, and byte-identity of the faulted
+/// answer against a never-faulted in-process reference.
+void driveRouterEdge(const char *Site) {
+  std::string Dir = freshDir(Site);
+  service::ServerOptions SO;
+  SO.SocketPath = "";
+  SO.ListenAddr = "127.0.0.1:0";
+  SO.Workers = 1;
+  service::Server Shard(SO);
+  ASSERT_TRUE(Shard.start());
+
+  router::RouterOptions RO;
+  RO.SocketPath = Dir + "/r.sock";
+  RO.Shards = {"127.0.0.1:" + std::to_string(Shard.tcpPort())};
+  RO.HealthProbeMs = 50;
+  router::Router R(RO);
+  ASSERT_TRUE(R.start());
+
+  service::Client C = service::Client::connect(RO.SocketPath);
+  ASSERT_TRUE(C.connected());
+  service::CheckRequest Req;
+  Req.Source = "unsigned int edge(unsigned int x) { return x + 3u; }\n";
+  service::CheckResponse Ref = service::runLocalCheck(Req);
+
+  auto snapshot = [](const service::CheckResponse &Resp) {
+    std::string S;
+    for (const service::FuncResult &F : Resp.Functions)
+      S += F.Name + "\n" + F.FinalKey + "\n" + F.Render + "\n" +
+           F.Pipeline + "\n";
+    for (const std::string &D : Resp.Diagnostics)
+      S += D + "\n";
+    return S;
+  };
+
+  // The armed edge tears the only shard's forward; the router marks it
+  // down and degrades to the in-process pipeline — same bytes.
+  std::string Err;
+  service::CheckResponse Faulted;
+  ASSERT_TRUE(FaultInject::arm(Site, 1));
+  ASSERT_TRUE(C.check(Req, Faulted, Err)) << Err;
+  EXPECT_EQ(FaultInject::fired(Site), 1u);
+  FaultInject::disarmAll();
+  ASSERT_TRUE(Faulted.Ok) << Faulted.Message;
+  EXPECT_EQ(snapshot(Faulted), snapshot(Ref))
+      << Site << ": the faulted answer diverged";
+
+  // Recovery: the prober revives the shard and the next request is
+  // served by it, still byte-identical.
+  support::Json Stats;
+  bool Revived = false;
+  for (int I = 0; I != 100 && !Revived; ++I) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    ASSERT_TRUE(C.stats(Stats, Err)) << Err;
+    Revived = Stats.get("shards").items().front().get("healthy").asBool();
+  }
+  ASSERT_TRUE(Revived) << Site << ": the prober never revived the shard";
+  service::CheckResponse After;
+  ASSERT_TRUE(C.check(Req, After, Err)) << Err;
+  ASSERT_TRUE(After.Ok) << After.Message;
+  EXPECT_EQ(snapshot(After), snapshot(Ref));
+  ASSERT_TRUE(C.stats(Stats, Err)) << Err;
+  EXPECT_GE(Stats.get("shards").items().front().get("forwarded").asInt(), 1)
+      << Site << ": recovery must forward to the real shard again";
+
+  R.stop();
+  Shard.stop();
+}
+
+void driveRouterDialFail() { driveRouterEdge("router.dial.fail"); }
+void driveRouterForwardFail() { driveRouterEdge("router.forward.fail"); }
+
+//===----------------------------------------------------------------------===//
 // The driver table and the coverage gate
 //===----------------------------------------------------------------------===//
 
@@ -525,6 +715,12 @@ const SiteCase AllSites[] = {
     {"cache.save.bitflip", driveSaveBitflip},
     {"trace.write.fail", driveTraceWriteFail},
     {"simp.memo.evict", driveSimpMemoEvict},
+    {"remote.dial.fail", driveRemoteDialFail},
+    {"remote.get.fail", driveRemoteGetFail},
+    {"remote.put.fail", driveRemotePutFail},
+    {"remotecache.store.torn", driveRemoteStoreTorn},
+    {"router.dial.fail", driveRouterDialFail},
+    {"router.forward.fail", driveRouterForwardFail},
 };
 
 class ChaosSite : public ::testing::TestWithParam<SiteCase> {

@@ -46,6 +46,10 @@ void usage(const char *Argv0) {
       stderr,
       "usage: %s [options] [file.c | -]\n"
       "  --socket PATH     daemon socket (default: acd.sock)\n"
+      "  --router H:P      send to an acrouter fleet front-end over TCP\n"
+      "                    instead of a local daemon socket\n"
+      "  --auth-token-file F present the shared token in F when dialing\n"
+      "                    a --router (or any TCP) endpoint\n"
       "  --corpus NAME     use an embedded source instead of a file:\n"
       "                    max gcd swap midpoint binary_search suzuki\n"
       "                    memset reverse schorr_waite, or a synthetic\n"
@@ -132,6 +136,7 @@ std::string goldenSnapshot(const CheckResponse &Resp) {
 
 int main(int argc, char **argv) {
   std::string SocketPath = "acd.sock";
+  std::string RouterAddr, AuthToken;
   std::string File, Corpus, TracePath, CertPath, CertDir;
   bool Golden = false, Stats = false, Ping = false, Drain = false;
   bool NoFallback = false, Metrics = false, RuleProfile = false;
@@ -147,6 +152,17 @@ int main(int argc, char **argv) {
       if (!V)
         return usage(argv[0]), 2;
       SocketPath = V;
+    } else if (Arg == "--router") {
+      const char *V = Next();
+      if (!V)
+        return usage(argv[0]), 2;
+      RouterAddr = V;
+    } else if (Arg == "--auth-token-file") {
+      const char *V = Next();
+      if (!V || !readTokenFile(V, AuthToken)) {
+        std::fprintf(stderr, "acc: cannot read auth token file\n");
+        return 2;
+      }
     } else if (Arg == "--corpus") {
       const char *V = Next();
       if (!V)
@@ -238,12 +254,22 @@ int main(int argc, char **argv) {
 
   std::string Err;
 
+  // One dial path for both transports: --router (TCP, optionally
+  // authenticated) or the default Unix daemon socket.
+  const std::string &Endpoint = RouterAddr.empty() ? SocketPath : RouterAddr;
+  auto dial = [&](std::string &DialErr) {
+    return RouterAddr.empty()
+               ? Client::connect(SocketPath)
+               : Client::connectTcp(RouterAddr, AuthToken, DialErr);
+  };
+
   // Admin ops address a specific daemon; there is nothing to degrade to.
   if (Ping || Stats || Metrics || Drain) {
-    Client C = Client::connect(SocketPath);
+    Client C = dial(Err);
     if (!C.connected()) {
-      std::fprintf(stderr, "acc: cannot connect to %s (is acd running?)\n",
-                   SocketPath.c_str());
+      std::fprintf(stderr, "acc: cannot connect to %s (%s)\n",
+                   Endpoint.c_str(),
+                   Err.empty() ? "is the daemon running?" : Err.c_str());
       return 1;
     }
     if (Ping) {
@@ -323,15 +349,28 @@ int main(int argc, char **argv) {
     Resp = runCheck(Req, Ctx);
     UsedFallback = true;
   } else if (NoFallback) {
-    Client C = Client::connect(SocketPath);
+    Client C = dial(Err);
     if (!C.connected()) {
-      std::fprintf(stderr, "acc: cannot connect to %s (is acd running?)\n",
-                   SocketPath.c_str());
+      std::fprintf(stderr, "acc: cannot connect to %s (%s)\n",
+                   Endpoint.c_str(),
+                   Err.empty() ? "is the daemon running?" : Err.c_str());
       return 1;
     }
     if (!C.checkRetry(Req, Resp, Err)) {
       std::fprintf(stderr, "acc: request failed: %s\n", Err.c_str());
       return 1;
+    }
+  } else if (!RouterAddr.empty()) {
+    // Router path with graceful degradation: the router already degrades
+    // shard-by-shard; this covers the router itself being unreachable.
+    Client C = dial(Err);
+    if (C.connected() && C.checkRetry(Req, Resp, Err)) {
+      // served by the fleet
+    } else {
+      Resp = runLocalCheck(Req);
+      UsedFallback = true;
+      std::fprintf(stderr, "acc: router %s unreachable (%s); ran in-process\n",
+                   RouterAddr.c_str(), Err.c_str());
     }
   } else {
     std::string Note;

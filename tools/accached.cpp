@@ -1,0 +1,137 @@
+//===- accached.cpp - The fleet's shared cache daemon ----------------------===//
+//
+// Content-addressed store of serialized abstraction-cache entries, shared
+// by every acd shard in a fleet as a third cache tier (memory -> disk ->
+// remote; docs/PROTOCOL.md "Remote cache"). One shard's cold miss becomes
+// every other shard's warm hit.
+//
+//   accached --listen 127.0.0.1:0 --auth-token-file fleet.token
+//
+// SIGTERM / SIGINT (or a client `drain` request) exit gracefully; the
+// store is memory-only, so there is nothing to flush.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cache/RemoteCache.h"
+#include "service/Protocol.h"
+#include "support/Log.h"
+
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+using namespace ac::cache;
+
+namespace {
+
+void usage(const char *Argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [options]\n"
+      "  --socket PATH      listening Unix socket (default: none)\n"
+      "  --listen HOST:PORT listen on TCP (port 0 picks an ephemeral\n"
+      "                     port, printed at startup)\n"
+      "  --auth-token-file F require the shared token in F on every TCP\n"
+      "                     connection\n"
+      "  --log-file PATH    append structured JSONL log lines to PATH\n"
+      "  --log-level LVL    debug|info|warn|error|off (default: info)\n",
+      Argv0);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  RemoteCacheServerOptions Opts;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    auto Next = [&]() -> const char * {
+      return I + 1 < argc ? argv[++I] : nullptr;
+    };
+    if (Arg == "--socket") {
+      const char *V = Next();
+      if (!V) {
+        usage(argv[0]);
+        return 2;
+      }
+      Opts.SocketPath = V;
+    } else if (Arg == "--listen") {
+      const char *V = Next();
+      if (!V) {
+        usage(argv[0]);
+        return 2;
+      }
+      Opts.ListenAddr = V;
+    } else if (Arg == "--auth-token-file") {
+      const char *V = Next();
+      if (!V || !ac::service::readTokenFile(V, Opts.AuthToken)) {
+        std::fprintf(stderr, "accached: cannot read auth token file\n");
+        return 2;
+      }
+    } else if (Arg == "--log-file") {
+      const char *V = Next();
+      if (!V || !ac::support::Log::setFile(V)) {
+        std::fprintf(stderr, "accached: cannot open log file\n");
+        return 2;
+      }
+    } else if (Arg == "--log-level") {
+      const char *V = Next();
+      ac::support::LogLevel Lv;
+      if (!V || !ac::support::Log::parseLevel(V, Lv)) {
+        usage(argv[0]);
+        return 2;
+      }
+      ac::support::Log::setLevel(Lv);
+    } else if (Arg == "--help" || Arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "accached: bad argument `%s`\n", Arg.c_str());
+      usage(argv[0]);
+      return 2;
+    }
+  }
+
+  if (Opts.SocketPath.empty() && Opts.ListenAddr.empty()) {
+    std::fprintf(stderr, "accached: need --socket or --listen\n");
+    return 2;
+  }
+
+  sigset_t Sigs;
+  sigemptyset(&Sigs);
+  sigaddset(&Sigs, SIGTERM);
+  sigaddset(&Sigs, SIGINT);
+  pthread_sigmask(SIG_BLOCK, &Sigs, nullptr);
+
+  RemoteCacheServer Srv(Opts);
+  if (!Srv.start()) {
+    std::fprintf(stderr, "accached: cannot listen\n");
+    return 1;
+  }
+  if (!Opts.SocketPath.empty())
+    std::printf("accached: listening on %s\n", Opts.SocketPath.c_str());
+  if (!Opts.ListenAddr.empty())
+    std::printf("accached: listening on tcp port %u\n",
+                static_cast<unsigned>(Srv.tcpPort()));
+  std::fflush(stdout);
+  ac::support::Log::info("cached.started", {{"socket", Opts.SocketPath},
+                                            {"listen", Opts.ListenAddr}});
+
+  timespec Tick{0, 200 * 1000 * 1000};
+  while (!Srv.draining()) {
+    int Sig = sigtimedwait(&Sigs, nullptr, &Tick);
+    if (Sig == SIGTERM || Sig == SIGINT)
+      break;
+  }
+
+  std::printf("accached: draining\n");
+  std::fflush(stdout);
+  Srv.stop();
+  std::printf("accached: drained, bye\n");
+  ac::support::Log::info("cached.stopped",
+                         {{"entries", static_cast<uint64_t>(
+                                          Srv.store().size())},
+                          {"hits", Srv.store().hits()}});
+  return 0;
+}

@@ -13,6 +13,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "cache/RemoteCache.h"
 #include "service/Server.h"
 #include "support/Log.h"
 
@@ -21,6 +22,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <ctime>
+#include <memory>
 #include <string>
 
 using namespace ac::service;
@@ -31,7 +33,17 @@ void usage(const char *Argv0) {
   std::fprintf(
       stderr,
       "usage: %s [options]\n"
-      "  --socket PATH      listening Unix socket (default: acd.sock)\n"
+      "  --socket PATH      listening Unix socket (default: acd.sock;\n"
+      "                     `none` disables it for TCP-only shards)\n"
+      "  --listen HOST:PORT additionally listen on TCP (port 0 picks an\n"
+      "                     ephemeral port, printed at startup)\n"
+      "  --auth-token-file F require the shared token in F on every TCP\n"
+      "                     connection (first-frame auth handshake)\n"
+      "  --shard-id NAME    label every Prometheus metric with\n"
+      "                     shard_id=\"NAME\" (fleet aggregation)\n"
+      "  --remote-cache A   use the accached daemon at A (host:port or\n"
+      "                     Unix path) as a third cache tier\n"
+      "  --remote-token-file F token file for --remote-cache dials\n"
       "  --workers N        concurrent check sessions (default: 2)\n"
       "  --queue N          admission queue capacity (default: 8)\n"
       "  --jobs N           default abstraction jobs per request\n"
@@ -64,6 +76,8 @@ bool parseUnsigned(const char *S, unsigned &Out) {
 int main(int argc, char **argv) {
   ServerOptions Opts;
   Opts.SocketPath = "acd.sock";
+  std::string RemoteAddr;
+  std::string RemoteToken;
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -77,7 +91,40 @@ int main(int argc, char **argv) {
         usage(argv[0]);
         return 2;
       }
-      Opts.SocketPath = V;
+      Opts.SocketPath = std::strcmp(V, "none") == 0 ? "" : V;
+    } else if (Arg == "--listen") {
+      const char *V = Next();
+      if (!V) {
+        usage(argv[0]);
+        return 2;
+      }
+      Opts.ListenAddr = V;
+    } else if (Arg == "--auth-token-file") {
+      const char *V = Next();
+      if (!V || !readTokenFile(V, Opts.AuthToken)) {
+        std::fprintf(stderr, "acd: cannot read auth token file\n");
+        return 2;
+      }
+    } else if (Arg == "--shard-id") {
+      const char *V = Next();
+      if (!V) {
+        usage(argv[0]);
+        return 2;
+      }
+      Opts.ShardId = V;
+    } else if (Arg == "--remote-cache") {
+      const char *V = Next();
+      if (!V) {
+        usage(argv[0]);
+        return 2;
+      }
+      RemoteAddr = V;
+    } else if (Arg == "--remote-token-file") {
+      const char *V = Next();
+      if (!V || !readTokenFile(V, RemoteToken)) {
+        std::fprintf(stderr, "acd: cannot read remote token file\n");
+        return 2;
+      }
     } else if (Arg == "--workers" && Next() && parseUnsigned(argv[I], N)) {
       Opts.Workers = N;
     } else if (Arg == "--queue" && Next() && parseUnsigned(argv[I], N)) {
@@ -141,19 +188,35 @@ int main(int argc, char **argv) {
   sigaddset(&Sigs, SIGINT);
   pthread_sigmask(SIG_BLOCK, &Sigs, nullptr);
 
+  // The remote cache tier is wired before the server starts so every
+  // cacheFor() slot sees it from the first request.
+  std::unique_ptr<ac::cache::RemoteCacheClient> Remote;
+  if (!RemoteAddr.empty()) {
+    Remote.reset(new ac::cache::RemoteCacheClient(RemoteAddr, RemoteToken));
+    Opts.Remote = Remote.get();
+  }
+
   Server Srv(Opts);
   if (!Srv.start()) {
     std::fprintf(stderr, "acd: cannot listen on %s\n",
-                 Opts.SocketPath.c_str());
+                 Opts.SocketPath.empty() ? Opts.ListenAddr.c_str()
+                                         : Opts.SocketPath.c_str());
     return 1;
   }
-  std::printf("acd: listening on %s (workers=%u queue=%zu)\n",
-              Opts.SocketPath.c_str(), Srv.options().Workers,
-              Srv.options().QueueCapacity);
+  if (!Opts.SocketPath.empty())
+    std::printf("acd: listening on %s (workers=%u queue=%zu)\n",
+                Opts.SocketPath.c_str(), Srv.options().Workers,
+                Srv.options().QueueCapacity);
+  if (!Opts.ListenAddr.empty())
+    std::printf("acd: listening on tcp port %u (workers=%u queue=%zu)\n",
+                static_cast<unsigned>(Srv.tcpPort()), Srv.options().Workers,
+                Srv.options().QueueCapacity);
   std::fflush(stdout);
   ac::support::Log::info(
       "daemon.started",
       {{"socket", Opts.SocketPath},
+       {"listen", Opts.ListenAddr},
+       {"shard_id", Opts.ShardId},
        {"workers", Srv.options().Workers},
        {"queue", static_cast<uint64_t>(Srv.options().QueueCapacity)}});
 

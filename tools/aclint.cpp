@@ -23,6 +23,14 @@
 //       a preceding # TYPE of a known kind, summary quantile samples and
 //       _sum/_count attach to a declared summary.
 //
+//   aclint fleet <file.json> [--min-speedup X] [--min-hit-rate R]
+//       The file is a BENCH_fleet.json as written by bench/fleet_throughput:
+//       a baseline pass and one entry per shard count, each with a
+//       positive requests/sec, ordered latency percentiles, zero
+//       correctness diffs, and a remote-tier hit rate in [0,1].
+//       --min-speedup bounds the 4-shard speedup from below;
+//       --min-hit-rate applies to every multi-shard entry.
+//
 //   aclint cert <file.acpc> [--min-claims N] [--require-meta KEY]...
 //       The file has the proof-certificate *shape* (docs/PROTOCOL.md
 //       "Certificates"): `acpc 1` header, every record line carries a
@@ -274,6 +282,93 @@ int lintMetrics(const std::string &Path) {
 }
 
 //===----------------------------------------------------------------------===//
+// fleet mode
+//===----------------------------------------------------------------------===//
+
+/// Shape-checks one measured pass (the baseline or a per-shard-count
+/// entry): positive throughput, ordered percentiles, no lost requests.
+void lintFleetPass(const std::string &Where, const Json &P) {
+  if (!P.isObject()) {
+    finding(Where + ": not an object");
+    return;
+  }
+  if (!P.get("requests_per_sec").isNumber() ||
+      P.get("requests_per_sec").asNumber() <= 0)
+    finding(Where + ": requests_per_sec missing or not positive");
+  if (!P.get("p50_ms").isNumber() || !P.get("p99_ms").isNumber())
+    finding(Where + ": missing p50_ms/p99_ms");
+  else if (P.get("p50_ms").asNumber() > P.get("p99_ms").asNumber())
+    finding(Where + ": p50_ms exceeds p99_ms");
+  if (!P.get("ok").isNumber() || !P.get("requests").isNumber())
+    finding(Where + ": missing ok/requests counts");
+  else if (P.get("ok").asNumber() != P.get("requests").asNumber())
+    finding(Where + ": " + std::to_string(static_cast<long long>(
+                               P.get("requests").asNumber() -
+                               P.get("ok").asNumber())) +
+            " requests lost");
+  if (!P.get("diffs").isNumber() || P.get("diffs").asNumber() != 0)
+    finding(Where + ": correctness diffs recorded");
+}
+
+int lintFleet(const std::string &Path, double MinSpeedup,
+              double MinHitRate) {
+  std::string Text;
+  if (!readAll(Path, Text)) {
+    finding("cannot read " + Path);
+    return 1;
+  }
+  Json J;
+  std::string Err;
+  if (!Json::parse(Text, J, Err)) {
+    finding(Path + ": not valid JSON: " + Err);
+    return 1;
+  }
+  if (!J.isObject() || J.get("bench").asString() != "fleet_throughput") {
+    finding(Path + ": not a fleet_throughput artifact");
+    return 1;
+  }
+  lintFleetPass(Path + ": baseline", J.get("baseline"));
+  const Json &Fleets = J.get("fleets");
+  if (!Fleets.isArray() || Fleets.items().empty()) {
+    finding(Path + ": no fleets array");
+    return 1;
+  }
+  double PrevShards = 0;
+  size_t Idx = 0;
+  for (const Json &F : Fleets.items()) {
+    std::string Where = Path + ": fleets[" + std::to_string(Idx++) + "]";
+    lintFleetPass(Where, F);
+    if (!F.isObject())
+      continue;
+    if (!F.get("shards").isNumber() || F.get("shards").asNumber() < 1)
+      finding(Where + ": bad shard count");
+    else {
+      double Shards = F.get("shards").asNumber();
+      if (Shards <= PrevShards)
+        finding(Where + ": shard counts not strictly increasing");
+      PrevShards = Shards;
+    }
+    if (!F.get("remote_hit_rate").isNumber() ||
+        F.get("remote_hit_rate").asNumber() < 0 ||
+        F.get("remote_hit_rate").asNumber() > 1)
+      finding(Where + ": remote_hit_rate not in [0,1]");
+    else if (MinHitRate > 0 && F.get("shards").asNumber() > 1 &&
+             F.get("remote_hit_rate").asNumber() < MinHitRate)
+      finding(Where + ": remote_hit_rate " +
+              std::to_string(F.get("remote_hit_rate").asNumber()) +
+              " below bound " + std::to_string(MinHitRate));
+  }
+  if (!J.get("speedup_at_4").isNumber())
+    finding(Path + ": missing speedup_at_4");
+  else if (MinSpeedup > 0 &&
+           J.get("speedup_at_4").asNumber() < MinSpeedup)
+    finding(Path + ": speedup_at_4 " +
+            std::to_string(J.get("speedup_at_4").asNumber()) +
+            " below bound " + std::to_string(MinSpeedup));
+  return Findings ? 1 : 0;
+}
+
+//===----------------------------------------------------------------------===//
 // cert mode
 //===----------------------------------------------------------------------===//
 
@@ -406,6 +501,7 @@ int usage() {
       "usage: aclint trace <file.json> [--require-span NAME]...\n"
       "              [--min-wa N] [--min-hl N] [--max-span-share NAME:PCT]...\n"
       "       aclint metrics <file|->\n"
+      "       aclint fleet <file.json> [--min-speedup X] [--min-hit-rate R]\n"
       "       aclint cert <file.acpc> [--min-claims N] [--require-meta KEY]...\n");
   return 2;
 }
@@ -420,6 +516,26 @@ int main(int argc, char **argv) {
     if (argc != 3)
       return usage();
     return lintMetrics(Path);
+  }
+  if (Mode == "fleet") {
+    double MinSpeedup = 0, MinHitRate = 0;
+    for (int I = 3; I < argc; ++I) {
+      std::string A = argv[I];
+      auto needArg = [&](const char *Flag) -> const char * {
+        if (I + 1 >= argc) {
+          std::fprintf(stderr, "aclint: %s needs an argument\n", Flag);
+          exit(2);
+        }
+        return argv[++I];
+      };
+      if (A == "--min-speedup")
+        MinSpeedup = std::atof(needArg("--min-speedup"));
+      else if (A == "--min-hit-rate")
+        MinHitRate = std::atof(needArg("--min-hit-rate"));
+      else
+        return usage();
+    }
+    return lintFleet(Path, MinSpeedup, MinHitRate);
   }
   if (Mode == "cert") {
     int MinClaims = 0;

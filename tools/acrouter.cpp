@@ -1,0 +1,187 @@
+//===- acrouter.cpp - Consistent-hash front-end for an acd fleet ----------===//
+//
+// Speaks the verification-service protocol to clients and forwards each
+// check to one of N acd shards, chosen by consistent-hashing the request
+// content (docs/PROTOCOL.md "Router"). Shards that die are probed back to
+// health; requests reroute; with the whole fleet down the router degrades
+// to the in-process pipeline so answers stay byte-identical.
+//
+//   acrouter --listen 127.0.0.1:0 \
+//            --shard 127.0.0.1:7001 --shard 127.0.0.1:7002
+//
+//===----------------------------------------------------------------------===//
+
+#include "router/Router.h"
+#include "support/Log.h"
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+using namespace ac::router;
+
+namespace {
+
+void usage(const char *Argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --shard HOST:PORT [--shard ...] [options]\n"
+      "  --shard HOST:PORT   an acd shard (repeatable; at least one)\n"
+      "  --socket PATH       listening Unix socket (default: none)\n"
+      "  --listen HOST:PORT  listen on TCP (port 0 picks an ephemeral\n"
+      "                      port, printed at startup)\n"
+      "  --auth-token-file F require the shared token in F on every\n"
+      "                      client TCP connection\n"
+      "  --shard-token-file F token presented when dialing shards\n"
+      "  --virtual-nodes N   ring points per shard (default: 64)\n"
+      "  --window N          max in-flight forwards per shard before\n"
+      "                      answering busy (default: 8)\n"
+      "  --retry-after-ms N  retry hint on window-full busy (default: 50)\n"
+      "  --probe-ms N        health-probe cadence (default: 250)\n"
+      "  --no-local-fallback refuse (busy) instead of running checks\n"
+      "                      in-process when every shard is down\n"
+      "  --log-file PATH     append structured JSONL log lines to PATH\n"
+      "  --log-level LVL     debug|info|warn|error|off (default: info)\n",
+      Argv0);
+}
+
+bool parseUnsigned(const char *S, unsigned &Out) {
+  char *End = nullptr;
+  unsigned long V = std::strtoul(S, &End, 10);
+  if (!End || *End || V > 1u << 20)
+    return false;
+  Out = static_cast<unsigned>(V);
+  return true;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  RouterOptions Opts;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    auto Next = [&]() -> const char * {
+      return I + 1 < argc ? argv[++I] : nullptr;
+    };
+    unsigned N = 0;
+    if (Arg == "--shard") {
+      const char *V = Next();
+      if (!V) {
+        usage(argv[0]);
+        return 2;
+      }
+      Opts.Shards.push_back(V);
+    } else if (Arg == "--socket") {
+      const char *V = Next();
+      if (!V) {
+        usage(argv[0]);
+        return 2;
+      }
+      Opts.SocketPath = V;
+    } else if (Arg == "--listen") {
+      const char *V = Next();
+      if (!V) {
+        usage(argv[0]);
+        return 2;
+      }
+      Opts.ListenAddr = V;
+    } else if (Arg == "--auth-token-file") {
+      const char *V = Next();
+      if (!V || !ac::service::readTokenFile(V, Opts.AuthToken)) {
+        std::fprintf(stderr, "acrouter: cannot read auth token file\n");
+        return 2;
+      }
+    } else if (Arg == "--shard-token-file") {
+      const char *V = Next();
+      if (!V || !ac::service::readTokenFile(V, Opts.ShardToken)) {
+        std::fprintf(stderr, "acrouter: cannot read shard token file\n");
+        return 2;
+      }
+    } else if (Arg == "--virtual-nodes" && Next() && parseUnsigned(argv[I], N) &&
+               N > 0) {
+      Opts.VirtualNodes = N;
+    } else if (Arg == "--window" && Next() && parseUnsigned(argv[I], N) &&
+               N > 0) {
+      Opts.MaxInFlightPerShard = N;
+    } else if (Arg == "--retry-after-ms" && Next() &&
+               parseUnsigned(argv[I], N)) {
+      Opts.RetryAfterMs = N;
+    } else if (Arg == "--probe-ms" && Next() && parseUnsigned(argv[I], N) &&
+               N > 0) {
+      Opts.HealthProbeMs = N;
+    } else if (Arg == "--no-local-fallback") {
+      Opts.LocalFallback = false;
+    } else if (Arg == "--log-file") {
+      const char *V = Next();
+      if (!V || !ac::support::Log::setFile(V)) {
+        std::fprintf(stderr, "acrouter: cannot open log file\n");
+        return 2;
+      }
+    } else if (Arg == "--log-level") {
+      const char *V = Next();
+      ac::support::LogLevel Lv;
+      if (!V || !ac::support::Log::parseLevel(V, Lv)) {
+        usage(argv[0]);
+        return 2;
+      }
+      ac::support::Log::setLevel(Lv);
+    } else if (Arg == "--help" || Arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "acrouter: bad argument `%s`\n", Arg.c_str());
+      usage(argv[0]);
+      return 2;
+    }
+  }
+
+  if (Opts.Shards.empty()) {
+    std::fprintf(stderr, "acrouter: need at least one --shard\n");
+    usage(argv[0]);
+    return 2;
+  }
+  if (Opts.SocketPath.empty() && Opts.ListenAddr.empty()) {
+    std::fprintf(stderr, "acrouter: need --socket or --listen\n");
+    return 2;
+  }
+
+  sigset_t Sigs;
+  sigemptyset(&Sigs);
+  sigaddset(&Sigs, SIGTERM);
+  sigaddset(&Sigs, SIGINT);
+  pthread_sigmask(SIG_BLOCK, &Sigs, nullptr);
+
+  Router R(Opts);
+  if (!R.start()) {
+    std::fprintf(stderr, "acrouter: cannot listen\n");
+    return 1;
+  }
+  if (!Opts.SocketPath.empty())
+    std::printf("acrouter: listening on %s (%zu shards)\n",
+                Opts.SocketPath.c_str(), Opts.Shards.size());
+  if (!Opts.ListenAddr.empty())
+    std::printf("acrouter: listening on tcp port %u (%zu shards)\n",
+                static_cast<unsigned>(R.tcpPort()), Opts.Shards.size());
+  std::fflush(stdout);
+  ac::support::Log::info(
+      "router.started",
+      {{"listen", Opts.ListenAddr},
+       {"shards", static_cast<uint64_t>(Opts.Shards.size())}});
+
+  timespec Tick{0, 200 * 1000 * 1000};
+  while (!R.draining()) {
+    int Sig = sigtimedwait(&Sigs, nullptr, &Tick);
+    if (Sig == SIGTERM || Sig == SIGINT)
+      break;
+  }
+
+  std::printf("acrouter: draining (finishing in-flight forwards)\n");
+  std::fflush(stdout);
+  R.stop();
+  std::printf("acrouter: drained, bye\n");
+  ac::support::Log::info("router.stopped", {});
+  return 0;
+}
