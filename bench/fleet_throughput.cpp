@@ -16,6 +16,12 @@
 // is 5x at 4 shards. Per shard count we also report p50/p99 client
 // latency and the remote-tier hit rate observed by the accached store.
 //
+// A second, overload-focused pass drives a deliberately small fleet at
+// 4x saturation with a 3:1 bulk:interactive mix, per-tenant quotas on.
+// Pass criteria: interactive p99 within 2x of its unloaded value, at
+// least 90% of sheds landing on bulk, zero starved tenants, and zero
+// byte diffs among completed answers.
+//
 // Results are printed as a table and written to BENCH_fleet.json
 // (linted by `aclint fleet`).
 //
@@ -31,11 +37,15 @@
 #include "support/Log.h"
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -278,6 +288,233 @@ int main() {
         {P, PR, Gets ? static_cast<double>(Hits) / Gets : 0.0});
   }
 
+  // Overload pass: the same warm pool against a deliberately small
+  // fleet (2 shards, 1 worker and a 4-slot queue each, per-tenant
+  // quotas on), first with interactive load alone, then with 4x the
+  // client count by adding a 3:1 bulk mix on top. The overload
+  // contract: the bulk flood is shed (staleness + quota), not queued
+  // ahead of interactive work, so interactive p99 stays within 2x of
+  // its unloaded value; at least 90% of sheds land on bulk; every
+  // tenant still completes work; and completed answers stay
+  // byte-identical to the reference.
+  struct OverloadResult {
+    double UnloadedP99 = 0, LoadedP99 = 0;
+    uint64_t InteractiveOk = 0, BulkOk = 0;
+    uint64_t ShedBulk = 0, ShedInteractive = 0, Busy = 0;
+    int Diffs = 0, StarvedTenants = 0;
+  } Ov;
+  {
+    std::string Dir = Root + "/overload";
+    std::filesystem::create_directories(Dir);
+    std::vector<std::unique_ptr<cache::RemoteCacheClient>> Remotes;
+    std::vector<std::unique_ptr<Server>> Shards;
+    router::RouterOptions RO;
+    for (unsigned I = 0; I != 2; ++I) {
+      Remotes.push_back(
+          std::make_unique<cache::RemoteCacheClient>(CO.SocketPath));
+      ServerOptions SO;
+      SO.SocketPath = "";
+      SO.ListenAddr = "127.0.0.1:0";
+      SO.Workers = 1;
+      SO.QueueCapacity = 4;
+      // Quotas on, sized so the paced interactive tenants never hit
+      // them: the sheds this pass measures come from bulk staleness.
+      SO.TenantQuotaRps = 2000;
+      SO.CacheDir = Dir + "/shard" + std::to_string(I);
+      SO.Remote = Remotes.back().get();
+      auto S = std::make_unique<Server>(SO);
+      if (!S->start()) {
+        std::printf("cannot start overload shard %u\n", I);
+        return 1;
+      }
+      RO.Shards.push_back("127.0.0.1:" + std::to_string(S->tcpPort()));
+      Shards.push_back(std::move(S));
+    }
+    RO.SocketPath = Dir + "/r.sock";
+    RO.RetryAfterMs = 2;
+    RO.HealthProbeMs = 200;
+    router::Router R(RO);
+    if (!R.start()) {
+      std::printf("cannot start overload router\n");
+      return 1;
+    }
+
+    const std::array<const char *, 4> FgTenants = {"fg0", "fg1", "fg2",
+                                                   "fg3"};
+    const std::array<const char *, 4> BulkTenants = {"bulk0", "bulk1",
+                                                     "bulk2", "bulk3"};
+    std::mutex TenantsM;
+    std::map<std::string, uint64_t> TenantOk;
+
+    // One interactive client: paced (2 ms think time) so the
+    // interactive load alone never saturates the fleet — the unloaded
+    // p99 is a real latency floor, not another congestion measurement.
+    auto interactiveClient = [&](unsigned Id, int Requests,
+                                 std::vector<double> &Lat,
+                                 std::atomic<uint64_t> &OkC,
+                                 std::atomic<uint64_t> &ShedC,
+                                 std::atomic<uint64_t> &BusyC,
+                                 std::atomic<int> &DiffsC) {
+      for (int I = 0; I != Requests; ++I) {
+        size_t Src = (Id * 131 + static_cast<size_t>(I) * 17) % PoolSize;
+        CheckRequest Req;
+        Req.Source = Pool[Src];
+        Req.Tenant = FgTenants[Id % FgTenants.size()];
+        Client C = Client::connect(RO.SocketPath);
+        CheckResponse Resp;
+        std::string Err;
+        auto TR = Clock::now();
+        bool Sent = C.check(Req, Resp, Err);
+        double Ms = msSince(TR);
+        if (!Sent) {
+          ++DiffsC;
+        } else if (Resp.Ok) {
+          Lat.push_back(Ms);
+          OkC.fetch_add(1);
+          if (snapshot(Resp) != Refs[Src])
+            ++DiffsC;
+          std::lock_guard<std::mutex> L(TenantsM);
+          TenantOk[Req.Tenant]++;
+        } else if (Resp.Err == ErrorCode::Shed) {
+          ShedC.fetch_add(1);
+        } else if (Resp.Err == ErrorCode::Busy) {
+          BusyC.fetch_add(1);
+        } else {
+          ++DiffsC; // interactive load must never see other errors here
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+    };
+
+    constexpr unsigned FgClients = 8;
+    constexpr int FgRequests = 40;
+    std::atomic<uint64_t> FgOk{0}, FgShed{0}, FgBusy{0};
+    std::atomic<int> OvDiffs{0};
+
+    // Phase 1: unloaded — interactive alone.
+    {
+      std::vector<std::vector<double>> Lat(FgClients);
+      std::vector<std::thread> Ts;
+      for (unsigned I = 0; I != FgClients; ++I)
+        Ts.emplace_back([&, I] {
+          interactiveClient(I, FgRequests, Lat[I], FgOk, FgShed, FgBusy,
+                            OvDiffs);
+        });
+      for (std::thread &T : Ts)
+        T.join();
+      std::vector<double> All;
+      for (const std::vector<double> &L : Lat)
+        All.insert(All.end(), L.begin(), L.end());
+      Ov.UnloadedP99 = percentile(All, 0.99);
+    }
+
+    // Teach both shards that slow requests exist: a handful of held
+    // requests (server-side debug delay) push the observed p99 service
+    // time to tens of milliseconds, so a bulk deadline below it is
+    // recognisably hopeless — the condition staleness shedding tests.
+    {
+      std::vector<std::thread> Ts;
+      for (unsigned I = 0; I != 12; ++I)
+        Ts.emplace_back([&, I] {
+          corpus::SyntheticSpec Spec;
+          Spec.Name = "ovslow" + std::to_string(I);
+          Spec.TargetFunctions = 1;
+          Spec.StatementsPerFunction = 4;
+          Spec.Seed = 9000 + I;
+          CheckRequest Req;
+          Req.Source = corpus::generateSyntheticProgram(Spec);
+          Req.DebugDelayMs = 30;
+          Client C = Client::connect(RO.SocketPath);
+          CheckResponse Resp;
+          std::string Err;
+          C.checkRetry(Req, Resp, Err);
+        });
+      for (std::thread &T : Ts)
+        T.join();
+    }
+
+    // Phase 2: 4x saturation — the same interactive load plus a 3:1
+    // bulk flood. Half the bulk carries a 5 ms deadline (hopeless
+    // against the ~30 ms observed p99: shed on sight), half an ample
+    // one (queues into the bulk-capped slots, keeps bulk tenants fed).
+    std::atomic<uint64_t> BulkOk{0}, BulkShed{0}, BulkBusy{0};
+    double LoadedP99 = 0;
+    {
+      constexpr unsigned BulkClients = FgClients * 3; // 3:1 mix, 4x total
+      constexpr int BulkRequests = 40;
+      std::vector<std::vector<double>> Lat(FgClients);
+      std::vector<std::thread> Ts;
+      for (unsigned I = 0; I != FgClients; ++I)
+        Ts.emplace_back([&, I] {
+          interactiveClient(I, FgRequests, Lat[I], FgOk, FgShed, FgBusy,
+                            OvDiffs);
+        });
+      for (unsigned B = 0; B != BulkClients; ++B)
+        Ts.emplace_back([&, B] {
+          for (int I = 0; I != BulkRequests; ++I) {
+            size_t Src =
+                (B * 37 + static_cast<size_t>(I) * 11) % PoolSize;
+            CheckRequest Req;
+            Req.Source = Pool[Src];
+            Req.Prio = Priority::Bulk;
+            Req.Tenant = BulkTenants[B % BulkTenants.size()];
+            Req.TimeoutMs = (I % 2) ? 5u : 60000u;
+            Client C = Client::connect(RO.SocketPath);
+            CheckResponse Resp;
+            std::string Err;
+            // Viable bulk behaves like a real batch client: bounded
+            // busy retries. (checkRetry never retries `shed`, so a
+            // tenant locked out by quota still registers as starved.)
+            bool Sent = (I % 2) ? C.check(Req, Resp, Err)
+                                : C.checkRetry(Req, Resp, Err, 6, 2000);
+            if (!Sent) {
+              ++OvDiffs;
+            } else if (Resp.Ok) {
+              BulkOk.fetch_add(1);
+              if (snapshot(Resp) != Refs[Src])
+                ++OvDiffs;
+              std::lock_guard<std::mutex> L(TenantsM);
+              TenantOk[Req.Tenant]++;
+            } else if (Resp.Err == ErrorCode::Shed) {
+              BulkShed.fetch_add(1);
+            } else if (Resp.Err == ErrorCode::Busy ||
+                       Resp.Err == ErrorCode::DeadlineExceeded) {
+              BulkBusy.fetch_add(1);
+            } else {
+              ++OvDiffs;
+            }
+          }
+        });
+      for (std::thread &T : Ts)
+        T.join();
+      std::vector<double> All;
+      for (const std::vector<double> &L : Lat)
+        All.insert(All.end(), L.begin(), L.end());
+      LoadedP99 = percentile(All, 0.99);
+    }
+
+    Ov.LoadedP99 = LoadedP99;
+    Ov.InteractiveOk = FgOk.load();
+    Ov.BulkOk = BulkOk.load();
+    Ov.ShedBulk = BulkShed.load();
+    Ov.ShedInteractive = FgShed.load();
+    Ov.Busy = FgBusy.load() + BulkBusy.load();
+    Ov.Diffs = OvDiffs.load();
+    {
+      std::lock_guard<std::mutex> L(TenantsM);
+      for (const char *T : FgTenants)
+        if (!TenantOk[T])
+          ++Ov.StarvedTenants;
+      for (const char *T : BulkTenants)
+        if (!TenantOk[T])
+          ++Ov.StarvedTenants;
+    }
+
+    R.stop();
+    for (auto &S : Shards)
+      S->stop();
+  }
+
   Cached.stop();
 
   double Speedup4 = 0;
@@ -302,9 +539,37 @@ int main() {
   int TotalDiffs = Single.Diffs;
   for (const FleetRow &Row : Rows)
     TotalDiffs += Row.R.Diffs;
+  TotalDiffs += Ov.Diffs;
   if (TotalDiffs)
     std::printf("  FAIL: %d correctness diffs against the reference\n",
                 TotalDiffs);
+
+  // The overload verdict. The p99 bound gets a 1 ms floor so a
+  // sub-millisecond unloaded measurement on a fast box does not turn
+  // scheduler jitter into a failed bench.
+  uint64_t ShedsTotal = Ov.ShedBulk + Ov.ShedInteractive;
+  double BulkShedFrac =
+      ShedsTotal ? static_cast<double>(Ov.ShedBulk) / ShedsTotal : 1.0;
+  double P99Bound = 2.0 * std::max(Ov.UnloadedP99, 1.0);
+  bool OvLatencyOk = Ov.LoadedP99 <= P99Bound;
+  bool OvShedsOk = ShedsTotal >= 1 && BulkShedFrac >= 0.9;
+  bool OvPass = OvLatencyOk && OvShedsOk && Ov.StarvedTenants == 0 &&
+                Ov.Diffs == 0;
+  std::printf("overload (4x saturation, 3:1 bulk:interactive, quotas on)\n");
+  std::printf("  interactive p99              %7.2f ms unloaded -> %7.2f "
+              "ms loaded  (bound %.2f ms)%s\n",
+              Ov.UnloadedP99, Ov.LoadedP99, P99Bound,
+              OvLatencyOk ? "" : "  FAIL");
+  std::printf("  sheds                        %llu total, %.0f%% bulk  "
+              "(floor 90%%)%s\n",
+              static_cast<unsigned long long>(ShedsTotal),
+              BulkShedFrac * 100, OvShedsOk ? "" : "  FAIL");
+  std::printf("  completed                    %llu interactive, %llu bulk, "
+              "%llu busy/deadline, %d starved tenant(s), %d diffs\n",
+              static_cast<unsigned long long>(Ov.InteractiveOk),
+              static_cast<unsigned long long>(Ov.BulkOk),
+              static_cast<unsigned long long>(Ov.Busy), Ov.StarvedTenants,
+              Ov.Diffs);
 
   auto passJson = [](const PassResult &P) {
     Json J = Json::object();
@@ -332,6 +597,21 @@ int main() {
   Out.set("speedup_at_4", Speedup4);
   Out.set("target_speedup", 5);
   {
+    Json OvJ = Json::object();
+    OvJ.set("unloaded_interactive_p99_ms", Ov.UnloadedP99);
+    OvJ.set("loaded_interactive_p99_ms", Ov.LoadedP99);
+    OvJ.set("p99_bound_ms", P99Bound);
+    OvJ.set("sheds_total", ShedsTotal);
+    OvJ.set("sheds_bulk_fraction", BulkShedFrac);
+    OvJ.set("interactive_ok", Ov.InteractiveOk);
+    OvJ.set("bulk_ok", Ov.BulkOk);
+    OvJ.set("busy_or_deadline", Ov.Busy);
+    OvJ.set("starved_tenants", static_cast<int64_t>(Ov.StarvedTenants));
+    OvJ.set("diffs", static_cast<int64_t>(Ov.Diffs));
+    OvJ.set("pass", OvPass);
+    Out.set("overload", std::move(OvJ));
+  }
+  {
     FILE *F = std::fopen("BENCH_fleet.json", "w");
     if (F) {
       std::string S = Out.dump();
@@ -342,5 +622,5 @@ int main() {
     }
   }
   std::filesystem::remove_all(Root);
-  return (Speedup4 >= 5.0 && TotalDiffs == 0) ? 0 : 1;
+  return (Speedup4 >= 5.0 && TotalDiffs == 0 && OvPass) ? 0 : 1;
 }

@@ -71,6 +71,23 @@
 #      cleanly. Unless --skip-perf, the fleet benchmark then runs and
 #      its BENCH_fleet.json must lint (aclint fleet) with >= 5x speedup
 #      at 4 shards and a >= 0.9 multi-shard remote hit rate.
+#  11. Fleet soak: accached + three authenticated TCP shards (tenant
+#      quotas on) + acrouter, all real processes (ASan builds unless
+#      --skip-asan), under a SIGKILL/restart schedule — shard victims,
+#      gaps and the request mix all derived from one pinned seed
+#      (AC_SOAK_SEED, default 20260808, so a failing soak replays
+#      exactly). The load is bulk/interactive multi-tenant traffic via
+#      acc --priority/--tenant; every request must exit 0 with bytes
+#      identical to the checked-in goldens (mid-churn the router
+#      reroutes or acc degrades in-process — either way the bytes hold).
+#      Afterwards every shard's Prometheus exposition must lint with the
+#      overload counters present (aclint metrics --require), at least
+#      one shard must have per-tenant samples, and the fleet must drain
+#      cleanly.
+#
+# Every pass runs under a watchdog: if a single pass exceeds
+# AC_PASS_TIMEOUT seconds (default 900) the gate fails instead of
+# hanging — a stuck daemon wait or a deadlocked test is a finding.
 #
 # Usage: scripts/tier1.sh [--skip-tsan] [--skip-asan] [--skip-perf]
 #
@@ -91,7 +108,29 @@ for arg in "$@"; do
   esac
 done
 
-echo "=== tier-1 pass 1: normal build + ctest ==="
+# Per-pass watchdog: each `pass` banner re-arms a timer that fails the
+# whole gate if the pass runs past AC_PASS_TIMEOUT seconds. The TERM it
+# sends reaches the EXIT trap, so daemons still get cleaned up.
+PASS_TIMEOUT="${AC_PASS_TIMEOUT:-900}"
+WATCHDOG_PID=""
+disarm_watchdog() {
+  [[ -n "$WATCHDOG_PID" ]] || return 0
+  pkill -P "$WATCHDOG_PID" 2>/dev/null || true
+  kill "$WATCHDOG_PID" 2>/dev/null || true
+  WATCHDOG_PID=""
+}
+pass() {
+  disarm_watchdog
+  echo "=== $1 ==="
+  (
+    sleep "$PASS_TIMEOUT"
+    echo "tier-1: FAILED — '$1' exceeded its ${PASS_TIMEOUT}s watchdog" >&2
+    kill -TERM $$
+  ) &
+  WATCHDOG_PID=$!
+}
+
+pass "tier-1 pass 1: normal build + ctest"
 if ! cmake -B build -S . >/dev/null; then
   echo "tier-1: FAILED — cmake configure failed." >&2
   echo "tier-1: fix the configure error above (or delete build/ if its" >&2
@@ -104,7 +143,7 @@ cmake --build build -j >/dev/null
 if [[ "$SKIP_TSAN" == 1 ]]; then
   echo "=== tier-1 pass 2: skipped (--skip-tsan) ==="
 else
-  echo "=== tier-1 pass 2: ThreadSanitizer (parallel pipeline) ==="
+  pass "tier-1 pass 2: ThreadSanitizer (parallel pipeline)"
   if ! cmake -B build-tsan -S . -DAC_SANITIZE=thread >/dev/null; then
     echo "tier-1: FAILED — TSan cmake configure failed (see above)." >&2
     exit 1
@@ -122,11 +161,12 @@ else
   )
 fi
 
-echo "=== tier-1 pass 3: abstraction-cache round trip ==="
+pass "tier-1 pass 3: abstraction-cache round trip"
 CACHE_DIR="$(mktemp -d)"
 ACD_DIR=""
 ACD_PID=""
 cleanup() {
+  disarm_watchdog
   [[ -n "$ACD_PID" ]] && kill -KILL "$ACD_PID" 2>/dev/null || true
   rm -rf "$CACHE_DIR" ${ACD_DIR:+"$ACD_DIR"}
 }
@@ -148,7 +188,7 @@ grep '\[cache\]' <<<"$WARM_LOG" | sort | uniq -c
 if [[ "$SKIP_ASAN" == 1 ]]; then
   echo "=== tier-1 pass 4: skipped (--skip-asan) ==="
 else
-  echo "=== tier-1 pass 4: AddressSanitizer (service surface) ==="
+  pass "tier-1 pass 4: AddressSanitizer (service surface)"
   if ! cmake -B build-asan -S . -DAC_SANITIZE=address >/dev/null; then
     echo "tier-1: FAILED — ASan cmake configure failed (see above)." >&2
     exit 1
@@ -163,7 +203,7 @@ else
   )
 fi
 
-echo "=== tier-1 pass 5: daemon golden round trip (acd/acc) ==="
+pass "tier-1 pass 5: daemon golden round trip (acd/acc)"
 ACD_DIR="$(mktemp -d)"
 ACD="build/tools/acd"
 ACC="build/tools/acc"
@@ -222,7 +262,7 @@ if ! ls "$ACD_DIR"/cache/accache-v*.txt >/dev/null 2>&1; then
 fi
 echo "acd drained cleanly (socket removed, cache flushed)"
 
-echo "=== tier-1 pass 6: chaos (fault injection + daemon kill) ==="
+pass "tier-1 pass 6: chaos (fault injection + daemon kill)"
 # 6a. Every registered fault site, driven through failure and recovery.
 #     Under ASan when available: injected faults must not leak either.
 if [[ "$SKIP_ASAN" == 1 ]]; then
@@ -326,7 +366,7 @@ if [[ "$ACD_RC" != 0 ]]; then
 fi
 echo "fresh acd reclaimed the stale socket and drained cleanly"
 
-echo "=== tier-1 pass 7: observability (tracing, rule profile, metrics) ==="
+pass "tier-1 pass 7: observability (tracing, rule profile, metrics)"
 ACLINT="build/tools/aclint"
 cmake --build build -j --target aclint >/dev/null
 OBS_DIR="$ACD_DIR/obs"
@@ -380,7 +420,10 @@ if ! "$ACLINT" trace "$OBS_DIR/traces/tier1-pass7.json" \
   exit 1
 fi
 "$ACC" --socket "$SOCK7" --metrics >"$OBS_DIR/metrics.txt"
-if ! "$ACLINT" metrics "$OBS_DIR/metrics.txt"; then
+if ! "$ACLINT" metrics "$OBS_DIR/metrics.txt" \
+    --require acd_requests_completed_total \
+    --require acd_requests_shed_total \
+    --require acd_requests_quota_rejected_total; then
   echo "tier-1: FAILED — daemon metrics exposition did not lint." >&2
   exit 1
 fi
@@ -434,7 +477,7 @@ echo "torn trace write warned without failing the check"
 if [[ "$SKIP_PERF" == 1 ]]; then
   echo "=== tier-1 pass 8: skipped (--skip-perf) ==="
 else
-  echo "=== tier-1 pass 8: perf floor (hash-consed kernel) ==="
+  pass "tier-1 pass 8: perf floor (hash-consed kernel)"
   PERF_BASE="bench/baselines/seed-perf.txt"
   if [[ ! -f "$PERF_BASE" ]]; then
     echo "tier-1: FAILED — $PERF_BASE missing (seed perf baseline)." >&2
@@ -500,7 +543,7 @@ else
   echo "WA/HL span shares at or below the seed's recorded shares"
 fi
 
-echo "=== tier-1 pass 9: proof certificates (acpc round trips) ==="
+pass "tier-1 pass 9: proof certificates (acpc round trips)"
 ACPC="build/tools/acpc"
 cmake --build build -j --target acpc aclint >/dev/null
 CERT_T1="$ACD_DIR/certs"
@@ -655,7 +698,7 @@ else
        "enabled ${WON}s within ${MAX_RATIO}x"
 fi
 
-echo "=== tier-1 pass 10: fleet (TCP auth, acrouter, remote cache tier) ==="
+pass "tier-1 pass 10: fleet (TCP auth, acrouter, remote cache tier)"
 cmake --build build -j --target acd acc acrouter accached aclint \
   fleet_throughput >/dev/null
 FLEET="$ACD_DIR/fleet"
@@ -886,4 +929,196 @@ else
   echo "fleet benchmark held its floor and its artifact linted"
 fi
 
+pass "tier-1 pass 11: fleet soak (seeded SIGKILL churn, priorities + tenants)"
+SOAK_SEED="${AC_SOAK_SEED:-20260808}"
+if [[ "$SKIP_ASAN" == 1 ]]; then
+  SOAK_BUILD=build
+  cmake --build build -j --target acd acc acrouter accached aclint >/dev/null
+else
+  SOAK_BUILD=build-asan
+  cmake --build build-asan -j --target acd acc acrouter accached >/dev/null
+  cmake --build build -j --target aclint >/dev/null
+fi
+SACD="$SOAK_BUILD/tools/acd"
+SACC="$SOAK_BUILD/tools/acc"
+SACROUTER="$SOAK_BUILD/tools/acrouter"
+SACCACHED="$SOAK_BUILD/tools/accached"
+SOAK="$ACD_DIR/soak"
+mkdir -p "$SOAK"
+STOK="$SOAK/token"
+echo "tier1-soak-secret" >"$STOK"
+# The soak asserts memory safety during the run; leak accounting at
+# SIGKILL/exit is noise here, not signal.
+export ASAN_OPTIONS="detect_leaks=0"
+
+# The whole schedule — request mix, churn victims, gap lengths — derives
+# from one pinned seed through a plain LCG, so a failing soak replays
+# exactly with AC_SOAK_SEED.
+mapfile -t RAND < <(awk -v s="$SOAK_SEED" 'BEGIN {
+  for (i = 0; i < 64; i++) {
+    s = (s * 1103515245 + 12345) % 2147483648
+    print int(s / 65536) % 32768
+  }
+}')
+echo "soak seed $SOAK_SEED"
+
+# 11a. Boot: accached, three quota-enabled shards, the router.
+"$SACCACHED" --listen 127.0.0.1:0 --auth-token-file "$STOK" \
+  >"$SOAK/accached.log" 2>&1 &
+SC_PID=$!
+FLEET_PIDS+=("$SC_PID")
+SCPORT="$(port_of "$SOAK/accached.log")"
+if [[ -z "$SCPORT" ]]; then
+  echo "tier-1: FAILED — soak accached did not announce its port:" >&2
+  cat "$SOAK/accached.log" >&2
+  exit 1
+fi
+soak_shard() { # name listen-port(0=ephemeral); pid in $!
+  "$SACD" --socket none --listen "127.0.0.1:$2" --auth-token-file "$STOK" \
+    --shard-id "$1" --cache-dir "$SOAK/cache-$1" \
+    --remote-cache "127.0.0.1:$SCPORT" --remote-token-file "$STOK" \
+    --tenant-quota-rps 200 >"$SOAK/$1.log" 2>&1 &
+}
+declare -a SPORT SPID
+for i in 0 1 2; do
+  soak_shard "soak$i" 0
+  SPID[$i]=$!
+  FLEET_PIDS+=("${SPID[$i]}")
+done
+for i in 0 1 2; do
+  SPORT[$i]="$(port_of "$SOAK/soak$i.log")"
+  if [[ -z "${SPORT[$i]}" ]]; then
+    echo "tier-1: FAILED — soak shard $i did not announce its port:" >&2
+    cat "$SOAK/soak$i.log" >&2
+    exit 1
+  fi
+done
+"$SACROUTER" --listen 127.0.0.1:0 --auth-token-file "$STOK" \
+  --shard "127.0.0.1:${SPORT[0]}" --shard "127.0.0.1:${SPORT[1]}" \
+  --shard "127.0.0.1:${SPORT[2]}" --shard-token-file "$STOK" \
+  >"$SOAK/router.log" 2>&1 &
+SR_PID=$!
+FLEET_PIDS+=("$SR_PID")
+SRPORT="$(port_of "$SOAK/router.log")"
+if [[ -z "$SRPORT" ]]; then
+  echo "tier-1: FAILED — soak acrouter did not announce its port:" >&2
+  cat "$SOAK/router.log" >&2
+  exit 1
+fi
+SOAKR=(--router "127.0.0.1:$SRPORT" --auth-token-file "$STOK")
+for _ in $(seq 100); do
+  "$SACC" "${SOAKR[@]}" --ping >/dev/null 2>&1 && break
+  sleep 0.1
+done
+
+# 11b. The load: 40 requests, 3:1 bulk:interactive, three tenants, the
+#      corpus/tenant picks seeded. Runs concurrently with the churn.
+#      The contract is strict: every request exits 0 carrying the exact
+#      golden bytes — a SIGKILLed shard costs a reroute or an in-process
+#      fallback, never an error and never a byte.
+SOAK_CORPORA=(max gcd swap midpoint reverse)
+SOAK_TENANTS=(t0 t1 t2)
+(
+  rc=0
+  for i in $(seq 0 39); do
+    r="${RAND[$(( i % 64 ))]}"
+    c="${SOAK_CORPORA[$(( (r + i) % 5 ))]}"
+    t="${SOAK_TENANTS[$(( (r / 5 + i) % 3 ))]}"
+    prio=bulk
+    [[ $(( i % 4 )) -eq 0 ]] && prio=interactive
+    out="$SOAK/req-$i.out"
+    if ! "$SACC" "${SOAKR[@]}" --priority "$prio" --tenant "$t" \
+        --trace-id "soak-$i" --corpus "$c" --golden \
+        >"$out" 2>>"$SOAK/load.err"; then
+      echo "soak request $i ($c, $prio, tenant $t) failed" >>"$SOAK/load.err"
+      rc=1
+    elif ! cmp -s "$out" "tests/golden/$c.expected"; then
+      echo "soak request $i ($c, $prio, tenant $t) diverged from golden" \
+        >>"$SOAK/load.err"
+      rc=1
+    fi
+  done
+  echo "$rc" >"$SOAK/load.rc"
+) &
+LOAD_PID=$!
+
+# 11c. The churn: three seeded rounds of SIGKILL + same-port restart,
+#      with one accached outage in the middle.
+for round in 0 1 2; do
+  v=$(( ${RAND[$(( 40 + round * 3 ))]} % 3 ))
+  g1=$(( 150 + ${RAND[$(( 41 + round * 3 ))]} % 300 ))
+  g2=$(( 100 + ${RAND[$(( 42 + round * 3 ))]} % 200 ))
+  kill -KILL "${SPID[$v]}" 2>/dev/null || true
+  sleep "$(awk -v m="$g1" 'BEGIN { printf "%.3f", m / 1000 }')"
+  soak_shard "soak$v" "${SPORT[$v]}"
+  SPID[$v]=$!
+  FLEET_PIDS+=("${SPID[$v]}")
+  if [[ "$round" -eq 1 ]]; then
+    kill -KILL "$SC_PID" 2>/dev/null || true
+    sleep 0.1
+    "$SACCACHED" --listen "127.0.0.1:$SCPORT" --auth-token-file "$STOK" \
+      >"$SOAK/accached-restart.log" 2>&1 &
+    SC_PID=$!
+    FLEET_PIDS+=("$SC_PID")
+  fi
+  sleep "$(awk -v m="$g2" 'BEGIN { printf "%.3f", m / 1000 }')"
+done
+LOAD_JOIN_RC=0
+wait "$LOAD_PID" || LOAD_JOIN_RC=$?
+LOAD_RC="$(cat "$SOAK/load.rc" 2>/dev/null || echo 1)"
+if [[ "$LOAD_JOIN_RC" != 0 || "$LOAD_RC" != 0 ]]; then
+  echo "tier-1: FAILED — soak load lost requests or bytes under churn" \
+       "(AC_SOAK_SEED=$SOAK_SEED replays this schedule):" >&2
+  cat "$SOAK/load.err" >&2 || true
+  tail -20 "$SOAK/router.log" >&2
+  exit 1
+fi
+echo "40 soak requests all exit 0 and byte-identical under seeded churn"
+
+# 11d. The overload counters survived into every shard's exposition,
+#      and at least one shard carries per-tenant samples (a freshly
+#      restarted shard may legitimately have an empty tenant ledger).
+TENANT_SEEN=0
+for i in 0 1 2; do
+  "$SACC" --router "127.0.0.1:${SPORT[$i]}" --auth-token-file "$STOK" \
+    --metrics >"$SOAK/metrics-$i.txt"
+  if ! "$ACLINT" metrics "$SOAK/metrics-$i.txt" \
+      --require acd_requests_shed_total \
+      --require acd_requests_quota_rejected_total; then
+    echo "tier-1: FAILED — soak shard $i metrics lost the overload" \
+         "counters (see findings above)." >&2
+    exit 1
+  fi
+  if grep -q '^acd_tenant_admitted_total{.*tenant=' "$SOAK/metrics-$i.txt"; then
+    TENANT_SEEN=1
+  fi
+done
+if [[ "$TENANT_SEEN" != 1 ]]; then
+  echo "tier-1: FAILED — no soak shard exposed per-tenant samples." >&2
+  exit 1
+fi
+echo "overload counters present on every shard; tenant ledger populated"
+
+# 11e. Drain: router first, then the shards and the store, all exit 0.
+"$SACC" "${SOAKR[@]}" --drain >/dev/null
+SR_RC=0
+wait "$SR_PID" || SR_RC=$?
+if [[ "$SR_RC" != 0 ]]; then
+  echo "tier-1: FAILED — soak acrouter exited $SR_RC on drain." >&2
+  exit 1
+fi
+for pid in "${SPID[@]}" "$SC_PID"; do
+  kill -TERM "$pid"
+  RC=0
+  wait "$pid" || RC=$?
+  if [[ "$RC" != 0 ]]; then
+    echo "tier-1: FAILED — a soak daemon exited $RC on SIGTERM." >&2
+    exit 1
+  fi
+done
+FLEET_PIDS=()
+unset ASAN_OPTIONS
+echo "soak fleet drained cleanly (router, three shards, accached)"
+
+disarm_watchdog
 echo "=== tier-1: all passes green ==="

@@ -28,6 +28,33 @@ using support::Socket;
 // rerouted answer must be byte-identical.
 static const FaultSite FaultRouterDial("router.dial.fail");
 static const FaultSite FaultRouterForward("router.forward.fail");
+// Overload decision points, armed by the chaos drivers so every breaker
+// and hedge transition is deterministically reachable: trip forces the
+// breaker open on the next transport failure (ignoring the threshold),
+// halfopen forces the next probe round to spend the half-open trial
+// (ignoring the cooldown), hedge forces the next hedgeable forward to
+// dispatch its duplicate immediately (ignoring the budget fraction).
+static const FaultSite FaultBreakerTrip("router.breaker.trip");
+static const FaultSite FaultBreakerHalfOpen("router.breaker.halfopen");
+static const FaultSite FaultHedgeFire("router.hedge.fire");
+
+const char *ac::router::breakerName(Breaker B) {
+  switch (B) {
+  case Breaker::Closed:
+    return "closed";
+  case Breaker::Open:
+    return "open";
+  case Breaker::HalfOpen:
+    return "half_open";
+  }
+  return "closed";
+}
+
+static int64_t steadyNowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 /// One client connection (same shape as the acd server's).
 struct Router::Conn {
@@ -48,6 +75,8 @@ Router::Router(RouterOptions O) : Opts(std::move(O)) {
     Opts.VirtualNodes = 1;
   if (Opts.MaxInFlightPerShard == 0)
     Opts.MaxInFlightPerShard = 1;
+  if (Opts.BreakerThreshold == 0)
+    Opts.BreakerThreshold = 1;
 }
 
 Router::~Router() { stop(); }
@@ -155,6 +184,12 @@ void Router::stop() {
       ::shutdown(C->Sock.fd(), SHUT_RDWR);
     ConnsCV.wait(L, [&] { return Conns.empty(); });
   }
+  // A hedge's losing attempt can outlive its request; wait it out so no
+  // detached thread touches ShardList after we return.
+  {
+    std::unique_lock<std::mutex> L(AttemptsM);
+    AttemptsCV.wait(L, [&] { return Attempts.load() == 0; });
+  }
   Listen.close();
   ListenTcp.close();
   if (!Opts.SocketPath.empty())
@@ -183,9 +218,28 @@ void Router::probeLoop() {
       std::this_thread::sleep_for(std::chrono::milliseconds(20));
     if (Stopping.load())
       return;
+    // The retry budget's "recent" window decays here: halving both
+    // counters every probe round keeps the ratio meaningful without a
+    // timestamped log of forwards.
+    RecentForwards.store(RecentForwards.load() / 2);
+    RecentRetries.store(RecentRetries.load() / 2);
     for (const std::unique_ptr<ShardState> &S : ShardList) {
       if (Stopping.load())
         return;
+      Breaker B = S->breaker();
+      if (B == Breaker::Open) {
+        // An open breaker sits out its cooldown, then spends exactly one
+        // half-open trial probe per round.
+        bool CooldownOver =
+            steadyNowMs() - S->OpenedAtMs.load() >=
+            static_cast<int64_t>(Opts.BreakerCooldownMs);
+        if (!CooldownOver && !FaultBreakerHalfOpen.fire())
+          continue;
+        S->BreakerState.store(static_cast<int>(Breaker::HalfOpen));
+        support::Log::info("router.breaker_half_open",
+                           {{"shard", S->Addr}});
+        B = Breaker::HalfOpen;
+      }
       // A fresh dial per probe, deliberately outside the fault sites:
       // chaos drivers arm router.dial.fail for the *forward* path, and
       // a probe racing in must not consume the armed failure.
@@ -193,15 +247,26 @@ void Router::probeLoop() {
       service::Client C =
           service::Client::connectTcp(S->Addr, Opts.ShardToken, Err);
       bool Up = C.connected() && C.ping(Err);
-      bool Was = S->Healthy.exchange(Up);
-      if (Was != Up)
-        support::Log::warn(Up ? "router.shard_up" : "router.shard_down",
-                           {{"shard", S->Addr}});
-      if (!Up) {
-        // A dead shard's pooled connections are dead too.
+      if (Up) {
+        S->ConsecFails.store(0);
+        int Prev =
+            S->BreakerState.exchange(static_cast<int>(Breaker::Closed));
+        if (Prev != static_cast<int>(Breaker::Closed))
+          support::Log::warn("router.shard_up", {{"shard", S->Addr}});
+        continue;
+      }
+      if (B == Breaker::HalfOpen) {
+        // The single trial failed: back to open, cooldown restarts.
+        S->OpenedAtMs.store(steadyNowMs());
+        S->BreakerState.store(static_cast<int>(Breaker::Open));
+        support::Log::warn("router.breaker_reopen", {{"shard", S->Addr}});
         std::lock_guard<std::mutex> L(S->PoolM);
         S->Pool.clear();
+        continue;
       }
+      // Closed shard failing its probe: counts toward the same
+      // consecutive-failure threshold as a failed forward.
+      noteForwardFailure(*S);
     }
   }
 }
@@ -356,6 +421,147 @@ bool Router::forwardTo(ShardState &S, const CheckRequest &Req,
   return true;
 }
 
+void Router::noteForwardFailure(ShardState &S) {
+  S.Errors.fetch_add(1);
+  {
+    // Whatever tore this attempt has likely torn the idle pool too.
+    std::lock_guard<std::mutex> L(S.PoolM);
+    S.Pool.clear();
+  }
+  unsigned Fails = S.ConsecFails.fetch_add(1) + 1;
+  bool Trip = Fails >= Opts.BreakerThreshold || FaultBreakerTrip.fire();
+  if (!Trip)
+    return;
+  int Prev = S.BreakerState.exchange(static_cast<int>(Breaker::Open));
+  if (Prev != static_cast<int>(Breaker::Open)) {
+    S.OpenedAtMs.store(steadyNowMs());
+    S.Trips.fetch_add(1);
+    support::Log::warn("router.breaker_open",
+                       {{"shard", S.Addr},
+                        {"consecutive_failures", Fails}});
+  }
+}
+
+size_t Router::pickShard(uint64_t Key, const std::vector<bool> &Tried,
+                         size_t Exclude) const {
+  auto It = Ring.lower_bound(Key);
+  for (size_t Steps = 0; Steps != Ring.size(); ++Steps, ++It) {
+    if (It == Ring.end())
+      It = Ring.begin();
+    size_t Cand = It->second;
+    if (Cand != Exclude && !Tried[Cand] && ShardList[Cand]->healthy())
+      return Cand;
+  }
+  return SIZE_MAX;
+}
+
+bool Router::spendRetryToken() {
+  // Retries (reroutes + hedges) are capped at RetryBudgetPct of the
+  // decayed forward count, plus a small floor so the first failure on a
+  // quiet router can still reroute. Check-then-add races only over-admit
+  // by the handful of threads in flight — the budget is a storm valve,
+  // not an exact quota.
+  uint64_t Forwards = RecentForwards.load();
+  uint64_t Retries = RecentRetries.load();
+  if (Retries >= Forwards * Opts.RetryBudgetPct / 100 + 4)
+    return false;
+  RecentRetries.fetch_add(1);
+  return true;
+}
+
+bool Router::hedgedForward(size_t PrimaryIdx, uint64_t Key,
+                           std::vector<bool> &Tried, size_t &TriedCount,
+                           const CheckRequest &Fwd, CheckResponse &Out,
+                           size_t &Winner) {
+  // First *successful* answer wins; both failing is a plain failure.
+  // Responses are byte-identical by construction (every shard runs the
+  // same pipeline), so the loser is pure waste — usually cheap waste,
+  // because the winner's write-through makes it a remote-cache hit.
+  struct State {
+    std::mutex M;
+    std::condition_variable CV;
+    int Pending = 0;
+    bool HaveWin = false;
+    CheckResponse WinResp;
+    size_t WinIdx = 0;
+    std::vector<size_t> Failed;
+  };
+  auto St = std::make_shared<State>();
+  auto launch = [&](size_t Idx) {
+    {
+      std::lock_guard<std::mutex> L(St->M);
+      St->Pending++;
+    }
+    Attempts.fetch_add(1);
+    std::thread([this, St, Idx, Req = Fwd] {
+      CheckResponse Resp;
+      bool Ok = forwardTo(*ShardList[Idx], Req, Resp);
+      if (!Ok)
+        noteForwardFailure(*ShardList[Idx]);
+      ShardList[Idx]->InFlight.fetch_sub(1);
+      {
+        std::lock_guard<std::mutex> L(St->M);
+        St->Pending--;
+        if (Ok && !St->HaveWin) {
+          St->HaveWin = true;
+          St->WinResp = std::move(Resp);
+          St->WinIdx = Idx;
+        } else if (!Ok) {
+          St->Failed.push_back(Idx);
+        }
+        St->CV.notify_all();
+      }
+      {
+        std::lock_guard<std::mutex> L(AttemptsM);
+        Attempts.fetch_sub(1);
+        AttemptsCV.notify_all();
+      }
+    }).detach();
+  };
+  launch(PrimaryIdx);
+  unsigned DelayMs = static_cast<unsigned>(
+      static_cast<uint64_t>(Fwd.TimeoutMs) * Opts.HedgeBudgetPct / 100);
+  if (FaultHedgeFire.fire())
+    DelayMs = 0;
+  std::unique_lock<std::mutex> L(St->M);
+  St->CV.wait_for(L, std::chrono::milliseconds(DelayMs),
+                  [&] { return St->HaveWin || St->Pending == 0; });
+  if (!St->HaveWin && St->Pending > 0) {
+    // The primary is still out past the hedge point: duplicate to a
+    // routable alternate if the window and the retry budget allow.
+    size_t HedgeIdx = pickShard(Key, Tried, PrimaryIdx);
+    if (HedgeIdx != SIZE_MAX && spendRetryToken()) {
+      ShardState &A = *ShardList[HedgeIdx];
+      unsigned Cur = A.InFlight.fetch_add(1) + 1;
+      if (Cur > Opts.MaxInFlightPerShard) {
+        A.InFlight.fetch_sub(1); // window full: no hedge, keep waiting
+      } else {
+        Hedges.fetch_add(1);
+        support::Log::info("router.hedge_fired",
+                           {{"trace_id", Fwd.TraceId},
+                            {"primary", ShardList[PrimaryIdx]->Addr},
+                            {"hedge", A.Addr}});
+        L.unlock();
+        launch(HedgeIdx);
+        L.lock();
+      }
+    }
+  }
+  St->CV.wait(L, [&] { return St->HaveWin || St->Pending == 0; });
+  for (size_t Idx : St->Failed)
+    if (!Tried[Idx]) {
+      Tried[Idx] = true;
+      ++TriedCount;
+    }
+  if (!St->HaveWin)
+    return false;
+  if (St->WinIdx != PrimaryIdx)
+    HedgeWins.fetch_add(1);
+  Out = std::move(St->WinResp);
+  Winner = St->WinIdx;
+  return true;
+}
+
 void Router::handleCheck(const std::shared_ptr<Conn> &C, CheckRequest Req) {
   Received.fetch_add(1);
   auto Admitted = std::chrono::steady_clock::now();
@@ -372,11 +578,12 @@ void Router::handleCheck(const std::shared_ptr<Conn> &C, CheckRequest Req) {
   }
 
   uint64_t Key = routingKey(Req);
-  // Walk the ring from the key's successor: the first healthy, untried
+  // Walk the ring from the key's successor: the first routable, untried
   // shard in ring order serves the request. Ring order (not shard-list
   // order) keeps rerouted keys spread instead of dogpiling shard 0.
   std::vector<bool> Tried(ShardList.size(), false);
   size_t TriedCount = 0;
+  bool FirstAttempt = true;
   Forwarding.fetch_add(1);
   while (TriedCount < ShardList.size()) {
     // Deadline propagation: each attempt forwards only the remaining
@@ -398,21 +605,22 @@ void Router::handleCheck(const std::shared_ptr<Conn> &C, CheckRequest Req) {
       }
       Fwd.TimeoutMs = Req.TimeoutMs - static_cast<unsigned>(ElapsedMs);
     }
-    // Next healthy untried shard in ring order from the key.
-    size_t Idx = SIZE_MAX;
-    auto It = Ring.lower_bound(Key);
-    for (size_t Steps = 0; Steps != Ring.size(); ++Steps, ++It) {
-      if (It == Ring.end())
-        It = Ring.begin();
-      size_t Cand = It->second;
-      if (!Tried[Cand] && ShardList[Cand]->Healthy.load()) {
-        Idx = Cand;
-        break;
-      }
+    // Every attempt after the first is a retry and must fit the retry
+    // budget — a sick fleet degrades to fallback, never to a storm.
+    if (!FirstAttempt && !spendRetryToken()) {
+      RetryBudgetDenied.fetch_add(1);
+      support::Log::warn("router.retry_budget_exhausted",
+                         {{"trace_id", Req.TraceId}});
+      break; // degrade: fallback or busy below
     }
+    // Next routable untried shard in ring order from the key.
+    size_t Idx = pickShard(Key, Tried);
     if (Idx == SIZE_MAX)
-      break; // no healthy shard left
+      break; // no routable shard left
     ShardState &S = *ShardList[Idx];
+    if (FirstAttempt)
+      RecentForwards.fetch_add(1);
+    FirstAttempt = false;
     // Bounded in-flight window: backpressure instead of stacking onto a
     // loaded shard. No reroute — moving overflow to another shard would
     // defeat cache affinity; the client's retry obeys retry_after_ms.
@@ -427,27 +635,30 @@ void Router::handleCheck(const std::shared_ptr<Conn> &C, CheckRequest Req) {
       return;
     }
     CheckResponse Out;
-    bool Ok = forwardTo(S, Fwd, Out);
-    S.InFlight.fetch_sub(1);
+    size_t Winner = Idx;
+    bool Ok;
+    if (Opts.HedgeBudgetPct && Fwd.TimeoutMs && ShardList.size() > 1) {
+      // hedgedForward owns the window decrement (its attempt threads
+      // can outlive this frame) and Tried bookkeeping for failures.
+      Ok = hedgedForward(Idx, Key, Tried, TriedCount, Fwd, Out, Winner);
+    } else {
+      Ok = forwardTo(S, Fwd, Out);
+      S.InFlight.fetch_sub(1);
+      if (!Ok) {
+        // Transport failure: count it against the breaker (K trips it;
+        // the prober closes it again) and reroute to the next ring node.
+        noteForwardFailure(S);
+        Tried[Idx] = true;
+        ++TriedCount;
+      }
+    }
     if (Ok) {
-      S.Forwarded.fetch_add(1);
+      ShardList[Winner]->Forwarded.fetch_add(1);
       Completed.fetch_add(1);
       Forwarding.fetch_sub(1);
       respond(Out);
       return;
     }
-    // Transport failure: mark the shard down (the prober revives it)
-    // and reroute to the next healthy ring node.
-    S.Errors.fetch_add(1);
-    if (S.Healthy.exchange(false))
-      support::Log::warn("router.shard_down",
-                         {{"shard", S.Addr}, {"reason", "forward failed"}});
-    {
-      std::lock_guard<std::mutex> L(S.PoolM);
-      S.Pool.clear();
-    }
-    Tried[Idx] = true;
-    ++TriedCount;
     Rerouted.fetch_add(1);
   }
   // Last resort: every shard is down. The in-process path produces a
@@ -480,11 +691,18 @@ ac::support::Json Router::statsJson() {
   J.set("fallbacks", Fallbacks.load());
   J.set("window_busy", WindowBusy.load());
   J.set("forwarding", static_cast<uint64_t>(Forwarding.load()));
+  J.set("hedges", Hedges.load());
+  J.set("hedge_wins", HedgeWins.load());
+  J.set("retry_budget_exhausted", RetryBudgetDenied.load());
+  J.set("recent_forwards", RecentForwards.load());
+  J.set("recent_retries", RecentRetries.load());
   Json Shards = Json::array();
   for (const std::unique_ptr<ShardState> &S : ShardList) {
     Json SJ = Json::object();
     SJ.set("addr", S->Addr);
-    SJ.set("healthy", S->Healthy.load());
+    SJ.set("healthy", S->healthy());
+    SJ.set("breaker", breakerName(S->breaker()));
+    SJ.set("breaker_trips", S->Trips.load());
     SJ.set("in_flight", static_cast<uint64_t>(S->InFlight.load()));
     SJ.set("forwarded", S->Forwarded.load());
     SJ.set("errors", S->Errors.load());

@@ -75,14 +75,46 @@ struct RouterOptions {
   unsigned HealthProbeMs = 250;
   /// Degrade to the in-process pipeline when no shard is reachable.
   bool LocalFallback = true;
+  /// Circuit breaker: this many *consecutive* transport failures
+  /// (forward or probe) open a shard's breaker. An open breaker removes
+  /// the shard from routing until a half-open probe succeeds.
+  unsigned BreakerThreshold = 3;
+  /// How long an open breaker waits before the prober is allowed its
+  /// single half-open probe.
+  unsigned BreakerCooldownMs = 500;
+  /// Retry budget: reroutes + hedges are capped at this percentage of
+  /// recent first-attempt forwards (plus a small constant floor so a
+  /// quiet router can still reroute). A sick fleet degrades to local
+  /// fallback instead of melting down in a retry storm.
+  unsigned RetryBudgetPct = 20;
+  /// Hedge trigger: a forward that has consumed this percentage of its
+  /// remaining deadline budget without answering dispatches a duplicate
+  /// to a healthy alternate shard and takes the first answer (safe —
+  /// every shard computes byte-identical responses). 0 disables
+  /// hedging; requests without a deadline are never hedged.
+  unsigned HedgeBudgetPct = 70;
 };
 
-/// Live per-shard state: health, the in-flight window, and an idle
-/// connection pool (forwards re-use authenticated connections; a torn
-/// one is dropped and re-dialed).
+/// Circuit-breaker states of one shard. Closed = routing normally;
+/// Open = removed from routing after BreakerThreshold consecutive
+/// transport failures; HalfOpen = the cooldown elapsed and the prober is
+/// spending its single trial probe.
+enum class Breaker : int { Closed = 0, Open = 1, HalfOpen = 2 };
+
+const char *breakerName(Breaker B);
+
+/// Live per-shard state: the circuit breaker, the in-flight window, and
+/// an idle connection pool (forwards re-use authenticated connections; a
+/// torn one is dropped and re-dialed).
 struct ShardState {
   std::string Addr;
-  std::atomic<bool> Healthy{true};
+  std::atomic<int> BreakerState{static_cast<int>(Breaker::Closed)};
+  /// Consecutive transport failures; reset by any success.
+  std::atomic<unsigned> ConsecFails{0};
+  /// steady_clock milliseconds when the breaker last opened (cooldown
+  /// anchor for the half-open transition).
+  std::atomic<int64_t> OpenedAtMs{0};
+  std::atomic<uint64_t> Trips{0};
   std::atomic<unsigned> InFlight{0};
   std::atomic<uint64_t> Forwarded{0};
   std::atomic<uint64_t> Errors{0};
@@ -90,6 +122,13 @@ struct ShardState {
   std::vector<service::Client> Pool;
 
   explicit ShardState(std::string A) : Addr(std::move(A)) {}
+
+  Breaker breaker() const {
+    return static_cast<Breaker>(BreakerState.load());
+  }
+  /// A shard is routable only with its breaker closed (half-open admits
+  /// the prober's single trial, never client traffic).
+  bool healthy() const { return breaker() == Breaker::Closed; }
 };
 
 /// The router daemon.
@@ -131,11 +170,36 @@ private:
                    service::CheckRequest Req);
   void probeLoop();
 
-  /// One forward attempt to \p S. False on transport failure (the shard
-  /// is then marked down); a daemon-side rejection is a successful
-  /// round-trip.
+  /// One forward attempt to \p S. False on transport failure; a
+  /// daemon-side rejection is a successful round-trip.
   bool forwardTo(ShardState &S, const service::CheckRequest &Req,
                  service::CheckResponse &Out);
+
+  /// Records a transport failure against \p S: drops its pooled
+  /// connections, bumps the consecutive-failure count, and trips the
+  /// breaker open at the threshold (or when the router.breaker.trip
+  /// fault site fires).
+  void noteForwardFailure(ShardState &S);
+
+  /// The first routable untried shard in ring order from \p Key, or
+  /// SIZE_MAX. \p Exclude is skipped (the hedge's primary shard).
+  size_t pickShard(uint64_t Key, const std::vector<bool> &Tried,
+                   size_t Exclude = SIZE_MAX) const;
+
+  /// Consumes one retry-budget token if the budget allows another
+  /// reroute/hedge right now.
+  bool spendRetryToken();
+
+  /// Forward to the primary with hedging: if the primary has not
+  /// answered by HedgeBudgetPct of the request's remaining budget and a
+  /// routable alternate exists (within the retry budget), dispatch a
+  /// duplicate and take the first successful answer. Marks failed
+  /// attempts in \p Tried / \p TriedCount; \p Winner is the shard whose
+  /// answer was used.
+  bool hedgedForward(size_t PrimaryIdx, uint64_t Key,
+                     std::vector<bool> &Tried, size_t &TriedCount,
+                     const service::CheckRequest &Fwd,
+                     service::CheckResponse &Out, size_t &Winner);
 
   support::Json statsJson();
 
@@ -147,6 +211,15 @@ private:
 
   std::atomic<uint64_t> Received{0}, Completed{0}, Rerouted{0},
       Fallbacks{0}, WindowBusy{0};
+  std::atomic<uint64_t> Hedges{0}, HedgeWins{0}, RetryBudgetDenied{0};
+  /// Exponentially decayed window (halved every probe round) backing
+  /// the retry budget: first-attempt forwards vs reroutes + hedges.
+  std::atomic<uint64_t> RecentForwards{0}, RecentRetries{0};
+  /// Outstanding asynchronous forward-attempt threads (hedging); stop()
+  /// waits for them so no thread outlives the shard list.
+  std::atomic<size_t> Attempts{0};
+  std::mutex AttemptsM;
+  std::condition_variable AttemptsCV;
 
   support::Socket Listen;
   support::Socket ListenTcp;

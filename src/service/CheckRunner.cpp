@@ -109,6 +109,8 @@ bool shouldFallBack(const CheckResponse &Resp) {
   case ErrorCode::ParseError: // the *source* is broken; local == same
   case ErrorCode::AuthFailed: // wrong token is a config error; a local
                               // run would mask it and it won't heal
+  case ErrorCode::Shed:       // overload policy refused the work; doing
+                              // it locally would bypass quotas/shedding
     return false;
   }
   return false;

@@ -75,6 +75,29 @@ bool Client::check(const CheckRequest &Req, CheckResponse &Out,
   return CheckResponse::fromJson(Resp, Out, Err);
 }
 
+uint64_t ac::service::retryBackoffMs(unsigned Attempt,
+                                     unsigned RetryAfterMs) {
+  uint64_t Base = RetryAfterMs ? RetryAfterMs : 10;
+  return std::min<uint64_t>(Base << std::min(Attempt, 10u), 2000);
+}
+
+uint64_t ac::service::retryDelayMs(unsigned Attempt, unsigned RetryAfterMs,
+                                   std::minstd_rand &Rng) {
+  std::uniform_real_distribution<double> Jitter(0.75, 1.25);
+  return static_cast<uint64_t>(
+      static_cast<double>(retryBackoffMs(Attempt, RetryAfterMs)) *
+      Jitter(Rng));
+}
+
+std::minstd_rand ac::service::retryRng() {
+  if (const char *Seed = std::getenv("AC_RETRY_SEED")) {
+    auto Tid = std::hash<std::thread::id>{}(std::this_thread::get_id());
+    return std::minstd_rand(
+        static_cast<unsigned>(std::strtoul(Seed, nullptr, 10) ^ Tid));
+  }
+  return std::minstd_rand(std::random_device{}());
+}
+
 bool Client::checkRetry(const CheckRequest &Req, CheckResponse &Out,
                         std::string &Err, unsigned MaxAttempts,
                         unsigned MaxTotalMs) {
@@ -83,15 +106,7 @@ bool Client::checkRetry(const CheckRequest &Req, CheckResponse &Out,
   // again (the daemon's retry_after_ms is identical for everyone).
   // AC_RETRY_SEED pins the stream so retry-bound tests are repeatable;
   // each thread still gets its own sequence position via the id mix.
-  static thread_local std::minstd_rand RNG = [] {
-    if (const char *Seed = std::getenv("AC_RETRY_SEED")) {
-      auto Tid = std::hash<std::thread::id>{}(std::this_thread::get_id());
-      return std::minstd_rand(
-          static_cast<unsigned>(std::strtoul(Seed, nullptr, 10) ^ Tid));
-    }
-    return std::minstd_rand(std::random_device{}());
-  }();
-  std::uniform_real_distribution<double> Jitter(0.75, 1.25);
+  static thread_local std::minstd_rand RNG = retryRng();
 
   auto Start = std::chrono::steady_clock::now();
   auto elapsedMs = [&] {
@@ -110,10 +125,7 @@ bool Client::checkRetry(const CheckRequest &Req, CheckResponse &Out,
     // Exponential backoff from the daemon's hint, capped per-sleep at
     // 2 s and in total at MaxTotalMs — a saturated daemon should fail
     // over (see CheckRunner::checkWithFallback), not stall forever.
-    uint64_t Base = Out.RetryAfterMs ? Out.RetryAfterMs : 10;
-    uint64_t Delay = Base << std::min(Attempt, 10u);
-    Delay = std::min<uint64_t>(Delay, 2000);
-    Delay = static_cast<uint64_t>(static_cast<double>(Delay) * Jitter(RNG));
+    uint64_t Delay = retryDelayMs(Attempt, Out.RetryAfterMs, RNG);
     if (elapsedMs() + Delay >= MaxTotalMs)
       return true; // bounded: hand the last `busy` back to the caller
     std::this_thread::sleep_for(std::chrono::milliseconds(Delay));

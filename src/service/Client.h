@@ -19,9 +19,29 @@
 #include "service/Protocol.h"
 #include "support/Socket.h"
 
+#include <cstdint>
+#include <random>
 #include <string>
 
 namespace ac::service {
+
+/// The undithered backoff schedule behind Client::checkRetry(): the
+/// daemon's retry_after_ms hint (10 when it sent none) doubled per
+/// attempt, capped per-sleep at 2 s. Pure arithmetic, exposed so tests
+/// can pin the exact schedule.
+uint64_t retryBackoffMs(unsigned Attempt, unsigned RetryAfterMs);
+
+/// retryBackoffMs() with ±25% jitter drawn from \p Rng — the actual
+/// sleep checkRetry() performs. Deterministic given the RNG state, so a
+/// seeded RNG pins the whole sleep sequence.
+uint64_t retryDelayMs(unsigned Attempt, unsigned RetryAfterMs,
+                      std::minstd_rand &Rng);
+
+/// The jitter source checkRetry() draws from: seeded from AC_RETRY_SEED
+/// (mixed with a per-thread id so concurrent clients still spread) when
+/// set, from std::random_device otherwise. Within one thread and one
+/// seed the stream — and therefore the sleep sequence — is repeatable.
+std::minstd_rand retryRng();
 
 /// One connection to an acd daemon.
 class Client {

@@ -127,6 +127,13 @@ ServiceMetrics::snapshot(size_t QueueDepth, size_t QueueCapacity,
   S.DeadlineExceeded = DeadlineExceeded.load();
   S.Rejected = Rejected.load();
   S.AuthFailed = AuthFailed.load();
+  S.Shed = Shed.load();
+  S.QuotaRejected = QuotaRejected.load();
+  {
+    std::lock_guard<std::mutex> L(TenantM);
+    for (const auto &[Name, C] : Tenants)
+      S.Tenants.push_back({Name, C.Admitted, C.Shed});
+  }
   S.CacheHits = CacheHits.load();
   S.CacheMisses = CacheMisses.load();
   S.CacheInvalidations = CacheInvalidations.load();
@@ -158,8 +165,21 @@ Json ServiceMetrics::Snapshot::toJson() const {
   R.set("deadline_exceeded", DeadlineExceeded);
   R.set("rejected", Rejected);
   R.set("auth_failed", AuthFailed);
+  R.set("shed", Shed);
+  R.set("quota_rejected", QuotaRejected);
   R.set("in_flight_peak", InFlightPeak);
   J.set("requests", std::move(R));
+
+  if (!Tenants.empty()) {
+    Json T = Json::object();
+    for (const TenantStat &S : Tenants) {
+      Json TJ = Json::object();
+      TJ.set("admitted", S.Admitted);
+      TJ.set("shed", S.Shed);
+      T.set(S.Name, std::move(TJ));
+    }
+    J.set("tenants", std::move(T));
+  }
 
   Json L = Json::object();
   L.set("wait", histJson(Wait));
@@ -223,6 +243,37 @@ ServiceMetrics::Snapshot::toPrometheus(const std::string &ShardId) const {
   E.u64("acd_auth_failed_total",
         "TCP connections dropped for a wrong or missing auth token.",
         "counter", AuthFailed);
+  E.u64("acd_requests_shed_total",
+        "Requests refused by load shedding (stale bulk or tenant quota).",
+        "counter", Shed);
+  E.u64("acd_requests_quota_rejected_total",
+        "The tenant-quota subset of shed requests.", "counter",
+        QuotaRejected);
+
+  if (!Tenants.empty()) {
+    emitHeader(O, "acd_tenant_admitted_total",
+               "Admitted check requests per tenant.", "counter");
+    char Buf[256];
+    for (const TenantStat &T : Tenants) {
+      std::snprintf(
+          Buf, sizeof(Buf), "%s %llu\n",
+          E.sample("acd_tenant_admitted_total", "tenant=\"" + T.Name + "\"")
+              .c_str(),
+          static_cast<unsigned long long>(T.Admitted));
+      O += Buf;
+    }
+    emitHeader(O, "acd_tenant_shed_total",
+               "Shed (quota or staleness) check requests per tenant.",
+               "counter");
+    for (const TenantStat &T : Tenants) {
+      std::snprintf(
+          Buf, sizeof(Buf), "%s %llu\n",
+          E.sample("acd_tenant_shed_total", "tenant=\"" + T.Name + "\"")
+              .c_str(),
+          static_cast<unsigned long long>(T.Shed));
+      O += Buf;
+    }
+  }
 
   E.u64("acd_cache_hits_total", "Abstraction-cache hits.", "counter",
         CacheHits);

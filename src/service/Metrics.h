@@ -30,7 +30,10 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <map>
+#include <mutex>
 #include <string>
+#include <vector>
 
 namespace ac::service {
 
@@ -56,6 +59,12 @@ struct ServiceMetrics {
   /// TCP connections dropped for a wrong/missing auth token (these never
   /// reach admission, so they are counted separately from Rejected).
   std::atomic<uint64_t> AuthFailed{0};
+  /// Load-shed refusals: bulk requests whose remaining deadline budget
+  /// could not cover the observed p99 service time, plus per-tenant
+  /// quota refusals. Like Rejected, shed requests never enter the queue.
+  std::atomic<uint64_t> Shed{0};
+  /// The quota-refusal subset of Shed.
+  std::atomic<uint64_t> QuotaRejected{0};
 
   /// High-water mark of concurrently running check requests over the
   /// process lifetime; tells whether the configured worker count is
@@ -82,6 +91,29 @@ struct ServiceMetrics {
   /// the request up; Parse/Abstract split the pipeline; Total is
   /// admission-to-response.
   support::Histogram WaitH, ParseH, AbstractH, TotalH;
+
+  /// Per-tenant admission accounting. Tenants are discovered from
+  /// request traffic, so this is a small mutex-guarded map rather than
+  /// a fixed atomic set; the anonymous tenant ("") is not tracked.
+  struct TenantCounters {
+    uint64_t Admitted = 0; ///< entered the queue
+    uint64_t Shed = 0;     ///< refused by quota or staleness shedding
+  };
+  mutable std::mutex TenantM;
+  std::map<std::string, TenantCounters> Tenants;
+
+  void noteTenantAdmitted(const std::string &Tenant) {
+    if (Tenant.empty())
+      return;
+    std::lock_guard<std::mutex> L(TenantM);
+    Tenants[Tenant].Admitted++;
+  }
+  void noteTenantShed(const std::string &Tenant) {
+    if (Tenant.empty())
+      return;
+    std::lock_guard<std::mutex> L(TenantM);
+    Tenants[Tenant].Shed++;
+  }
 
   /// Raises InFlightPeak to \p N if it grew. Lock-free CAS max.
   void noteInFlight(uint64_t N) {
@@ -115,7 +147,14 @@ struct ServiceMetrics {
     uint64_t QueueDepth = 0, QueueCapacity = 0;
     uint64_t InFlight = 0, InFlightPeak = 0;
     uint64_t Received = 0, Completed = 0, Failed = 0, Cancelled = 0,
-             DeadlineExceeded = 0, Rejected = 0, AuthFailed = 0;
+             DeadlineExceeded = 0, Rejected = 0, AuthFailed = 0, Shed = 0,
+             QuotaRejected = 0;
+    /// Per-tenant counters, sorted by tenant name for render stability.
+    struct TenantStat {
+      std::string Name;
+      uint64_t Admitted = 0, Shed = 0;
+    };
+    std::vector<TenantStat> Tenants;
     uint64_t CacheHits = 0, CacheMisses = 0, CacheInvalidations = 0,
              MemCacheEntries = 0;
     uint64_t ParseCpuMicros = 0, AbstractCpuMicros = 0;

@@ -51,8 +51,14 @@ const char *ac::service::errorCodeName(ErrorCode E) {
     return "deadline_exceeded";
   case ErrorCode::AuthFailed:
     return "auth_failed";
+  case ErrorCode::Shed:
+    return "shed";
   }
   return "internal";
+}
+
+const char *ac::service::priorityName(Priority P) {
+  return P == Priority::Bulk ? "bulk" : "interactive";
 }
 
 ErrorCode ac::service::errorCodeFromName(const std::string &Name) {
@@ -70,6 +76,8 @@ ErrorCode ac::service::errorCodeFromName(const std::string &Name) {
     return ErrorCode::DeadlineExceeded;
   if (Name == "auth_failed")
     return ErrorCode::AuthFailed;
+  if (Name == "shed")
+    return ErrorCode::Shed;
   return ErrorCode::Internal;
 }
 
@@ -109,6 +117,10 @@ Json CheckRequest::toJson() const {
     J.set("timeout_ms", TimeoutMs);
   if (!TraceId.empty())
     J.set("trace_id", TraceId);
+  if (Prio != Priority::Interactive)
+    J.set("priority", priorityName(Prio));
+  if (!Tenant.empty())
+    J.set("tenant", Tenant);
   return J;
 }
 
@@ -135,6 +147,16 @@ bool CheckRequest::fromJson(const Json &J, CheckRequest &Out,
       static_cast<unsigned>(J.get("debug_delay_ms").asInt(0));
   Out.TimeoutMs = static_cast<unsigned>(J.get("timeout_ms").asInt(0));
   Out.TraceId = J.get("trace_id").asString();
+  std::string Prio = J.get("priority").asString();
+  if (Prio.empty() || Prio == "interactive") {
+    Out.Prio = Priority::Interactive;
+  } else if (Prio == "bulk") {
+    Out.Prio = Priority::Bulk;
+  } else {
+    Err = "unknown priority `" + Prio + "` (want interactive|bulk)";
+    return false;
+  }
+  Out.Tenant = J.get("tenant").asString();
   return true;
 }
 

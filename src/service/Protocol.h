@@ -47,10 +47,23 @@ enum class ErrorCode {
   /// TCP connection presented a wrong or missing auth token. The daemon
   /// answers this and closes the connection; never retried.
   AuthFailed,
+  /// Load shedding: the daemon (or router) decided the request could not
+  /// complete within its remaining deadline budget — or a tenant quota
+  /// refused it — and answered immediately instead of letting it time
+  /// out in queue. Only bulk-priority work is shed for staleness; quota
+  /// sheds carry `retry_after_ms` like `busy`.
+  Shed,
 };
 
 const char *errorCodeName(ErrorCode E);
 ErrorCode errorCodeFromName(const std::string &Name);
+
+/// Admission priority of a check request. Interactive work (the default)
+/// is served first; bulk work queues behind it and is the only class
+/// eligible for staleness shedding under overload.
+enum class Priority { Interactive, Bulk };
+
+const char *priorityName(Priority P);
 
 /// Constant-time string equality for auth-token checks: the running time
 /// depends only on the lengths, never on where the strings first differ,
@@ -80,6 +93,12 @@ struct CheckRequest {
   /// the request produces, and the per-request trace filename (when the
   /// daemon runs with --trace-dir). "" lets the daemon mint one.
   std::string TraceId;
+  /// Admission class. Interactive (the default) dequeues before bulk;
+  /// bulk is eligible for staleness shedding when the queue is saturated.
+  Priority Prio = Priority::Interactive;
+  /// Accounting principal for per-tenant admission quotas; "" is the
+  /// anonymous tenant (always admitted when a slot exists).
+  std::string Tenant;
 
   support::Json toJson() const;
   static bool fromJson(const support::Json &J, CheckRequest &Out,

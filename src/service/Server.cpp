@@ -3,10 +3,12 @@
 #include "service/Server.h"
 
 #include "service/CheckRunner.h"
+#include "support/FaultInject.h"
 #include "support/Log.h"
 #include "support/RuleProfile.h"
 #include "support/Trace.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cassert>
 #include <chrono>
@@ -27,6 +29,14 @@ double secondsBetween(std::chrono::steady_clock::time_point A,
 }
 
 } // namespace
+
+// Overload decision points, armed by the chaos drivers so each shed
+// path is deterministically reachable: shed.stale forces the staleness
+// verdict for an eligible request (bulk with a deadline), quota.reject
+// forces the quota refusal for a request naming a tenant.
+static const ac::support::FaultSite FaultShedStale("server.shed.stale");
+static const ac::support::FaultSite
+    FaultQuotaReject("server.quota.reject");
 
 /// One client connection: the socket plus a write lock so the reader
 /// thread (inline replies) and a session worker (check responses) never
@@ -374,17 +384,85 @@ void Server::handleCheck(const std::shared_ptr<Conn> &C, CheckRequest Req) {
     Resp.TraceId = R->Req.TraceId;
     C->send(Resp.toJson());
   };
+  // A shed answer refuses the request before it enters the queue, like
+  // reject, but with its own typed code and counters so overload
+  // behaviour is observable separately from capacity backpressure.
+  auto shed = [&](const char *Reason, const std::string &Msg,
+                  unsigned RetryMs) {
+    Metrics.Shed.fetch_add(1);
+    Metrics.noteTenantShed(R->Req.Tenant);
+    support::Log::warn("request.shed",
+                       {{"trace_id", R->Req.TraceId},
+                        {"tenant", R->Req.Tenant},
+                        {"priority", priorityName(R->Req.Prio)},
+                        {"reason", Reason}});
+    CheckResponse Resp = CheckResponse::error(ErrorCode::Shed, Msg, RetryMs);
+    Resp.TraceId = R->Req.TraceId;
+    C->send(Resp.toJson());
+  };
   {
     std::lock_guard<std::mutex> L(QueueM);
     if (Draining.load()) {
       reject(ErrorCode::Draining, "daemon is draining", 0);
       return;
     }
-    if (Queue.size() >= Opts.QueueCapacity) {
+    // Per-tenant token bucket. A new tenant starts with a full bucket;
+    // refill is lazy, at admission time, off the admission clock.
+    if (!R->Req.Tenant.empty()) {
+      bool Forced = FaultQuotaReject.fire();
+      if (Opts.TenantQuotaRps || Forced) {
+        double Rate = Opts.TenantQuotaRps ? Opts.TenantQuotaRps : 1.0;
+        double Burst = Opts.TenantQuotaBurst
+                           ? Opts.TenantQuotaBurst
+                           : std::max(1.0, 2.0 * Rate);
+        TenantBucket &B = TenantBuckets[R->Req.Tenant];
+        if (B.Last.time_since_epoch().count() == 0)
+          B.Tokens = Burst;
+        else
+          B.Tokens = std::min(
+              Burst, B.Tokens + secondsBetween(B.Last, R->Admitted) * Rate);
+        B.Last = R->Admitted;
+        if (Forced || B.Tokens < 1.0) {
+          Metrics.QuotaRejected.fetch_add(1);
+          unsigned RetryMs = static_cast<unsigned>(
+              std::max(1.0, (1.0 - std::min(B.Tokens, 1.0)) / Rate * 1e3));
+          shed("tenant quota",
+               "tenant `" + R->Req.Tenant + "` over admission quota",
+               RetryMs);
+          return;
+        }
+        B.Tokens -= 1.0;
+      }
+    }
+    // Staleness shedding: a bulk request whose whole deadline budget is
+    // below the observed p99 service time would only time out in queue;
+    // answer `shed` now so the client can replan instead of waiting.
+    // Interactive work is never shed, and a cold daemon (too few
+    // samples) never sheds either.
+    if (R->Req.Prio == Priority::Bulk && R->HasDeadline) {
+      bool Forced = FaultShedStale.fire();
+      double P99Ms = Metrics.TotalH.quantile(0.99) * 1e3;
+      bool Stale =
+          Metrics.TotalH.count() >= Opts.ShedMinSamples &&
+          static_cast<double>(R->Req.TimeoutMs) < P99Ms;
+      if (Forced || Stale) {
+        shed("stale bulk",
+             "deadline budget below observed p99 service time", 0);
+        return;
+      }
+    }
+    // Bulk admission stops at 3/4 of the queue: the reserved headroom
+    // keeps a bulk flood from ever filling the slots an interactive
+    // burst needs.
+    size_t Cap = Opts.QueueCapacity;
+    if (R->Req.Prio == Priority::Bulk)
+      Cap = std::max<size_t>(1, Cap - Cap / 4);
+    if (Queue.size() >= Cap) {
       reject(ErrorCode::Busy, "admission queue full", Opts.RetryAfterMs);
       return;
     }
     Metrics.Received.fetch_add(1);
+    Metrics.noteTenantAdmitted(R->Req.Tenant);
     // Logged before the queue push: once a worker can claim the
     // request, its lifecycle lines may land at any moment, and the log
     // must read received -> completed/failed for every trace id.
@@ -392,8 +470,20 @@ void Server::handleCheck(const std::shared_ptr<Conn> &C, CheckRequest Req) {
         "request.received",
         {{"trace_id", R->Req.TraceId},
          {"source_bytes", static_cast<uint64_t>(R->Req.Source.size())},
+         {"priority", priorityName(R->Req.Prio)},
          {"timeout_ms", R->Req.TimeoutMs}});
-    Queue.push_back(R);
+    // Two-class queue in one deque: interactive requests insert before
+    // the first bulk one (FIFO within each class), so pop_front always
+    // serves interactive first.
+    if (R->Req.Prio == Priority::Interactive) {
+      auto It = std::find_if(Queue.begin(), Queue.end(),
+                             [](const std::shared_ptr<Request> &Q) {
+                               return Q->Req.Prio == Priority::Bulk;
+                             });
+      Queue.insert(It, R);
+    } else {
+      Queue.push_back(R);
+    }
     QueueCV.notify_one();
   }
   // One outstanding check per connection: block this reader until the

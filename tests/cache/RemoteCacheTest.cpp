@@ -19,12 +19,16 @@
 #include "core/ResultCache.h"
 #include "service/Client.h"
 #include "service/Server.h"
+#include "support/FaultInject.h"
 #include "support/Json.h"
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <filesystem>
 #include <string>
+#include <thread>
 #include <unistd.h>
 
 using namespace ac;
@@ -166,6 +170,70 @@ TEST(RemoteCacheWire, ClientSurvivesDaemonRestart) {
   ASSERT_TRUE(C.get(E.Key, Out));
   EXPECT_EQ(bytes(Out), bytes(E));
   Srv2.stop();
+}
+
+TEST(RemoteCacheWire, GetPutRacingRestartUnderFaultsNeverServesWrongBytes) {
+  std::string Dir = freshDir("restartrace");
+  RemoteCacheServerOptions O;
+  O.SocketPath = Dir + "/cached.sock";
+  CachedFunc E = sampleEntry(0x5eed5eedull, "race");
+  const std::string Want = bytes(E);
+
+  // Sprinkle dial/fetch/store failures through the run on top of the
+  // restarts themselves: every injected fault must surface as a miss or
+  // a dropped put — never wrong bytes, never a client-visible error.
+  support::FaultInject::disarmAll();
+  ASSERT_TRUE(support::FaultInject::arm("remote.dial.fail", 3, 2));
+  ASSERT_TRUE(support::FaultInject::arm("remote.get.fail", 5, 2));
+  ASSERT_TRUE(support::FaultInject::arm("remote.put.fail", 4, 2));
+
+  std::atomic<bool> Stop{false};
+  std::atomic<uint64_t> Hits{0}, Misses{0}, Wrong{0};
+  std::thread Hammer([&] {
+    RemoteCacheClient C(O.SocketPath);
+    while (!Stop.load()) {
+      C.put(E);
+      CachedFunc Out;
+      if (C.get(E.Key, Out)) {
+        Hits.fetch_add(1);
+        if (bytes(Out) != Want)
+          Wrong.fetch_add(1);
+      } else {
+        Misses.fetch_add(1);
+      }
+    }
+  });
+
+  // Three daemon lifetimes with dead gaps between them: the hammering
+  // client races its round-trips against a socket that appears,
+  // vanishes mid-conversation, and reappears cold.
+  for (int Round = 0; Round != 3; ++Round) {
+    RemoteCacheServer Srv(O);
+    ASSERT_TRUE(Srv.start());
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    Srv.stop();
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  Stop.store(true);
+  Hammer.join();
+  support::FaultInject::disarmAll();
+
+  EXPECT_EQ(Wrong.load(), 0u)
+      << "a restart- or fault-torn round-trip served wrong bytes";
+  EXPECT_GE(Hits.load(), 1u) << "the live windows never served a hit; "
+                                "the race is vacuous";
+  EXPECT_GE(Misses.load(), 1u) << "the dead windows never degraded to a "
+                                  "miss; the race is vacuous";
+
+  // Steady state after the chaos: a clean daemon serves exact bytes.
+  RemoteCacheServer Srv(O);
+  ASSERT_TRUE(Srv.start());
+  RemoteCacheClient C(O.SocketPath);
+  C.put(E);
+  CachedFunc Out;
+  ASSERT_TRUE(C.get(E.Key, Out));
+  EXPECT_EQ(bytes(Out), Want);
+  Srv.stop();
 }
 
 //===----------------------------------------------------------------------===//

@@ -686,6 +686,289 @@ void driveRouterDialFail() { driveRouterEdge("router.dial.fail"); }
 void driveRouterForwardFail() { driveRouterEdge("router.forward.fail"); }
 
 //===----------------------------------------------------------------------===//
+// The overload decision points: admission shedding, circuit breakers,
+// and hedged forwards. Every site forces one decision the happy path
+// would only take under real overload, so the refusal/recovery bytes
+// are reachable deterministically.
+//===----------------------------------------------------------------------===//
+
+std::string respSnapshot(const service::CheckResponse &Resp) {
+  std::string S;
+  for (const service::FuncResult &F : Resp.Functions)
+    S += F.Name + "\n" + F.FinalKey + "\n" + F.Render + "\n" + F.Pipeline +
+         "\n";
+  for (const std::string &D : Resp.Diagnostics)
+    S += D + "\n";
+  return S;
+}
+
+/// The staleness shed: a bulk request with a deadline is refused with
+/// the typed `shed` answer before it enters the queue; the retry (the
+/// client replanning) is served byte-identically to a never-shed run.
+void driveServerShedStale() {
+  std::string Dir = freshDir("shedstale");
+  service::ServerOptions SO;
+  SO.SocketPath = Dir + "/acd.sock";
+  SO.Workers = 1;
+  service::Server Srv(SO);
+  ASSERT_TRUE(Srv.start());
+  service::Client C = service::Client::connect(SO.SocketPath);
+  ASSERT_TRUE(C.connected());
+
+  service::CheckRequest Req;
+  Req.Source = "unsigned int stale(unsigned int x) { return x + 7u; }\n";
+  Req.Prio = service::Priority::Bulk;
+  Req.TimeoutMs = 60000; // shed-eligible: bulk with a deadline
+  service::CheckResponse Ref = service::runLocalCheck(Req);
+
+  std::string Err;
+  service::CheckResponse Resp;
+  ASSERT_TRUE(FaultInject::arm("server.shed.stale", 1));
+  ASSERT_TRUE(C.check(Req, Resp, Err)) << Err;
+  EXPECT_EQ(FaultInject::fired("server.shed.stale"), 1u);
+  FaultInject::disarmAll();
+  EXPECT_FALSE(Resp.Ok);
+  EXPECT_EQ(Resp.Err, service::ErrorCode::Shed);
+  EXPECT_EQ(Srv.metrics().Shed.load(), 1u);
+  EXPECT_EQ(Srv.metrics().QuotaRejected.load(), 0u)
+      << "a staleness shed is not a quota refusal";
+  EXPECT_EQ(Srv.metrics().Received.load(), 0u)
+      << "a shed request must never count as received";
+
+  service::CheckResponse After;
+  ASSERT_TRUE(C.check(Req, After, Err)) << Err;
+  ASSERT_TRUE(After.Ok) << After.Message;
+  EXPECT_EQ(respSnapshot(After), respSnapshot(Ref))
+      << "the post-shed retry diverged";
+  Srv.stop();
+}
+
+/// The quota shed: a request naming a tenant is refused with `shed`
+/// plus a refill hint; the tenant's counters record the refusal and
+/// the retry is admitted and served byte-identically.
+void driveServerQuotaReject() {
+  std::string Dir = freshDir("quotareject");
+  service::ServerOptions SO;
+  SO.SocketPath = Dir + "/acd.sock";
+  SO.Workers = 1;
+  service::Server Srv(SO);
+  ASSERT_TRUE(Srv.start());
+  service::Client C = service::Client::connect(SO.SocketPath);
+  ASSERT_TRUE(C.connected());
+
+  service::CheckRequest Req;
+  Req.Source = "unsigned int quota(unsigned int x) { return x * 3u; }\n";
+  Req.Tenant = "tenant-a";
+  service::CheckResponse Ref = service::runLocalCheck(Req);
+
+  std::string Err;
+  service::CheckResponse Resp;
+  ASSERT_TRUE(FaultInject::arm("server.quota.reject", 1));
+  ASSERT_TRUE(C.check(Req, Resp, Err)) << Err;
+  EXPECT_EQ(FaultInject::fired("server.quota.reject"), 1u);
+  FaultInject::disarmAll();
+  EXPECT_FALSE(Resp.Ok);
+  EXPECT_EQ(Resp.Err, service::ErrorCode::Shed);
+  EXPECT_GE(Resp.RetryAfterMs, 1u) << "a quota shed must hint when the "
+                                      "bucket refills";
+  EXPECT_EQ(Srv.metrics().Shed.load(), 1u);
+  EXPECT_EQ(Srv.metrics().QuotaRejected.load(), 1u);
+
+  service::CheckResponse After;
+  ASSERT_TRUE(C.check(Req, After, Err)) << Err;
+  ASSERT_TRUE(After.Ok) << After.Message;
+  EXPECT_EQ(respSnapshot(After), respSnapshot(Ref))
+      << "the post-shed retry diverged";
+
+  // The per-tenant ledger saw both outcomes.
+  auto Snap = Srv.metrics().snapshot(0, 0, 0, 1, 0, false);
+  ASSERT_EQ(Snap.Tenants.size(), 1u);
+  EXPECT_EQ(Snap.Tenants[0].Name, "tenant-a");
+  EXPECT_EQ(Snap.Tenants[0].Shed, 1u);
+  EXPECT_EQ(Snap.Tenants[0].Admitted, 1u);
+  Srv.stop();
+}
+
+/// One real shard behind a router, as in driveRouterEdge, but tuned for
+/// the breaker sites: the trip site opens the breaker on the *first*
+/// torn forward instead of the third.
+struct BreakerFleet {
+  service::ServerOptions SO;
+  router::RouterOptions RO;
+  std::unique_ptr<service::Server> Shard;
+  std::unique_ptr<router::Router> R;
+
+  bool Ok = false;
+
+  explicit BreakerFleet(const std::string &Dir, unsigned CooldownMs) {
+    SO.SocketPath = "";
+    SO.ListenAddr = "127.0.0.1:0";
+    SO.Workers = 1;
+    Shard.reset(new service::Server(SO));
+    if (!Shard->start())
+      return;
+    RO.SocketPath = Dir + "/r.sock";
+    RO.Shards = {"127.0.0.1:" + std::to_string(Shard->tcpPort())};
+    RO.HealthProbeMs = 30;
+    RO.BreakerCooldownMs = CooldownMs;
+    R.reset(new router::Router(RO));
+    Ok = R->start();
+  }
+  ~BreakerFleet() {
+    if (R)
+      R->stop();
+    if (Shard)
+      Shard->stop();
+  }
+};
+
+/// Forced breaker trip: one torn forward opens the breaker, the answer
+/// degrades byte-identically, and the prober walks the shard back to
+/// closed through the normal cooldown → half-open → probe path.
+void driveBreakerTrip() {
+  std::string Dir = freshDir("breakertrip");
+  BreakerFleet F(Dir, /*CooldownMs=*/30);
+  ASSERT_TRUE(F.Ok);
+
+  service::Client C = service::Client::connect(F.RO.SocketPath);
+  ASSERT_TRUE(C.connected());
+  service::CheckRequest Req;
+  Req.Source = "unsigned int trip(unsigned int x) { return x * 2u; }\n";
+  service::CheckResponse Ref = service::runLocalCheck(Req);
+
+  std::string Err;
+  service::CheckResponse Faulted;
+  ASSERT_TRUE(FaultInject::arm("router.forward.fail", 1));
+  ASSERT_TRUE(FaultInject::arm("router.breaker.trip", 1));
+  ASSERT_TRUE(C.check(Req, Faulted, Err)) << Err;
+  EXPECT_EQ(FaultInject::fired("router.forward.fail"), 1u);
+  EXPECT_EQ(FaultInject::fired("router.breaker.trip"), 1u);
+  FaultInject::disarmAll();
+  ASSERT_TRUE(Faulted.Ok) << Faulted.Message;
+  EXPECT_EQ(respSnapshot(Faulted), respSnapshot(Ref))
+      << "the tripped forward's fallback answer diverged";
+
+  // Recovery: cooldown elapses, the probe closes the breaker again.
+  support::Json Stats;
+  bool Revived = false;
+  for (int I = 0; I != 100 && !Revived; ++I) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    ASSERT_TRUE(C.stats(Stats, Err)) << Err;
+    Revived = Stats.get("shards").items().front().get("healthy").asBool();
+  }
+  ASSERT_TRUE(Revived) << "the prober never closed the tripped breaker";
+  support::Json SJ = Stats.get("shards").items().front();
+  EXPECT_EQ(SJ.get("breaker").asString(), "closed");
+  EXPECT_GE(SJ.get("breaker_trips").asInt(), 1)
+      << "the forced trip must be visible in stats";
+
+  service::CheckResponse After;
+  ASSERT_TRUE(C.check(Req, After, Err)) << Err;
+  ASSERT_TRUE(After.Ok) << After.Message;
+  EXPECT_EQ(respSnapshot(After), respSnapshot(Ref));
+}
+
+/// Forced half-open: with a cooldown too long to ever elapse in-test,
+/// the breaker stays open (observable in stats) until the armed site
+/// forces the half-open transition, whose trial probe succeeds and
+/// closes the breaker.
+void driveBreakerHalfOpen() {
+  std::string Dir = freshDir("breakerhalfopen");
+  BreakerFleet F(Dir, /*CooldownMs=*/60000);
+  ASSERT_TRUE(F.Ok);
+
+  service::Client C = service::Client::connect(F.RO.SocketPath);
+  ASSERT_TRUE(C.connected());
+  service::CheckRequest Req;
+  Req.Source = "unsigned int half(unsigned int x) { return x + 9u; }\n";
+  service::CheckResponse Ref = service::runLocalCheck(Req);
+
+  std::string Err;
+  service::CheckResponse Faulted;
+  ASSERT_TRUE(FaultInject::arm("router.forward.fail", 1));
+  ASSERT_TRUE(FaultInject::arm("router.breaker.trip", 1));
+  ASSERT_TRUE(C.check(Req, Faulted, Err)) << Err;
+  FaultInject::disarmAll();
+  ASSERT_TRUE(Faulted.Ok) << Faulted.Message;
+  EXPECT_EQ(respSnapshot(Faulted), respSnapshot(Ref));
+
+  // The cooldown is an hour out: without the fault the breaker must
+  // still be open however many probe rounds have passed.
+  support::Json Stats;
+  ASSERT_TRUE(C.stats(Stats, Err)) << Err;
+  EXPECT_EQ(Stats.get("shards").items().front().get("breaker").asString(),
+            "open");
+  EXPECT_FALSE(Stats.get("shards").items().front().get("healthy").asBool());
+
+  ASSERT_TRUE(FaultInject::arm("router.breaker.halfopen", 1));
+  bool Revived = false;
+  for (int I = 0; I != 100 && !Revived; ++I) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    ASSERT_TRUE(C.stats(Stats, Err)) << Err;
+    Revived = Stats.get("shards").items().front().get("healthy").asBool();
+  }
+  EXPECT_EQ(FaultInject::fired("router.breaker.halfopen"), 1u);
+  FaultInject::disarmAll();
+  ASSERT_TRUE(Revived) << "the forced half-open probe never closed the "
+                          "breaker";
+
+  service::CheckResponse After;
+  ASSERT_TRUE(C.check(Req, After, Err)) << Err;
+  ASSERT_TRUE(After.Ok) << After.Message;
+  EXPECT_EQ(respSnapshot(After), respSnapshot(Ref));
+}
+
+/// Forced hedge: with two healthy shards and a deadline-carrying
+/// request, the armed site collapses the hedge delay to zero, so the
+/// forward is raced on both shards. First answer wins; both are
+/// byte-identical by construction, so the client sees exact bytes
+/// either way.
+void driveHedgeFire() {
+  std::string Dir = freshDir("hedgefire");
+  service::ServerOptions SO;
+  SO.SocketPath = "";
+  SO.ListenAddr = "127.0.0.1:0";
+  SO.Workers = 1;
+  service::Server ShardA(SO), ShardB(SO);
+  ASSERT_TRUE(ShardA.start());
+  ASSERT_TRUE(ShardB.start());
+
+  router::RouterOptions RO;
+  RO.SocketPath = Dir + "/r.sock";
+  RO.Shards = {"127.0.0.1:" + std::to_string(ShardA.tcpPort()),
+               "127.0.0.1:" + std::to_string(ShardB.tcpPort())};
+  RO.HealthProbeMs = 50;
+  router::Router R(RO);
+  ASSERT_TRUE(R.start());
+
+  service::Client C = service::Client::connect(RO.SocketPath);
+  ASSERT_TRUE(C.connected());
+  service::CheckRequest Req;
+  Req.Source = "unsigned int hedge(unsigned int x) { return x - 1u; }\n";
+  Req.TimeoutMs = 10000; // hedging needs a deadline budget to split
+  service::CheckResponse Ref = service::runLocalCheck(Req);
+
+  std::string Err;
+  service::CheckResponse Resp;
+  ASSERT_TRUE(FaultInject::arm("router.hedge.fire", 1));
+  ASSERT_TRUE(C.check(Req, Resp, Err)) << Err;
+  EXPECT_EQ(FaultInject::fired("router.hedge.fire"), 1u);
+  FaultInject::disarmAll();
+  ASSERT_TRUE(Resp.Ok) << Resp.Message;
+  EXPECT_EQ(respSnapshot(Resp), respSnapshot(Ref))
+      << "the hedged answer diverged";
+
+  support::Json Stats;
+  ASSERT_TRUE(C.stats(Stats, Err)) << Err;
+  EXPECT_GE(Stats.get("hedges").asInt(), 1)
+      << "the forced hedge must be visible in stats";
+
+  R.stop();
+  ShardA.stop();
+  ShardB.stop();
+}
+
+//===----------------------------------------------------------------------===//
 // The driver table and the coverage gate
 //===----------------------------------------------------------------------===//
 
@@ -721,6 +1004,11 @@ const SiteCase AllSites[] = {
     {"remotecache.store.torn", driveRemoteStoreTorn},
     {"router.dial.fail", driveRouterDialFail},
     {"router.forward.fail", driveRouterForwardFail},
+    {"server.shed.stale", driveServerShedStale},
+    {"server.quota.reject", driveServerQuotaReject},
+    {"router.breaker.trip", driveBreakerTrip},
+    {"router.breaker.halfopen", driveBreakerHalfOpen},
+    {"router.hedge.fire", driveHedgeFire},
 };
 
 class ChaosSite : public ::testing::TestWithParam<SiteCase> {

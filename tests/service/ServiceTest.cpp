@@ -110,6 +110,8 @@ TEST(Protocol, CheckRequestRoundTrips) {
   Req.CacheDir = "/tmp/cache";
   Req.WantSpecs = true;
   Req.TimeoutMs = 2500;
+  Req.Prio = Priority::Bulk;
+  Req.Tenant = "ci-tenant";
   CheckRequest Back;
   std::string Err;
   ASSERT_TRUE(CheckRequest::fromJson(Req.toJson(), Back, Err)) << Err;
@@ -120,6 +122,35 @@ TEST(Protocol, CheckRequestRoundTrips) {
   EXPECT_EQ(Back.CacheDir, "/tmp/cache");
   EXPECT_TRUE(Back.WantSpecs);
   EXPECT_EQ(Back.TimeoutMs, 2500u);
+  EXPECT_EQ(Back.Prio, Priority::Bulk);
+  EXPECT_EQ(Back.Tenant, "ci-tenant");
+}
+
+TEST(Protocol, PriorityWireEncodingIsSparse) {
+  // The default class and the empty tenant stay off the wire so the
+  // pre-overload frame bytes are unchanged.
+  CheckRequest Req;
+  Req.Source = "int f(void) { return 1; }\n";
+  std::string Wire = Req.toJson().dump();
+  EXPECT_EQ(Wire.find("priority"), std::string::npos);
+  EXPECT_EQ(Wire.find("tenant"), std::string::npos);
+
+  CheckRequest Back;
+  std::string Err;
+  ASSERT_TRUE(CheckRequest::fromJson(Req.toJson(), Back, Err)) << Err;
+  EXPECT_EQ(Back.Prio, Priority::Interactive);
+  EXPECT_TRUE(Back.Tenant.empty());
+}
+
+TEST(Protocol, UnknownPriorityIsRejected) {
+  CheckRequest Req;
+  Req.Source = "int f(void) { return 1; }\n";
+  Json J = Req.toJson();
+  J.set("priority", "urgent");
+  CheckRequest Back;
+  std::string Err;
+  EXPECT_FALSE(CheckRequest::fromJson(J, Back, Err));
+  EXPECT_NE(Err.find("priority"), std::string::npos) << Err;
 }
 
 TEST(Protocol, ErrorEnvelopeRoundTrips) {
@@ -138,8 +169,60 @@ TEST(Protocol, ErrorCodeNamesRoundTrip) {
   for (ErrorCode E :
        {ErrorCode::None, ErrorCode::Busy, ErrorCode::Draining,
         ErrorCode::BadRequest, ErrorCode::ParseError, ErrorCode::Internal,
-        ErrorCode::DeadlineExceeded})
+        ErrorCode::DeadlineExceeded, ErrorCode::Shed})
     EXPECT_EQ(errorCodeFromName(errorCodeName(E)), E);
+}
+
+//===----------------------------------------------------------------------===//
+// checkRetry backoff determinism
+//===----------------------------------------------------------------------===//
+
+TEST(Backoff, UnditheredScheduleIsExact) {
+  // Doubling from the daemon's hint, capped at 2 s per sleep.
+  EXPECT_EQ(retryBackoffMs(0, 50), 50u);
+  EXPECT_EQ(retryBackoffMs(1, 50), 100u);
+  EXPECT_EQ(retryBackoffMs(2, 50), 200u);
+  EXPECT_EQ(retryBackoffMs(3, 50), 400u);
+  EXPECT_EQ(retryBackoffMs(4, 50), 800u);
+  EXPECT_EQ(retryBackoffMs(5, 50), 1600u);
+  EXPECT_EQ(retryBackoffMs(6, 50), 2000u);
+  EXPECT_EQ(retryBackoffMs(100, 50), 2000u) << "the shift must saturate, "
+                                               "not overflow";
+  // A daemon that sent no hint backs off from 10 ms.
+  EXPECT_EQ(retryBackoffMs(0, 0), 10u);
+  EXPECT_EQ(retryBackoffMs(7, 0), 1280u);
+  EXPECT_EQ(retryBackoffMs(8, 0), 2000u);
+}
+
+TEST(Backoff, SeededSleepSequenceIsPinned) {
+  // One seed, one thread: the whole jittered sleep sequence replays
+  // exactly — the repeatability AC_RETRY_SEED exists for.
+  ::setenv("AC_RETRY_SEED", "1234", 1);
+  std::minstd_rand A = retryRng();
+  std::minstd_rand B = retryRng();
+  std::vector<uint64_t> SeqA, SeqB;
+  for (unsigned I = 0; I != 12; ++I) {
+    SeqA.push_back(retryDelayMs(I, 50, A));
+    SeqB.push_back(retryDelayMs(I, 50, B));
+  }
+  EXPECT_EQ(SeqA, SeqB) << "same seed, same thread: the sleep sequence "
+                           "must replay exactly";
+
+  // Every jittered sleep stays within ±25% of the exact schedule.
+  for (unsigned I = 0; I != 12; ++I) {
+    double Exact = static_cast<double>(retryBackoffMs(I, 50));
+    EXPECT_GE(static_cast<double>(SeqA[I]), 0.75 * Exact - 1) << I;
+    EXPECT_LE(static_cast<double>(SeqA[I]), 1.25 * Exact + 1) << I;
+  }
+
+  // A different seed must move the jitter stream.
+  ::setenv("AC_RETRY_SEED", "5678", 1);
+  std::minstd_rand C = retryRng();
+  std::vector<uint64_t> SeqC;
+  for (unsigned I = 0; I != 12; ++I)
+    SeqC.push_back(retryDelayMs(I, 50, C));
+  EXPECT_NE(SeqA, SeqC);
+  ::unsetenv("AC_RETRY_SEED");
 }
 
 //===----------------------------------------------------------------------===//
@@ -1085,4 +1168,93 @@ TEST_F(ServiceTest, FailedRequestsEmitStructuredLogLines) {
   }
   EXPECT_GE(ReceivedAt, 0) << "no request.received line for log-test-1";
   EXPECT_GT(FailedAt, ReceivedAt) << "no request.failed line after receive";
+}
+
+//===----------------------------------------------------------------------===//
+// Overload: per-tenant quotas, priority classes, staleness shedding
+//===----------------------------------------------------------------------===//
+
+TEST_F(ServiceTest, TenantOverQuotaIsShedWithRefillHint) {
+  ServerOptions O = baseOpts();
+  O.TenantQuotaRps = 1;
+  O.TenantQuotaBurst = 1; // one admission, then the bucket is dry
+  Server Srv(O);
+  ASSERT_TRUE(Srv.start());
+  Client C = Client::connect(SockPath);
+  ASSERT_TRUE(C.connected());
+
+  CheckRequest Req;
+  Req.Source = "unsigned int q(unsigned int x) { return x + 1u; }\n";
+  Req.Tenant = "greedy";
+  CheckResponse First, Second;
+  std::string Err;
+  ASSERT_TRUE(C.check(Req, First, Err)) << Err;
+  ASSERT_TRUE(First.Ok) << First.Message;
+  ASSERT_TRUE(C.check(Req, Second, Err)) << Err;
+  EXPECT_FALSE(Second.Ok);
+  EXPECT_EQ(Second.Err, ErrorCode::Shed);
+  EXPECT_GE(Second.RetryAfterMs, 1u)
+      << "a quota shed must tell the tenant when its bucket refills";
+
+  // An unnamed-tenant request is never quota-checked.
+  CheckRequest Anon = Req;
+  Anon.Tenant.clear();
+  CheckResponse Third;
+  ASSERT_TRUE(C.check(Anon, Third, Err)) << Err;
+  EXPECT_TRUE(Third.Ok) << Third.Message;
+
+  EXPECT_EQ(Srv.metrics().Shed.load(), 1u);
+  EXPECT_EQ(Srv.metrics().QuotaRejected.load(), 1u);
+  EXPECT_EQ(Srv.metrics().Received.load(), 2u)
+      << "shed requests never count as received";
+  auto Snap = Srv.metrics().snapshot(0, 0, 0, 1, 0, false);
+  ASSERT_EQ(Snap.Tenants.size(), 1u);
+  EXPECT_EQ(Snap.Tenants[0].Name, "greedy");
+  EXPECT_EQ(Snap.Tenants[0].Admitted, 1u);
+  EXPECT_EQ(Snap.Tenants[0].Shed, 1u);
+  Srv.stop();
+}
+
+TEST_F(ServiceTest, StaleBulkIsShedInteractiveIsNot) {
+  ServerOptions O = baseOpts();
+  O.ShedMinSamples = 1; // one completed request is enough history
+  Server Srv(O);
+  ASSERT_TRUE(Srv.start());
+  Client C = Client::connect(SockPath);
+  ASSERT_TRUE(C.connected());
+
+  // Teach the p99 estimator that requests take ~80 ms here.
+  CheckRequest Warm;
+  Warm.Source = "unsigned int w(unsigned int x) { return x; }\n";
+  Warm.DebugDelayMs = 80;
+  CheckResponse Resp;
+  std::string Err;
+  ASSERT_TRUE(C.check(Warm, Resp, Err)) << Err;
+  ASSERT_TRUE(Resp.Ok) << Resp.Message;
+
+  // A bulk request whose whole deadline is below that p99 would only
+  // expire in queue: it is refused up front.
+  CheckRequest Stale = Warm;
+  Stale.DebugDelayMs = 0;
+  Stale.Prio = Priority::Bulk;
+  Stale.TimeoutMs = 10;
+  ASSERT_TRUE(C.check(Stale, Resp, Err)) << Err;
+  EXPECT_FALSE(Resp.Ok);
+  EXPECT_EQ(Resp.Err, ErrorCode::Shed);
+
+  // The same hopeless deadline on interactive work is still admitted
+  // (and may well run to deadline_exceeded — that is the client's
+  // call): staleness shedding only ever touches bulk.
+  CheckRequest Urgent = Stale;
+  Urgent.Prio = Priority::Interactive;
+  ASSERT_TRUE(C.check(Urgent, Resp, Err)) << Err;
+  EXPECT_NE(Resp.Err, ErrorCode::Shed);
+
+  // Ample-deadline bulk is admitted normally.
+  CheckRequest Fine = Stale;
+  Fine.TimeoutMs = 60000;
+  ASSERT_TRUE(C.check(Fine, Resp, Err)) << Err;
+  EXPECT_TRUE(Resp.Ok) << Resp.Message;
+  EXPECT_EQ(Srv.metrics().Shed.load(), 1u);
+  Srv.stop();
 }

@@ -62,6 +62,9 @@ void usage(const char *Argv0) {
       "  --jobs N          abstraction jobs for this request\n"
       "  --cache-dir DIR   cache tier for this request\n"
       "  --timeout-ms N    per-request deadline enforced by the daemon\n"
+      "  --priority P      interactive|bulk admission class (default:\n"
+      "                    interactive; bulk is shed first on overload)\n"
+      "  --tenant NAME     tenant label for per-tenant admission quotas\n"
       "  --debug-delay-ms N  ask the daemon to hold the request (tests)\n"
       "  --no-fallback     fail instead of degrading to an in-process\n"
       "                    run when the daemon cannot serve the check\n"
@@ -197,6 +200,23 @@ int main(int argc, char **argv) {
       if (!V)
         return usage(argv[0]), 2;
       Req.TimeoutMs = static_cast<unsigned>(std::atoi(V));
+    } else if (Arg == "--priority") {
+      const char *V = Next();
+      if (!V)
+        return usage(argv[0]), 2;
+      if (std::strcmp(V, "interactive") == 0) {
+        Req.Prio = Priority::Interactive;
+      } else if (std::strcmp(V, "bulk") == 0) {
+        Req.Prio = Priority::Bulk;
+      } else {
+        std::fprintf(stderr, "acc: bad --priority `%s`\n", V);
+        return 2;
+      }
+    } else if (Arg == "--tenant") {
+      const char *V = Next();
+      if (!V)
+        return usage(argv[0]), 2;
+      Req.Tenant = V;
     } else if (Arg == "--debug-delay-ms") {
       const char *V = Next();
       if (!V)

@@ -50,6 +50,12 @@ void usage(const char *Argv0) {
       "                     (default: $AC_JOBS, 1 when unset)\n"
       "  --cache-dir DIR    default abstraction-cache directory\n"
       "  --retry-after-ms N backpressure retry hint (default: 50)\n"
+      "  --tenant-quota-rps N per-tenant admission quota in requests/s\n"
+      "                     (token bucket; default: 0 = no quotas)\n"
+      "  --tenant-quota-burst N per-tenant burst capacity\n"
+      "                     (default: 2x the quota rate)\n"
+      "  --shed-min-samples N completed requests needed before stale\n"
+      "                     bulk work is shed (default: 16)\n"
       "  --trace-dir DIR    write a Chrome trace JSON per request to\n"
       "                     DIR/<trace_id>.json (best-effort)\n"
       "  --cert-dir DIR     write a proof certificate per request to\n"
@@ -141,6 +147,15 @@ int main(int argc, char **argv) {
     } else if (Arg == "--retry-after-ms" && Next() &&
                parseUnsigned(argv[I], N)) {
       Opts.RetryAfterMs = N;
+    } else if (Arg == "--tenant-quota-rps" && Next() &&
+               parseUnsigned(argv[I], N)) {
+      Opts.TenantQuotaRps = N;
+    } else if (Arg == "--tenant-quota-burst" && Next() &&
+               parseUnsigned(argv[I], N)) {
+      Opts.TenantQuotaBurst = N;
+    } else if (Arg == "--shed-min-samples" && Next() &&
+               parseUnsigned(argv[I], N)) {
+      Opts.ShedMinSamples = N;
     } else if (Arg == "--trace-dir") {
       const char *V = Next();
       if (!V) {

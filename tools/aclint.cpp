@@ -17,11 +17,14 @@
 //       that name is at most PCT percent of the whole trace extent —
 //       the perf gate uses this to pin phase-share regressions.
 //
-//   aclint metrics <file>        ("-" reads stdin)
+//   aclint metrics <file> [--require NAME]...        ("-" reads stdin)
 //       The file is Prometheus text exposition format 0.0.4: every
 //       sample line is `name[{labels}] value`, every sample's metric has
 //       a preceding # TYPE of a known kind, summary quantile samples and
-//       _sum/_count attach to a declared summary.
+//       _sum/_count attach to a declared summary. Each --require NAME
+//       asserts at least one sample of that metric is present — the
+//       tier-1 gate uses this to pin the overload counters
+//       (acd_requests_shed_total and friends) into the exposition.
 //
 //   aclint fleet <file.json> [--min-speedup X] [--min-hit-rate R]
 //       The file is a BENCH_fleet.json as written by bench/fleet_throughput:
@@ -213,13 +216,14 @@ bool validMetricName(const std::string &N) {
   return true;
 }
 
-int lintMetrics(const std::string &Path) {
+int lintMetrics(const std::string &Path,
+                const std::vector<std::string> &Require) {
   std::string Text;
   if (!readAll(Path, Text)) {
     finding("cannot read " + Path);
     return 1;
   }
-  std::set<std::string> Typed, Summaries;
+  std::set<std::string> Typed, Summaries, Sampled;
   std::istringstream Lines(Text);
   std::string Line;
   int LineNo = 0;
@@ -262,6 +266,7 @@ int lintMetrics(const std::string &Path) {
       finding(Where + ": bad metric name: " + Name);
       continue;
     }
+    Sampled.insert(Name);
     // A summary's _sum/_count samples belong to the declared base.
     std::string Base = Name;
     for (const char *Suffix : {"_sum", "_count"}) {
@@ -278,6 +283,9 @@ int lintMetrics(const std::string &Path) {
   }
   if (Typed.empty())
     finding(Path + ": no metrics at all");
+  for (const std::string &Name : Require)
+    if (!Sampled.count(Name))
+      finding(Path + ": required metric `" + Name + "` has no sample");
   return Findings ? 1 : 0;
 }
 
@@ -500,7 +508,7 @@ int usage() {
       stderr,
       "usage: aclint trace <file.json> [--require-span NAME]...\n"
       "              [--min-wa N] [--min-hl N] [--max-span-share NAME:PCT]...\n"
-      "       aclint metrics <file|->\n"
+      "       aclint metrics <file|-> [--require NAME]...\n"
       "       aclint fleet <file.json> [--min-speedup X] [--min-hit-rate R]\n"
       "       aclint cert <file.acpc> [--min-claims N] [--require-meta KEY]...\n");
   return 2;
@@ -513,9 +521,15 @@ int main(int argc, char **argv) {
     return usage();
   std::string Mode = argv[1], Path = argv[2];
   if (Mode == "metrics") {
-    if (argc != 3)
-      return usage();
-    return lintMetrics(Path);
+    std::vector<std::string> Require;
+    for (int I = 3; I < argc; ++I) {
+      std::string A = argv[I];
+      if (A == "--require" && I + 1 < argc)
+        Require.push_back(argv[++I]);
+      else
+        return usage();
+    }
+    return lintMetrics(Path, Require);
   }
   if (Mode == "fleet") {
     double MinSpeedup = 0, MinHitRate = 0;

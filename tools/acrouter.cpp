@@ -6,7 +6,7 @@
 // health; requests reroute; with the whole fleet down the router degrades
 // to the in-process pipeline so answers stay byte-identical.
 //
-//   acrouter --listen 127.0.0.1:0 \
+//   acrouter --listen 127.0.0.1:0
 //            --shard 127.0.0.1:7001 --shard 127.0.0.1:7002
 //
 //===----------------------------------------------------------------------===//
@@ -42,6 +42,14 @@ void usage(const char *Argv0) {
       "  --probe-ms N        health-probe cadence (default: 250)\n"
       "  --no-local-fallback refuse (busy) instead of running checks\n"
       "                      in-process when every shard is down\n"
+      "  --breaker-fails N   consecutive failures that open a shard's\n"
+      "                      circuit breaker (default: 3)\n"
+      "  --breaker-cooldown-ms N open-breaker cooldown before the\n"
+      "                      half-open probe (default: 500)\n"
+      "  --retry-budget-pct N reroutes+hedges capped at N%% of recent\n"
+      "                      forwards (default: 20)\n"
+      "  --hedge-pct N       hedge a forward once it has consumed N%% of\n"
+      "                      its deadline budget (default: 70; 0 = off)\n"
       "  --log-file PATH     append structured JSONL log lines to PATH\n"
       "  --log-level LVL     debug|info|warn|error|off (default: info)\n",
       Argv0);
@@ -114,6 +122,18 @@ int main(int argc, char **argv) {
       Opts.HealthProbeMs = N;
     } else if (Arg == "--no-local-fallback") {
       Opts.LocalFallback = false;
+    } else if (Arg == "--breaker-fails" && Next() &&
+               parseUnsigned(argv[I], N) && N > 0) {
+      Opts.BreakerThreshold = N;
+    } else if (Arg == "--breaker-cooldown-ms" && Next() &&
+               parseUnsigned(argv[I], N)) {
+      Opts.BreakerCooldownMs = N;
+    } else if (Arg == "--retry-budget-pct" && Next() &&
+               parseUnsigned(argv[I], N)) {
+      Opts.RetryBudgetPct = N;
+    } else if (Arg == "--hedge-pct" && Next() && parseUnsigned(argv[I], N) &&
+               N <= 100) {
+      Opts.HedgeBudgetPct = N;
     } else if (Arg == "--log-file") {
       const char *V = Next();
       if (!V || !ac::support::Log::setFile(V)) {
