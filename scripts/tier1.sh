@@ -84,6 +84,25 @@
 #      overload counters present (aclint metrics --require), at least
 #      one shard must have per-tenant samples, and the fleet must drain
 #      cleanly.
+#  12. Fleet observability: accached + three shards + acrouter all with
+#      --trace (live span buffers), router scraping the store (--cache)
+#      and armed to hedge its first deadline-carrying forward
+#      (AC_FAULTS=router.hedge.fire). One traced hedged request must
+#      come back byte-identical; actrace must then pull every member's
+#      fragment and merge them into one trace that lints (aclint trace)
+#      and holds the fleet invariants (aclint fleettrace: one trace id,
+#      >= 3 processes, every parent span ref resolving). The router's
+#      federated `metrics` must be one lint-clean exposition carrying
+#      the latency histograms, winner attribution (summing to exactly
+#      the one completed request), shard_id labels, exemplars, and the
+#      per-block scrape-age gauge; actop must render the fleet and emit
+#      the raw payload with --once --json. Unless --skip-perf, the
+#      tracing machinery's cost is then bounded on table5_scaling's
+#      seL4-scale row: the summed AutoCorres CPU with live tracing
+#      *enabled* must stay within 2% of the disabled run — and the
+#      disabled hot path (one relaxed atomic per span) is a strict
+#      subset of that cost, so the disabled-tracing regression is
+#      bounded by the same 2%.
 #
 # Every pass runs under a watchdog: if a single pass exceeds
 # AC_PASS_TIMEOUT seconds (default 900) the gate fails instead of
@@ -1119,6 +1138,227 @@ done
 FLEET_PIDS=()
 unset ASAN_OPTIONS
 echo "soak fleet drained cleanly (router, three shards, accached)"
+
+pass "tier-1 pass 12: fleet observability (trace merge, federation, actop)"
+cmake --build build -j --target acd acc acrouter accached actrace actop \
+  aclint table5_scaling >/dev/null
+ACTRACE="build/tools/actrace"
+ACTOP="build/tools/actop"
+OBSF="$ACD_DIR/obsfleet"
+mkdir -p "$OBSF"
+OTOK="$OBSF/token"
+echo "tier1-obs-secret" >"$OTOK"
+
+# 12a. Boot a traced fleet: accached + three shards + the router, every
+#      member with --trace so spans accumulate in-process for
+#      trace_pull. The router also scrapes the store (--cache) and is
+#      armed to hedge its first deadline-carrying forward immediately —
+#      the traced request below provably runs on two shards.
+"$ACCACHED" --listen 127.0.0.1:0 --auth-token-file "$OTOK" --trace \
+  >"$OBSF/accached.log" 2>&1 &
+OC_PID=$!
+FLEET_PIDS+=("$OC_PID")
+OCPORT="$(port_of "$OBSF/accached.log")"
+if [[ -z "$OCPORT" ]]; then
+  echo "tier-1: FAILED — traced accached did not announce its port:" >&2
+  cat "$OBSF/accached.log" >&2
+  exit 1
+fi
+obs_shard() { # name -> pid in $!, port via log
+  "$ACD" --socket none --listen 127.0.0.1:0 --auth-token-file "$OTOK" \
+    --shard-id "$1" --cache-dir "$OBSF/cache-$1" \
+    --remote-cache "127.0.0.1:$OCPORT" --remote-token-file "$OTOK" \
+    --trace >"$OBSF/$1.log" 2>&1 &
+}
+declare -a OPORT OPID
+for i in 0 1 2; do
+  obs_shard "obs$i"
+  OPID[$i]=$!
+  FLEET_PIDS+=("${OPID[$i]}")
+done
+for i in 0 1 2; do
+  OPORT[$i]="$(port_of "$OBSF/obs$i.log")"
+  if [[ -z "${OPORT[$i]}" ]]; then
+    echo "tier-1: FAILED — traced shard $i did not announce its port:" >&2
+    cat "$OBSF/obs$i.log" >&2
+    exit 1
+  fi
+done
+AC_FAULTS=router.hedge.fire:1 "$ACROUTER" --listen 127.0.0.1:0 \
+  --auth-token-file "$OTOK" --shard "127.0.0.1:${OPORT[0]}" \
+  --shard "127.0.0.1:${OPORT[1]}" --shard "127.0.0.1:${OPORT[2]}" \
+  --shard-token-file "$OTOK" --cache "127.0.0.1:$OCPORT" --trace \
+  >"$OBSF/router.log" 2>&1 &
+OR_PID=$!
+FLEET_PIDS+=("$OR_PID")
+ORPORT="$(port_of "$OBSF/router.log")"
+if [[ -z "$ORPORT" ]]; then
+  echo "tier-1: FAILED — traced acrouter did not announce its port:" >&2
+  cat "$OBSF/router.log" >&2
+  exit 1
+fi
+OBSR=(--router "127.0.0.1:$ORPORT" --auth-token-file "$OTOK")
+for _ in $(seq 100); do
+  "$ACC" "${OBSR[@]}" --ping >/dev/null 2>&1 && break
+  sleep 0.1
+done
+
+# 12b. One traced, hedged request. The deadline makes it hedge-eligible,
+#      the armed fault fires the hedge timer immediately, and the debug
+#      delay keeps the primary busy long enough that the duplicate
+#      really dispatches — observability must not move a byte.
+"$ACC" "${OBSR[@]}" --no-fallback --trace-id fleet-hedge-1 \
+  --timeout-ms 10000 --debug-delay-ms 300 --corpus gcd --golden \
+  >"$OBSF/gcd.traced"
+if ! cmp -s "$OBSF/gcd.traced" "tests/golden/gcd.expected"; then
+  echo "tier-1: FAILED — traced hedged gcd diverged from the golden:" >&2
+  diff "tests/golden/gcd.expected" "$OBSF/gcd.traced" | head >&2
+  exit 1
+fi
+RSTATS="$("$ACC" "${OBSR[@]}" --stats)"
+if ! grep -qE '"hedges":[1-9]' <<<"$RSTATS"; then
+  echo "tier-1: FAILED — the armed hedge never fired: $RSTATS" >&2
+  exit 1
+fi
+sleep 1.5 # let the hedge loser's forward span land before the pull
+
+# 12c. actrace: pull every member's fragment (trace_pull drains
+#      exactly-once) and merge. The merged trace must lint structurally
+#      and hold the fleet invariants: one trace id, spans from >= 3
+#      processes, every parent span reference resolving.
+if ! "$ACTRACE" --out "$OBSF/merged.json" --auth-token-file "$OTOK" \
+    "127.0.0.1:$ORPORT" "127.0.0.1:${OPORT[0]}" "127.0.0.1:${OPORT[1]}" \
+    "127.0.0.1:${OPORT[2]}" "127.0.0.1:$OCPORT" 2>"$OBSF/actrace.err"; then
+  echo "tier-1: FAILED — actrace could not pull + merge the fleet:" >&2
+  cat "$OBSF/actrace.err" >&2
+  exit 1
+fi
+if ! "$ACLINT" trace "$OBSF/merged.json" --require-span router.request \
+    --require-span router.forward --require-span acd.request; then
+  echo "tier-1: FAILED — merged fleet trace did not lint." >&2
+  exit 1
+fi
+if ! "$ACLINT" fleettrace "$OBSF/merged.json" --min-pids 3 \
+    --expect-trace-id fleet-hedge-1; then
+  echo "tier-1: FAILED — merged trace broke a fleet invariant (one" \
+       "trace id / >=3 pids / parent refs)." >&2
+  exit 1
+fi
+echo "merged fleet trace linted: one trace id across >=3 processes"
+
+# 12d. Federated metrics: one lint-clean exposition from the router,
+#      carrying the histograms, winner attribution, shard_id labels,
+#      exemplars, and the per-block scrape-age gauge.
+"$ACC" "${OBSR[@]}" --metrics >"$OBSF/federated.txt"
+if ! "$ACLINT" metrics "$OBSF/federated.txt" \
+    --require acd_request_duration_seconds \
+    --require acd_queue_wait_seconds \
+    --require acrouter_forward_routed_total \
+    --require acrouter_forward_winner_total \
+    --require acrouter_requests_completed_total \
+    --require acd_scrape_age_seconds; then
+  echo "tier-1: FAILED — federated metrics exposition did not lint." >&2
+  exit 1
+fi
+for want in 'shard_id="obs0"' 'shard_id="obs1"' 'shard_id="obs2"' \
+    ' # {trace_id="'; do
+  if ! grep -qF "$want" "$OBSF/federated.txt"; then
+    echo "tier-1: FAILED — federated metrics are missing $want" >&2
+    exit 1
+  fi
+done
+# Winner attribution is exactly-once: one completed request, so the
+# per-shard winner counters must sum to exactly 1 even though the hedge
+# put the request on two shards.
+WSUM="$(awk '/^acrouter_forward_winner_total\{/ { s += $2 } END { print s + 0 }' \
+  "$OBSF/federated.txt")"
+if [[ "$WSUM" != 1 ]]; then
+  echo "tier-1: FAILED — winner counters sum to $WSUM for 1 completed" \
+       "request (double-counted hedge?):" >&2
+  grep '^acrouter_forward' "$OBSF/federated.txt" >&2
+  exit 1
+fi
+echo "federated exposition linted; winner attribution exactly-once"
+
+# 12e. actop: the live inspector renders the fleet payload and dumps it
+#      raw with --once --json.
+"$ACTOP" --router "127.0.0.1:$ORPORT" --auth-token-file "$OTOK" --once \
+  >"$OBSF/actop.txt"
+for want in BREAKER "127.0.0.1:${OPORT[0]}" fleet-hedge-1; do
+  if ! grep -q "$want" "$OBSF/actop.txt"; then
+    echo "tier-1: FAILED — actop render is missing '$want':" >&2
+    cat "$OBSF/actop.txt" >&2
+    exit 1
+  fi
+done
+"$ACTOP" --router "127.0.0.1:$ORPORT" --auth-token-file "$OTOK" --once \
+  --json >"$OBSF/fleet.json"
+if ! grep -q '"shard_stats"' "$OBSF/fleet.json"; then
+  echo "tier-1: FAILED — actop --once --json did not emit the fleet" \
+       "payload." >&2
+  exit 1
+fi
+echo "actop rendered the fleet (slow-request ring keyed by trace id)"
+
+# 12f. Drain the traced fleet cleanly.
+"$ACC" "${OBSR[@]}" --drain >/dev/null
+OR_RC=0
+wait "$OR_PID" || OR_RC=$?
+if [[ "$OR_RC" != 0 ]]; then
+  echo "tier-1: FAILED — traced acrouter exited $OR_RC on drain." >&2
+  exit 1
+fi
+for pid in "${OPID[@]}" "$OC_PID"; do
+  kill -TERM "$pid"
+  RC=0
+  wait "$pid" || RC=$?
+  if [[ "$RC" != 0 ]]; then
+    echo "tier-1: FAILED — a traced fleet daemon exited $RC on SIGTERM." >&2
+    exit 1
+  fi
+done
+FLEET_PIDS=()
+echo "traced fleet drained cleanly"
+
+# 12g. Tracing cost bound on table5_scaling's seL4-scale row (summed
+#      AutoCorres CPU, the least noisy column). Live tracing *enabled*
+#      must stay within 2% of the disabled run; the disabled hot path
+#      (one relaxed atomic per span) is a strict subset of that cost,
+#      so the disabled-tracing regression is bounded by the same 2%.
+#      Interleaved best-of-two on each side to absorb scheduler noise.
+if [[ "$SKIP_PERF" == 1 ]]; then
+  echo "(tracing-overhead gate skipped via --skip-perf)"
+else
+  t5cpu() { # AC_TRACE value ("" = disabled) -> seL4-scale AC-cpu seconds
+    local out
+    if [[ -n "$1" ]]; then
+      out="$(AC_TRACE="$1" ./build/bench/table5_scaling 2>/dev/null)"
+    else
+      out="$(./build/bench/table5_scaling 2>/dev/null)"
+    fi
+    awk '/^seL4-scale/ { print $6; exit }' <<<"$out"
+  }
+  OFF1="$(t5cpu "")"
+  ON1="$(t5cpu "$OBSF/t5.trace.json")"
+  OFF2="$(t5cpu "")"
+  ON2="$(t5cpu "$OBSF/t5.trace.json")"
+  if [[ -z "$OFF1" || -z "$ON1" || -z "$OFF2" || -z "$ON2" ]]; then
+    echo "tier-1: FAILED — could not read table5_scaling seL4 CPU" \
+         "(got off='$OFF1'/'$OFF2' on='$ON1'/'$ON2')." >&2
+    exit 1
+  fi
+  if ! awk -v a1="$OFF1" -v a2="$OFF2" -v b1="$ON1" -v b2="$ON2" 'BEGIN {
+      off = (a1 < a2) ? a1 : a2
+      on = (b1 < b2) ? b1 : b2
+      exit !(off > 0 && on <= off * 1.02 + 0.05)
+    }'; then
+    echo "tier-1: FAILED — live tracing cost exceeded the 2% bound:" \
+         "disabled ${OFF1}/${OFF2}s vs enabled ${ON1}/${ON2}s." >&2
+    exit 1
+  fi
+  echo "tracing cost bounded: disabled ${OFF1}/${OFF2}s, enabled" \
+       "${ON1}/${ON2}s (<=2% + 0.05s slack)"
+fi
 
 disarm_watchdog
 echo "=== tier-1: all passes green ==="

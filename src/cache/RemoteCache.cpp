@@ -6,6 +6,10 @@
 #include "support/FaultInject.h"
 #include "support/Fingerprint.h"
 #include "support/Log.h"
+#include "support/Trace.h"
+
+#include <cstdio>
+#include <cstdlib>
 
 #include <sys/socket.h>
 #include <unistd.h>
@@ -88,6 +92,10 @@ RemoteCacheServer::~RemoteCacheServer() { stop(); }
 bool RemoteCacheServer::start() {
   if (Opts.SocketPath.empty() && Opts.ListenAddr.empty())
     return false;
+  if (Opts.TraceLive) {
+    support::Trace::setRole("cache");
+    support::Trace::start();
+  }
   if (!Opts.SocketPath.empty()) {
     Listen = Socket::listenUnix(Opts.SocketPath);
     if (!Listen.valid())
@@ -224,21 +232,34 @@ bool RemoteCacheServer::handleFrame(const std::shared_ptr<Conn> &C,
     C->send(errorJson("auth_failed", "auth required before `" + Op + "`"));
     return false;
   }
+  // Requests forwarded from a traced shard carry the trace context; the
+  // store's spans chain under the shard's remote.get/remote.put span.
+  uint64_t WireParent = 0;
+  if (J.get("parent_span").isString())
+    WireParent =
+        std::strtoull(J.get("parent_span").asString().c_str(), nullptr, 10);
+  support::TraceContextScope TScope(J.get("trace_id").asString(),
+                                    WireParent);
   if (Op == "get") {
     uint64_t Key = 0;
     if (!Fingerprint::parseHex(J.get("key").asString(), Key)) {
       C->send(errorJson("bad_request", "get lacks a 16-hex `key`"));
       return true;
     }
+    support::Span S("accached.get");
+    S.arg("key", Fingerprint::hex(Key));
     Json R = Json::object();
     R.set("ok", true);
     std::string Blob;
     if (Store.get(Key, Blob)) {
+      S.arg("hit", "1");
       R.set("found", true);
       R.set("entry", std::move(Blob));
     } else {
+      S.arg("hit", "0");
       R.set("found", false);
     }
+    S.end();
     C->send(R);
   } else if (Op == "put") {
     uint64_t Key = 0;
@@ -247,7 +268,10 @@ bool RemoteCacheServer::handleFrame(const std::shared_ptr<Conn> &C,
       C->send(errorJson("bad_request", "put wants `key` and `entry`"));
       return true;
     }
+    support::Span S("accached.put");
+    S.arg("key", Fingerprint::hex(Key));
     bool Stored = Store.put(Key, J.get("entry").asString());
+    S.end();
     Json R = Json::object();
     R.set("ok", true);
     R.set("stored", Stored);
@@ -265,6 +289,40 @@ bool RemoteCacheServer::handleFrame(const std::shared_ptr<Conn> &C,
     R.set("hits", Store.hits());
     R.set("puts", Store.puts());
     R.set("draining", Draining.load());
+    C->send(R);
+  } else if (Op == "metrics") {
+    // The store's Prometheus block, role-labelled so a federated scrape
+    // can tell the cache tier's samples from the shards'.
+    std::string Body;
+    auto Counter = [&](const char *Name, const char *Help,
+                       const char *Type, uint64_t V) {
+      char Buf[256];
+      std::snprintf(Buf, sizeof(Buf),
+                    "# HELP %s %s\n# TYPE %s %s\n%s{role=\"cache\"} %llu\n",
+                    Name, Help, Name, Type, Name,
+                    static_cast<unsigned long long>(V));
+      Body += Buf;
+    };
+    Counter("accached_entries", "Entries resident in the store.", "gauge",
+            Store.size());
+    Counter("accached_gets_total", "Get requests served.", "counter",
+            Store.gets());
+    Counter("accached_hits_total", "Get requests that found an entry.",
+            "counter", Store.hits());
+    Counter("accached_puts_total", "Entries accepted by put.", "counter",
+            Store.puts());
+    Json R = Json::object();
+    R.set("ok", true);
+    R.set("content_type", "text/plain; version=0.0.4");
+    R.set("body", Body);
+    C->send(R);
+  } else if (Op == "trace_pull") {
+    Json R = Json::object();
+    R.set("ok", true);
+    R.set("op", "trace_pull");
+    R.set("pid", static_cast<uint64_t>(getpid()));
+    R.set("role", support::Trace::role());
+    R.set("body", support::Trace::exportJson(/*Reset=*/true));
     C->send(R);
   } else if (Op == "drain") {
     {
@@ -343,10 +401,20 @@ bool RemoteCacheClient::get(uint64_t Key, core::CachedFunc &Out) {
     Sock.close();
     return false;
   }
+  // The round-trip span; its id rides along as parent_span so the
+  // store's accached.get chains under it in a merged fleet trace.
+  support::Span S("remote.get");
+  S.arg("key", Fingerprint::hex(Key));
   Json Req = Json::object();
   Req.set("v", service::ProtocolVersion);
   Req.set("op", "get");
   Req.set("key", Fingerprint::hex(Key));
+  if (S.active()) {
+    const support::Trace::Context &TC = support::Trace::context();
+    if (!TC.TraceId.empty())
+      Req.set("trace_id", TC.TraceId);
+    Req.set("parent_span", std::to_string(S.id()));
+  }
   Json Resp;
   if (!roundTrip(Req, Resp))
     return false;
@@ -372,11 +440,19 @@ void RemoteCacheClient::put(const core::CachedFunc &E) {
     Sock.close();
     return;
   }
+  support::Span S("remote.put");
+  S.arg("key", Fingerprint::hex(E.Key));
   Json Req = Json::object();
   Req.set("v", service::ProtocolVersion);
   Req.set("op", "put");
   Req.set("key", Fingerprint::hex(E.Key));
   Req.set("entry", core::serializeCachedFunc(E));
+  if (S.active()) {
+    const support::Trace::Context &TC = support::Trace::context();
+    if (!TC.TraceId.empty())
+      Req.set("trace_id", TC.TraceId);
+    Req.set("parent_span", std::to_string(S.id()));
+  }
   Json Resp;
   (void)roundTrip(Req, Resp); // best-effort: a dropped put is recomputed
 }
@@ -399,5 +475,25 @@ bool RemoteCacheClient::stats(Json &Out) {
   Json Req = Json::object();
   Req.set("v", service::ProtocolVersion);
   Req.set("op", "stats");
+  return roundTrip(Req, Out) && Out.get("ok").asBool();
+}
+
+bool RemoteCacheClient::metrics(Json &Out) {
+  std::lock_guard<std::mutex> L(M);
+  if (!ensureConnected())
+    return false;
+  Json Req = Json::object();
+  Req.set("v", service::ProtocolVersion);
+  Req.set("op", "metrics");
+  return roundTrip(Req, Out) && Out.get("ok").asBool();
+}
+
+bool RemoteCacheClient::tracePull(Json &Out) {
+  std::lock_guard<std::mutex> L(M);
+  if (!ensureConnected())
+    return false;
+  Json Req = Json::object();
+  Req.set("v", service::ProtocolVersion);
+  Req.set("op", "trace_pull");
   return roundTrip(Req, Out) && Out.get("ok").asBool();
 }

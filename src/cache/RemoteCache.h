@@ -77,6 +77,10 @@ struct RemoteCacheServerOptions {
   std::string ListenAddr;
   /// Shared auth token for TCP connections ("" = open).
   std::string AuthToken;
+  /// Live fleet tracing: record get/put spans (role "cache") for the
+  /// `trace_pull` op, chaining under the wire-carried trace context a
+  /// shard's RemoteCacheClient sends with each round-trip.
+  bool TraceLive = false;
 };
 
 /// The daemon: every op (get/put/ping/stats/drain) is answered inline by
@@ -148,6 +152,10 @@ public:
   bool ping();
   /// Fetches the daemon's `stats` payload.
   bool stats(support::Json &Out);
+  /// Fetches the daemon's `metrics` payload (Prometheus text in `body`).
+  bool metrics(support::Json &Out);
+  /// Drains the daemon's trace buffers (`trace_pull` payload).
+  bool tracePull(support::Json &Out);
 
 private:
   /// Dials (and authenticates) if not connected. Caller holds M.

@@ -6,9 +6,11 @@
 #include "support/FaultInject.h"
 #include "support/Fingerprint.h"
 #include "support/Log.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -54,6 +56,27 @@ static int64_t steadyNowMs() {
   return std::chrono::duration_cast<std::chrono::milliseconds>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
+}
+
+/// Records a zero-duration marker event chained into the calling
+/// thread's trace context — hedge fires and breaker trips are decision
+/// *points*, not regions, but they still belong on the request's tree.
+static void traceInstant(
+    const char *Name,
+    std::vector<std::pair<std::string, std::string>> Extra) {
+  if (!support::Trace::enabled())
+    return;
+  uint64_t Now = support::Trace::nowNs();
+  const support::Trace::Context &TC = support::Trace::context();
+  std::vector<std::pair<std::string, std::string>> Args;
+  if (!TC.TraceId.empty())
+    Args.emplace_back("trace_id", TC.TraceId);
+  Args.emplace_back("span", std::to_string(support::Trace::nextSpanId()));
+  if (TC.ParentSpan)
+    Args.emplace_back("parent", std::to_string(TC.ParentSpan));
+  for (auto &KV : Extra)
+    Args.push_back(std::move(KV));
+  support::Trace::record(Name, Now, Now, std::move(Args));
 }
 
 /// One client connection (same shape as the acd server's).
@@ -153,6 +176,10 @@ bool Router::start() {
     if (!ListenTcp.valid())
       return false;
     TcpPort = ListenTcp.boundPort();
+  }
+  if (Opts.TraceLive) {
+    support::Trace::setRole("router");
+    support::Trace::start();
   }
   Started = true;
   if (Listen.valid())
@@ -362,6 +389,18 @@ bool Router::handleFrame(const std::shared_ptr<Conn> &C,
     C->send(R);
   } else if (Op == "stats") {
     C->send(statsJson());
+  } else if (Op == "metrics") {
+    C->send(federatedMetricsJson());
+  } else if (Op == "fleet") {
+    C->send(fleetJson());
+  } else if (Op == "trace_pull") {
+    Json R = Json::object();
+    R.set("ok", true);
+    R.set("op", "trace_pull");
+    R.set("pid", static_cast<uint64_t>(::getpid()));
+    R.set("role", support::Trace::role());
+    R.set("body", support::Trace::exportJson(/*Reset=*/true));
+    C->send(R);
   } else if (Op == "drain") {
     {
       std::lock_guard<std::mutex> L(DrainM);
@@ -439,6 +478,7 @@ void Router::noteForwardFailure(ShardState &S) {
     support::Log::warn("router.breaker_open",
                        {{"shard", S.Addr},
                         {"consecutive_failures", Fails}});
+    traceInstant("router.breaker.open", {{"shard", S.Addr}});
   }
 }
 
@@ -487,15 +527,26 @@ bool Router::hedgedForward(size_t PrimaryIdx, uint64_t Key,
     std::vector<size_t> Failed;
   };
   auto St = std::make_shared<State>();
-  auto launch = [&](size_t Idx) {
+  // Each attempt thread re-installs the request's trace context (copied
+  // here, on the connection thread, where the router.request span is the
+  // live parent) so its router.forward span chains into the same tree —
+  // and so the shard sees that span's id as its wire parent.
+  auto launch = [&, TCtx = support::Trace::context()](size_t Idx) {
     {
       std::lock_guard<std::mutex> L(St->M);
       St->Pending++;
     }
     Attempts.fetch_add(1);
-    std::thread([this, St, Idx, Req = Fwd] {
+    ShardList[Idx]->Routed.fetch_add(1);
+    std::thread([this, St, Idx, Req = Fwd, TCtx]() mutable {
+      support::TraceContextScope TScope(TCtx.TraceId, TCtx.ParentSpan);
+      support::Span FSpan("router.forward");
+      FSpan.arg("shard", ShardList[Idx]->Addr);
+      if (FSpan.active())
+        Req.ParentSpan = std::to_string(FSpan.id());
       CheckResponse Resp;
       bool Ok = forwardTo(*ShardList[Idx], Req, Resp);
+      FSpan.arg("ok", Ok ? "1" : "0");
       if (!Ok)
         noteForwardFailure(*ShardList[Idx]);
       ShardList[Idx]->InFlight.fetch_sub(1);
@@ -503,14 +554,21 @@ bool Router::hedgedForward(size_t PrimaryIdx, uint64_t Key,
         std::lock_guard<std::mutex> L(St->M);
         St->Pending--;
         if (Ok && !St->HaveWin) {
+          // First successful answer claims the win under St->M — the
+          // only place a hedged request's Won counter moves, so a
+          // request whose hedge *and* primary both complete still
+          // counts exactly one winner (the loser's success is dropped).
           St->HaveWin = true;
           St->WinResp = std::move(Resp);
           St->WinIdx = Idx;
+          ShardList[Idx]->Won.fetch_add(1);
+          FSpan.arg("won", "1");
         } else if (!Ok) {
           St->Failed.push_back(Idx);
         }
         St->CV.notify_all();
       }
+      FSpan.end();
       {
         std::lock_guard<std::mutex> L(AttemptsM);
         Attempts.fetch_sub(1);
@@ -542,6 +600,9 @@ bool Router::hedgedForward(size_t PrimaryIdx, uint64_t Key,
                             {"primary", ShardList[PrimaryIdx]->Addr},
                             {"hedge", A.Addr}});
         L.unlock();
+        traceInstant("router.hedge.fire",
+                     {{"primary", ShardList[PrimaryIdx]->Addr},
+                      {"hedge", A.Addr}});
         launch(HedgeIdx);
         L.lock();
       }
@@ -565,12 +626,22 @@ bool Router::hedgedForward(size_t PrimaryIdx, uint64_t Key,
 void Router::handleCheck(const std::shared_ptr<Conn> &C, CheckRequest Req) {
   Received.fetch_add(1);
   auto Admitted = std::chrono::steady_clock::now();
+  // The fleet's front door mints the trace id: every hop downstream —
+  // forwards, shard pipelines, remote-cache round-trips — stamps its
+  // spans with this one id, which is what lets actrace reassemble the
+  // request across processes. A client-supplied id is kept when it is
+  // path-safe (shards embed it in artifact filenames).
+  if (!service::pathSafeTraceId(Req.TraceId))
+    Req.TraceId = service::mintTraceId("req");
+  support::TraceContextScope TScope(Req.TraceId, 0);
+  support::Span ReqSpan("router.request");
   auto respond = [&](CheckResponse &Resp) {
     if (Resp.TraceId.empty())
       Resp.TraceId = Req.TraceId;
     C->send(Resp.toJson());
   };
   if (Draining.load()) {
+    ReqSpan.arg("outcome", "draining");
     CheckResponse Resp =
         CheckResponse::error(ErrorCode::Draining, "router is draining");
     respond(Resp);
@@ -596,6 +667,7 @@ void Router::handleCheck(const std::shared_ptr<Conn> &C, CheckRequest Req) {
               .count());
       if (ElapsedMs >= Req.TimeoutMs) {
         Forwarding.fetch_sub(1);
+        ReqSpan.arg("outcome", "deadline");
         CheckResponse Resp = CheckResponse::error(
             ErrorCode::DeadlineExceeded,
             "deadline of " + std::to_string(Req.TimeoutMs) +
@@ -629,6 +701,7 @@ void Router::handleCheck(const std::shared_ptr<Conn> &C, CheckRequest Req) {
       S.InFlight.fetch_sub(1);
       Forwarding.fetch_sub(1);
       WindowBusy.fetch_add(1);
+      ReqSpan.arg("outcome", "window_busy");
       CheckResponse Resp = CheckResponse::error(
           ErrorCode::Busy, "shard window full", Opts.RetryAfterMs);
       respond(Resp);
@@ -642,9 +715,18 @@ void Router::handleCheck(const std::shared_ptr<Conn> &C, CheckRequest Req) {
       // can outlive this frame) and Tried bookkeeping for failures.
       Ok = hedgedForward(Idx, Key, Tried, TriedCount, Fwd, Out, Winner);
     } else {
+      support::Span FSpan("router.forward");
+      FSpan.arg("shard", S.Addr);
+      if (FSpan.active())
+        Fwd.ParentSpan = std::to_string(FSpan.id());
+      S.Routed.fetch_add(1);
       Ok = forwardTo(S, Fwd, Out);
+      FSpan.arg("ok", Ok ? "1" : "0");
+      FSpan.end();
       S.InFlight.fetch_sub(1);
-      if (!Ok) {
+      if (Ok) {
+        S.Won.fetch_add(1); // unhedged: the only attempt is the winner
+      } else {
         // Transport failure: count it against the breaker (K trips it;
         // the prober closes it again) and reroute to the next ring node.
         noteForwardFailure(S);
@@ -656,6 +738,8 @@ void Router::handleCheck(const std::shared_ptr<Conn> &C, CheckRequest Req) {
       ShardList[Winner]->Forwarded.fetch_add(1);
       Completed.fetch_add(1);
       Forwarding.fetch_sub(1);
+      ReqSpan.arg("outcome", "completed");
+      ReqSpan.arg("winner", ShardList[Winner]->Addr);
       respond(Out);
       return;
     }
@@ -668,13 +752,17 @@ void Router::handleCheck(const std::shared_ptr<Conn> &C, CheckRequest Req) {
     Fallbacks.fetch_add(1);
     support::Log::warn("router.local_fallback",
                        {{"trace_id", Req.TraceId}});
+    ReqSpan.arg("outcome", "local_fallback");
+    support::Span FallbackSpan("router.fallback");
     CheckResponse Resp = service::runLocalCheck(Req);
+    FallbackSpan.end();
     Completed.fetch_add(1);
     Forwarding.fetch_sub(1);
     respond(Resp);
     return;
   }
   Forwarding.fetch_sub(1);
+  ReqSpan.arg("outcome", "no_healthy_shard");
   CheckResponse Resp = CheckResponse::error(
       ErrorCode::Busy, "no healthy shard", Opts.RetryAfterMs);
   respond(Resp);
@@ -706,8 +794,226 @@ ac::support::Json Router::statsJson() {
     SJ.set("in_flight", static_cast<uint64_t>(S->InFlight.load()));
     SJ.set("forwarded", S->Forwarded.load());
     SJ.set("errors", S->Errors.load());
+    SJ.set("routed", S->Routed.load());
+    SJ.set("won", S->Won.load());
     Shards.push(std::move(SJ));
   }
   J.set("shards", std::move(Shards));
+  return J;
+}
+
+//===----------------------------------------------------------------------===//
+// Metrics federation and the fleet payload
+//===----------------------------------------------------------------------===//
+
+/// Merges Prometheus text expositions into one: HELP/TYPE headers are
+/// emitted once per metric family (first block's wording wins), and
+/// samples from every block regroup under their family so the merged
+/// output is still a legal exposition (a family's samples must be
+/// contiguous). Families keep first-seen order.
+static std::string mergeExpositions(const std::vector<std::string> &Bodies) {
+  struct Family {
+    std::string Help, Type;
+    std::vector<std::string> Samples;
+  };
+  std::vector<std::string> Order;
+  std::map<std::string, Family> Families;
+  for (const std::string &Body : Bodies) {
+    Family *Cur = nullptr;
+    size_t Pos = 0;
+    while (Pos < Body.size()) {
+      size_t End = Body.find('\n', Pos);
+      if (End == std::string::npos)
+        End = Body.size();
+      std::string Line = Body.substr(Pos, End - Pos);
+      Pos = End + 1;
+      if (Line.empty())
+        continue;
+      bool IsHelp = Line.rfind("# HELP ", 0) == 0;
+      bool IsType = Line.rfind("# TYPE ", 0) == 0;
+      if (IsHelp || IsType) {
+        std::string Rest = Line.substr(7);
+        std::string Name = Rest.substr(0, Rest.find(' '));
+        auto It = Families.find(Name);
+        if (It == Families.end()) {
+          Order.push_back(Name);
+          It = Families.emplace(Name, Family{}).first;
+        }
+        Cur = &It->second;
+        std::string &Slot = IsHelp ? Cur->Help : Cur->Type;
+        if (Slot.empty())
+          Slot = std::move(Line);
+      } else if (Line[0] == '#') {
+        continue; // stray comments don't survive the merge
+      } else if (Cur) {
+        Cur->Samples.push_back(std::move(Line));
+      }
+    }
+  }
+  std::string Out;
+  for (const std::string &Name : Order) {
+    Family &F = Families[Name];
+    if (!F.Help.empty())
+      Out += F.Help + "\n";
+    if (!F.Type.empty())
+      Out += F.Type + "\n";
+    for (const std::string &S : F.Samples)
+      Out += S + "\n";
+  }
+  return Out;
+}
+
+ac::support::Json Router::federatedMetricsJson() {
+  // One steady instant anchors the whole scrape: every block's
+  // acd_scrape_age_seconds is measured against the same `Now`, so ages
+  // across shards are comparable and a healthy fleet reads ~0 — while a
+  // dead shard's last-good block ages visibly.
+  auto Now = std::chrono::steady_clock::now();
+  auto ageS = [&](std::chrono::steady_clock::time_point At) {
+    return std::chrono::duration<double>(Now - At).count();
+  };
+  char Buf[256];
+  std::vector<std::string> Bodies;
+  std::string AgeBlock =
+      "# HELP acd_scrape_age_seconds Age of each scraped block in the "
+      "federated exposition (0 = scraped live this request).\n"
+      "# TYPE acd_scrape_age_seconds gauge\n";
+  for (const std::unique_ptr<ShardState> &S : ShardList) {
+    std::string Body, Err;
+    service::Client C =
+        service::Client::connectTcp(S->Addr, Opts.ShardToken, Err);
+    bool Live = C.connected() && C.metricsText(Body, Err);
+    std::lock_guard<std::mutex> L(S->ScrapeM);
+    if (Live) {
+      S->LastMetricsBody = std::move(Body);
+      S->LastMetricsAt = Now;
+    }
+    if (S->LastMetricsBody.empty())
+      continue; // never scraped successfully: nothing to re-serve
+    Bodies.push_back(S->LastMetricsBody);
+    std::snprintf(Buf, sizeof(Buf),
+                  "acd_scrape_age_seconds{shard_id=\"%s\"} %.6f\n",
+                  S->Addr.c_str(), ageS(S->LastMetricsAt));
+    AgeBlock += Buf;
+  }
+  if (!Opts.CacheAddr.empty()) {
+    std::string Body, Err;
+    service::Client C =
+        service::Client::connectTcp(Opts.CacheAddr, Opts.ShardToken, Err);
+    if (C.connected() && C.metricsText(Body, Err)) {
+      Bodies.push_back(std::move(Body));
+      std::snprintf(Buf, sizeof(Buf),
+                    "acd_scrape_age_seconds{shard_id=\"%s\"} 0\n",
+                    Opts.CacheAddr.c_str());
+      AgeBlock += Buf;
+    }
+  }
+  // The router's own block, through the same merger as everyone else's.
+  std::string R;
+  auto Counter = [&](const char *Name, const char *Help, uint64_t V) {
+    std::snprintf(Buf, sizeof(Buf),
+                  "# HELP %s %s\n# TYPE %s counter\n%s %llu\n", Name,
+                  Help, Name, Name,
+                  static_cast<unsigned long long>(V));
+    R += Buf;
+  };
+  Counter("acrouter_requests_received_total",
+          "Check requests accepted by the router.", Received.load());
+  Counter("acrouter_requests_completed_total",
+          "Check requests answered (forwarded or fallback).",
+          Completed.load());
+  Counter("acrouter_rerouted_total",
+          "Forward attempts rerouted after a transport failure.",
+          Rerouted.load());
+  Counter("acrouter_fallbacks_total",
+          "Requests served by the in-process fallback pipeline.",
+          Fallbacks.load());
+  Counter("acrouter_window_busy_total",
+          "Requests bounced busy off a full shard window.",
+          WindowBusy.load());
+  Counter("acrouter_hedges_total", "Hedge duplicates dispatched.",
+          Hedges.load());
+  Counter("acrouter_hedge_wins_total",
+          "Requests whose hedge answered before the primary.",
+          HedgeWins.load());
+  Counter("acrouter_retry_budget_exhausted_total",
+          "Reroutes/hedges denied by the retry budget.",
+          RetryBudgetDenied.load());
+  R += "# HELP acrouter_forward_routed_total Attempts dispatched to "
+       "each shard (primary or hedge).\n"
+       "# TYPE acrouter_forward_routed_total counter\n";
+  for (const std::unique_ptr<ShardState> &S : ShardList) {
+    std::snprintf(Buf, sizeof(Buf),
+                  "acrouter_forward_routed_total{shard=\"%s\"} %llu\n",
+                  S->Addr.c_str(),
+                  static_cast<unsigned long long>(S->Routed.load()));
+    R += Buf;
+  }
+  R += "# HELP acrouter_forward_winner_total Requests whose answer each "
+       "shard supplied (exactly one winner per answered request).\n"
+       "# TYPE acrouter_forward_winner_total counter\n";
+  for (const std::unique_ptr<ShardState> &S : ShardList) {
+    std::snprintf(Buf, sizeof(Buf),
+                  "acrouter_forward_winner_total{shard=\"%s\"} %llu\n",
+                  S->Addr.c_str(),
+                  static_cast<unsigned long long>(S->Won.load()));
+    R += Buf;
+  }
+  R += "# HELP acrouter_shard_healthy 1 when the shard's breaker is "
+       "closed, 0 otherwise.\n"
+       "# TYPE acrouter_shard_healthy gauge\n";
+  for (const std::unique_ptr<ShardState> &S : ShardList) {
+    std::snprintf(Buf, sizeof(Buf),
+                  "acrouter_shard_healthy{shard=\"%s\"} %d\n",
+                  S->Addr.c_str(), S->healthy() ? 1 : 0);
+    R += Buf;
+  }
+  Bodies.push_back(std::move(R));
+  Bodies.push_back(std::move(AgeBlock));
+  Json J = Json::object();
+  J.set("ok", true);
+  J.set("op", "metrics");
+  J.set("content_type", "text/plain; version=0.0.4");
+  J.set("body", mergeExpositions(Bodies));
+  return J;
+}
+
+ac::support::Json Router::fleetJson() {
+  Json J = statsJson();
+  J.set("op", "fleet");
+  // Live stats scrape of each shard + the cache tier, nested next to
+  // the router's own per-shard view so actop renders one payload.
+  Json Details = Json::array();
+  for (const std::unique_ptr<ShardState> &S : ShardList) {
+    Json D = Json::object();
+    D.set("addr", S->Addr);
+    std::string Err;
+    service::Client C =
+        service::Client::connectTcp(S->Addr, Opts.ShardToken, Err);
+    Json St;
+    if (C.connected() && C.stats(St, Err)) {
+      D.set("up", true);
+      D.set("stats", std::move(St));
+    } else {
+      D.set("up", false);
+    }
+    Details.push(std::move(D));
+  }
+  J.set("shard_stats", std::move(Details));
+  if (!Opts.CacheAddr.empty()) {
+    Json D = Json::object();
+    D.set("addr", Opts.CacheAddr);
+    std::string Err;
+    service::Client C =
+        service::Client::connectTcp(Opts.CacheAddr, Opts.ShardToken, Err);
+    Json St;
+    if (C.connected() && C.stats(St, Err)) {
+      D.set("up", true);
+      D.set("stats", std::move(St));
+    } else {
+      D.set("up", false);
+    }
+    J.set("cache", std::move(D));
+  }
   return J;
 }

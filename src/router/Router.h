@@ -93,6 +93,14 @@ struct RouterOptions {
   /// every shard computes byte-identical responses). 0 disables
   /// hedging; requests without a deadline are never hedged.
   unsigned HedgeBudgetPct = 70;
+  /// The accached address ("host:port"), scraped into the federated
+  /// `metrics` exposition and the `fleet` payload alongside the shards.
+  /// "" = no cache tier. Dialed with ShardToken.
+  std::string CacheAddr;
+  /// Live fleet tracing: record router.request / router.forward spans
+  /// (role "router") for the `trace_pull` op, and propagate the trace
+  /// context (trace_id + parent_span) on every forward.
+  bool TraceLive = false;
 };
 
 /// Circuit-breaker states of one shard. Closed = routing normally;
@@ -118,8 +126,20 @@ struct ShardState {
   std::atomic<unsigned> InFlight{0};
   std::atomic<uint64_t> Forwarded{0};
   std::atomic<uint64_t> Errors{0};
+  /// Winner attribution: Routed counts every attempt dispatched to this
+  /// shard (primary or hedge); Won counts requests whose answer this
+  /// shard actually supplied — exactly one Won per answered request,
+  /// even when a hedge and the primary both complete.
+  std::atomic<uint64_t> Routed{0};
+  std::atomic<uint64_t> Won{0};
   std::mutex PoolM;
   std::vector<service::Client> Pool;
+  /// Last successful `metrics` scrape of this shard, kept so a dead
+  /// shard's block still appears in the federated exposition — with an
+  /// acd_scrape_age_seconds gauge exposing exactly how stale it is.
+  std::mutex ScrapeM;
+  std::string LastMetricsBody;
+  std::chrono::steady_clock::time_point LastMetricsAt{};
 
   explicit ShardState(std::string A) : Addr(std::move(A)) {}
 
@@ -202,6 +222,13 @@ private:
                      service::CheckResponse &Out, size_t &Winner);
 
   support::Json statsJson();
+  /// The federated `metrics` payload: every shard's exposition (live or
+  /// last-good), the cache tier's, and the router's own block, merged
+  /// into one lint-clean exposition against a single scrape instant.
+  support::Json federatedMetricsJson();
+  /// The `fleet` payload actop polls: router stats + a live stats
+  /// scrape of every shard and the cache tier.
+  support::Json fleetJson();
 
   RouterOptions Opts;
   std::vector<std::unique_ptr<ShardState>> ShardList;

@@ -83,6 +83,15 @@ public:
   /// Fetches the `metrics` request's Prometheus text exposition.
   bool metricsText(std::string &Out, std::string &Err);
 
+  /// Drains the daemon's trace buffers: the `trace_pull` payload
+  /// ({pid, role, body} with body one Chrome-JSON fragment).
+  bool tracePull(support::Json &Out, std::string &Err);
+
+  /// Fetches a router's `fleet` payload — its own stats plus a live
+  /// scrape of every shard's (and the cache tier's) stats. Only routers
+  /// answer this op.
+  bool fleet(support::Json &Out, std::string &Err);
+
   /// Liveness probe.
   bool ping(std::string &Err);
 

@@ -79,6 +79,48 @@ struct Emitter {
     Out += Buf;
   }
 
+  /// True Prometheus histogram: cumulative `le` buckets (the +Inf
+  /// bucket closes on S.Count), _sum, _count. A bucket a sample
+  /// actually landed in carries that sample's trace id as an
+  /// OpenMetrics exemplar, so a slow bucket links straight to a trace.
+  void histogram(const char *Name, const char *Help,
+                 const ServiceMetrics::HistStat &S,
+                 const uint64_t *Cumulative,
+                 const std::vector<ServiceMetrics::Exemplar> &Ex) {
+    emitHeader(Out, Name, Help, "histogram");
+    std::string Bucket = std::string(Name) + "_bucket";
+    char Buf[320];
+    for (size_t I = 0; I != ServiceMetrics::NumHistBounds + 1; ++I) {
+      bool Inf = I == ServiceMetrics::NumHistBounds;
+      char Le[32];
+      if (Inf)
+        std::snprintf(Le, sizeof(Le), "le=\"+Inf\"");
+      else
+        std::snprintf(Le, sizeof(Le), "le=\"%g\"",
+                      ServiceMetrics::HistBounds[I]);
+      uint64_t V = Inf ? S.Count : Cumulative[I];
+      std::string Line = sample(Bucket.c_str(), Le);
+      std::snprintf(Buf, sizeof(Buf), "%s %llu", Line.c_str(),
+                    static_cast<unsigned long long>(V));
+      Out += Buf;
+      if (I < Ex.size() && !Ex[I].TraceId.empty()) {
+        std::snprintf(Buf, sizeof(Buf),
+                      " # {trace_id=\"%s\"} %.6f",
+                      Ex[I].TraceId.c_str(), Ex[I].Seconds);
+        Out += Buf;
+      }
+      Out += '\n';
+    }
+    std::snprintf(Buf, sizeof(Buf), "%s %.6f\n",
+                  sample((std::string(Name) + "_sum").c_str()).c_str(),
+                  S.SumS);
+    Out += Buf;
+    std::snprintf(Buf, sizeof(Buf), "%s %llu\n",
+                  sample((std::string(Name) + "_count").c_str()).c_str(),
+                  static_cast<unsigned long long>(S.Count));
+    Out += Buf;
+  }
+
   void summary(const char *Name, const char *Help,
                const ServiceMetrics::HistStat &S) {
     emitHeader(Out, Name, Help, "summary");
@@ -103,7 +145,36 @@ struct Emitter {
   }
 };
 
+/// Index into the coarse exemplar/bucket ladder for one sample; the
+/// +Inf bucket is NumHistBounds.
+size_t coarseBucket(double Seconds) {
+  for (size_t I = 0; I != ServiceMetrics::NumHistBounds; ++I)
+    if (Seconds <= ServiceMetrics::HistBounds[I])
+      return I;
+  return ServiceMetrics::NumHistBounds;
+}
+
 } // namespace
+
+void ServiceMetrics::noteRequest(const std::string &TraceId,
+                                 const std::string &Tenant,
+                                 const std::string &Priority, double TotalS,
+                                 double WaitS, bool Ok) {
+  {
+    std::lock_guard<std::mutex> L(ExemplarM);
+    TotalEx[coarseBucket(TotalS)] = {TraceId, TotalS};
+    WaitEx[coarseBucket(WaitS)] = {TraceId, WaitS};
+  }
+  std::lock_guard<std::mutex> L(RecentM);
+  RecentRequest R{TraceId, Tenant, Priority, TotalS, WaitS,
+                  uptimeSeconds(), Ok};
+  if (Recent.size() < RecentCap) {
+    Recent.push_back(std::move(R));
+  } else {
+    Recent[RecentNext] = std::move(R);
+    RecentNext = (RecentNext + 1) % RecentCap;
+  }
+}
 
 ServiceMetrics::Snapshot
 ServiceMetrics::snapshot(size_t QueueDepth, size_t QueueCapacity,
@@ -144,6 +215,20 @@ ServiceMetrics::snapshot(size_t QueueDepth, size_t QueueCapacity,
   S.Parse = readHist(ParseH);
   S.Abstract = readHist(AbstractH);
   S.Total = readHist(TotalH);
+  TotalH.cumulative(HistBounds, NumHistBounds, S.TotalBuckets);
+  WaitH.cumulative(HistBounds, NumHistBounds, S.WaitBuckets);
+  {
+    std::lock_guard<std::mutex> L(ExemplarM);
+    S.TotalExemplars.assign(TotalEx, TotalEx + NumHistBounds + 1);
+    S.WaitExemplars.assign(WaitEx, WaitEx + NumHistBounds + 1);
+  }
+  {
+    std::lock_guard<std::mutex> L(RecentM);
+    // Unroll the ring into oldest-first order.
+    for (size_t I = 0; I != Recent.size(); ++I)
+      S.Recent.push_back(
+          Recent[(RecentNext + I) % Recent.size()]);
+  }
   return S;
 }
 
@@ -199,15 +284,38 @@ Json ServiceMetrics::Snapshot::toJson() const {
   C.set("invalidations", CacheInvalidations);
   C.set("mem_entries", MemCacheEntries);
   J.set("cache", std::move(C));
+
+  if (!Recent.empty()) {
+    Json A = Json::array();
+    for (const RecentRequest &R : Recent) {
+      Json RJ = Json::object();
+      RJ.set("trace_id", R.TraceId);
+      if (!R.Tenant.empty())
+        RJ.set("tenant", R.Tenant);
+      RJ.set("priority", R.Priority);
+      RJ.set("total_ms", R.TotalS * 1e3);
+      RJ.set("wait_ms", R.WaitS * 1e3);
+      RJ.set("age_s", UptimeS - R.UptimeAtS);
+      RJ.set("ok", R.Ok);
+      A.push(std::move(RJ));
+    }
+    J.set("recent", std::move(A));
+  }
   return J;
 }
 
 std::string
-ServiceMetrics::Snapshot::toPrometheus(const std::string &ShardId) const {
+ServiceMetrics::Snapshot::toPrometheus(const std::string &ShardId,
+                                       const std::string &Role) const {
   std::string O;
   O.reserve(4096);
-  Emitter E{O, ShardId.empty() ? std::string()
-                               : "shard_id=\"" + ShardId + "\""};
+  std::string Lbl;
+  if (!ShardId.empty()) {
+    Lbl = "shard_id=\"" + ShardId + "\"";
+    if (!Role.empty())
+      Lbl += ",role=\"" + Role + "\"";
+  }
+  Emitter E{O, Lbl};
   E.f64("acd_uptime_seconds", "Seconds since the daemon started.",
         "gauge", UptimeS);
   E.u64("acd_draining", "1 while the daemon refuses new work.", "gauge",
@@ -301,6 +409,15 @@ ServiceMetrics::Snapshot::toPrometheus(const std::string &ShardId) const {
             "Abstraction pipeline wall time per request.", Abstract);
   E.summary("acd_latency_total_seconds",
             "Admission-to-response latency per request.", Total);
+
+  E.histogram("acd_request_duration_seconds",
+              "Admission-to-response latency distribution (cumulative "
+              "buckets; slow buckets carry an exemplar trace id).",
+              Total, TotalBuckets, TotalExemplars);
+  E.histogram("acd_queue_wait_seconds",
+              "Queue-wait distribution (cumulative buckets; slow "
+              "buckets carry an exemplar trace id).",
+              Wait, WaitBuckets, WaitExemplars);
   return O;
 }
 

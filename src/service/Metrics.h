@@ -92,6 +92,50 @@ struct ServiceMetrics {
   /// admission-to-response.
   support::Histogram WaitH, ParseH, AbstractH, TotalH;
 
+  /// Coarse `le` ladder of the true Prometheus histograms
+  /// (acd_request_duration_seconds / acd_queue_wait_seconds), folded
+  /// from the fine log buckets at render time. The +Inf bucket is
+  /// implicit (== count).
+  static constexpr double HistBounds[] = {0.001, 0.005, 0.01, 0.025,
+                                          0.05,  0.1,   0.25, 0.5,
+                                          1.0,   2.5,   5.0,  10.0};
+  static constexpr size_t NumHistBounds =
+      sizeof(HistBounds) / sizeof(HistBounds[0]);
+
+  /// The most recent sample that landed in each coarse bucket, kept so
+  /// the exposition can attach an exemplar trace id to slow buckets —
+  /// "p99 regressed" becomes "open this trace". Index NumHistBounds is
+  /// the +Inf bucket.
+  struct Exemplar {
+    std::string TraceId;
+    double Seconds = 0;
+  };
+  mutable std::mutex ExemplarM;
+  Exemplar TotalEx[NumHistBounds + 1];
+  Exemplar WaitEx[NumHistBounds + 1];
+
+  /// Ring of recently finished requests, keyed by trace id, so a live
+  /// inspector (actop) can show the top-K slowest without any external
+  /// trace store. Mutex-guarded: one push per request is noise next to
+  /// the pipeline it measures.
+  struct RecentRequest {
+    std::string TraceId, Tenant, Priority;
+    double TotalS = 0, WaitS = 0;
+    double UptimeAtS = 0; ///< uptimeSeconds() at completion
+    bool Ok = true;
+  };
+  static constexpr size_t RecentCap = 64;
+  mutable std::mutex RecentM;
+  std::vector<RecentRequest> Recent;
+  size_t RecentNext = 0;
+
+  /// Records one finished request into the exemplar slots and the
+  /// recent-request ring. \p TotalS / \p WaitS match what went into
+  /// TotalH / WaitH for the same request.
+  void noteRequest(const std::string &TraceId, const std::string &Tenant,
+                   const std::string &Priority, double TotalS, double WaitS,
+                   bool Ok);
+
   /// Per-tenant admission accounting. Tenants are discovered from
   /// request traffic, so this is a small mutex-guarded map rather than
   /// a fixed atomic set; the anonymous tenant ("") is not tracked.
@@ -159,17 +203,28 @@ struct ServiceMetrics {
              MemCacheEntries = 0;
     uint64_t ParseCpuMicros = 0, AbstractCpuMicros = 0;
     HistStat Wait, Parse, Abstract, Total;
+    /// Cumulative counts per HistBounds entry (true-histogram form);
+    /// the +Inf bucket is the matching HistStat's Count.
+    uint64_t TotalBuckets[NumHistBounds] = {};
+    uint64_t WaitBuckets[NumHistBounds] = {};
+    std::vector<Exemplar> TotalExemplars, WaitExemplars;
+    /// Recently finished requests, oldest first.
+    std::vector<RecentRequest> Recent;
 
     /// The `stats` response payload.
     support::Json toJson() const;
 
     /// Prometheus text exposition (version 0.0.4): `# HELP` / `# TYPE`
     /// headers plus one sample per counter/gauge, histogram quantiles
-    /// as `{quantile="..."}` summary samples. A non-empty \p ShardId
-    /// attaches `shard_id="..."` to every sample so fleet scrapes
-    /// aggregate per shard; "" keeps the surface byte-identical to the
+    /// as `{quantile="..."}` summary samples, and true histograms
+    /// (cumulative `le` buckets with exemplar trace ids on buckets that
+    /// hold one) for request latency and queue wait. A non-empty
+    /// \p ShardId attaches `shard_id="..."` — plus `role="..."` when
+    /// \p Role is also set — to every sample so fleet scrapes aggregate
+    /// per shard; "" keeps the surface byte-identical to the
     /// single-daemon output.
-    std::string toPrometheus(const std::string &ShardId = "") const;
+    std::string toPrometheus(const std::string &ShardId = "",
+                             const std::string &Role = "") const;
   };
 
   /// Captures a Snapshot. The queue/in-flight gauges are owned by the

@@ -2,7 +2,10 @@
 
 #include "service/Protocol.h"
 
+#include <atomic>
 #include <fstream>
+
+#include <unistd.h>
 
 using namespace ac::service;
 using ac::support::Json;
@@ -31,6 +34,27 @@ bool ac::service::readTokenFile(const std::string &Path,
          (Token.back() == '\n' || Token.back() == '\r'))
     Token.pop_back();
   return !Token.empty();
+}
+
+bool ac::service::pathSafeTraceId(const std::string &Id) {
+  if (Id.empty() || Id.size() > 128)
+    return false;
+  auto Alnum = [](char C) {
+    return (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') ||
+           (C >= '0' && C <= '9');
+  };
+  if (!Alnum(Id[0]))
+    return false;
+  for (char C : Id)
+    if (!Alnum(C) && C != '.' && C != '_' && C != '-')
+      return false;
+  return true;
+}
+
+std::string ac::service::mintTraceId(const char *Prefix) {
+  static std::atomic<uint64_t> Seq{0};
+  return std::string(Prefix) + "-" + std::to_string(getpid()) + "-" +
+         std::to_string(Seq.fetch_add(1, std::memory_order_relaxed) + 1);
 }
 
 const char *ac::service::errorCodeName(ErrorCode E) {
@@ -117,6 +141,8 @@ Json CheckRequest::toJson() const {
     J.set("timeout_ms", TimeoutMs);
   if (!TraceId.empty())
     J.set("trace_id", TraceId);
+  if (!ParentSpan.empty())
+    J.set("parent_span", ParentSpan);
   if (Prio != Priority::Interactive)
     J.set("priority", priorityName(Prio));
   if (!Tenant.empty())
@@ -147,6 +173,7 @@ bool CheckRequest::fromJson(const Json &J, CheckRequest &Out,
       static_cast<unsigned>(J.get("debug_delay_ms").asInt(0));
   Out.TimeoutMs = static_cast<unsigned>(J.get("timeout_ms").asInt(0));
   Out.TraceId = J.get("trace_id").asString();
+  Out.ParentSpan = J.get("parent_span").asString();
   std::string Prio = J.get("priority").asString();
   if (Prio.empty() || Prio == "interactive") {
     Out.Prio = Priority::Interactive;

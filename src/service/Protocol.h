@@ -75,6 +75,16 @@ bool constantTimeEqual(const std::string &A, const std::string &B);
 /// or the token is empty.
 bool readTokenFile(const std::string &Path, std::string &Token);
 
+/// True when \p Id is safe to embed in filenames and log lines verbatim:
+/// non-empty, at most 128 chars, `[A-Za-z0-9._-]` only (no '/' — no
+/// traversal), and a leading alphanumeric (no dot-files, no
+/// option-lookalikes). Every daemon that accepts a client-supplied
+/// trace id applies this before using it.
+bool pathSafeTraceId(const std::string &Id);
+
+/// Mints a fresh trace id, unique per process: `<prefix>-<pid>-<seq>`.
+std::string mintTraceId(const char *Prefix);
+
 /// A "check" request: one translation unit plus per-request options
 /// (mirroring core::ACOptions).
 struct CheckRequest {
@@ -93,6 +103,10 @@ struct CheckRequest {
   /// the request produces, and the per-request trace filename (when the
   /// daemon runs with --trace-dir). "" lets the daemon mint one.
   std::string TraceId;
+  /// Distributed-trace parent span id (decimal string of a 64-bit id),
+  /// set by a router forwarding the request so the serving daemon's
+  /// spans chain under the router's forward span. "" = no parent.
+  std::string ParentSpan;
   /// Admission class. Interactive (the default) dequeues before bulk;
   /// bulk is eligible for staleness shedding when the queue is saturated.
   Priority Prio = Priority::Interactive;

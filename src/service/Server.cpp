@@ -12,6 +12,7 @@
 #include <atomic>
 #include <cassert>
 #include <chrono>
+#include <cstdlib>
 #include <filesystem>
 #include <sys/socket.h>
 #include <unistd.h>
@@ -140,6 +141,10 @@ bool Server::start() {
     if (!ListenTcp.valid())
       return false;
     TcpPort = ListenTcp.boundPort();
+  }
+  if (Opts.TraceLive) {
+    support::Trace::setRole("shard");
+    support::Trace::start();
   }
   Started = true;
   if (Listen.valid())
@@ -310,6 +315,16 @@ bool Server::handleFrame(const std::shared_ptr<Conn> &C,
     C->send(statsJson());
   } else if (Op == "metrics") {
     C->send(metricsJson());
+  } else if (Op == "trace_pull") {
+    // Drains this process's span buffers into one Chrome-JSON fragment;
+    // a collector (actrace) pulls every fleet member and merges.
+    Json R = Json::object();
+    R.set("ok", true);
+    R.set("op", "trace_pull");
+    R.set("pid", static_cast<uint64_t>(getpid()));
+    R.set("role", support::Trace::role());
+    R.set("body", support::Trace::exportJson(/*Reset=*/true));
+    C->send(R);
   } else if (Op == "drain") {
     beginDrain();
     Json R = Json::object();
@@ -331,38 +346,16 @@ bool Server::handleFrame(const std::shared_ptr<Conn> &C,
   return true;
 }
 
-std::string Server::mintTraceId() {
-  static std::atomic<uint64_t> Seq{0};
-  return "req-" + std::to_string(getpid()) + "-" +
-         std::to_string(Seq.fetch_add(1) + 1);
-}
-
-/// A trace id names the per-request trace file under --trace-dir, so a
-/// client-supplied id is only accepted when it cannot steer the path:
-/// [A-Za-z0-9._-] only (no '/' — no traversal), a leading alphanumeric
-/// (no dot-files, no option-lookalikes), and a bounded length. Anything
-/// else is discarded and the daemon names the request itself.
-bool Server::pathSafeTraceId(const std::string &Id) {
-  if (Id.empty() || Id.size() > 128)
-    return false;
-  auto Alnum = [](char C) {
-    return (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') ||
-           (C >= '0' && C <= '9');
-  };
-  if (!Alnum(Id[0]))
-    return false;
-  for (char C : Id)
-    if (!Alnum(C) && C != '.' && C != '_' && C != '-')
-      return false;
-  return true;
-}
-
 void Server::handleCheck(const std::shared_ptr<Conn> &C, CheckRequest Req) {
   auto R = std::make_shared<Request>();
   R->C = C;
   R->Req = std::move(Req);
+  // A trace id names the per-request trace file under --trace-dir, so a
+  // client-supplied id is only accepted when it cannot steer the path
+  // (pathSafeTraceId); anything else is discarded and the daemon names
+  // the request itself.
   if (!pathSafeTraceId(R->Req.TraceId)) {
-    std::string Minted = mintTraceId();
+    std::string Minted = mintTraceId("req");
     if (!R->Req.TraceId.empty())
       support::Log::warn("request.trace_id_replaced",
                          {{"trace_id", Minted},
@@ -578,8 +571,12 @@ void Server::watchdogLoop() {
         Metrics.Failed.fetch_add(1);
       else
         Metrics.Cancelled.fetch_add(1);
-      Metrics.TotalH.record(
-          secondsBetween(R->Admitted, std::chrono::steady_clock::now()));
+      double TotalS =
+          secondsBetween(R->Admitted, std::chrono::steady_clock::now());
+      Metrics.TotalH.record(TotalS);
+      Metrics.noteRequest(R->Req.TraceId, R->Req.Tenant,
+                          priorityName(R->Req.Prio), TotalS, /*WaitS=*/0,
+                          /*Ok=*/false);
       R->markDone();
     }
   }
@@ -618,8 +615,37 @@ void Server::runRequest(Request &R) {
     }
     return;
   }
-  Metrics.WaitH.record(
-      secondsBetween(R.Admitted, std::chrono::steady_clock::now()));
+  double WaitS = secondsBetween(R.Admitted, std::chrono::steady_clock::now());
+  Metrics.WaitH.record(WaitS);
+
+  // Install the wire-carried trace context for this worker thread: the
+  // request's spans stamp its trace id and chain under the router's
+  // forward span (parent_span) when one was sent.
+  uint64_t WireParent = 0;
+  if (!R.Req.ParentSpan.empty())
+    WireParent = std::strtoull(R.Req.ParentSpan.c_str(), nullptr, 10);
+  support::TraceContextScope TScope(R.Req.TraceId, WireParent);
+  support::Span ReqSpan("acd.request");
+  if (!Opts.ShardId.empty())
+    ReqSpan.arg("shard_id", Opts.ShardId);
+  if (!R.Req.Tenant.empty())
+    ReqSpan.arg("tenant", R.Req.Tenant);
+  ReqSpan.arg("priority", priorityName(R.Req.Prio));
+  // The queue wait ended on this thread just now; backdate its start so
+  // the admission-to-dequeue gap is visible as a child of acd.request.
+  if (support::Trace::enabled()) {
+    uint64_t EndNs = support::Trace::nowNs();
+    auto WaitNs = static_cast<uint64_t>(WaitS * 1e9);
+    std::vector<std::pair<std::string, std::string>> Args;
+    if (!R.Req.TraceId.empty())
+      Args.emplace_back("trace_id", R.Req.TraceId);
+    Args.emplace_back("span", std::to_string(support::Trace::nextSpanId()));
+    if (uint64_t P = ReqSpan.id())
+      Args.emplace_back("parent", std::to_string(P));
+    support::Trace::record("acd.queue_wait",
+                           EndNs > WaitNs ? EndNs - WaitNs : 0, EndNs,
+                           std::move(Args));
+  }
 
   // Chunked so the watchdog's cancellation lands mid-delay: this delay
   // is the tests' stand-in for a long pipeline phase, and it doubles as
@@ -649,8 +675,9 @@ void Server::runRequest(Request &R) {
 
   // Per-request tracing: spans recorded during this run (and, with
   // concurrent workers, any overlapping run) flush to one file named by
-  // the request's correlation id.
-  bool Tracing = !Opts.TraceDir.empty();
+  // the request's correlation id. Disabled in live fleet mode — the
+  // flush-reset would drain the buffers trace_pull is collecting.
+  bool Tracing = !Opts.TraceDir.empty() && !Opts.TraceLive;
   if (Tracing) {
     // Rule fire counts ride along in each trace's ruleProfile key. The
     // profiler is cumulative across requests (concurrent workers share
@@ -702,6 +729,11 @@ void Server::runRequest(Request &R) {
                          {"message", Resp.Message}});
   }
   Metrics.TotalH.record(TotalS);
+  Metrics.noteRequest(R.Req.TraceId, R.Req.Tenant,
+                      priorityName(R.Req.Prio), TotalS, WaitS,
+                      Delivered && Resp.Ok);
+  // Land the request span before a per-request flush drains the buffers.
+  ReqSpan.end();
 
   if (Tracing) {
     std::string Path = Opts.TraceDir + "/" + R.Req.TraceId + ".json";
@@ -732,7 +764,7 @@ ac::support::Json Server::metricsJson() {
   Json R = Json::object();
   R.set("ok", true);
   R.set("content_type", "text/plain; version=0.0.4");
-  R.set("body", S.toPrometheus(Opts.ShardId));
+  R.set("body", S.toPrometheus(Opts.ShardId, "shard"));
   return R;
 }
 

@@ -111,6 +111,13 @@ struct ServerOptions {
   /// per-file rule profile and spans cover everything recorded since
   /// the previous flush.
   std::string TraceDir;
+  /// Live fleet tracing: Trace::start() at boot (role "shard") with
+  /// spans accumulating in the in-process ring buffers for the
+  /// `trace_pull` op to drain, instead of the per-request file flushing
+  /// TraceDir does — flushing would reset the very buffers a collector
+  /// is about to pull. When both are set, TraceLive wins and TraceDir
+  /// is ignored.
+  bool TraceLive = false;
   /// When set, every check request exports a proof certificate claiming
   /// its freshly derived pipeline theorems to
   /// `<CertDir>/<trace_id>.acpc` (hol/Cert.h). The filename reuses the
@@ -177,16 +184,6 @@ private:
   void handleCheck(const std::shared_ptr<Conn> &C, CheckRequest Req);
   support::Json statsJson();
   support::Json metricsJson();
-
-  /// Mints a process-unique correlation id for a request that carried
-  /// none.
-  std::string mintTraceId();
-
-  /// True iff a client-supplied trace id is safe to use verbatim as a
-  /// file name under --trace-dir (allowlisted characters, no path
-  /// separators, bounded length). An unsafe id is replaced with a
-  /// minted one at admission.
-  static bool pathSafeTraceId(const std::string &Id);
 
   /// Runs the pipeline for one admitted request and sends the response.
   void runRequest(Request &R);

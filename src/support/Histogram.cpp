@@ -69,6 +69,27 @@ double Histogram::quantile(double Q) const {
   return bucketUpperBound(NumBuckets - 1);
 }
 
+void Histogram::cumulative(const double *BoundsS, size_t N,
+                           uint64_t *Out) const {
+  for (size_t I = 0; I != N; ++I)
+    Out[I] = 0;
+  for (unsigned B = 0; B != NumBuckets; ++B) {
+    uint64_t C = Buckets[B].load(std::memory_order_relaxed);
+    if (C == 0)
+      continue;
+    double Upper = bucketUpperBound(B);
+    // A fine bucket counts toward the first coarse bound that wholly
+    // contains it; beyond the last bound it lands only in +Inf.
+    for (size_t I = 0; I != N; ++I)
+      if (Upper <= BoundsS[I]) {
+        Out[I] += C;
+        break;
+      }
+  }
+  for (size_t I = 1; I < N; ++I)
+    Out[I] += Out[I - 1];
+}
+
 void Histogram::reset() {
   for (auto &B : Buckets)
     B.store(0, std::memory_order_relaxed);

@@ -51,6 +51,14 @@ public:
   /// samples are <= d, estimated from bucket upper bounds. 0 when empty.
   double quantile(double Q) const;
 
+  /// Folds the fine log buckets into a coarse cumulative ladder — the
+  /// Prometheus histogram `le` form. \p Out[i] receives the number of
+  /// samples whose bucket upper bound is <= \p BoundsS[i] (seconds,
+  /// ascending); samples above the last bound appear only in the +Inf
+  /// bucket, i.e. in count(). Cumulative by construction: Out[i] <=
+  /// Out[i+1] <= count().
+  void cumulative(const double *BoundsS, size_t N, uint64_t *Out) const;
+
   /// Zeroes every bucket.
   void reset();
 

@@ -53,7 +53,30 @@ struct Registry {
   uint32_t NextTid = 1;
   size_t RingCap = 1 << 16;
   std::string EnvPath;
+  std::string Role;
 };
+
+/// The steady anchor ts values count from, paired with the wall clock
+/// read at the same instant so a merger can rebase fragments from
+/// different processes onto one timeline. Microseconds keep the wall
+/// value inside a double's 2^53 exact-integer range.
+struct Anchors {
+  std::chrono::steady_clock::time_point Steady;
+  uint64_t UnixUs;
+};
+
+const Anchors &anchors() {
+  static const Anchors A = [] {
+    Anchors R;
+    R.Steady = std::chrono::steady_clock::now();
+    R.UnixUs = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+    return R;
+  }();
+  return A;
+}
 
 Registry &reg() {
   static Registry R;
@@ -152,6 +175,10 @@ std::string renderJson(bool Reset) {
 
   Json Other = Json::object();
   Other.set("droppedEvents", Dropped);
+  std::string Role = Trace::role();
+  if (!Role.empty())
+    Other.set("role", Role);
+  Other.set("anchorUnixUs", static_cast<double>(anchors().UnixUs));
   Root.set("otherData", std::move(Other));
   return Root.dump();
 }
@@ -210,12 +237,33 @@ const std::string &Trace::envPath() {
 }
 
 uint64_t Trace::nowNs() {
-  static const std::chrono::steady_clock::time_point Anchor =
-      std::chrono::steady_clock::now();
   return static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now() - Anchor)
+          std::chrono::steady_clock::now() - anchors().Steady)
           .count());
+}
+
+void Trace::setRole(const std::string &Role) {
+  Registry &R = reg();
+  std::lock_guard<std::mutex> L(R.M);
+  R.Role = Role;
+}
+
+std::string Trace::role() {
+  Registry &R = reg();
+  std::lock_guard<std::mutex> L(R.M);
+  return R.Role;
+}
+
+uint64_t Trace::nextSpanId() {
+  static const uint64_t PidHi = static_cast<uint64_t>(getpid()) << 32;
+  static std::atomic<uint32_t> Seq{0};
+  return PidHi | (Seq.fetch_add(1, std::memory_order_relaxed) + 1);
+}
+
+Trace::Context &Trace::context() {
+  thread_local Context C;
+  return C;
 }
 
 void Trace::record(const char *Name, uint64_t StartNs, uint64_t EndNs,
@@ -235,7 +283,7 @@ void Trace::interval(const char *Name, uint64_t StartNs, uint64_t EndNs) {
     record(Name, StartNs, EndNs, {});
 }
 
-std::string Trace::exportJson() { return renderJson(/*Reset=*/false); }
+std::string Trace::exportJson(bool Reset) { return renderJson(Reset); }
 
 bool Trace::flush(const std::string &Path) {
   return writeFile(Path, renderJson(/*Reset=*/false));

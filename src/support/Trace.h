@@ -29,6 +29,18 @@
 /// strictly best-effort: a trace that cannot be written warns and
 /// returns false, it never fails the verification run it observed.
 ///
+/// Distributed traces: every enabled span carries a process-unique span
+/// id (`(pid << 32) | seq`, rendered as a decimal string in the event's
+/// args because JSON numbers are doubles) and the id of its parent. The
+/// parent comes from a thread-local trace context — a Span installs
+/// itself as the context's parent for its scope, and a
+/// TraceContextScope installs a trace id + parent carried over the wire
+/// at a request boundary, so spans recorded in different processes
+/// (router, shards, the remote cache store) chain into one tree under
+/// one trace id. Exports embed the process role and a wall-clock anchor
+/// (`otherData.role` / `otherData.anchorUnixUs`) so a merger can label
+/// pid lanes and rebase per-process steady clocks onto one timeline.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef AC_SUPPORT_TRACE_H
@@ -70,8 +82,10 @@ public:
   static const std::string &envPath();
 
   /// Serializes everything recorded so far as Chrome trace-event JSON
-  /// (plus top-level `ruleProfile` / `otherData` keys).
-  static std::string exportJson();
+  /// (plus top-level `ruleProfile` / `otherData` keys). With \p Reset
+  /// the buffers are drained under the same registry pass — the
+  /// `trace_pull` wire op's exactly-once fragment semantics.
+  static std::string exportJson(bool Reset = false);
 
   /// Writes exportJson() to \p Path. Best-effort: returns false on any
   /// I/O failure (also the `trace.write.fail` chaos site) and never
@@ -104,17 +118,59 @@ public:
   /// task sat in the ThreadPool queue before a worker picked it up.
   static void interval(const char *Name, uint64_t StartNs, uint64_t EndNs);
 
-private:
-  friend class Span;
+  /// The process's role in a fleet ("shard", "router", "cache", ...),
+  /// embedded in exports as `otherData.role` so a trace merger can
+  /// label each pid's lane. Empty until setRole().
+  static void setRole(const std::string &Role);
+  static std::string role();
+
+  /// Allocates a process-unique span id: `(pid << 32) | sequence`.
+  /// Never returns 0 — 0 is the "no parent" sentinel.
+  static uint64_t nextSpanId();
+
+  /// The calling thread's trace context: the trace id requests stamp on
+  /// their spans and the innermost open span (the parent the next span
+  /// chains to). Plain thread-local state — only touched on enabled
+  /// paths, so the disabled hot path stays one relaxed load.
+  struct Context {
+    std::string TraceId;
+    uint64_t ParentSpan = 0;
+  };
+  static Context &context();
 
   /// Appends one completed span to the calling thread's ring buffer.
+  /// Public for already-measured cross-thread intervals that need
+  /// explicit args (e.g. the daemon's queue-wait span); Span is the
+  /// normal front door and adds the context args itself.
   static void record(const char *Name, uint64_t StartNs, uint64_t EndNs,
                      std::vector<std::pair<std::string, std::string>> Args);
+
+private:
+  friend class Span;
 
   /// Parses AC_TRACE / AC_TRACE_BUF exactly once.
   static void ensureInit();
 
   static std::atomic<bool> Enabled;
+};
+
+/// Installs a wire-carried trace context (trace id + remote parent span
+/// id) on the current thread for its scope — the receive side of a
+/// request hop. Restores the previous context on destruction.
+class TraceContextScope {
+public:
+  TraceContextScope(std::string TraceId, uint64_t ParentSpan) {
+    Trace::Context &C = Trace::context();
+    Saved = C;
+    C.TraceId = std::move(TraceId);
+    C.ParentSpan = ParentSpan;
+  }
+  TraceContextScope(const TraceContextScope &) = delete;
+  TraceContextScope &operator=(const TraceContextScope &) = delete;
+  ~TraceContextScope() { Trace::context() = std::move(Saved); }
+
+private:
+  Trace::Context Saved;
 };
 
 /// One nestable RAII span. Construction samples the clock iff tracing is
@@ -124,8 +180,13 @@ private:
 class Span {
 public:
   explicit Span(const char *Name) : Active(Trace::enabled()), Name(Name) {
-    if (Active)
+    if (Active) {
       StartNs = Trace::nowNs();
+      Id = Trace::nextSpanId();
+      Trace::Context &C = Trace::context();
+      Parent = C.ParentSpan;
+      C.ParentSpan = Id; // children opened in this scope chain to us
+    }
   }
   Span(const Span &) = delete;
   Span &operator=(const Span &) = delete;
@@ -135,12 +196,24 @@ public:
   /// must land before a flush later in the same scope. Idempotent;
   /// arg() after end() is a no-op.
   void end() {
-    if (Active)
+    if (Active) {
+      Trace::Context &C = Trace::context();
+      if (!C.TraceId.empty())
+        Args.emplace_back("trace_id", C.TraceId);
+      Args.emplace_back("span", std::to_string(Id));
+      if (Parent)
+        Args.emplace_back("parent", std::to_string(Parent));
+      C.ParentSpan = Parent;
       Trace::record(Name, StartNs, Trace::nowNs(), std::move(Args));
+    }
     Active = false;
   }
 
   bool active() const { return Active; }
+
+  /// This span's process-unique id (0 when inactive) — what a request
+  /// hop sends as the remote side's parent.
+  uint64_t id() const { return Active ? Id : 0; }
 
   void arg(const char *Key, std::string Value) {
     if (Active)
@@ -155,6 +228,8 @@ private:
   bool Active;
   const char *Name;
   uint64_t StartNs = 0;
+  uint64_t Id = 0;
+  uint64_t Parent = 0;
   std::vector<std::pair<std::string, std::string>> Args;
 };
 

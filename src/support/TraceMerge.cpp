@@ -1,0 +1,126 @@
+//===- TraceMerge.cpp - Fleet trace fragment merger -----------------------===//
+//
+// Part of the autocorres-cpp project, under the BSD 2-Clause License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/TraceMerge.h"
+
+#include "support/Json.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace ac::support {
+
+bool mergeTraceFragments(const std::vector<std::string> &Fragments,
+                         std::string &MergedJson, std::string &Err) {
+  struct Frag {
+    Json Doc;
+    double AnchorUs = 0; ///< wall-clock µs of the fragment's ts origin
+    bool HasAnchor = false;
+  };
+  std::vector<Frag> Parsed;
+  for (size_t I = 0; I != Fragments.size(); ++I) {
+    if (Fragments[I].empty())
+      continue;
+    Frag F;
+    std::string PErr;
+    if (!Json::parse(Fragments[I], F.Doc, PErr)) {
+      Err = "fragment " + std::to_string(I) + ": " + PErr;
+      return false;
+    }
+    if (!F.Doc.get("traceEvents").isArray()) {
+      Err = "fragment " + std::to_string(I) + ": no traceEvents array";
+      return false;
+    }
+    const Json &Other = F.Doc.get("otherData");
+    if (Other.get("anchorUnixUs").isNumber()) {
+      F.AnchorUs = Other.get("anchorUnixUs").asNumber();
+      F.HasAnchor = true;
+    }
+    Parsed.push_back(std::move(F));
+  }
+
+  // Rebase every fragment onto the earliest anchor so one timeline
+  // holds all processes. A fragment without an anchor keeps its own ts
+  // origin (offset 0) — usable, just not aligned.
+  double MinAnchor = 0;
+  bool AnyAnchor = false;
+  for (const Frag &F : Parsed)
+    if (F.HasAnchor) {
+      MinAnchor = AnyAnchor ? std::min(MinAnchor, F.AnchorUs) : F.AnchorUs;
+      AnyAnchor = true;
+    }
+
+  Json Events = Json::array();
+  struct RuleStat {
+    uint64_t Fires = 0, Misses = 0, Ns = 0;
+  };
+  std::map<std::string, RuleStat> Rules;
+  uint64_t Dropped = 0;
+  std::set<int64_t> NamedPids;
+
+  for (const Frag &F : Parsed) {
+    double OffsetUs = F.HasAnchor ? F.AnchorUs - MinAnchor : 0;
+    std::string Role;
+    if (F.Doc.get("otherData").get("role").isString())
+      Role = F.Doc.get("otherData").get("role").asString();
+    int64_t FragPid = -1;
+    for (const Json &E : F.Doc.get("traceEvents").items()) {
+      Json Copy = E;
+      if (E.get("ts").isNumber())
+        Copy.set("ts", E.get("ts").asNumber() + OffsetUs);
+      if (FragPid < 0 && E.get("pid").isNumber())
+        FragPid = E.get("pid").asInt();
+      Events.push(std::move(Copy));
+    }
+    // Label the pid's lane with the process role, once per pid.
+    if (FragPid >= 0 && !NamedPids.count(FragPid)) {
+      NamedPids.insert(FragPid);
+      Json Meta = Json::object();
+      Meta.set("name", "process_name");
+      Meta.set("cat", "__metadata");
+      Meta.set("ph", "M");
+      Meta.set("pid", static_cast<double>(FragPid));
+      Meta.set("tid", 0);
+      Meta.set("ts", 0);
+      Json MArgs = Json::object();
+      MArgs.set("name", Role.empty() ? std::string("process") : Role);
+      Meta.set("args", std::move(MArgs));
+      Events.push(std::move(Meta));
+    }
+    if (F.Doc.get("ruleProfile").isObject())
+      for (const auto &[Name, R] : F.Doc.get("ruleProfile").members()) {
+        RuleStat &S = Rules[Name];
+        S.Fires += static_cast<uint64_t>(R.get("fires").asNumber());
+        S.Misses += static_cast<uint64_t>(R.get("misses").asNumber());
+        S.Ns += static_cast<uint64_t>(R.get("ns").asNumber());
+      }
+    if (F.Doc.get("otherData").get("droppedEvents").isNumber())
+      Dropped += static_cast<uint64_t>(
+          F.Doc.get("otherData").get("droppedEvents").asNumber());
+  }
+
+  Json Root = Json::object();
+  Root.set("traceEvents", std::move(Events));
+  Root.set("displayTimeUnit", "ms");
+  Json RulesJ = Json::object();
+  for (const auto &[Name, S] : Rules) {
+    Json R = Json::object();
+    R.set("fires", S.Fires);
+    R.set("misses", S.Misses);
+    R.set("ns", S.Ns);
+    RulesJ.set(Name, std::move(R));
+  }
+  Root.set("ruleProfile", std::move(RulesJ));
+  Json Other = Json::object();
+  Other.set("droppedEvents", Dropped);
+  Other.set("mergedFragments", static_cast<uint64_t>(Parsed.size()));
+  Root.set("otherData", std::move(Other));
+  MergedJson = Root.dump();
+  return true;
+}
+
+} // namespace ac::support

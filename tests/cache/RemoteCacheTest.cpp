@@ -21,12 +21,15 @@
 #include "service/Server.h"
 #include "support/FaultInject.h"
 #include "support/Json.h"
+#include "support/Trace.h"
 
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <chrono>
 #include <filesystem>
+#include <map>
+#include <set>
 #include <string>
 #include <thread>
 #include <unistd.h>
@@ -137,6 +140,56 @@ TEST(RemoteCacheWire, GetPutOverUnixSocket) {
   EXPECT_EQ(Stats.get("entries").asInt(), 1);
   EXPECT_EQ(Stats.get("puts").asInt(), 1);
   Srv.stop();
+}
+
+TEST(RemoteCacheWire, TraceContextStampsAccachedSpans) {
+  support::Trace::reset();
+  std::string Dir = freshDir("tracespans");
+  RemoteCacheServerOptions O;
+  O.SocketPath = Dir + "/cached.sock";
+  O.TraceLive = true;
+  {
+    RemoteCacheServer Srv(O);
+    ASSERT_TRUE(Srv.start()); // enables process-wide live tracing
+    RemoteCacheClient C(O.SocketPath);
+    support::TraceContextScope Scope("cache-trace-1", 0);
+    CachedFunc E = sampleEntry(0x1111222233334444ull, "traced");
+    C.put(E);
+    CachedFunc Out;
+    ASSERT_TRUE(C.get(E.Key, Out));
+    Srv.stop();
+  }
+  std::string Exported = support::Trace::exportJson(/*Reset=*/true);
+  support::Trace::stop();
+
+  support::Json J;
+  std::string PErr;
+  ASSERT_TRUE(support::Json::parse(Exported, J, PErr)) << PErr;
+  // The wire carried the shard-side context: the store's get/put spans
+  // hold the same correlation id and chain under the client's
+  // remote.get/remote.put round-trip spans.
+  std::set<std::string> Spans, Names;
+  std::map<std::string, std::string> ParentOf;
+  for (const support::Json &Ev : J.get("traceEvents").items()) {
+    const support::Json &A = Ev.get("args");
+    if (A.get("span").isString())
+      Spans.insert(A.get("span").asString());
+    if (!A.get("trace_id").isString() ||
+        A.get("trace_id").asString() != "cache-trace-1")
+      continue;
+    std::string N = Ev.get("name").asString();
+    Names.insert(N);
+    if (N.rfind("accached.", 0) == 0 && A.get("parent").isString())
+      ParentOf[N] = A.get("parent").asString();
+  }
+  EXPECT_TRUE(Names.count("remote.put"));
+  EXPECT_TRUE(Names.count("remote.get"));
+  ASSERT_TRUE(Names.count("accached.put")) << Exported.substr(0, 400);
+  ASSERT_TRUE(Names.count("accached.get"));
+  ASSERT_EQ(ParentOf.size(), 2u);
+  for (const auto &[N, P] : ParentOf)
+    EXPECT_TRUE(Spans.count(P)) << N << " has unresolved parent " << P;
+  support::Trace::reset();
 }
 
 TEST(RemoteCacheWire, ClientSurvivesDaemonRestart) {

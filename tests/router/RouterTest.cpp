@@ -19,12 +19,15 @@
 #include "service/CheckRunner.h"
 #include "service/Client.h"
 #include "service/Server.h"
+#include "support/FaultInject.h"
 #include "support/Fingerprint.h"
+#include "support/Trace.h"
 
 #include <gtest/gtest.h>
 
 #include <chrono>
 #include <filesystem>
+#include <set>
 #include <string>
 #include <thread>
 #include <unistd.h>
@@ -161,7 +164,8 @@ struct Fleet {
   std::string Sock;
 
   explicit Fleet(unsigned NumShards, unsigned Window = 8,
-                 bool LocalFallback = true, unsigned ProbeMs = 50) {
+                 bool LocalFallback = true, unsigned ProbeMs = 50,
+                 bool TraceLive = false) {
     std::string Dir = freshDir("fleet-" + std::to_string(NumShards) + "-" +
                                std::to_string(Window) +
                                (LocalFallback ? "-lf" : "-nolf"));
@@ -171,6 +175,8 @@ struct Fleet {
       SO.SocketPath = "";
       SO.ListenAddr = "127.0.0.1:0";
       SO.Workers = 2;
+      SO.ShardId = "s" + std::to_string(I);
+      SO.TraceLive = TraceLive;
       auto S = std::make_unique<service::Server>(SO);
       EXPECT_TRUE(S->start());
       RO.Shards.push_back("127.0.0.1:" + std::to_string(S->tcpPort()));
@@ -181,6 +187,7 @@ struct Fleet {
     RO.MaxInFlightPerShard = Window;
     RO.LocalFallback = LocalFallback;
     RO.HealthProbeMs = ProbeMs;
+    RO.TraceLive = TraceLive;
     R = std::make_unique<Router>(RO);
     EXPECT_TRUE(R->start());
   }
@@ -364,6 +371,203 @@ TEST(RouterLive, DrainRefusesNewWork) {
   ASSERT_TRUE(C.check(Req, R, Err)) << Err;
   EXPECT_FALSE(R.Ok);
   EXPECT_EQ(R.Err, service::ErrorCode::Draining);
+}
+
+//===----------------------------------------------------------------------===//
+// Fleet observability: trace propagation, winner attribution, federation
+//===----------------------------------------------------------------------===//
+
+TEST(RouterTrace, OneTraceIdChainsRouterAndShardSpans) {
+  support::Trace::reset();
+  {
+    Fleet F(2, /*Window=*/8, /*LocalFallback=*/true, /*ProbeMs=*/50,
+            /*TraceLive=*/true);
+    service::Client C = F.client();
+    std::string Err;
+    CheckRequest Req =
+        requestFor("unsigned int tr(unsigned int x) { return x + 3u; }\n");
+    Req.TraceId = "fleet-trace-1";
+    CheckResponse R;
+    ASSERT_TRUE(C.check(Req, R, Err)) << Err;
+    ASSERT_TRUE(R.Ok) << R.Message;
+  } // ~Fleet: Router::stop() waits out every forward attempt, so all
+    // spans have landed in the (process-shared) buffers by here.
+  std::string Exported = support::Trace::exportJson(/*Reset=*/true);
+  support::Trace::stop();
+
+  support::Json J;
+  std::string PErr;
+  ASSERT_TRUE(support::Json::parse(Exported, J, PErr)) << PErr;
+  ASSERT_TRUE(J.get("traceEvents").isArray());
+  // The shards run in-process, so one export holds the whole hop chain:
+  // router.request -> router.forward -> acd.request, all stamped with
+  // the client's correlation id and with parent refs resolving.
+  std::set<std::string> Names, Spans;
+  std::vector<std::string> Parents;
+  for (const support::Json &E : J.get("traceEvents").items()) {
+    const support::Json &A = E.get("args");
+    if (A.get("span").isString())
+      Spans.insert(A.get("span").asString());
+    if (!A.get("trace_id").isString() ||
+        A.get("trace_id").asString() != "fleet-trace-1")
+      continue;
+    Names.insert(E.get("name").asString());
+    if (A.get("parent").isString())
+      Parents.push_back(A.get("parent").asString());
+  }
+  EXPECT_TRUE(Names.count("router.request")) << Exported.substr(0, 400);
+  EXPECT_TRUE(Names.count("router.forward"));
+  EXPECT_TRUE(Names.count("acd.request"));
+  EXPECT_TRUE(Names.count("acd.queue_wait"));
+  ASSERT_FALSE(Parents.empty());
+  for (const std::string &P : Parents)
+    EXPECT_TRUE(Spans.count(P)) << "unresolved parent span " << P;
+  support::Trace::reset();
+}
+
+TEST(RouterTrace, HedgedRequestStampsBothShardsWithOneTraceId) {
+  support::Trace::reset();
+  {
+    Fleet F(2, /*Window=*/8, /*LocalFallback=*/false, /*ProbeMs=*/60000,
+            /*TraceLive=*/true);
+    service::Client C = F.client();
+    std::string Err;
+    // Fire the hedge timer immediately; the debug delay keeps the
+    // primary busy long enough that the duplicate really dispatches,
+    // so the same correlation id lands on both shards.
+    ASSERT_TRUE(support::FaultInject::arm("router.hedge.fire", 1));
+    CheckRequest Req =
+        requestFor("unsigned int ht(unsigned int x) { return x + 9u; }\n");
+    Req.TraceId = "fleet-hedge-trace-1";
+    Req.TimeoutMs = 10000; // hedging requires a deadline
+    Req.DebugDelayMs = 200;
+    CheckResponse R;
+    ASSERT_TRUE(C.check(Req, R, Err)) << Err;
+    ASSERT_TRUE(R.Ok) << R.Message;
+    support::FaultInject::disarmAll();
+  } // ~Fleet: the losing attempt has fully landed by here.
+  std::string Exported = support::Trace::exportJson(/*Reset=*/true);
+  support::Trace::stop();
+
+  support::Json J;
+  std::string PErr;
+  ASSERT_TRUE(support::Json::parse(Exported, J, PErr)) << PErr;
+  std::set<std::string> ShardsSeen;
+  for (const support::Json &E : J.get("traceEvents").items()) {
+    const support::Json &A = E.get("args");
+    if (E.get("name").asString() != "acd.request")
+      continue;
+    if (!A.get("trace_id").isString() ||
+        A.get("trace_id").asString() != "fleet-hedge-trace-1")
+      continue;
+    if (A.get("shard_id").isString())
+      ShardsSeen.insert(A.get("shard_id").asString());
+  }
+  EXPECT_EQ(ShardsSeen.size(), 2u) << Exported.substr(0, 400);
+  EXPECT_TRUE(ShardsSeen.count("s0"));
+  EXPECT_TRUE(ShardsSeen.count("s1"));
+  support::Trace::reset();
+}
+
+TEST(RouterLive, HedgeWinnerIsAttributedExactlyOnce) {
+  Fleet F(2, /*Window=*/8, /*LocalFallback=*/false, /*ProbeMs=*/60000);
+  service::Client C = F.client();
+  std::string Err;
+
+  // Force the hedge timer to fire immediately; the 200 ms debug delay
+  // keeps the primary busy long enough that both attempts run — and
+  // both eventually complete, which is exactly the double-count trap.
+  ASSERT_TRUE(support::FaultInject::arm("router.hedge.fire", 1));
+  CheckRequest Req =
+      requestFor("unsigned int hw(unsigned int x) { return x + 7u; }\n");
+  Req.TimeoutMs = 10000; // hedging requires a deadline
+  Req.DebugDelayMs = 200;
+  CheckResponse R;
+  ASSERT_TRUE(C.check(Req, R, Err)) << Err;
+  ASSERT_TRUE(R.Ok) << R.Message;
+  support::FaultInject::disarmAll();
+
+  // Routed counts both launches (made before either answered); Won is
+  // claimed under the hedge lock before the response goes out — the
+  // still-running loser cannot move either number.
+  support::Json S;
+  ASSERT_TRUE(C.stats(S, Err)) << Err;
+  EXPECT_EQ(S.get("hedges").asInt(), 1);
+  EXPECT_EQ(S.get("completed").asInt(), 1);
+  int64_t Routed = 0, Won = 0;
+  for (const support::Json &SJ : S.get("shards").items()) {
+    Routed += SJ.get("routed").asInt();
+    Won += SJ.get("won").asInt();
+  }
+  EXPECT_EQ(Routed, 2) << "primary and hedge must both be attributed";
+  EXPECT_EQ(Won, 1) << "exactly one winner even when both attempts complete";
+}
+
+TEST(RouterLive, FederatedMetricsMergeIntoOneExposition) {
+  Fleet F(2);
+  service::Client C = F.client();
+  std::string Err;
+  CheckRequest Req =
+      requestFor("unsigned int fm(unsigned int x) { return x + 9u; }\n");
+  CheckResponse R;
+  ASSERT_TRUE(C.check(Req, R, Err)) << Err;
+  ASSERT_TRUE(R.Ok) << R.Message;
+
+  std::string Body;
+  ASSERT_TRUE(C.metricsText(Body, Err)) << Err;
+  // The router's own counters.
+  EXPECT_NE(Body.find("acrouter_requests_completed_total 1"),
+            std::string::npos);
+  // Winner attribution, labeled per shard address.
+  EXPECT_NE(Body.find("acrouter_forward_winner_total{shard=\"127.0.0.1:"),
+            std::string::npos);
+  // Scraped shard blocks carry their shard_id label and role.
+  EXPECT_NE(Body.find("shard_id=\"s0\""), std::string::npos);
+  EXPECT_NE(Body.find("shard_id=\"s1\""), std::string::npos);
+  EXPECT_NE(Body.find("role=\"shard\""), std::string::npos);
+  // Every scraped block gets a freshness gauge against one scrape
+  // instant.
+  EXPECT_NE(Body.find("acd_scrape_age_seconds{shard_id=\"127.0.0.1:"),
+            std::string::npos);
+  // The serving shard's latency histogram survives the merge, exemplar
+  // included.
+  EXPECT_NE(Body.find("acd_request_duration_seconds_bucket"),
+            std::string::npos);
+  EXPECT_NE(Body.find(" # {trace_id=\""), std::string::npos);
+  // Merged, not concatenated: one TYPE header per family even with two
+  // shards scraped.
+  const std::string TypeLine = "# TYPE acd_requests_received_total counter\n";
+  size_t First = Body.find(TypeLine);
+  ASSERT_NE(First, std::string::npos);
+  EXPECT_EQ(Body.find(TypeLine, First + 1), std::string::npos)
+      << "family header duplicated — expositions concatenated, not merged";
+}
+
+TEST(RouterLive, FleetOpReportsEveryShardsLiveStats) {
+  Fleet F(2);
+  service::Client C = F.client();
+  std::string Err;
+  CheckRequest Req =
+      requestFor("unsigned int fl(unsigned int x) { return x + 11u; }\n");
+  CheckResponse R;
+  ASSERT_TRUE(C.check(Req, R, Err)) << Err;
+  ASSERT_TRUE(R.Ok) << R.Message;
+
+  support::Json Out;
+  ASSERT_TRUE(C.fleet(Out, Err)) << Err;
+  EXPECT_EQ(Out.get("op").asString(), "fleet");
+  EXPECT_EQ(Out.get("role").asString(), "router");
+  EXPECT_EQ(Out.get("completed").asInt(), 1);
+  ASSERT_TRUE(Out.get("shard_stats").isArray());
+  ASSERT_EQ(Out.get("shard_stats").items().size(), 2u);
+  int64_t ShardCompleted = 0;
+  for (const support::Json &D : Out.get("shard_stats").items()) {
+    EXPECT_TRUE(D.get("up").asBool()) << D.get("addr").asString();
+    ASSERT_TRUE(D.get("stats").get("ok").asBool());
+    ShardCompleted +=
+        D.get("stats").get("requests").get("completed").asInt();
+  }
+  EXPECT_EQ(ShardCompleted, 1) << "exactly one shard served the request";
 }
 
 } // namespace

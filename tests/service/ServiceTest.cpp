@@ -21,6 +21,7 @@
 #include "service/Server.h"
 #include "support/Log.h"
 #include "support/Socket.h"
+#include "support/Trace.h"
 
 #include <gtest/gtest.h>
 
@@ -1082,30 +1083,44 @@ TEST_F(ServiceTest, MetricsRequestServesPrometheusText) {
       std::string Name, Kind;
       T >> Name >> Kind;
       EXPECT_TRUE(Kind == "counter" || Kind == "gauge" ||
-                  Kind == "summary")
+                  Kind == "summary" || Kind == "histogram")
           << Line;
       Typed.insert(Name);
       continue;
     }
     if (Line.rfind("# HELP ", 0) == 0 || Line.rfind("#", 0) == 0)
       continue;
-    size_t Sp = Line.rfind(' ');
+    // An exemplar rides after ` # ` on histogram bucket lines; lint the
+    // sample half.
+    std::string Sample = Line.substr(0, Line.find(" # "));
+    size_t Sp = Sample.rfind(' ');
     ASSERT_NE(Sp, std::string::npos) << Line;
-    std::string Name = Line.substr(0, Line.find_first_of("{ "));
-    // Summary _sum/_count samples belong to the base metric's TYPE.
-    for (const char *Suffix : {"_sum", "_count"}) {
+    std::string Name = Sample.substr(0, Sample.find_first_of("{ "));
+    // Summary/histogram _sum/_count/_bucket samples belong to the base
+    // metric's TYPE.
+    for (const char *Suffix : {"_sum", "_count", "_bucket"}) {
       size_t L = Name.size(), SL = strlen(Suffix);
       if (L > SL && Name.compare(L - SL, SL, Suffix) == 0 &&
           Typed.count(Name.substr(0, L - SL)))
         Name = Name.substr(0, L - SL);
     }
     EXPECT_TRUE(Typed.count(Name)) << "sample without TYPE: " << Line;
-    EXPECT_NO_THROW((void)std::stod(Line.substr(Sp + 1))) << Line;
+    EXPECT_NO_THROW((void)std::stod(Sample.substr(Sp + 1))) << Line;
   }
   EXPECT_TRUE(Typed.count("acd_requests_received_total"));
   EXPECT_TRUE(Typed.count("acd_in_flight_peak"));
   EXPECT_TRUE(Typed.count("acd_phase_parse_cpu_seconds_total"));
   EXPECT_TRUE(Typed.count("acd_latency_total_seconds"));
+  // True Prometheus histograms: cumulative buckets up to +Inf, with a
+  // trace-id exemplar attached to the bucket the request landed in.
+  EXPECT_TRUE(Typed.count("acd_request_duration_seconds"));
+  EXPECT_TRUE(Typed.count("acd_queue_wait_seconds"));
+  EXPECT_NE(Body.find("acd_request_duration_seconds_bucket{le=\"+Inf\"} 1"),
+            std::string::npos)
+      << Body;
+  EXPECT_NE(Body.find(" # {trace_id=\""), std::string::npos)
+      << "no exemplar in:\n"
+      << Body;
   EXPECT_NE(Body.find("acd_requests_completed_total 1"), std::string::npos)
       << Body;
   // The CPU counters are fed from the run's thread-CPU clocks: one
@@ -1119,6 +1134,89 @@ TEST_F(ServiceTest, MetricsRequestServesPrometheusText) {
   };
   EXPECT_GT(SampleValue("acd_phase_parse_cpu_seconds_total"), 0.0);
   EXPECT_GT(SampleValue("acd_phase_abstract_cpu_seconds_total"), 0.0);
+  Srv.stop();
+}
+
+TEST_F(ServiceTest, TracePullDrainsLiveSpansExactlyOnce) {
+  support::Trace::reset();
+  ServerOptions O = baseOpts();
+  O.TraceLive = true;
+  Server Srv(O);
+  ASSERT_TRUE(Srv.start());
+  Client C = Client::connect(SockPath);
+  ASSERT_TRUE(C.connected());
+  CheckRequest Req;
+  Req.Source = corpus::swapSource();
+  Req.TraceId = "fleet-pull-1";
+  Req.ParentSpan = "424242"; // the router's forward span, on the wire
+  CheckResponse Resp;
+  std::string Err;
+  ASSERT_TRUE(C.check(Req, Resp, Err)) << Err;
+  ASSERT_TRUE(Resp.Ok);
+
+  Json Pull;
+  ASSERT_TRUE(C.tracePull(Pull, Err)) << Err;
+  EXPECT_EQ(Pull.get("role").asString(), "shard");
+  EXPECT_GT(Pull.get("pid").asInt(), 0);
+  Json Frag;
+  ASSERT_TRUE(Json::parse(Pull.get("body").asString(), Frag, Err)) << Err;
+  ASSERT_TRUE(Frag.get("traceEvents").isArray());
+  // The request span carries the wire trace context: our trace id, the
+  // remote parent, and a queue-wait child chained under it.
+  bool SawReq = false, SawWait = false;
+  for (const Json &E : Frag.get("traceEvents").items()) {
+    const Json &Args = E.get("args");
+    if (Args.get("trace_id").asString() != "fleet-pull-1")
+      continue;
+    if (E.get("name").asString() == "acd.request") {
+      SawReq = true;
+      EXPECT_EQ(Args.get("parent").asString(), "424242");
+    }
+    if (E.get("name").asString() == "acd.queue_wait") {
+      SawWait = true;
+      EXPECT_FALSE(Args.get("parent").asString().empty());
+    }
+  }
+  EXPECT_TRUE(SawReq) << Pull.get("body").asString();
+  EXPECT_TRUE(SawWait);
+  // The pull drained the buffers: a second pull has no events for the
+  // request (exactly-once fragment semantics).
+  Json Again;
+  ASSERT_TRUE(C.tracePull(Again, Err)) << Err;
+  EXPECT_EQ(Again.get("body").asString().find("fleet-pull-1"),
+            std::string::npos);
+  Srv.stop();
+  support::Trace::stop();
+  support::Trace::reset();
+}
+
+TEST_F(ServiceTest, StatsCarryRecentRequestRing) {
+  Server Srv(baseOpts());
+  ASSERT_TRUE(Srv.start());
+  Client C = Client::connect(SockPath);
+  ASSERT_TRUE(C.connected());
+  CheckRequest Req;
+  Req.Source = corpus::swapSource();
+  Req.TraceId = "recent-ring-1";
+  Req.Tenant = "obs-tenant";
+  CheckResponse Resp;
+  std::string Err;
+  ASSERT_TRUE(C.check(Req, Resp, Err)) << Err;
+  ASSERT_TRUE(Resp.Ok);
+
+  Json Stats;
+  ASSERT_TRUE(C.stats(Stats, Err)) << Err;
+  ASSERT_TRUE(Stats.get("recent").isArray());
+  bool Found = false;
+  for (const Json &R : Stats.get("recent").items())
+    if (R.get("trace_id").asString() == "recent-ring-1") {
+      Found = true;
+      EXPECT_GT(R.get("total_ms").asNumber(), 0.0);
+      EXPECT_EQ(R.get("tenant").asString(), "obs-tenant");
+      EXPECT_TRUE(R.get("ok").asBool());
+      EXPECT_GE(R.get("age_s").asNumber(), 0.0);
+    }
+  EXPECT_TRUE(Found) << Stats.dump();
   Srv.stop();
 }
 

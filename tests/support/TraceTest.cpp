@@ -248,3 +248,87 @@ TEST_F(TraceTest, StopKeepsEventsUntilReset) {
   Trace::reset();
   EXPECT_EQ(Trace::eventCount(), 0u);
 }
+
+//===----------------------------------------------------------------------===//
+// Distributed trace context
+//===----------------------------------------------------------------------===//
+
+TEST_F(TraceTest, SpanIdsAreUniqueAndNonZero) {
+  std::set<uint64_t> Ids;
+  for (int I = 0; I != 1000; ++I) {
+    uint64_t Id = Trace::nextSpanId();
+    EXPECT_NE(Id, 0u);
+    Ids.insert(Id);
+  }
+  EXPECT_EQ(Ids.size(), 1000u);
+}
+
+TEST_F(TraceTest, NestedSpansChainParentIds) {
+  TraceContextScope Scope("ctx-test-1", 0);
+  uint64_t OuterId, InnerId;
+  {
+    Span Outer("chain.outer");
+    OuterId = Outer.id();
+    {
+      Span Inner("chain.inner");
+      InnerId = Inner.id();
+    }
+  }
+  Json J = parseTrace();
+  auto O = eventsNamed(J, "chain.outer");
+  auto I = eventsNamed(J, "chain.inner");
+  ASSERT_EQ(O.size(), 1u);
+  ASSERT_EQ(I.size(), 1u);
+  // Both spans stamp the scope's trace id; the inner one chains to the
+  // outer (decimal-string ids — JSON numbers are doubles).
+  EXPECT_EQ(O[0].get("args").get("trace_id").asString(), "ctx-test-1");
+  EXPECT_EQ(I[0].get("args").get("trace_id").asString(), "ctx-test-1");
+  EXPECT_EQ(O[0].get("args").get("span").asString(),
+            std::to_string(OuterId));
+  EXPECT_EQ(I[0].get("args").get("parent").asString(),
+            std::to_string(OuterId));
+  EXPECT_EQ(I[0].get("args").get("span").asString(),
+            std::to_string(InnerId));
+  // The root span has no parent arg (its wire parent was 0).
+  EXPECT_FALSE(O[0].get("args").get("parent").isString());
+}
+
+TEST_F(TraceTest, ContextScopeInstallsWireParentAndRestores) {
+  EXPECT_TRUE(Trace::context().TraceId.empty());
+  {
+    TraceContextScope Scope("wire-trace", 777);
+    EXPECT_EQ(Trace::context().TraceId, "wire-trace");
+    EXPECT_EQ(Trace::context().ParentSpan, 777u);
+    {
+      Span S("wire.child");
+    }
+  }
+  EXPECT_TRUE(Trace::context().TraceId.empty());
+  EXPECT_EQ(Trace::context().ParentSpan, 0u);
+  Json J = parseTrace();
+  auto C = eventsNamed(J, "wire.child");
+  ASSERT_EQ(C.size(), 1u);
+  EXPECT_EQ(C[0].get("args").get("parent").asString(), "777");
+}
+
+TEST_F(TraceTest, ExportWithResetDrainsBuffers) {
+  {
+    AC_SPAN("pull.once");
+  }
+  std::string First = Trace::exportJson(/*Reset=*/true);
+  EXPECT_NE(First.find("pull.once"), std::string::npos);
+  EXPECT_EQ(Trace::eventCount(), 0u);
+  std::string Again = Trace::exportJson(/*Reset=*/true);
+  EXPECT_EQ(Again.find("pull.once"), std::string::npos);
+}
+
+TEST_F(TraceTest, ExportEmbedsRoleAndAnchor) {
+  Trace::setRole("shard");
+  {
+    AC_SPAN("anchored");
+  }
+  Json J = parseTrace();
+  EXPECT_EQ(J.get("otherData").get("role").asString(), "shard");
+  EXPECT_GT(J.get("otherData").get("anchorUnixUs").asNumber(), 0.0);
+  Trace::setRole("");
+}

@@ -34,6 +34,8 @@ void usage(const char *Argv0) {
       "                     port, printed at startup)\n"
       "  --auth-token-file F require the shared token in F on every TCP\n"
       "                     connection\n"
+      "  --trace            keep spans in memory for the `trace_pull`\n"
+      "                     op (fleet tracing)\n"
       "  --log-file PATH    append structured JSONL log lines to PATH\n"
       "  --log-level LVL    debug|info|warn|error|off (default: info)\n",
       Argv0);
@@ -69,6 +71,8 @@ int main(int argc, char **argv) {
         std::fprintf(stderr, "accached: cannot read auth token file\n");
         return 2;
       }
+    } else if (Arg == "--trace") {
+      Opts.TraceLive = true;
     } else if (Arg == "--log-file") {
       const char *V = Next();
       if (!V || !ac::support::Log::setFile(V)) {

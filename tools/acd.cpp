@@ -58,6 +58,8 @@ void usage(const char *Argv0) {
       "                     bulk work is shed (default: 16)\n"
       "  --trace-dir DIR    write a Chrome trace JSON per request to\n"
       "                     DIR/<trace_id>.json (best-effort)\n"
+      "  --trace            keep spans in memory for the `trace_pull`\n"
+      "                     op (fleet tracing; wins over --trace-dir)\n"
       "  --cert-dir DIR     write a proof certificate per request to\n"
       "                     DIR/<trace_id>.acpc, checkable with `acpc`\n"
       "                     (best-effort)\n"
@@ -163,6 +165,8 @@ int main(int argc, char **argv) {
         return 2;
       }
       Opts.TraceDir = V;
+    } else if (Arg == "--trace") {
+      Opts.TraceLive = true;
     } else if (Arg == "--cert-dir") {
       const char *V = Next();
       if (!V) {

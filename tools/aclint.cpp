@@ -17,6 +17,13 @@
 //       that name is at most PCT percent of the whole trace extent —
 //       the perf gate uses this to pin phase-share regressions.
 //
+//   aclint fleettrace <merged.json> [--min-pids N] [--expect-trace-id ID]
+//       The file is a merged fleet trace (actrace output): every
+//       trace-carrying event agrees on one trace id, the spans come from
+//       at least N distinct pids, and every parent span reference
+//       resolves to a recorded span — the cross-process request chain
+//       has no orphans.
+//
 //   aclint metrics <file> [--require NAME]...        ("-" reads stdin)
 //       The file is Prometheus text exposition format 0.0.4: every
 //       sample line is `name[{labels}] value`, every sample's metric has
@@ -128,6 +135,15 @@ int lintTrace(const std::string &Path,
       finding(Where + ": not an object");
       continue;
     }
+    if (E.get("ph").asString() == "M") {
+      // Metadata events (merged traces label pid lanes with these):
+      // no ts/dur, but they must still say which process they name.
+      if (!E.get("pid").isNumber())
+        finding(Where + ": metadata event missing pid");
+      if (!E.get("args").get("name").isString())
+        finding(Where + ": metadata event missing args.name");
+      continue;
+    }
     if (!E.get("name").isString() || E.get("name").asString().empty())
       finding(Where + ": missing name");
     if (E.get("ph").asString() != "X")
@@ -200,6 +216,81 @@ int lintTrace(const std::string &Path,
 }
 
 //===----------------------------------------------------------------------===//
+// fleettrace mode
+//===----------------------------------------------------------------------===//
+
+/// Lints a *merged* fleet trace (actrace output): all trace-carrying
+/// events agree on one trace id, the spans come from at least
+/// \p MinPids distinct processes, and every parent reference resolves
+/// to a span recorded somewhere in the merged file — the cross-process
+/// chain (router -> shard -> cache) has no orphans.
+int lintFleettrace(const std::string &Path, int MinPids,
+                   const std::string &ExpectTraceId) {
+  std::string Text;
+  if (!readAll(Path, Text)) {
+    finding("cannot read " + Path);
+    return 1;
+  }
+  Json J;
+  std::string Err;
+  if (!Json::parse(Text, J, Err)) {
+    finding(Path + ": not valid JSON: " + Err);
+    return 1;
+  }
+  if (!J.isObject() || !J.get("traceEvents").isArray()) {
+    finding(Path + ": no traceEvents array (not object-form Chrome JSON)");
+    return 1;
+  }
+
+  std::set<std::string> TraceIds, Spans;
+  std::set<double> Pids;
+  std::vector<std::pair<std::string, std::string>> ParentRefs;
+  size_t Carrying = 0, Idx = 0;
+  for (const Json &E : J.get("traceEvents").items()) {
+    std::string Where =
+        Path + ": traceEvents[" + std::to_string(Idx++) + "]";
+    if (!E.isObject() || E.get("ph").asString() == "M")
+      continue;
+    const Json &Args = E.get("args");
+    const std::string &Span = Args.get("span").asString();
+    if (!Span.empty())
+      Spans.insert(Span);
+    const std::string &Tid = Args.get("trace_id").asString();
+    if (Tid.empty())
+      continue;
+    ++Carrying;
+    TraceIds.insert(Tid);
+    Pids.insert(E.get("pid").asNumber());
+    if (Span.empty())
+      finding(Where + ": trace-carrying event without a span id");
+    const std::string &Par = Args.get("parent").asString();
+    if (!Par.empty())
+      ParentRefs.emplace_back(Where, Par);
+  }
+
+  if (Carrying == 0)
+    finding(Path + ": no trace-carrying events at all");
+  if (TraceIds.size() > 1) {
+    std::string All;
+    for (const std::string &T : TraceIds)
+      All += (All.empty() ? "" : ", ") + T;
+    finding(Path + ": " + std::to_string(TraceIds.size()) +
+            " distinct trace ids (want one request, one id): " + All);
+  }
+  if (!ExpectTraceId.empty() && !TraceIds.count(ExpectTraceId))
+    finding(Path + ": expected trace id `" + ExpectTraceId +
+            "` never appears");
+  if (MinPids > 0 && Pids.size() < static_cast<size_t>(MinPids))
+    finding(Path + ": spans come from " + std::to_string(Pids.size()) +
+            " process(es), expected >= " + std::to_string(MinPids));
+  for (const auto &[Where, Par] : ParentRefs)
+    if (!Spans.count(Par))
+      finding(Where + ": parent span `" + Par +
+              "` not recorded anywhere in the merged trace");
+  return Findings ? 1 : 0;
+}
+
+//===----------------------------------------------------------------------===//
 // metrics mode
 //===----------------------------------------------------------------------===//
 
@@ -223,7 +314,7 @@ int lintMetrics(const std::string &Path,
     finding("cannot read " + Path);
     return 1;
   }
-  std::set<std::string> Typed, Summaries, Sampled;
+  std::set<std::string> Typed, Summaries, Histograms, Sampled;
   std::istringstream Lines(Text);
   std::string Line;
   int LineNo = 0;
@@ -246,40 +337,75 @@ int lintMetrics(const std::string &Path,
       Typed.insert(Name);
       if (Kind == "summary")
         Summaries.insert(Name);
+      if (Kind == "histogram")
+        Histograms.insert(Name);
       continue;
     }
     if (Line[0] == '#')
       continue; // HELP and free comments
-    size_t Sp = Line.rfind(' ');
+    // An OpenMetrics exemplar rides after ` # ` on the sample line:
+    // `name{...} value # {trace_id="..."} exemplar_value`. Split it off
+    // and lint both halves.
+    std::string Sample = Line;
+    size_t ExPos = Line.find(" # ");
+    if (ExPos != std::string::npos) {
+      Sample = Line.substr(0, ExPos);
+      std::string Ex = Line.substr(ExPos + 3);
+      size_t Close = Ex.rfind("} ");
+      if (Ex.empty() || Ex[0] != '{' || Close == std::string::npos) {
+        finding(Where + ": malformed exemplar: " + Ex);
+      } else {
+        std::string EV = Ex.substr(Close + 2);
+        char *EEnd = nullptr;
+        std::strtod(EV.c_str(), &EEnd);
+        if (EEnd == EV.c_str() || *EEnd != '\0')
+          finding(Where + ": unparsable exemplar value: " + EV);
+      }
+    }
+    size_t Sp = Sample.rfind(' ');
     if (Sp == std::string::npos) {
-      finding(Where + ": sample line has no value: " + Line);
+      finding(Where + ": sample line has no value: " + Sample);
       continue;
     }
-    std::string Value = Line.substr(Sp + 1);
+    std::string Value = Sample.substr(Sp + 1);
     char *End = nullptr;
     std::strtod(Value.c_str(), &End);
     if (End == Value.c_str() || *End != '\0')
       finding(Where + ": unparsable sample value: " + Value);
 
-    std::string Name = Line.substr(0, Line.find_first_of("{ "));
+    std::string Name = Sample.substr(0, Sample.find_first_of("{ "));
     if (!validMetricName(Name)) {
       finding(Where + ": bad metric name: " + Name);
       continue;
     }
     Sampled.insert(Name);
-    // A summary's _sum/_count samples belong to the declared base.
+    // A summary's or histogram's _sum/_count samples belong to the
+    // declared base; a histogram additionally owns its _bucket series.
     std::string Base = Name;
     for (const char *Suffix : {"_sum", "_count"}) {
       size_t L = Name.size(), SL = std::strlen(Suffix);
       if (L > SL && Name.compare(L - SL, SL, Suffix) == 0 &&
-          Summaries.count(Name.substr(0, L - SL)))
+          (Summaries.count(Name.substr(0, L - SL)) ||
+           Histograms.count(Name.substr(0, L - SL))))
         Base = Name.substr(0, L - SL);
     }
+    {
+      size_t L = Name.size(), SL = std::strlen("_bucket");
+      if (L > SL && Name.compare(L - SL, SL, "_bucket") == 0 &&
+          Histograms.count(Name.substr(0, L - SL))) {
+        Base = Name.substr(0, L - SL);
+        if (Sample.find("le=\"") == std::string::npos)
+          finding(Where + ": histogram bucket without le label: " + Sample);
+      }
+    }
+    Sampled.insert(Base); // --require on a histogram/summary base name
     if (!Typed.count(Base))
       finding(Where + ": sample without preceding TYPE: " + Name);
     if (Base == Name && Summaries.count(Name) &&
-        Line.find("quantile=\"") == std::string::npos)
-      finding(Where + ": summary sample without quantile label: " + Line);
+        Sample.find("quantile=\"") == std::string::npos)
+      finding(Where + ": summary sample without quantile label: " + Sample);
+    if (Base == Name && Histograms.count(Name))
+      finding(Where + ": histogram base sample without a suffix: " + Sample);
   }
   if (Typed.empty())
     finding(Path + ": no metrics at all");
@@ -508,6 +634,8 @@ int usage() {
       stderr,
       "usage: aclint trace <file.json> [--require-span NAME]...\n"
       "              [--min-wa N] [--min-hl N] [--max-span-share NAME:PCT]...\n"
+      "       aclint fleettrace <file.json> [--min-pids N]\n"
+      "              [--expect-trace-id ID]\n"
       "       aclint metrics <file|-> [--require NAME]...\n"
       "       aclint fleet <file.json> [--min-speedup X] [--min-hit-rate R]\n"
       "       aclint cert <file.acpc> [--min-claims N] [--require-meta KEY]...\n");
@@ -520,6 +648,27 @@ int main(int argc, char **argv) {
   if (argc < 3)
     return usage();
   std::string Mode = argv[1], Path = argv[2];
+  if (Mode == "fleettrace") {
+    int MinPids = 0;
+    std::string ExpectTraceId;
+    for (int I = 3; I < argc; ++I) {
+      std::string A = argv[I];
+      auto needArg = [&](const char *Flag) -> const char * {
+        if (I + 1 >= argc) {
+          std::fprintf(stderr, "aclint: %s needs an argument\n", Flag);
+          exit(2);
+        }
+        return argv[++I];
+      };
+      if (A == "--min-pids")
+        MinPids = std::atoi(needArg("--min-pids"));
+      else if (A == "--expect-trace-id")
+        ExpectTraceId = needArg("--expect-trace-id");
+      else
+        return usage();
+    }
+    return lintFleettrace(Path, MinPids, ExpectTraceId);
+  }
   if (Mode == "metrics") {
     std::vector<std::string> Require;
     for (int I = 3; I < argc; ++I) {

@@ -50,6 +50,10 @@ void usage(const char *Argv0) {
       "                      forwards (default: 20)\n"
       "  --hedge-pct N       hedge a forward once it has consumed N%% of\n"
       "                      its deadline budget (default: 70; 0 = off)\n"
+      "  --cache HOST:PORT   the accached daemon, scraped into the\n"
+      "                      federated `metrics` and `fleet` payloads\n"
+      "  --trace             keep spans in memory for the `trace_pull`\n"
+      "                      op and propagate trace context on forwards\n"
       "  --log-file PATH     append structured JSONL log lines to PATH\n"
       "  --log-level LVL     debug|info|warn|error|off (default: info)\n",
       Argv0);
@@ -134,6 +138,15 @@ int main(int argc, char **argv) {
     } else if (Arg == "--hedge-pct" && Next() && parseUnsigned(argv[I], N) &&
                N <= 100) {
       Opts.HedgeBudgetPct = N;
+    } else if (Arg == "--cache") {
+      const char *V = Next();
+      if (!V) {
+        usage(argv[0]);
+        return 2;
+      }
+      Opts.CacheAddr = V;
+    } else if (Arg == "--trace") {
+      Opts.TraceLive = true;
     } else if (Arg == "--log-file") {
       const char *V = Next();
       if (!V || !ac::support::Log::setFile(V)) {

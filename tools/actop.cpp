@@ -1,0 +1,235 @@
+//===- actop.cpp - Live fleet inspector ------------------------------------===//
+//
+// Polls a router's `fleet` op and renders the whole fleet on one screen:
+// per-shard breaker state, in-flight windows, queue depths, shed / quota
+// / hedge counters, winner attribution, the cache tier, and the slowest
+// recent requests across every shard (keyed by trace_id, so a slow row
+// can be chased with `actrace`).
+//
+//   actop --router 127.0.0.1:7000            # refreshing dashboard
+//   actop --router 127.0.0.1:7000 --once --json   # one machine-readable
+//                                                 # snapshot
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Client.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+using ac::service::Client;
+using ac::support::Json;
+
+namespace {
+
+void usage(const char *Argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --router HOST:PORT [options]\n"
+      "  --router HOST:PORT  the acrouter front-end to poll\n"
+      "  --auth-token-file F auth token for the router connection\n"
+      "  --interval-ms N     refresh cadence (default: 1000)\n"
+      "  --once              render one snapshot and exit\n"
+      "  --json              print the raw fleet payload (with --once)\n"
+      "  --top N             slowest-recent-requests rows (default: 8)\n",
+      Argv0);
+}
+
+bool parseUnsigned(const char *S, unsigned &Out) {
+  char *End = nullptr;
+  unsigned long V = std::strtoul(S, &End, 10);
+  if (!End || *End || V > 1u << 20)
+    return false;
+  Out = static_cast<unsigned>(V);
+  return true;
+}
+
+/// One slow-request row, pooled across every shard's `recent` ring.
+struct SlowRow {
+  std::string TraceId, Shard, Tenant, Priority;
+  double TotalMs = 0, WaitMs = 0, AgeS = 0;
+  bool Ok = true;
+};
+
+void render(const Json &Fleet, unsigned TopK) {
+  const Json &Shards = Fleet.get("shards");
+  const Json &Details = Fleet.get("shard_stats");
+  std::printf("acrouter fleet — received %lld  completed %lld  "
+              "rerouted %lld  fallbacks %lld  window_busy %lld\n",
+              static_cast<long long>(Fleet.get("received").asInt()),
+              static_cast<long long>(Fleet.get("completed").asInt()),
+              static_cast<long long>(Fleet.get("rerouted").asInt()),
+              static_cast<long long>(Fleet.get("fallbacks").asInt()),
+              static_cast<long long>(Fleet.get("window_busy").asInt()));
+  std::printf("hedges %lld (wins %lld)  retry_budget_exhausted %lld%s\n\n",
+              static_cast<long long>(Fleet.get("hedges").asInt()),
+              static_cast<long long>(Fleet.get("hedge_wins").asInt()),
+              static_cast<long long>(
+                  Fleet.get("retry_budget_exhausted").asInt()),
+              Fleet.get("draining").asBool() ? "  [DRAINING]" : "");
+
+  std::printf("%-22s %-9s %5s %7s %6s %5s %6s %6s %5s %6s %8s\n", "SHARD",
+              "BREAKER", "INFL", "ROUTED", "WON", "ERR", "TRIPS", "QUEUE",
+              "SHED", "QUOTA", "P99(ms)");
+  std::vector<SlowRow> Slow;
+  for (size_t I = 0; I != Shards.items().size(); ++I) {
+    const Json &S = Shards.items()[I];
+    const std::string &Addr = S.get("addr").asString();
+    // The router's view (breaker, windows, attribution) joins the
+    // shard's own stats scrape (queue, shed, quota, latency) by index —
+    // fleetJson emits both arrays in shard-list order.
+    const Json *D = I < Details.items().size() ? &Details.items()[I]
+                                               : nullptr;
+    bool Up = D && D->get("up").asBool();
+    const Json &St = Up ? D->get("stats") : Json();
+    const Json &Req = St.get("requests");
+    char P99[32] = "-";
+    if (Up)
+      std::snprintf(P99, sizeof(P99), "%.1f",
+                    St.get("latency").get("total").get("p99_ms")
+                        .asNumber());
+    std::printf(
+        "%-22s %-9s %5lld %7lld %6lld %5lld %6lld %6s %5lld %6lld %8s\n",
+        Addr.c_str(),
+        Up ? S.get("breaker").asString().c_str() : "down",
+        static_cast<long long>(S.get("in_flight").asInt()),
+        static_cast<long long>(S.get("routed").asInt()),
+        static_cast<long long>(S.get("won").asInt()),
+        static_cast<long long>(S.get("errors").asInt()),
+        static_cast<long long>(S.get("breaker_trips").asInt()),
+        Up ? (std::to_string(St.get("queue_depth").asInt()) + "/" +
+              std::to_string(St.get("queue_capacity").asInt()))
+                 .c_str()
+           : "-",
+        static_cast<long long>(Req.get("shed").asInt()),
+        static_cast<long long>(Req.get("quota_rejected").asInt()), P99);
+    if (Up)
+      for (const Json &R : St.get("recent").items()) {
+        SlowRow Row;
+        Row.TraceId = R.get("trace_id").asString();
+        Row.Shard = Addr;
+        Row.Tenant = R.get("tenant").asString();
+        Row.Priority = R.get("priority").asString();
+        Row.TotalMs = R.get("total_ms").asNumber();
+        Row.WaitMs = R.get("wait_ms").asNumber();
+        Row.AgeS = R.get("age_s").asNumber();
+        Row.Ok = R.get("ok").asBool();
+        Slow.push_back(std::move(Row));
+      }
+  }
+
+  if (Fleet.has("cache")) {
+    const Json &Cd = Fleet.get("cache");
+    if (Cd.get("up").asBool()) {
+      const Json &St = Cd.get("stats");
+      std::printf("\ncache %-16s entries %lld  gets %lld  hits %lld  "
+                  "puts %lld\n",
+                  Cd.get("addr").asString().c_str(),
+                  static_cast<long long>(St.get("entries").asInt()),
+                  static_cast<long long>(St.get("gets").asInt()),
+                  static_cast<long long>(St.get("hits").asInt()),
+                  static_cast<long long>(St.get("puts").asInt()));
+    } else {
+      std::printf("\ncache %-16s DOWN\n",
+                  Cd.get("addr").asString().c_str());
+    }
+  }
+
+  if (!Slow.empty()) {
+    std::sort(Slow.begin(), Slow.end(),
+              [](const SlowRow &A, const SlowRow &B) {
+                return A.TotalMs > B.TotalMs;
+              });
+    if (Slow.size() > TopK)
+      Slow.resize(TopK);
+    std::printf("\nslowest recent requests\n");
+    std::printf("%-28s %-22s %-9s %9s %9s %7s %3s\n", "TRACE_ID", "SHARD",
+                "PRIO", "TOTAL(ms)", "WAIT(ms)", "AGE(s)", "OK");
+    for (const SlowRow &R : Slow)
+      std::printf("%-28s %-22s %-9s %9.1f %9.1f %7.1f %3s\n",
+                  R.TraceId.c_str(), R.Shard.c_str(), R.Priority.c_str(),
+                  R.TotalMs, R.WaitMs, R.AgeS, R.Ok ? "ok" : "ERR");
+  }
+  std::fflush(stdout);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string RouterAddr;
+  std::string Token;
+  unsigned IntervalMs = 1000;
+  unsigned TopK = 8;
+  bool Once = false;
+  bool AsJson = false;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    auto Next = [&]() -> const char * {
+      return I + 1 < argc ? argv[++I] : nullptr;
+    };
+    unsigned N = 0;
+    if (Arg == "--router") {
+      const char *V = Next();
+      if (!V) {
+        usage(argv[0]);
+        return 2;
+      }
+      RouterAddr = V;
+    } else if (Arg == "--auth-token-file") {
+      const char *V = Next();
+      if (!V || !ac::service::readTokenFile(V, Token)) {
+        std::fprintf(stderr, "actop: cannot read auth token file\n");
+        return 2;
+      }
+    } else if (Arg == "--interval-ms" && Next() &&
+               parseUnsigned(argv[I], N) && N > 0) {
+      IntervalMs = N;
+    } else if (Arg == "--top" && Next() && parseUnsigned(argv[I], N) &&
+               N > 0) {
+      TopK = N;
+    } else if (Arg == "--once") {
+      Once = true;
+    } else if (Arg == "--json") {
+      AsJson = true;
+    } else if (Arg == "--help" || Arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "actop: bad argument `%s`\n", Arg.c_str());
+      usage(argv[0]);
+      return 2;
+    }
+  }
+  if (RouterAddr.empty()) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  for (;;) {
+    std::string Err;
+    Client C = Client::connectTcp(RouterAddr, Token, Err);
+    Json Fleet;
+    if (!C.connected() || !C.fleet(Fleet, Err)) {
+      std::fprintf(stderr, "actop: %s: %s\n", RouterAddr.c_str(),
+                   Err.empty() ? "fleet poll failed" : Err.c_str());
+      if (Once)
+        return 1;
+    } else if (AsJson) {
+      std::printf("%s\n", Fleet.dump().c_str());
+      std::fflush(stdout);
+    } else {
+      if (!Once)
+        std::printf("\x1b[2J\x1b[H"); // clear + home between refreshes
+      render(Fleet, TopK);
+    }
+    if (Once)
+      return 0;
+    std::this_thread::sleep_for(std::chrono::milliseconds(IntervalMs));
+  }
+}
